@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries.
+ */
+#pragma once
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "experiments/harness.hpp"
+
+namespace codecrunch::bench {
+
+using experiments::Harness;
+using experiments::PolicyRun;
+using experiments::RunResult;
+using experiments::Scenario;
+
+/** Standard summary columns for one policy run. */
+inline void
+addSummaryRow(ConsoleTable& table, const std::string& name,
+              const RunResult& result)
+{
+    const auto& m = result.metrics;
+    table.addRow(name, m.meanServiceTime(), m.serviceQuantile(0.5),
+                 m.serviceQuantile(0.95),
+                 ConsoleTable::pct(m.warmStartFraction()),
+                 m.compressedStarts(),
+                 ConsoleTable::num(result.keepAliveSpend, 3));
+}
+
+inline std::vector<std::string>
+summaryHeader()
+{
+    return {"policy", "mean (s)", "p50 (s)", "p95 (s)", "warm starts",
+            "compressed", "keep-alive $"};
+}
+
+/** Print "paper expectation" context lines under a banner. */
+inline void
+paperNote(const std::string& text)
+{
+    std::cout << "paper: " << text << "\n";
+}
+
+/** Relative improvement of b over a in percent. */
+inline double
+improvementPct(double a, double b)
+{
+    return a > 0.0 ? (1.0 - b / a) * 100.0 : 0.0;
+}
+
+/**
+ * Mean warm-start fraction of the minutes inside / outside the default
+ * peak windows (hours 10-11.5 and 19-20 of each day).
+ */
+inline std::pair<double, double>
+peakOffpeakWarmFraction(const metrics::Collector& collector)
+{
+    double peakWarm = 0, peakTotal = 0, offWarm = 0, offTotal = 0;
+    const auto& bins = collector.timeline();
+    for (std::size_t minute = 0; minute < bins.size(); ++minute) {
+        const double hour =
+            std::fmod(minute / 60.0, 24.0);
+        const bool peak = (hour >= 10.0 && hour < 11.5) ||
+                          (hour >= 19.0 && hour < 20.0);
+        const auto& bin = bins[minute];
+        if (bin.invocations == 0)
+            continue;
+        if (peak) {
+            peakWarm += bin.warmStarts;
+            peakTotal += bin.invocations;
+        } else {
+            offWarm += bin.warmStarts;
+            offTotal += bin.invocations;
+        }
+    }
+    return {peakTotal ? peakWarm / peakTotal : 0.0,
+            offTotal ? offWarm / offTotal : 0.0};
+}
+
+} // namespace codecrunch::bench

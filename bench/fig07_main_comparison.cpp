@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduces Fig. 7 — the headline result.
+ *
+ * (a) Mean service time of SitW, FaasCache, IceBreaker, CodeCrunch and
+ * Oracle under the same keep-alive budget (CodeCrunch/Oracle receive
+ * exactly the budget SitW spent). Paper: CodeCrunch improves mean
+ * service time by 32% over SitW, 34% over FaasCache, 17% over
+ * IceBreaker, and is within 6% of the Oracle.
+ *
+ * (b) The per-invocation service-time distribution (deciles) of each
+ * policy.
+ */
+#include "bench/bench_common.hpp"
+
+using namespace codecrunch;
+using namespace codecrunch::bench;
+
+int
+main()
+{
+    Harness harness(Scenario::evaluationDefault());
+    std::cout << "workload: "
+              << harness.workload().invocations.size()
+              << " invocations / "
+              << harness.workload().functions.size()
+              << " functions over "
+              << harness.workload().duration / 3600.0 << " h\n"
+              << "budget: SitW's observed spend rate = $"
+              << ConsoleTable::num(harness.sitwBudgetRate() * 3600,
+                                   4)
+              << "/hour\n";
+
+    const auto runs = harness.runMainComparison();
+
+    printBanner("Fig. 7(a): mean service time under an equal "
+                "keep-alive budget");
+    ConsoleTable table;
+    table.header(summaryHeader());
+    for (const auto& run : runs)
+        addSummaryRow(table, run.name, run.result);
+    table.print();
+
+    const auto findRun = [&](const std::string& name) {
+        for (const auto& run : runs)
+            if (run.name == name)
+                return &run;
+        fatal("missing run ", name);
+    };
+    const double sitw =
+        findRun("SitW")->result.metrics.meanServiceTime();
+    const double faascache =
+        findRun("FaasCache")->result.metrics.meanServiceTime();
+    const double icebreaker =
+        findRun("IceBreaker")->result.metrics.meanServiceTime();
+    const double crunch =
+        findRun("CodeCrunch")->result.metrics.meanServiceTime();
+    const double oracle =
+        findRun("Oracle")->result.metrics.meanServiceTime();
+
+    std::cout << "\nCodeCrunch vs SitW:       "
+              << ConsoleTable::num(improvementPct(sitw, crunch), 1)
+              << "% better (paper: 32%)\n"
+              << "CodeCrunch vs FaasCache:  "
+              << ConsoleTable::num(improvementPct(faascache, crunch),
+                                   1)
+              << "% better (paper: 34%)\n"
+              << "CodeCrunch vs IceBreaker: "
+              << ConsoleTable::num(improvementPct(icebreaker, crunch),
+                                   1)
+              << "% better (paper: 17%)\n"
+              << "CodeCrunch vs Oracle:     "
+              << ConsoleTable::num(crunch / oracle * 100.0 - 100.0, 1)
+              << "% above the Oracle (paper: within 6%)\n";
+
+    printBanner("Fig. 7(b): service-time distribution (deciles)");
+    ConsoleTable cdf;
+    std::vector<std::string> header = {"policy"};
+    for (int d = 1; d <= 9; ++d)
+        header.push_back("p" + std::to_string(d * 10));
+    header.push_back("p99");
+    cdf.header(header);
+    for (const auto& run : runs) {
+        std::vector<std::string> row = {run.name};
+        for (int d = 1; d <= 9; ++d)
+            row.push_back(ConsoleTable::num(
+                run.result.metrics.serviceQuantile(d / 10.0), 2));
+        row.push_back(ConsoleTable::num(
+            run.result.metrics.serviceQuantile(0.99), 2));
+        cdf.row(row);
+    }
+    cdf.print();
+    paperNote("CodeCrunch improves the service time of most "
+              "invocations, not just a few long ones");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces Fig. 8: augmenting existing schedulers with the two
+ * portable CodeCrunch ideas — in-memory compression and x86/ARM
+ * selection — while keeping their own keep-alive intelligence intact.
+ * Paper: all three baselines improve by over 10%, and "enhanced SitW"
+ * becomes competitive with IceBreaker/FaasCache.
+ */
+#include "bench/bench_common.hpp"
+
+using namespace codecrunch;
+using namespace codecrunch::bench;
+
+int
+main()
+{
+    Harness harness(Scenario::evaluationDefault());
+
+    printBanner("Fig. 8: baselines vs compression+heterogeneity "
+                "enhanced baselines");
+    ConsoleTable table;
+    auto header = summaryHeader();
+    header.push_back("vs plain");
+    table.header(header);
+
+    auto runPair = [&](auto makePlain) {
+        auto plain = makePlain();
+        const auto plainRun = harness.runNamed(*plain);
+        policy::Enhanced enhanced(makePlain());
+        const auto enhancedRun = harness.runNamed(enhanced);
+        addSummaryRow(table, plainRun.name, plainRun.result);
+        {
+            const auto& m = enhancedRun.result.metrics;
+            table.addRow(
+                enhancedRun.name, m.meanServiceTime(),
+                m.serviceQuantile(0.5), m.serviceQuantile(0.95),
+                ConsoleTable::pct(m.warmStartFraction()),
+                m.compressedStarts(),
+                ConsoleTable::num(enhancedRun.result.keepAliveSpend,
+                                  3),
+                ConsoleTable::num(
+                    improvementPct(
+                        plainRun.result.metrics.meanServiceTime(),
+                        enhancedRun.result.metrics
+                            .meanServiceTime()),
+                    1) +
+                    "%");
+        }
+        return std::make_pair(
+            plainRun.result.metrics.meanServiceTime(),
+            enhancedRun.result.metrics.meanServiceTime());
+    };
+
+    const auto sitw = runPair(
+        [] { return std::make_unique<policy::SitW>(); });
+    const auto faascache = runPair(
+        [] { return std::make_unique<policy::FaasCache>(); });
+    const auto icebreaker = runPair(
+        [] { return std::make_unique<policy::IceBreaker>(); });
+
+    core::CodeCrunch codecrunch(harness.codecrunchConfig());
+    const auto crunchRun = harness.runNamed(codecrunch);
+    addSummaryRow(table, crunchRun.name, crunchRun.result);
+    table.print();
+
+    std::cout << "\nenhancement gains: SitW "
+              << ConsoleTable::num(
+                     improvementPct(sitw.first, sitw.second), 1)
+              << "%, FaasCache "
+              << ConsoleTable::num(
+                     improvementPct(faascache.first, faascache.second),
+                     1)
+              << "%, IceBreaker "
+              << ConsoleTable::num(improvementPct(icebreaker.first,
+                                                  icebreaker.second),
+                                   1)
+              << "%\n";
+    paperNote("all three enhanced baselines gain >10%; enhanced SitW "
+              "performs similarly or slightly better than IceBreaker "
+              "and FaasCache");
+    if (sitw.second <= std::min(faascache.first, icebreaker.first)) {
+        std::cout << "enhanced SitW beats plain FaasCache and plain "
+                     "IceBreaker — the paper's key practical point "
+                     "holds\n";
+    }
+    return 0;
+}

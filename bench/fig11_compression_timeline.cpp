@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces Fig. 11: when and how much CodeCrunch compresses.
+ * Compression activity should concentrate in the high-load windows,
+ * and enabling compression should raise the overall warm-start
+ * fraction by >10 points (paper) with a corresponding service-time
+ * improvement.
+ */
+#include "bench/bench_common.hpp"
+
+using namespace codecrunch;
+using namespace codecrunch::bench;
+
+int
+main()
+{
+    Harness harness(Scenario::evaluationDefault());
+
+    core::CodeCrunch withComp(harness.codecrunchConfig());
+    const auto compRun = harness.runNamed(withComp);
+    auto config = harness.codecrunchConfig();
+    config.useCompression = false;
+    core::CodeCrunch noComp(config);
+    const auto plainRun = harness.runNamed(noComp);
+
+    printBanner("Fig. 11(a): compression activity across the trace");
+    ConsoleTable activity;
+    activity.header({"hour", "load (inv)", "compressions",
+                     "compressed starts", "peak?"});
+    const auto& bins = compRun.result.metrics.timeline();
+    const std::size_t hours = bins.size() / 60;
+    for (std::size_t h = 0; h < hours; ++h) {
+        std::size_t load = 0, compressions = 0, compressedStarts = 0;
+        for (std::size_t m = h * 60;
+             m < (h + 1) * 60 && m < bins.size(); ++m) {
+            load += bins[m].invocations;
+            compressions += bins[m].compressions;
+            compressedStarts += bins[m].compressedStarts;
+        }
+        const double hourOfDay =
+            std::fmod(static_cast<double>(h), 24.0);
+        const bool peak = (hourOfDay >= 10.0 && hourOfDay < 11.5) ||
+                          (hourOfDay >= 19.0 && hourOfDay < 20.0);
+        activity.addRow(h, load, compressions, compressedStarts,
+                        peak ? "*" : "");
+    }
+    activity.print();
+
+    printBanner("Fig. 11(b): effect of compression on warm starts "
+                "and service time");
+    ConsoleTable table;
+    table.header(summaryHeader());
+    addSummaryRow(table, "CodeCrunch (compression)", compRun.result);
+    addSummaryRow(table, "CodeCrunch (no compression)",
+                  plainRun.result);
+    table.print();
+
+    const double warmGain =
+        (compRun.result.metrics.warmStartFraction() -
+         plainRun.result.metrics.warmStartFraction()) *
+        100.0;
+    std::cout << "\nwarm-start gain from compression: "
+              << ConsoleTable::num(warmGain, 1)
+              << " points (paper: >10 points)\n"
+              << "service-time gain: "
+              << ConsoleTable::num(
+                     improvementPct(
+                         plainRun.result.metrics.meanServiceTime(),
+                         compRun.result.metrics.meanServiceTime()),
+                     1)
+              << "% (paper: 6.75 s vs 8.15 s = 17%)\n";
+    return 0;
+}

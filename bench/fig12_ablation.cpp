@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Fig. 12 and the surrounding ablation numbers: every
+ * design component removed one at a time. Paper absolute numbers:
+ * full 6.75 s; no compression 8.15 s; x86-only 7.87 s; ARM-only
+ * 8.4 s; fixed 10-min keep-alive 7.38 s; no SRE (whole-space descent
+ * within the same time) ~19% worse.
+ */
+#include "bench/bench_common.hpp"
+
+using namespace codecrunch;
+using namespace codecrunch::bench;
+
+int
+main()
+{
+    Harness harness(Scenario::evaluationDefault());
+
+    printBanner("Fig. 12: CodeCrunch ablations");
+    ConsoleTable table;
+    auto header = summaryHeader();
+    header.push_back("vs full");
+    table.header(header);
+
+    core::CodeCrunch full(harness.codecrunchConfig());
+    const auto fullRun = harness.runNamed(full);
+    const double fullMean =
+        fullRun.result.metrics.meanServiceTime();
+    addSummaryRow(table, fullRun.name, fullRun.result);
+
+    auto ablate = [&](auto mutate) {
+        auto config = harness.codecrunchConfig();
+        mutate(config);
+        core::CodeCrunch policy(config);
+        const auto run = harness.runNamed(policy);
+        const auto& m = run.result.metrics;
+        table.addRow(run.name, m.meanServiceTime(),
+                     m.serviceQuantile(0.5), m.serviceQuantile(0.95),
+                     ConsoleTable::pct(m.warmStartFraction()),
+                     m.compressedStarts(),
+                     ConsoleTable::num(run.result.keepAliveSpend, 3),
+                     "+" + ConsoleTable::num(
+                               (m.meanServiceTime() / fullMean -
+                                1.0) *
+                                   100.0,
+                               1) +
+                         "%");
+    };
+
+    ablate([](core::CodeCrunchConfig& c) { c.useSre = false; });
+    ablate([](core::CodeCrunchConfig& c) { c.useCompression = false; });
+    ablate([](core::CodeCrunchConfig& c) {
+        c.archMode = core::ArchMode::X86Only;
+    });
+    ablate([](core::CodeCrunchConfig& c) {
+        c.archMode = core::ArchMode::ArmOnly;
+    });
+    ablate([](core::CodeCrunchConfig& c) {
+        c.fixedKeepAlive = true;
+        c.fixedKeepAliveSeconds = 600.0;
+    });
+    table.print();
+
+    paperNote("paper deltas vs full (6.75 s): no compression +21%, "
+              "x86-only +17%, ARM-only +24%, fixed keep-alive +9%, "
+              "no SRE +19%");
+    return 0;
+}

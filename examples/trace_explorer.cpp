@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Trace explorer: generates an Azure-like workload, prints its shape
+ * (per-hour load, popularity skew, pattern statistics), writes it to
+ * the Azure-format CSV pair, reloads it, and verifies the round trip.
+ *
+ * Usage: trace_explorer [numFunctions] [days]
+ */
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "trace/azure_csv.hpp"
+#include "trace/generator.hpp"
+
+using namespace codecrunch;
+
+int
+main(int argc, char** argv)
+{
+    trace::TraceConfig config;
+    config.numFunctions =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 150;
+    config.days = argc > 2 ? std::strtod(argv[2], nullptr) : 0.5;
+
+    const auto workload = trace::TraceGenerator::generate(config);
+    std::cout << "functions:   " << workload.functions.size() << '\n'
+              << "invocations: " << workload.invocations.size() << '\n'
+              << "duration:    " << workload.duration / 3600.0
+              << " h\n";
+
+    printBanner("Per-hour invocation load");
+    const std::size_t hours =
+        static_cast<std::size_t>(workload.duration / 3600.0);
+    std::vector<std::size_t> perHour(hours + 1, 0);
+    for (const auto& inv : workload.invocations)
+        ++perHour[static_cast<std::size_t>(inv.arrival / 3600.0)];
+    ConsoleTable load;
+    load.header({"hour", "invocations", "bar"});
+    const std::size_t peak =
+        *std::max_element(perHour.begin(), perHour.end());
+    for (std::size_t h = 0; h < perHour.size(); ++h) {
+        const std::size_t width = peak
+            ? perHour[h] * 50 / peak
+            : 0;
+        load.addRow(h, perHour[h], std::string(width, '#'));
+    }
+    load.print();
+
+    printBanner("Popularity skew (top functions by share)");
+    std::vector<std::size_t> counts(workload.functions.size(), 0);
+    for (const auto& inv : workload.invocations)
+        ++counts[inv.function];
+    std::vector<std::size_t> order(counts.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](auto a, auto b) {
+        return counts[a] > counts[b];
+    });
+    ConsoleTable top;
+    top.header({"function", "invocations", "share"});
+    const double total =
+        static_cast<double>(workload.invocations.size());
+    for (std::size_t i = 0; i < std::min<std::size_t>(10, order.size());
+         ++i) {
+        top.addRow(workload.functions[order[i]].name,
+                   counts[order[i]],
+                   ConsoleTable::pct(counts[order[i]] / total));
+    }
+    top.print();
+
+    printBanner("Azure-format CSV round trip");
+    const std::string countsPath = "/tmp/cc_trace_counts.csv";
+    const std::string profilesPath = "/tmp/cc_trace_profiles.csv";
+    trace::AzureCsv::writeInvocationCounts(workload, countsPath);
+    trace::AzureCsv::writeProfiles(workload, profilesPath);
+    const auto reloaded =
+        trace::AzureCsv::read(countsPath, profilesPath);
+    std::cout << "wrote " << countsPath << " and " << profilesPath
+              << "\nreloaded " << reloaded.invocations.size()
+              << " invocations across " << reloaded.functions.size()
+              << " functions ("
+              << (reloaded.invocations.size() ==
+                          workload.invocations.size()
+                      ? "count matches"
+                      : "COUNT MISMATCH")
+              << ")\n";
+    return 0;
+}

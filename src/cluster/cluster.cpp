@@ -1,0 +1,259 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace codecrunch::cluster {
+
+namespace {
+
+/** Tolerance for floating-point memory bookkeeping. */
+constexpr double kMemEps = 1e-6;
+
+} // namespace
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config)
+{
+    if (config.numX86 < 0 || config.numArm < 0)
+        fatal("Cluster: negative node count");
+    if (config.numX86 + config.numArm == 0)
+        fatal("Cluster: at least one node is required");
+    nodes_.reserve(config.numX86 + config.numArm);
+    auto addNodes = [&](int count, NodeType type, Dollars costPerHour) {
+        for (int i = 0; i < count; ++i) {
+            Node node;
+            node.id = static_cast<NodeId>(nodes_.size());
+            node.type = type;
+            node.cores = config.coresPerNode;
+            node.memoryMb = config.memoryPerNodeMb;
+            node.costRatePerMbSecond =
+                costPerHour / config.memoryPerNodeMb / kSecondsPerHour;
+            nodes_.push_back(node);
+        }
+    };
+    addNodes(config.numX86, NodeType::X86, config.x86CostPerHour);
+    addNodes(config.numArm, NodeType::ARM, config.armCostPerHour);
+}
+
+std::optional<NodeId>
+Cluster::pickNodeForExec(NodeType type, MegaBytes memoryMb) const
+{
+    std::optional<NodeId> best;
+    MegaBytes bestFree = -1;
+    for (const auto& node : nodes_) {
+        if (node.type != type || node.freeCores() < 1)
+            continue;
+        const MegaBytes free = node.freeMemoryMb();
+        if (free + kMemEps >= memoryMb && free > bestFree) {
+            bestFree = free;
+            best = node.id;
+        }
+    }
+    return best;
+}
+
+MegaBytes
+Cluster::warmHeadroom(const Node& node) const
+{
+    const MegaBytes cap =
+        node.memoryMb * config_.keepAliveMemoryFraction;
+    return std::min(node.freeMemoryMb(), cap - node.warmMemoryMb);
+}
+
+MegaBytes
+Cluster::warmHeadroomMb(NodeId node) const
+{
+    return warmHeadroom(nodes_.at(node));
+}
+
+std::optional<NodeId>
+Cluster::pickNodeForWarm(NodeType type, MegaBytes memoryMb) const
+{
+    std::optional<NodeId> best;
+    MegaBytes bestFree = -1;
+    for (const auto& node : nodes_) {
+        if (node.type != type)
+            continue;
+        const MegaBytes headroom = warmHeadroom(node);
+        if (headroom + kMemEps >= memoryMb && headroom > bestFree) {
+            bestFree = headroom;
+            best = node.id;
+        }
+    }
+    return best;
+}
+
+void
+Cluster::reserveExec(NodeId id, MegaBytes memoryMb)
+{
+    Node& node = nodes_.at(id);
+    if (node.freeCores() < 1)
+        panic("Cluster: reserveExec on node ", id, " with no free core");
+    if (node.freeMemoryMb() + kMemEps < memoryMb)
+        panic("Cluster: reserveExec overcommits node ", id, " (",
+              node.freeMemoryMb(), " MB free, ", memoryMb,
+              " MB requested)");
+    ++node.coresUsed;
+    node.execMemoryMb += memoryMb;
+}
+
+void
+Cluster::releaseExec(NodeId id, MegaBytes memoryMb)
+{
+    Node& node = nodes_.at(id);
+    if (node.coresUsed < 1)
+        panic("Cluster: releaseExec on idle node ", id);
+    --node.coresUsed;
+    node.execMemoryMb -= memoryMb;
+    if (node.execMemoryMb < -kMemEps)
+        panic("Cluster: exec memory underflow on node ", id);
+    node.execMemoryMb = std::max(0.0, node.execMemoryMb);
+}
+
+ContainerId
+Cluster::addWarm(NodeId nodeId, FunctionId function, MegaBytes memoryMb,
+                 bool compressed, Seconds now)
+{
+    Node& node = nodes_.at(nodeId);
+    if (warmHeadroom(node) + kMemEps < memoryMb)
+        panic("Cluster: addWarm exceeds warm headroom of node ",
+              nodeId, " (", warmHeadroom(node), " MB free, ",
+              memoryMb, " MB requested)");
+    node.warmMemoryMb += memoryMb;
+
+    WarmContainer container;
+    container.id = nextContainer_++;
+    container.function = function;
+    container.node = nodeId;
+    container.memoryMb = memoryMb;
+    container.compressed = compressed;
+    container.since = now;
+    container.lastAccrual = now;
+    warmByFn_[function].push_back(container.id);
+    const ContainerId id = container.id;
+    warmPool_.emplace(id, container);
+    return id;
+}
+
+WarmContainer
+Cluster::removeWarm(ContainerId id, Seconds now)
+{
+    const auto it = warmPool_.find(id);
+    if (it == warmPool_.end())
+        panic("Cluster: removeWarm of unknown container ", id);
+    WarmContainer container = it->second;
+    accrueOne(it->second, now);
+    container.lastAccrual = now;
+
+    Node& node = nodes_.at(container.node);
+    node.warmMemoryMb -= container.memoryMb;
+    if (node.warmMemoryMb < -kMemEps)
+        panic("Cluster: warm memory underflow on node ", container.node);
+    node.warmMemoryMb = std::max(0.0, node.warmMemoryMb);
+
+    auto& list = warmByFn_[container.function];
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+    if (list.empty())
+        warmByFn_.erase(container.function);
+    warmPool_.erase(it);
+    return container;
+}
+
+void
+Cluster::resizeWarm(ContainerId id, MegaBytes newMemoryMb,
+                    bool nowCompressed, Seconds now)
+{
+    const auto it = warmPool_.find(id);
+    if (it == warmPool_.end())
+        panic("Cluster: resizeWarm of unknown container ", id);
+    WarmContainer& container = it->second;
+    accrueOne(container, now);
+
+    Node& node = nodes_.at(container.node);
+    const MegaBytes delta = newMemoryMb - container.memoryMb;
+    if (delta > 0 && node.freeMemoryMb() + kMemEps < delta)
+        panic("Cluster: resizeWarm overcommits node ", container.node);
+    node.warmMemoryMb += delta;
+    container.memoryMb = newMemoryMb;
+    container.compressed = nowCompressed;
+}
+
+std::optional<ContainerId>
+Cluster::findWarm(FunctionId function) const
+{
+    const auto it = warmByFn_.find(function);
+    if (it == warmByFn_.end() || it->second.empty())
+        return std::nullopt;
+    // Prefer an uncompressed container: zero startup latency.
+    for (ContainerId id : it->second) {
+        if (!warmPool_.at(id).compressed)
+            return id;
+    }
+    return it->second.front();
+}
+
+const WarmContainer&
+Cluster::warm(ContainerId id) const
+{
+    const auto it = warmPool_.find(id);
+    if (it == warmPool_.end())
+        panic("Cluster: warm() of unknown container ", id);
+    return it->second;
+}
+
+std::size_t
+Cluster::warmCount(FunctionId function) const
+{
+    const auto it = warmByFn_.find(function);
+    return it == warmByFn_.end() ? 0 : it->second.size();
+}
+
+void
+Cluster::accrueAll(Seconds now)
+{
+    for (auto& [id, container] : warmPool_)
+        accrueOne(container, now);
+}
+
+void
+Cluster::accrueOne(WarmContainer& container, Seconds now)
+{
+    if (now < container.lastAccrual - kMemEps)
+        panic("Cluster: accrual time moved backwards");
+    const Seconds dt = std::max(0.0, now - container.lastAccrual);
+    const Node& node = nodes_.at(container.node);
+    keepAliveSpend_ +=
+        node.costRatePerMbSecond * container.memoryMb * dt;
+    container.lastAccrual = now;
+}
+
+MegaBytes
+Cluster::totalWarmMemoryMb() const
+{
+    MegaBytes total = 0;
+    for (const auto& node : nodes_)
+        total += node.warmMemoryMb;
+    return total;
+}
+
+MegaBytes
+Cluster::totalMemoryMb() const
+{
+    MegaBytes total = 0;
+    for (const auto& node : nodes_)
+        total += node.memoryMb;
+    return total;
+}
+
+double
+Cluster::costRate(NodeType type) const
+{
+    const Dollars perHour = type == NodeType::X86
+        ? config_.x86CostPerHour
+        : config_.armCostPerHour;
+    return perHour / config_.memoryPerNodeMb / kSecondsPerHour;
+}
+
+} // namespace codecrunch::cluster

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Heterogeneous worker-node cluster state machine.
+ *
+ * Models the paper's testbed: a fleet of x86 (AWS m5-like) and ARM (AWS
+ * t4g-like) worker nodes, each with a fixed core and memory capacity.
+ * Running containers occupy one core plus the function's full memory
+ * footprint; warm containers occupy memory only (full footprint when
+ * uncompressed, the compressed image size when compressed). Keep-alive
+ * cost accrues per warm container as
+ *     rate(nodeType) x memory_held x duration
+ * with rate = node $/hour / node memory / 3600 — i.e. keeping a node's
+ * whole memory warm for an hour costs the node's hourly price, the
+ * paper's proportionality rule.
+ *
+ * The Cluster is a passive state machine: the simulation driver owns the
+ * event queue and calls these methods with explicit timestamps. Every
+ * mutation validates capacity invariants and panics on violation, so
+ * scheduler bugs surface immediately.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/workload.hpp"
+
+namespace codecrunch::cluster {
+
+/** Identifier of a (warm or running) container instance. */
+using ContainerId = std::uint64_t;
+
+/** Sentinel for "no container". */
+inline constexpr ContainerId kInvalidContainer = UINT64_MAX;
+
+/**
+ * Cluster sizing and pricing configuration.
+ *
+ * Defaults reproduce the paper's setup (Sec. 4): 13 x86 + 18 ARM nodes,
+ * 8 cores / 32 GB each, $0.384/h (m5) vs $0.2688/h (t4g).
+ */
+struct ClusterConfig {
+    int numX86 = 13;
+    int numArm = 18;
+    int coresPerNode = 8;
+    MegaBytes memoryPerNodeMb = 32 * 1024;
+    Dollars x86CostPerHour = 0.384;
+    Dollars armCostPerHour = 0.2688;
+    /**
+     * Fraction of each node's memory available for warm containers
+     * (1.0 = all of it; Fig. 1 uses 0.1 to model a 10% keep-alive
+     * reservation).
+     */
+    double keepAliveMemoryFraction = 1.0;
+};
+
+/** Live state of one worker node. */
+struct Node {
+    NodeId id = kInvalidNode;
+    NodeType type = NodeType::X86;
+    int cores = 8;
+    MegaBytes memoryMb = 32 * 1024;
+    /** Keep-alive cost rate in $/ (MB * second). */
+    double costRatePerMbSecond = 0.0;
+
+    int coresUsed = 0;
+    /** Memory used by running containers. */
+    MegaBytes execMemoryMb = 0;
+    /** Memory used by warm (idle) containers. */
+    MegaBytes warmMemoryMb = 0;
+
+    MegaBytes
+    freeMemoryMb() const
+    {
+        return memoryMb - execMemoryMb - warmMemoryMb;
+    }
+
+    int freeCores() const { return cores - coresUsed; }
+};
+
+/** One warm (idle, kept-alive) container. */
+struct WarmContainer {
+    ContainerId id = kInvalidContainer;
+    FunctionId function = kInvalidFunction;
+    NodeId node = kInvalidNode;
+    /** Memory currently held on the node. */
+    MegaBytes memoryMb = 0;
+    /** True once the image has been compressed in place. */
+    bool compressed = false;
+    /** When the container became warm. */
+    Seconds since = 0.0;
+    /** Last time keep-alive cost was accrued. */
+    Seconds lastAccrual = 0.0;
+};
+
+/**
+ * The heterogeneous cluster.
+ */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig& config);
+
+    const ClusterConfig& config() const { return config_; }
+    const std::vector<Node>& nodes() const { return nodes_; }
+    const Node& node(NodeId id) const { return nodes_.at(id); }
+
+    // --- execution resources -----------------------------------------
+
+    /**
+     * Pick the node of `type` best able to run `memoryMb` more (one
+     * core + memory): the feasible node with the most free memory.
+     * @return node id, or nullopt if no node of that type fits.
+     */
+    std::optional<NodeId>
+    pickNodeForExec(NodeType type, MegaBytes memoryMb) const;
+
+    /** True if some node of `type` could fit a warm container. */
+    std::optional<NodeId>
+    pickNodeForWarm(NodeType type, MegaBytes memoryMb) const;
+
+    /** Reserve one core + memory on a node (start of an execution). */
+    void reserveExec(NodeId id, MegaBytes memoryMb);
+
+    /** Release one core + memory on a node (end of an execution). */
+    void releaseExec(NodeId id, MegaBytes memoryMb);
+
+    // --- warm-container pool ------------------------------------------
+
+    /**
+     * Register a warm container holding `memoryMb` on `node`.
+     * @return the new container's id.
+     */
+    ContainerId
+    addWarm(NodeId node, FunctionId function, MegaBytes memoryMb,
+            bool compressed, Seconds now);
+
+    /**
+     * Remove a warm container, accruing its final keep-alive cost.
+     * @return the removed container (by value).
+     */
+    WarmContainer removeWarm(ContainerId id, Seconds now);
+
+    /**
+     * Change a warm container's held memory (in-place compression
+     * completing), accruing cost at the old size first.
+     */
+    void resizeWarm(ContainerId id, MegaBytes newMemoryMb,
+                    bool nowCompressed, Seconds now);
+
+    /**
+     * Any warm container for `function`, preferring uncompressed ones
+     * (they start faster).
+     */
+    std::optional<ContainerId> findWarm(FunctionId function) const;
+
+    /** Warm container by id; panics if unknown. */
+    const WarmContainer& warm(ContainerId id) const;
+
+    /**
+     * How much more warm memory `node` can hold: limited by both the
+     * node's free memory and the keep-alive reservation
+     * (keepAliveMemoryFraction of node memory).
+     */
+    MegaBytes warmHeadroomMb(NodeId node) const;
+
+    /** All warm containers (stable iteration order not guaranteed). */
+    const std::unordered_map<ContainerId, WarmContainer>&
+    warmPool() const
+    {
+        return warmPool_;
+    }
+
+    /** Number of warm containers for one function. */
+    std::size_t warmCount(FunctionId function) const;
+
+    // --- accounting ----------------------------------------------------
+
+    /** Accrue keep-alive cost for all warm containers up to `now`. */
+    void accrueAll(Seconds now);
+
+    /** Cumulative keep-alive cost in dollars. */
+    Dollars keepAliveSpend() const { return keepAliveSpend_; }
+
+    /** Total warm memory across the cluster (MB). */
+    MegaBytes totalWarmMemoryMb() const;
+
+    /** Total memory capacity across the cluster (MB). */
+    MegaBytes totalMemoryMb() const;
+
+    /**
+     * Keep-alive cost rate ($/MB-second) of a node type — the paper's
+     * X_x86 / X_ARM constants.
+     */
+    double costRate(NodeType type) const;
+
+    /**
+     * Projected cost of keeping `memoryMb` warm on `type` for
+     * `duration` seconds.
+     */
+    Dollars
+    keepAliveCost(NodeType type, MegaBytes memoryMb,
+                  Seconds duration) const
+    {
+        return costRate(type) * memoryMb * duration;
+    }
+
+  private:
+    void accrueOne(WarmContainer& container, Seconds now);
+
+    /** Warm-memory headroom of a node under the keep-alive fraction. */
+    MegaBytes warmHeadroom(const Node& node) const;
+
+    ClusterConfig config_;
+    std::vector<Node> nodes_;
+    std::unordered_map<ContainerId, WarmContainer> warmPool_;
+    std::unordered_map<FunctionId, std::vector<ContainerId>> warmByFn_;
+    ContainerId nextContainer_ = 1;
+    Dollars keepAliveSpend_ = 0.0;
+};
+
+} // namespace codecrunch::cluster

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tiny CSV reader/writer used for trace serialization and bench output.
+ *
+ * The supported dialect is deliberately small: comma separator, no quoting
+ * (trace fields are numeric or simple identifiers), '#' comment lines, and
+ * an optional header row.
+ */
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace codecrunch {
+
+/** One parsed CSV row. */
+using CsvRow = std::vector<std::string>;
+
+/**
+ * Streaming CSV writer.
+ */
+class CsvWriter
+{
+  public:
+    /** Open the given path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string& path)
+        : out_(path)
+    {
+        if (!out_)
+            fatal("CsvWriter: cannot open '", path, "' for writing");
+    }
+
+    /** Write one row from string fields. */
+    void
+    writeRow(const CsvRow& fields)
+    {
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+            if (i)
+                out_ << ',';
+            out_ << fields[i];
+        }
+        out_ << '\n';
+    }
+
+    /** Write one row from heterogeneous streamable fields. */
+    template <typename... Args>
+    void
+    writeFields(Args&&... args)
+    {
+        CsvRow row;
+        (row.push_back(toField(std::forward<Args>(args))), ...);
+        writeRow(row);
+    }
+
+  private:
+    template <typename T>
+    static std::string
+    toField(T&& value)
+    {
+        std::ostringstream os;
+        if constexpr (std::is_floating_point_v<std::decay_t<T>>) {
+            // Round-trip precision so workloads reload bit-exactly.
+            os << std::setprecision(
+                      std::numeric_limits<double>::max_digits10)
+               << value;
+        } else {
+            os << value;
+        }
+        return os.str();
+    }
+
+    std::ofstream out_;
+};
+
+/**
+ * Whole-file CSV reader.
+ */
+class CsvReader
+{
+  public:
+    /** Parse one line into fields. */
+    static CsvRow
+    parseLine(const std::string& line)
+    {
+        CsvRow fields;
+        std::string field;
+        for (char c : line) {
+            if (c == ',') {
+                fields.push_back(field);
+                field.clear();
+            } else if (c != '\r') {
+                field.push_back(c);
+            }
+        }
+        fields.push_back(field);
+        return fields;
+    }
+
+    /**
+     * Read every non-comment, non-empty row from a file.
+     * @param path file to read; fatal() when missing.
+     */
+    static std::vector<CsvRow>
+    readFile(const std::string& path)
+    {
+        std::ifstream in(path);
+        if (!in)
+            fatal("CsvReader: cannot open '", path, "'");
+        std::vector<CsvRow> rows;
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty() || line[0] == '#')
+                continue;
+            rows.push_back(parseLine(line));
+        }
+        return rows;
+    }
+};
+
+} // namespace codecrunch

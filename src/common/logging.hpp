@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers, following the gem5
+ * fatal/panic convention: fatal() for user errors (bad configuration),
+ * panic() for internal invariant violations.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace codecrunch {
+
+namespace detail {
+
+inline void
+logStream(const char* level, const std::string& msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", level, msg.c_str());
+}
+
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report a condition caused by invalid user input and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::logStream("FATAL", detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/** Report an internal invariant violation and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::logStream("PANIC", detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** Informational message for the user. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::logStream("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Warn about suspicious but non-fatal conditions. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::logStream("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace codecrunch

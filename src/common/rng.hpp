@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible
+ * simulations.
+ *
+ * We implement xoshiro256** seeded through SplitMix64 (the reference
+ * seeding procedure), plus the distribution helpers the trace generator
+ * and optimizers need: uniform, normal, exponential, log-normal, Pareto,
+ * Zipf, and weighted choice. std::mt19937 is avoided because its state
+ * layout is implementation-defined for some distributions; all draws here
+ * are bit-reproducible across platforms.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace codecrunch {
+
+/**
+ * xoshiro256** deterministic PRNG with distribution helpers.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        if (lo > hi)
+            panic("Rng::uniformInt: empty range [", lo, ", ", hi, "]");
+        const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+        if (span == 0)
+            return static_cast<std::int64_t>(next()); // full 64-bit range
+        return lo + static_cast<std::int64_t>(next() % span);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Standard normal via Box-Muller (no cached spare, fully stateless). */
+    double
+    normal()
+    {
+        double u1 = uniform();
+        while (u1 <= 0.0)
+            u1 = uniform();
+        const double u2 = uniform();
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    }
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /** Exponential with the given rate (mean = 1/rate). */
+    double
+    exponential(double rate)
+    {
+        if (rate <= 0.0)
+            panic("Rng::exponential: non-positive rate ", rate);
+        double u = uniform();
+        while (u <= 0.0)
+            u = uniform();
+        return -std::log(u) / rate;
+    }
+
+    /** Log-normal parameterized by the underlying normal's mu/sigma. */
+    double
+    logNormal(double mu, double sigma)
+    {
+        return std::exp(normal(mu, sigma));
+    }
+
+    /** Pareto with scale x_m and shape alpha. */
+    double
+    pareto(double scale, double alpha)
+    {
+        double u = uniform();
+        while (u <= 0.0)
+            u = uniform();
+        return scale / std::pow(u, 1.0 / alpha);
+    }
+
+    /**
+     * Zipf-distributed rank in [0, n) with exponent s, via inverse CDF
+     * over precomputed weights (suitable for the n <= ~1e6 we use).
+     */
+    std::size_t
+    zipf(const std::vector<double>& cdf)
+    {
+        const double u = uniform();
+        std::size_t lo = 0, hi = cdf.size();
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (cdf[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo < cdf.size() ? lo : cdf.size() - 1;
+    }
+
+    /** Build the CDF table used by zipf(). */
+    static std::vector<double>
+    makeZipfCdf(std::size_t n, double s)
+    {
+        std::vector<double> cdf(n);
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+            cdf[i] = total;
+        }
+        for (auto& v : cdf)
+            v /= total;
+        return cdf;
+    }
+
+    /** Index drawn proportionally to the given non-negative weights. */
+    std::size_t
+    weightedChoice(const std::vector<double>& weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        if (total <= 0.0)
+            return next() % (weights.empty() ? 1 : weights.size());
+        double u = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            u -= weights[i];
+            if (u <= 0.0)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& items)
+    {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            const std::size_t j = next() % i;
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /** Derive an independent child stream (for per-function streams). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xa5a5a5a5deadbeefull);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace codecrunch

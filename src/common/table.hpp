@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Aligned console table printer used by every bench binary to emit the
+ * rows/series a paper figure or table reports.
+ */
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace codecrunch {
+
+/**
+ * Collects rows of string cells and prints them with aligned columns.
+ */
+class ConsoleTable
+{
+  public:
+    /** Set the header row. */
+    void
+    header(std::vector<std::string> cells)
+    {
+        header_ = std::move(cells);
+    }
+
+    /** Append a data row of pre-rendered cells. */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Append a data row of heterogeneous streamable fields. */
+    template <typename... Args>
+    void
+    addRow(Args&&... args)
+    {
+        std::vector<std::string> cells;
+        (cells.push_back(render(std::forward<Args>(args))), ...);
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Render a double with fixed precision. */
+    static std::string
+    num(double value, int precision = 2)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << value;
+        return os.str();
+    }
+
+    /** Render a percentage with one decimal, e.g. "61.3%". */
+    static std::string
+    pct(double fraction, int precision = 1)
+    {
+        return num(fraction * 100.0, precision) + "%";
+    }
+
+    /** Print the table to the given stream. */
+    void
+    print(std::ostream& os = std::cout) const
+    {
+        std::vector<std::size_t> widths;
+        auto grow = [&](const std::vector<std::string>& cells) {
+            if (widths.size() < cells.size())
+                widths.resize(cells.size(), 0);
+            for (std::size_t i = 0; i < cells.size(); ++i)
+                widths[i] = std::max(widths[i], cells[i].size());
+        };
+        grow(header_);
+        for (const auto& r : rows_)
+            grow(r);
+
+        auto emit = [&](const std::vector<std::string>& cells) {
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                os << (i ? "  " : "");
+                os << cells[i]
+                   << std::string(widths[i] - cells[i].size(), ' ');
+            }
+            os << '\n';
+        };
+        if (!header_.empty()) {
+            emit(header_);
+            std::size_t total = 0;
+            for (std::size_t i = 0; i < widths.size(); ++i)
+                total += widths[i] + (i ? 2 : 0);
+            os << std::string(total, '-') << '\n';
+        }
+        for (const auto& r : rows_)
+            emit(r);
+    }
+
+  private:
+    template <typename T>
+    static std::string
+    render(T&& value)
+    {
+        if constexpr (std::is_floating_point_v<std::decay_t<T>>) {
+            return num(value, 3);
+        } else {
+            std::ostringstream os;
+            os << value;
+            return os.str();
+        }
+    }
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner for bench output. */
+inline void
+printBanner(const std::string& title)
+{
+    std::cout << "\n=== " << title << " ===\n";
+}
+
+} // namespace codecrunch

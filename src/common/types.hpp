@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fundamental value types shared across all CodeCrunch modules.
+ *
+ * The simulator measures time in seconds (double), memory in megabytes
+ * (double), and money in dollars (double). Strong enum types identify
+ * processor architectures and container start categories.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace codecrunch {
+
+/** Simulated wall-clock time in seconds. */
+using Seconds = double;
+
+/** Memory size in megabytes. */
+using MegaBytes = double;
+
+/** Monetary cost in dollars. */
+using Dollars = double;
+
+/** Identifier of a unique serverless function within a trace. */
+using FunctionId = std::uint32_t;
+
+/** Identifier of a worker node within a cluster. */
+using NodeId = std::uint32_t;
+
+/** Sentinel for "no function". */
+inline constexpr FunctionId kInvalidFunction = UINT32_MAX;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/** Number of seconds in one trace minute. */
+inline constexpr Seconds kSecondsPerMinute = 60.0;
+
+/** Number of seconds in one hour. */
+inline constexpr Seconds kSecondsPerHour = 3600.0;
+
+/**
+ * Processor architecture of a worker node.
+ *
+ * The paper's clusters mix AWS m5 (x86) and t4g (ARM Graviton) instances;
+ * keep-alive cost per unit time is lower on ARM while per-function
+ * execution time may favor either architecture.
+ */
+enum class NodeType : std::uint8_t {
+    X86 = 0,
+    ARM = 1,
+};
+
+/** Number of distinct NodeType values. */
+inline constexpr int kNumNodeTypes = 2;
+
+/** Human-readable name of a node type. */
+inline const char*
+toString(NodeType type)
+{
+    return type == NodeType::X86 ? "x86" : "ARM";
+}
+
+/**
+ * How a function invocation obtained its execution container.
+ */
+enum class StartType : std::uint8_t {
+    /** No container available: full cold-start initialization. */
+    Cold = 0,
+    /** Uncompressed warm container: zero startup latency. */
+    Warm = 1,
+    /** Compressed warm container: decompression on the critical path. */
+    WarmCompressed = 2,
+};
+
+/** Human-readable name of a start type. */
+inline const char*
+toString(StartType type)
+{
+    switch (type) {
+      case StartType::Cold: return "cold";
+      case StartType::Warm: return "warm";
+      case StartType::WarmCompressed: return "warm-compressed";
+    }
+    return "?";
+}
+
+/**
+ * A single function invocation request from the trace.
+ */
+struct Invocation {
+    /** Which function is invoked. */
+    FunctionId function = kInvalidFunction;
+    /** Arrival time of the request (seconds since trace start). */
+    Seconds arrival = 0.0;
+    /**
+     * Input scale factor (1.0 = nominal). Changing inputs perturb the
+     * execution time; used by the Fig. 15 adaptation experiment.
+     */
+    double inputScale = 1.0;
+};
+
+} // namespace codecrunch

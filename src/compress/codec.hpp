@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Abstract compression codec interface.
+ *
+ * CodeCrunch compresses the committed container image of an idle function
+ * to shrink its keep-alive memory footprint (paper Sec. 3.2). The codec
+ * choice trades compression ratio against decompression latency, which
+ * sits on the warm-start critical path. Two real codecs are provided:
+ * Lz4Codec (the paper's choice: fast decompression, moderate ratio) and
+ * RangeLzCodec (an xz-like entropy coder: higher ratio, slower).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace codecrunch::compress {
+
+/** Raw byte buffer. */
+using Bytes = std::vector<std::uint8_t>;
+
+/**
+ * Compression codec interface.
+ *
+ * Implementations are stateless and thread-compatible: concurrent calls
+ * on the same object with distinct buffers are safe.
+ */
+class Codec
+{
+  public:
+    virtual ~Codec() = default;
+
+    /** Short identifier, e.g. "lz4". */
+    virtual std::string name() const = 0;
+
+    /** Compress `input` into a self-contained buffer. */
+    virtual Bytes compress(const Bytes& input) const = 0;
+
+    /**
+     * Decompress a buffer produced by compress().
+     * @return the original bytes, or std::nullopt on malformed input.
+     */
+    virtual std::optional<Bytes>
+    decompress(const Bytes& input, std::size_t originalSize) const = 0;
+};
+
+/**
+ * Identity codec: no compression, zero latency. Used as the control in
+ * compression experiments and as the "no compression" ablation.
+ */
+class NullCodec : public Codec
+{
+  public:
+    std::string name() const override { return "null"; }
+
+    Bytes
+    compress(const Bytes& input) const override
+    {
+        return input;
+    }
+
+    std::optional<Bytes>
+    decompress(const Bytes& input,
+               std::size_t originalSize) const override
+    {
+        if (input.size() != originalSize)
+            return std::nullopt;
+        return input;
+    }
+};
+
+} // namespace codecrunch::compress

@@ -1,0 +1,128 @@
+#include "compress/image_synth.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+namespace codecrunch::compress {
+
+namespace {
+
+/** Token pool emulating interpreted-language source and config text. */
+constexpr std::array<std::string_view, 32> kTokens = {
+    "import ", "def ", "return ", "self.", "lambda_handler(",
+    "event, context):\n", "    ", "response = ", "json.dumps(",
+    "boto3.client(", "'s3'", "bucket_name", "object_key", "for ",
+    " in ", "range(", "if ", " else ", "None\n", "print(",
+    "requests.get(", "http://", "container/", "layer.tar",
+    "#!/bin/sh\n", "export PATH=", "/usr/local/bin", "\n\n",
+    "config:\n", "  memory: ", "128\n", "handler.py",
+};
+
+/** Append source-code-like text (highly compressible). */
+void
+appendText(compress::Bytes& out, std::size_t amount, Rng& rng)
+{
+    const std::size_t end = out.size() + amount;
+    while (out.size() < end) {
+        const auto& token = kTokens[rng.next() % kTokens.size()];
+        for (char c : token) {
+            if (out.size() >= end)
+                break;
+            out.push_back(static_cast<std::uint8_t>(c));
+        }
+    }
+}
+
+/** Append zero-filled pages (maximally compressible). */
+void
+appendZeros(compress::Bytes& out, std::size_t amount)
+{
+    out.insert(out.end(), amount, 0);
+}
+
+/**
+ * Append shared-library-like binary: random 256-byte chunks drawn from a
+ * small pool, giving medium compressibility via long-range repetition.
+ */
+void
+appendBinary(compress::Bytes& out, std::size_t amount, Rng& rng)
+{
+    constexpr std::size_t kChunk = 256;
+    constexpr std::size_t kPoolChunks = 24;
+    std::array<std::array<std::uint8_t, kChunk>, kPoolChunks> pool;
+    for (auto& chunk : pool) {
+        for (auto& byte : chunk)
+            byte = static_cast<std::uint8_t>(rng.next());
+    }
+    const std::size_t end = out.size() + amount;
+    while (out.size() < end) {
+        const auto& chunk = pool[rng.next() % kPoolChunks];
+        const std::size_t take =
+            std::min(kChunk, end - out.size());
+        out.insert(out.end(), chunk.begin(), chunk.begin() + take);
+    }
+}
+
+/** Append high-entropy bytes (incompressible assets). */
+void
+appendNoise(compress::Bytes& out, std::size_t amount, Rng& rng)
+{
+    const std::size_t end = out.size() + amount;
+    while (out.size() < end) {
+        std::uint64_t word = rng.next();
+        for (int i = 0; i < 8 && out.size() < end; ++i) {
+            out.push_back(static_cast<std::uint8_t>(word));
+            word >>= 8;
+        }
+    }
+}
+
+} // namespace
+
+Bytes
+ImageSynthesizer::generate(const ImageSpec& spec)
+{
+    Rng rng(spec.seed);
+    Bytes out;
+    out.reserve(spec.sizeBytes);
+
+    const double c = std::clamp(spec.compressibility, 0.0, 1.0);
+    // Mixture weights: compressible images are mostly text/zeros,
+    // incompressible images are mostly noise; binary is always present
+    // (every container ships shared libraries).
+    const double wText = 0.15 + 0.45 * c;
+    const double wZero = 0.05 + 0.25 * c;
+    const double wBinary = 0.25;
+    const double wNoise =
+        std::max(0.0, 1.0 - wText - wZero - wBinary);
+    const std::vector<double> weights = {wText, wZero, wBinary, wNoise};
+
+    // Emit segments of 4-64 KiB until the requested size is reached,
+    // interleaving segment kinds like a layered image layout does.
+    while (out.size() < spec.sizeBytes) {
+        const std::size_t segment = std::min<std::size_t>(
+            spec.sizeBytes - out.size(),
+            static_cast<std::size_t>(
+                rng.uniformInt(4 * 1024, 64 * 1024)));
+        Rng segmentRng = rng.fork();
+        switch (rng.weightedChoice(weights)) {
+          case 0:
+            appendText(out, segment, segmentRng);
+            break;
+          case 1:
+            appendZeros(out, segment);
+            break;
+          case 2:
+            appendBinary(out, segment, segmentRng);
+            break;
+          default:
+            appendNoise(out, segment, segmentRng);
+            break;
+        }
+    }
+    out.resize(spec.sizeBytes);
+    return out;
+}
+
+} // namespace codecrunch::compress

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Synthetic container-image generator.
+ *
+ * The paper compresses the committed Docker image of an idle function
+ * (base OS + runtime + dependencies + source + scratch files). We cannot
+ * ship real images, so this module synthesizes byte blobs with the same
+ * macroscopic structure: zero-filled pages, source-code-like text,
+ * shared-library-like binary segments with internal repetition, and
+ * high-entropy pre-compressed assets. A per-function `compressibility`
+ * knob in [0, 1] shifts the mixture, which is what makes some functions
+ * compression-favorable and others not (Fig. 1(c)).
+ */
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "compress/codec.hpp"
+
+namespace codecrunch::compress {
+
+/**
+ * Parameters describing one synthetic image.
+ */
+struct ImageSpec {
+    /** Total size of the image in bytes. */
+    std::size_t sizeBytes = 1 << 20;
+    /**
+     * 0 = dominated by high-entropy assets (incompressible),
+     * 1 = dominated by text/zeros (highly compressible).
+     */
+    double compressibility = 0.5;
+    /** Seed so that a function's image is reproducible. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generates container-image-like blobs.
+ */
+class ImageSynthesizer
+{
+  public:
+    /** Build an image per the given spec. */
+    static Bytes generate(const ImageSpec& spec);
+};
+
+} // namespace codecrunch::compress

@@ -1,0 +1,221 @@
+#include "compress/lz4_codec.hpp"
+
+#include <cstring>
+
+namespace codecrunch::compress {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+/** No match may start within the last 12 bytes of the input. */
+constexpr std::size_t kMfLimit = 12;
+/** Matches must stop at least 5 bytes before the end of the input. */
+constexpr std::size_t kMatchSafetyMargin = 5;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr int kHashLog = 16;
+
+inline std::uint32_t
+read32(const std::uint8_t* p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline std::uint32_t
+hash4(std::uint32_t value)
+{
+    return (value * 2654435761u) >> (32 - kHashLog);
+}
+
+/** Emit an LZ4 length using the 15 + 255* encoding. */
+inline void
+writeLength(Bytes& out, std::size_t length)
+{
+    while (length >= 255) {
+        out.push_back(255);
+        length -= 255;
+    }
+    out.push_back(static_cast<std::uint8_t>(length));
+}
+
+/** Emit one sequence: literal run then optional match. */
+void
+emitSequence(Bytes& out, const std::uint8_t* literals,
+             std::size_t literalLen, std::size_t offset,
+             std::size_t matchLen)
+{
+    const std::size_t litToken =
+        literalLen >= 15 ? 15 : literalLen;
+    std::size_t matchToken = 0;
+    if (matchLen > 0) {
+        const std::size_t extra = matchLen - kMinMatch;
+        matchToken = extra >= 15 ? 15 : extra;
+    }
+    out.push_back(static_cast<std::uint8_t>((litToken << 4) | matchToken));
+    if (litToken == 15)
+        writeLength(out, literalLen - 15);
+    out.insert(out.end(), literals, literals + literalLen);
+    if (matchLen > 0) {
+        out.push_back(static_cast<std::uint8_t>(offset & 0xff));
+        out.push_back(static_cast<std::uint8_t>(offset >> 8));
+        if (matchToken == 15)
+            writeLength(out, matchLen - kMinMatch - 15);
+    }
+}
+
+} // namespace
+
+Lz4Codec::Lz4Codec(int acceleration)
+    : acceleration_(acceleration < 1 ? 1 : acceleration)
+{
+}
+
+Bytes
+Lz4Codec::compress(const Bytes& input) const
+{
+    Bytes out;
+    const std::size_t size = input.size();
+    out.reserve(size / 2 + 64);
+
+    if (size < kMfLimit + 1) {
+        // Too small for any match: single literal-only sequence.
+        emitSequence(out, input.data(), size, 0, 0);
+        return out;
+    }
+
+    const std::uint8_t* base = input.data();
+    std::vector<std::int64_t> table(std::size_t{1} << kHashLog, -1);
+
+    const std::size_t mfLimit = size - kMfLimit;
+    const std::size_t matchLimit = size - kMatchSafetyMargin;
+    std::size_t ip = 0;
+    std::size_t anchor = 0;
+    std::size_t searchTrigger = (std::size_t{1} << 6) * acceleration_;
+    std::size_t step = 1;
+
+    while (ip < mfLimit) {
+        const std::uint32_t sequence = read32(base + ip);
+        const std::uint32_t h = hash4(sequence);
+        const std::int64_t ref = table[h];
+        table[h] = static_cast<std::int64_t>(ip);
+
+        const bool match =
+            ref >= 0 &&
+            ip - static_cast<std::size_t>(ref) <= kMaxOffset &&
+            read32(base + ref) == sequence;
+        if (!match) {
+            // Adaptive step: accelerate through incompressible regions.
+            if (--searchTrigger == 0) {
+                ++step;
+                searchTrigger = (std::size_t{1} << 6) * acceleration_;
+            }
+            ip += step;
+            continue;
+        }
+        step = 1;
+        searchTrigger = (std::size_t{1} << 6) * acceleration_;
+
+        // Extend the match backwards over pending literals.
+        std::size_t matchStart = ip;
+        std::size_t refStart = static_cast<std::size_t>(ref);
+        while (matchStart > anchor && refStart > 0 &&
+               base[matchStart - 1] == base[refStart - 1]) {
+            --matchStart;
+            --refStart;
+        }
+
+        // Extend forwards.
+        std::size_t matchEnd = ip + kMinMatch;
+        std::size_t refEnd = static_cast<std::size_t>(ref) + kMinMatch;
+        while (matchEnd < matchLimit && base[matchEnd] == base[refEnd]) {
+            ++matchEnd;
+            ++refEnd;
+        }
+
+        const std::size_t matchLen = matchEnd - matchStart;
+        if (matchLen < kMinMatch) {
+            ++ip;
+            continue;
+        }
+        emitSequence(out, base + anchor, matchStart - anchor,
+                     matchStart - refStart, matchLen);
+        ip = matchEnd;
+        anchor = matchEnd;
+        if (ip < mfLimit) {
+            // Prime the table with an intermediate position to improve
+            // the match density, mirroring the reference encoder.
+            table[hash4(read32(base + ip - 2))] =
+                static_cast<std::int64_t>(ip - 2);
+        }
+    }
+
+    emitSequence(out, base + anchor, size - anchor, 0, 0);
+    return out;
+}
+
+std::optional<Bytes>
+Lz4Codec::decompress(const Bytes& input, std::size_t originalSize) const
+{
+    Bytes out;
+    out.reserve(originalSize);
+    const std::uint8_t* ip = input.data();
+    const std::uint8_t* const end = ip + input.size();
+
+    auto readLength = [&](std::size_t initial,
+                          std::size_t& value) -> bool {
+        value = initial;
+        if (initial != 15)
+            return true;
+        while (true) {
+            if (ip >= end)
+                return false;
+            const std::uint8_t byte = *ip++;
+            value += byte;
+            if (byte != 255)
+                return true;
+        }
+    };
+
+    if (input.empty())
+        return originalSize == 0 ? std::optional<Bytes>(out)
+                                 : std::nullopt;
+
+    while (ip < end) {
+        const std::uint8_t token = *ip++;
+        std::size_t literalLen;
+        if (!readLength(token >> 4, literalLen))
+            return std::nullopt;
+        if (static_cast<std::size_t>(end - ip) < literalLen)
+            return std::nullopt;
+        out.insert(out.end(), ip, ip + literalLen);
+        ip += literalLen;
+        if (ip >= end)
+            break; // final literal-only sequence
+        if (end - ip < 2)
+            return std::nullopt;
+        const std::size_t offset =
+            static_cast<std::size_t>(ip[0]) |
+            (static_cast<std::size_t>(ip[1]) << 8);
+        ip += 2;
+        if (offset == 0 || offset > out.size())
+            return std::nullopt;
+        std::size_t matchLen;
+        if (!readLength(token & 0x0f, matchLen))
+            return std::nullopt;
+        matchLen += kMinMatch;
+        // Overlapping copies are the norm (e.g. RLE via offset 1), so
+        // copy byte-by-byte from the already-produced output.
+        std::size_t from = out.size() - offset;
+        for (std::size_t i = 0; i < matchLen; ++i)
+            out.push_back(out[from + i]);
+        if (out.size() > originalSize)
+            return std::nullopt;
+    }
+
+    if (out.size() != originalSize)
+        return std::nullopt;
+    return out;
+}
+
+} // namespace codecrunch::compress

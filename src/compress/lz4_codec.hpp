@@ -1,0 +1,50 @@
+/**
+ * @file
+ * From-scratch implementation of the LZ4 block format.
+ *
+ * The encoder is a greedy single-pass hash-chain-free matcher in the
+ * style of the LZ4 reference "fast" compressor: a 16-bit hash table maps
+ * 4-byte prefixes to their most recent position; matches of length >= 4
+ * within a 64 KiB window are emitted as (literal run, offset, match
+ * length) sequences. The decoder validates every bound and refuses
+ * malformed input, so it is safe on untrusted buffers.
+ *
+ * Format (https://github.com/lz4/lz4/blob/dev/doc/lz4_Block_format.md):
+ *   token: high nibble = literal count (15 => extra 255-terminated bytes),
+ *          low nibble  = match length - 4 (15 => extra bytes);
+ *   literals; 2-byte little-endian offset (1..65535); extra match bytes.
+ *   The final sequence carries literals only. The last 5 bytes of the
+ *   block are always literals and the last match must begin at least 12
+ *   bytes before the end of the block.
+ */
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace codecrunch::compress {
+
+/**
+ * LZ4 block-format codec.
+ */
+class Lz4Codec : public Codec
+{
+  public:
+    /**
+     * @param acceleration Skip-step aggressiveness on incompressible
+     * data; 1 = maximum compression effort, larger values trade ratio
+     * for compression speed (mirrors the reference implementation).
+     */
+    explicit Lz4Codec(int acceleration = 1);
+
+    std::string name() const override { return "lz4"; }
+
+    Bytes compress(const Bytes& input) const override;
+
+    std::optional<Bytes>
+    decompress(const Bytes& input, std::size_t originalSize) const override;
+
+  private:
+    int acceleration_;
+};
+
+} // namespace codecrunch::compress

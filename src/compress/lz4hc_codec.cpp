@@ -1,0 +1,166 @@
+#include "compress/lz4hc_codec.hpp"
+
+#include <cstring>
+
+#include "compress/lz4_codec.hpp"
+
+namespace codecrunch::compress {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMfLimit = 12;
+constexpr std::size_t kMatchSafetyMargin = 5;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr int kHashLog = 16;
+
+inline std::uint32_t
+read32(const std::uint8_t* p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline std::uint32_t
+hash4(std::uint32_t value)
+{
+    return (value * 2654435761u) >> (32 - kHashLog);
+}
+
+void
+writeLength(Bytes& out, std::size_t length)
+{
+    while (length >= 255) {
+        out.push_back(255);
+        length -= 255;
+    }
+    out.push_back(static_cast<std::uint8_t>(length));
+}
+
+void
+emitSequence(Bytes& out, const std::uint8_t* literals,
+             std::size_t literalLen, std::size_t offset,
+             std::size_t matchLen)
+{
+    const std::size_t litToken = literalLen >= 15 ? 15 : literalLen;
+    std::size_t matchToken = 0;
+    if (matchLen > 0) {
+        const std::size_t extra = matchLen - kMinMatch;
+        matchToken = extra >= 15 ? 15 : extra;
+    }
+    out.push_back(
+        static_cast<std::uint8_t>((litToken << 4) | matchToken));
+    if (litToken == 15)
+        writeLength(out, literalLen - 15);
+    out.insert(out.end(), literals, literals + literalLen);
+    if (matchLen > 0) {
+        out.push_back(static_cast<std::uint8_t>(offset & 0xff));
+        out.push_back(static_cast<std::uint8_t>(offset >> 8));
+        if (matchToken == 15)
+            writeLength(out, matchLen - kMinMatch - 15);
+    }
+}
+
+} // namespace
+
+Lz4HcCodec::Lz4HcCodec(int maxAttempts)
+    : maxAttempts_(maxAttempts < 1 ? 1 : maxAttempts)
+{
+}
+
+Bytes
+Lz4HcCodec::compress(const Bytes& input) const
+{
+    Bytes out;
+    const std::size_t size = input.size();
+    out.reserve(size / 2 + 64);
+
+    if (size < kMfLimit + 1) {
+        emitSequence(out, input.data(), size, 0, 0);
+        return out;
+    }
+
+    const std::uint8_t* base = input.data();
+    // Hash chains: head[h] = most recent position with hash h;
+    // prev[p % window] = previous position with the same hash.
+    std::vector<std::int64_t> head(std::size_t{1} << kHashLog, -1);
+    std::vector<std::int64_t> prev(kMaxOffset + 1, -1);
+
+    auto insert = [&](std::size_t pos) {
+        const std::uint32_t h = hash4(read32(base + pos));
+        prev[pos & kMaxOffset] = head[h];
+        head[h] = static_cast<std::int64_t>(pos);
+    };
+
+    const std::size_t mfLimit = size - kMfLimit;
+    const std::size_t matchLimit = size - kMatchSafetyMargin;
+    std::size_t ip = 0;
+    std::size_t anchor = 0;
+
+    while (ip < mfLimit) {
+        // Longest match across the hash chain.
+        std::size_t bestLen = 0;
+        std::size_t bestRef = 0;
+        std::int64_t candidate = head[hash4(read32(base + ip))];
+        int attempts = maxAttempts_;
+        while (candidate >= 0 &&
+               ip - static_cast<std::size_t>(candidate) <= kMaxOffset &&
+               attempts-- > 0) {
+            const std::size_t ref =
+                static_cast<std::size_t>(candidate);
+            if (read32(base + ref) == read32(base + ip)) {
+                std::size_t len = kMinMatch;
+                while (ip + len < matchLimit &&
+                       base[ref + len] == base[ip + len]) {
+                    ++len;
+                }
+                if (len > bestLen) {
+                    bestLen = len;
+                    bestRef = ref;
+                }
+            }
+            candidate = prev[ref & kMaxOffset];
+        }
+
+        if (bestLen < kMinMatch) {
+            insert(ip);
+            ++ip;
+            continue;
+        }
+
+        // Extend backwards over pending literals.
+        std::size_t matchStart = ip;
+        std::size_t refStart = bestRef;
+        while (matchStart > anchor && refStart > 0 &&
+               base[matchStart - 1] == base[refStart - 1]) {
+            --matchStart;
+            --refStart;
+            ++bestLen;
+        }
+
+        emitSequence(out, base + anchor, matchStart - anchor,
+                     matchStart - refStart, bestLen);
+
+        // Index every position inside the match for future chains.
+        const std::size_t stop = std::min(matchStart + bestLen,
+                                          mfLimit);
+        for (std::size_t p = ip; p < stop; ++p)
+            insert(p);
+        ip = matchStart + bestLen;
+        anchor = ip;
+    }
+
+    emitSequence(out, base + anchor, size - anchor, 0, 0);
+    return out;
+}
+
+std::optional<Bytes>
+Lz4HcCodec::decompress(const Bytes& input,
+                       std::size_t originalSize) const
+{
+    // Same block format: reuse the validated Lz4Codec decoder.
+    return Lz4Codec().decompress(input, originalSize);
+}
+
+} // namespace codecrunch::compress

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * LZ4-HC: a high-compression encoder for the LZ4 block format.
+ *
+ * Produces streams decodable by Lz4Codec::decompress (and any LZ4
+ * block decoder): only the *encoder* differs. Instead of a single
+ * most-recent-position hash table, it maintains hash chains and
+ * searches up to `maxAttempts` previous occurrences for the longest
+ * match, trading compression time for ratio — the classic lz4 vs
+ * lz4-hc trade-off, with decompression speed unchanged. Useful when
+ * keep-alive memory is more precious than background CPU.
+ */
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace codecrunch::compress {
+
+/**
+ * High-compression LZ4 block-format encoder.
+ */
+class Lz4HcCodec : public Codec
+{
+  public:
+    /** @param maxAttempts chain positions examined per match search. */
+    explicit Lz4HcCodec(int maxAttempts = 64);
+
+    std::string name() const override { return "lz4-hc"; }
+
+    Bytes compress(const Bytes& input) const override;
+
+    std::optional<Bytes>
+    decompress(const Bytes& input, std::size_t originalSize) const override;
+
+  private:
+    int maxAttempts_;
+};
+
+} // namespace codecrunch::compress

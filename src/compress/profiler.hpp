@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Compression profiler: measures the ratio and latency a codec achieves
+ * on a function's image.
+ *
+ * The simulator needs per-function compression parameters (compressed
+ * size, compression seconds, decompression seconds). Rather than assume
+ * them, this profiler runs the real codec on a synthesized image and
+ * reports measured values, optionally rescaled to a target image size so
+ * that multi-GB images do not need to be materialized.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "compress/codec.hpp"
+#include "compress/image_synth.hpp"
+
+namespace codecrunch::compress {
+
+/**
+ * Measured compression characteristics of one image/codec pair.
+ */
+struct CompressionProfile {
+    /** Original image bytes. */
+    std::size_t originalBytes = 0;
+    /** Compressed image bytes. */
+    std::size_t compressedBytes = 0;
+    /** original / compressed. */
+    double ratio = 1.0;
+    /** Wall-clock seconds to compress. */
+    Seconds compressSeconds = 0.0;
+    /** Wall-clock seconds to decompress. */
+    Seconds decompressSeconds = 0.0;
+    /** Compression throughput, bytes/second. */
+    double compressBps = 0.0;
+    /** Decompression throughput, bytes/second. */
+    double decompressBps = 0.0;
+};
+
+/**
+ * Runs codecs over images and reports measured profiles.
+ */
+class CompressionProfiler
+{
+  public:
+    /**
+     * Measure one codec on one buffer.
+     * @param codec codec under test.
+     * @param image input bytes.
+     * @param repeats timing repetitions; the minimum is reported to
+     *        suppress scheduler noise.
+     */
+    static CompressionProfile
+    profile(const Codec& codec, const Bytes& image, int repeats = 3)
+    {
+        CompressionProfile result;
+        result.originalBytes = image.size();
+
+        Bytes compressed;
+        Seconds bestCompress = 1e30;
+        for (int i = 0; i < repeats; ++i) {
+            const auto start = Clock::now();
+            compressed = codec.compress(image);
+            bestCompress = std::min(bestCompress, since(start));
+        }
+        result.compressedBytes = compressed.size();
+        result.ratio = compressed.empty()
+            ? 1.0
+            : static_cast<double>(image.size()) /
+              static_cast<double>(compressed.size());
+        result.compressSeconds = bestCompress;
+
+        Seconds bestDecompress = 1e30;
+        for (int i = 0; i < repeats; ++i) {
+            const auto start = Clock::now();
+            auto out = codec.decompress(compressed, image.size());
+            bestDecompress = std::min(bestDecompress, since(start));
+            if (!out)
+                return result; // malformed round-trip: report as-is
+        }
+        result.decompressSeconds = bestDecompress;
+        if (bestCompress > 0)
+            result.compressBps =
+                static_cast<double>(image.size()) / bestCompress;
+        if (bestDecompress > 0)
+            result.decompressBps =
+                static_cast<double>(image.size()) / bestDecompress;
+        return result;
+    }
+
+    /**
+     * Profile a synthetic image generated from the given spec.
+     */
+    static CompressionProfile
+    profileSpec(const Codec& codec, const ImageSpec& spec,
+                int repeats = 3)
+    {
+        return profile(codec, ImageSynthesizer::generate(spec), repeats);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    static Seconds
+    since(Clock::time_point start)
+    {
+        return std::chrono::duration<double>(Clock::now() - start)
+            .count();
+    }
+};
+
+} // namespace codecrunch::compress

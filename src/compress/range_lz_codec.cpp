@@ -1,0 +1,328 @@
+#include "compress/range_lz_codec.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace codecrunch::compress {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = kMinMatch + 255;
+constexpr int kOffsetBits = 20;
+constexpr std::size_t kWindow = std::size_t{1} << kOffsetBits;
+constexpr int kHashLog = 17;
+constexpr std::uint16_t kProbInit = 1024; // == 2048 / 2
+constexpr int kProbBits = 11;
+constexpr int kMoveBits = 5;
+constexpr std::uint32_t kTopValue = 1u << 24;
+
+inline std::uint32_t
+read32(const std::uint8_t* p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline std::uint32_t
+hash4(std::uint32_t value)
+{
+    return (value * 2654435761u) >> (32 - kHashLog);
+}
+
+/**
+ * LZMA-style binary range encoder.
+ */
+class RangeEncoder
+{
+  public:
+    explicit RangeEncoder(Bytes& out) : out_(out) {}
+
+    void
+    encodeBit(std::uint16_t& prob, int bit)
+    {
+        const std::uint32_t bound =
+            (range_ >> kProbBits) * prob;
+        if (bit == 0) {
+            range_ = bound;
+            prob = static_cast<std::uint16_t>(
+                prob + (((1u << kProbBits) - prob) >> kMoveBits));
+        } else {
+            low_ += bound;
+            range_ -= bound;
+            prob = static_cast<std::uint16_t>(prob - (prob >> kMoveBits));
+        }
+        while (range_ < kTopValue) {
+            shiftLow();
+            range_ <<= 8;
+        }
+    }
+
+    void
+    encodeDirect(std::uint32_t value, int numBits)
+    {
+        for (int i = numBits - 1; i >= 0; --i) {
+            range_ >>= 1;
+            if ((value >> i) & 1u)
+                low_ += range_;
+            while (range_ < kTopValue) {
+                shiftLow();
+                range_ <<= 8;
+            }
+        }
+    }
+
+    void
+    flush()
+    {
+        for (int i = 0; i < 5; ++i)
+            shiftLow();
+    }
+
+  private:
+    /**
+     * Reference LZMA carry-handling: a placeholder zero byte leads the
+     * stream and absorbs a potential carry; the decoder skips it.
+     */
+    void
+    shiftLow()
+    {
+        if (static_cast<std::uint32_t>(low_ >> 32) != 0 ||
+            static_cast<std::uint32_t>(low_) < 0xff000000u) {
+            std::uint8_t temp = cache_;
+            const std::uint8_t carry =
+                static_cast<std::uint8_t>(low_ >> 32);
+            do {
+                out_.push_back(static_cast<std::uint8_t>(temp + carry));
+                temp = 0xff;
+            } while (--cacheSize_ != 0);
+            cache_ = static_cast<std::uint8_t>(low_ >> 24);
+        }
+        ++cacheSize_;
+        low_ = (low_ << 8) & 0xffffffffull;
+    }
+
+    Bytes& out_;
+    std::uint64_t low_ = 0;
+    std::uint32_t range_ = 0xffffffffu;
+    std::uint8_t cache_ = 0;
+    std::size_t cacheSize_ = 1;
+};
+
+/**
+ * LZMA-style binary range decoder.
+ */
+class RangeDecoder
+{
+  public:
+    RangeDecoder(const std::uint8_t* data, std::size_t size)
+        : data_(data), size_(size)
+    {
+        // Five init bytes: the first is the encoder's carry placeholder
+        // and shifts straight out of the 32-bit code register.
+        for (int i = 0; i < 5; ++i)
+            code_ = (code_ << 8) | nextByte();
+    }
+
+    int
+    decodeBit(std::uint16_t& prob)
+    {
+        const std::uint32_t bound = (range_ >> kProbBits) * prob;
+        int bit;
+        if (code_ < bound) {
+            range_ = bound;
+            prob = static_cast<std::uint16_t>(
+                prob + (((1u << kProbBits) - prob) >> kMoveBits));
+            bit = 0;
+        } else {
+            code_ -= bound;
+            range_ -= bound;
+            prob = static_cast<std::uint16_t>(prob - (prob >> kMoveBits));
+            bit = 1;
+        }
+        while (range_ < kTopValue) {
+            code_ = (code_ << 8) | nextByte();
+            range_ <<= 8;
+        }
+        return bit;
+    }
+
+    std::uint32_t
+    decodeDirect(int numBits)
+    {
+        std::uint32_t value = 0;
+        for (int i = 0; i < numBits; ++i) {
+            range_ >>= 1;
+            value <<= 1;
+            if (code_ >= range_) {
+                code_ -= range_;
+                value |= 1u;
+            }
+            while (range_ < kTopValue) {
+                code_ = (code_ << 8) | nextByte();
+                range_ <<= 8;
+            }
+        }
+        return value;
+    }
+
+    /** True if the decoder ran past the end of the input. */
+    bool overran() const { return overran_; }
+
+  private:
+    std::uint8_t
+    nextByte()
+    {
+        if (pos_ < size_)
+            return data_[pos_++];
+        overran_ = true;
+        return 0;
+    }
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    std::uint32_t code_ = 0;
+    std::uint32_t range_ = 0xffffffffu;
+    bool overran_ = false;
+};
+
+/** Adaptive bit-tree model of `Bits` bits (MSB first). */
+template <int Bits>
+struct BitTree {
+    std::array<std::uint16_t, std::size_t{1} << Bits> probs;
+
+    BitTree() { probs.fill(kProbInit); }
+
+    void
+    encode(RangeEncoder& rc, std::uint32_t symbol)
+    {
+        std::uint32_t m = 1;
+        for (int i = Bits - 1; i >= 0; --i) {
+            const int bit = (symbol >> i) & 1;
+            rc.encodeBit(probs[m], bit);
+            m = (m << 1) | static_cast<std::uint32_t>(bit);
+        }
+    }
+
+    std::uint32_t
+    decode(RangeDecoder& rc)
+    {
+        std::uint32_t m = 1;
+        for (int i = 0; i < Bits; ++i)
+            m = (m << 1) | static_cast<std::uint32_t>(
+                rc.decodeBit(probs[m]));
+        return m - (1u << Bits);
+    }
+};
+
+/** All adaptive models for one (de)compression pass. */
+struct Models {
+    std::uint16_t isMatch = kProbInit;
+    BitTree<8> literal;
+    BitTree<8> length;
+    BitTree<4> offsetHigh; // top 4 bits of the offset-1 value
+};
+
+} // namespace
+
+Bytes
+RangeLzCodec::compress(const Bytes& input) const
+{
+    Bytes out;
+    out.reserve(input.size() / 2 + 64);
+    RangeEncoder rc(out);
+    Models m;
+
+    const std::uint8_t* base = input.data();
+    const std::size_t size = input.size();
+    std::vector<std::int64_t> table(std::size_t{1} << kHashLog, -1);
+
+    std::size_t ip = 0;
+    while (ip < size) {
+        std::size_t matchLen = 0;
+        std::size_t matchOffset = 0;
+        if (ip + 4 <= size) {
+            const std::uint32_t sequence = read32(base + ip);
+            const std::uint32_t h = hash4(sequence);
+            const std::int64_t ref = table[h];
+            table[h] = static_cast<std::int64_t>(ip);
+            if (ref >= 0 &&
+                ip - static_cast<std::size_t>(ref) <= kWindow &&
+                read32(base + ref) == sequence) {
+                std::size_t len = kMinMatch;
+                const std::size_t refPos = static_cast<std::size_t>(ref);
+                const std::size_t maxLen =
+                    std::min(kMaxMatch, size - ip);
+                while (len < maxLen &&
+                       base[refPos + len] == base[ip + len]) {
+                    ++len;
+                }
+                matchLen = len;
+                matchOffset = ip - refPos;
+            }
+        }
+
+        if (matchLen >= kMinMatch) {
+            rc.encodeBit(m.isMatch, 1);
+            m.length.encode(
+                rc, static_cast<std::uint32_t>(matchLen - kMinMatch));
+            const std::uint32_t off =
+                static_cast<std::uint32_t>(matchOffset - 1);
+            m.offsetHigh.encode(rc, off >> (kOffsetBits - 4));
+            rc.encodeDirect(off & ((1u << (kOffsetBits - 4)) - 1),
+                            kOffsetBits - 4);
+            // Insert skipped positions sparsely to keep compression fast.
+            const std::size_t stop = ip + matchLen;
+            for (std::size_t p = ip + 1; p + 4 <= size && p < stop;
+                 p += 7) {
+                table[hash4(read32(base + p))] =
+                    static_cast<std::int64_t>(p);
+            }
+            ip += matchLen;
+        } else {
+            rc.encodeBit(m.isMatch, 0);
+            m.literal.encode(rc, base[ip]);
+            ++ip;
+        }
+    }
+    rc.flush();
+    return out;
+}
+
+std::optional<Bytes>
+RangeLzCodec::decompress(const Bytes& input,
+                         std::size_t originalSize) const
+{
+    Bytes out;
+    out.reserve(originalSize);
+    RangeDecoder rc(input.data(), input.size());
+    Models m;
+
+    while (out.size() < originalSize) {
+        if (rc.decodeBit(m.isMatch)) {
+            const std::size_t matchLen = m.length.decode(rc) + kMinMatch;
+            const std::uint32_t high = m.offsetHigh.decode(rc);
+            const std::uint32_t low = rc.decodeDirect(kOffsetBits - 4);
+            const std::size_t offset =
+                (static_cast<std::size_t>(high)
+                 << (kOffsetBits - 4) | low) + 1;
+            if (offset > out.size())
+                return std::nullopt;
+            if (out.size() + matchLen > originalSize)
+                return std::nullopt;
+            const std::size_t from = out.size() - offset;
+            for (std::size_t i = 0; i < matchLen; ++i)
+                out.push_back(out[from + i]);
+        } else {
+            out.push_back(static_cast<std::uint8_t>(
+                m.literal.decode(rc)));
+        }
+        if (rc.overran())
+            return std::nullopt;
+    }
+    return out;
+}
+
+} // namespace codecrunch::compress

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The optimization-space generator of paper Sec. 3.1.
+ *
+ * After every interval, CodeCrunch conceptually generates S_t — all
+ * (compression, processor, keep-alive) combinations for the invoked
+ * functions whose total keep-alive cost satisfies the budget
+ * inequality. Materializing S_t is infeasible beyond a handful of
+ * functions (its size is 32^N); this class provides the practical
+ * surface of that abstraction: the feasibility predicate, the space
+ * size, feasible sampling (with greedy repair), and exhaustive
+ * enumeration for tiny instances — used by tests, Fig. 3, and anyone
+ * who wants to study the raw problem.
+ */
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/interval_objective.hpp"
+
+namespace codecrunch::core {
+
+/**
+ * Feasible-choice-set (S_t) utilities over an interval problem.
+ */
+class ChoiceSpaceGenerator
+{
+  public:
+    explicit ChoiceSpaceGenerator(const IntervalObjective& objective)
+        : objective_(objective)
+    {
+    }
+
+    /** log10 of |full space| = (choices per function)^N. */
+    static double
+    log10SpaceSize(std::size_t functions)
+    {
+        return static_cast<double>(functions) *
+               std::log10(
+                   static_cast<double>(opt::choicesPerFunction()));
+    }
+
+    /**
+     * The paper's budget inequality: total committed keep-alive cost
+     * of the assignment within the interval budget.
+     */
+    bool
+    feasible(const opt::Assignment& assignment) const
+    {
+        return objective_.cost(assignment) <=
+               objective_.budget() + 1e-12;
+    }
+
+    /**
+     * Draw `count` feasible assignments: uniform random draws,
+     * greedily repaired (keep-alive levels lowered on the most
+     * expensive functions) until the budget inequality holds.
+     */
+    std::vector<opt::Assignment>
+    sample(std::size_t count, Rng& rng) const
+    {
+        std::vector<opt::Assignment> samples;
+        samples.reserve(count);
+        const std::size_t n = objective_.size();
+        for (std::size_t s = 0; s < count; ++s) {
+            opt::Assignment assignment =
+                opt::randomAssignment(n, rng);
+            repair(assignment);
+            samples.push_back(std::move(assignment));
+        }
+        return samples;
+    }
+
+    /**
+     * Every feasible assignment, for problems of at most
+     * `maxFunctions` functions (the space is 32^N). Panics above the
+     * cap.
+     */
+    std::vector<opt::Assignment>
+    enumerate(std::size_t maxFunctions = 4) const
+    {
+        const std::size_t n = objective_.size();
+        if (n > maxFunctions)
+            panic("ChoiceSpaceGenerator: ", n,
+                  " functions exceeds the enumeration cap of ",
+                  maxFunctions);
+        std::vector<opt::Assignment> feasibleSet;
+        const std::size_t perFunction = opt::choicesPerFunction();
+        std::vector<std::size_t> odometer(n, 0);
+        opt::Assignment assignment(n);
+        while (true) {
+            for (std::size_t i = 0; i < n; ++i)
+                assignment[i] = decode(odometer[i]);
+            if (feasible(assignment))
+                feasibleSet.push_back(assignment);
+            std::size_t pos = 0;
+            while (pos < n && ++odometer[pos] == perFunction) {
+                odometer[pos] = 0;
+                ++pos;
+            }
+            if (pos == n || n == 0)
+                break;
+        }
+        return feasibleSet;
+    }
+
+    /** Index -> Choice over the 2 x 2 x levels grid. */
+    static opt::Choice
+    decode(std::size_t index)
+    {
+        const std::size_t levels = opt::keepAliveLevels().size();
+        opt::Choice choice;
+        choice.keepAliveLevel = static_cast<int>(index % levels);
+        index /= levels;
+        choice.arch = index % 2 ? NodeType::ARM : NodeType::X86;
+        index /= 2;
+        choice.compress = index % 2;
+        return choice;
+    }
+
+  private:
+    /** Lower keep-alive on the costliest functions until feasible. */
+    void
+    repair(opt::Assignment& assignment) const
+    {
+        while (!feasible(assignment)) {
+            std::size_t worst = SIZE_MAX;
+            double worstCost = 0.0;
+            for (std::size_t i = 0; i < assignment.size(); ++i) {
+                if (assignment[i].keepAliveLevel == 0)
+                    continue;
+                const double cost =
+                    objective_.term(i, assignment[i]).second;
+                if (cost > worstCost) {
+                    worstCost = cost;
+                    worst = i;
+                }
+            }
+            if (worst == SIZE_MAX)
+                return; // everything at level 0: nothing to lower
+            --assignment[worst].keepAliveLevel;
+        }
+    }
+
+    const IntervalObjective& objective_;
+};
+
+} // namespace codecrunch::core

@@ -1,0 +1,359 @@
+#include "core/codecrunch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/interval_objective.hpp"
+
+namespace codecrunch::core {
+
+using opt::Choice;
+using opt::keepAliveLevels;
+
+namespace {
+
+/** Index of the keep-alive level closest to `seconds`. */
+int
+nearestLevel(Seconds seconds)
+{
+    const auto& levels = keepAliveLevels();
+    int best = 0;
+    double bestDist = 1e300;
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        const double d = std::abs(levels[i] - seconds);
+        if (d < bestDist) {
+            bestDist = d;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+CodeCrunch::CodeCrunch(CodeCrunchConfig config)
+    : config_(config), rng_(config.seed)
+{
+}
+
+std::string
+CodeCrunch::name() const
+{
+    std::string suffix;
+    if (!config_.useSre)
+        suffix += "-noSRE";
+    if (!config_.useCompression)
+        suffix += "-noComp";
+    if (config_.archMode == ArchMode::X86Only)
+        suffix += "-x86";
+    else if (config_.archMode == ArchMode::ArmOnly)
+        suffix += "-ARM";
+    if (config_.fixedKeepAlive)
+        suffix += "-fixedKA";
+    if (config_.slaSlack >= 0.0)
+        suffix += "-SLA";
+    return "CodeCrunch" + suffix;
+}
+
+void
+CodeCrunch::bind(policy::PolicyContext& context)
+{
+    Policy::bind(context);
+    const std::size_t n = context.workload().functions.size();
+    histories_.assign(n, policy::FunctionHistory());
+    invocationCount_.assign(n, 0);
+    observed_ = std::make_unique<ObservedStats>(n);
+    // Solutions start at keep-alive zero: the optimizer *adds* keeps
+    // in value-per-dollar order from a feasible start, rather than
+    // starting over budget and slashing whichever functions the SRE
+    // sub-problem happens to sample. (Unoptimized functions still get
+    // the production bootstrap window at onFinish.)
+    solutions_.assign(n, Choice{false, NodeType::X86, 0});
+    optimizedOnce_.assign(n, false);
+    sreCounts_.assign(n, 0);
+    invokedCount_.assign(n, 0);
+    invokedThisInterval_.clear();
+
+    double rate = config_.budgetRatePerSecond;
+    if (rate <= 0.0) {
+        // Default: a fraction of the cost of keeping every byte of the
+        // cluster warm (provider-settable knob, paper Sec. 3.1).
+        const auto& cluster = context.clusterState();
+        const double fullRate =
+            cluster.costRate(NodeType::X86) *
+                cluster.config().numX86 *
+                cluster.config().memoryPerNodeMb +
+            cluster.costRate(NodeType::ARM) *
+                cluster.config().numArm *
+                cluster.config().memoryPerNodeMb;
+        rate = config_.defaultBudgetFraction * fullRate;
+    }
+    creditor_ = std::make_unique<BudgetCreditor>(rate,
+                                                 kSecondsPerMinute);
+}
+
+double
+CodeCrunch::budgetRatePerSecond() const
+{
+    return creditor_ ? creditor_->ratePerSecond() : -1.0;
+}
+
+NodeType
+CodeCrunch::defaultArch(FunctionId function) const
+{
+    switch (config_.archMode) {
+      case ArchMode::X86Only:
+        return NodeType::X86;
+      case ArchMode::ArmOnly:
+        return NodeType::ARM;
+      case ArchMode::Both:
+        break;
+    }
+    return optimizedOnce_[function] ? solutions_[function].arch
+                                    : NodeType::X86;
+}
+
+Choice
+CodeCrunch::sanitize(Choice choice) const
+{
+    if (!config_.useCompression)
+        choice.compress = false;
+    if (config_.archMode == ArchMode::X86Only)
+        choice.arch = NodeType::X86;
+    else if (config_.archMode == ArchMode::ArmOnly)
+        choice.arch = NodeType::ARM;
+    if (config_.fixedKeepAlive) {
+        choice.keepAliveLevel =
+            nearestLevel(config_.fixedKeepAliveSeconds);
+    }
+    return choice;
+}
+
+void
+CodeCrunch::onArrival(FunctionId function, Seconds now)
+{
+    auto& history = histories_[function];
+    history.record(now);
+    if (++invocationCount_[function] % kGlobalResetEvery == 0)
+        history.resetGlobal();
+    if (invokedCount_[function]++ == 0)
+        invokedThisInterval_.push_back(function);
+}
+
+NodeType
+CodeCrunch::coldPlacement(FunctionId function)
+{
+    return defaultArch(function);
+}
+
+policy::KeepAliveDecision
+CodeCrunch::onFinish(const metrics::InvocationRecord& record)
+{
+    observed_->update(record);
+    lastFinished_ = record.function;
+
+    policy::KeepAliveDecision decision;
+    const Choice choice = sanitize(solutions_[record.function]);
+    decision.keepAliveSeconds = keepAliveLevels()[
+        static_cast<std::size_t>(choice.keepAliveLevel)];
+    decision.compress = choice.compress;
+    // Keep the container where the function just executed: cold
+    // placements already steer execution to the optimizer's chosen
+    // architecture, so the warm pool migrates with the decisions
+    // without paying (and possibly losing) cross-architecture
+    // prewarm cold starts.
+    decision.warmupLocation = record.nodeType;
+    if (!optimizedOnce_[record.function] && !config_.fixedKeepAlive) {
+        // Bootstrap: production-style default until first optimized.
+        decision.keepAliveSeconds = config_.bootstrapKeepAlive;
+        decision.compress = false;
+    }
+    return decision;
+}
+
+std::optional<cluster::ContainerId>
+CodeCrunch::pickVictim(NodeId node, MegaBytes)
+{
+    const Seconds now = context_->now();
+    // Time until the newcomer (the function whose container we are
+    // trying to keep) is expected to be re-invoked.
+    double newcomerNext = 1e18;
+    if (lastFinished_ != kInvalidFunction) {
+        const auto& h = histories_[lastFinished_];
+        const Seconds period = pest(h);
+        if (period >= 0.0)
+            newcomerNext =
+                std::max(0.0, h.lastArrival() + period - now);
+    }
+
+    std::optional<cluster::ContainerId> victim;
+    double farthest = -1e300;
+    for (const auto& [id, container] :
+         context_->clusterState().warmPool()) {
+        if (container.node != node)
+            continue;
+        const auto& history = histories_[container.function];
+        const Seconds period = pest(history);
+        // Unknown period: assume the container is the least valuable.
+        const double expectedNext = period < 0.0
+            ? 1e18
+            : history.lastArrival() + period - now;
+        if (expectedNext > farthest) {
+            farthest = expectedNext;
+            victim = id;
+        }
+    }
+    // Incumbent-wins rule: evicting a paid-for container only pays off
+    // when the newcomer is clearly more imminent; otherwise churn
+    // wastes the victim's sunk keep-alive spend.
+    if (victim && farthest <= newcomerNext * 1.25)
+        return std::nullopt;
+    return victim;
+}
+
+void
+CodeCrunch::onTick(Seconds)
+{
+    // Collect this interval's invoked set and reset the accumulator.
+    std::vector<FunctionId> invoked;
+    invoked.swap(invokedThisInterval_);
+    std::vector<double> weights;
+    weights.reserve(invoked.size());
+    for (FunctionId f : invoked) {
+        weights.push_back(static_cast<double>(invokedCount_[f]));
+        invokedCount_[f] = 0;
+    }
+
+    const auto& workload = context_->workload();
+    const auto& cluster = context_->clusterState();
+    const Dollars spentNow = cluster.keepAliveSpend();
+    const Dollars available = creditor_->allocate(spentNow);
+
+    // --- Lagrangian price control ------------------------------------
+    // Implements the Sec. 3.1 / Fig. 10 creditor through the price:
+    // off-peak the spend target sits slightly below the provider's
+    // budget rate, so quiet intervals under-spend and bank credit;
+    // when demand runs above its trend AND credit is banked, the
+    // target rises (up to ~3x) and the bank finances the peak. A
+    // cumulative term brakes genuine overdraft. Gentle exponential
+    // gains keep the loop free of limit cycles.
+    const double spendRate =
+        (spentNow - lastSpendSeen_) / creditor_->interval();
+    lastSpendSeen_ = spentNow;
+    spendRateEwma_ = 0.8 * spendRateEwma_ + 0.2 * spendRate;
+
+    double demandNow = 0.0;
+    for (double w : weights)
+        demandNow += w;
+    demandEwma_ = demandEwma_ <= 0.0
+        ? demandNow
+        : 0.98 * demandEwma_ + 0.02 * demandNow;
+    const double demandRatio =
+        demandNow / std::max(demandEwma_, 1e-9);
+    const double peakiness =
+        std::clamp(demandRatio - 1.0, 0.0, 2.0);
+
+    const double budgetRate = creditor_->ratePerSecond();
+    const Dollars credit =
+        std::max(0.0, creditor_->allocatedTotal() - spentNow);
+    const double scale = std::max(budgetRate * 1800.0, 1e-12);
+    const double boost =
+        std::min(3.0, credit / scale) * peakiness;
+    const double target = budgetRate * (0.85 + boost);
+
+    const double rateError = std::clamp(
+        spendRateEwma_ / std::max(target, 1e-12) - 1.0, -1.0, 1.0);
+    const double overdraft = std::clamp(
+        (spentNow - creditor_->allocatedTotal()) / scale, 0.0, 1.0);
+    lambda_ = std::clamp(
+        lambda_ * std::exp(0.2 * rateError + 0.1 * overdraft), 1e2,
+        1e8);
+
+    if (invoked.empty())
+        return;
+
+    // Build the interval problem.
+    std::vector<FunctionEstimate> estimates;
+    estimates.reserve(invoked.size());
+    for (FunctionId f : invoked) {
+        const auto& history = histories_[f];
+        const Seconds period = pest(history);
+        // IAT dispersion: blend local/global like P_est itself, with a
+        // floor so near-perfectly periodic functions still get a band.
+        const Seconds sigma = std::max(
+            {history.globalStddev(), history.localStddev(),
+             0.15 * std::max(period, 0.0)});
+        auto estimate = observed_->estimate(
+            workload.profile(f), period, sigma);
+        estimate.weight = weights[estimates.size()];
+        estimates.push_back(estimate);
+    }
+    const double costRate[kNumNodeTypes] = {
+        cluster.costRate(NodeType::X86),
+        cluster.costRate(NodeType::ARM)};
+    ChoiceRestrictions restrictions;
+    restrictions.allowCompression = config_.useCompression;
+    restrictions.allowX86 = config_.archMode != ArchMode::ArmOnly;
+    restrictions.allowArm = config_.archMode != ArchMode::X86Only;
+    restrictions.slaSlack = config_.slaSlack;
+    restrictions.costWeight = lambda_;
+    // The Lagrangian price replaces the hard per-interval budget: SRE
+    // sub-problems then trade service against priced cost locally,
+    // and the price itself is steered below so that committed cost
+    // tracks the creditor's allowance.
+    IntervalObjective objective(std::move(estimates), costRate,
+                                1e18, restrictions);
+
+    // Start from the previous solutions (unsampled functions keep
+    // their choices — the SRE recombination rule).
+    opt::Assignment start(invoked.size());
+    for (std::size_t i = 0; i < invoked.size(); ++i)
+        start[i] = sanitize(solutions_[invoked[i]]);
+
+    opt::OptimizerResult result;
+    if (config_.useSre) {
+        opt::SreOptimizer sre(config_.sre);
+        std::vector<std::uint32_t> counts(invoked.size());
+        for (std::size_t i = 0; i < invoked.size(); ++i)
+            counts[i] = sreCounts_[invoked[i]];
+        result = sre.optimizeWithCounts(objective, start, rng_,
+                                        counts);
+        for (std::size_t i = 0; i < invoked.size(); ++i)
+            sreCounts_[invoked[i]] = counts[i];
+    } else {
+        // Whole-space steepest descent within SRE's optimization time
+        // (paper Sec. 5, Fig. 12 "without SRE"): one descent round
+        // scans every (function, choice) pair — roughly the number of
+        // term evaluations SRE's sub-problems spend in total — so the
+        // fair time-capped variant gets only a couple of rounds.
+        opt::CoordinateDescent descent(2);
+        result = descent.optimize(objective, start, rng_);
+    }
+
+    const Dollars committed = objective.cost(result.assignment);
+    lastTick_ = TickDebug{available, committed, lambda_,
+                          invoked.size(), result.score};
+
+    // Adopt and apply the solution.
+    for (std::size_t i = 0; i < invoked.size(); ++i) {
+        const FunctionId f = invoked[i];
+        const Choice choice = sanitize(result.assignment[i]);
+        solutions_[f] = choice;
+        optimizedOnce_[f] = true;
+        if (cluster.warmCount(f) == 0)
+            continue;
+        // Update live warm containers to the new decision. A zero
+        // keep-alive only stops future keeps; already-warm containers
+        // run out their previously granted window (evicting them would
+        // waste their sunk cost and destabilize the warm pool).
+        const Seconds keepAlive = keepAliveLevels()[
+            static_cast<std::size_t>(choice.keepAliveLevel)];
+        if (keepAlive > 0.0) {
+            context_->requestSetKeepAlive(f, keepAlive);
+            if (choice.compress)
+                context_->requestCompress(f);
+        }
+    }
+}
+
+} // namespace codecrunch::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Observed per-function timing statistics.
+ *
+ * The paper's controller "keeps track of the service time of functions
+ * in ARM and x86 processors from past executions with cold starts, warm
+ * starts without compression, and warm starts with compression". This
+ * class accumulates those observations and produces the
+ * FunctionEstimate the interval objective consumes, falling back to the
+ * provider's offline profile for not-yet-observed combinations.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/interval_objective.hpp"
+#include "metrics/collector.hpp"
+#include "trace/workload.hpp"
+
+namespace codecrunch::core {
+
+/**
+ * Running observations for all functions.
+ */
+class ObservedStats
+{
+  public:
+    explicit ObservedStats(std::size_t numFunctions)
+        : perFunction_(numFunctions)
+    {
+    }
+
+    /** Fold in one completed invocation. */
+    void
+    update(const metrics::InvocationRecord& record)
+    {
+        auto& s = perFunction_[record.function];
+        const int arch = static_cast<int>(record.nodeType);
+        s.exec[arch].add(record.exec);
+        switch (record.start) {
+          case StartType::Cold:
+            s.coldStart[arch].add(record.startup);
+            break;
+          case StartType::WarmCompressed:
+            s.decompress[arch].add(record.startup);
+            break;
+          case StartType::Warm:
+            break;
+        }
+    }
+
+    /**
+     * Estimate for one function: observed means where available,
+     * profile values otherwise.
+     */
+    FunctionEstimate
+    estimate(const trace::FunctionProfile& profile, Seconds pest,
+             Seconds sigma) const
+    {
+        const auto& s = perFunction_[profile.id];
+        FunctionEstimate e;
+        e.pest = pest;
+        e.sigma = sigma;
+        for (int arch = 0; arch < kNumNodeTypes; ++arch) {
+            e.exec[arch] = s.exec[arch].count()
+                ? s.exec[arch].mean()
+                : profile.exec[arch];
+            e.coldStart[arch] = s.coldStart[arch].count()
+                ? s.coldStart[arch].mean()
+                : profile.coldStart[arch];
+            e.decompress[arch] = s.decompress[arch].count()
+                ? s.decompress[arch].mean()
+                : profile.decompress[arch];
+        }
+        e.memoryMb = profile.memoryMb;
+        e.compressedMb = profile.compressedMb;
+        e.warmBaseline = e.exec[static_cast<int>(NodeType::X86)];
+        return e;
+    }
+
+  private:
+    struct Stats {
+        RunningStat exec[kNumNodeTypes];
+        RunningStat coldStart[kNumNodeTypes];
+        RunningStat decompress[kNumNodeTypes];
+    };
+
+    std::vector<Stats> perFunction_;
+};
+
+} // namespace codecrunch::core

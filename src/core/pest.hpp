@@ -1,0 +1,52 @@
+/**
+ * @file
+ * P_est — CodeCrunch's invocation-period estimator (paper Sec. 3.1).
+ *
+ * Combines the mean and standard deviation of the *local* (last n_l
+ * invocations) and *global* (all invocations since the last reset)
+ * inter-arrival periods:
+ *
+ *   w     = |L_m - G_m| / max(L_m, G_m)
+ *   P_est = w (L_m + L_s) + (1 - w)(G_m + G_s)
+ *
+ * The more the local mean deviates from the global mean, the more the
+ * estimate trusts the recent behaviour — that is what lets CodeCrunch
+ * adapt quickly to period changes (Fig. 15). The global statistics are
+ * reset every 1000 invocations.
+ */
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+#include "policy/history.hpp"
+
+namespace codecrunch::core {
+
+/** Invocations after which the global period statistics reset. */
+inline constexpr std::size_t kGlobalResetEvery = 1000;
+
+/**
+ * P_est of a function given its history.
+ * @return estimated re-invocation period in seconds, or a negative
+ * value when fewer than two invocations have been observed.
+ */
+inline Seconds
+pest(const policy::FunctionHistory& history)
+{
+    if (history.globalCount() < 1)
+        return -1.0;
+    const double localMean = history.localMean();
+    const double localStd = history.localStddev();
+    const double globalMean = history.globalMean();
+    const double globalStd = history.globalStddev();
+    const double maxMean = std::max(localMean, globalMean);
+    if (maxMean <= 0.0)
+        return -1.0;
+    const double w =
+        std::abs(localMean - globalMean) / maxMean;
+    return w * (localMean + localStd) +
+           (1.0 - w) * (globalMean + globalStd);
+}
+
+} // namespace codecrunch::core

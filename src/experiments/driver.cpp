@@ -1,0 +1,484 @@
+#include "experiments/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace codecrunch::experiments {
+
+using cluster::ContainerId;
+using metrics::InvocationRecord;
+using policy::KeepAliveDecision;
+
+Driver::Driver(const trace::Workload& workload,
+               const cluster::ClusterConfig& clusterConfig,
+               policy::Policy& policy, DriverConfig config)
+    : workload_(workload), cluster_(clusterConfig), policy_(policy),
+      config_(config), collector_(workload.duration),
+      rng_(config.seed)
+{
+    lastArrivalTime_ = workload.invocations.empty()
+        ? 0.0
+        : workload.invocations.back().arrival;
+}
+
+RunResult
+Driver::run()
+{
+    policy_.bind(*this);
+    if (!workload_.invocations.empty())
+        scheduleArrival(0);
+    if (config_.tickInterval > 0.0)
+        queue_.schedule(config_.tickInterval, [this] { handleTick(); });
+    queue_.run();
+    cluster_.accrueAll(queue_.now());
+
+    RunResult result{std::move(collector_), decisionWallSeconds_,
+                     cluster_.keepAliveSpend(), waitQueue_.size(),
+                     coldNoContainer_, coldContainerCoreBusy_,
+                     coldContainerNoMemory_, endExpired_,
+                     endConsumed_, endEvictedForExec_,
+                     endEvictedForKeep_, endEvictedByPolicy_,
+                     keepDropped_};
+    if (!waitQueue_.empty())
+        warn("Driver: ", waitQueue_.size(),
+             " invocations were never served");
+    return result;
+}
+
+void
+Driver::scheduleArrival(std::size_t index)
+{
+    nextArrival_ = index;
+    const Invocation& invocation = workload_.invocations[index];
+    queue_.schedule(invocation.arrival, [this, index] {
+        const Invocation inv = workload_.invocations[index];
+        if (index + 1 < workload_.invocations.size())
+            scheduleArrival(index + 1);
+        handleArrival(inv);
+    });
+}
+
+void
+Driver::handleArrival(const Invocation& invocation)
+{
+    ++arrivalsProcessed_;
+    timedDecision([&] {
+        policy_.onArrival(invocation.function, queue_.now());
+    });
+    if (!tryStart(invocation))
+        waitQueue_.push_back({invocation});
+}
+
+bool
+Driver::tryStart(const Invocation& invocation)
+{
+    const auto& profile = workload_.profile(invocation.function);
+
+    // 1. Warm path: any warm container (uncompressed preferred)?
+    bool hadContainer = false;
+    bool coreWasBusy = false;
+    if (const auto warmId = cluster_.findWarm(invocation.function)) {
+        hadContainer = true;
+        const cluster::WarmContainer& container =
+            cluster_.warm(*warmId);
+        const cluster::Node& node = cluster_.node(container.node);
+        const bool coreFree = node.freeCores() >= 1;
+        // Consuming the container releases its held memory; the
+        // execution then needs the full footprint.
+        const bool memoryFits =
+            node.freeMemoryMb() + container.memoryMb + 1e-6 >=
+            profile.memoryMb;
+        if (coreFree && memoryFits) {
+            const bool compressed = container.compressed;
+            const NodeId nodeId = container.node;
+            consumeWarm(*warmId);
+            cluster_.reserveExec(nodeId, profile.memoryMb);
+            const Seconds startup = compressed
+                ? profile.decompress[static_cast<int>(node.type)]
+                : 0.0;
+            startExecution(invocation, nodeId,
+                           compressed ? StartType::WarmCompressed
+                                      : StartType::Warm,
+                           startup);
+            return true;
+        }
+        // Otherwise fall through to a cold placement elsewhere; the
+        // warm container stays for a later invocation.
+        coreWasBusy = !coreFree;
+    }
+
+    // 2. Cold path: policy picks the architecture; fall back to the
+    //    other one when the preferred side is full.
+    const NodeType preferred = timedDecision(
+        [&] { return policy_.coldPlacement(invocation.function); });
+    const NodeType other = preferred == NodeType::X86 ? NodeType::ARM
+                                                      : NodeType::X86;
+    if (!hadContainer)
+        ++coldNoContainer_;
+    else if (coreWasBusy)
+        ++coldContainerCoreBusy_;
+    else
+        ++coldContainerNoMemory_;
+    for (NodeType type : {preferred, other}) {
+        if (const auto nodeId =
+                cluster_.pickNodeForExec(type, profile.memoryMb)) {
+            cluster_.reserveExec(*nodeId, profile.memoryMb);
+            startExecution(
+                invocation, *nodeId, StartType::Cold,
+                profile.coldStart[static_cast<int>(type)]);
+            return true;
+        }
+    }
+
+    // 3. Reclaim path: no node fits, but idle warm containers are
+    //    expendable — executions always outrank keep-alive. Find a
+    //    node with a free core whose free + warm memory covers the
+    //    footprint, ask the policy for victims first, and fall back to
+    //    evicting the longest-idle containers.
+    for (NodeType type : {preferred, other}) {
+        if (const auto nodeId = pickNodeWithReclaim(type, profile)) {
+            if (reclaimFor(*nodeId, profile.memoryMb)) {
+                cluster_.reserveExec(*nodeId, profile.memoryMb);
+                const NodeType actual = cluster_.node(*nodeId).type;
+                startExecution(
+                    invocation, *nodeId, StartType::Cold,
+                    profile.coldStart[static_cast<int>(actual)]);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::optional<NodeId>
+Driver::pickNodeWithReclaim(
+    NodeType type, const trace::FunctionProfile& profile) const
+{
+    std::optional<NodeId> best;
+    MegaBytes bestReclaimable = -1;
+    for (const auto& node : cluster_.nodes()) {
+        if (node.type != type || node.freeCores() < 1)
+            continue;
+        const MegaBytes reclaimable =
+            node.freeMemoryMb() + node.warmMemoryMb;
+        if (reclaimable + 1e-6 >= profile.memoryMb &&
+            reclaimable > bestReclaimable) {
+            bestReclaimable = reclaimable;
+            best = node.id;
+        }
+    }
+    return best;
+}
+
+bool
+Driver::reclaimFor(NodeId nodeId, MegaBytes neededMb)
+{
+    while (cluster_.node(nodeId).freeMemoryMb() + 1e-6 < neededMb) {
+        const MegaBytes missing =
+            neededMb - cluster_.node(nodeId).freeMemoryMb();
+        // Policy gets first refusal on victim choice.
+        cluster::ContainerId victim = cluster::kInvalidContainer;
+        const auto choice = timedDecision(
+            [&] { return policy_.pickVictim(nodeId, missing); });
+        if (choice && cluster_.warm(*choice).node == nodeId)
+            victim = *choice;
+        if (victim == cluster::kInvalidContainer) {
+            // Fall back: the longest-idle warm container on the node.
+            Seconds oldest = 1e300;
+            for (const auto& [id, container] : cluster_.warmPool()) {
+                if (container.node == nodeId &&
+                    container.since < oldest) {
+                    oldest = container.since;
+                    victim = id;
+                }
+            }
+        }
+        if (victim == cluster::kInvalidContainer)
+            return false; // nothing left to reclaim
+        ++endEvictedForExec_;
+        evictContainer(victim);
+    }
+    return true;
+}
+
+void
+Driver::startExecution(const Invocation& invocation, NodeId nodeId,
+                       StartType start, Seconds startupLatency)
+{
+    const auto& profile = workload_.profile(invocation.function);
+    const NodeType type = cluster_.node(nodeId).type;
+    const double noise = config_.execNoiseSigma > 0.0
+        ? std::exp(rng_.normal(0.0, config_.execNoiseSigma))
+        : 1.0;
+    const Seconds exec =
+        profile.execTime(type, invocation.inputScale) * noise;
+
+    InvocationRecord record;
+    record.function = invocation.function;
+    record.arrival = invocation.arrival;
+    record.wait = queue_.now() - invocation.arrival;
+    record.startup = startupLatency;
+    record.exec = exec;
+    record.start = start;
+    record.nodeType = type;
+
+    ++running_;
+    queue_.scheduleAfter(
+        startupLatency + exec,
+        [this, invocation, nodeId, record] {
+            handleFinish(invocation, nodeId, record);
+        });
+}
+
+void
+Driver::handleFinish(const Invocation& invocation, NodeId nodeId,
+                     InvocationRecord record)
+{
+    const auto& profile = workload_.profile(invocation.function);
+    --running_;
+    cluster_.releaseExec(nodeId, profile.memoryMb);
+    collector_.record(record);
+
+    const KeepAliveDecision decision =
+        timedDecision([&] { return policy_.onFinish(record); });
+    // Waiting executions get the freed capacity before the keep-alive
+    // does: executions always outrank keep-alive (the same priority
+    // the reclaim path enforces).
+    drainWaitQueue();
+    applyDecision(invocation.function, nodeId, record.nodeType,
+                  decision);
+}
+
+void
+Driver::applyDecision(FunctionId function, NodeId nodeId,
+                      NodeType execType,
+                      const KeepAliveDecision& decision)
+{
+    if (decision.keepAliveSeconds <= 0.0)
+        return;
+    const NodeType target = decision.warmupLocation.value_or(execType);
+    if (target != execType) {
+        // Cross-architecture warmup: cold-start a container on the
+        // target side off the critical path.
+        requestPrewarm(function, target, decision.keepAliveSeconds);
+        return;
+    }
+
+    const auto& profile = workload_.profile(function);
+    if (cluster_.warmHeadroomMb(nodeId) + 1e-6 < profile.memoryMb) {
+        // Ask the policy for victims until the container fits in the
+        // node's keep-alive reservation.
+        while (cluster_.warmHeadroomMb(nodeId) + 1e-6 <
+               profile.memoryMb) {
+            const MegaBytes missing =
+                profile.memoryMb - cluster_.warmHeadroomMb(nodeId);
+            const auto victim = timedDecision([&] {
+                return policy_.pickVictim(nodeId, missing);
+            });
+            if (!victim) {
+                ++keepDropped_;
+                return; // policy declined; drop the container
+            }
+            const auto& v = cluster_.warm(*victim);
+            if (v.node != nodeId) {
+                ++keepDropped_;
+                return; // invalid victim; drop
+            }
+            ++endEvictedForKeep_;
+            evictContainer(*victim);
+        }
+    }
+    addWarmContainer(function, nodeId, decision.keepAliveSeconds,
+                     decision.compress);
+}
+
+void
+Driver::addWarmContainer(FunctionId function, NodeId nodeId,
+                         Seconds keepAliveSeconds, bool compress)
+{
+    const auto& profile = workload_.profile(function);
+    const ContainerId id = cluster_.addWarm(
+        nodeId, function, profile.memoryMb, false, queue_.now());
+    WarmEvents events;
+    events.expiry = queue_.scheduleAfter(
+        keepAliveSeconds, [this, id] {
+            ++endExpired_;
+            evictContainer(id);
+            drainWaitQueue();
+        });
+    warmEvents_.emplace(id, std::move(events));
+    if (compress)
+        scheduleCompression(id);
+}
+
+void
+Driver::scheduleCompression(ContainerId id)
+{
+    const cluster::WarmContainer& container = cluster_.warm(id);
+    const auto& profile = workload_.profile(container.function);
+    if (container.compressed)
+        return;
+    auto& events = warmEvents_.at(id);
+    if (events.compressFinish.pending())
+        return;
+    const NodeType type = cluster_.node(container.node).type;
+    const Seconds compressTime =
+        profile.compressTime[static_cast<int>(type)];
+    events.compressFinish = queue_.scheduleAfter(
+        compressTime, [this, id] {
+            const auto& c = cluster_.warm(id);
+            const auto& p = workload_.profile(c.function);
+            // Only shrink if compression actually helps the footprint.
+            const MegaBytes newMb = std::min(p.compressedMb, c.memoryMb);
+            cluster_.resizeWarm(id, newMb, true, queue_.now());
+            collector_.recordCompression(queue_.now());
+            drainWaitQueue();
+        });
+}
+
+void
+Driver::evictContainer(ContainerId id)
+{
+    auto it = warmEvents_.find(id);
+    if (it == warmEvents_.end())
+        return; // already gone
+    it->second.expiry.cancel();
+    it->second.compressFinish.cancel();
+    warmEvents_.erase(it);
+    cluster_.removeWarm(id, queue_.now());
+}
+
+cluster::WarmContainer
+Driver::consumeWarm(ContainerId id)
+{
+    auto it = warmEvents_.find(id);
+    if (it == warmEvents_.end())
+        panic("Driver: consuming container without events");
+    it->second.expiry.cancel();
+    it->second.compressFinish.cancel();
+    warmEvents_.erase(it);
+    ++endConsumed_;
+    return cluster_.removeWarm(id, queue_.now());
+}
+
+bool
+Driver::requestPrewarm(FunctionId function, NodeType type,
+                       Seconds keepAliveSeconds)
+{
+    const auto& profile = workload_.profile(function);
+    const auto nodeId =
+        cluster_.pickNodeForExec(type, profile.memoryMb);
+    if (!nodeId)
+        return false;
+    // The cold start runs on the target node (core + memory busy),
+    // then the container becomes warm.
+    cluster_.reserveExec(*nodeId, profile.memoryMb);
+    ++running_;
+    const Seconds coldStart =
+        profile.coldStart[static_cast<int>(type)];
+    queue_.scheduleAfter(
+        coldStart, [this, function, nodeId = *nodeId,
+                    keepAliveSeconds] {
+            --running_;
+            const auto& p = workload_.profile(function);
+            cluster_.releaseExec(nodeId, p.memoryMb);
+            if (cluster_.warmHeadroomMb(nodeId) + 1e-6 >=
+                p.memoryMb) {
+                addWarmContainer(function, nodeId, keepAliveSeconds,
+                                 false);
+            }
+            drainWaitQueue();
+        });
+    return true;
+}
+
+void
+Driver::requestEvict(FunctionId function)
+{
+    while (const auto id = cluster_.findWarm(function)) {
+        ++endEvictedByPolicy_;
+        evictContainer(*id);
+    }
+}
+
+void
+Driver::requestEvictContainer(ContainerId id)
+{
+    evictContainer(id);
+}
+
+void
+Driver::requestCompress(FunctionId function)
+{
+    // Collect ids first: scheduleCompression does not mutate the pool,
+    // but be defensive about iteration order.
+    std::vector<ContainerId> ids;
+    for (const auto& [id, container] : cluster_.warmPool()) {
+        if (container.function == function && !container.compressed)
+            ids.push_back(id);
+    }
+    for (ContainerId id : ids)
+        scheduleCompression(id);
+}
+
+void
+Driver::requestSetKeepAlive(FunctionId function,
+                            Seconds keepAliveSeconds)
+{
+    std::vector<ContainerId> ids;
+    for (const auto& [id, container] : cluster_.warmPool()) {
+        if (container.function == function)
+            ids.push_back(id);
+    }
+    for (ContainerId id : ids) {
+        auto& events = warmEvents_.at(id);
+        events.expiry.cancel();
+        if (keepAliveSeconds <= 0.0) {
+            ++endEvictedByPolicy_;
+            evictContainer(id);
+        } else {
+            events.expiry = queue_.scheduleAfter(
+                keepAliveSeconds, [this, id] {
+                    evictContainer(id);
+                    drainWaitQueue();
+                });
+        }
+    }
+}
+
+void
+Driver::handleTick()
+{
+    const Seconds now = queue_.now();
+    cluster_.accrueAll(now);
+    collector_.snapshotMinute(now, cluster_.totalWarmMemoryMb(),
+                              cluster_.keepAliveSpend());
+    timedDecision([&] { policy_.onTick(now); });
+    if (!drained() &&
+        now <= lastArrivalTime_ + config_.drainGrace) {
+        queue_.scheduleAfter(config_.tickInterval,
+                             [this] { handleTick(); });
+    }
+}
+
+void
+Driver::drainWaitQueue()
+{
+    while (!waitQueue_.empty()) {
+        if (!tryStart(waitQueue_.front().invocation))
+            break;
+        waitQueue_.pop_front();
+    }
+}
+
+bool
+Driver::drained() const
+{
+    return arrivalsProcessed_ >= workload_.invocations.size() &&
+           waitQueue_.empty() && running_ == 0 &&
+           cluster_.warmPool().empty();
+}
+
+} // namespace codecrunch::experiments

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The simulation driver: replays a workload against a cluster under a
+ * scheduling policy and produces metrics.
+ *
+ * The driver owns all mechanics — arrival queueing, warm-container
+ * lifecycle (creation, background compression, expiry, consumption),
+ * capacity checks, cost accrual, and the one-minute optimization tick —
+ * and consults the Policy only at the decision points defined in
+ * policy/policy.hpp. Wall-clock time spent inside policy callbacks is
+ * accumulated separately, which is how the decision-overhead experiment
+ * (paper Sec. 5, "Overhead of CodeCrunch") is measured.
+ */
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "metrics/collector.hpp"
+#include "policy/policy.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/workload.hpp"
+
+namespace codecrunch::experiments {
+
+/**
+ * Driver tunables.
+ */
+struct DriverConfig {
+    /** Seed for execution-time noise. */
+    std::uint64_t seed = 7;
+    /** Lognormal sigma of per-invocation execution-time noise. */
+    double execNoiseSigma = 0.08;
+    /** Optimization tick interval (the paper uses one minute). */
+    Seconds tickInterval = kSecondsPerMinute;
+    /**
+     * Hard stop this long after the last trace arrival (drains warm
+     * containers; keep-alive times are capped at 60 min anyway).
+     */
+    Seconds drainGrace = 2.0 * kSecondsPerHour;
+};
+
+/**
+ * Result of one simulation run.
+ */
+struct RunResult {
+    metrics::Collector metrics;
+    /** Wall-clock seconds spent inside policy decision callbacks. */
+    double decisionWallSeconds = 0.0;
+    /** Total simulated keep-alive spend in dollars. */
+    Dollars keepAliveSpend = 0.0;
+    /** Invocations never served (cluster permanently saturated). */
+    std::size_t unserved = 0;
+
+    /** Diagnostics: why cold starts happened. */
+    std::size_t coldNoContainer = 0;
+    std::size_t coldContainerCoreBusy = 0;
+    std::size_t coldContainerNoMemory = 0;
+
+    /** Diagnostics: how warm containers ended. */
+    std::size_t endExpired = 0;
+    std::size_t endConsumed = 0;
+    std::size_t endEvictedForExec = 0;
+    std::size_t endEvictedForKeep = 0;
+    std::size_t endEvictedByPolicy = 0;
+    std::size_t keepDropped = 0;
+};
+
+/**
+ * Replays one workload under one policy.
+ */
+class Driver : public policy::PolicyContext
+{
+  public:
+    Driver(const trace::Workload& workload,
+           const cluster::ClusterConfig& clusterConfig,
+           policy::Policy& policy, DriverConfig config = {});
+
+    /** Run the simulation to completion. */
+    RunResult run();
+
+    // --- PolicyContext -------------------------------------------------
+
+    const trace::Workload& workload() const override
+    {
+        return workload_;
+    }
+
+    const cluster::Cluster& clusterState() const override
+    {
+        return cluster_;
+    }
+
+    Seconds now() const override { return queue_.now(); }
+
+    bool requestPrewarm(FunctionId function, NodeType type,
+                        Seconds keepAliveSeconds) override;
+    void requestEvict(FunctionId function) override;
+    void requestEvictContainer(cluster::ContainerId id) override;
+    void requestCompress(FunctionId function) override;
+    void requestSetKeepAlive(FunctionId function,
+                             Seconds keepAliveSeconds) override;
+
+  private:
+    /** Per-warm-container scheduled events. */
+    struct WarmEvents {
+        sim::EventHandle expiry;
+        sim::EventHandle compressFinish;
+    };
+
+    /** An invocation waiting for cluster capacity. */
+    struct Waiter {
+        Invocation invocation;
+    };
+
+    void scheduleArrival(std::size_t index);
+    void handleArrival(const Invocation& invocation);
+
+    /**
+     * Try to start `invocation` now.
+     * @return true if an execution (or warm consumption) began.
+     */
+    bool tryStart(const Invocation& invocation);
+
+    /** Start executing on `node` with the given start category. */
+    void startExecution(const Invocation& invocation, NodeId node,
+                        StartType start, Seconds startupLatency);
+
+    /**
+     * Node of `type` with a free core whose free + reclaimable warm
+     * memory fits the profile.
+     */
+    std::optional<NodeId>
+    pickNodeWithReclaim(NodeType type,
+                        const trace::FunctionProfile& profile) const;
+
+    /**
+     * Evict warm containers on `node` until `neededMb` is free
+     * (policy victims first, then longest-idle).
+     */
+    bool reclaimFor(NodeId node, MegaBytes neededMb);
+
+    void handleFinish(const Invocation& invocation, NodeId node,
+                      metrics::InvocationRecord record);
+
+    /** Apply a keep-alive decision for a container just vacated. */
+    void applyDecision(FunctionId function, NodeId node,
+                       NodeType execType,
+                       const policy::KeepAliveDecision& decision);
+
+    /** Make a container warm on `node` and arm its events. */
+    void
+    addWarmContainer(FunctionId function, NodeId node,
+                     Seconds keepAliveSeconds, bool compress);
+
+    /** Evict one container (cancels its events). */
+    void evictContainer(cluster::ContainerId id);
+
+    /** Consume a warm container for a warm start (cancels events). */
+    cluster::WarmContainer consumeWarm(cluster::ContainerId id);
+
+    void scheduleCompression(cluster::ContainerId id);
+
+    void handleTick();
+
+    /** Serve as many queued invocations as capacity now allows. */
+    void drainWaitQueue();
+
+    /** True when nothing can ever happen again. */
+    bool drained() const;
+
+    template <typename Fn>
+    auto
+    timedDecision(Fn&& fn)
+    {
+        const auto start = std::chrono::steady_clock::now();
+        if constexpr (std::is_void_v<decltype(fn())>) {
+            fn();
+            decisionWallSeconds_ += std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start).count();
+        } else {
+            auto result = fn();
+            decisionWallSeconds_ += std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start).count();
+            return result;
+        }
+    }
+
+    const trace::Workload& workload_;
+    cluster::Cluster cluster_;
+    policy::Policy& policy_;
+    DriverConfig config_;
+
+    sim::EventQueue queue_;
+    metrics::Collector collector_;
+    Rng rng_;
+
+    std::deque<Waiter> waitQueue_;
+    std::unordered_map<cluster::ContainerId, WarmEvents> warmEvents_;
+    std::size_t nextArrival_ = 0;
+    std::size_t arrivalsProcessed_ = 0;
+    std::size_t running_ = 0;
+    std::size_t coldNoContainer_ = 0;
+    std::size_t coldContainerCoreBusy_ = 0;
+    std::size_t coldContainerNoMemory_ = 0;
+    std::size_t endExpired_ = 0;
+    std::size_t endConsumed_ = 0;
+    std::size_t endEvictedForExec_ = 0;
+    std::size_t endEvictedForKeep_ = 0;
+    std::size_t endEvictedByPolicy_ = 0;
+    std::size_t keepDropped_ = 0;
+    double decisionWallSeconds_ = 0.0;
+    Seconds lastArrivalTime_ = 0.0;
+};
+
+} // namespace codecrunch::experiments

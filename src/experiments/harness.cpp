@@ -1,0 +1,128 @@
+#include "experiments/harness.hpp"
+
+namespace codecrunch::experiments {
+
+Scenario
+Scenario::evaluationDefault()
+{
+    Scenario scenario;
+    scenario.traceConfig.numFunctions = 3000;
+    scenario.traceConfig.days = 0.5;
+    scenario.traceConfig.targetMeanRatePerSecond = 4.0;
+    scenario.traceConfig.seed = 42;
+    // 25% of node memory is reservable for warm containers. Together
+    // with the trace above this lands the baseline (SitW) at ~40%
+    // warm starts — the memory-pressure regime of the paper's
+    // evaluation, where keep-alive decisions actually bind.
+    scenario.clusterConfig.keepAliveMemoryFraction = 0.25;
+    return scenario;
+}
+
+Scenario
+Scenario::small()
+{
+    Scenario scenario;
+    scenario.traceConfig.numFunctions = 80;
+    scenario.traceConfig.days = 0.25;
+    scenario.traceConfig.targetMeanRatePerSecond = 1.5;
+    scenario.traceConfig.seed = 7;
+    scenario.clusterConfig.numX86 = 4;
+    scenario.clusterConfig.numArm = 5;
+    scenario.clusterConfig.keepAliveMemoryFraction = 0.15;
+    return scenario;
+}
+
+Harness::Harness(Scenario scenario)
+    : scenario_(scenario),
+      workload_(trace::TraceGenerator::generate(scenario.traceConfig))
+{
+}
+
+Harness::Harness(trace::Workload workload, Scenario scenario)
+    : scenario_(scenario), workload_(std::move(workload))
+{
+}
+
+RunResult
+Harness::run(policy::Policy& policy) const
+{
+    Driver driver(workload_, scenario_.clusterConfig, policy,
+                  scenario_.driverConfig);
+    return driver.run();
+}
+
+PolicyRun
+Harness::runNamed(policy::Policy& policy) const
+{
+    return {policy.name(), run(policy)};
+}
+
+double
+Harness::sitwBudgetRate() const
+{
+    if (sitwRate_ < 0.0) {
+        policy::SitW sitw;
+        const RunResult result = run(sitw);
+        const Seconds horizon =
+            std::max(workload_.duration, 1.0);
+        sitwRate_ = result.keepAliveSpend / horizon;
+    }
+    return sitwRate_;
+}
+
+core::CodeCrunchConfig
+Harness::codecrunchConfig(double budgetMultiplier) const
+{
+    core::CodeCrunchConfig config;
+    config.budgetRatePerSecond =
+        sitwBudgetRate() * budgetMultiplier;
+    return config;
+}
+
+policy::Oracle::Config
+Harness::oracleConfig(double budgetMultiplier) const
+{
+    policy::Oracle::Config config;
+    config.budgetRatePerSecond =
+        sitwBudgetRate() * budgetMultiplier;
+    return config;
+}
+
+std::vector<PolicyRun>
+Harness::runMainComparison() const
+{
+    std::vector<PolicyRun> runs;
+    {
+        policy::SitW sitw;
+        runs.push_back(runNamed(sitw));
+    }
+    {
+        policy::FaasCache faascache;
+        runs.push_back(runNamed(faascache));
+    }
+    {
+        policy::IceBreaker icebreaker;
+        runs.push_back(runNamed(icebreaker));
+    }
+    {
+        core::CodeCrunch codecrunch(codecrunchConfig());
+        runs.push_back(runNamed(codecrunch));
+    }
+    {
+        policy::Oracle oracle(oracleConfig());
+        runs.push_back(runNamed(oracle));
+    }
+    return runs;
+}
+
+std::vector<Seconds>
+Harness::warmBaselines() const
+{
+    std::vector<Seconds> baselines;
+    baselines.reserve(workload_.functions.size());
+    for (const auto& f : workload_.functions)
+        baselines.push_back(f.exec[static_cast<int>(NodeType::X86)]);
+    return baselines;
+}
+
+} // namespace codecrunch::experiments

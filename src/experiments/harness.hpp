@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared experiment harness: canonical workload/cluster configurations
+ * and the budget-normalized policy comparison the evaluation section is
+ * built on (CodeCrunch and Oracle receive exactly the keep-alive budget
+ * SitW spent — paper Sec. 4, "Figures of Merit").
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/codecrunch.hpp"
+#include "experiments/driver.hpp"
+#include "policy/enhanced.hpp"
+#include "policy/faascache.hpp"
+#include "policy/fixed_keepalive.hpp"
+#include "policy/icebreaker.hpp"
+#include "policy/oracle.hpp"
+#include "policy/sitw.hpp"
+#include "trace/generator.hpp"
+
+namespace codecrunch::experiments {
+
+/**
+ * One named policy run.
+ */
+struct PolicyRun {
+    std::string name;
+    RunResult result;
+};
+
+/**
+ * The evaluation-scale scenario every figure bench shares: an
+ * Azure-like trace plus the paper's 13 x86 + 18 ARM cluster with a 15%
+ * keep-alive memory reservation (memory pressure regime).
+ */
+struct Scenario {
+    trace::TraceConfig traceConfig;
+    cluster::ClusterConfig clusterConfig;
+    DriverConfig driverConfig;
+
+    /** The default evaluation scenario. */
+    static Scenario evaluationDefault();
+
+    /** Smaller scenario for quick tests. */
+    static Scenario small();
+};
+
+/**
+ * Runs policies over a fixed workload.
+ */
+class Harness
+{
+  public:
+    explicit Harness(Scenario scenario);
+
+    /** Construct around an externally built workload. */
+    Harness(trace::Workload workload, Scenario scenario);
+
+    const trace::Workload& workload() const { return workload_; }
+    const Scenario& scenario() const { return scenario_; }
+
+    /** Run one policy over the workload. */
+    RunResult run(policy::Policy& policy) const;
+
+    /** Run and wrap with the policy's name. */
+    PolicyRun runNamed(policy::Policy& policy) const;
+
+    /**
+     * Observed SitW keep-alive spend rate ($/s) — the budget every
+     * budget-normalized policy receives. Computed lazily (one SitW run)
+     * and cached.
+     */
+    double sitwBudgetRate() const;
+
+    /** CodeCrunch configured with the SitW-normalized budget. */
+    core::CodeCrunchConfig
+    codecrunchConfig(double budgetMultiplier = 1.0) const;
+
+    /** Oracle configured with the SitW-normalized budget. */
+    policy::Oracle::Config
+    oracleConfig(double budgetMultiplier = 1.0) const;
+
+    /**
+     * The paper's headline comparison (Fig. 7): SitW, FaasCache,
+     * IceBreaker, CodeCrunch, Oracle under the same budget.
+     */
+    std::vector<PolicyRun> runMainComparison() const;
+
+    /**
+     * Per-function uncompressed-warm x86 service baselines (for SLA
+     * accounting).
+     */
+    std::vector<Seconds> warmBaselines() const;
+
+  private:
+    Scenario scenario_;
+    trace::Workload workload_;
+    mutable double sitwRate_ = -1.0;
+};
+
+} // namespace codecrunch::experiments

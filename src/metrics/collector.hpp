@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Simulation metrics: per-invocation records, per-minute timelines, and
+ * the aggregates the paper reports (mean service time, warm-start
+ * fraction, keep-alive spend, SLA violations).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace codecrunch::metrics {
+
+/**
+ * Outcome of one invocation.
+ */
+struct InvocationRecord {
+    FunctionId function = kInvalidFunction;
+    Seconds arrival = 0.0;
+    /** Queueing delay before a node was available. */
+    Seconds wait = 0.0;
+    /** Cold-start or decompression latency (zero for plain warm). */
+    Seconds startup = 0.0;
+    /** Pure execution time. */
+    Seconds exec = 0.0;
+    StartType start = StartType::Cold;
+    NodeType nodeType = NodeType::X86;
+
+    /** Service time = wait + startup + exec (paper Sec. 4). */
+    Seconds
+    service() const
+    {
+        return wait + startup + exec;
+    }
+};
+
+/**
+ * Per-minute aggregate bin.
+ */
+struct MinuteBin {
+    std::size_t invocations = 0;
+    std::size_t warmStarts = 0;           // includes compressed
+    std::size_t compressedStarts = 0;
+    std::size_t coldStarts = 0;
+    /** Total warm memory at the minute boundary (MB). */
+    MegaBytes warmMemoryMb = 0;
+    /** Keep-alive dollars spent within this minute. */
+    Dollars keepAliveSpend = 0;
+    /** Number of functions compressed during this minute. */
+    std::size_t compressions = 0;
+    /** Mean service time of invocations arriving this minute. */
+    double meanService = 0;
+};
+
+/**
+ * Collects and aggregates everything a simulation run produces.
+ */
+class Collector
+{
+  public:
+    explicit Collector(Seconds duration = 0.0)
+    {
+        if (duration > 0.0)
+            bins_.resize(
+                static_cast<std::size_t>(duration / kSecondsPerMinute) +
+                1);
+    }
+
+    /** Record one completed invocation. */
+    void
+    record(const InvocationRecord& record)
+    {
+        records_.push_back(record);
+        service_.add(record.service());
+        serviceDigest_.add(record.service());
+        wait_.add(record.wait);
+        auto& bin = binFor(record.arrival);
+        ++bin.invocations;
+        bin.meanService +=
+            (record.service() - bin.meanService) /
+            static_cast<double>(bin.invocations);
+        switch (record.start) {
+          case StartType::Cold:
+            ++bin.coldStarts;
+            ++coldStarts_;
+            break;
+          case StartType::Warm:
+            ++bin.warmStarts;
+            ++warmStarts_;
+            break;
+          case StartType::WarmCompressed:
+            ++bin.warmStarts;
+            ++bin.compressedStarts;
+            ++warmStarts_;
+            ++compressedStarts_;
+            break;
+        }
+    }
+
+    /** Record the cluster state snapshot at a minute boundary. */
+    void
+    snapshotMinute(Seconds now, MegaBytes warmMemoryMb,
+                   Dollars cumulativeSpend)
+    {
+        auto& bin = binFor(now);
+        bin.warmMemoryMb = warmMemoryMb;
+        bin.keepAliveSpend =
+            cumulativeSpend - lastCumulativeSpend_;
+        lastCumulativeSpend_ = cumulativeSpend;
+    }
+
+    /** Record a compression action (for the Fig. 11 activity series). */
+    void
+    recordCompression(Seconds now)
+    {
+        ++binFor(now).compressions;
+        ++compressions_;
+    }
+
+    // --- aggregates ----------------------------------------------------
+
+    std::size_t invocations() const { return records_.size(); }
+    double meanServiceTime() const { return service_.mean(); }
+    double meanWaitTime() const { return wait_.mean(); }
+
+    double
+    warmStartFraction() const
+    {
+        const std::size_t total = warmStarts_ + coldStarts_;
+        return total
+            ? static_cast<double>(warmStarts_) /
+                  static_cast<double>(total)
+            : 0.0;
+    }
+
+    std::size_t warmStarts() const { return warmStarts_; }
+    std::size_t coldStarts() const { return coldStarts_; }
+    std::size_t compressedStarts() const { return compressedStarts_; }
+    std::size_t compressions() const { return compressions_; }
+
+    /** Service-time quantile over all invocations. */
+    double
+    serviceQuantile(double q) const
+    {
+        return serviceDigest_.quantile(q);
+    }
+
+    const PercentileDigest& serviceDigest() const
+    {
+        return serviceDigest_;
+    }
+
+    const std::vector<InvocationRecord>& records() const
+    {
+        return records_;
+    }
+
+    const std::vector<MinuteBin>& timeline() const { return bins_; }
+
+    /**
+     * Fraction of *functions* whose mean service time exceeds
+     * (1 + slack) x their uncompressed-warm x86 service baseline —
+     * the paper's Fig. 9 accounting ("violates the SLA for only 1.8%
+     * of the functions"). `warmBaseline[f]` must hold the baseline per
+     * function.
+     */
+    double
+    slaViolationFraction(const std::vector<Seconds>& warmBaseline,
+                         double slack) const
+    {
+        std::vector<double> serviceSum(warmBaseline.size(), 0.0);
+        std::vector<std::size_t> count(warmBaseline.size(), 0);
+        for (const auto& r : records_) {
+            serviceSum[r.function] += r.service();
+            ++count[r.function];
+        }
+        std::size_t invoked = 0, violations = 0;
+        for (std::size_t f = 0; f < warmBaseline.size(); ++f) {
+            if (count[f] == 0)
+                continue;
+            ++invoked;
+            const double mean =
+                serviceSum[f] / static_cast<double>(count[f]);
+            if (mean > warmBaseline[f] * (1.0 + slack))
+                ++violations;
+        }
+        return invoked ? static_cast<double>(violations) /
+                             static_cast<double>(invoked)
+                       : 0.0;
+    }
+
+  private:
+    MinuteBin&
+    binFor(Seconds t)
+    {
+        const std::size_t idx =
+            static_cast<std::size_t>(t / kSecondsPerMinute);
+        if (idx >= bins_.size())
+            bins_.resize(idx + 1);
+        return bins_[idx];
+    }
+
+    std::vector<InvocationRecord> records_;
+    std::vector<MinuteBin> bins_;
+    RunningStat service_;
+    RunningStat wait_;
+    PercentileDigest serviceDigest_;
+    std::size_t warmStarts_ = 0;
+    std::size_t coldStarts_ = 0;
+    std::size_t compressedStarts_ = 0;
+    std::size_t compressions_ = 0;
+    Dollars lastCumulativeSpend_ = 0.0;
+};
+
+} // namespace codecrunch::metrics

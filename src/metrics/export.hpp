@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CSV export of simulation metrics, so figure data can be re-plotted
+ * with external tooling (gnuplot/matplotlib) instead of reading the
+ * console tables.
+ */
+#pragma once
+
+#include <string>
+
+#include "common/csv.hpp"
+#include "metrics/collector.hpp"
+
+namespace codecrunch::metrics {
+
+/**
+ * Metric serialization helpers.
+ */
+class Exporter
+{
+  public:
+    /** Per-minute timeline: one row per minute bin. */
+    static void
+    writeTimeline(const Collector& collector, const std::string& path)
+    {
+        CsvWriter out(path);
+        out.writeRow({"minute", "invocations", "warm_starts",
+                      "compressed_starts", "cold_starts",
+                      "warm_memory_mb", "keepalive_spend",
+                      "compressions", "mean_service_s"});
+        const auto& bins = collector.timeline();
+        for (std::size_t minute = 0; minute < bins.size(); ++minute) {
+            const auto& bin = bins[minute];
+            out.writeFields(minute, bin.invocations, bin.warmStarts,
+                            bin.compressedStarts, bin.coldStarts,
+                            bin.warmMemoryMb, bin.keepAliveSpend,
+                            bin.compressions, bin.meanService);
+        }
+    }
+
+    /** Per-invocation records: one row per invocation. */
+    static void
+    writeRecords(const Collector& collector, const std::string& path)
+    {
+        CsvWriter out(path);
+        out.writeRow({"function", "arrival_s", "wait_s", "startup_s",
+                      "exec_s", "service_s", "start_type",
+                      "node_type"});
+        for (const auto& r : collector.records()) {
+            out.writeFields(r.function, r.arrival, r.wait, r.startup,
+                            r.exec, r.service(), toString(r.start),
+                            toString(r.nodeType));
+        }
+    }
+
+    /** Service-time CDF sampled at `points` quantiles. */
+    static void
+    writeServiceCdf(const Collector& collector,
+                    const std::string& path, int points = 100)
+    {
+        CsvWriter out(path);
+        out.writeRow({"quantile", "service_s"});
+        for (int i = 0; i <= points; ++i) {
+            const double q =
+                static_cast<double>(i) / static_cast<double>(points);
+            out.writeFields(q, collector.serviceQuantile(q));
+        }
+    }
+};
+
+} // namespace codecrunch::metrics

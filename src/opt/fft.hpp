@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Iterative radix-2 Cooley-Tukey FFT.
+ *
+ * Used by the IceBreaker baseline, which learns function invocation
+ * periodicities from the Fourier spectrum of per-minute invocation
+ * counts.
+ */
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace codecrunch::opt {
+
+using Complex = std::complex<double>;
+
+/**
+ * FFT utilities (power-of-two sizes).
+ */
+class Fft
+{
+  public:
+    /** In-place forward FFT; size must be a power of two. */
+    static void forward(std::vector<Complex>& data);
+
+    /** In-place inverse FFT; size must be a power of two. */
+    static void inverse(std::vector<Complex>& data);
+
+    /**
+     * Forward FFT of a real series, zero-padded to the next power of
+     * two. Returns the complex spectrum.
+     */
+    static std::vector<Complex>
+    forwardReal(const std::vector<double>& series);
+
+    /**
+     * Indices of the `k` strongest non-DC bins in the first half of the
+     * spectrum (sorted by descending magnitude).
+     */
+    static std::vector<std::size_t>
+    dominantBins(const std::vector<Complex>& spectrum, std::size_t k);
+
+    /** Smallest power of two >= n (and >= 1). */
+    static std::size_t nextPow2(std::size_t n);
+};
+
+} // namespace codecrunch::opt

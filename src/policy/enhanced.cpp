@@ -1,0 +1,2 @@
+// Enhanced is header-only; this translation unit anchors the library.
+#include "policy/enhanced.hpp"

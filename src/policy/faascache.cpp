@@ -1,0 +1,56 @@
+#include "policy/faascache.hpp"
+
+#include <limits>
+
+namespace codecrunch::policy {
+
+void
+FaasCache::onArrival(FunctionId function, Seconds)
+{
+    ++frequency_[function];
+}
+
+KeepAliveDecision
+FaasCache::onFinish(const metrics::InvocationRecord& record)
+{
+    (void)record;
+    KeepAliveDecision decision;
+    decision.keepAliveSeconds = config_.maxKeepAlive;
+    return decision;
+}
+
+double
+FaasCache::priority(FunctionId function) const
+{
+    const auto& profile = context_->workload().profile(function);
+    const auto it = frequency_.find(function);
+    const double freq = it == frequency_.end()
+        ? 1.0
+        : static_cast<double>(it->second);
+    // Cost of a miss is the cold start; size is the warm footprint.
+    const double cost =
+        profile.coldStart[static_cast<int>(NodeType::X86)];
+    return clock_ + freq * cost / profile.memoryMb;
+}
+
+std::optional<cluster::ContainerId>
+FaasCache::pickVictim(NodeId node, MegaBytes)
+{
+    const auto& pool = context_->clusterState().warmPool();
+    std::optional<cluster::ContainerId> victim;
+    double lowest = std::numeric_limits<double>::infinity();
+    for (const auto& [id, container] : pool) {
+        if (container.node != node)
+            continue;
+        const double p = priority(container.function);
+        if (p < lowest) {
+            lowest = p;
+            victim = id;
+        }
+    }
+    if (victim)
+        clock_ = lowest; // greedy-dual aging
+    return victim;
+}
+
+} // namespace codecrunch::policy

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fixed keep-alive policy: the production default of AWS Lambda and
+ * Azure Functions (paper Sec. 2) — every container idles for a fixed
+ * window (10 minutes by default) after execution.
+ *
+ * Options cover the Fig. 1 characterization experiment: compress-all
+ * mode (lz4 on every kept-alive function) and an architecture pin.
+ */
+#pragma once
+
+#include "policy/policy.hpp"
+
+namespace codecrunch::policy {
+
+/**
+ * Keep every function alive for a fixed window.
+ */
+class FixedKeepAlive : public Policy
+{
+  public:
+    /**
+     * @param keepAliveSeconds idle window (default 10 min).
+     * @param compressAll compress every kept-alive container.
+     * @param placement architecture for cold placements.
+     */
+    explicit FixedKeepAlive(Seconds keepAliveSeconds = 600.0,
+                            bool compressAll = false,
+                            NodeType placement = NodeType::X86)
+        : keepAlive_(keepAliveSeconds), compressAll_(compressAll),
+          placement_(placement)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return compressAll_ ? "Fixed+Compress" : "Fixed";
+    }
+
+    NodeType
+    coldPlacement(FunctionId) override
+    {
+        return placement_;
+    }
+
+    KeepAliveDecision
+    onFinish(const metrics::InvocationRecord&) override
+    {
+        KeepAliveDecision decision;
+        decision.keepAliveSeconds = keepAlive_;
+        decision.compress = compressAll_;
+        return decision;
+    }
+
+  private:
+    Seconds keepAlive_;
+    bool compressAll_;
+    NodeType placement_;
+};
+
+} // namespace codecrunch::policy

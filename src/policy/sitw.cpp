@@ -1,0 +1,68 @@
+#include "policy/sitw.hpp"
+
+#include <algorithm>
+
+namespace codecrunch::policy {
+
+FunctionHistory&
+SitW::history(FunctionId function)
+{
+    return histories_.try_emplace(function).first->second;
+}
+
+void
+SitW::onArrival(FunctionId function, Seconds now)
+{
+    history(function).record(now);
+    // An invocation consumed any pending pre-warm plan.
+    prewarms_.erase(function);
+}
+
+KeepAliveDecision
+SitW::onFinish(const metrics::InvocationRecord& record)
+{
+    KeepAliveDecision decision;
+    const FunctionHistory& h = history(record.function);
+
+    if (h.globalCount() < config_.minSamples ||
+        h.iatCv() > config_.cvThreshold) {
+        // Unpredictable: production-style fixed window.
+        decision.keepAliveSeconds = config_.defaultKeepAlive;
+        return decision;
+    }
+
+    const Seconds head = h.idleQuantile(config_.headQuantile);
+    const Seconds tail =
+        std::min(h.idleQuantile(config_.tailQuantile),
+                 config_.maxKeepAlive);
+    if (head > config_.prewarmThreshold) {
+        // Long predictable idle: drop now, pre-warm just before the
+        // head of the idle distribution, keep until the tail.
+        PendingPrewarm plan;
+        plan.when = context_->now() + head - config_.prewarmLead;
+        plan.keepAlive = std::max(tail - head, kSecondsPerMinute) +
+                         2.0 * kSecondsPerMinute;
+        prewarms_[record.function] = plan;
+        decision.keepAliveSeconds = 0.0;
+    } else {
+        decision.keepAliveSeconds = tail;
+    }
+    return decision;
+}
+
+void
+SitW::onTick(Seconds now)
+{
+    // Fire due pre-warms.
+    for (auto it = prewarms_.begin(); it != prewarms_.end();) {
+        if (it->second.when <= now) {
+            context_->requestPrewarm(it->first, NodeType::X86,
+                                     it->second.keepAlive);
+            it = prewarms_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace codecrunch::policy

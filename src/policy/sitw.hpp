@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SitW — the "Serverless in the Wild" hybrid histogram keep-alive
+ * policy (Shahrad et al., USENIX ATC'20), the paper's production-grade
+ * baseline.
+ *
+ * Per function, SitW maintains a histogram of idle times (1-minute
+ * bins). When the pattern is predictable (low CV, enough samples) the
+ * container is released after a short grace, pre-warmed again just
+ * before the head percentile of the idle distribution, and kept until
+ * the tail percentile. Out-of-bounds or unpredictable functions fall
+ * back to a fixed keep-alive window. As in the paper, the baseline is
+ * heterogeneity-aware only in that it can place on either pool; it does
+ * not select architectures per function and never compresses (those are
+ * exactly the CodeCrunch enhancements of Fig. 8).
+ */
+#pragma once
+
+#include <unordered_map>
+
+#include "policy/history.hpp"
+#include "policy/policy.hpp"
+
+namespace codecrunch::policy {
+
+/**
+ * Hybrid-histogram keep-alive baseline.
+ */
+class SitW : public Policy
+{
+  public:
+    struct Config {
+        /** Fallback fixed keep-alive (seconds). */
+        Seconds defaultKeepAlive = 600.0;
+        /** Observations required before trusting the histogram. */
+        std::size_t minSamples = 4;
+        /** CV above which the pattern is deemed unpredictable. */
+        double cvThreshold = 2.0;
+        /** Head / tail percentiles of the idle-time distribution. */
+        double headQuantile = 0.05;
+        double tailQuantile = 0.99;
+        /**
+         * If the head exceeds this, release early and pre-warm later
+         * instead of keeping alive the whole time.
+         */
+        Seconds prewarmThreshold = 5.0 * kSecondsPerMinute;
+        /** Keep-alive cap (commercial platforms use <= 60 min). */
+        Seconds maxKeepAlive = 3600.0;
+        /** Pre-warm lead before the idle head quantile. */
+        Seconds prewarmLead = 2.0 * kSecondsPerMinute;
+    };
+
+    SitW() : SitW(Config()) {}
+
+    explicit SitW(Config config) : config_(config) {}
+
+    std::string name() const override { return "SitW"; }
+
+    void onArrival(FunctionId function, Seconds now) override;
+
+    KeepAliveDecision
+    onFinish(const metrics::InvocationRecord& record) override;
+
+    void onTick(Seconds now) override;
+
+  private:
+    /** A scheduled pre-warm for one function. */
+    struct PendingPrewarm {
+        Seconds when = 0.0;
+        Seconds keepAlive = 0.0;
+    };
+
+    FunctionHistory& history(FunctionId function);
+
+    Config config_;
+    std::unordered_map<FunctionId, FunctionHistory> histories_;
+    std::unordered_map<FunctionId, PendingPrewarm> prewarms_;
+};
+
+} // namespace codecrunch::policy

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Discrete-event queue with stable ordering and cancellation.
+ *
+ * Events at equal timestamps fire in insertion order (FIFO), which makes
+ * simulations bit-reproducible. Cancellation is lazy: a cancelled event
+ * stays in the heap but is skipped when popped, keeping cancel() O(1).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+
+namespace codecrunch::sim {
+
+/** Callback invoked when an event fires. */
+using EventCallback = std::function<void()>;
+
+class EventQueue;
+
+namespace detail {
+
+/** Lifecycle of one scheduled event. */
+enum class EventStatus : std::uint8_t { Pending, Fired, Cancelled };
+
+/** Shared state between an EventHandle and its queue entry. */
+struct EventState {
+    EventStatus status = EventStatus::Pending;
+    EventQueue* queue = nullptr;
+};
+
+} // namespace detail
+
+/**
+ * Handle for cancelling a scheduled event.
+ *
+ * Copyable; all copies refer to the same scheduled event. A default
+ * constructed handle refers to nothing and cancel() is a no-op. Handles
+ * must not outlive the EventQueue that produced them.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Cancel the event if it has not fired yet. */
+    void cancel();
+
+    /** True if this handle refers to a scheduled (possibly fired) event. */
+    bool valid() const { return state_ != nullptr; }
+
+    /** True if the event will never fire because it was cancelled. */
+    bool
+    cancelled() const
+    {
+        return state_ &&
+               state_->status == detail::EventStatus::Cancelled;
+    }
+
+    /** True if the event already fired. */
+    bool
+    fired() const
+    {
+        return state_ && state_->status == detail::EventStatus::Fired;
+    }
+
+    /** True if the event is still scheduled to fire. */
+    bool
+    pending() const
+    {
+        return state_ && state_->status == detail::EventStatus::Pending;
+    }
+
+  private:
+    friend class EventQueue;
+
+    explicit EventHandle(std::shared_ptr<detail::EventState> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<detail::EventState> state_;
+};
+
+/**
+ * Priority queue of timestamped callbacks.
+ */
+class EventQueue
+{
+  public:
+    /**
+     * Schedule a callback at an absolute time.
+     * @param when absolute simulated time; must be >= now().
+     * @return handle usable for cancellation.
+     */
+    EventHandle
+    schedule(Seconds when, EventCallback callback)
+    {
+        if (when < now_)
+            panic("EventQueue: scheduling into the past (", when,
+                  " < ", now_, ")");
+        auto state = std::make_shared<detail::EventState>();
+        state->queue = this;
+        heap_.push(Entry{when, nextSeq_++, state, std::move(callback)});
+        ++live_;
+        return EventHandle(std::move(state));
+    }
+
+    /** Schedule a callback after a relative delay. */
+    EventHandle
+    scheduleAfter(Seconds delay, EventCallback callback)
+    {
+        return schedule(now_ + delay, std::move(callback));
+    }
+
+    /** Current simulated time. */
+    Seconds now() const { return now_; }
+
+    /** Number of scheduled, not-yet-fired, not-cancelled events. */
+    std::size_t pending() const { return live_; }
+
+    /** True when no live events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /**
+     * Fire the earliest live event.
+     * @return false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        while (!heap_.empty()) {
+            Entry entry = heap_.top();
+            heap_.pop();
+            if (entry.state->status != detail::EventStatus::Pending)
+                continue; // lazily discard cancelled entries
+            --live_;
+            now_ = entry.when;
+            entry.state->status = detail::EventStatus::Fired;
+            entry.callback();
+            return true;
+        }
+        return false;
+    }
+
+    /** Run until the queue is empty. */
+    void
+    run()
+    {
+        while (step()) {
+        }
+    }
+
+    /**
+     * Run until the queue is empty or simulated time would pass `limit`.
+     * Events at exactly `limit` still fire; afterwards now() >= limit.
+     */
+    void
+    runUntil(Seconds limit)
+    {
+        while (!heap_.empty()) {
+            while (!heap_.empty() &&
+                   heap_.top().state->status !=
+                       detail::EventStatus::Pending) {
+                heap_.pop();
+            }
+            if (heap_.empty() || heap_.top().when > limit)
+                break;
+            step();
+        }
+        if (now_ < limit)
+            now_ = limit;
+    }
+
+  private:
+    friend class EventHandle;
+
+    struct Entry {
+        Seconds when;
+        std::uint64_t seq;
+        std::shared_ptr<detail::EventState> state;
+        EventCallback callback;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    void
+    noteCancelled()
+    {
+        if (live_ == 0)
+            panic("EventQueue: cancellation underflow");
+        --live_;
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Seconds now_ = 0.0;
+    std::uint64_t nextSeq_ = 0;
+    std::size_t live_ = 0;
+};
+
+inline void
+EventHandle::cancel()
+{
+    if (state_ && state_->status == detail::EventStatus::Pending) {
+        state_->status = detail::EventStatus::Cancelled;
+        state_->queue->noteCancelled();
+    }
+}
+
+} // namespace codecrunch::sim

@@ -1,0 +1,133 @@
+#include "trace/azure_csv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+
+namespace codecrunch::trace {
+
+void
+AzureCsv::writeInvocationCounts(const Workload& workload,
+                                const std::string& path)
+{
+    const std::size_t minutes = static_cast<std::size_t>(
+        std::ceil(workload.duration / kSecondsPerMinute));
+    // Dense count matrix; traces here are small enough (<= millions of
+    // cells) that simplicity beats a sparse encoding.
+    std::vector<std::vector<std::uint32_t>> counts(
+        workload.functions.size(),
+        std::vector<std::uint32_t>(minutes, 0));
+    for (const auto& inv : workload.invocations) {
+        const std::size_t minute = std::min(
+            minutes - 1,
+            static_cast<std::size_t>(inv.arrival / kSecondsPerMinute));
+        ++counts[inv.function][minute];
+    }
+
+    CsvWriter out(path);
+    CsvRow header = {"function_id", "name"};
+    for (std::size_t m = 0; m < minutes; ++m)
+        header.push_back("m" + std::to_string(m));
+    out.writeRow(header);
+    for (const auto& f : workload.functions) {
+        CsvRow row = {std::to_string(f.id), f.name};
+        for (std::size_t m = 0; m < minutes; ++m)
+            row.push_back(std::to_string(counts[f.id][m]));
+        out.writeRow(row);
+    }
+}
+
+void
+AzureCsv::writeProfiles(const Workload& workload,
+                        const std::string& path)
+{
+    CsvWriter out(path);
+    out.writeRow({"function_id", "name", "catalog_index", "memory_mb",
+                  "image_mb", "compressed_mb", "compress_ratio",
+                  "exec_x86_s", "exec_arm_s", "cold_x86_s", "cold_arm_s",
+                  "decompress_x86_s", "decompress_arm_s",
+                  "compress_x86_s", "compress_arm_s",
+                  "compressibility"});
+    for (const auto& f : workload.functions) {
+        out.writeFields(
+            f.id, f.name, f.catalogIndex, f.memoryMb, f.imageMb,
+            f.compressedMb, f.compressRatio,
+            f.exec[0], f.exec[1], f.coldStart[0], f.coldStart[1],
+            f.decompress[0], f.decompress[1],
+            f.compressTime[0], f.compressTime[1], f.compressibility);
+    }
+}
+
+Workload
+AzureCsv::read(const std::string& countsPath,
+               const std::string& profilesPath, std::uint64_t seed)
+{
+    Workload workload;
+
+    const auto profileRows = CsvReader::readFile(profilesPath);
+    for (std::size_t r = 1; r < profileRows.size(); ++r) {
+        const auto& row = profileRows[r];
+        if (row.size() < 16)
+            fatal("AzureCsv: profile row ", r, " has ", row.size(),
+                  " fields, expected 16");
+        FunctionProfile f;
+        f.id = static_cast<FunctionId>(std::stoul(row[0]));
+        f.name = row[1];
+        f.catalogIndex = std::stoul(row[2]);
+        f.memoryMb = std::stod(row[3]);
+        f.imageMb = std::stod(row[4]);
+        f.compressedMb = std::stod(row[5]);
+        f.compressRatio = std::stod(row[6]);
+        f.exec[0] = std::stod(row[7]);
+        f.exec[1] = std::stod(row[8]);
+        f.coldStart[0] = std::stod(row[9]);
+        f.coldStart[1] = std::stod(row[10]);
+        f.decompress[0] = std::stod(row[11]);
+        f.decompress[1] = std::stod(row[12]);
+        f.compressTime[0] = std::stod(row[13]);
+        f.compressTime[1] = std::stod(row[14]);
+        f.compressibility = std::stod(row[15]);
+        if (f.id != workload.functions.size())
+            fatal("AzureCsv: non-dense function ids (row ", r, ")");
+        workload.functions.push_back(std::move(f));
+    }
+
+    const auto countRows = CsvReader::readFile(countsPath);
+    if (countRows.empty())
+        fatal("AzureCsv: empty counts file");
+    const std::size_t minutes = countRows[0].size() - 2;
+    workload.duration =
+        static_cast<Seconds>(minutes) * kSecondsPerMinute;
+
+    Rng rng(seed);
+    for (std::size_t r = 1; r < countRows.size(); ++r) {
+        const auto& row = countRows[r];
+        if (row.size() != minutes + 2)
+            fatal("AzureCsv: ragged counts row ", r);
+        const FunctionId id =
+            static_cast<FunctionId>(std::stoul(row[0]));
+        if (id >= workload.functions.size())
+            fatal("AzureCsv: counts refer to unknown function ", id);
+        for (std::size_t m = 0; m < minutes; ++m) {
+            const unsigned long count = std::stoul(row[m + 2]);
+            for (unsigned long k = 0; k < count; ++k) {
+                const Seconds arrival =
+                    (static_cast<double>(m) + rng.uniform()) *
+                    kSecondsPerMinute;
+                workload.invocations.push_back({id, arrival, 1.0});
+            }
+        }
+    }
+
+    std::sort(workload.invocations.begin(), workload.invocations.end(),
+              [](const Invocation& a, const Invocation& b) {
+                  if (a.arrival != b.arrival)
+                      return a.arrival < b.arrival;
+                  return a.function < b.function;
+              });
+    return workload;
+}
+
+} // namespace codecrunch::trace

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Workload (de)serialization in the Microsoft Azure Functions dataset
+ * shape: a per-minute invocation-count matrix plus a per-function
+ * duration/memory table. This lets users swap in the real Azure trace
+ * (after a trivial column mapping) and lets tests round-trip workloads.
+ */
+#pragma once
+
+#include <string>
+
+#include "trace/workload.hpp"
+
+namespace codecrunch::trace {
+
+/**
+ * CSV import/export of workloads.
+ */
+class AzureCsv
+{
+  public:
+    /**
+     * Write the invocation-count matrix: one row per function —
+     * id, name, then one count column per trace minute (the Azure
+     * dataset's layout).
+     */
+    static void
+    writeInvocationCounts(const Workload& workload,
+                          const std::string& path);
+
+    /**
+     * Write per-function profile parameters (duration/memory table,
+     * extended with the architecture and compression columns this
+     * simulator needs).
+     */
+    static void
+    writeProfiles(const Workload& workload, const std::string& path);
+
+    /**
+     * Reassemble a workload from the two CSVs. Invocations are spread
+     * uniformly inside each minute (the paper's Sec. 4 procedure),
+     * deterministically from `seed`.
+     */
+    static Workload
+    read(const std::string& countsPath, const std::string& profilesPath,
+         std::uint64_t seed = 1);
+};
+
+} // namespace codecrunch::trace

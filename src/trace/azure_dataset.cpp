@@ -1,0 +1,191 @@
+#include "trace/azure_dataset.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "trace/function_catalog.hpp"
+
+namespace codecrunch::trace {
+
+namespace {
+
+/** Column index of `name` in a header row, or -1. */
+int
+columnOf(const CsvRow& header, const std::string& name)
+{
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+/** Owner+app key (memory is reported per app, not per function). */
+std::string
+appKey(const CsvRow& row)
+{
+    return row[0] + "/" + row[1];
+}
+
+/** Owner+app+function key. */
+std::string
+functionKey(const CsvRow& row)
+{
+    return row[0] + "/" + row[1] + "/" + row[2];
+}
+
+} // namespace
+
+Workload
+AzureDataset::load(const std::string& invocationsCsv,
+                   const std::string& durationsCsv,
+                   const std::string& memoryCsv,
+                   const Options& options)
+{
+    // --- durations: function -> average execution seconds ----------
+    std::unordered_map<std::string, double> durations;
+    {
+        const auto rows = CsvReader::readFile(durationsCsv);
+        if (rows.empty())
+            fatal("AzureDataset: empty durations file '", durationsCsv,
+                  "'");
+        const int averageCol = columnOf(rows[0], "Average");
+        if (averageCol < 0 || rows[0].size() < 4)
+            fatal("AzureDataset: durations file lacks an 'Average' "
+                  "column");
+        for (std::size_t r = 1; r < rows.size(); ++r) {
+            if (rows[r].size() <=
+                static_cast<std::size_t>(averageCol))
+                continue;
+            durations[functionKey(rows[r])] =
+                std::stod(rows[r][averageCol]) / 1000.0;
+        }
+    }
+
+    // --- memory: app -> average allocated MB ------------------------
+    std::unordered_map<std::string, double> memory;
+    if (!memoryCsv.empty()) {
+        const auto rows = CsvReader::readFile(memoryCsv);
+        if (rows.empty())
+            fatal("AzureDataset: empty memory file '", memoryCsv, "'");
+        const int memoryCol =
+            columnOf(rows[0], "AverageAllocatedMb");
+        if (memoryCol < 0)
+            fatal("AzureDataset: memory file lacks "
+                  "'AverageAllocatedMb'");
+        for (std::size_t r = 1; r < rows.size(); ++r) {
+            if (rows[r].size() <= static_cast<std::size_t>(memoryCol))
+                continue;
+            memory[appKey(rows[r])] =
+                std::stod(rows[r][memoryCol]);
+        }
+    }
+
+    // --- invocations: build profiles + arrival stream ---------------
+    const auto rows = CsvReader::readFile(invocationsCsv);
+    if (rows.empty())
+        fatal("AzureDataset: empty invocations file '",
+              invocationsCsv, "'");
+    const CsvRow& header = rows[0];
+    // Minute columns are the ones named "1".."1440"; they follow the
+    // Trigger column in the real dataset.
+    const int firstMinuteCol = columnOf(header, "1");
+    if (firstMinuteCol < 0)
+        fatal("AzureDataset: invocations file lacks minute column "
+              "'1'");
+    const std::size_t minutes = header.size() -
+        static_cast<std::size_t>(firstMinuteCol);
+
+    // Rank rows by total volume when truncation is requested.
+    std::vector<std::size_t> order;
+    std::vector<std::size_t> volume(rows.size(), 0);
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+        order.push_back(r);
+        for (std::size_t m = 0; m < minutes; ++m) {
+            const auto& cell =
+                rows[r][firstMinuteCol + m];
+            if (!cell.empty())
+                volume[r] += std::stoul(cell);
+        }
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return volume[a] > volume[b];
+              });
+    if (options.maxFunctions > 0 &&
+        order.size() > options.maxFunctions)
+        order.resize(options.maxFunctions);
+
+    Workload workload;
+    workload.duration =
+        static_cast<Seconds>(minutes) * kSecondsPerMinute;
+    Rng rng(options.seed);
+    const auto& catalog = FunctionCatalog::entries();
+
+    for (std::size_t r : order) {
+        const CsvRow& row = rows[r];
+        const std::string key = functionKey(row);
+        const auto durationIt = durations.find(key);
+        const double execSeconds = durationIt != durations.end()
+            ? durationIt->second
+            : options.defaultDurationMs / 1000.0;
+        const auto memoryIt = memory.find(appKey(row));
+        const MegaBytes memoryMb = memoryIt != memory.end()
+            ? memoryIt->second
+            : options.defaultMemoryMb;
+
+        // The paper's mapping rule: nearest benchmark archetype by
+        // (execution time, memory).
+        const std::size_t idx =
+            FunctionCatalog::nearest(execSeconds, memoryMb);
+        const CatalogEntry& entry = catalog[idx];
+
+        FunctionProfile profile;
+        profile.id = static_cast<FunctionId>(
+            workload.functions.size());
+        profile.name = row[2].substr(0, 12) + "(" + entry.name + ")";
+        profile.catalogIndex = idx;
+        profile.memoryMb = entry.memoryMb;
+        profile.imageMb = entry.imageMb;
+        // Honor the trace's own duration: scale both architectures by
+        // the measured-to-archetype ratio.
+        const double execScale =
+            execSeconds / std::max(entry.execX86, 1e-3);
+        profile.exec[static_cast<int>(NodeType::X86)] = execSeconds;
+        profile.exec[static_cast<int>(NodeType::ARM)] =
+            entry.execX86 * entry.armRatio * execScale;
+        profile.coldStart[static_cast<int>(NodeType::X86)] =
+            entry.coldStartX86;
+        profile.coldStart[static_cast<int>(NodeType::ARM)] =
+            entry.coldStartArm;
+        profile.compressibility = entry.compressibility;
+        options.model.apply(entry, profile);
+
+        for (std::size_t m = 0; m < minutes; ++m) {
+            const auto& cell = row[firstMinuteCol + m];
+            const unsigned long count =
+                cell.empty() ? 0 : std::stoul(cell);
+            for (unsigned long k = 0; k < count; ++k) {
+                const Seconds arrival =
+                    (static_cast<double>(m) + rng.uniform()) *
+                    kSecondsPerMinute;
+                workload.invocations.push_back(
+                    {profile.id, arrival, 1.0});
+            }
+        }
+        workload.functions.push_back(std::move(profile));
+    }
+
+    std::sort(workload.invocations.begin(),
+              workload.invocations.end(),
+              [](const Invocation& a, const Invocation& b) {
+                  if (a.arrival != b.arrival)
+                      return a.arrival < b.arrival;
+                  return a.function < b.function;
+              });
+    return workload;
+}
+
+} // namespace codecrunch::trace

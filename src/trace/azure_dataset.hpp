@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Loader for the *real* Microsoft Azure Functions 2019 dataset
+ * (https://github.com/Azure/AzurePublicDataset, the trace the paper
+ * replays). Given the dataset's three per-day CSV schemas —
+ *
+ *  - invocations_per_function_md.anon.d*.csv:
+ *      HashOwner,HashApp,HashFunction,Trigger,1,2,...,1440
+ *      (per-minute invocation counts)
+ *  - function_durations_percentiles.anon.d*.csv:
+ *      HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,
+ *      percentile_Average_0,...,percentile_Average_100
+ *      (execution durations in milliseconds)
+ *  - app_memory_percentiles.anon.d*.csv:
+ *      HashOwner,HashApp,SampleCount,AverageAllocatedMb,
+ *      AverageAllocatedMb_pct1,...,AverageAllocatedMb_pct100
+ *      (per-app allocated memory in MB)
+ *
+ * — this loader reconstructs a Workload exactly the way the paper's
+ * methodology section describes: each function's average duration and
+ * its app's average memory select the nearest SeBS/ServerlessBench
+ * archetype (FunctionCatalog::nearest), which supplies the
+ * architecture-specific execution/cold-start/compression parameters;
+ * invocations are spread uniformly inside each trace minute.
+ *
+ * Only the column prefixes above are required; extra columns are
+ * ignored, so the real dataset files work unmodified.
+ */
+#pragma once
+
+#include <string>
+
+#include "trace/compression_model.hpp"
+#include "trace/workload.hpp"
+
+namespace codecrunch::trace {
+
+/**
+ * Azure Functions public-dataset importer.
+ */
+class AzureDataset
+{
+  public:
+    struct Options {
+        /** Keep at most this many functions (by invocation volume;
+         * 0 = all). The full dataset has tens of thousands per day. */
+        std::size_t maxFunctions = 0;
+        /** Sub-minute arrival placement seed. */
+        std::uint64_t seed = 1;
+        /** Compression model used to derive per-function codec
+         * parameters. */
+        CompressionModel model = CompressionModel::lz4();
+        /** Memory assumed when an app is missing from the memory
+         * file. */
+        MegaBytes defaultMemoryMb = 256.0;
+        /** Duration assumed when a function is missing from the
+         * durations file (milliseconds). */
+        double defaultDurationMs = 1000.0;
+    };
+
+    /**
+     * Load one day of the dataset.
+     * @param invocationsCsv path to invocations_per_function_md.
+     * @param durationsCsv path to function_durations_percentiles.
+     * @param memoryCsv path to app_memory_percentiles ("" = skip,
+     *        defaults used).
+     */
+    static Workload
+    load(const std::string& invocationsCsv,
+         const std::string& durationsCsv,
+         const std::string& memoryCsv, const Options& options);
+};
+
+} // namespace codecrunch::trace

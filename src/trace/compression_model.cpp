@@ -1,0 +1,107 @@
+#include "trace/compression_model.hpp"
+
+#include <cmath>
+
+#include "compress/image_synth.hpp"
+#include "compress/lz4_codec.hpp"
+#include "compress/range_lz_codec.hpp"
+
+namespace codecrunch::trace {
+
+namespace {
+
+/** Reference image size used for ratio measurement. */
+constexpr std::size_t kReferenceImageBytes = std::size_t{1} << 20;
+
+/**
+ * Effective throughputs of the end-to-end (de)compression path,
+ * calibrated to the paper's reported timings: mean decompression of
+ * 0.37 s and mean compression of 1.57 s over the SeBS/ServerlessBench
+ * image population imply roughly 390 / 130 MB/s effective lz4 rates
+ * (the raw in-memory codec measured by bench/micro_codec is faster;
+ * the difference is the tar/IO path the paper's numbers include). The
+ * entropy-coded codec's rates keep the measured ~10x decompression
+ * gap, which is what the compressor-choice result depends on.
+ */
+constexpr CodecSpeed kLz4Speed{130.0, 390.0};
+constexpr CodecSpeed kRangeLzSpeed{33.0, 33.0};
+
+} // namespace
+
+CompressionModel::CompressionModel(
+    std::shared_ptr<const compress::Codec> codec, CodecSpeed speed,
+    double armSlowdown)
+    : codec_(std::move(codec)), speed_(speed), armSlowdown_(armSlowdown)
+{
+}
+
+CompressionModel
+CompressionModel::lz4()
+{
+    return CompressionModel(
+        std::make_shared<compress::Lz4Codec>(), kLz4Speed);
+}
+
+CompressionModel
+CompressionModel::rangeLz()
+{
+    return CompressionModel(
+        std::make_shared<compress::RangeLzCodec>(), kRangeLzSpeed);
+}
+
+CompressionModel
+CompressionModel::none()
+{
+    return CompressionModel(
+        std::make_shared<compress::NullCodec>(),
+        CodecSpeed{1e12, 1e12});
+}
+
+double
+CompressionModel::ratioFor(double compressibility) const
+{
+    // Quantize to 1e-3 for the cache key; the synthesizer itself is far
+    // less sensitive than that.
+    const long long key =
+        static_cast<long long>(std::llround(compressibility * 1000.0));
+    const auto it = ratioCache_.find(key);
+    if (it != ratioCache_.end())
+        return it->second;
+
+    compress::ImageSpec spec;
+    spec.sizeBytes = kReferenceImageBytes;
+    spec.compressibility = compressibility;
+    spec.seed = 0x5eedull + static_cast<std::uint64_t>(key);
+    const auto image = compress::ImageSynthesizer::generate(spec);
+    const auto packed = codec_->compress(image);
+    const double ratio = packed.empty()
+        ? 1.0
+        : static_cast<double>(image.size()) /
+          static_cast<double>(packed.size());
+    ratioCache_[key] = ratio;
+    return ratio;
+}
+
+void
+CompressionModel::apply(const CatalogEntry& entry,
+                        FunctionProfile& profile) const
+{
+    const double ratio = ratioFor(entry.compressibility);
+    profile.compressRatio = ratio;
+    profile.compressedMb = entry.imageMb / ratio;
+    const double decompressSeconds =
+        entry.imageMb / speed_.decompressMbps + entry.registerSeconds;
+    const double compressSeconds =
+        entry.imageMb / speed_.compressMbps;
+    profile.decompress[static_cast<int>(NodeType::X86)] =
+        decompressSeconds;
+    profile.decompress[static_cast<int>(NodeType::ARM)] =
+        entry.imageMb / speed_.decompressMbps * armSlowdown_ +
+        entry.registerSeconds;
+    profile.compressTime[static_cast<int>(NodeType::X86)] =
+        compressSeconds;
+    profile.compressTime[static_cast<int>(NodeType::ARM)] =
+        compressSeconds * armSlowdown_;
+}
+
+} // namespace codecrunch::trace

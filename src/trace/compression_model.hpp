@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bridges the real codecs to the simulation's per-function compression
+ * parameters.
+ *
+ * Compression *ratios* are measured, not assumed: for each distinct
+ * compressibility value the model synthesizes a 1 MiB reference image
+ * and runs the actual codec on it once, caching the achieved ratio.
+ * Latency is derived from the image size and a codec throughput model
+ * whose reference constants were calibrated with `bench/micro_codec` on
+ * the development machine; using constants (rather than re-timing inside
+ * every simulation) keeps simulated results deterministic across hosts.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "compress/codec.hpp"
+#include "trace/function_catalog.hpp"
+#include "trace/workload.hpp"
+
+namespace codecrunch::trace {
+
+/**
+ * Codec throughput constants (MB/s) used to convert image sizes into
+ * simulated compression/decompression seconds.
+ */
+struct CodecSpeed {
+    double compressMbps = 180.0;
+    double decompressMbps = 700.0;
+};
+
+/**
+ * Per-function compression parameter derivation.
+ */
+class CompressionModel
+{
+  public:
+    /**
+     * @param codec real codec used to measure ratios.
+     * @param speed throughput model for latency conversion.
+     * @param armSlowdown multiplier applied to ARM-side latencies
+     *        (Graviton decompression is mildly slower per core).
+     */
+    CompressionModel(std::shared_ptr<const compress::Codec> codec,
+                     CodecSpeed speed, double armSlowdown = 1.1);
+
+    /** Default model: the paper's choice, lz4. */
+    static CompressionModel lz4();
+
+    /** Alternative high-ratio model (xz-like), for the trade-off study. */
+    static CompressionModel rangeLz();
+
+    /** Model with no compression at all (ratio 1, zero latency). */
+    static CompressionModel none();
+
+    /**
+     * Measured compression ratio for an image of the given
+     * compressibility (cached; one real codec run per distinct value).
+     */
+    double ratioFor(double compressibility) const;
+
+    /**
+     * Fill the compression-related fields of a profile from a catalog
+     * archetype: compressedMb, compressRatio, decompress[], and
+     * compressTime[].
+     */
+    void apply(const CatalogEntry& entry, FunctionProfile& profile) const;
+
+    /** Codec backing this model (never null). */
+    const compress::Codec& codec() const { return *codec_; }
+
+    const CodecSpeed& speed() const { return speed_; }
+
+  private:
+    std::shared_ptr<const compress::Codec> codec_;
+    CodecSpeed speed_;
+    double armSlowdown_;
+    mutable std::map<long long, double> ratioCache_;
+};
+
+} // namespace codecrunch::trace

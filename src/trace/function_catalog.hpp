@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Catalog of serverless function archetypes.
+ *
+ * The paper executes the SeBS and ServerlessBench suites and maps every
+ * Azure-trace function to the nearest benchmark by execution time and
+ * memory. This catalog reproduces that pool: 24 archetypes covering the
+ * suites' workload classes (image/video processing, linear algebra, data
+ * analytics, stream processing, online compilation, web serving, ML
+ * inference, graph algorithms, ...), each with the externally visible
+ * parameters the policies consume:
+ *
+ *  - container memory footprint and image size;
+ *  - nominal x86 execution time and an ARM time ratio (about 38% of the
+ *    archetypes run faster on ARM, per Fig. 2);
+ *  - cold-start time per architecture;
+ *  - image compressibility, which determines (via the real codecs) the
+ *    compression ratio and decompression latency, and therefore whether
+ *    the function is compression-favorable (Fig. 1(c)).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace codecrunch::trace {
+
+/**
+ * One benchmark archetype from the SeBS / ServerlessBench pool.
+ */
+struct CatalogEntry {
+    /** Benchmark name, e.g. "sebs/thumbnailer". */
+    std::string name;
+    /** Container memory footprint (MB) while running or warm. */
+    MegaBytes memoryMb;
+    /** Container image size (MB); input to compression. */
+    double imageMb;
+    /** Nominal execution time on x86 (seconds). */
+    Seconds execX86;
+    /**
+     * ARM execution time ratio: execArm = execX86 * armRatio.
+     * Values below 1 mean the function is faster on ARM.
+     */
+    double armRatio;
+    /** Cold-start time on x86 (seconds): download + install + boot. */
+    Seconds coldStartX86;
+    /** Cold-start time on ARM (seconds). */
+    Seconds coldStartArm;
+    /** Image compressibility in [0, 1] (see compress::ImageSpec). */
+    double compressibility;
+    /**
+     * Fixed overhead of a compressed warm start besides raw
+     * decompression: registering the decompressed image with the
+     * container runtime (docker build) and starting the container
+     * (docker run). Varies with image layer structure.
+     */
+    Seconds registerSeconds;
+};
+
+/**
+ * The benchmark pool.
+ */
+class FunctionCatalog
+{
+  public:
+    /** The built-in SeBS + ServerlessBench archetype pool. */
+    static const std::vector<CatalogEntry>& entries();
+
+    /**
+     * Index of the entry whose (execution time, memory) is nearest to
+     * the given targets — the paper's Azure-to-benchmark mapping rule.
+     * Distance is measured in log space so that seconds-vs-minutes and
+     * 128MB-vs-3GB differences weigh comparably.
+     */
+    static std::size_t
+    nearest(Seconds execSeconds, MegaBytes memoryMb);
+};
+
+} // namespace codecrunch::trace

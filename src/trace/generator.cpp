@@ -1,0 +1,290 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace codecrunch::trace {
+
+namespace {
+
+/** Invocation pattern archetypes observed in the Azure trace. */
+enum class Pattern { Periodic, Poisson, Bursty };
+
+/** Per-function generation plan. */
+struct FunctionPlan {
+    Pattern pattern = Pattern::Poisson;
+    /** Popularity weight (Zipf). */
+    double weight = 1.0;
+    /** Periodic: nominal period in seconds. */
+    Seconds period = 600.0;
+    /** Periodic: time at which the period changes (<0: never). */
+    Seconds periodChangeTime = -1.0;
+    /** Periodic: multiplier applied to the period at the change. */
+    double periodChangeScale = 1.0;
+    /** Poisson/bursty: base rate (1/s). */
+    double rate = 0.001;
+    /** Bursty: mean burst length (s) and mean gap (s). */
+    Seconds burstLen = 1200.0;
+    Seconds burstGap = 10800.0;
+    /** Whether this function's input changes at config.inputChangeTime. */
+    bool inputChanges = false;
+};
+
+double
+diurnal(Seconds t, double amplitude)
+{
+    // Peak in the middle of each simulated day.
+    const double phase =
+        2.0 * M_PI * (t / (24.0 * kSecondsPerHour) - 0.25);
+    return 1.0 + amplitude * std::sin(phase);
+}
+
+double
+peakMultiplier(Seconds t, const std::vector<PeakWindow>& peaks)
+{
+    double m = 1.0;
+    for (const auto& p : peaks) {
+        const Seconds start = p.startHour * kSecondsPerHour;
+        const Seconds end = start + p.hours * kSecondsPerHour;
+        if (t >= start && t < end)
+            m = std::max(m, p.multiplier);
+    }
+    return m;
+}
+
+std::vector<PeakWindow>
+defaultPeaks(double days)
+{
+    // Two busy windows per day: late morning and evening.
+    std::vector<PeakWindow> peaks;
+    for (int day = 0; day < static_cast<int>(std::ceil(days)); ++day) {
+        peaks.push_back({day * 24.0 + 10.0, 1.5, 4.0});
+        peaks.push_back({day * 24.0 + 19.0, 1.0, 3.0});
+    }
+    return peaks;
+}
+
+/** Generate one Poisson-process segment via exponential gaps. */
+void
+emitPoisson(std::vector<Invocation>& out, FunctionId id, Rng& rng,
+            double rate, Seconds from, Seconds to,
+            const std::vector<PeakWindow>& peaks, double diurnalAmp)
+{
+    if (rate <= 0.0)
+        return;
+    // Thinning: draw from the max modulated rate, accept with the
+    // time-dependent probability.
+    double maxMult = 1.0 + diurnalAmp;
+    for (const auto& p : peaks)
+        maxMult = std::max(maxMult, (1.0 + diurnalAmp) * p.multiplier);
+    const double maxRate = rate * maxMult;
+    Seconds t = from + rng.exponential(maxRate);
+    while (t < to) {
+        const double actual = rate * diurnal(t, diurnalAmp) *
+                              peakMultiplier(t, peaks);
+        if (rng.uniform() < actual / maxRate)
+            out.push_back({id, t, 1.0});
+        t += rng.exponential(maxRate);
+    }
+}
+
+} // namespace
+
+std::vector<FunctionProfile>
+TraceGenerator::makeFunctions(const TraceConfig& config,
+                              const CompressionModel& model)
+{
+    Rng rng(config.seed);
+    const auto& catalog = FunctionCatalog::entries();
+    std::vector<FunctionProfile> functions;
+    functions.reserve(config.numFunctions);
+
+    for (std::size_t i = 0; i < config.numFunctions; ++i) {
+        // Azure functions skew short: draw a target execution time from
+        // a lognormal (median ~2 s, long tail to minutes) and a memory
+        // target, then map to the nearest archetype like the paper does.
+        const double targetExec = rng.logNormal(std::log(2.0), 1.2);
+        const double targetMem =
+            std::exp(rng.uniform(std::log(128.0), std::log(3008.0)));
+        const std::size_t idx =
+            FunctionCatalog::nearest(targetExec, targetMem);
+        const CatalogEntry& entry = catalog[idx];
+
+        FunctionProfile profile;
+        profile.id = static_cast<FunctionId>(i);
+        profile.name =
+            "fn-" + std::to_string(i) + "(" + entry.name + ")";
+        profile.catalogIndex = idx;
+        profile.memoryMb = entry.memoryMb;
+        profile.imageMb = entry.imageMb;
+        // Small per-function perturbation so two functions mapped to
+        // the same archetype are not bit-identical.
+        const double execJitter = rng.uniform(0.9, 1.1);
+        profile.exec[static_cast<int>(NodeType::X86)] =
+            entry.execX86 * execJitter;
+        profile.exec[static_cast<int>(NodeType::ARM)] =
+            entry.execX86 * entry.armRatio * execJitter;
+        profile.coldStart[static_cast<int>(NodeType::X86)] =
+            entry.coldStartX86 * rng.uniform(0.95, 1.05);
+        profile.coldStart[static_cast<int>(NodeType::ARM)] =
+            entry.coldStartArm * rng.uniform(0.95, 1.05);
+        profile.compressibility = entry.compressibility;
+        model.apply(entry, profile);
+        functions.push_back(std::move(profile));
+    }
+    return functions;
+}
+
+Workload
+TraceGenerator::generate(const TraceConfig& config,
+                         const CompressionModel& model)
+{
+    Workload workload;
+    workload.duration = config.days * 24.0 * kSecondsPerHour;
+    workload.functions = makeFunctions(config, model);
+
+    Rng rng(config.seed ^ 0x7ace5eedull);
+    const auto peaks = (config.peaks.empty() && config.defaultPeaks)
+        ? defaultPeaks(config.days)
+        : config.peaks;
+
+    // --- Build per-function plans -----------------------------------
+    const auto zipfCdf =
+        Rng::makeZipfCdf(config.numFunctions, config.zipfExponent);
+    std::vector<double> weights(config.numFunctions);
+    {
+        // Zipf weight by a random rank permutation: popularity is
+        // uncorrelated with the archetype.
+        std::vector<std::size_t> ranks(config.numFunctions);
+        for (std::size_t i = 0; i < ranks.size(); ++i)
+            ranks[i] = i;
+        rng.shuffle(ranks);
+        for (std::size_t i = 0; i < ranks.size(); ++i) {
+            const double mass = ranks[i] == 0
+                ? zipfCdf[0]
+                : zipfCdf[ranks[i]] - zipfCdf[ranks[i] - 1];
+            weights[i] = mass;
+        }
+    }
+
+    std::vector<FunctionPlan> plans(config.numFunctions);
+    double rateMass = 0.0; // total weight of rate-driven functions
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        FunctionPlan& plan = plans[i];
+        plan.weight = weights[i];
+        const double u = rng.uniform();
+        if (u < config.periodicFraction) {
+            plan.pattern = Pattern::Periodic;
+            // Log-uniform periods between 2 minutes and 6 hours.
+            plan.period = std::exp(
+                rng.uniform(std::log(120.0), std::log(6.0 * 3600.0)));
+            if (rng.bernoulli(0.3)) {
+                plan.periodChangeTime =
+                    rng.uniform(0.3, 0.7) * workload.duration;
+                plan.periodChangeScale =
+                    rng.bernoulli(0.5) ? 0.5 : 2.0;
+            }
+        } else if (u < config.periodicFraction + config.poissonFraction) {
+            plan.pattern = Pattern::Poisson;
+            rateMass += plan.weight;
+        } else {
+            plan.pattern = Pattern::Bursty;
+            plan.burstLen = rng.uniform(600.0, 2400.0);
+            plan.burstGap = rng.uniform(3600.0, 6.0 * 3600.0);
+            rateMass += plan.weight;
+        }
+        plan.inputChanges =
+            config.inputChangeTime >= 0.0 &&
+            rng.bernoulli(config.inputChangeFraction);
+    }
+
+    // Scale Poisson/bursty rates so the whole trace averages the target
+    // arrival rate (periodic functions contribute 1/period each).
+    double periodicRate = 0.0;
+    for (const auto& plan : plans) {
+        if (plan.pattern == Pattern::Periodic)
+            periodicRate += 1.0 / plan.period;
+    }
+    const double rateBudget = std::max(
+        0.0, config.targetMeanRatePerSecond - periodicRate);
+    for (auto& plan : plans) {
+        if (plan.pattern == Pattern::Poisson) {
+            plan.rate = rateBudget * plan.weight / std::max(rateMass,
+                                                            1e-12);
+        } else if (plan.pattern == Pattern::Bursty) {
+            // Same average mass, concentrated into bursts.
+            const double duty =
+                plan.burstLen / (plan.burstLen + plan.burstGap);
+            plan.rate = rateBudget * plan.weight /
+                        std::max(rateMass, 1e-12) /
+                        std::max(duty, 1e-3);
+        }
+    }
+
+    // --- Emit invocations --------------------------------------------
+    auto& out = workload.invocations;
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        const FunctionPlan& plan = plans[i];
+        const FunctionId id = static_cast<FunctionId>(i);
+        Rng functionRng = rng.fork();
+        switch (plan.pattern) {
+          case Pattern::Periodic: {
+            Seconds period = plan.period;
+            Seconds t = functionRng.uniform(0.0, period);
+            bool changed = false;
+            while (t < workload.duration) {
+                out.push_back({id, t, 1.0});
+                if (!changed && plan.periodChangeTime >= 0.0 &&
+                    t >= plan.periodChangeTime) {
+                    period *= plan.periodChangeScale;
+                    changed = true;
+                }
+                const Seconds jitter =
+                    functionRng.normal(0.0, 0.08 * period);
+                t += std::max(1.0, period + jitter);
+            }
+            break;
+          }
+          case Pattern::Poisson:
+            emitPoisson(out, id, functionRng, plan.rate, 0.0,
+                        workload.duration, peaks,
+                        config.diurnalAmplitude);
+            break;
+          case Pattern::Bursty: {
+            Seconds t = functionRng.exponential(1.0 / plan.burstGap);
+            while (t < workload.duration) {
+                const Seconds len =
+                    functionRng.exponential(1.0 / plan.burstLen);
+                emitPoisson(out, id, functionRng, plan.rate, t,
+                            std::min(t + len, workload.duration), peaks,
+                            config.diurnalAmplitude);
+                t += len + functionRng.exponential(1.0 / plan.burstGap);
+            }
+            break;
+          }
+        }
+    }
+
+    // Input change (Fig. 15): rescale affected invocations' inputScale
+    // after the change point.
+    if (config.inputChangeTime >= 0.0) {
+        for (auto& inv : out) {
+            if (inv.arrival >= config.inputChangeTime &&
+                plans[inv.function].inputChanges) {
+                inv.inputScale = config.inputChangeScale;
+            }
+        }
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const Invocation& a, const Invocation& b) {
+                  if (a.arrival != b.arrival)
+                      return a.arrival < b.arrival;
+                  return a.function < b.function;
+              });
+    return workload;
+}
+
+} // namespace codecrunch::trace

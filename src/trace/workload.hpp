@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Workload types: the per-function runtime profile visible to schedulers
+ * and the full invocation workload a simulation consumes.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace codecrunch::trace {
+
+/**
+ * Externally visible runtime profile of one serverless function.
+ *
+ * Everything here is measurable by the provider after a handful of
+ * executions (the paper's controller records service times per
+ * architecture and compression state), so policies may legitimately
+ * consume it. Future invocation times are NOT part of the profile; only
+ * the Oracle policy sees those.
+ */
+struct FunctionProfile {
+    FunctionId id = kInvalidFunction;
+    /** Trace-level name, e.g. "fn-0042(sebs/thumbnailer)". */
+    std::string name;
+    /** Index of the catalog archetype backing this function. */
+    std::size_t catalogIndex = 0;
+
+    /** Warm/running container memory footprint (MB). */
+    MegaBytes memoryMb = 128;
+    /** Container image size (MB). */
+    double imageMb = 64;
+    /** Compressed image size (MB) under the configured codec. */
+    MegaBytes compressedMb = 64;
+    /** Achieved compression ratio (imageMb / compressedMb). */
+    double compressRatio = 1.0;
+
+    /** Nominal execution seconds, indexed by NodeType. */
+    Seconds exec[kNumNodeTypes] = {1.0, 1.0};
+    /** Cold-start seconds, indexed by NodeType. */
+    Seconds coldStart[kNumNodeTypes] = {1.0, 1.0};
+    /**
+     * Compressed-warm-start overhead (decompression + image
+     * registration + container start), indexed by NodeType.
+     */
+    Seconds decompress[kNumNodeTypes] = {0.1, 0.1};
+    /** Background compression seconds, indexed by NodeType. */
+    Seconds compressTime[kNumNodeTypes] = {0.5, 0.5};
+
+    /** Image compressibility in [0, 1]. */
+    double compressibility = 0.5;
+
+    /** Execution seconds for a given architecture and input scale. */
+    Seconds
+    execTime(NodeType type, double inputScale = 1.0) const
+    {
+        return exec[static_cast<int>(type)] * inputScale;
+    }
+
+    /** True if a compressed start beats a cold start on `type`. */
+    bool
+    compressionFavorable(NodeType type) const
+    {
+        return decompress[static_cast<int>(type)] <
+               coldStart[static_cast<int>(type)];
+    }
+
+    /** Faster architecture for this function's execution. */
+    NodeType
+    fasterArch() const
+    {
+        return exec[0] <= exec[1] ? NodeType::X86 : NodeType::ARM;
+    }
+};
+
+/**
+ * A complete simulation workload: function profiles plus the invocation
+ * stream, sorted by arrival time.
+ */
+struct Workload {
+    std::vector<FunctionProfile> functions;
+    std::vector<Invocation> invocations;
+    /** Total trace duration in seconds. */
+    Seconds duration = 0.0;
+
+    /** Profile lookup by id (ids are dense, 0..n-1). */
+    const FunctionProfile&
+    profile(FunctionId id) const
+    {
+        return functions[id];
+    }
+};
+
+} // namespace codecrunch::trace

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Cluster state-machine tests: node construction and pricing, execution
+ * resource accounting, the warm-container pool, the keep-alive memory
+ * reservation, and cost accrual arithmetic.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+using namespace codecrunch;
+using namespace codecrunch::cluster;
+
+namespace {
+
+ClusterConfig
+tinyConfig()
+{
+    ClusterConfig config;
+    config.numX86 = 2;
+    config.numArm = 1;
+    config.coresPerNode = 2;
+    config.memoryPerNodeMb = 1000;
+    config.keepAliveMemoryFraction = 0.5;
+    return config;
+}
+
+} // namespace
+
+TEST(Cluster, ConstructsPaperDefaultFleet)
+{
+    Cluster cluster{ClusterConfig{}};
+    EXPECT_EQ(cluster.nodes().size(), 31u);
+    int x86 = 0, arm = 0;
+    for (const auto& node : cluster.nodes()) {
+        (node.type == NodeType::X86 ? x86 : arm) += 1;
+        EXPECT_EQ(node.cores, 8);
+        EXPECT_DOUBLE_EQ(node.memoryMb, 32 * 1024);
+    }
+    EXPECT_EQ(x86, 13);
+    EXPECT_EQ(arm, 18);
+}
+
+TEST(Cluster, CostRatesFollowNodePricing)
+{
+    Cluster cluster{ClusterConfig{}};
+    // $0.384/h over 32 GiB: keeping all memory warm for an hour costs
+    // the node's hourly price.
+    EXPECT_NEAR(cluster.costRate(NodeType::X86) * 32 * 1024 * 3600,
+                0.384, 1e-9);
+    EXPECT_NEAR(cluster.costRate(NodeType::ARM) * 32 * 1024 * 3600,
+                0.2688, 1e-9);
+    EXPECT_LT(cluster.costRate(NodeType::ARM),
+              cluster.costRate(NodeType::X86));
+}
+
+TEST(Cluster, RejectsEmptyFleet)
+{
+    ClusterConfig config;
+    config.numX86 = 0;
+    config.numArm = 0;
+    EXPECT_DEATH({ Cluster cluster(config); }, "at least one node");
+}
+
+TEST(Cluster, ReserveAndReleaseExec)
+{
+    Cluster cluster(tinyConfig());
+    cluster.reserveExec(0, 400);
+    EXPECT_EQ(cluster.node(0).coresUsed, 1);
+    EXPECT_DOUBLE_EQ(cluster.node(0).execMemoryMb, 400);
+    EXPECT_DOUBLE_EQ(cluster.node(0).freeMemoryMb(), 600);
+    cluster.releaseExec(0, 400);
+    EXPECT_EQ(cluster.node(0).coresUsed, 0);
+    EXPECT_DOUBLE_EQ(cluster.node(0).freeMemoryMb(), 1000);
+}
+
+TEST(Cluster, ReserveExecPanicsWithoutCores)
+{
+    Cluster cluster(tinyConfig());
+    cluster.reserveExec(0, 100);
+    cluster.reserveExec(0, 100);
+    EXPECT_DEATH(cluster.reserveExec(0, 100), "free core");
+}
+
+TEST(Cluster, ReserveExecPanicsOnOvercommit)
+{
+    Cluster cluster(tinyConfig());
+    EXPECT_DEATH(cluster.reserveExec(0, 1500), "overcommit");
+}
+
+TEST(Cluster, ReleaseExecPanicsWhenIdle)
+{
+    Cluster cluster(tinyConfig());
+    EXPECT_DEATH(cluster.releaseExec(0, 10), "idle");
+}
+
+TEST(Cluster, PickNodeForExecPrefersMostFreeMemory)
+{
+    Cluster cluster(tinyConfig());
+    cluster.reserveExec(0, 600);
+    const auto node = cluster.pickNodeForExec(NodeType::X86, 100);
+    ASSERT_TRUE(node.has_value());
+    EXPECT_EQ(*node, 1u); // node 1 has more free memory
+}
+
+TEST(Cluster, PickNodeForExecRespectsType)
+{
+    Cluster cluster(tinyConfig());
+    const auto arm = cluster.pickNodeForExec(NodeType::ARM, 100);
+    ASSERT_TRUE(arm.has_value());
+    EXPECT_EQ(cluster.node(*arm).type, NodeType::ARM);
+}
+
+TEST(Cluster, PickNodeForExecFailsWhenFull)
+{
+    Cluster cluster(tinyConfig());
+    // Saturate both x86 nodes' cores.
+    for (NodeId n : {0u, 1u}) {
+        cluster.reserveExec(n, 10);
+        cluster.reserveExec(n, 10);
+    }
+    EXPECT_FALSE(cluster.pickNodeForExec(NodeType::X86, 10).has_value());
+}
+
+TEST(Cluster, WarmPoolLifecycle)
+{
+    Cluster cluster(tinyConfig());
+    const ContainerId id = cluster.addWarm(0, 7, 300, false, 0.0);
+    EXPECT_EQ(cluster.warmCount(7), 1u);
+    EXPECT_DOUBLE_EQ(cluster.node(0).warmMemoryMb, 300);
+    ASSERT_TRUE(cluster.findWarm(7).has_value());
+    EXPECT_EQ(*cluster.findWarm(7), id);
+    EXPECT_FALSE(cluster.findWarm(8).has_value());
+
+    const WarmContainer removed = cluster.removeWarm(id, 10.0);
+    EXPECT_EQ(removed.function, 7u);
+    EXPECT_EQ(cluster.warmCount(7), 0u);
+    EXPECT_DOUBLE_EQ(cluster.node(0).warmMemoryMb, 0);
+}
+
+TEST(Cluster, FindWarmPrefersUncompressed)
+{
+    Cluster cluster(tinyConfig());
+    const ContainerId packed = cluster.addWarm(0, 7, 100, true, 0.0);
+    const ContainerId plain = cluster.addWarm(0, 7, 300, false, 0.0);
+    EXPECT_EQ(*cluster.findWarm(7), plain);
+    cluster.removeWarm(plain, 1.0);
+    EXPECT_EQ(*cluster.findWarm(7), packed);
+}
+
+TEST(Cluster, WarmHeadroomHonorsFraction)
+{
+    Cluster cluster(tinyConfig()); // 1000 MB node, 50% warm cap
+    EXPECT_DOUBLE_EQ(cluster.warmHeadroomMb(0), 500);
+    cluster.addWarm(0, 1, 300, false, 0.0);
+    EXPECT_DOUBLE_EQ(cluster.warmHeadroomMb(0), 200);
+    // Exec memory can shrink headroom below the cap remainder.
+    cluster.reserveExec(0, 600);
+    EXPECT_DOUBLE_EQ(cluster.warmHeadroomMb(0), 100);
+}
+
+TEST(Cluster, AddWarmPanicsBeyondHeadroom)
+{
+    Cluster cluster(tinyConfig());
+    cluster.addWarm(0, 1, 500, false, 0.0);
+    EXPECT_DEATH(cluster.addWarm(0, 2, 1, false, 0.0), "headroom");
+}
+
+TEST(Cluster, PickNodeForWarmHonorsCap)
+{
+    Cluster cluster(tinyConfig());
+    cluster.addWarm(0, 1, 500, false, 0.0);
+    cluster.addWarm(1, 2, 400, false, 0.0);
+    const auto node = cluster.pickNodeForWarm(NodeType::X86, 150);
+    EXPECT_FALSE(node.has_value()); // 0 is full, 1 has 100 headroom
+    const auto small = cluster.pickNodeForWarm(NodeType::X86, 80);
+    ASSERT_TRUE(small.has_value());
+    EXPECT_EQ(*small, 1u);
+}
+
+TEST(Cluster, ResizeWarmShrinksMemory)
+{
+    Cluster cluster(tinyConfig());
+    const ContainerId id = cluster.addWarm(0, 7, 400, false, 0.0);
+    cluster.resizeWarm(id, 150, true, 5.0);
+    EXPECT_DOUBLE_EQ(cluster.node(0).warmMemoryMb, 150);
+    EXPECT_TRUE(cluster.warm(id).compressed);
+}
+
+TEST(Cluster, CostAccrualArithmetic)
+{
+    Cluster cluster(tinyConfig());
+    const double rate = cluster.costRate(NodeType::X86);
+    cluster.addWarm(0, 1, 200, false, 0.0);
+    cluster.accrueAll(100.0);
+    EXPECT_NEAR(cluster.keepAliveSpend(), rate * 200 * 100, 1e-12);
+}
+
+TEST(Cluster, CostAccrualAcrossResize)
+{
+    Cluster cluster(tinyConfig());
+    const double rate = cluster.costRate(NodeType::X86);
+    const ContainerId id = cluster.addWarm(0, 1, 400, false, 0.0);
+    cluster.resizeWarm(id, 100, true, 50.0); // 50 s at 400 MB
+    cluster.removeWarm(id, 150.0);           // 100 s at 100 MB
+    EXPECT_NEAR(cluster.keepAliveSpend(),
+                rate * (400 * 50 + 100 * 100), 1e-12);
+}
+
+TEST(Cluster, CostUsesNodeTypeRate)
+{
+    Cluster cluster(tinyConfig());
+    const NodeId armNode = 2; // the single ARM node
+    ASSERT_EQ(cluster.node(armNode).type, NodeType::ARM);
+    cluster.addWarm(armNode, 1, 200, false, 0.0);
+    cluster.accrueAll(60.0);
+    EXPECT_NEAR(cluster.keepAliveSpend(),
+                cluster.costRate(NodeType::ARM) * 200 * 60, 1e-12);
+}
+
+TEST(Cluster, KeepAliveCostHelperMatchesAccrual)
+{
+    Cluster cluster(tinyConfig());
+    cluster.addWarm(0, 1, 333, false, 0.0);
+    cluster.accrueAll(77.0);
+    EXPECT_NEAR(cluster.keepAliveSpend(),
+                cluster.keepAliveCost(NodeType::X86, 333, 77.0),
+                1e-12);
+}
+
+TEST(Cluster, AccrualIsIdempotentAtSameTime)
+{
+    Cluster cluster(tinyConfig());
+    cluster.addWarm(0, 1, 100, false, 0.0);
+    cluster.accrueAll(10.0);
+    const Dollars once = cluster.keepAliveSpend();
+    cluster.accrueAll(10.0);
+    EXPECT_DOUBLE_EQ(cluster.keepAliveSpend(), once);
+}
+
+TEST(Cluster, TotalsAggregateAcrossNodes)
+{
+    Cluster cluster(tinyConfig());
+    EXPECT_DOUBLE_EQ(cluster.totalMemoryMb(), 3000);
+    cluster.addWarm(0, 1, 100, false, 0.0);
+    cluster.addWarm(2, 2, 200, false, 0.0);
+    EXPECT_DOUBLE_EQ(cluster.totalWarmMemoryMb(), 300);
+}
+
+TEST(Cluster, MultipleWarmContainersPerFunction)
+{
+    Cluster cluster(tinyConfig());
+    cluster.addWarm(0, 7, 100, false, 0.0);
+    cluster.addWarm(1, 7, 100, false, 0.0);
+    EXPECT_EQ(cluster.warmCount(7), 2u);
+    EXPECT_EQ(cluster.warmPool().size(), 2u);
+}
+
+TEST(Cluster, ResizeWarmCanGrowWithinCapacity)
+{
+    Cluster cluster(tinyConfig());
+    const ContainerId id = cluster.addWarm(0, 7, 100, true, 0.0);
+    cluster.resizeWarm(id, 250, false, 1.0);
+    EXPECT_DOUBLE_EQ(cluster.node(0).warmMemoryMb, 250);
+    EXPECT_FALSE(cluster.warm(id).compressed);
+}
+
+TEST(Cluster, ResizeWarmPanicsOnOvercommit)
+{
+    Cluster cluster(tinyConfig());
+    const ContainerId id = cluster.addWarm(0, 7, 100, true, 0.0);
+    cluster.reserveExec(0, 850);
+    EXPECT_DEATH(cluster.resizeWarm(id, 300, false, 1.0),
+                 "overcommit");
+}
+
+TEST(Cluster, WarmPanicsOnUnknownId)
+{
+    Cluster cluster(tinyConfig());
+    EXPECT_DEATH(cluster.warm(42), "unknown");
+}
+
+TEST(Cluster, SpendIsMonotonic)
+{
+    Cluster cluster(tinyConfig());
+    cluster.addWarm(0, 1, 100, false, 0.0);
+    double last = 0.0;
+    for (Seconds t : {10.0, 20.0, 30.0, 40.0}) {
+        cluster.accrueAll(t);
+        EXPECT_GE(cluster.keepAliveSpend(), last);
+        last = cluster.keepAliveSpend();
+    }
+}
+
+TEST(Cluster, RemoveWarmPanicsOnUnknownId)
+{
+    Cluster cluster(tinyConfig());
+    EXPECT_DEATH(cluster.removeWarm(999, 0.0), "unknown");
+}

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Unit tests for the common module: RNG determinism and distribution
+ * sanity, statistics accumulators, CSV round-trips, and table
+ * rendering.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+using namespace codecrunch;
+
+// --- Rng -----------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(6);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(3.0, 7.0);
+        EXPECT_GE(u, 3.0);
+        EXPECT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(7);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        sawLo |= v == 2;
+        sawHi |= v == 5;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, NormalMeanAndStddev)
+{
+    Rng rng(8);
+    RunningStat stat;
+    for (int i = 0; i < 50000; ++i)
+        stat.add(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(stat.mean(), 10.0, 0.1);
+    EXPECT_NEAR(stat.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(9);
+    RunningStat stat;
+    for (int i = 0; i < 50000; ++i)
+        stat.add(rng.exponential(0.5));
+    EXPECT_NEAR(stat.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliFraction)
+{
+    Rng rng(10);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks)
+{
+    Rng rng(11);
+    const auto cdf = Rng::makeZipfCdf(100, 1.1);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[rng.zipf(cdf)];
+    EXPECT_GT(counts[0], counts[50]);
+    EXPECT_GT(counts[0], 20000 / 100);
+}
+
+TEST(Rng, WeightedChoiceFollowsWeights)
+{
+    Rng rng(12);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[rng.weightedChoice(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[2] / static_cast<double>(counts[0]), 3.0, 0.3);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(13);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(14);
+    Rng child = a.fork();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Rng, ParetoRespectsScaleAndTail)
+{
+    Rng rng(15);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i) {
+        const double v = rng.pareto(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        stat.add(v);
+    }
+    // Mean of Pareto(x_m=2, alpha=3) is alpha*x_m/(alpha-1) = 3.
+    EXPECT_NEAR(stat.mean(), 3.0, 0.15);
+}
+
+TEST(Rng, LogNormalMedian)
+{
+    Rng rng(16);
+    std::vector<double> samples;
+    for (int i = 0; i < 20001; ++i)
+        samples.push_back(rng.logNormal(std::log(5.0), 0.8));
+    std::nth_element(samples.begin(),
+                     samples.begin() + samples.size() / 2,
+                     samples.end());
+    EXPECT_NEAR(samples[samples.size() / 2], 5.0, 0.4);
+}
+
+// --- RunningStat -----------------------------------------------------------
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, KnownSequence)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0); // classic population-stddev example
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    Rng rng(20);
+    RunningStat whole, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.normal(3.0, 1.5);
+        whole.add(v);
+        (i % 2 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+// --- PercentileDigest -------------------------------------------------------
+
+TEST(PercentileDigest, QuantilesOfUniformRamp)
+{
+    PercentileDigest d;
+    for (int i = 0; i <= 100; ++i)
+        d.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 100.0);
+    EXPECT_NEAR(d.quantile(0.25), 25.0, 1e-9);
+}
+
+TEST(PercentileDigest, CdfMonotone)
+{
+    PercentileDigest d;
+    for (double v : {1.0, 2.0, 2.0, 3.0})
+        d.add(v);
+    EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.75);
+    EXPECT_DOUBLE_EQ(d.cdf(3.0), 1.0);
+}
+
+TEST(PercentileDigest, EmptyDigest)
+{
+    PercentileDigest d;
+    EXPECT_DOUBLE_EQ(d.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(PercentileDigest, InterleavedAddAndQuery)
+{
+    PercentileDigest d;
+    d.add(5.0);
+    EXPECT_DOUBLE_EQ(d.median(), 5.0);
+    d.add(1.0);
+    d.add(9.0);
+    EXPECT_DOUBLE_EQ(d.median(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, BinningAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(9.99);
+    h.add(10.0);
+    h.add(5.5);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.count(5), 1u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.binLow(5), 5.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(5), 6.0);
+}
+
+// --- CSV ---------------------------------------------------------------------
+
+TEST(Csv, RoundTrip)
+{
+    const std::string path = "/tmp/cc_csv_test.csv";
+    {
+        CsvWriter writer(path);
+        writer.writeRow({"a", "b", "c"});
+        writer.writeFields(1, 2.5, "x");
+    }
+    const auto rows = CsvReader::readFile(path);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0], (CsvRow{"a", "b", "c"}));
+    EXPECT_EQ(rows[1][0], "1");
+    EXPECT_EQ(rows[1][1], "2.5");
+    EXPECT_EQ(rows[1][2], "x");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, SkipsCommentsAndBlank)
+{
+    const std::string path = "/tmp/cc_csv_test2.csv";
+    {
+        std::ofstream out(path);
+        out << "# comment\n\nx,y\n";
+    }
+    const auto rows = CsvReader::readFile(path);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0], (CsvRow{"x", "y"}));
+    std::remove(path.c_str());
+}
+
+TEST(Csv, ParseLineHandlesEmptyFields)
+{
+    EXPECT_EQ(CsvReader::parseLine("a,,b"), (CsvRow{"a", "", "b"}));
+    EXPECT_EQ(CsvReader::parseLine(""), (CsvRow{""}));
+}
+
+// --- ConsoleTable --------------------------------------------------------------
+
+TEST(ConsoleTable, RendersAlignedColumns)
+{
+    ConsoleTable table;
+    table.header({"name", "value"});
+    table.addRow("x", 1.5);
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("1.500"), std::string::npos);
+}
+
+TEST(ConsoleTable, NumAndPct)
+{
+    EXPECT_EQ(ConsoleTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(ConsoleTable::pct(0.1234), "12.3%");
+}
+
+// --- types -----------------------------------------------------------------------
+
+TEST(Types, ToStringNames)
+{
+    EXPECT_STREQ(toString(NodeType::X86), "x86");
+    EXPECT_STREQ(toString(NodeType::ARM), "ARM");
+    EXPECT_STREQ(toString(StartType::Cold), "cold");
+    EXPECT_STREQ(toString(StartType::Warm), "warm");
+    EXPECT_STREQ(toString(StartType::WarmCompressed),
+                 "warm-compressed");
+}

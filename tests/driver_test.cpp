@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Simulation-driver tests: end-to-end mechanics on hand-built
+ * workloads — warm/cold/compressed start paths, queueing, reclaim,
+ * prewarm, metric identities, determinism, and cost accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "experiments/driver.hpp"
+#include "policy/fixed_keepalive.hpp"
+#include "policy/policy.hpp"
+#include "trace/generator.hpp"
+
+using namespace codecrunch;
+using namespace codecrunch::experiments;
+
+namespace {
+
+/** A single-function workload with explicit arrival times. */
+trace::Workload
+workloadWith(std::vector<Seconds> arrivals, Seconds exec = 2.0,
+             Seconds cold = 3.0, MegaBytes memory = 1000,
+             Seconds decompress = 1.0, MegaBytes compressedMb = 300)
+{
+    trace::Workload workload;
+    trace::FunctionProfile f;
+    f.id = 0;
+    f.name = "fn-under-test";
+    f.memoryMb = memory;
+    f.imageMb = memory;
+    f.compressedMb = compressedMb;
+    f.compressRatio = memory / compressedMb;
+    f.exec[0] = exec;
+    f.exec[1] = exec * 1.2;
+    f.coldStart[0] = cold;
+    f.coldStart[1] = cold * 1.1;
+    f.decompress[0] = decompress;
+    f.decompress[1] = decompress * 1.1;
+    f.compressTime[0] = 0.5;
+    f.compressTime[1] = 0.6;
+    workload.functions.push_back(f);
+    Seconds last = 0.0;
+    for (Seconds t : arrivals) {
+        workload.invocations.push_back({0, t, 1.0});
+        last = std::max(last, t);
+    }
+    workload.duration = last + 60.0;
+    return workload;
+}
+
+cluster::ClusterConfig
+oneNodeConfig()
+{
+    cluster::ClusterConfig config;
+    config.numX86 = 1;
+    config.numArm = 0;
+    config.coresPerNode = 1;
+    config.memoryPerNodeMb = 4096;
+    return config;
+}
+
+DriverConfig
+noNoise()
+{
+    DriverConfig config;
+    config.execNoiseSigma = 0.0;
+    return config;
+}
+
+} // namespace
+
+TEST(Driver, ColdThenWarmStart)
+{
+    const auto workload = workloadWith({0.0, 100.0});
+    policy::FixedKeepAlive policy(600.0);
+    Driver driver(workload, oneNodeConfig(), policy, noNoise());
+    const auto result = driver.run();
+    const auto& records = result.metrics.records();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].start, StartType::Cold);
+    EXPECT_DOUBLE_EQ(records[0].startup, 3.0);
+    EXPECT_DOUBLE_EQ(records[0].exec, 2.0);
+    EXPECT_EQ(records[1].start, StartType::Warm);
+    EXPECT_DOUBLE_EQ(records[1].startup, 0.0);
+    EXPECT_DOUBLE_EQ(records[1].service(), 2.0);
+}
+
+TEST(Driver, ExpiredContainerGoesColdAgain)
+{
+    const auto workload = workloadWith({0.0, 1000.0});
+    policy::FixedKeepAlive policy(600.0); // expires before t=1000
+    Driver driver(workload, oneNodeConfig(), policy, noNoise());
+    const auto result = driver.run();
+    EXPECT_EQ(result.metrics.records()[1].start, StartType::Cold);
+    EXPECT_EQ(result.metrics.coldStarts(), 2u);
+}
+
+TEST(Driver, CompressedWarmStartPaysDecompression)
+{
+    const auto workload = workloadWith({0.0, 100.0});
+    policy::FixedKeepAlive policy(600.0, /*compressAll=*/true);
+    Driver driver(workload, oneNodeConfig(), policy, noNoise());
+    const auto result = driver.run();
+    const auto& records = result.metrics.records();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[1].start, StartType::WarmCompressed);
+    EXPECT_DOUBLE_EQ(records[1].startup, 1.0);
+    EXPECT_EQ(result.metrics.compressedStarts(), 1u);
+    // Both keep-alive periods (after each execution) compress.
+    EXPECT_EQ(result.metrics.compressions(), 2u);
+}
+
+TEST(Driver, ReinvocationBeforeCompressionFinishesIsPlainWarm)
+{
+    // Second arrival 0.1 s after the first finishes (exec 2 s): the
+    // 0.5 s compression has not completed, so the start is plain warm.
+    const auto workload = workloadWith({0.0, 5.2});
+    policy::FixedKeepAlive policy(600.0, true);
+    Driver driver(workload, oneNodeConfig(), policy, noNoise());
+    const auto result = driver.run();
+    EXPECT_EQ(result.metrics.records()[1].start, StartType::Warm);
+}
+
+TEST(Driver, ServiceTimeIdentity)
+{
+    trace::TraceConfig config;
+    config.numFunctions = 50;
+    config.days = 0.05;
+    const auto workload = trace::TraceGenerator::generate(config);
+    policy::FixedKeepAlive policy;
+    Driver driver(workload, cluster::ClusterConfig{}, policy);
+    const auto result = driver.run();
+    ASSERT_EQ(result.metrics.records().size(),
+              workload.invocations.size());
+    for (const auto& r : result.metrics.records()) {
+        EXPECT_NEAR(r.service(), r.wait + r.startup + r.exec, 1e-9);
+        EXPECT_GE(r.wait, 0.0);
+        EXPECT_GE(r.startup, 0.0);
+        EXPECT_GT(r.exec, 0.0);
+    }
+}
+
+TEST(Driver, QueueingWhenSaturated)
+{
+    // One core; two simultaneous arrivals: the second waits for the
+    // full service of the first (cold 3 + exec 2).
+    const auto workload = workloadWith({0.0, 0.0});
+    policy::FixedKeepAlive policy(0.0); // no keep-alive
+    Driver driver(workload, oneNodeConfig(), policy, noNoise());
+    const auto result = driver.run();
+    const auto& records = result.metrics.records();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_DOUBLE_EQ(records[0].wait, 0.0);
+    EXPECT_DOUBLE_EQ(records[1].wait, 5.0);
+    EXPECT_EQ(result.unserved, 0u);
+}
+
+TEST(Driver, ReclaimEvictsWarmForExecution)
+{
+    // Node memory 4096; function A (3000 MB) warm blocks function B
+    // (3000 MB) from placing — the driver must evict A's idle
+    // container to run B.
+    trace::Workload workload = workloadWith({0.0});
+    trace::FunctionProfile b = workload.functions[0];
+    b.id = 1;
+    b.name = "fn-b";
+    workload.functions[0].memoryMb = 3000;
+    b.memoryMb = 3000;
+    workload.functions.push_back(b);
+    workload.invocations.push_back({1, 50.0, 1.0});
+    workload.duration = 200.0;
+
+    policy::FixedKeepAlive policy(600.0);
+    Driver driver(workload, oneNodeConfig(), policy, noNoise());
+    const auto result = driver.run();
+    EXPECT_EQ(result.unserved, 0u);
+    EXPECT_EQ(result.metrics.records().size(), 2u);
+    EXPECT_EQ(result.endEvictedForExec, 1u);
+}
+
+TEST(Driver, WarmCapDropsKeepsWhenPolicyDeclines)
+{
+    cluster::ClusterConfig config = oneNodeConfig();
+    config.keepAliveMemoryFraction = 0.1; // 409 MB: below footprint
+    const auto workload = workloadWith({0.0, 100.0});
+    policy::FixedKeepAlive policy(600.0);
+    Driver driver(workload, config, policy, noNoise());
+    const auto result = driver.run();
+    // The keep never fits, so the second start is cold.
+    EXPECT_EQ(result.metrics.records()[1].start, StartType::Cold);
+    EXPECT_EQ(result.keepDropped, 2u);
+}
+
+TEST(Driver, PrewarmCreatesWarmContainer)
+{
+    /** Policy that pre-warms function 0 at the first tick. */
+    class PrewarmOnce : public policy::Policy {
+      public:
+        std::string name() const override { return "prewarm-once"; }
+        policy::KeepAliveDecision
+        onFinish(const metrics::InvocationRecord&) override
+        {
+            return {};
+        }
+        void
+        onTick(Seconds) override
+        {
+            if (!done_) {
+                done_ = true;
+                fired = context_->requestPrewarm(0, NodeType::X86,
+                                                 600.0);
+            }
+        }
+        bool fired = false;
+
+      private:
+        bool done_ = false;
+    };
+
+    const auto workload = workloadWith({120.0});
+    PrewarmOnce policy;
+    Driver driver(workload, oneNodeConfig(), policy, noNoise());
+    const auto result = driver.run();
+    EXPECT_TRUE(policy.fired);
+    ASSERT_EQ(result.metrics.records().size(), 1u);
+    // Prewarmed at t=60 (+3 s cold start): the t=120 arrival is warm.
+    EXPECT_EQ(result.metrics.records()[0].start, StartType::Warm);
+}
+
+TEST(Driver, SetKeepAliveExtendsExpiry)
+{
+    /** Policy that keeps 60 s but extends at every tick. */
+    class Extender : public policy::Policy {
+      public:
+        std::string name() const override { return "extender"; }
+        policy::KeepAliveDecision
+        onFinish(const metrics::InvocationRecord&) override
+        {
+            return {60.0, false, std::nullopt};
+        }
+        void
+        onTick(Seconds) override
+        {
+            context_->requestSetKeepAlive(0, 120.0);
+        }
+    };
+
+    // Arrival at 0, re-invocation at 300 s: 60 s keep-alive alone
+    // would expire, but per-tick extension carries it through.
+    const auto workload = workloadWith({0.0, 300.0});
+    Extender policy;
+    Driver driver(workload, oneNodeConfig(), policy, noNoise());
+    const auto result = driver.run();
+    EXPECT_EQ(result.metrics.records()[1].start, StartType::Warm);
+}
+
+TEST(Driver, RequestEvictRemovesContainers)
+{
+    class EvictAtTick : public policy::Policy {
+      public:
+        std::string name() const override { return "evictor"; }
+        policy::KeepAliveDecision
+        onFinish(const metrics::InvocationRecord&) override
+        {
+            return {3600.0, false, std::nullopt};
+        }
+        void
+        onTick(Seconds) override
+        {
+            context_->requestEvict(0);
+        }
+    };
+
+    const auto workload = workloadWith({0.0, 300.0});
+    EvictAtTick policy;
+    Driver driver(workload, oneNodeConfig(), policy, noNoise());
+    const auto result = driver.run();
+    EXPECT_EQ(result.metrics.records()[1].start, StartType::Cold);
+}
+
+TEST(Driver, CrossArchWarmupPrewarmsOtherSide)
+{
+    class KeepOnArm : public policy::Policy {
+      public:
+        std::string name() const override { return "keep-on-arm"; }
+        policy::KeepAliveDecision
+        onFinish(const metrics::InvocationRecord&) override
+        {
+            return {600.0, false, NodeType::ARM};
+        }
+    };
+
+    cluster::ClusterConfig config = oneNodeConfig();
+    config.numArm = 1;
+    const auto workload = workloadWith({0.0, 100.0});
+    KeepOnArm policy;
+    Driver driver(workload, config, policy, noNoise());
+    const auto result = driver.run();
+    const auto& records = result.metrics.records();
+    EXPECT_EQ(records[1].start, StartType::Warm);
+    EXPECT_EQ(records[1].nodeType, NodeType::ARM);
+}
+
+TEST(Driver, CompressedContainerSurvivesMemorySqueeze)
+{
+    // Node: 2 cores, 1300 MB. Function A (1000 MB, compressed to
+    // 200 MB) is kept warm compressed. Function B (1000 MB) then
+    // executes. A's re-invocation arrives while B runs: expanding the
+    // compressed container (200 -> 1000 MB) does not fit, and no node
+    // can host a cold start either — but the idle compressed
+    // container must NOT be sacrificed for a doomed reclaim. When B
+    // finishes, A starts warm-compressed.
+    trace::Workload workload = workloadWith({0.0, 11.0});
+    trace::FunctionProfile b = workload.functions[0];
+    b.id = 1;
+    b.name = "fn-b";
+    b.exec[0] = b.exec[1] = 5.0;
+    workload.functions.push_back(b);
+    workload.invocations.push_back({1, 10.0, 1.0});
+    std::sort(workload.invocations.begin(),
+              workload.invocations.end(),
+              [](const Invocation& x, const Invocation& y) {
+                  return x.arrival < y.arrival;
+              });
+    workload.duration = 120.0;
+
+    cluster::ClusterConfig config;
+    config.numX86 = 1;
+    config.numArm = 0;
+    config.coresPerNode = 2;
+    config.memoryPerNodeMb = 1300;
+    policy::FixedKeepAlive policy(600.0, /*compressAll=*/true);
+    Driver driver(workload, config, policy, noNoise());
+    const auto result = driver.run();
+
+    // A cold at 0, B cold at 10, A warm-compressed after B finishes.
+    const auto& records = result.metrics.records();
+    ASSERT_EQ(records.size(), 3u);
+    const auto& reinvocation = records[2];
+    EXPECT_EQ(reinvocation.function, 0u);
+    EXPECT_EQ(reinvocation.start, StartType::WarmCompressed);
+    EXPECT_GT(reinvocation.wait, 1.0); // waited for B to finish
+}
+
+TEST(Driver, DeterministicAcrossRuns)
+{
+    trace::TraceConfig config;
+    config.numFunctions = 60;
+    config.days = 0.05;
+    const auto workload = trace::TraceGenerator::generate(config);
+    auto runOnce = [&] {
+        policy::FixedKeepAlive policy;
+        Driver driver(workload, cluster::ClusterConfig{}, policy);
+        return driver.run().metrics.meanServiceTime();
+    };
+    EXPECT_DOUBLE_EQ(runOnce(), runOnce());
+}
+
+TEST(Driver, CostMatchesHandComputation)
+{
+    // One invocation, kept for exactly 600 s (expiry), 1000 MB on x86.
+    const auto workload = workloadWith({0.0});
+    policy::FixedKeepAlive policy(600.0);
+    cluster::ClusterConfig config = oneNodeConfig();
+    Driver driver(workload, config, policy, noNoise());
+    const auto result = driver.run();
+    const double rate =
+        config.x86CostPerHour / config.memoryPerNodeMb / 3600.0;
+    EXPECT_NEAR(result.keepAliveSpend, rate * 1000 * 600, 1e-9);
+}
+
+TEST(Driver, CompressedContainerCostsLess)
+{
+    const auto workload = workloadWith({0.0});
+    auto runSpend = [&](bool compress) {
+        policy::FixedKeepAlive policy(600.0, compress);
+        Driver driver(workload, oneNodeConfig(), policy, noNoise());
+        return driver.run().keepAliveSpend;
+    };
+    const double plain = runSpend(false);
+    const double packed = runSpend(true);
+    // 0.5 s at 1000 MB, then 599.5 s at 300 MB.
+    EXPECT_LT(packed, plain * 0.45);
+}
+
+TEST(Driver, TimelineBinsSumToInvocations)
+{
+    trace::TraceConfig config;
+    config.numFunctions = 40;
+    config.days = 0.05;
+    const auto workload = trace::TraceGenerator::generate(config);
+    policy::FixedKeepAlive policy;
+    Driver driver(workload, cluster::ClusterConfig{}, policy);
+    const auto result = driver.run();
+    std::size_t binned = 0;
+    for (const auto& bin : result.metrics.timeline())
+        binned += bin.invocations;
+    EXPECT_EQ(binned, workload.invocations.size());
+}
+
+TEST(Driver, EmptyWorkloadCompletes)
+{
+    trace::Workload workload;
+    workload.duration = 60.0;
+    policy::FixedKeepAlive policy;
+    Driver driver(workload, cluster::ClusterConfig{}, policy);
+    const auto result = driver.run();
+    EXPECT_EQ(result.metrics.invocations(), 0u);
+    EXPECT_DOUBLE_EQ(result.keepAliveSpend, 0.0);
+}
+
+TEST(Driver, DecisionTimeIsMeasured)
+{
+    trace::TraceConfig config;
+    config.numFunctions = 30;
+    config.days = 0.05;
+    const auto workload = trace::TraceGenerator::generate(config);
+    policy::FixedKeepAlive policy;
+    Driver driver(workload, cluster::ClusterConfig{}, policy);
+    const auto result = driver.run();
+    EXPECT_GT(result.decisionWallSeconds, 0.0);
+    EXPECT_LT(result.decisionWallSeconds, 10.0);
+}
+
+TEST(Driver, MemoryNeverOvercommitted)
+{
+    // The Cluster panics on any overcommit, so a clean run of a
+    // saturating workload is itself the invariant check.
+    trace::TraceConfig config;
+    config.numFunctions = 200;
+    config.days = 0.1;
+    config.targetMeanRatePerSecond = 5.0;
+    const auto workload = trace::TraceGenerator::generate(config);
+    cluster::ClusterConfig clusterConfig;
+    clusterConfig.numX86 = 2;
+    clusterConfig.numArm = 2;
+    clusterConfig.keepAliveMemoryFraction = 0.3;
+    policy::FixedKeepAlive policy;
+    Driver driver(workload, clusterConfig, policy);
+    const auto result = driver.run();
+    EXPECT_EQ(result.metrics.invocations() + result.unserved,
+              workload.invocations.size());
+}

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Metrics module tests: the collector's aggregates and timelines, SLA
+ * accounting, and CSV export.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/csv.hpp"
+#include "metrics/collector.hpp"
+#include "metrics/export.hpp"
+
+using namespace codecrunch;
+using namespace codecrunch::metrics;
+
+namespace {
+
+InvocationRecord
+makeRecord(FunctionId function, Seconds arrival, Seconds wait,
+           Seconds startup, Seconds exec, StartType start)
+{
+    InvocationRecord r;
+    r.function = function;
+    r.arrival = arrival;
+    r.wait = wait;
+    r.startup = startup;
+    r.exec = exec;
+    r.start = start;
+    return r;
+}
+
+} // namespace
+
+TEST(Collector, AggregatesBasics)
+{
+    Collector collector(300.0);
+    collector.record(
+        makeRecord(0, 10.0, 0.0, 2.0, 3.0, StartType::Cold));
+    collector.record(
+        makeRecord(0, 70.0, 1.0, 0.0, 3.0, StartType::Warm));
+    collector.record(makeRecord(1, 130.0, 0.0, 0.5, 2.0,
+                                StartType::WarmCompressed));
+
+    EXPECT_EQ(collector.invocations(), 3u);
+    EXPECT_NEAR(collector.meanServiceTime(),
+                (5.0 + 4.0 + 2.5) / 3.0, 1e-12);
+    EXPECT_NEAR(collector.meanWaitTime(), 1.0 / 3.0, 1e-12);
+    EXPECT_EQ(collector.coldStarts(), 1u);
+    EXPECT_EQ(collector.warmStarts(), 2u);
+    EXPECT_EQ(collector.compressedStarts(), 1u);
+    EXPECT_NEAR(collector.warmStartFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Collector, TimelineBinsByArrivalMinute)
+{
+    Collector collector(300.0);
+    collector.record(
+        makeRecord(0, 10.0, 0.0, 0.0, 1.0, StartType::Cold));
+    collector.record(
+        makeRecord(0, 59.0, 0.0, 0.0, 1.0, StartType::Warm));
+    collector.record(
+        makeRecord(0, 60.0, 0.0, 0.0, 1.0, StartType::Warm));
+    const auto& bins = collector.timeline();
+    ASSERT_GE(bins.size(), 2u);
+    EXPECT_EQ(bins[0].invocations, 2u);
+    EXPECT_EQ(bins[0].warmStarts, 1u);
+    EXPECT_EQ(bins[1].invocations, 1u);
+}
+
+TEST(Collector, MinuteBinMeanService)
+{
+    Collector collector(120.0);
+    collector.record(
+        makeRecord(0, 5.0, 0.0, 0.0, 2.0, StartType::Warm));
+    collector.record(
+        makeRecord(0, 6.0, 0.0, 0.0, 4.0, StartType::Warm));
+    EXPECT_NEAR(collector.timeline()[0].meanService, 3.0, 1e-12);
+}
+
+TEST(Collector, SnapshotTracksSpendDeltas)
+{
+    Collector collector(300.0);
+    collector.snapshotMinute(60.0, 100.0, 1.0);
+    collector.snapshotMinute(120.0, 150.0, 2.5);
+    EXPECT_NEAR(collector.timeline()[1].keepAliveSpend, 1.0, 1e-12);
+    EXPECT_NEAR(collector.timeline()[2].keepAliveSpend, 1.5, 1e-12);
+    EXPECT_NEAR(collector.timeline()[2].warmMemoryMb, 150.0, 1e-12);
+}
+
+TEST(Collector, ServiceQuantiles)
+{
+    Collector collector;
+    for (int i = 1; i <= 100; ++i) {
+        collector.record(makeRecord(0, i, 0.0, 0.0,
+                                    static_cast<double>(i),
+                                    StartType::Warm));
+    }
+    EXPECT_NEAR(collector.serviceQuantile(0.5), 50.5, 1.0);
+    EXPECT_NEAR(collector.serviceQuantile(1.0), 100.0, 1e-9);
+}
+
+TEST(Collector, SlaViolationPerFunctionMean)
+{
+    Collector collector;
+    // Function 0: mean service 2.0 against baseline 1.0 -> violates
+    // at 50% slack. Function 1: mean 1.05 -> compliant.
+    collector.record(
+        makeRecord(0, 1.0, 0.0, 1.0, 1.0, StartType::Cold));
+    collector.record(
+        makeRecord(1, 2.0, 0.0, 0.0, 1.05, StartType::Warm));
+    const std::vector<Seconds> baselines = {1.0, 1.0};
+    EXPECT_NEAR(collector.slaViolationFraction(baselines, 0.5), 0.5,
+                1e-12);
+    EXPECT_NEAR(collector.slaViolationFraction(baselines, 0.01), 1.0,
+                1e-12);
+    EXPECT_NEAR(collector.slaViolationFraction(baselines, 2.0), 0.0,
+                1e-12);
+}
+
+TEST(Collector, SlaIgnoresNeverInvokedFunctions)
+{
+    Collector collector;
+    collector.record(
+        makeRecord(0, 1.0, 0.0, 0.0, 1.0, StartType::Warm));
+    const std::vector<Seconds> baselines = {10.0, 0.001};
+    // Function 1 was never invoked: it must not count as a violation.
+    EXPECT_NEAR(collector.slaViolationFraction(baselines, 0.1), 0.0,
+                1e-12);
+}
+
+TEST(Exporter, TimelineCsvRoundTrips)
+{
+    Collector collector(180.0);
+    collector.record(
+        makeRecord(0, 10.0, 0.0, 1.0, 2.0, StartType::Cold));
+    collector.record(makeRecord(0, 70.0, 0.0, 0.5, 2.0,
+                                StartType::WarmCompressed));
+    collector.snapshotMinute(60.0, 512.0, 0.25);
+
+    const std::string path = "/tmp/cc_metrics_timeline.csv";
+    Exporter::writeTimeline(collector, path);
+    const auto rows = CsvReader::readFile(path);
+    ASSERT_GE(rows.size(), 3u); // header + at least 2 minute bins
+    EXPECT_EQ(rows[0][0], "minute");
+    EXPECT_EQ(rows[1][1], "1"); // minute 0: one invocation
+    EXPECT_EQ(rows[2][3], "1"); // minute 1: one compressed start
+    std::remove(path.c_str());
+}
+
+TEST(Exporter, RecordsCsvHasOneRowPerInvocation)
+{
+    Collector collector;
+    collector.record(
+        makeRecord(3, 10.0, 0.5, 1.0, 2.0, StartType::Cold));
+    const std::string path = "/tmp/cc_metrics_records.csv";
+    Exporter::writeRecords(collector, path);
+    const auto rows = CsvReader::readFile(path);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[1][0], "3");
+    EXPECT_EQ(rows[1][6], "cold");
+    std::remove(path.c_str());
+}
+
+TEST(Exporter, CdfCsvIsMonotone)
+{
+    Collector collector;
+    for (int i = 0; i < 50; ++i) {
+        collector.record(makeRecord(0, i, 0.0, 0.0, i * 0.1 + 1.0,
+                                    StartType::Warm));
+    }
+    const std::string path = "/tmp/cc_metrics_cdf.csv";
+    Exporter::writeServiceCdf(collector, path, 20);
+    const auto rows = CsvReader::readFile(path);
+    ASSERT_EQ(rows.size(), 22u);
+    double last = -1.0;
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        const double v = std::stod(rows[i][1]);
+        EXPECT_GE(v, last);
+        last = v;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Collector, EmptyCollectorIsSane)
+{
+    Collector collector;
+    EXPECT_EQ(collector.invocations(), 0u);
+    EXPECT_DOUBLE_EQ(collector.meanServiceTime(), 0.0);
+    EXPECT_DOUBLE_EQ(collector.warmStartFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(collector.serviceQuantile(0.5), 0.0);
+}

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue: ordering, FIFO tie-breaks,
+ * cancellation semantics, bounded runs, and failure modes.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace codecrunch;
+using namespace codecrunch::sim;
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(3.0, [&] { order.push_back(3); });
+    queue.schedule(1.0, [&] { order.push_back(1); });
+    queue.schedule(2.0, [&] { order.push_back(2); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        queue.schedule(5.0, [&, i] { order.push_back(i); });
+    queue.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NowAdvancesWithEvents)
+{
+    EventQueue queue;
+    Seconds seen = -1.0;
+    queue.schedule(7.5, [&] { seen = queue.now(); });
+    queue.run();
+    EXPECT_DOUBLE_EQ(seen, 7.5);
+    EXPECT_DOUBLE_EQ(queue.now(), 7.5);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue queue;
+    Seconds seen = -1.0;
+    queue.schedule(10.0, [&] {
+        queue.scheduleAfter(5.0, [&] { seen = queue.now(); });
+    });
+    queue.run();
+    EXPECT_DOUBLE_EQ(seen, 15.0);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue queue;
+    bool fired = false;
+    EventHandle handle =
+        queue.schedule(1.0, [&] { fired = true; });
+    handle.cancel();
+    queue.run();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(handle.cancelled());
+    EXPECT_FALSE(handle.fired());
+}
+
+TEST(EventQueue, CancelIsIdempotent)
+{
+    EventQueue queue;
+    EventHandle handle = queue.schedule(1.0, [] {});
+    handle.cancel();
+    handle.cancel();
+    EXPECT_TRUE(queue.empty());
+    queue.run();
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop)
+{
+    EventQueue queue;
+    EventHandle handle = queue.schedule(1.0, [] {});
+    queue.run();
+    EXPECT_TRUE(handle.fired());
+    handle.cancel();
+    EXPECT_TRUE(handle.fired());
+    EXPECT_FALSE(handle.cancelled());
+}
+
+TEST(EventQueue, PendingCountsLiveEventsOnly)
+{
+    EventQueue queue;
+    EventHandle a = queue.schedule(1.0, [] {});
+    queue.schedule(2.0, [] {});
+    EXPECT_EQ(queue.pending(), 2u);
+    a.cancel();
+    EXPECT_EQ(queue.pending(), 1u);
+    queue.run();
+    EXPECT_EQ(queue.pending(), 0u);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(1.0, [&] { order.push_back(1); });
+    queue.schedule(2.0, [&] { order.push_back(2); });
+    queue.schedule(3.0, [&] { order.push_back(3); });
+    queue.runUntil(2.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2})); // events at limit fire
+    EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+    EXPECT_EQ(queue.pending(), 1u);
+    queue.run();
+    EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
+{
+    EventQueue queue;
+    queue.runUntil(42.0);
+    EXPECT_DOUBLE_EQ(queue.now(), 42.0);
+}
+
+TEST(EventQueue, RunUntilSkipsCancelledHead)
+{
+    EventQueue queue;
+    bool fired = false;
+    EventHandle head = queue.schedule(1.0, [&] { fired = true; });
+    bool tail = false;
+    queue.schedule(1.5, [&] { tail = true; });
+    head.cancel();
+    queue.runUntil(2.0);
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(tail);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue queue;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5)
+            queue.scheduleAfter(1.0, chain);
+    };
+    queue.schedule(0.0, chain);
+    queue.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+}
+
+TEST(EventQueue, SchedulingIntoThePastPanics)
+{
+    EventQueue queue;
+    queue.schedule(10.0, [] {});
+    queue.run();
+    EXPECT_DEATH(queue.schedule(5.0, [] {}), "past");
+}
+
+TEST(EventQueue, HandleDefaultIsInvalid)
+{
+    EventHandle handle;
+    EXPECT_FALSE(handle.valid());
+    EXPECT_FALSE(handle.pending());
+    handle.cancel(); // must not crash
+}
+
+TEST(EventQueue, CancellingOneOfManyAtSameTime)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(1.0, [&] { order.push_back(0); });
+    EventHandle mid = queue.schedule(1.0, [&] { order.push_back(1); });
+    queue.schedule(1.0, [&] { order.push_back(2); });
+    mid.cancel();
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(EventQueue, StressManyEventsStayOrdered)
+{
+    EventQueue queue;
+    Rng rng(99);
+    std::vector<double> fireTimes;
+    for (int i = 0; i < 5000; ++i) {
+        const double when = rng.uniform(0.0, 1000.0);
+        queue.schedule(when, [&, when] { fireTimes.push_back(when); });
+    }
+    queue.run();
+    ASSERT_EQ(fireTimes.size(), 5000u);
+    EXPECT_TRUE(std::is_sorted(fireTimes.begin(), fireTimes.end()));
+}

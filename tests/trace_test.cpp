@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Trace module tests: the function catalog's population statistics
+ * (the paper's Figs. 1(c) and 2), the Azure-to-benchmark mapping, the
+ * workload generator's distributions and determinism, the compression
+ * model, and the Azure-format CSV round trip.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include <fstream>
+
+#include "trace/azure_csv.hpp"
+#include "trace/azure_dataset.hpp"
+#include "trace/compression_model.hpp"
+#include "trace/function_catalog.hpp"
+#include "trace/generator.hpp"
+
+using namespace codecrunch;
+using namespace codecrunch::trace;
+
+// --- catalog ---------------------------------------------------------------
+
+TEST(FunctionCatalog, HasTwoDozenArchetypes)
+{
+    EXPECT_EQ(FunctionCatalog::entries().size(), 24u);
+}
+
+TEST(FunctionCatalog, ArmFasterFractionMatchesPaper)
+{
+    // Fig. 2: ~38% of functions run faster on ARM.
+    int armFaster = 0;
+    for (const auto& e : FunctionCatalog::entries())
+        armFaster += e.armRatio < 1.0;
+    const double fraction =
+        double(armFaster) / FunctionCatalog::entries().size();
+    EXPECT_NEAR(fraction, 0.38, 0.08);
+}
+
+TEST(FunctionCatalog, CompressionFavorabilityMatchesPaper)
+{
+    // Fig. 1(c) / Sec. 2: favorable for ~42% on x86, slightly more on
+    // ARM, with x86-favorable a subset of ARM-favorable in spirit.
+    const auto model = CompressionModel::lz4();
+    int favX86 = 0, favArm = 0, x86NotArm = 0;
+    for (const auto& e : FunctionCatalog::entries()) {
+        FunctionProfile p;
+        p.coldStart[0] = e.coldStartX86;
+        p.coldStart[1] = e.coldStartArm;
+        model.apply(e, p);
+        const bool fx = p.compressionFavorable(NodeType::X86);
+        const bool fa = p.compressionFavorable(NodeType::ARM);
+        favX86 += fx;
+        favArm += fa;
+        x86NotArm += fx && !fa;
+    }
+    const double n = FunctionCatalog::entries().size();
+    EXPECT_NEAR(favX86 / n, 0.42, 0.10);
+    EXPECT_GE(favArm, favX86 - 1);
+    EXPECT_LE(x86NotArm, 2);
+}
+
+TEST(FunctionCatalog, UnfavorableWorstCaseNearPaperBound)
+{
+    // Unfavorable functions pay at most ~1.75x the cold start for a
+    // compressed start (paper: "up to 75% higher").
+    const auto model = CompressionModel::lz4();
+    double worst = 0.0;
+    for (const auto& e : FunctionCatalog::entries()) {
+        FunctionProfile p;
+        p.coldStart[0] = e.coldStartX86;
+        p.coldStart[1] = e.coldStartArm;
+        model.apply(e, p);
+        worst = std::max(worst, p.decompress[0] / p.coldStart[0]);
+    }
+    EXPECT_GT(worst, 1.2);
+    EXPECT_LT(worst, 2.0);
+}
+
+TEST(FunctionCatalog, ColdStartFractionOfExecIsPlausible)
+{
+    // Intro: cold start is 40-75% of execution time (population mean).
+    double execSum = 0, coldSum = 0;
+    for (const auto& e : FunctionCatalog::entries()) {
+        execSum += e.execX86;
+        coldSum += e.coldStartX86;
+    }
+    const double fraction = coldSum / execSum;
+    EXPECT_GT(fraction, 0.40);
+    EXPECT_LT(fraction, 1.0);
+}
+
+TEST(FunctionCatalog, NearestMappingPicksClosestArchetype)
+{
+    const auto& entries = FunctionCatalog::entries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        // Each archetype must map to itself.
+        EXPECT_EQ(FunctionCatalog::nearest(entries[i].execX86,
+                                           entries[i].memoryMb),
+                  i);
+    }
+}
+
+TEST(FunctionCatalog, NearestHandlesExtremes)
+{
+    const auto& entries = FunctionCatalog::entries();
+    const std::size_t tiny = FunctionCatalog::nearest(0.001, 1.0);
+    const std::size_t huge = FunctionCatalog::nearest(1e5, 1e6);
+    EXPECT_LT(tiny, entries.size());
+    EXPECT_LT(huge, entries.size());
+    EXPECT_NE(tiny, huge);
+}
+
+// --- compression model --------------------------------------------------------
+
+TEST(CompressionModel, RatioMonotoneInCompressibility)
+{
+    const auto model = CompressionModel::lz4();
+    EXPECT_LT(model.ratioFor(0.2), model.ratioFor(0.8));
+    EXPECT_GT(model.ratioFor(0.2), 1.0);
+}
+
+TEST(CompressionModel, RatioIsCached)
+{
+    const auto model = CompressionModel::lz4();
+    EXPECT_DOUBLE_EQ(model.ratioFor(0.5), model.ratioFor(0.5));
+}
+
+TEST(CompressionModel, AppliesConsistentFields)
+{
+    const auto model = CompressionModel::lz4();
+    const auto& entry = FunctionCatalog::entries()[0];
+    FunctionProfile profile;
+    model.apply(entry, profile);
+    EXPECT_NEAR(profile.compressedMb * profile.compressRatio,
+                entry.imageMb, 1e-6);
+    EXPECT_GT(profile.decompress[0], entry.registerSeconds);
+    EXPECT_GT(profile.decompress[1], profile.decompress[0] - 1e-9);
+    EXPECT_GT(profile.compressTime[0], 0.0);
+}
+
+TEST(CompressionModel, NoneModelIsTransparent)
+{
+    const auto model = CompressionModel::none();
+    const auto& entry = FunctionCatalog::entries()[0];
+    FunctionProfile profile;
+    model.apply(entry, profile);
+    EXPECT_NEAR(profile.compressRatio, 1.0, 1e-9);
+    EXPECT_NEAR(profile.compressedMb, entry.imageMb, 1e-6);
+}
+
+TEST(CompressionModel, RangeLzHasHigherRatioSlowerDecompress)
+{
+    const auto lz4 = CompressionModel::lz4();
+    const auto range = CompressionModel::rangeLz();
+    EXPECT_GT(range.ratioFor(0.6), lz4.ratioFor(0.6));
+    const auto& entry = FunctionCatalog::entries()[2];
+    FunctionProfile a, b;
+    lz4.apply(entry, a);
+    range.apply(entry, b);
+    EXPECT_GT(b.decompress[0], a.decompress[0]);
+}
+
+// --- generator ------------------------------------------------------------------
+
+namespace {
+
+TraceConfig
+smallConfig()
+{
+    TraceConfig config;
+    config.numFunctions = 120;
+    config.days = 0.2;
+    config.targetMeanRatePerSecond = 1.0;
+    config.seed = 11;
+    return config;
+}
+
+} // namespace
+
+TEST(TraceGenerator, DeterministicPerSeed)
+{
+    const auto a = TraceGenerator::generate(smallConfig());
+    const auto b = TraceGenerator::generate(smallConfig());
+    ASSERT_EQ(a.invocations.size(), b.invocations.size());
+    for (std::size_t i = 0; i < a.invocations.size(); ++i) {
+        EXPECT_EQ(a.invocations[i].function, b.invocations[i].function);
+        EXPECT_DOUBLE_EQ(a.invocations[i].arrival,
+                         b.invocations[i].arrival);
+    }
+}
+
+TEST(TraceGenerator, DifferentSeedsDiffer)
+{
+    auto config = smallConfig();
+    const auto a = TraceGenerator::generate(config);
+    config.seed = 12;
+    const auto b = TraceGenerator::generate(config);
+    EXPECT_NE(a.invocations.size(), b.invocations.size());
+}
+
+TEST(TraceGenerator, InvocationsSortedAndInRange)
+{
+    const auto workload = TraceGenerator::generate(smallConfig());
+    Seconds last = -1.0;
+    for (const auto& inv : workload.invocations) {
+        EXPECT_GE(inv.arrival, last);
+        EXPECT_GE(inv.arrival, 0.0);
+        EXPECT_LT(inv.arrival, workload.duration);
+        EXPECT_LT(inv.function, workload.functions.size());
+        last = inv.arrival;
+    }
+}
+
+TEST(TraceGenerator, MeanRateNearTarget)
+{
+    auto config = smallConfig();
+    config.numFunctions = 400;
+    config.targetMeanRatePerSecond = 2.0;
+    config.days = 0.3;
+    const auto workload = TraceGenerator::generate(config);
+    const double rate =
+        workload.invocations.size() / workload.duration;
+    EXPECT_NEAR(rate, 2.0, 1.0);
+}
+
+TEST(TraceGenerator, PopularityIsHeavyTailed)
+{
+    auto config = smallConfig();
+    config.numFunctions = 300;
+    config.days = 0.3;
+    config.targetMeanRatePerSecond = 3.0;
+    const auto workload = TraceGenerator::generate(config);
+    std::vector<std::size_t> counts(workload.functions.size(), 0);
+    for (const auto& inv : workload.invocations)
+        ++counts[inv.function];
+    std::sort(counts.rbegin(), counts.rend());
+    std::size_t top10 = 0, total = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        total += counts[i];
+        if (i < 30)
+            top10 += counts[i]; // top 10% of functions
+    }
+    EXPECT_GT(static_cast<double>(top10) / total, 0.35);
+}
+
+TEST(TraceGenerator, ProfilesAreCatalogBacked)
+{
+    const auto workload = TraceGenerator::generate(smallConfig());
+    const auto& catalog = FunctionCatalog::entries();
+    for (const auto& f : workload.functions) {
+        ASSERT_LT(f.catalogIndex, catalog.size());
+        const auto& entry = catalog[f.catalogIndex];
+        EXPECT_DOUBLE_EQ(f.memoryMb, entry.memoryMb);
+        EXPECT_NEAR(f.exec[0], entry.execX86, entry.execX86 * 0.11);
+        EXPECT_NEAR(f.exec[1] / f.exec[0], entry.armRatio, 1e-9);
+        EXPECT_GT(f.compressRatio, 1.0);
+    }
+}
+
+TEST(TraceGenerator, InputChangeScalesLaterInvocations)
+{
+    auto config = smallConfig();
+    config.inputChangeTime = config.days * 24 * 3600.0 * 0.5;
+    config.inputChangeFraction = 1.0;
+    config.inputChangeScale = 2.0;
+    const auto workload = TraceGenerator::generate(config);
+    bool sawScaled = false;
+    for (const auto& inv : workload.invocations) {
+        if (inv.arrival < config.inputChangeTime) {
+            EXPECT_DOUBLE_EQ(inv.inputScale, 1.0);
+        } else {
+            EXPECT_DOUBLE_EQ(inv.inputScale, 2.0);
+            sawScaled = true;
+        }
+    }
+    EXPECT_TRUE(sawScaled);
+}
+
+TEST(TraceGenerator, PeakWindowsRaiseLoad)
+{
+    auto config = smallConfig();
+    config.numFunctions = 300;
+    config.days = 0.25;
+    config.targetMeanRatePerSecond = 2.0;
+    config.diurnalAmplitude = 0.0;
+    config.peaks = {{2.0, 1.0, 5.0}}; // hour 2-3, x5
+    const auto workload = TraceGenerator::generate(config);
+    std::size_t inPeak = 0, offPeak = 0;
+    for (const auto& inv : workload.invocations) {
+        const double hour = inv.arrival / 3600.0;
+        if (hour >= 2.0 && hour < 3.0)
+            ++inPeak;
+        else if (hour >= 4.0 && hour < 5.0)
+            ++offPeak;
+    }
+    EXPECT_GT(inPeak, offPeak * 2);
+}
+
+TEST(TraceGenerator, MakeFunctionsOnlyBuildsProfiles)
+{
+    const auto functions = TraceGenerator::makeFunctions(
+        smallConfig(), CompressionModel::lz4());
+    EXPECT_EQ(functions.size(), smallConfig().numFunctions);
+    for (std::size_t i = 0; i < functions.size(); ++i)
+        EXPECT_EQ(functions[i].id, i);
+}
+
+// --- CSV round trip ---------------------------------------------------------------
+
+TEST(AzureCsv, RoundTripPreservesWorkloadShape)
+{
+    const auto workload = TraceGenerator::generate(smallConfig());
+    const std::string counts = "/tmp/cc_test_counts.csv";
+    const std::string profiles = "/tmp/cc_test_profiles.csv";
+    AzureCsv::writeInvocationCounts(workload, counts);
+    AzureCsv::writeProfiles(workload, profiles);
+    const auto reloaded = AzureCsv::read(counts, profiles);
+
+    ASSERT_EQ(reloaded.functions.size(), workload.functions.size());
+    EXPECT_EQ(reloaded.invocations.size(), workload.invocations.size());
+    for (std::size_t i = 0; i < workload.functions.size(); ++i) {
+        const auto& a = workload.functions[i];
+        const auto& b = reloaded.functions[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_NEAR(a.memoryMb, b.memoryMb, 1e-6);
+        EXPECT_NEAR(a.exec[0], b.exec[0], 1e-6);
+        EXPECT_NEAR(a.exec[1], b.exec[1], 1e-6);
+        EXPECT_NEAR(a.decompress[0], b.decompress[0], 1e-6);
+        EXPECT_NEAR(a.compressRatio, b.compressRatio, 1e-6);
+    }
+
+    // Per-minute counts must match exactly (arrival sub-minute
+    // placement is re-randomized by design).
+    const std::size_t minutes =
+        static_cast<std::size_t>(workload.duration / 60.0);
+    std::vector<std::size_t> before(minutes + 1, 0),
+        after(minutes + 1, 0);
+    for (const auto& inv : workload.invocations)
+        ++before[static_cast<std::size_t>(inv.arrival / 60.0)];
+    for (const auto& inv : reloaded.invocations)
+        ++after[static_cast<std::size_t>(inv.arrival / 60.0)];
+    EXPECT_EQ(before, after);
+
+    std::remove(counts.c_str());
+    std::remove(profiles.c_str());
+}
+
+TEST(AzureCsv, ReadIsDeterministicPerSeed)
+{
+    const auto workload = TraceGenerator::generate(smallConfig());
+    const std::string counts = "/tmp/cc_test_counts2.csv";
+    const std::string profiles = "/tmp/cc_test_profiles2.csv";
+    AzureCsv::writeInvocationCounts(workload, counts);
+    AzureCsv::writeProfiles(workload, profiles);
+    const auto a = AzureCsv::read(counts, profiles, 5);
+    const auto b = AzureCsv::read(counts, profiles, 5);
+    ASSERT_EQ(a.invocations.size(), b.invocations.size());
+    for (std::size_t i = 0; i < a.invocations.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.invocations[i].arrival,
+                         b.invocations[i].arrival);
+    std::remove(counts.c_str());
+    std::remove(profiles.c_str());
+}
+
+// --- Azure public dataset loader -----------------------------------------------
+
+namespace {
+
+struct AzureFixtureFiles {
+    std::string invocations = "/tmp/cc_azure_test_inv.csv";
+    std::string durations = "/tmp/cc_azure_test_dur.csv";
+    std::string memory = "/tmp/cc_azure_test_mem.csv";
+
+    AzureFixtureFiles()
+    {
+        // Three functions over four minutes in the real dataset
+        // schema (extra columns included to prove they are ignored).
+        std::ofstream inv(invocations);
+        inv << "HashOwner,HashApp,HashFunction,Trigger,1,2,3,4\n"
+            << "o1,a1,f1,http,2,0,1,0\n"
+            << "o1,a1,f2,timer,0,1,0,1\n"
+            << "o2,a2,f3,queue,5,5,5,5\n";
+        std::ofstream dur(durations);
+        dur << "HashOwner,HashApp,HashFunction,Average,Count,Minimum,"
+               "Maximum,percentile_Average_50\n"
+            << "o1,a1,f1,250,10,100,500,240\n"
+            << "o1,a1,f2,30000,4,10000,60000,29000\n";
+        // f3 intentionally missing: defaults must apply.
+        std::ofstream mem(memory);
+        mem << "HashOwner,HashApp,SampleCount,AverageAllocatedMb\n"
+            << "o1,a1,16,300\n";
+    }
+
+    ~AzureFixtureFiles()
+    {
+        std::remove(invocations.c_str());
+        std::remove(durations.c_str());
+        std::remove(memory.c_str());
+    }
+};
+
+} // namespace
+
+TEST(AzureDataset, LoadsRealSchemaFiles)
+{
+    AzureFixtureFiles files;
+    AzureDataset::Options options;
+    const auto workload = AzureDataset::load(
+        files.invocations, files.durations, files.memory, options);
+
+    ASSERT_EQ(workload.functions.size(), 3u);
+    EXPECT_EQ(workload.invocations.size(), 3u + 2u + 20u);
+    EXPECT_DOUBLE_EQ(workload.duration, 4 * 60.0);
+
+    // Functions are ordered by invocation volume: f3 (20) first.
+    EXPECT_NE(workload.functions[0].name.find("f3"),
+              std::string::npos);
+
+    // Durations map through: f1 averages 250 ms.
+    for (const auto& f : workload.functions) {
+        if (f.name.find("f1") != std::string::npos)
+            EXPECT_NEAR(f.exec[0], 0.25, 1e-9);
+        if (f.name.find("f2") != std::string::npos)
+            EXPECT_NEAR(f.exec[0], 30.0, 1e-9);
+    }
+}
+
+TEST(AzureDataset, ArrivalsStayInsideTheirMinute)
+{
+    AzureFixtureFiles files;
+    AzureDataset::Options options;
+    const auto workload = AzureDataset::load(
+        files.invocations, files.durations, files.memory, options);
+    // f3 fires 5x in every minute: check counts per minute bucket.
+    std::vector<int> perMinute(4, 0);
+    for (const auto& inv : workload.invocations) {
+        ASSERT_LT(inv.arrival, workload.duration);
+        if (workload.functions[inv.function].name.find("f3") !=
+            std::string::npos) {
+            ++perMinute[static_cast<int>(inv.arrival / 60.0)];
+        }
+    }
+    for (int m = 0; m < 4; ++m)
+        EXPECT_EQ(perMinute[m], 5);
+}
+
+TEST(AzureDataset, MaxFunctionsKeepsHottest)
+{
+    AzureFixtureFiles files;
+    AzureDataset::Options options;
+    options.maxFunctions = 1;
+    const auto workload = AzureDataset::load(
+        files.invocations, files.durations, files.memory, options);
+    ASSERT_EQ(workload.functions.size(), 1u);
+    EXPECT_NE(workload.functions[0].name.find("f3"),
+              std::string::npos);
+    EXPECT_EQ(workload.invocations.size(), 20u);
+}
+
+TEST(AzureDataset, MissingMemoryFileUsesDefaults)
+{
+    AzureFixtureFiles files;
+    AzureDataset::Options options;
+    const auto workload = AzureDataset::load(
+        files.invocations, files.durations, "", options);
+    EXPECT_EQ(workload.functions.size(), 3u);
+    for (const auto& f : workload.functions)
+        EXPECT_GT(f.compressRatio, 1.0);
+}
+
+TEST(AzureDataset, CompressionFieldsAreDerived)
+{
+    AzureFixtureFiles files;
+    AzureDataset::Options options;
+    const auto workload = AzureDataset::load(
+        files.invocations, files.durations, files.memory, options);
+    for (const auto& f : workload.functions) {
+        EXPECT_GT(f.compressedMb, 0.0);
+        EXPECT_GT(f.decompress[0], 0.0);
+        EXPECT_NEAR(f.compressedMb * f.compressRatio, f.imageMb,
+                    1e-6);
+    }
+}
+
+// --- profile helpers -----------------------------------------------------------------
+
+TEST(FunctionProfile, FasterArchAndFavorability)
+{
+    FunctionProfile p;
+    p.exec[0] = 2.0;
+    p.exec[1] = 1.5;
+    EXPECT_EQ(p.fasterArch(), NodeType::ARM);
+    p.exec[1] = 2.5;
+    EXPECT_EQ(p.fasterArch(), NodeType::X86);
+    p.coldStart[0] = 3.0;
+    p.decompress[0] = 1.0;
+    EXPECT_TRUE(p.compressionFavorable(NodeType::X86));
+    p.decompress[0] = 4.0;
+    EXPECT_FALSE(p.compressionFavorable(NodeType::X86));
+}
+
+TEST(FunctionProfile, ExecTimeScalesWithInput)
+{
+    FunctionProfile p;
+    p.exec[0] = 2.0;
+    EXPECT_DOUBLE_EQ(p.execTime(NodeType::X86, 1.5), 3.0);
+}
