@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_compression_warmstarts.dir/fig01_compression_warmstarts.cpp.o"
+  "CMakeFiles/fig01_compression_warmstarts.dir/fig01_compression_warmstarts.cpp.o.d"
+  "fig01_compression_warmstarts"
+  "fig01_compression_warmstarts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_compression_warmstarts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

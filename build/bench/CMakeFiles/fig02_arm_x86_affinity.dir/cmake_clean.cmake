@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_arm_x86_affinity.dir/fig02_arm_x86_affinity.cpp.o"
+  "CMakeFiles/fig02_arm_x86_affinity.dir/fig02_arm_x86_affinity.cpp.o.d"
+  "fig02_arm_x86_affinity"
+  "fig02_arm_x86_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_arm_x86_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

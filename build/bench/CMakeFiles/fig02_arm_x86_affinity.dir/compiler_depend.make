@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_arm_x86_affinity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_optimizer_comparison.dir/fig03_optimizer_comparison.cpp.o"
+  "CMakeFiles/fig03_optimizer_comparison.dir/fig03_optimizer_comparison.cpp.o.d"
+  "fig03_optimizer_comparison"
+  "fig03_optimizer_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_optimizer_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

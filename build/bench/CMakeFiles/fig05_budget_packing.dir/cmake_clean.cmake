@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_budget_packing.dir/fig05_budget_packing.cpp.o"
+  "CMakeFiles/fig05_budget_packing.dir/fig05_budget_packing.cpp.o.d"
+  "fig05_budget_packing"
+  "fig05_budget_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_budget_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

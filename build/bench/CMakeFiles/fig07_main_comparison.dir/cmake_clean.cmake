@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_main_comparison.dir/fig07_main_comparison.cpp.o"
+  "CMakeFiles/fig07_main_comparison.dir/fig07_main_comparison.cpp.o.d"
+  "fig07_main_comparison"
+  "fig07_main_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_main_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_enhanced_baselines.dir/fig08_enhanced_baselines.cpp.o"
+  "CMakeFiles/fig08_enhanced_baselines.dir/fig08_enhanced_baselines.cpp.o.d"
+  "fig08_enhanced_baselines"
+  "fig08_enhanced_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_enhanced_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

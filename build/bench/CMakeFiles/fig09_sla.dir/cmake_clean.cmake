@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sla.dir/fig09_sla.cpp.o"
+  "CMakeFiles/fig09_sla.dir/fig09_sla.cpp.o.d"
+  "fig09_sla"
+  "fig09_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_budget_creditor.dir/fig10_budget_creditor.cpp.o"
+  "CMakeFiles/fig10_budget_creditor.dir/fig10_budget_creditor.cpp.o.d"
+  "fig10_budget_creditor"
+  "fig10_budget_creditor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_budget_creditor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_compression_timeline.dir/fig11_compression_timeline.cpp.o"
+  "CMakeFiles/fig11_compression_timeline.dir/fig11_compression_timeline.cpp.o.d"
+  "fig11_compression_timeline"
+  "fig11_compression_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_compression_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

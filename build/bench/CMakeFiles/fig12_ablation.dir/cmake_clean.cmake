@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ablation.dir/fig12_ablation.cpp.o"
+  "CMakeFiles/fig12_ablation.dir/fig12_ablation.cpp.o.d"
+  "fig12_ablation"
+  "fig12_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

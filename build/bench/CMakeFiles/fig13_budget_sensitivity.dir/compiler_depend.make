@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_budget_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_budget_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_node_mix.dir/fig14_node_mix.cpp.o"
+  "CMakeFiles/fig14_node_mix.dir/fig14_node_mix.cpp.o.d"
+  "fig14_node_mix"
+  "fig14_node_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_node_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

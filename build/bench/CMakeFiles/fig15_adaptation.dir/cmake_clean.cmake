@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_adaptation.dir/fig15_adaptation.cpp.o"
+  "CMakeFiles/fig15_adaptation.dir/fig15_adaptation.cpp.o.d"
+  "fig15_adaptation"
+  "fig15_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_codec.dir/micro_codec.cpp.o"
+  "CMakeFiles/micro_codec.dir/micro_codec.cpp.o.d"
+  "micro_codec"
+  "micro_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

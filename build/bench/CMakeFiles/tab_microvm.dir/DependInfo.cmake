@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_microvm.cpp" "bench/CMakeFiles/tab_microvm.dir/tab_microvm.cpp.o" "gcc" "bench/CMakeFiles/tab_microvm.dir/tab_microvm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/cc_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/cc_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cc_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_microvm.dir/tab_microvm.cpp.o"
+  "CMakeFiles/tab_microvm.dir/tab_microvm.cpp.o.d"
+  "tab_microvm"
+  "tab_microvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_microvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

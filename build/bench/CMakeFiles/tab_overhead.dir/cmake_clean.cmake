@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_overhead.dir/tab_overhead.cpp.o"
+  "CMakeFiles/tab_overhead.dir/tab_overhead.cpp.o.d"
+  "tab_overhead"
+  "tab_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

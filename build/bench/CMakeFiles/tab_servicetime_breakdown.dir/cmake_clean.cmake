@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_servicetime_breakdown.dir/tab_servicetime_breakdown.cpp.o"
+  "CMakeFiles/tab_servicetime_breakdown.dir/tab_servicetime_breakdown.cpp.o.d"
+  "tab_servicetime_breakdown"
+  "tab_servicetime_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_servicetime_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/azure_replay.dir/azure_replay.cpp.o"
+  "CMakeFiles/azure_replay.dir/azure_replay.cpp.o.d"
+  "azure_replay"
+  "azure_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/azure_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

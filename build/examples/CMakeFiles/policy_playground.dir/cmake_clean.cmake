@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_playground.dir/policy_playground.cpp.o"
+  "CMakeFiles/policy_playground.dir/policy_playground.cpp.o.d"
+  "policy_playground"
+  "policy_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

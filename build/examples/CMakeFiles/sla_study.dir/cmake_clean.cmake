@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_study.dir/sla_study.cpp.o"
+  "CMakeFiles/sla_study.dir/sla_study.cpp.o.d"
+  "sla_study"
+  "sla_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

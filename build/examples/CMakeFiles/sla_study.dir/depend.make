@@ -1,0 +1,2 @@
+# Empty dependencies file for sla_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/cc_cluster.dir/cluster.cpp.o.d"
+  "libcc_cluster.a"
+  "libcc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

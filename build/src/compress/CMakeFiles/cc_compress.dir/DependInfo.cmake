@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/image_synth.cpp" "src/compress/CMakeFiles/cc_compress.dir/image_synth.cpp.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/image_synth.cpp.o.d"
+  "/root/repo/src/compress/lz4_codec.cpp" "src/compress/CMakeFiles/cc_compress.dir/lz4_codec.cpp.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/lz4_codec.cpp.o.d"
+  "/root/repo/src/compress/lz4hc_codec.cpp" "src/compress/CMakeFiles/cc_compress.dir/lz4hc_codec.cpp.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/lz4hc_codec.cpp.o.d"
+  "/root/repo/src/compress/range_lz_codec.cpp" "src/compress/CMakeFiles/cc_compress.dir/range_lz_codec.cpp.o" "gcc" "src/compress/CMakeFiles/cc_compress.dir/range_lz_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

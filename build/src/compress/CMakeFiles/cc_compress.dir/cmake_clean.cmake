@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_compress.dir/image_synth.cpp.o"
+  "CMakeFiles/cc_compress.dir/image_synth.cpp.o.d"
+  "CMakeFiles/cc_compress.dir/lz4_codec.cpp.o"
+  "CMakeFiles/cc_compress.dir/lz4_codec.cpp.o.d"
+  "CMakeFiles/cc_compress.dir/lz4hc_codec.cpp.o"
+  "CMakeFiles/cc_compress.dir/lz4hc_codec.cpp.o.d"
+  "CMakeFiles/cc_compress.dir/range_lz_codec.cpp.o"
+  "CMakeFiles/cc_compress.dir/range_lz_codec.cpp.o.d"
+  "libcc_compress.a"
+  "libcc_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_core.dir/codecrunch.cpp.o"
+  "CMakeFiles/cc_core.dir/codecrunch.cpp.o.d"
+  "libcc_core.a"
+  "libcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_experiments.dir/driver.cpp.o"
+  "CMakeFiles/cc_experiments.dir/driver.cpp.o.d"
+  "CMakeFiles/cc_experiments.dir/harness.cpp.o"
+  "CMakeFiles/cc_experiments.dir/harness.cpp.o.d"
+  "libcc_experiments.a"
+  "libcc_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

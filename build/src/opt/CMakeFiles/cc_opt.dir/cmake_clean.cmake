@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_opt.dir/fft.cpp.o"
+  "CMakeFiles/cc_opt.dir/fft.cpp.o.d"
+  "CMakeFiles/cc_opt.dir/optimizers.cpp.o"
+  "CMakeFiles/cc_opt.dir/optimizers.cpp.o.d"
+  "libcc_opt.a"
+  "libcc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

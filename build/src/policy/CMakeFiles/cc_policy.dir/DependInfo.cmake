@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/enhanced.cpp" "src/policy/CMakeFiles/cc_policy.dir/enhanced.cpp.o" "gcc" "src/policy/CMakeFiles/cc_policy.dir/enhanced.cpp.o.d"
+  "/root/repo/src/policy/faascache.cpp" "src/policy/CMakeFiles/cc_policy.dir/faascache.cpp.o" "gcc" "src/policy/CMakeFiles/cc_policy.dir/faascache.cpp.o.d"
+  "/root/repo/src/policy/icebreaker.cpp" "src/policy/CMakeFiles/cc_policy.dir/icebreaker.cpp.o" "gcc" "src/policy/CMakeFiles/cc_policy.dir/icebreaker.cpp.o.d"
+  "/root/repo/src/policy/oracle.cpp" "src/policy/CMakeFiles/cc_policy.dir/oracle.cpp.o" "gcc" "src/policy/CMakeFiles/cc_policy.dir/oracle.cpp.o.d"
+  "/root/repo/src/policy/sitw.cpp" "src/policy/CMakeFiles/cc_policy.dir/sitw.cpp.o" "gcc" "src/policy/CMakeFiles/cc_policy.dir/sitw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/cc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/cc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/cc_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_policy.dir/enhanced.cpp.o"
+  "CMakeFiles/cc_policy.dir/enhanced.cpp.o.d"
+  "CMakeFiles/cc_policy.dir/faascache.cpp.o"
+  "CMakeFiles/cc_policy.dir/faascache.cpp.o.d"
+  "CMakeFiles/cc_policy.dir/icebreaker.cpp.o"
+  "CMakeFiles/cc_policy.dir/icebreaker.cpp.o.d"
+  "CMakeFiles/cc_policy.dir/oracle.cpp.o"
+  "CMakeFiles/cc_policy.dir/oracle.cpp.o.d"
+  "CMakeFiles/cc_policy.dir/sitw.cpp.o"
+  "CMakeFiles/cc_policy.dir/sitw.cpp.o.d"
+  "libcc_policy.a"
+  "libcc_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

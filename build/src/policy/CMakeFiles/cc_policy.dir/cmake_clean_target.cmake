@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcc_policy.a"
+)

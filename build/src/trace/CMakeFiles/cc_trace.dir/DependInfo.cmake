@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/azure_csv.cpp" "src/trace/CMakeFiles/cc_trace.dir/azure_csv.cpp.o" "gcc" "src/trace/CMakeFiles/cc_trace.dir/azure_csv.cpp.o.d"
+  "/root/repo/src/trace/azure_dataset.cpp" "src/trace/CMakeFiles/cc_trace.dir/azure_dataset.cpp.o" "gcc" "src/trace/CMakeFiles/cc_trace.dir/azure_dataset.cpp.o.d"
+  "/root/repo/src/trace/compression_model.cpp" "src/trace/CMakeFiles/cc_trace.dir/compression_model.cpp.o" "gcc" "src/trace/CMakeFiles/cc_trace.dir/compression_model.cpp.o.d"
+  "/root/repo/src/trace/function_catalog.cpp" "src/trace/CMakeFiles/cc_trace.dir/function_catalog.cpp.o" "gcc" "src/trace/CMakeFiles/cc_trace.dir/function_catalog.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/cc_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/cc_trace.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/cc_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_trace.dir/azure_csv.cpp.o"
+  "CMakeFiles/cc_trace.dir/azure_csv.cpp.o.d"
+  "CMakeFiles/cc_trace.dir/azure_dataset.cpp.o"
+  "CMakeFiles/cc_trace.dir/azure_dataset.cpp.o.d"
+  "CMakeFiles/cc_trace.dir/compression_model.cpp.o"
+  "CMakeFiles/cc_trace.dir/compression_model.cpp.o.d"
+  "CMakeFiles/cc_trace.dir/function_catalog.cpp.o"
+  "CMakeFiles/cc_trace.dir/function_catalog.cpp.o.d"
+  "CMakeFiles/cc_trace.dir/generator.cpp.o"
+  "CMakeFiles/cc_trace.dir/generator.cpp.o.d"
+  "libcc_trace.a"
+  "libcc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_test.dir/policy_test.cpp.o"
+  "CMakeFiles/policy_test.dir/policy_test.cpp.o.d"
+  "policy_test"
+  "policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
