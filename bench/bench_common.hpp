@@ -5,9 +5,13 @@
 #pragma once
 
 #include <iostream>
+#include <string>
 
 #include "common/table.hpp"
 #include "experiments/harness.hpp"
+#include "runner/engine.hpp"
+#include "runner/progress.hpp"
+#include "runner/report.hpp"
 
 namespace codecrunch::bench {
 
@@ -15,6 +19,67 @@ using experiments::Harness;
 using experiments::PolicyRun;
 using experiments::RunResult;
 using experiments::Scenario;
+
+/**
+ * Shared command line of the figure benches:
+ *   --threads N   worker threads (default: hardware concurrency)
+ *   --json PATH   result artifact path (default: bench/out/<name>.json)
+ *   --no-json     disable the artifact
+ *   --quiet       disable live progress lines on stderr
+ */
+struct BenchOptions {
+    std::size_t threads = 0;
+    std::string jsonPath;
+    bool progress = true;
+};
+
+inline BenchOptions
+parseBenchOptions(int argc, char** argv, const std::string& name)
+{
+    BenchOptions options;
+    options.jsonPath = "bench/out/" + name + ".json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+            const std::string value = argv[++i];
+            std::size_t consumed = 0;
+            try {
+                options.threads = static_cast<std::size_t>(
+                    std::stoul(value, &consumed));
+            } catch (const std::exception&) {
+                consumed = 0;
+            }
+            if (consumed != value.size() || value.empty())
+                fatal("--threads expects a number, got '", value,
+                      "'");
+        } else if (arg == "--json" && i + 1 < argc) {
+            options.jsonPath = argv[++i];
+        } else if (arg == "--no-json") {
+            options.jsonPath.clear();
+        } else if (arg == "--quiet") {
+            options.progress = false;
+        } else {
+            fatal("usage: ", argv[0],
+                  " [--threads N] [--json PATH] [--no-json]"
+                  " [--quiet]");
+        }
+    }
+    return options;
+}
+
+/**
+ * A RunEngine wired to the bench options (progress meter included).
+ */
+struct BenchEngine {
+    explicit BenchEngine(const BenchOptions& options)
+        : engine({options.threads,
+                  options.progress ? &progress : nullptr})
+    {
+    }
+
+    runner::ConsoleProgress progress;
+    runner::RunEngine engine;
+};
 
 /** Standard summary columns for one policy run. */
 inline void

@@ -5,6 +5,12 @@
  * quality of traditional optimizers (gradient descent, Newton's
  * method, genetic algorithm) against the Oracle optimum on real
  * interval problems — the motivation for SRE.
+ *
+ * Part (b) runs every (optimizer, N) pair as an independent engine
+ * job: each job builds its own copy of the (deterministic) interval
+ * problem and its own Rng(7), so scores and evaluation counts are
+ * bit-identical to the serial sweep. Wall-clock milliseconds remain a
+ * per-job measurement and vary with load.
  */
 #include <chrono>
 
@@ -57,11 +63,42 @@ makeProblem(std::size_t numFunctions, std::uint64_t seed,
                                    budget);
 }
 
+/** Result of one (optimizer, N) job. */
+struct OptOutcome {
+    std::string name;
+    double score = 0;
+    std::size_t evals = 0;
+    double ms = 0;
+};
+
+std::unique_ptr<Optimizer>
+makeOptimizer(std::size_t which, std::size_t n)
+{
+    switch (which) {
+      case 0: return std::make_unique<LagrangianOracle>();
+      case 1:
+        return std::make_unique<CoordinateDescent>(
+            std::max<std::size_t>(2, n / 10));
+      case 2: return std::make_unique<NewtonLike>();
+      case 3: return std::make_unique<Genetic>(24, 30);
+      case 4: return std::make_unique<SimulatedAnnealing>();
+      case 5: return std::make_unique<RandomSearch>(200);
+      case 6: return std::make_unique<SreOptimizer>();
+    }
+    panic("fig03: unknown optimizer index ", which);
+}
+
+constexpr std::size_t kNumOptimizers = 7;
+
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig03_optimizer_comparison");
+    BenchEngine bench(options);
+
     printBanner("Fig. 3(a): optimization-space size vs invoked "
                 "functions");
     ConsoleTable sizes;
@@ -78,63 +115,80 @@ main()
     paperNote("space size reaches millions of candidates within one "
               "interval and grows exponentially with N");
 
+    // One job per (N, optimizer): N=150 jobs first, then N=600.
+    const std::vector<std::size_t> problemSizes = {150, 600};
+    runner::Plan<OptOutcome> plan("fig03/optimizers");
+    for (const std::size_t n : problemSizes) {
+        for (std::size_t which = 0; which < kNumOptimizers; ++which) {
+            auto optimizer = makeOptimizer(which, n);
+            plan.add(
+                optimizer->name() + "/N=" + std::to_string(n), 7,
+                [which, n](const runner::JobContext& context) {
+                    const auto problem = makeProblem(n, 77, 2e-5);
+                    const Assignment start(problem.size(), Choice{});
+                    const auto opt = makeOptimizer(which, n);
+                    Rng rng(context.seed);
+                    const auto begin =
+                        std::chrono::steady_clock::now();
+                    const auto result =
+                        opt->optimize(problem, start, rng);
+                    const double ms =
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - begin)
+                            .count();
+                    return OptOutcome{opt->name(), result.score,
+                                      result.evaluations, ms};
+                });
+        }
+    }
+    const auto outcomes = bench.engine.run(plan);
+
     printBanner("Fig. 3(b): optimizer quality on real interval "
                 "problems (lower score = better)");
     ConsoleTable table;
     table.header({"optimizer", "N=150 score", "N=600 score",
                   "evals (N=600)", "ms (N=600)"});
-
-    struct Row {
-        std::string name;
-        double scoreSmall = 0, scoreLarge = 0;
-        std::size_t evals = 0;
-        double ms = 0;
-    };
-    std::vector<Row> rows;
-
-    auto runAll = [&](std::size_t n, bool record) {
-        auto problem = makeProblem(n, 77, 2e-5);
-        const Assignment start(problem.size(), Choice{});
-        std::vector<std::unique_ptr<Optimizer>> optimizers;
-        optimizers.push_back(std::make_unique<LagrangianOracle>());
-        optimizers.push_back(std::make_unique<CoordinateDescent>(
-            std::max<std::size_t>(2, n / 10)));
-        optimizers.push_back(std::make_unique<NewtonLike>());
-        optimizers.push_back(std::make_unique<Genetic>(24, 30));
-        optimizers.push_back(std::make_unique<SimulatedAnnealing>());
-        optimizers.push_back(std::make_unique<RandomSearch>(200));
-        optimizers.push_back(std::make_unique<SreOptimizer>());
-        for (std::size_t i = 0; i < optimizers.size(); ++i) {
-            Rng rng(7);
-            const auto begin = std::chrono::steady_clock::now();
-            const auto result =
-                optimizers[i]->optimize(problem, start, rng);
-            const double ms =
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - begin)
-                    .count();
-            if (record) {
-                rows[i].scoreLarge = result.score;
-                rows[i].evals = result.evaluations;
-                rows[i].ms = ms;
-            } else {
-                rows.push_back({optimizers[i]->name(), result.score,
-                                0, 0, 0});
-            }
-        }
-    };
-    runAll(150, false);
-    runAll(600, true);
-
-    for (const auto& row : rows) {
-        table.addRow(row.name, ConsoleTable::num(row.scoreSmall, 4),
-                     ConsoleTable::num(row.scoreLarge, 4), row.evals,
-                     ConsoleTable::num(row.ms, 1));
+    for (std::size_t which = 0; which < kNumOptimizers; ++which) {
+        const OptOutcome& small = outcomes[which];
+        const OptOutcome& large = outcomes[kNumOptimizers + which];
+        table.addRow(small.name, ConsoleTable::num(small.score, 4),
+                     ConsoleTable::num(large.score, 4), large.evals,
+                     ConsoleTable::num(large.ms, 1));
     }
     table.print();
     paperNote("gradient descent, Newton's method and the genetic "
               "algorithm are sub-optimal on the large discrete "
               "space; the Oracle (brute force / exact) is best and "
               "SRE closes most of the gap cheaply");
+
+    // Custom artifact: one row per (optimizer, N); wall-clock ms is
+    // deliberately omitted to keep the file diffable.
+    if (!options.jsonPath.empty()) {
+        const std::filesystem::path file(options.jsonPath);
+        if (file.has_parent_path()) {
+            std::error_code ec;
+            std::filesystem::create_directories(file.parent_path(),
+                                                ec);
+        }
+        std::ofstream os(options.jsonPath);
+        if (!os)
+            fatal("report: cannot open ", options.jsonPath);
+        runner::JsonWriter json(os);
+        json.beginObject();
+        json.field("bench", "fig03_optimizer_comparison");
+        json.key("runs");
+        json.beginArray();
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            json.beginObject();
+            json.field("name", plan.jobs()[i].label);
+            json.field("score", outcomes[i].score);
+            json.field("evaluations", outcomes[i].evals);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+        json.finish();
+        inform("report: wrote ", options.jsonPath);
+    }
     return 0;
 }

@@ -5,16 +5,64 @@
  * selection — while keeping their own keep-alive intelligence intact.
  * Paper: all three baselines improve by over 10%, and "enhanced SitW"
  * becomes competitive with IceBreaker/FaasCache.
+ *
+ * Engine orchestration: the six budget-free runs (three baselines,
+ * plain and enhanced) execute as one concurrent plan; the plain SitW
+ * result then primes the budget for the final CodeCrunch job.
  */
 #include "bench/bench_common.hpp"
 
 using namespace codecrunch;
 using namespace codecrunch::bench;
 
-int
-main()
+namespace {
+
+/** Plain/enhanced factory pair for one baseline. */
+template <typename P>
+void
+addPair(runner::SimPlan& plan, const Harness& harness)
 {
+    runner::addSimJob(plan, P().name(), harness,
+                      [] { return std::make_unique<P>(); });
+    runner::addSimJob(
+        plan, "Enhanced-" + P().name(), harness, [] {
+            return std::make_unique<policy::Enhanced>(
+                std::make_unique<P>());
+        });
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig08_enhanced_baselines");
     Harness harness(Scenario::evaluationDefault());
+    BenchEngine bench(options);
+
+    runner::SimPlan plan("fig08/baselines");
+    addPair<policy::SitW>(plan, harness);
+    addPair<policy::FaasCache>(plan, harness);
+    addPair<policy::IceBreaker>(plan, harness);
+    const auto results = bench.engine.run(plan);
+
+    // Explicit budget dependency: CodeCrunch is normalized to the
+    // plain SitW spend observed above.
+    harness.primeBudgetRate(results[0]);
+    runner::SimPlan crunchPlan("fig08/codecrunch");
+    const auto crunchConfig = harness.codecrunchConfig();
+    runner::addSimJob(crunchPlan, "CodeCrunch", harness,
+                      [crunchConfig] {
+                          return std::make_unique<core::CodeCrunch>(
+                              crunchConfig);
+                      });
+    const auto crunchResults = bench.engine.run(crunchPlan);
+
+    std::vector<PolicyRun> runs;
+    for (std::size_t i = 0; i < results.size(); ++i)
+        runs.push_back({plan.jobs()[i].label, results[i]});
+    runs.push_back({"CodeCrunch", crunchResults.front()});
 
     printBanner("Fig. 8: baselines vs compression+heterogeneity "
                 "enhanced baselines");
@@ -23,46 +71,36 @@ main()
     header.push_back("vs plain");
     table.header(header);
 
-    auto runPair = [&](auto makePlain) {
-        auto plain = makePlain();
-        const auto plainRun = harness.runNamed(*plain);
-        policy::Enhanced enhanced(makePlain());
-        const auto enhancedRun = harness.runNamed(enhanced);
+    // Rows come in (plain, enhanced) pairs; the final CodeCrunch row
+    // stands alone.
+    std::vector<std::pair<double, double>> gains;
+    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+        const auto& plainRun = runs[i];
+        const auto& enhancedRun = runs[i + 1];
         addSummaryRow(table, plainRun.name, plainRun.result);
-        {
-            const auto& m = enhancedRun.result.metrics;
-            table.addRow(
-                enhancedRun.name, m.meanServiceTime(),
-                m.serviceQuantile(0.5), m.serviceQuantile(0.95),
-                ConsoleTable::pct(m.warmStartFraction()),
-                m.compressedStarts(),
-                ConsoleTable::num(enhancedRun.result.keepAliveSpend,
-                                  3),
-                ConsoleTable::num(
-                    improvementPct(
-                        plainRun.result.metrics.meanServiceTime(),
-                        enhancedRun.result.metrics
-                            .meanServiceTime()),
-                    1) +
-                    "%");
-        }
-        return std::make_pair(
+        const auto& m = enhancedRun.result.metrics;
+        table.addRow(
+            enhancedRun.name, m.meanServiceTime(),
+            m.serviceQuantile(0.5), m.serviceQuantile(0.95),
+            ConsoleTable::pct(m.warmStartFraction()),
+            m.compressedStarts(),
+            ConsoleTable::num(enhancedRun.result.keepAliveSpend, 3),
+            ConsoleTable::num(
+                improvementPct(
+                    plainRun.result.metrics.meanServiceTime(),
+                    enhancedRun.result.metrics.meanServiceTime()),
+                1) +
+                "%");
+        gains.emplace_back(
             plainRun.result.metrics.meanServiceTime(),
             enhancedRun.result.metrics.meanServiceTime());
-    };
-
-    const auto sitw = runPair(
-        [] { return std::make_unique<policy::SitW>(); });
-    const auto faascache = runPair(
-        [] { return std::make_unique<policy::FaasCache>(); });
-    const auto icebreaker = runPair(
-        [] { return std::make_unique<policy::IceBreaker>(); });
-
-    core::CodeCrunch codecrunch(harness.codecrunchConfig());
-    const auto crunchRun = harness.runNamed(codecrunch);
-    addSummaryRow(table, crunchRun.name, crunchRun.result);
+    }
+    addSummaryRow(table, runs.back().name, runs.back().result);
     table.print();
 
+    const auto& sitw = gains[0];
+    const auto& faascache = gains[1];
+    const auto& icebreaker = gains[2];
     std::cout << "\nenhancement gains: SitW "
               << ConsoleTable::num(
                      improvementPct(sitw.first, sitw.second), 1)
@@ -83,5 +121,11 @@ main()
                      "IceBreaker — the paper's key practical point "
                      "holds\n";
     }
+
+    runner::ReportMeta meta;
+    meta.bench = "fig08_enhanced_baselines";
+    meta.numbers.emplace_back("sitw_budget_rate_usd_per_s",
+                              harness.sitwBudgetRate());
+    runner::writeRunReport(options.jsonPath, meta, runs);
     return 0;
 }

@@ -5,6 +5,9 @@
  * full 6.75 s; no compression 8.15 s; x86-only 7.87 s; ARM-only
  * 8.4 s; fixed 10-min keep-alive 7.38 s; no SRE (whole-space descent
  * within the same time) ~19% worse.
+ *
+ * Engine orchestration: one SitW job establishes the budget, then the
+ * full controller and all five ablations run as one concurrent plan.
  */
 #include "bench/bench_common.hpp"
 
@@ -12,9 +15,45 @@ using namespace codecrunch;
 using namespace codecrunch::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig12_ablation");
     Harness harness(Scenario::evaluationDefault());
+    BenchEngine bench(options);
+
+    // Budget dependency: run SitW once, visibly, instead of hiding it
+    // inside a lazy cache.
+    runner::SimPlan budgetPlan("fig12/budget");
+    runner::addSimJob(budgetPlan, "SitW", harness,
+                      [] { return std::make_unique<policy::SitW>(); });
+    harness.primeBudgetRate(bench.engine.run(budgetPlan).front());
+
+    runner::SimPlan plan("fig12/ablations");
+    const auto addVariant = [&](auto mutate) {
+        auto config = harness.codecrunchConfig();
+        mutate(config);
+        runner::addSimJob(plan, core::CodeCrunch(config).name(),
+                          harness, [config] {
+                              return std::make_unique<
+                                  core::CodeCrunch>(config);
+                          });
+    };
+    addVariant([](core::CodeCrunchConfig&) {});
+    addVariant([](core::CodeCrunchConfig& c) { c.useSre = false; });
+    addVariant(
+        [](core::CodeCrunchConfig& c) { c.useCompression = false; });
+    addVariant([](core::CodeCrunchConfig& c) {
+        c.archMode = core::ArchMode::X86Only;
+    });
+    addVariant([](core::CodeCrunchConfig& c) {
+        c.archMode = core::ArchMode::ArmOnly;
+    });
+    addVariant([](core::CodeCrunchConfig& c) {
+        c.fixedKeepAlive = true;
+        c.fixedKeepAliveSeconds = 600.0;
+    });
+    const auto results = bench.engine.run(plan);
 
     printBanner("Fig. 12: CodeCrunch ablations");
     ConsoleTable table;
@@ -22,47 +61,35 @@ main()
     header.push_back("vs full");
     table.header(header);
 
-    core::CodeCrunch full(harness.codecrunchConfig());
-    const auto fullRun = harness.runNamed(full);
-    const double fullMean =
-        fullRun.result.metrics.meanServiceTime();
-    addSummaryRow(table, fullRun.name, fullRun.result);
-
-    auto ablate = [&](auto mutate) {
-        auto config = harness.codecrunchConfig();
-        mutate(config);
-        core::CodeCrunch policy(config);
-        const auto run = harness.runNamed(policy);
-        const auto& m = run.result.metrics;
-        table.addRow(run.name, m.meanServiceTime(),
+    const double fullMean = results[0].metrics.meanServiceTime();
+    addSummaryRow(table, plan.jobs()[0].label, results[0]);
+    std::vector<PolicyRun> runs;
+    runs.push_back({plan.jobs()[0].label, results[0]});
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        const auto& m = results[i].metrics;
+        table.addRow(plan.jobs()[i].label, m.meanServiceTime(),
                      m.serviceQuantile(0.5), m.serviceQuantile(0.95),
                      ConsoleTable::pct(m.warmStartFraction()),
                      m.compressedStarts(),
-                     ConsoleTable::num(run.result.keepAliveSpend, 3),
+                     ConsoleTable::num(results[i].keepAliveSpend, 3),
                      "+" + ConsoleTable::num(
                                (m.meanServiceTime() / fullMean -
                                 1.0) *
                                    100.0,
                                1) +
                          "%");
-    };
-
-    ablate([](core::CodeCrunchConfig& c) { c.useSre = false; });
-    ablate([](core::CodeCrunchConfig& c) { c.useCompression = false; });
-    ablate([](core::CodeCrunchConfig& c) {
-        c.archMode = core::ArchMode::X86Only;
-    });
-    ablate([](core::CodeCrunchConfig& c) {
-        c.archMode = core::ArchMode::ArmOnly;
-    });
-    ablate([](core::CodeCrunchConfig& c) {
-        c.fixedKeepAlive = true;
-        c.fixedKeepAliveSeconds = 600.0;
-    });
+        runs.push_back({plan.jobs()[i].label, results[i]});
+    }
     table.print();
 
     paperNote("paper deltas vs full (6.75 s): no compression +21%, "
               "x86-only +17%, ARM-only +24%, fixed keep-alive +9%, "
               "no SRE +19%");
+
+    runner::ReportMeta meta;
+    meta.bench = "fig12_ablation";
+    meta.numbers.emplace_back("sitw_budget_rate_usd_per_s",
+                              harness.sitwBudgetRate());
+    runner::writeRunReport(options.jsonPath, meta, runs);
     return 0;
 }

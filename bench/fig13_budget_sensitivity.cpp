@@ -4,6 +4,9 @@
  * as multiples of SitW's observed spend. Paper: CodeCrunch matches
  * SitW's service time at 0.5x the budget and is only ~5% worse at
  * 0.25x; more budget keeps helping.
+ *
+ * Engine orchestration: the SitW baseline job doubles as the budget
+ * dependency; the five budget multiples then run concurrently.
  */
 #include "bench/bench_common.hpp"
 
@@ -11,29 +14,49 @@ using namespace codecrunch;
 using namespace codecrunch::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig13_budget_sensitivity");
     Harness harness(Scenario::evaluationDefault());
+    BenchEngine bench(options);
 
-    policy::SitW sitw;
-    const auto sitwRun = harness.runNamed(sitw);
-    const double sitwMean =
-        sitwRun.result.metrics.meanServiceTime();
+    runner::SimPlan baselinePlan("fig13/baseline");
+    runner::addSimJob(baselinePlan, "SitW", harness,
+                      [] { return std::make_unique<policy::SitW>(); });
+    const RunResult sitwResult =
+        bench.engine.run(baselinePlan).front();
+    harness.primeBudgetRate(sitwResult);
+    const double sitwMean = sitwResult.metrics.meanServiceTime();
     std::cout << "SitW baseline: mean "
               << ConsoleTable::num(sitwMean, 2) << " s, spend $"
-              << ConsoleTable::num(sitwRun.result.keepAliveSpend, 2)
+              << ConsoleTable::num(sitwResult.keepAliveSpend, 2)
               << "\n";
+
+    const std::vector<double> multiples = {0.25, 0.5, 1.0, 2.0, 4.0};
+    runner::SimPlan plan("fig13/budget-sweep");
+    for (const double multiple : multiples) {
+        const auto config = harness.codecrunchConfig(multiple);
+        runner::addSimJob(
+            plan,
+            "CodeCrunch@" + ConsoleTable::num(multiple, 2) + "x",
+            harness, [config] {
+                return std::make_unique<core::CodeCrunch>(config);
+            });
+    }
+    const auto results = bench.engine.run(plan);
 
     printBanner("Fig. 13: CodeCrunch vs keep-alive budget (multiples "
                 "of SitW's spend)");
     ConsoleTable table;
     table.header({"budget multiple", "mean (s)", "warm starts",
                   "keep-alive $", "vs SitW mean"});
-    for (double multiple : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-        core::CodeCrunch policy(harness.codecrunchConfig(multiple));
-        const auto run = harness.run(policy);
+    std::vector<PolicyRun> runs;
+    runs.push_back({"SitW", sitwResult});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& run = results[i];
         table.addRow(
-            ConsoleTable::num(multiple, 2) + "x",
+            ConsoleTable::num(multiples[i], 2) + "x",
             run.metrics.meanServiceTime(),
             ConsoleTable::pct(run.metrics.warmStartFraction()),
             ConsoleTable::num(run.keepAliveSpend, 2),
@@ -42,10 +65,18 @@ main()
                                run.metrics.meanServiceTime()),
                 1) +
                 "%");
+        runs.push_back({plan.jobs()[i].label, run});
     }
     table.print();
     paperNote("CodeCrunch ~= SitW at 0.5x budget; only ~5% worse at "
               "0.25x; the dashed line (SitW at 1x) is beaten across "
               "the sweep");
+
+    runner::ReportMeta meta;
+    meta.bench = "fig13_budget_sensitivity";
+    meta.numbers.emplace_back("sitw_budget_rate_usd_per_s",
+                              harness.sitwBudgetRate());
+    meta.numbers.emplace_back("sitw_mean_service_s", sitwMean);
+    runner::writeRunReport(options.jsonPath, meta, runs);
     return 0;
 }

@@ -5,35 +5,87 @@
  * all-ARM. Paper: CodeCrunch stays ~35% closer to the Oracle than
  * SitW across mixes, and service time rises as x86 nodes disappear
  * (most functions execute faster on x86).
+ *
+ * Engine orchestration: the trace is generated once and shared by all
+ * five mixes (it only depends on the trace config). The five SitW
+ * budget jobs run as one concurrent plan, prime each mix's budget,
+ * and the ten CodeCrunch/Oracle jobs follow as a second plan.
  */
 #include "bench/bench_common.hpp"
+
+#include <memory>
 
 using namespace codecrunch;
 using namespace codecrunch::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig14_node_mix");
+    BenchEngine bench(options);
+
+    const std::vector<std::pair<int, int>> mixes = {
+        {31, 0}, {22, 9}, {13, 18}, {4, 27}, {0, 31}};
+
+    // One workload for every mix: the trace config is identical, so
+    // regenerating per mix (as the serial bench did) produced the same
+    // bytes five times over.
+    const trace::Workload workload = trace::TraceGenerator::generate(
+        Scenario::evaluationDefault().traceConfig);
+    std::vector<std::unique_ptr<Harness>> harnesses;
+    for (const auto& [x86, arm] : mixes) {
+        Scenario scenario = Scenario::evaluationDefault();
+        scenario.clusterConfig.numX86 = x86;
+        scenario.clusterConfig.numArm = arm;
+        harnesses.push_back(
+            std::make_unique<Harness>(workload, scenario));
+    }
+    const auto mixLabel = [&](std::size_t mix, const char* policy) {
+        return std::string(policy) + "/x86=" +
+               std::to_string(mixes[mix].first) +
+               ",arm=" + std::to_string(mixes[mix].second);
+    };
+
+    runner::SimPlan budgetPlan("fig14/budgets");
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        runner::addSimJob(budgetPlan, mixLabel(i, "SitW"),
+                          *harnesses[i], [] {
+                              return std::make_unique<policy::SitW>();
+                          });
+    }
+    const auto sitwResults = bench.engine.run(budgetPlan);
+    for (std::size_t i = 0; i < mixes.size(); ++i)
+        harnesses[i]->primeBudgetRate(sitwResults[i]);
+
+    runner::SimPlan plan("fig14/policies");
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        const auto crunchConfig = harnesses[i]->codecrunchConfig();
+        runner::addSimJob(plan, mixLabel(i, "CodeCrunch"),
+                          *harnesses[i], [crunchConfig] {
+                              return std::make_unique<
+                                  core::CodeCrunch>(crunchConfig);
+                          });
+        const auto oracleConfig = harnesses[i]->oracleConfig();
+        runner::addSimJob(plan, mixLabel(i, "Oracle"), *harnesses[i],
+                          [oracleConfig] {
+                              return std::make_unique<policy::Oracle>(
+                                  oracleConfig);
+                          });
+    }
+    const auto results = bench.engine.run(plan);
+
     printBanner("Fig. 14: service time vs x86/ARM node mix");
     ConsoleTable table;
     table.header({"x86 nodes", "ARM nodes", "SitW (s)",
                   "CodeCrunch (s)", "Oracle (s)",
                   "CC gap closed"});
-
-    const std::vector<std::pair<int, int>> mixes = {
-        {31, 0}, {22, 9}, {13, 18}, {4, 27}, {0, 31}};
-    for (const auto& [x86, arm] : mixes) {
-        Scenario scenario = Scenario::evaluationDefault();
-        scenario.clusterConfig.numX86 = x86;
-        scenario.clusterConfig.numArm = arm;
-        Harness harness(scenario);
-
-        policy::SitW sitw;
-        const auto sitwRun = harness.run(sitw);
-        core::CodeCrunch codecrunch(harness.codecrunchConfig());
-        const auto crunchRun = harness.run(codecrunch);
-        policy::Oracle oracle(harness.oracleConfig());
-        const auto oracleRun = harness.run(oracle);
+    std::vector<PolicyRun> runs;
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        const auto& [x86, arm] = mixes[i];
+        const RunResult& sitwRun = sitwResults[i];
+        const RunResult& crunchRun = results[2 * i];
+        const RunResult& oracleRun = results[2 * i + 1];
 
         const double sitwMean = sitwRun.metrics.meanServiceTime();
         const double crunchMean =
@@ -47,10 +99,18 @@ main()
                      ConsoleTable::num(crunchMean, 2),
                      ConsoleTable::num(oracleMean, 2),
                      ConsoleTable::pct(closed));
+
+        runs.push_back({budgetPlan.jobs()[i].label, sitwRun});
+        runs.push_back({plan.jobs()[2 * i].label, crunchRun});
+        runs.push_back({plan.jobs()[2 * i + 1].label, oracleRun});
     }
     table.print();
     paperNote("CodeCrunch tracks the Oracle across node mixes "
               "(~35% closer than SitW on average); service time "
               "grows as x86 nodes are removed");
+
+    runner::ReportMeta meta;
+    meta.bench = "fig14_node_mix";
+    runner::writeRunReport(options.jsonPath, meta, runs);
     return 0;
 }

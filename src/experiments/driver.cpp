@@ -455,6 +455,8 @@ Driver::handleTick()
     cluster_.accrueAll(now);
     collector_.snapshotMinute(now, cluster_.totalWarmMemoryMb(),
                               cluster_.keepAliveSpend());
+    if (config_.tickObserver)
+        config_.tickObserver(now);
     timedDecision([&] { policy_.onTick(now); });
     if (!drained() &&
         now <= lastArrivalTime_ + config_.drainGrace) {

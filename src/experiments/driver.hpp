@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 
 #include "cluster/cluster.hpp"
@@ -41,6 +42,12 @@ struct DriverConfig {
      * containers; keep-alive times are capped at 60 min anyway).
      */
     Seconds drainGrace = 2.0 * kSecondsPerHour;
+    /**
+     * Optional observer of the simulated clock, invoked once per
+     * optimization tick with now(). Pure observability (the runner's
+     * progress heartbeat); must not touch simulation state.
+     */
+    std::function<void(Seconds)> tickObserver;
 };
 
 /**

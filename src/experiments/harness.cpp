@@ -60,14 +60,32 @@ Harness::runNamed(policy::Policy& policy) const
 double
 Harness::sitwBudgetRate() const
 {
-    if (sitwRate_ < 0.0) {
+    std::lock_guard<std::mutex> lock(budgetMutex_);
+    if (!sitwRate_) {
         policy::SitW sitw;
         const RunResult result = run(sitw);
-        const Seconds horizon =
-            std::max(workload_.duration, 1.0);
-        sitwRate_ = result.keepAliveSpend / horizon;
+        sitwRate_ = result.keepAliveSpend /
+                    std::max(workload_.duration, 1.0);
     }
-    return sitwRate_;
+    return *sitwRate_;
+}
+
+double
+Harness::primeBudgetRate(const RunResult& sitwResult) const
+{
+    std::lock_guard<std::mutex> lock(budgetMutex_);
+    if (!sitwRate_) {
+        sitwRate_ = sitwResult.keepAliveSpend /
+                    std::max(workload_.duration, 1.0);
+    }
+    return *sitwRate_;
+}
+
+bool
+Harness::hasBudgetRate() const
+{
+    std::lock_guard<std::mutex> lock(budgetMutex_);
+    return sitwRate_.has_value();
 }
 
 core::CodeCrunchConfig
@@ -86,33 +104,6 @@ Harness::oracleConfig(double budgetMultiplier) const
     config.budgetRatePerSecond =
         sitwBudgetRate() * budgetMultiplier;
     return config;
-}
-
-std::vector<PolicyRun>
-Harness::runMainComparison() const
-{
-    std::vector<PolicyRun> runs;
-    {
-        policy::SitW sitw;
-        runs.push_back(runNamed(sitw));
-    }
-    {
-        policy::FaasCache faascache;
-        runs.push_back(runNamed(faascache));
-    }
-    {
-        policy::IceBreaker icebreaker;
-        runs.push_back(runNamed(icebreaker));
-    }
-    {
-        core::CodeCrunch codecrunch(codecrunchConfig());
-        runs.push_back(runNamed(codecrunch));
-    }
-    {
-        policy::Oracle oracle(oracleConfig());
-        runs.push_back(runNamed(oracle));
-    }
-    return runs;
 }
 
 std::vector<Seconds>

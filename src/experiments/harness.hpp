@@ -1,14 +1,19 @@
 /**
  * @file
  * Shared experiment harness: canonical workload/cluster configurations
- * and the budget-normalized policy comparison the evaluation section is
- * built on (CodeCrunch and Oracle receive exactly the keep-alive budget
- * SitW spent — paper Sec. 4, "Figures of Merit").
+ * and budget normalization for single policy runs (CodeCrunch and
+ * Oracle receive exactly the keep-alive budget SitW spent — paper
+ * Sec. 4, "Figures of Merit"). Multi-run orchestration — including the
+ * headline Fig. 7 comparison — lives in runner/engine.hpp, which fans
+ * jobs out over a thread pool; a Harness is safely shareable across
+ * those concurrent jobs.
  */
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -71,10 +76,26 @@ class Harness
 
     /**
      * Observed SitW keep-alive spend rate ($/s) — the budget every
-     * budget-normalized policy receives. Computed lazily (one SitW run)
-     * and cached.
+     * budget-normalized policy receives. Computed once (one SitW run
+     * under the scenario's driver config) and cached; thread-safe, so
+     * a harness may be shared across concurrent runner jobs. Plans
+     * that already run SitW should primeBudgetRate() instead of
+     * paying for a hidden second run.
      */
     double sitwBudgetRate() const;
+
+    /**
+     * Derive and install the budget rate from an already-completed
+     * SitW run — the explicit form of the sitwBudgetRate() dependency
+     * for engine plans (run SitW as a job, prime, then build the
+     * budget-normalized jobs). First caller wins; later calls (and
+     * sitwBudgetRate()) observe the same value.
+     * @return the effective cached rate.
+     */
+    double primeBudgetRate(const RunResult& sitwResult) const;
+
+    /** True once the budget rate has been computed or primed. */
+    bool hasBudgetRate() const;
 
     /** CodeCrunch configured with the SitW-normalized budget. */
     core::CodeCrunchConfig
@@ -85,12 +106,6 @@ class Harness
     oracleConfig(double budgetMultiplier = 1.0) const;
 
     /**
-     * The paper's headline comparison (Fig. 7): SitW, FaasCache,
-     * IceBreaker, CodeCrunch, Oracle under the same budget.
-     */
-    std::vector<PolicyRun> runMainComparison() const;
-
-    /**
      * Per-function uncompressed-warm x86 service baselines (for SLA
      * accounting).
      */
@@ -99,7 +114,9 @@ class Harness
   private:
     Scenario scenario_;
     trace::Workload workload_;
-    mutable double sitwRate_ = -1.0;
+    /** Guards the one-time budget-rate computation. */
+    mutable std::mutex budgetMutex_;
+    mutable std::optional<double> sitwRate_;
 };
 
 } // namespace codecrunch::experiments

@@ -174,6 +174,11 @@ class Collector
         std::vector<double> serviceSum(warmBaseline.size(), 0.0);
         std::vector<std::size_t> count(warmBaseline.size(), 0);
         for (const auto& r : records_) {
+            // Records outside the baseline table (foreign or sentinel
+            // function ids) have no SLA to violate; skip rather than
+            // index out of bounds.
+            if (r.function >= warmBaseline.size())
+                continue;
             serviceSum[r.function] += r.service();
             ++count[r.function];
         }

@@ -1,0 +1,87 @@
+#include "runner/engine.hpp"
+
+namespace codecrunch::runner {
+
+std::uint64_t
+seedForKey(std::string_view key, std::uint64_t base)
+{
+    // FNV-1a over the key bytes...
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : key) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    // ...mixed with the base seed and finalized with SplitMix64 so
+    // near-identical keys land far apart in seed space.
+    std::uint64_t z = hash ^ (base + 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+Job<experiments::RunResult>&
+addSimJob(SimPlan& plan, std::string label,
+          const experiments::Harness& harness, PolicyFactory factory)
+{
+    const experiments::Scenario& scenario = harness.scenario();
+    auto& job = plan.add(
+        std::move(label), scenario.driverConfig.seed,
+        [&harness, factory = std::move(factory)](
+            const JobContext& context) {
+            experiments::DriverConfig config =
+                harness.scenario().driverConfig;
+            config.seed = context.seed;
+            config.tickObserver = context.heartbeat;
+            const std::unique_ptr<policy::Policy> policy = factory();
+            experiments::Driver driver(
+                harness.workload(), harness.scenario().clusterConfig,
+                *policy, config);
+            return driver.run();
+        });
+    job.simDuration =
+        harness.workload().duration + scenario.driverConfig.drainGrace;
+    return job;
+}
+
+std::vector<experiments::PolicyRun>
+runMainComparison(const experiments::Harness& harness,
+                  RunEngine& engine)
+{
+    // Stage 1: the budget dependency. Every budget-normalized policy
+    // needs SitW's observed spend, so SitW runs alone and its result
+    // primes the harness before any dependent job is built.
+    SimPlan budgetPlan("main-comparison/budget");
+    addSimJob(budgetPlan, "SitW", harness,
+              [] { return std::make_unique<policy::SitW>(); });
+    std::vector<experiments::RunResult> sitwResults =
+        engine.run(budgetPlan);
+    harness.primeBudgetRate(sitwResults.front());
+
+    // Stage 2: the four remaining policies, concurrently. Configs are
+    // materialized here (serially) so job bodies share nothing.
+    SimPlan plan("main-comparison");
+    addSimJob(plan, "FaasCache", harness,
+              [] { return std::make_unique<policy::FaasCache>(); });
+    addSimJob(plan, "IceBreaker", harness,
+              [] { return std::make_unique<policy::IceBreaker>(); });
+    const core::CodeCrunchConfig crunchConfig =
+        harness.codecrunchConfig();
+    addSimJob(plan, "CodeCrunch", harness, [crunchConfig] {
+        return std::make_unique<core::CodeCrunch>(crunchConfig);
+    });
+    const policy::Oracle::Config oracleConfig = harness.oracleConfig();
+    addSimJob(plan, "Oracle", harness, [oracleConfig] {
+        return std::make_unique<policy::Oracle>(oracleConfig);
+    });
+    std::vector<experiments::RunResult> results = engine.run(plan);
+
+    std::vector<experiments::PolicyRun> runs;
+    runs.reserve(1 + results.size());
+    runs.push_back({"SitW", std::move(sitwResults.front())});
+    for (std::size_t i = 0; i < results.size(); ++i)
+        runs.push_back(
+            {plan.jobs()[i].label, std::move(results[i])});
+    return runs;
+}
+
+} // namespace codecrunch::runner

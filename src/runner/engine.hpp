@@ -1,0 +1,223 @@
+/**
+ * @file
+ * RunPlan/RunEngine: express an experiment as a set of labelled jobs
+ * and execute them concurrently on a work-stealing pool while staying
+ * bit-identical to serial execution.
+ *
+ * The determinism contract:
+ *  - Every job carries its own seed, fixed at plan-build time. Seeds
+ *    derive from the scenario configuration or from a stable job key
+ *    (seedForKey) — NEVER from submission order, worker identity, or
+ *    any shared RNG drawn from concurrently.
+ *  - Each simulation job builds its own Driver, which owns a private
+ *    EventQueue/Rng/Collector over a shared *immutable* workload, so
+ *    jobs share no mutable state.
+ *  - Results are collected into plan order regardless of completion
+ *    order.
+ *
+ * Under that contract, RunEngine::run with N threads produces exactly
+ * the bytes a serial loop over the same plan produces (wall-clock
+ * observability fields like RunResult::decisionWallSeconds excepted).
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "experiments/harness.hpp"
+#include "runner/progress.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace codecrunch::runner {
+
+/**
+ * Stable 64-bit seed for a job key: FNV-1a over the key folded with a
+ * SplitMix64 finalizer, mixed with `base`. Use this when a sweep needs
+ * per-point seeds; the value depends only on (key, base), so plans can
+ * be reordered, filtered, or extended without perturbing any job.
+ */
+std::uint64_t seedForKey(std::string_view key, std::uint64_t base = 0);
+
+/**
+ * Per-execution context handed to a job body.
+ */
+struct JobContext {
+    /** The job's fixed seed (Job::seed). */
+    std::uint64_t seed = 0;
+    /** Optional sim-time heartbeat for progress reporting; may be null. */
+    std::function<void(Seconds)> heartbeat;
+};
+
+/**
+ * One unit of work: a labelled, seeded body producing an R.
+ */
+template <typename R>
+struct Job {
+    /** Stable label: the job's key, display name, and report name. */
+    std::string label;
+    /** Seed forwarded to the body via JobContext. */
+    std::uint64_t seed = 0;
+    /** Expected simulated duration (progress/ETA hint; 0 = unknown). */
+    Seconds simDuration = 0.0;
+    std::function<R(const JobContext&)> body;
+};
+
+/**
+ * An ordered list of jobs. Plan order defines result order.
+ */
+template <typename R>
+class Plan
+{
+  public:
+    explicit Plan(std::string name = "plan") : name_(std::move(name)) {}
+
+    /** Append a job; returns it for further tweaking. */
+    Job<R>&
+    add(std::string label, std::uint64_t seed,
+        std::function<R(const JobContext&)> body)
+    {
+        jobs_.push_back(
+            Job<R>{std::move(label), seed, 0.0, std::move(body)});
+        return jobs_.back();
+    }
+
+    const std::string& name() const { return name_; }
+    const std::vector<Job<R>>& jobs() const { return jobs_; }
+    std::size_t size() const { return jobs_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<Job<R>> jobs_;
+};
+
+/**
+ * Executes plans on a work-stealing pool; results come back in plan
+ * order and the first job exception (in plan order) is rethrown after
+ * every job has settled.
+ */
+struct RunEngineOptions {
+    /** Worker threads; 0 means hardware concurrency. */
+    std::size_t threads = 0;
+    /** Optional progress receiver (not owned). */
+    ProgressSink* progress = nullptr;
+};
+
+class RunEngine
+{
+  public:
+    using Options = RunEngineOptions;
+
+    explicit RunEngine(Options options = Options())
+        : options_(options), pool_(options.threads)
+    {
+    }
+
+    std::size_t threads() const { return pool_.threadCount(); }
+
+    /** Execute every job of `plan`; results in plan order. */
+    template <typename R>
+    std::vector<R>
+    run(const Plan<R>& plan)
+    {
+        const auto& jobs = plan.jobs();
+        ProgressSink* sink = options_.progress;
+        if (sink)
+            sink->planStarted(plan.name(), jobs.size());
+
+        std::vector<std::optional<R>> slots(jobs.size());
+        std::vector<std::exception_ptr> errors(jobs.size());
+        std::atomic<std::size_t> remaining{jobs.size()};
+        std::mutex doneMutex;
+        std::condition_variable doneCv;
+
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            pool_.submit([&, i, sink] {
+                const Job<R>& job = jobs[i];
+                if (sink)
+                    sink->jobStarted(i, job.label, job.simDuration);
+                JobContext context;
+                context.seed = job.seed;
+                if (sink) {
+                    context.heartbeat = [sink, i](Seconds simNow) {
+                        sink->jobHeartbeat(i, simNow);
+                    };
+                }
+                try {
+                    slots[i].emplace(job.body(context));
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+                if (sink)
+                    sink->jobFinished(i, !errors[i]);
+                if (remaining.fetch_sub(1) == 1) {
+                    std::lock_guard<std::mutex> lock(doneMutex);
+                    doneCv.notify_all();
+                }
+            });
+        }
+        {
+            std::unique_lock<std::mutex> lock(doneMutex);
+            doneCv.wait(lock,
+                        [&] { return remaining.load() == 0; });
+        }
+        if (sink)
+            sink->planFinished();
+
+        for (auto& error : errors) {
+            if (error)
+                std::rethrow_exception(error);
+        }
+        std::vector<R> results;
+        results.reserve(slots.size());
+        for (auto& slot : slots)
+            results.push_back(std::move(*slot));
+        return results;
+    }
+
+  private:
+    Options options_;
+    ThreadPool pool_;
+};
+
+// --- Simulation-job layer ----------------------------------------------
+
+/** A plan whose jobs are full simulation runs. */
+using SimPlan = Plan<experiments::RunResult>;
+
+/** Creates a fresh policy instance inside the executing job. */
+using PolicyFactory =
+    std::function<std::unique_ptr<policy::Policy>()>;
+
+/**
+ * Append a simulation job over `harness`'s workload/scenario. The job
+ * seed defaults to the scenario's driver seed (what a serial
+ * `Harness::run` uses), so engine results reproduce serial results
+ * bit-for-bit; override `Job::seed` afterwards for per-point sweeps
+ * (see seedForKey). `harness` must outlive the plan's execution.
+ */
+Job<experiments::RunResult>&
+addSimJob(SimPlan& plan, std::string label,
+          const experiments::Harness& harness, PolicyFactory factory);
+
+/**
+ * The paper's headline comparison (Fig. 7) as an orchestrated plan:
+ * SitW runs first (its observed spend is the explicit budget
+ * dependency, primed into `harness`), then FaasCache, IceBreaker,
+ * CodeCrunch and Oracle run concurrently. Returns the five runs in
+ * canonical order with results bit-identical to the serial loop.
+ */
+std::vector<experiments::PolicyRun>
+runMainComparison(const experiments::Harness& harness,
+                  RunEngine& engine);
+
+} // namespace codecrunch::runner

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Live progress reporting for RunEngine plans.
+ *
+ * The engine feeds a ProgressSink from worker threads: plan start,
+ * per-job start/finish, and a per-job simulated-time heartbeat (the
+ * driver's one-minute optimizer tick). ConsoleProgress turns those
+ * callbacks into throttled single-line status updates on stderr —
+ * jobs done/running, overall percent (weighted by simulated time),
+ * and a wall-clock ETA. Progress output is observability only; it
+ * never influences simulation state, so determinism is unaffected.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace codecrunch::runner {
+
+/**
+ * Receiver of engine progress callbacks. All methods may be invoked
+ * concurrently from worker threads; implementations must synchronize.
+ */
+class ProgressSink
+{
+  public:
+    virtual ~ProgressSink() = default;
+
+    /** A plan with `jobCount` jobs is about to execute. */
+    virtual void planStarted(const std::string& planName,
+                             std::size_t jobCount) = 0;
+
+    /** Job `job` started on some worker. `simDuration` may be 0. */
+    virtual void jobStarted(std::size_t job, const std::string& label,
+                            Seconds simDuration) = 0;
+
+    /** Job `job` advanced its simulated clock to `simNow`. */
+    virtual void jobHeartbeat(std::size_t job, Seconds simNow) = 0;
+
+    /** Job `job` finished (success == no exception). */
+    virtual void jobFinished(std::size_t job, bool success) = 0;
+
+    /** Every job of the current plan completed. */
+    virtual void planFinished() = 0;
+};
+
+/**
+ * Throttled stderr status line, e.g.
+ *
+ *   [runner fig07] 2/5 done, 3 running, 61% | 12.4s elapsed, eta 7.9s
+ *   | CodeCrunch @ 9.1/14.0 sim-h
+ */
+class ConsoleProgress final : public ProgressSink
+{
+  public:
+    /** @param minInterval minimum wall-clock seconds between lines. */
+    explicit ConsoleProgress(double minInterval = 1.0)
+        : minInterval_(minInterval)
+    {
+    }
+
+    void
+    planStarted(const std::string& planName,
+                std::size_t jobCount) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        planName_ = planName;
+        jobs_.assign(jobCount, {});
+        done_ = 0;
+        planStart_ = Clock::now();
+        lastPrint_ = planStart_ - std::chrono::hours(1);
+    }
+
+    void
+    jobStarted(std::size_t job, const std::string& label,
+               Seconds simDuration) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobs_[job].label = label;
+        jobs_[job].simDuration = simDuration;
+        jobs_[job].running = true;
+        maybePrint(job);
+    }
+
+    void
+    jobHeartbeat(std::size_t job, Seconds simNow) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobs_[job].simNow = simNow;
+        maybePrint(job);
+    }
+
+    void
+    jobFinished(std::size_t job, bool success) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobs_[job].running = false;
+        jobs_[job].done = true;
+        jobs_[job].failed = !success;
+        ++done_;
+        maybePrint(job);
+    }
+
+    void
+    planFinished() override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const double elapsed = secondsSince(planStart_);
+        std::fprintf(stderr, "[runner %s] all %zu jobs done in %ss\n",
+                     planName_.c_str(), jobs_.size(),
+                     ConsoleTable::num(elapsed, 1).c_str());
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct JobState {
+        std::string label;
+        Seconds simDuration = 0.0;
+        Seconds simNow = 0.0;
+        bool running = false;
+        bool done = false;
+        bool failed = false;
+    };
+
+    static double
+    secondsSince(Clock::time_point start)
+    {
+        return std::chrono::duration<double>(Clock::now() - start)
+            .count();
+    }
+
+    /** Caller holds mutex_. `job` is the job that just made progress. */
+    void
+    maybePrint(std::size_t job)
+    {
+        const auto now = Clock::now();
+        if (std::chrono::duration<double>(now - lastPrint_).count() <
+            minInterval_)
+            return;
+        lastPrint_ = now;
+
+        std::size_t running = 0;
+        double fractionSum = 0.0;
+        for (const auto& j : jobs_) {
+            running += j.running;
+            if (j.done)
+                fractionSum += 1.0;
+            else if (j.simDuration > 0.0)
+                fractionSum +=
+                    std::min(1.0, j.simNow / j.simDuration);
+        }
+        const double fraction =
+            jobs_.empty() ? 1.0
+                          : fractionSum /
+                                static_cast<double>(jobs_.size());
+        const double elapsed = secondsSince(planStart_);
+        std::string line = "[runner " + planName_ + "] " +
+                           std::to_string(done_) + "/" +
+                           std::to_string(jobs_.size()) + " done, " +
+                           std::to_string(running) + " running, " +
+                           ConsoleTable::num(fraction * 100.0, 0) +
+                           "% | " + ConsoleTable::num(elapsed, 1) +
+                           "s elapsed";
+        if (fraction > 0.01 && fraction < 1.0) {
+            line += ", eta " +
+                    ConsoleTable::num(
+                        elapsed * (1.0 - fraction) / fraction, 1) +
+                    "s";
+        }
+        const JobState& j = jobs_[job];
+        if (!j.label.empty()) {
+            line += " | " + j.label;
+            if (j.running && j.simDuration > 0.0) {
+                line += " @ " +
+                        ConsoleTable::num(j.simNow / 3600.0, 1) + "/" +
+                        ConsoleTable::num(j.simDuration / 3600.0, 1) +
+                        " sim-h";
+            } else if (j.failed) {
+                line += " FAILED";
+            }
+        }
+        std::fprintf(stderr, "%s\n", line.c_str());
+    }
+
+    const double minInterval_;
+    std::mutex mutex_;
+    std::string planName_;
+    std::vector<JobState> jobs_;
+    std::size_t done_ = 0;
+    Clock::time_point planStart_{};
+    Clock::time_point lastPrint_{};
+};
+
+} // namespace codecrunch::runner

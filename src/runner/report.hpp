@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Machine-readable JSON export of engine runs, so bench output becomes
+ * diffable artifacts under bench/out/ instead of console-only tables.
+ *
+ * Only deterministic fields are exported (doubles at full %.17g
+ * round-trip precision): two runs of the same plan at any thread count
+ * produce byte-identical files. Wall-clock observables such as
+ * RunResult::decisionWallSeconds are deliberately omitted — they vary
+ * run to run and would defeat diffing; the overhead benches report
+ * them on the console instead.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "experiments/harness.hpp"
+
+namespace codecrunch::runner {
+
+/**
+ * Minimal streaming JSON emitter: 2-space pretty printing, insertion
+ * key order, full-precision doubles. Just enough for run reports.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+    void
+    beginObject()
+    {
+        prefix();
+        os_ << "{";
+        stack_.push_back(true);
+    }
+
+    void
+    endObject()
+    {
+        const bool empty = stack_.back();
+        stack_.pop_back();
+        if (!empty)
+            newline();
+        os_ << "}";
+    }
+
+    void
+    beginArray()
+    {
+        prefix();
+        os_ << "[";
+        stack_.push_back(true);
+    }
+
+    void
+    endArray()
+    {
+        const bool empty = stack_.back();
+        stack_.pop_back();
+        if (!empty)
+            newline();
+        os_ << "]";
+    }
+
+    /** Object key; must be followed by exactly one value. */
+    void
+    key(std::string_view name)
+    {
+        element();
+        quoted(name);
+        os_ << ": ";
+        pendingKey_ = true;
+    }
+
+    void
+    value(std::string_view text)
+    {
+        prefix();
+        quoted(text);
+    }
+
+    void value(const char* text) { value(std::string_view(text)); }
+
+    void
+    value(double number)
+    {
+        prefix();
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+        os_ << buffer;
+    }
+
+    /** Any integer type (size_t and uint64_t alias on some ABIs). */
+    template <typename I,
+              std::enable_if_t<std::is_integral_v<I> &&
+                                   !std::is_same_v<I, bool>,
+                               int> = 0>
+    void
+    value(I number)
+    {
+        prefix();
+        os_ << number;
+    }
+
+    void
+    value(bool flag)
+    {
+        prefix();
+        os_ << (flag ? "true" : "false");
+    }
+
+    /** key + value in one call. */
+    template <typename T>
+    void
+    field(std::string_view name, T&& v)
+    {
+        key(name);
+        value(std::forward<T>(v));
+    }
+
+    /** Terminate the document. */
+    void finish() { os_ << "\n"; }
+
+  private:
+    /** Emit separators before a value; keys suppress them. */
+    void
+    prefix()
+    {
+        if (pendingKey_) {
+            pendingKey_ = false;
+            return;
+        }
+        element();
+    }
+
+    /** Comma/newline bookkeeping for the enclosing container. */
+    void
+    element()
+    {
+        if (stack_.empty())
+            return;
+        if (!stack_.back())
+            os_ << ",";
+        stack_.back() = false;
+        newline();
+    }
+
+    void
+    newline()
+    {
+        os_ << "\n"
+            << std::string(2 * stack_.size(), ' ');
+    }
+
+    void
+    quoted(std::string_view text)
+    {
+        os_ << '"';
+        for (const char c : text) {
+            switch (c) {
+              case '"': os_ << "\\\""; break;
+              case '\\': os_ << "\\\\"; break;
+              case '\n': os_ << "\\n"; break;
+              case '\t': os_ << "\\t"; break;
+              case '\r': os_ << "\\r"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                                  c);
+                    os_ << buffer;
+                } else {
+                    os_ << c;
+                }
+            }
+        }
+        os_ << '"';
+    }
+
+    std::ostream& os_;
+    std::vector<bool> stack_;
+    bool pendingKey_ = false;
+};
+
+/**
+ * Report header fields shared by every bench artifact.
+ */
+struct ReportMeta {
+    /** Bench/figure name, e.g. "fig07_main_comparison". */
+    std::string bench;
+    /** Free-form scalar annotations (budget rate, sweep axis, ...). */
+    std::vector<std::pair<std::string, double>> numbers;
+};
+
+/** Emit the deterministic aggregate block of one run. */
+inline void
+writeResultFields(JsonWriter& json,
+                  const experiments::RunResult& result)
+{
+    const auto& m = result.metrics;
+    json.field("invocations", m.invocations());
+    json.field("mean_service_s", m.meanServiceTime());
+    json.field("mean_wait_s", m.meanWaitTime());
+    json.field("p50_service_s", m.serviceQuantile(0.5));
+    json.field("p95_service_s", m.serviceQuantile(0.95));
+    json.field("p99_service_s", m.serviceQuantile(0.99));
+    json.field("warm_start_fraction", m.warmStartFraction());
+    json.field("warm_starts", m.warmStarts());
+    json.field("cold_starts", m.coldStarts());
+    json.field("compressed_starts", m.compressedStarts());
+    json.field("compressions", m.compressions());
+    json.field("keepalive_spend_usd", result.keepAliveSpend);
+    json.field("unserved", result.unserved);
+    json.key("cold_start_causes");
+    json.beginObject();
+    json.field("no_container", result.coldNoContainer);
+    json.field("container_core_busy", result.coldContainerCoreBusy);
+    json.field("container_no_memory", result.coldContainerNoMemory);
+    json.endObject();
+    json.key("container_ends");
+    json.beginObject();
+    json.field("expired", result.endExpired);
+    json.field("consumed", result.endConsumed);
+    json.field("evicted_for_exec", result.endEvictedForExec);
+    json.field("evicted_for_keep", result.endEvictedForKeep);
+    json.field("evicted_by_policy", result.endEvictedByPolicy);
+    json.field("keep_dropped", result.keepDropped);
+    json.endObject();
+}
+
+/**
+ * Write a full bench artifact: meta header plus one object per run,
+ * in run order. Creates parent directories; empty path is a no-op.
+ */
+inline void
+writeRunReport(const std::string& path, const ReportMeta& meta,
+               const std::vector<experiments::PolicyRun>& runs)
+{
+    if (path.empty())
+        return;
+    const std::filesystem::path file(path);
+    if (file.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(file.parent_path(), ec);
+        if (ec)
+            fatal("report: cannot create ",
+                  file.parent_path().string(), ": ", ec.message());
+    }
+    std::ofstream os(path);
+    if (!os)
+        fatal("report: cannot open ", path, " for writing");
+
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("bench", meta.bench);
+    for (const auto& [name, number] : meta.numbers)
+        json.field(name, number);
+    json.key("runs");
+    json.beginArray();
+    for (const auto& run : runs) {
+        json.beginObject();
+        json.field("name", run.name);
+        writeResultFields(json, run.result);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    json.finish();
+    inform("report: wrote ", path);
+}
+
+} // namespace codecrunch::runner

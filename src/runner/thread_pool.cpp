@@ -1,0 +1,115 @@
+#include "runner/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace codecrunch::runner {
+
+namespace {
+
+/** Worker index of the current thread in its owning pool, if any. */
+thread_local const ThreadPool* tlsPool = nullptr;
+thread_local std::size_t tlsWorkerIndex = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0) {
+        threads = std::max<std::size_t>(
+            1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        stopping_.store(true);
+    }
+    sleepCv_.notify_all();
+    for (auto& thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    // A worker submitting from inside a task pushes onto its own deque
+    // (popped LIFO before it goes back to stealing); external threads
+    // spread round-robin.
+    std::size_t target;
+    if (tlsPool == this) {
+        target = tlsWorkerIndex;
+    } else {
+        target = nextSubmit_.fetch_add(1, std::memory_order_relaxed) %
+                 workers_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+        workers_[target]->deque.push_back(std::move(task));
+    }
+    queued_.fetch_add(1, std::memory_order_release);
+    sleepCv_.notify_one();
+}
+
+bool
+ThreadPool::takeTask(std::size_t self, std::function<void()>& out)
+{
+    {
+        Worker& own = *workers_[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.deque.empty()) {
+            out = std::move(own.deque.back());
+            own.deque.pop_back();
+            return true;
+        }
+    }
+    // Steal the oldest task from the first non-empty victim, scanning
+    // from the next worker so thieves spread out.
+    for (std::size_t step = 1; step < workers_.size(); ++step) {
+        Worker& victim =
+            *workers_[(self + step) % workers_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.deque.empty()) {
+            out = std::move(victim.deque.front());
+            victim.deque.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
+{
+    tlsPool = this;
+    tlsWorkerIndex = index;
+    std::function<void()> task;
+    for (;;) {
+        if (takeTask(index, task)) {
+            queued_.fetch_sub(1, std::memory_order_acquire);
+            task();
+            task = nullptr;
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        sleepCv_.wait(lock, [this] {
+            return stopping_.load() ||
+                   queued_.load(std::memory_order_acquire) > 0;
+        });
+        // Shutdown drains the queues: only exit once no task remains.
+        if (stopping_.load() &&
+            queued_.load(std::memory_order_acquire) == 0) {
+            break;
+        }
+    }
+    tlsPool = nullptr;
+}
+
+} // namespace codecrunch::runner

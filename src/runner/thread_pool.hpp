@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Work-stealing thread pool for coarse-grained experiment jobs.
+ *
+ * Each worker owns a deque: the owner pushes and pops at the back
+ * (LIFO, cache-friendly for nested submissions) while idle workers
+ * steal from the front of other deques (FIFO, oldest work first).
+ * External threads submit round-robin across the deques. Destruction
+ * is shutdown-safe: remaining queued tasks are drained before the
+ * workers are joined, so no submitted task is silently dropped.
+ *
+ * Tasks are run-to-completion std::function<void()> thunks. Exceptions
+ * must not escape a task; RunEngine (engine.hpp) captures them per job
+ * and rethrows on the caller's thread, and submitTask() wraps a
+ * callable into a std::packaged_task so they surface via the future.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace codecrunch::runner {
+
+/**
+ * Fixed-size work-stealing pool.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Start `threads` workers.
+     * @param threads worker count; 0 means hardware concurrency.
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Drains all queued tasks, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads. */
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /**
+     * Enqueue a task. Safe from any thread, including from inside a
+     * running task (the owning worker's deque is used in that case).
+     * Must not be called after destruction has begun.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Enqueue a callable and get a future for its result; exceptions
+     * thrown by the callable propagate through the future.
+     */
+    template <typename F>
+    auto
+    submitTask(F&& fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        submit([task] { (*task)(); });
+        return future;
+    }
+
+    /** Tasks submitted but not yet started (approximate, for tests). */
+    std::size_t queuedApprox() const { return queued_.load(); }
+
+  private:
+    /** One worker's deque; the mutex is uncontended except on steals. */
+    struct Worker {
+        std::deque<std::function<void()>> deque;
+        std::mutex mutex;
+    };
+
+    void workerLoop(std::size_t index);
+
+    /** Pop from own back, else steal from another front. */
+    bool takeTask(std::size_t self, std::function<void()>& out);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+    std::atomic<std::size_t> queued_{0};
+    std::atomic<std::size_t> nextSubmit_{0};
+    std::atomic<bool> stopping_{false};
+    std::mutex sleepMutex_;
+    std::condition_variable sleepCv_;
+};
+
+} // namespace codecrunch::runner

@@ -4,14 +4,19 @@
  *
  * Events at equal timestamps fire in insertion order (FIFO), which makes
  * simulations bit-reproducible. Cancellation is lazy: a cancelled event
- * stays in the heap but is skipped when popped, keeping cancel() O(1).
+ * stays in the heap but is skipped when popped, keeping cancel()
+ * amortized O(1). When cancelled entries outnumber live ones the heap
+ * is rebuilt without them, so heavy schedule/cancel churn (keep-alive
+ * retargeting) cannot grow the heap beyond ~2x the live event count.
+ * Rebuilding uses the same (when, seq) ordering, so the fire sequence
+ * — and therefore simulation output — is unchanged.
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -107,7 +112,9 @@ class EventQueue
                   " < ", now_, ")");
         auto state = std::make_shared<detail::EventState>();
         state->queue = this;
-        heap_.push(Entry{when, nextSeq_++, state, std::move(callback)});
+        heap_.push_back(
+            Entry{when, nextSeq_++, state, std::move(callback)});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
         ++live_;
         return EventHandle(std::move(state));
     }
@@ -129,6 +136,12 @@ class EventQueue
     bool empty() const { return live_ == 0; }
 
     /**
+     * Heap entries currently held, including lazily-cancelled ones
+     * (compaction keeps this bounded by ~2x pending()). For tests.
+     */
+    std::size_t heapEntries() const { return heap_.size(); }
+
+    /**
      * Fire the earliest live event.
      * @return false if the queue was empty.
      */
@@ -136,8 +149,7 @@ class EventQueue
     step()
     {
         while (!heap_.empty()) {
-            Entry entry = heap_.top();
-            heap_.pop();
+            Entry entry = popTop();
             if (entry.state->status != detail::EventStatus::Pending)
                 continue; // lazily discard cancelled entries
             --live_;
@@ -166,11 +178,11 @@ class EventQueue
     {
         while (!heap_.empty()) {
             while (!heap_.empty() &&
-                   heap_.top().state->status !=
+                   heap_.front().state->status !=
                        detail::EventStatus::Pending) {
-                heap_.pop();
+                popTop();
             }
-            if (heap_.empty() || heap_.top().when > limit)
+            if (heap_.empty() || heap_.front().when > limit)
                 break;
             step();
         }
@@ -198,15 +210,45 @@ class EventQueue
         }
     };
 
+    /** Remove and return the heap's top entry. */
+    Entry
+    popTop()
+    {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Entry entry = std::move(heap_.back());
+        heap_.pop_back();
+        return entry;
+    }
+
     void
     noteCancelled()
     {
         if (live_ == 0)
             panic("EventQueue: cancellation underflow");
         --live_;
+        maybeCompact();
     }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /**
+     * Rebuild the heap without cancelled entries once they exceed half
+     * of it, bounding memory under schedule/cancel churn. The small
+     * floor avoids rebuild thrash on tiny queues.
+     */
+    void
+    maybeCompact()
+    {
+        constexpr std::size_t kMinEntriesToCompact = 64;
+        if (heap_.size() < kMinEntriesToCompact ||
+            heap_.size() - live_ <= heap_.size() / 2)
+            return;
+        std::erase_if(heap_, [](const Entry& entry) {
+            return entry.state->status !=
+                   detail::EventStatus::Pending;
+        });
+        std::make_heap(heap_.begin(), heap_.end(), Later{});
+    }
+
+    std::vector<Entry> heap_;
     Seconds now_ = 0.0;
     std::uint64_t nextSeq_ = 0;
     std::size_t live_ = 0;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "experiments/harness.hpp"
+#include "runner/engine.hpp"
 
 using namespace codecrunch;
 using namespace codecrunch::experiments;
@@ -170,7 +171,8 @@ TEST_F(IntegrationTest, MainComparisonRunsAllPolicies)
 {
     Scenario scenario = Scenario::small();
     Harness harness(scenario);
-    const auto runs = harness.runMainComparison();
+    runner::RunEngine engine({2, nullptr});
+    const auto runs = runner::runMainComparison(harness, engine);
     ASSERT_EQ(runs.size(), 5u);
     EXPECT_EQ(runs[0].name, "SitW");
     EXPECT_EQ(runs[1].name, "FaasCache");

@@ -129,6 +129,22 @@ TEST(Collector, SlaIgnoresNeverInvokedFunctions)
                 1e-12);
 }
 
+TEST(Collector, SlaSkipsRecordsOutsideBaselineTable)
+{
+    Collector collector;
+    collector.record(
+        makeRecord(0, 1.0, 0.0, 1.0, 3.0, StartType::Cold));
+    // Records whose function id falls outside the baseline table
+    // (foreign or sentinel ids) must be skipped, not written out of
+    // bounds.
+    collector.record(
+        makeRecord(7, 2.0, 0.0, 1.0, 3.0, StartType::Cold));
+    const std::vector<Seconds> baselines = {1.0};
+    EXPECT_NEAR(collector.slaViolationFraction(baselines, 0.5), 1.0,
+                1e-12);
+    EXPECT_NEAR(collector.slaViolationFraction({}, 0.5), 0.0, 1e-12);
+}
+
 TEST(Exporter, TimelineCsvRoundTrips)
 {
     Collector collector(180.0);

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: thread-pool behaviour
+ * (stress, exception propagation, shutdown draining), deterministic
+ * seeding, plan-order result collection, and — the core contract —
+ * bit-identical results between multi-threaded and serial execution
+ * of the same plan.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "runner/engine.hpp"
+#include "runner/progress.hpp"
+#include "runner/report.hpp"
+
+using namespace codecrunch;
+using namespace codecrunch::experiments;
+using namespace codecrunch::runner;
+
+namespace {
+
+/** A scenario small enough for many runs per test. */
+Scenario
+tinyScenario()
+{
+    Scenario scenario = Scenario::small();
+    scenario.traceConfig.numFunctions = 40;
+    scenario.traceConfig.days = 0.08;
+    scenario.traceConfig.targetMeanRatePerSecond = 1.0;
+    return scenario;
+}
+
+/**
+ * Expect every deterministic field of two results to be bit-identical
+ * (wall-clock observables like decisionWallSeconds are excluded).
+ */
+void
+expectIdentical(const RunResult& a, const RunResult& b)
+{
+    EXPECT_EQ(a.metrics.invocations(), b.metrics.invocations());
+    EXPECT_EQ(a.metrics.meanServiceTime(),
+              b.metrics.meanServiceTime());
+    EXPECT_EQ(a.metrics.meanWaitTime(), b.metrics.meanWaitTime());
+    EXPECT_EQ(a.metrics.warmStarts(), b.metrics.warmStarts());
+    EXPECT_EQ(a.metrics.coldStarts(), b.metrics.coldStarts());
+    EXPECT_EQ(a.metrics.compressedStarts(),
+              b.metrics.compressedStarts());
+    EXPECT_EQ(a.metrics.compressions(), b.metrics.compressions());
+    for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+        EXPECT_EQ(a.metrics.serviceQuantile(q),
+                  b.metrics.serviceQuantile(q))
+            << "quantile " << q;
+    }
+    EXPECT_EQ(a.keepAliveSpend, b.keepAliveSpend);
+    EXPECT_EQ(a.unserved, b.unserved);
+    EXPECT_EQ(a.coldNoContainer, b.coldNoContainer);
+    EXPECT_EQ(a.coldContainerCoreBusy, b.coldContainerCoreBusy);
+    EXPECT_EQ(a.coldContainerNoMemory, b.coldContainerNoMemory);
+    EXPECT_EQ(a.endExpired, b.endExpired);
+    EXPECT_EQ(a.endConsumed, b.endConsumed);
+    EXPECT_EQ(a.endEvictedForExec, b.endEvictedForExec);
+    EXPECT_EQ(a.endEvictedForKeep, b.endEvictedForKeep);
+    EXPECT_EQ(a.endEvictedByPolicy, b.endEvictedByPolicy);
+    EXPECT_EQ(a.keepDropped, b.keepDropped);
+    ASSERT_EQ(a.metrics.records().size(), b.metrics.records().size());
+}
+
+/** Progress sink recording call counts for wiring tests. */
+class CountingSink final : public ProgressSink
+{
+  public:
+    void
+    planStarted(const std::string&, std::size_t jobCount) override
+    {
+        planJobs = jobCount;
+    }
+    void
+    jobStarted(std::size_t, const std::string&, Seconds) override
+    {
+        ++started;
+    }
+    void
+    jobHeartbeat(std::size_t, Seconds simNow) override
+    {
+        ++heartbeats;
+        lastSim = simNow;
+    }
+    void
+    jobFinished(std::size_t, bool success) override
+    {
+        ++finished;
+        allSucceeded = allSucceeded && success;
+    }
+    void planFinished() override { ++plansFinished; }
+
+    std::size_t planJobs = 0;
+    std::atomic<std::size_t> started{0};
+    std::atomic<std::size_t> heartbeats{0};
+    std::atomic<std::size_t> finished{0};
+    std::atomic<Seconds> lastSim{0.0};
+    std::atomic<std::size_t> plansFinished{0};
+    std::atomic<bool> allSucceeded{true};
+};
+
+} // namespace
+
+TEST(ThreadPool, RunsManyTinyJobs)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.threadCount(), 4u);
+        for (int i = 0; i < 10000; ++i)
+            pool.submit([&counter] { ++counter; });
+    } // destructor drains and joins
+    EXPECT_EQ(counter.load(), 10000);
+}
+
+TEST(ThreadPool, NestedSubmissionsComplete)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < 50; ++i) {
+            pool.submit([&pool, &counter] {
+                for (int j = 0; j < 20; ++j)
+                    pool.submit([&counter] { ++counter; });
+            });
+        }
+        // Give outer tasks a moment so inner ones are queued before
+        // shutdown begins; shutdown must then drain them all.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    EXPECT_EQ(counter.load(), 50 * 20);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submitTask([] { return 41 + 1; });
+    auto bad = pool.submitTask(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_EQ(ok.get(), 42);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(1);
+        // Head task blocks the single worker so the rest are still
+        // queued when the destructor runs.
+        pool.submit([] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(30));
+        });
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&counter] { ++counter; });
+    }
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(SeedForKey, StableAndKeyDependent)
+{
+    const std::uint64_t a = seedForKey("fig13/CodeCrunch@0.25x");
+    EXPECT_EQ(a, seedForKey("fig13/CodeCrunch@0.25x"));
+    EXPECT_NE(a, seedForKey("fig13/CodeCrunch@0.50x"));
+    EXPECT_NE(a, seedForKey("fig13/CodeCrunch@0.25x", 1));
+    EXPECT_NE(seedForKey(""), seedForKey("x"));
+}
+
+TEST(RunEngine, ResultsComeBackInPlanOrder)
+{
+    RunEngine engine({4, nullptr});
+    Plan<int> plan("order");
+    for (int i = 0; i < 8; ++i) {
+        plan.add("job" + std::to_string(i),
+                 static_cast<std::uint64_t>(i),
+                 [i](const JobContext&) {
+                     // Later jobs finish first.
+                     std::this_thread::sleep_for(
+                         std::chrono::milliseconds(8 - i));
+                     return i;
+                 });
+    }
+    const auto results = engine.run(plan);
+    ASSERT_EQ(results.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(results[i], i);
+}
+
+TEST(RunEngine, JobExceptionIsRethrownAfterPlanSettles)
+{
+    RunEngine engine({2, nullptr});
+    Plan<int> plan("throwing");
+    std::atomic<int> completed{0};
+    plan.add("ok1", 0, [&](const JobContext&) {
+        ++completed;
+        return 1;
+    });
+    plan.add("bad", 0, [](const JobContext&) -> int {
+        throw std::runtime_error("job failed");
+    });
+    plan.add("ok2", 0, [&](const JobContext&) {
+        ++completed;
+        return 2;
+    });
+    EXPECT_THROW(engine.run(plan), std::runtime_error);
+    // Sibling jobs still ran to completion; the engine stays usable.
+    EXPECT_EQ(completed.load(), 2);
+    Plan<int> again("after");
+    again.add("j", 0, [](const JobContext&) { return 7; });
+    EXPECT_EQ(engine.run(again).front(), 7);
+}
+
+TEST(RunEngine, ProgressSinkSeesEveryJobAndHeartbeats)
+{
+    CountingSink sink;
+    RunEngine engine({2, &sink});
+    Harness harness(tinyScenario());
+    SimPlan plan("progress");
+    addSimJob(plan, "FixedKeepAlive", harness, [] {
+        return std::make_unique<policy::FixedKeepAlive>();
+    });
+    addSimJob(plan, "SitW", harness,
+              [] { return std::make_unique<policy::SitW>(); });
+    engine.run(plan);
+    EXPECT_EQ(sink.planJobs, 2u);
+    EXPECT_EQ(sink.started.load(), 2u);
+    EXPECT_EQ(sink.finished.load(), 2u);
+    EXPECT_EQ(sink.plansFinished.load(), 1u);
+    EXPECT_TRUE(sink.allSucceeded.load());
+    // One heartbeat per optimizer tick per job.
+    EXPECT_GT(sink.heartbeats.load(), 10u);
+    EXPECT_GT(sink.lastSim.load(), 0.0);
+}
+
+TEST(RunEngine, ParallelResultsAreBitIdenticalToSerial)
+{
+    Harness harness(tinyScenario());
+
+    const auto buildPlan = [&] {
+        SimPlan plan("determinism");
+        addSimJob(plan, "SitW", harness,
+                  [] { return std::make_unique<policy::SitW>(); });
+        addSimJob(plan, "FixedKeepAlive", harness, [] {
+            return std::make_unique<policy::FixedKeepAlive>();
+        });
+        addSimJob(plan, "FaasCache", harness, [] {
+            return std::make_unique<policy::FaasCache>();
+        });
+        addSimJob(plan, "IceBreaker", harness, [] {
+            return std::make_unique<policy::IceBreaker>();
+        });
+        return plan;
+    };
+
+    // Serial reference: plain Harness::run on the caller's thread.
+    std::vector<RunResult> serial;
+    {
+        policy::SitW sitw;
+        serial.push_back(harness.run(sitw));
+        policy::FixedKeepAlive fixed;
+        serial.push_back(harness.run(fixed));
+        policy::FaasCache faascache;
+        serial.push_back(harness.run(faascache));
+        policy::IceBreaker icebreaker;
+        serial.push_back(harness.run(icebreaker));
+    }
+
+    RunEngine oneThread({1, nullptr});
+    const auto single = oneThread.run(buildPlan());
+    RunEngine fourThreads({4, nullptr});
+    const auto parallel = fourThreads.run(buildPlan());
+    ASSERT_EQ(single.size(), serial.size());
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        expectIdentical(serial[i], single[i]);
+        expectIdentical(serial[i], parallel[i]);
+    }
+}
+
+TEST(RunEngine, MainComparisonMatchesSerialLoop)
+{
+    Harness harness(tinyScenario());
+
+    // Serial reference (the pre-engine Harness::runMainComparison
+    // sequence: each policy via Harness::run, budget from the lazy
+    // SitW rate).
+    std::vector<PolicyRun> serial;
+    {
+        policy::SitW sitw;
+        serial.push_back(harness.runNamed(sitw));
+        policy::FaasCache faascache;
+        serial.push_back(harness.runNamed(faascache));
+        policy::IceBreaker icebreaker;
+        serial.push_back(harness.runNamed(icebreaker));
+        core::CodeCrunch codecrunch(harness.codecrunchConfig());
+        serial.push_back(harness.runNamed(codecrunch));
+        policy::Oracle oracle(harness.oracleConfig());
+        serial.push_back(harness.runNamed(oracle));
+    }
+
+    RunEngine engine({4, nullptr});
+    const auto runs = runMainComparison(harness, engine);
+    ASSERT_EQ(runs.size(), 5u);
+    EXPECT_EQ(runs[0].name, "SitW");
+    EXPECT_EQ(runs[1].name, "FaasCache");
+    EXPECT_EQ(runs[2].name, "IceBreaker");
+    EXPECT_EQ(runs[3].name, "CodeCrunch");
+    EXPECT_EQ(runs[4].name, "Oracle");
+    for (std::size_t i = 0; i < runs.size(); ++i)
+        expectIdentical(serial[i].result, runs[i].result);
+}
+
+TEST(Harness, BudgetRateIsPrimableAndThreadSafe)
+{
+    Harness harness(tinyScenario());
+    EXPECT_FALSE(harness.hasBudgetRate());
+
+    policy::SitW sitw;
+    const RunResult sitwResult = harness.run(sitw);
+    const double primed = harness.primeBudgetRate(sitwResult);
+    EXPECT_GT(primed, 0.0);
+    EXPECT_TRUE(harness.hasBudgetRate());
+    // The lazy path observes the primed value instead of re-running.
+    EXPECT_EQ(harness.sitwBudgetRate(), primed);
+    // Priming again does not overwrite.
+    EXPECT_EQ(harness.primeBudgetRate(sitwResult), primed);
+
+    // Concurrent readers agree.
+    std::vector<std::thread> threads;
+    std::vector<double> rates(4, -1.0);
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        threads.emplace_back([&harness, &rates, i] {
+            rates[i] = harness.sitwBudgetRate();
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+    for (const double rate : rates)
+        EXPECT_EQ(rate, primed);
+}
+
+TEST(Report, WritesDiffableJsonArtifact)
+{
+    Harness harness(tinyScenario());
+    policy::FixedKeepAlive fixed;
+    std::vector<PolicyRun> runs;
+    runs.push_back(harness.runNamed(fixed));
+
+    const std::string path =
+        ::testing::TempDir() + "runner_report_test/out.json";
+    ReportMeta meta;
+    meta.bench = "runner_test";
+    meta.numbers.emplace_back("answer", 42.0);
+    writeRunReport(path, meta, runs);
+    writeRunReport(path + ".again", meta, runs);
+
+    const auto slurp = [](const std::string& p) {
+        std::ifstream in(p);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    };
+    const std::string text = slurp(path);
+    EXPECT_NE(text.find("\"bench\": \"runner_test\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"answer\": 42"), std::string::npos);
+    EXPECT_NE(text.find("\"mean_service_s\""), std::string::npos);
+    EXPECT_NE(text.find("\"invocations\""), std::string::npos);
+    // Deterministic fields only: two exports are byte-identical.
+    EXPECT_EQ(text, slurp(path + ".again"));
+    std::remove(path.c_str());
+    std::remove((path + ".again").c_str());
+}

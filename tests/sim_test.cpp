@@ -191,3 +191,45 @@ TEST(EventQueue, StressManyEventsStayOrdered)
     ASSERT_EQ(fireTimes.size(), 5000u);
     EXPECT_TRUE(std::is_sorted(fireTimes.begin(), fireTimes.end()));
 }
+
+TEST(EventQueue, HeapStaysBoundedUnderCancelChurn)
+{
+    // Keep-alive retargeting pattern: schedule an expiry, cancel it,
+    // reschedule — tens of thousands of times with only a handful of
+    // live events. Without compaction the heap would hold every
+    // cancelled entry until its timestamp is reached.
+    EventQueue queue;
+    std::vector<EventHandle> handles(8);
+    int fired = 0;
+    for (int round = 0; round < 10000; ++round) {
+        const std::size_t slot =
+            static_cast<std::size_t>(round) % handles.size();
+        handles[slot].cancel();
+        handles[slot] = queue.scheduleAfter(
+            1e6 + static_cast<double>(round), [&] { ++fired; });
+        ASSERT_LT(queue.heapEntries(), 1000u) << "round " << round;
+    }
+    EXPECT_LE(queue.pending(), handles.size());
+    // Compaction must not disturb what actually fires.
+    queue.run();
+    EXPECT_EQ(fired, static_cast<int>(handles.size()));
+}
+
+TEST(EventQueue, CompactionPreservesFireOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    std::vector<EventHandle> doomed;
+    for (int i = 0; i < 200; ++i)
+        queue.schedule(static_cast<double>(i),
+                       [&order, i] { order.push_back(i); });
+    for (int i = 0; i < 600; ++i)
+        doomed.push_back(queue.schedule(
+            1000.0, [&order] { order.push_back(-1); }));
+    for (auto& handle : doomed)
+        handle.cancel(); // triggers at least one compaction
+    EXPECT_LT(queue.heapEntries(), 600u);
+    queue.run();
+    ASSERT_EQ(order.size(), 200u);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
