@@ -42,15 +42,21 @@ parseBenchOptions(int argc, char** argv, const std::string& name)
         const std::string arg = argv[i];
         if (arg == "--threads" && i + 1 < argc) {
             const std::string value = argv[++i];
+            // stoul accepts "-1" (wraps to SIZE_MAX), so reject any
+            // sign explicitly and cap at a sane worker count.
             std::size_t consumed = 0;
             try {
                 options.threads = static_cast<std::size_t>(
-                    std::stoul(value, &consumed));
+                    std::stoull(value, &consumed));
             } catch (const std::exception&) {
                 consumed = 0;
             }
-            if (consumed != value.size() || value.empty())
+            if (consumed != value.size() || value.empty() ||
+                value.find_first_of("+-") != std::string::npos)
                 fatal("--threads expects a number, got '", value,
+                      "'");
+            if (options.threads > 4096)
+                fatal("--threads too large (max 4096), got '", value,
                       "'");
         } else if (arg == "--json" && i + 1 < argc) {
             options.jsonPath = argv[++i];

@@ -12,6 +12,7 @@
  */
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -95,6 +96,13 @@ class JsonWriter
     value(double number)
     {
         prefix();
+        // JSON has no nan/inf literals; emit null so the artifact
+        // stays parseable even if a metric degenerates (e.g. a
+        // quantile over zero records).
+        if (!std::isfinite(number)) {
+            os_ << "null";
+            return;
+        }
         char buffer[64];
         std::snprintf(buffer, sizeof(buffer), "%.17g", number);
         os_ << buffer;
@@ -276,6 +284,10 @@ writeRunReport(const std::string& path, const ReportMeta& meta,
     json.endArray();
     json.endObject();
     json.finish();
+    os.flush();
+    if (!os.good())
+        fatal("report: write to ", path,
+              " failed (disk full or I/O error)");
     inform("report: wrote ", path);
 }
 

@@ -54,7 +54,14 @@ ThreadPool::submit(std::function<void()> task)
         std::lock_guard<std::mutex> lock(workers_[target]->mutex);
         workers_[target]->deque.push_back(std::move(task));
     }
-    queued_.fetch_add(1, std::memory_order_release);
+    // The increment must happen under sleepMutex_ so it synchronizes
+    // with a worker that has just read queued_==0 in its wait predicate
+    // but not yet blocked; otherwise the notify is lost and the worker
+    // sleeps with the task still queued (mirrors ~ThreadPool).
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        queued_.fetch_add(1, std::memory_order_release);
+    }
     sleepCv_.notify_one();
 }
 
