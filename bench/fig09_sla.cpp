@@ -5,6 +5,10 @@
  * (1 + slack) x its uncompressed-warm x86 baseline. Paper: at 20%
  * slack, SLA-mode CodeCrunch violates for only 1.8% of functions
  * while every competing technique violates for more than 19%.
+ *
+ * Runs on the RunEngine: SitW first (the budget dependency), then
+ * FaasCache, CodeCrunch and the SLA variants concurrently. Results
+ * are bit-identical to the old serial loop.
  */
 #include "bench/bench_common.hpp"
 
@@ -12,11 +16,48 @@ using namespace codecrunch;
 using namespace codecrunch::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig09_sla");
     Harness harness(Scenario::evaluationDefault());
+    BenchEngine bench(options);
     const auto baselines = harness.warmBaselines();
     const std::vector<double> slacks = {0.10, 0.20, 0.30, 0.50};
+
+    // Stage 1: SitW alone; its spend normalizes every other budget.
+    runner::SimPlan budgetPlan("fig09/budget");
+    runner::addSimJob(budgetPlan, "SitW", harness,
+                      [] { return std::make_unique<policy::SitW>(); });
+    std::vector<RunResult> sitwResults = bench.engine.run(budgetPlan);
+    harness.primeBudgetRate(sitwResults.front());
+
+    // Stage 2: the remaining policies, concurrently.
+    runner::SimPlan plan("fig09");
+    runner::addSimJob(plan, "FaasCache", harness, [] {
+        return std::make_unique<policy::FaasCache>();
+    });
+    const core::CodeCrunchConfig crunchConfig =
+        harness.codecrunchConfig();
+    runner::addSimJob(plan, "CodeCrunch", harness, [crunchConfig] {
+        return std::make_unique<core::CodeCrunch>(crunchConfig);
+    });
+    for (double slack : {0.20, 0.50}) {
+        core::CodeCrunchConfig config = harness.codecrunchConfig();
+        config.slaSlack = slack;
+        runner::addSimJob(
+            plan, "CodeCrunch-SLA@" + ConsoleTable::pct(slack, 0),
+            harness, [config] {
+                return std::make_unique<core::CodeCrunch>(config);
+            });
+    }
+    std::vector<RunResult> results = bench.engine.run(plan);
+
+    std::vector<PolicyRun> runs;
+    runs.reserve(1 + results.size());
+    runs.push_back({"SitW", std::move(sitwResults.front())});
+    for (std::size_t i = 0; i < results.size(); ++i)
+        runs.push_back({plan.jobs()[i].label, std::move(results[i])});
 
     printBanner("Fig. 9: fraction of functions violating the SLA");
     ConsoleTable table;
@@ -25,38 +66,17 @@ main()
         header.push_back("slack " + ConsoleTable::pct(slack, 0));
     header.push_back("mean (s)");
     table.header(header);
-
-    auto addPolicy = [&](const std::string& name,
-                         const RunResult& result) {
-        std::vector<std::string> row = {name};
+    for (const auto& run : runs) {
+        std::vector<std::string> row = {run.name};
         for (double slack : slacks) {
             row.push_back(ConsoleTable::pct(
-                result.metrics.slaViolationFraction(baselines,
-                                                    slack)));
+                run.result.metrics.slaViolationFraction(baselines,
+                                                        slack)));
         }
         row.push_back(
-            ConsoleTable::num(result.metrics.meanServiceTime(), 2));
+            ConsoleTable::num(run.result.metrics.meanServiceTime(),
+                              2));
         table.row(row);
-    };
-
-    {
-        policy::SitW sitw;
-        addPolicy("SitW", harness.run(sitw));
-    }
-    {
-        policy::FaasCache faascache;
-        addPolicy("FaasCache", harness.run(faascache));
-    }
-    {
-        core::CodeCrunch codecrunch(harness.codecrunchConfig());
-        addPolicy("CodeCrunch", harness.run(codecrunch));
-    }
-    for (double slack : {0.20, 0.50}) {
-        auto config = harness.codecrunchConfig();
-        config.slaSlack = slack;
-        core::CodeCrunch sla(config);
-        addPolicy("CodeCrunch-SLA@" + ConsoleTable::pct(slack, 0),
-                  harness.run(sla));
     }
     table.print();
     paperNote("at 20% slack the paper reports 1.8% violations for "
@@ -65,5 +85,23 @@ main()
               "functions that no within-budget policy can keep warm, "
               "so absolute levels are higher, but CodeCrunch remains "
               "the lowest-violation policy");
+
+    runner::ReportMeta meta;
+    meta.bench = "fig09_sla";
+    meta.numbers.emplace_back("sitw_budget_rate_usd_per_s",
+                              harness.sitwBudgetRate());
+    runner::writeRunReport(
+        options.jsonPath, meta, runs,
+        [&](runner::JsonWriter& json, const PolicyRun& run,
+            std::size_t) {
+            json.key("sla_violation_fraction");
+            json.beginObject();
+            for (double slack : slacks) {
+                json.field("slack_" + ConsoleTable::pct(slack, 0),
+                           run.result.metrics.slaViolationFraction(
+                               baselines, slack));
+            }
+            json.endObject();
+        });
     return 0;
 }

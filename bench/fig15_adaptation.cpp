@@ -5,6 +5,10 @@
  * inputs change (execution time x1.6) and an extra load burst hits;
  * CodeCrunch is not told. Paper: CodeCrunch detects the changes and
  * keeps tracking the Oracle, while SitW degrades at the peaks.
+ *
+ * Runs on the RunEngine: SitW first (the budget dependency), then
+ * CodeCrunch and the Oracle concurrently. Results are bit-identical
+ * to the old serial loop.
  */
 #include "bench/bench_common.hpp"
 #include "trace/generator.hpp"
@@ -13,8 +17,10 @@ using namespace codecrunch;
 using namespace codecrunch::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig15_adaptation");
     Scenario scenario = Scenario::evaluationDefault();
     scenario.traceConfig.inputChangeTime =
         scenario.traceConfig.days * 24.0 * 3600.0 * 0.5;
@@ -25,26 +31,49 @@ main()
         {10.0, 1.5, 4.0}, {19.0, 1.0, 3.0},
         {scenario.traceConfig.days * 24.0 * 0.55, 1.0, 6.0}};
     Harness harness(scenario);
+    BenchEngine bench(options);
     std::cout << "input change at hour "
               << scenario.traceConfig.inputChangeTime / 3600.0
               << "; unannounced burst at hour "
               << scenario.traceConfig.peaks[2].startHour << "\n";
 
-    policy::SitW sitw;
-    const auto sitwRun = harness.runNamed(sitw);
-    core::CodeCrunch codecrunch(harness.codecrunchConfig());
-    const auto crunchRun = harness.runNamed(codecrunch);
-    policy::Oracle oracle(harness.oracleConfig());
-    const auto oracleRun = harness.runNamed(oracle);
+    // Stage 1: SitW alone primes the budget every other policy uses.
+    runner::SimPlan budgetPlan("fig15/budget");
+    runner::addSimJob(budgetPlan, "SitW", harness,
+                      [] { return std::make_unique<policy::SitW>(); });
+    std::vector<RunResult> sitwResults = bench.engine.run(budgetPlan);
+    harness.primeBudgetRate(sitwResults.front());
+
+    // Stage 2: CodeCrunch and the Oracle, concurrently.
+    runner::SimPlan plan("fig15");
+    const core::CodeCrunchConfig crunchConfig =
+        harness.codecrunchConfig();
+    runner::addSimJob(plan, "CodeCrunch", harness, [crunchConfig] {
+        return std::make_unique<core::CodeCrunch>(crunchConfig);
+    });
+    const policy::Oracle::Config oracleConfig = harness.oracleConfig();
+    runner::addSimJob(plan, "Oracle", harness, [oracleConfig] {
+        return std::make_unique<policy::Oracle>(oracleConfig);
+    });
+    std::vector<RunResult> results = bench.engine.run(plan);
+
+    std::vector<PolicyRun> runs;
+    runs.reserve(3);
+    runs.push_back({"SitW", std::move(sitwResults.front())});
+    for (std::size_t i = 0; i < results.size(); ++i)
+        runs.push_back({plan.jobs()[i].label, std::move(results[i])});
+    const RunResult& sitwRun = runs[0].result;
+    const RunResult& crunchRun = runs[1].result;
+    const RunResult& oracleRun = runs[2].result;
 
     printBanner("Fig. 15: hourly mean service time around the "
                 "perturbation");
     ConsoleTable table;
     table.header({"hour", "load (inv)", "SitW (s)", "CodeCrunch (s)",
                   "Oracle (s)", "event"});
-    const auto& sBins = sitwRun.result.metrics.timeline();
-    const auto& cBins = crunchRun.result.metrics.timeline();
-    const auto& oBins = oracleRun.result.metrics.timeline();
+    const auto& sBins = sitwRun.metrics.timeline();
+    const auto& cBins = crunchRun.metrics.timeline();
+    const auto& oBins = oracleRun.metrics.timeline();
     const std::size_t hours = sBins.size() / 60;
     const double changeHour =
         scenario.traceConfig.inputChangeTime / 3600.0;
@@ -87,9 +116,9 @@ main()
         }
         return count ? total / count : 0.0;
     };
-    const double sitwAfter = meanAfter(sitwRun.result.metrics);
-    const double crunchAfter = meanAfter(crunchRun.result.metrics);
-    const double oracleAfter = meanAfter(oracleRun.result.metrics);
+    const double sitwAfter = meanAfter(sitwRun.metrics);
+    const double crunchAfter = meanAfter(crunchRun.metrics);
+    const double oracleAfter = meanAfter(oracleRun.metrics);
     std::cout << "\nmean service after the perturbation: SitW "
               << ConsoleTable::num(sitwAfter, 2) << " s, CodeCrunch "
               << ConsoleTable::num(crunchAfter, 2) << " s, Oracle "
@@ -101,5 +130,21 @@ main()
               << " of SitW's gap to the Oracle post-change\n";
     paperNote("CodeCrunch closely follows the Oracle curve through "
               "the change; the baseline degrades during peaks");
+
+    runner::ReportMeta meta;
+    meta.bench = "fig15_adaptation";
+    meta.numbers.emplace_back("sitw_budget_rate_usd_per_s",
+                              harness.sitwBudgetRate());
+    meta.numbers.emplace_back("input_change_time_s",
+                              scenario.traceConfig.inputChangeTime);
+    meta.numbers.emplace_back("input_change_scale",
+                              scenario.traceConfig.inputChangeScale);
+    runner::writeRunReport(
+        options.jsonPath, meta, runs,
+        [&](runner::JsonWriter& json, const PolicyRun& run,
+            std::size_t) {
+            json.field("mean_service_after_change_s",
+                       meanAfter(run.result.metrics));
+        });
     return 0;
 }

@@ -37,13 +37,49 @@ Cluster::Cluster(const ClusterConfig& config)
     addNodes(config.numArm, NodeType::ARM, config.armCostPerHour);
 }
 
+void
+Cluster::markDown(NodeId id)
+{
+    Node& node = nodes_.at(id);
+    if (node.down)
+        panic("Cluster: markDown on already-down node ", id);
+    if (node.coresUsed != 0 || node.execMemoryMb > kMemEps ||
+        node.warmMemoryMb > kMemEps)
+        panic("Cluster: markDown on undrained node ", id, " (",
+              node.coresUsed, " cores, ", node.execMemoryMb,
+              " MB exec, ", node.warmMemoryMb, " MB warm)");
+    node.down = true;
+    ++downNodes_;
+}
+
+void
+Cluster::recover(NodeId id)
+{
+    Node& node = nodes_.at(id);
+    if (!node.down)
+        panic("Cluster: recover of up node ", id);
+    node.down = false;
+    --downNodes_;
+}
+
+std::vector<ContainerId>
+Cluster::warmOnNode(NodeId node) const
+{
+    std::vector<ContainerId> ids;
+    for (const auto& [id, container] : warmPool_) {
+        if (container.node == node)
+            ids.push_back(id);
+    }
+    return ids;
+}
+
 std::optional<NodeId>
 Cluster::pickNodeForExec(NodeType type, MegaBytes memoryMb) const
 {
     std::optional<NodeId> best;
     MegaBytes bestFree = -1;
     for (const auto& node : nodes_) {
-        if (node.type != type || node.freeCores() < 1)
+        if (node.down || node.type != type || node.freeCores() < 1)
             continue;
         const MegaBytes free = node.freeMemoryMb();
         if (free + kMemEps >= memoryMb && free > bestFree) {
@@ -57,6 +93,8 @@ Cluster::pickNodeForExec(NodeType type, MegaBytes memoryMb) const
 MegaBytes
 Cluster::warmHeadroom(const Node& node) const
 {
+    if (node.down)
+        return 0.0;
     const MegaBytes cap =
         node.memoryMb * config_.keepAliveMemoryFraction;
     return std::min(node.freeMemoryMb(), cap - node.warmMemoryMb);
@@ -74,7 +112,7 @@ Cluster::pickNodeForWarm(NodeType type, MegaBytes memoryMb) const
     std::optional<NodeId> best;
     MegaBytes bestFree = -1;
     for (const auto& node : nodes_) {
-        if (node.type != type)
+        if (node.down || node.type != type)
             continue;
         const MegaBytes headroom = warmHeadroom(node);
         if (headroom + kMemEps >= memoryMb && headroom > bestFree) {
@@ -89,6 +127,8 @@ void
 Cluster::reserveExec(NodeId id, MegaBytes memoryMb)
 {
     Node& node = nodes_.at(id);
+    if (node.down)
+        panic("Cluster: reserveExec on down node ", id);
     if (node.freeCores() < 1)
         panic("Cluster: reserveExec on node ", id, " with no free core");
     if (node.freeMemoryMb() + kMemEps < memoryMb)
@@ -117,6 +157,8 @@ Cluster::addWarm(NodeId nodeId, FunctionId function, MegaBytes memoryMb,
                  bool compressed, Seconds now)
 {
     Node& node = nodes_.at(nodeId);
+    if (node.down)
+        panic("Cluster: addWarm on down node ", nodeId);
     if (warmHeadroom(node) + kMemEps < memoryMb)
         panic("Cluster: addWarm exceeds warm headroom of node ",
               nodeId, " (", warmHeadroom(node), " MB free, ",

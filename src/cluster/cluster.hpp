@@ -71,6 +71,10 @@ struct Node {
     MegaBytes execMemoryMb = 0;
     /** Memory used by warm (idle) containers. */
     MegaBytes warmMemoryMb = 0;
+    /** True while the node is crashed (fault injection). */
+    bool down = false;
+
+    bool up() const { return !down; }
 
     MegaBytes
     freeMemoryMb() const
@@ -107,6 +111,27 @@ class Cluster
     const ClusterConfig& config() const { return config_; }
     const std::vector<Node>& nodes() const { return nodes_; }
     const Node& node(NodeId id) const { return nodes_.at(id); }
+
+    // --- node lifecycle (fault injection) -----------------------------
+
+    /**
+     * Take a node down. The caller (the simulation driver) must have
+     * drained it first — every warm container evicted and every
+     * running execution released — so the capacity invariants survive
+     * the crash; panics otherwise, and on a double crash. While down,
+     * the node is invisible to pickNodeForExec/pickNodeForWarm, its
+     * warm headroom is zero, and reserving resources on it panics.
+     */
+    void markDown(NodeId id);
+
+    /** Bring a crashed node back (empty and cold); panics if up. */
+    void recover(NodeId id);
+
+    /** Number of nodes currently down. */
+    int downNodes() const { return downNodes_; }
+
+    /** Ids of all warm containers held on `node` (unordered). */
+    std::vector<ContainerId> warmOnNode(NodeId node) const;
 
     // --- execution resources -----------------------------------------
 
@@ -216,6 +241,7 @@ class Cluster
 
     ClusterConfig config_;
     std::vector<Node> nodes_;
+    int downNodes_ = 0;
     std::unordered_map<ContainerId, WarmContainer> warmPool_;
     std::unordered_map<FunctionId, std::vector<ContainerId>> warmByFn_;
     ContainerId nextContainer_ = 1;

@@ -8,6 +8,11 @@
  */
 #pragma once
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -21,6 +26,12 @@ namespace codecrunch {
 
 /** One parsed CSV row. */
 using CsvRow = std::vector<std::string>;
+
+/** One parsed CSV row plus its 1-based line number in the file. */
+struct CsvLine {
+    std::size_t number = 0;
+    CsvRow fields;
+};
 
 /**
  * Streaming CSV writer.
@@ -103,23 +114,106 @@ class CsvReader
     }
 
     /**
+     * Read every non-comment, non-empty row from a file, tagged with
+     * its 1-based line number so parse errors can name the exact line.
+     * @param path file to read; fatal() when missing.
+     */
+    static std::vector<CsvLine>
+    readFileNumbered(const std::string& path)
+    {
+        std::ifstream in(path);
+        if (!in)
+            fatal("CsvReader: cannot open '", path, "'");
+        std::vector<CsvLine> lines;
+        std::string line;
+        std::size_t number = 0;
+        while (std::getline(in, line)) {
+            ++number;
+            if (line.empty() || line[0] == '#')
+                continue;
+            lines.push_back({number, parseLine(line)});
+        }
+        if (in.bad())
+            fatal("CsvReader: I/O error reading '", path, "' near line ",
+                  number);
+        return lines;
+    }
+
+    /**
      * Read every non-comment, non-empty row from a file.
      * @param path file to read; fatal() when missing.
      */
     static std::vector<CsvRow>
     readFile(const std::string& path)
     {
-        std::ifstream in(path);
-        if (!in)
-            fatal("CsvReader: cannot open '", path, "'");
         std::vector<CsvRow> rows;
-        std::string line;
-        while (std::getline(in, line)) {
-            if (line.empty() || line[0] == '#')
-                continue;
-            rows.push_back(parseLine(line));
-        }
+        for (auto& line : readFileNumbered(path))
+            rows.push_back(std::move(line.fields));
         return rows;
+    }
+
+    /**
+     * Parse one field as an unsigned integer, rejecting anything but a
+     * complete decimal number ("12abc", "-3", "" all fail). fatal()s
+     * with file, line, and 1-based column context on malformed input.
+     */
+    static std::uint64_t
+    parseU64(const std::string& field, const std::string& path,
+             std::size_t line, std::size_t column)
+    {
+        if (field.empty() || field[0] == '-' ||
+            !std::isdigit(static_cast<unsigned char>(field[0])))
+            badField(field, "unsigned integer", path, line, column);
+        errno = 0;
+        char* end = nullptr;
+        const unsigned long long value =
+            std::strtoull(field.c_str(), &end, 10);
+        if (errno == ERANGE || end != field.c_str() + field.size())
+            badField(field, "unsigned integer", path, line, column);
+        return static_cast<std::uint64_t>(value);
+    }
+
+    /**
+     * Parse one field as a finite double, rejecting empty and
+     * partially-numeric fields. fatal()s with file, line, and 1-based
+     * column context on malformed input.
+     */
+    static double
+    parseDouble(const std::string& field, const std::string& path,
+                std::size_t line, std::size_t column)
+    {
+        if (field.empty())
+            badField(field, "number", path, line, column);
+        errno = 0;
+        char* end = nullptr;
+        const double value = std::strtod(field.c_str(), &end);
+        if (errno == ERANGE || end != field.c_str() + field.size() ||
+            !std::isfinite(value))
+            badField(field, "number", path, line, column);
+        return value;
+    }
+
+    /**
+     * Check a row has at least `expected` fields; fatal()s naming the
+     * file and line of the truncated row otherwise.
+     */
+    static void
+    requireFields(const CsvLine& line, std::size_t expected,
+                  const std::string& path)
+    {
+        if (line.fields.size() < expected)
+            fatal("CsvReader: ", path, ":", line.number, ": expected ",
+                  expected, " fields, got ", line.fields.size());
+    }
+
+  private:
+    [[noreturn]] static void
+    badField(const std::string& field, const char* kind,
+             const std::string& path, std::size_t line,
+             std::size_t column)
+    {
+        fatal("CsvReader: ", path, ":", line, ": column ", column,
+              ": expected ", kind, ", got '", field, "'");
     }
 };
 

@@ -1,8 +1,10 @@
 #include "core/codecrunch.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "common/logging.hpp"
 #include "core/interval_objective.hpp"
 
 namespace codecrunch::core {
@@ -27,6 +29,19 @@ nearestLevel(Seconds seconds)
         }
     }
     return best;
+}
+
+/** All watchdog-guarded estimate fields are finite and sensible. */
+bool
+estimateValid(const FunctionEstimate& e)
+{
+    const auto ok = [](double v) { return std::isfinite(v); };
+    return ok(e.pest) && ok(e.sigma) && ok(e.weight) &&
+           ok(e.memoryMb) && ok(e.compressedMb) &&
+           ok(e.warmBaseline) && ok(e.exec[0]) && ok(e.exec[1]) &&
+           ok(e.coldStart[0]) && ok(e.coldStart[1]) &&
+           ok(e.decompress[0]) && ok(e.decompress[1]) &&
+           e.weight > 0.0 && e.memoryMb > 0.0;
 }
 
 } // namespace
@@ -73,6 +88,7 @@ CodeCrunch::bind(policy::PolicyContext& context)
     sreCounts_.assign(n, 0);
     invokedCount_.assign(n, 0);
     invokedThisInterval_.clear();
+    watchdogTrips_ = 0;
 
     double rate = config_.budgetRatePerSecond;
     if (rate <= 0.0) {
@@ -288,6 +304,25 @@ CodeCrunch::onTick(Seconds)
         estimate.weight = weights[estimates.size()];
         estimates.push_back(estimate);
     }
+
+    // --- watchdog: invalid inputs ------------------------------------
+    // A poisoned estimate (NaN/inf from degenerate history, e.g. after
+    // fault churn) would propagate through every objective term; skip
+    // the whole tick and keep serving the last-good solutions.
+    if (config_.watchdog.enabled) {
+        for (const FunctionEstimate& e : estimates) {
+            if (estimateValid(e))
+                continue;
+            ++watchdogTrips_;
+            if (watchdogTrips_ == 1)
+                warn("CodeCrunch: watchdog tripped on invalid "
+                     "estimates; keeping last-good solutions");
+            lastTick_ = TickDebug{available, 0.0, lambda_,
+                                  invoked.size(), 0.0, true};
+            return;
+        }
+    }
+
     const double costRate[kNumNodeTypes] = {
         cluster.costRate(NodeType::X86),
         cluster.costRate(NodeType::ARM)};
@@ -311,15 +346,15 @@ CodeCrunch::onTick(Seconds)
         start[i] = sanitize(solutions_[invoked[i]]);
 
     opt::OptimizerResult result;
+    std::vector<std::uint32_t> counts;
+    const auto wallStart = std::chrono::steady_clock::now();
     if (config_.useSre) {
         opt::SreOptimizer sre(config_.sre);
-        std::vector<std::uint32_t> counts(invoked.size());
+        counts.resize(invoked.size());
         for (std::size_t i = 0; i < invoked.size(); ++i)
             counts[i] = sreCounts_[invoked[i]];
         result = sre.optimizeWithCounts(objective, start, rng_,
                                         counts);
-        for (std::size_t i = 0; i < invoked.size(); ++i)
-            sreCounts_[invoked[i]] = counts[i];
     } else {
         // Whole-space steepest descent within SRE's optimization time
         // (paper Sec. 5, Fig. 12 "without SRE"): one descent round
@@ -328,6 +363,37 @@ CodeCrunch::onTick(Seconds)
         // fair time-capped variant gets only a couple of rounds.
         opt::CoordinateDescent descent(2);
         result = descent.optimize(objective, start, rng_);
+    }
+    const double wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wallStart).count();
+
+    // --- watchdog: overrun / invalid result --------------------------
+    if (config_.watchdog.enabled) {
+        bool tripped = !std::isfinite(result.score) ||
+                       result.assignment.size() != invoked.size();
+        if (config_.watchdog.maxEvaluationsPerTick > 0 &&
+            result.evaluations >
+                config_.watchdog.maxEvaluationsPerTick)
+            tripped = true;
+        if (config_.watchdog.wallDeadlineSeconds > 0.0 &&
+            wallSeconds > config_.watchdog.wallDeadlineSeconds)
+            tripped = true;
+        if (tripped) {
+            ++watchdogTrips_;
+            if (watchdogTrips_ == 1)
+                warn("CodeCrunch: watchdog rejected a tick result (",
+                     result.evaluations, " evaluations, ",
+                     wallSeconds, " s); keeping last-good solutions");
+            lastTick_ = TickDebug{available, 0.0, lambda_,
+                                  invoked.size(), result.score, true};
+            return;
+        }
+    }
+    // SRE fairness counters advance only for adopted results.
+    if (config_.useSre) {
+        for (std::size_t i = 0; i < invoked.size(); ++i)
+            sreCounts_[invoked[i]] = counts[i];
     }
 
     const Dollars committed = objective.cost(result.assignment);

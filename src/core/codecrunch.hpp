@@ -36,6 +36,29 @@ namespace codecrunch::core {
 enum class ArchMode { Both, X86Only, ArmOnly };
 
 /**
+ * Controller watchdog: guards each optimization tick against invalid
+ * inputs and optimizer overruns. A tripped tick discards the new
+ * assignment and keeps serving the last-good per-function solutions,
+ * so one bad interval degrades quality for a minute instead of
+ * poisoning the controller state.
+ */
+struct WatchdogConfig {
+    bool enabled = true;
+    /**
+     * Objective-evaluation budget per tick; a result that spent more
+     * is discarded. 0 = unlimited. This trigger is deterministic
+     * (evaluation counts are part of the simulation contract).
+     */
+    std::size_t maxEvaluationsPerTick = 0;
+    /**
+     * Wall-clock budget per tick in seconds; 0 disables. Wall time is
+     * nondeterministic, so enabling this trades bit-reproducible runs
+     * for overload protection — leave it off in experiments.
+     */
+    double wallDeadlineSeconds = 0.0;
+};
+
+/**
  * CodeCrunch configuration.
  */
 struct CodeCrunchConfig {
@@ -68,6 +91,9 @@ struct CodeCrunchConfig {
 
     /** Seed of the policy's private randomness (SRE sampling). */
     std::uint64_t seed = 0xc0dec;
+
+    /** Tick watchdog (see WatchdogConfig). */
+    WatchdogConfig watchdog;
 };
 
 /**
@@ -111,9 +137,14 @@ class CodeCrunch : public policy::Policy
         double lambda = 0.0;
         std::size_t invoked = 0;
         double score = 0.0;
+        /** True when the watchdog discarded this tick's result. */
+        bool degraded = false;
     };
 
     const TickDebug& lastTick() const { return lastTick_; }
+
+    /** Ticks the watchdog rejected since bind(). */
+    std::size_t watchdogTrips() const { return watchdogTrips_; }
 
     /** The current optimized choice of one function (for inspection). */
     const opt::Choice& solution(FunctionId function) const
@@ -153,6 +184,7 @@ class CodeCrunch : public policy::Policy
     /** Smoothed invocation demand per interval. */
     double demandEwma_ = 0.0;
     TickDebug lastTick_;
+    std::size_t watchdogTrips_ = 0;
 
     /** Functions invoked since the last tick (deduplicated). */
     std::vector<FunctionId> invokedThisInterval_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/logging.hpp"
 
@@ -18,29 +19,61 @@ Driver::Driver(const trace::Workload& workload,
       config_(config), collector_(workload.duration),
       rng_(config.seed)
 {
+    if (config_.maxRetries < 0)
+        fatal("Driver: maxRetries must be >= 0, got ",
+              config_.maxRetries);
+    if (config_.faults.enabled() &&
+        (config_.retryBackoffBase <= 0.0 ||
+         config_.retryBackoffCap < config_.retryBackoffBase ||
+         config_.failureDetectSeconds <= 0.0))
+        fatal("Driver: invalid retry/backoff configuration (base ",
+              config_.retryBackoffBase, ", cap ",
+              config_.retryBackoffCap, ", detect ",
+              config_.failureDetectSeconds, ")");
     lastArrivalTime_ = workload.invocations.empty()
         ? 0.0
         : workload.invocations.back().arrival;
+    faultPlan_ = faults::FaultPlan(
+        config_.faults, cluster_.nodes().size(),
+        lastArrivalTime_ + config_.drainGrace);
 }
 
 RunResult
 Driver::run()
 {
     policy_.bind(*this);
+    // Fault events go in first so that, at equal timestamps, a crash
+    // precedes an arrival — the arrival then sees the degraded
+    // cluster, matching how a real platform would observe it.
+    for (const faults::FaultEvent& event : faultPlan_.events())
+        queue_.schedule(event.time,
+                        [this, event] { handleFault(event); });
     if (!workload_.invocations.empty())
         scheduleArrival(0);
     if (config_.tickInterval > 0.0)
         queue_.schedule(config_.tickInterval, [this] { handleTick(); });
     queue_.run();
     cluster_.accrueAll(queue_.now());
+    collector_.finalizeAvailability(queue_.now(),
+                                    cluster_.nodes().size());
 
-    RunResult result{std::move(collector_), decisionWallSeconds_,
-                     cluster_.keepAliveSpend(), waitQueue_.size(),
-                     coldNoContainer_, coldContainerCoreBusy_,
-                     coldContainerNoMemory_, endExpired_,
-                     endConsumed_, endEvictedForExec_,
-                     endEvictedForKeep_, endEvictedByPolicy_,
-                     keepDropped_};
+    RunResult result;
+    result.decisionWallSeconds = decisionWallSeconds_;
+    result.keepAliveSpend = cluster_.keepAliveSpend();
+    result.unserved = waitQueue_.size();
+    result.coldNoContainer = coldNoContainer_;
+    result.coldContainerCoreBusy = coldContainerCoreBusy_;
+    result.coldContainerNoMemory = coldContainerNoMemory_;
+    result.endExpired = endExpired_;
+    result.endConsumed = endConsumed_;
+    result.endEvictedForExec = endEvictedForExec_;
+    result.endEvictedForKeep = endEvictedForKeep_;
+    result.endEvictedByPolicy = endEvictedByPolicy_;
+    result.keepDropped = keepDropped_;
+    result.nodeCrashes = nodeCrashes_;
+    result.nodeRecoveries = nodeRecoveries_;
+    result.endEvictedByFault = endEvictedByFault_;
+    result.metrics = std::move(collector_);
     if (!waitQueue_.empty())
         warn("Driver: ", waitQueue_.size(),
              " invocations were never served");
@@ -67,12 +100,12 @@ Driver::handleArrival(const Invocation& invocation)
     timedDecision([&] {
         policy_.onArrival(invocation.function, queue_.now());
     });
-    if (!tryStart(invocation))
-        waitQueue_.push_back({invocation});
+    if (!tryStart(invocation, 1))
+        waitQueue_.push_back({invocation, 1});
 }
 
 bool
-Driver::tryStart(const Invocation& invocation)
+Driver::tryStart(const Invocation& invocation, int attempt)
 {
     const auto& profile = workload_.profile(invocation.function);
 
@@ -101,7 +134,7 @@ Driver::tryStart(const Invocation& invocation)
             startExecution(invocation, nodeId,
                            compressed ? StartType::WarmCompressed
                                       : StartType::Warm,
-                           startup);
+                           startup, attempt);
             return true;
         }
         // Otherwise fall through to a cold placement elsewhere; the
@@ -127,7 +160,7 @@ Driver::tryStart(const Invocation& invocation)
             cluster_.reserveExec(*nodeId, profile.memoryMb);
             startExecution(
                 invocation, *nodeId, StartType::Cold,
-                profile.coldStart[static_cast<int>(type)]);
+                profile.coldStart[static_cast<int>(type)], attempt);
             return true;
         }
     }
@@ -144,7 +177,8 @@ Driver::tryStart(const Invocation& invocation)
                 const NodeType actual = cluster_.node(*nodeId).type;
                 startExecution(
                     invocation, *nodeId, StartType::Cold,
-                    profile.coldStart[static_cast<int>(actual)]);
+                    profile.coldStart[static_cast<int>(actual)],
+                    attempt);
                 return true;
             }
         }
@@ -159,7 +193,7 @@ Driver::pickNodeWithReclaim(
     std::optional<NodeId> best;
     MegaBytes bestReclaimable = -1;
     for (const auto& node : cluster_.nodes()) {
-        if (node.type != type || node.freeCores() < 1)
+        if (node.down || node.type != type || node.freeCores() < 1)
             continue;
         const MegaBytes reclaimable =
             node.freeMemoryMb() + node.warmMemoryMb;
@@ -205,31 +239,65 @@ Driver::reclaimFor(NodeId nodeId, MegaBytes neededMb)
 
 void
 Driver::startExecution(const Invocation& invocation, NodeId nodeId,
-                       StartType start, Seconds startupLatency)
+                       StartType start, Seconds startupLatency,
+                       int attempt)
 {
     const auto& profile = workload_.profile(invocation.function);
     const NodeType type = cluster_.node(nodeId).type;
+    const std::uint64_t id = nextExecId_++;
+
+    RunningExec exec;
+    exec.invocation = invocation;
+    exec.attempt = attempt;
+    exec.node = nodeId;
+    exec.memoryMb = profile.memoryMb;
+    ++running_;
+
+    // Transient failure? A pure hash decision (no RNG draw), so a
+    // zero failure rate leaves the noise stream — and therefore the
+    // whole schedule — untouched.
+    if (faultPlan_.invocationFails(attemptSeq_++)) {
+        // The doomed attempt holds its core and memory only until the
+        // platform notices, then retries with backoff. No record is
+        // emitted; the eventual success accounts the full wait.
+        exec.finish = queue_.scheduleAfter(
+            config_.failureDetectSeconds, [this, id] {
+                const RunningExec failed =
+                    std::move(runningExecs_.at(id));
+                runningExecs_.erase(id);
+                --running_;
+                cluster_.releaseExec(failed.node, failed.memoryMb);
+                failAttempt(failed.invocation, failed.attempt);
+                drainWaitQueue();
+            });
+        runningExecs_.emplace(id, std::move(exec));
+        return;
+    }
+
     const double noise = config_.execNoiseSigma > 0.0
         ? std::exp(rng_.normal(0.0, config_.execNoiseSigma))
         : 1.0;
-    const Seconds exec =
+    const Seconds execTime =
         profile.execTime(type, invocation.inputScale) * noise;
 
     InvocationRecord record;
     record.function = invocation.function;
     record.arrival = invocation.arrival;
+    // Includes any retry backoff: wait is measured from the original
+    // arrival, not from the retry that finally succeeded.
     record.wait = queue_.now() - invocation.arrival;
     record.startup = startupLatency;
-    record.exec = exec;
+    record.exec = execTime;
     record.start = start;
     record.nodeType = type;
 
-    ++running_;
-    queue_.scheduleAfter(
-        startupLatency + exec,
-        [this, invocation, nodeId, record] {
-            handleFinish(invocation, nodeId, record);
+    exec.finish = queue_.scheduleAfter(
+        startupLatency + execTime, [this, id, record] {
+            const RunningExec done = std::move(runningExecs_.at(id));
+            runningExecs_.erase(id);
+            handleFinish(done.invocation, done.node, record);
         });
+    runningExecs_.emplace(id, std::move(exec));
 }
 
 void
@@ -373,25 +441,170 @@ Driver::requestPrewarm(FunctionId function, NodeType type,
     if (!nodeId)
         return false;
     // The cold start runs on the target node (core + memory busy),
-    // then the container becomes warm.
+    // then the container becomes warm. Registered so a crash of the
+    // node mid-start can cancel it and reclaim the resources.
     cluster_.reserveExec(*nodeId, profile.memoryMb);
     ++running_;
+    const std::uint64_t id = nextExecId_++;
+    PrewarmExec prewarm;
+    prewarm.function = function;
+    prewarm.node = *nodeId;
+    prewarm.memoryMb = profile.memoryMb;
     const Seconds coldStart =
         profile.coldStart[static_cast<int>(type)];
-    queue_.scheduleAfter(
-        coldStart, [this, function, nodeId = *nodeId,
-                    keepAliveSeconds] {
+    prewarm.finish = queue_.scheduleAfter(
+        coldStart, [this, id, keepAliveSeconds] {
+            const PrewarmExec done = std::move(prewarms_.at(id));
+            prewarms_.erase(id);
             --running_;
-            const auto& p = workload_.profile(function);
-            cluster_.releaseExec(nodeId, p.memoryMb);
-            if (cluster_.warmHeadroomMb(nodeId) + 1e-6 >=
-                p.memoryMb) {
-                addWarmContainer(function, nodeId, keepAliveSeconds,
-                                 false);
+            cluster_.releaseExec(done.node, done.memoryMb);
+            if (cluster_.warmHeadroomMb(done.node) + 1e-6 >=
+                done.memoryMb) {
+                addWarmContainer(done.function, done.node,
+                                 keepAliveSeconds, false);
             }
             drainWaitQueue();
         });
+    prewarms_.emplace(id, std::move(prewarm));
     return true;
+}
+
+// --- fault injection ---------------------------------------------------
+
+void
+Driver::handleFault(const faults::FaultEvent& event)
+{
+    switch (event.kind) {
+      case faults::FaultKind::NodeCrash:
+        crashNode(event.node);
+        break;
+      case faults::FaultKind::NodeRecover:
+        recoverNode(event.node);
+        break;
+      case faults::FaultKind::MemoryShock:
+        memoryShock(event.node);
+        break;
+    }
+}
+
+void
+Driver::crashNode(NodeId nodeId)
+{
+    const Seconds now = queue_.now();
+    // Fleet-wide warm level just before the crash: handleTick measures
+    // how long the pool takes to climb back to (95% of) this level.
+    const MegaBytes preCrashWarm = cluster_.totalWarmMemoryMb();
+
+    // The warm pool on the node is lost with it.
+    auto warmIds = cluster_.warmOnNode(nodeId);
+    std::sort(warmIds.begin(), warmIds.end());
+    for (const ContainerId id : warmIds) {
+        ++endEvictedByFault_;
+        evictContainer(id);
+    }
+
+    // In-flight executions fail; regular invocations retry with
+    // backoff, prewarm cold starts are simply dropped.
+    std::vector<std::uint64_t> execIds;
+    for (const auto& [id, exec] : runningExecs_) {
+        if (exec.node == nodeId)
+            execIds.push_back(id);
+    }
+    for (const std::uint64_t id : execIds) {
+        RunningExec failed = std::move(runningExecs_.at(id));
+        runningExecs_.erase(id);
+        failed.finish.cancel();
+        --running_;
+        cluster_.releaseExec(failed.node, failed.memoryMb);
+        failAttempt(failed.invocation, failed.attempt);
+    }
+    std::vector<std::uint64_t> prewarmIds;
+    for (const auto& [id, prewarm] : prewarms_) {
+        if (prewarm.node == nodeId)
+            prewarmIds.push_back(id);
+    }
+    for (const std::uint64_t id : prewarmIds) {
+        PrewarmExec dropped = std::move(prewarms_.at(id));
+        prewarms_.erase(id);
+        dropped.finish.cancel();
+        --running_;
+        cluster_.releaseExec(dropped.node, dropped.memoryMb);
+    }
+
+    // Fully drained; the capacity invariants must hold through this.
+    cluster_.markDown(nodeId);
+    collector_.noteNodeDown(now);
+    ++nodeCrashes_;
+
+    if (preCrashWarm > 0.0) {
+        if (!warmRecoveryPending_) {
+            warmRecoveryPending_ = true;
+            warmRecoveryStart_ = now;
+            warmRecoveryTargetMb_ = preCrashWarm;
+        } else {
+            // Overlapping crashes: keep the highest target.
+            warmRecoveryTargetMb_ =
+                std::max(warmRecoveryTargetMb_, preCrashWarm);
+        }
+    }
+}
+
+void
+Driver::recoverNode(NodeId nodeId)
+{
+    cluster_.recover(nodeId);
+    collector_.noteNodeUp(queue_.now());
+    ++nodeRecoveries_;
+    drainWaitQueue();
+}
+
+void
+Driver::memoryShock(NodeId nodeId)
+{
+    const cluster::Node& node = cluster_.node(nodeId);
+    if (node.down || node.warmMemoryMb <= 0.0)
+        return;
+    const MegaBytes keepMb = node.warmMemoryMb *
+        (1.0 - faultPlan_.config().memoryShockFraction);
+    auto ids = cluster_.warmOnNode(nodeId);
+    // Oldest first: external memory pressure reclaims the pages least
+    // recently touched.
+    std::sort(ids.begin(), ids.end(),
+              [this](ContainerId a, ContainerId b) {
+                  const Seconds sa = cluster_.warm(a).since;
+                  const Seconds sb = cluster_.warm(b).since;
+                  if (sa != sb)
+                      return sa < sb;
+                  return a < b;
+              });
+    for (const ContainerId id : ids) {
+        if (cluster_.node(nodeId).warmMemoryMb <= keepMb + 1e-6)
+            break;
+        ++endEvictedByFault_;
+        evictContainer(id);
+    }
+}
+
+void
+Driver::failAttempt(const Invocation& invocation, int attempt)
+{
+    collector_.recordFailedAttempt(queue_.now());
+    if (attempt > config_.maxRetries) {
+        collector_.recordPermanentFailure();
+        return;
+    }
+    collector_.recordRetry();
+    ++pendingRetries_;
+    const Seconds delay = retryBackoff(
+        attempt, config_.retryBackoffBase, config_.retryBackoffCap);
+    queue_.scheduleAfter(delay, [this, invocation, attempt] {
+        --pendingRetries_;
+        // Retries re-enter admission directly: the policy already saw
+        // this invocation arrive once, and re-announcing it would skew
+        // the per-function arrival statistics.
+        if (!tryStart(invocation, attempt + 1))
+            waitQueue_.push_back({invocation, attempt + 1});
+    });
 }
 
 void
@@ -455,6 +668,12 @@ Driver::handleTick()
     cluster_.accrueAll(now);
     collector_.snapshotMinute(now, cluster_.totalWarmMemoryMb(),
                               cluster_.keepAliveSpend());
+    if (warmRecoveryPending_ &&
+        cluster_.totalWarmMemoryMb() >=
+            0.95 * warmRecoveryTargetMb_) {
+        collector_.recordWarmRecovery(now - warmRecoveryStart_);
+        warmRecoveryPending_ = false;
+    }
     if (config_.tickObserver)
         config_.tickObserver(now);
     timedDecision([&] { policy_.onTick(now); });
@@ -469,7 +688,8 @@ void
 Driver::drainWaitQueue()
 {
     while (!waitQueue_.empty()) {
-        if (!tryStart(waitQueue_.front().invocation))
+        const Waiter& waiter = waitQueue_.front();
+        if (!tryStart(waiter.invocation, waiter.attempt))
             break;
         waitQueue_.pop_front();
     }
@@ -480,7 +700,7 @@ Driver::drained() const
 {
     return arrivalsProcessed_ >= workload_.invocations.size() &&
            waitQueue_.empty() && running_ == 0 &&
-           cluster_.warmPool().empty();
+           pendingRetries_ == 0 && cluster_.warmPool().empty();
 }
 
 } // namespace codecrunch::experiments

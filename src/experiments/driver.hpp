@@ -13,13 +13,16 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <functional>
+#include <map>
 #include <unordered_map>
 
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
+#include "faults/fault_plan.hpp"
 #include "metrics/collector.hpp"
 #include "policy/policy.hpp"
 #include "sim/event_queue.hpp"
@@ -48,7 +51,33 @@ struct DriverConfig {
      * progress heartbeat); must not touch simulation state.
      */
     std::function<void(Seconds)> tickObserver;
+
+    /** Fault injection; all-zero (the default) disables it. */
+    faults::FaultConfig faults;
+    /** Retries after the first failed attempt before giving up. */
+    int maxRetries = 3;
+    /** First retry delay; doubles per attempt up to the cap. */
+    Seconds retryBackoffBase = 0.5;
+    Seconds retryBackoffCap = 30.0;
+    /**
+     * How long a transiently failing attempt occupies its node before
+     * the failure is detected and the resources are released.
+     */
+    Seconds failureDetectSeconds = 0.1;
 };
+
+/**
+ * Delay before retry number `attempt` + 1: capped exponential backoff
+ * min(cap, base x 2^(attempt-1)) for attempt >= 1.
+ */
+inline Seconds
+retryBackoff(int attempt, Seconds base, Seconds cap)
+{
+    Seconds delay = base;
+    for (int i = 1; i < attempt && delay < cap; ++i)
+        delay *= 2.0;
+    return std::min(cap, delay);
+}
 
 /**
  * Result of one simulation run.
@@ -74,6 +103,11 @@ struct RunResult {
     std::size_t endEvictedForKeep = 0;
     std::size_t endEvictedByPolicy = 0;
     std::size_t keepDropped = 0;
+
+    /** Fault injection: node lifecycle and fault-driven evictions. */
+    std::size_t nodeCrashes = 0;
+    std::size_t nodeRecoveries = 0;
+    std::size_t endEvictedByFault = 0;
 };
 
 /**
@@ -121,20 +155,67 @@ class Driver : public policy::PolicyContext
     /** An invocation waiting for cluster capacity. */
     struct Waiter {
         Invocation invocation;
+        /** 1 on the first attempt; grows with each retry. */
+        int attempt = 1;
+    };
+
+    /** One in-flight execution (normal or transiently failing). */
+    struct RunningExec {
+        Invocation invocation;
+        int attempt = 1;
+        NodeId node = kInvalidNode;
+        MegaBytes memoryMb = 0;
+        sim::EventHandle finish;
+    };
+
+    /** One in-flight prewarm cold start (no invocation to retry). */
+    struct PrewarmExec {
+        FunctionId function = kInvalidFunction;
+        NodeId node = kInvalidNode;
+        MegaBytes memoryMb = 0;
+        sim::EventHandle finish;
     };
 
     void scheduleArrival(std::size_t index);
     void handleArrival(const Invocation& invocation);
 
     /**
-     * Try to start `invocation` now.
+     * Try to start `invocation` now (attempt >= 2 for retries).
      * @return true if an execution (or warm consumption) began.
      */
-    bool tryStart(const Invocation& invocation);
+    bool tryStart(const Invocation& invocation, int attempt);
 
     /** Start executing on `node` with the given start category. */
     void startExecution(const Invocation& invocation, NodeId node,
-                        StartType start, Seconds startupLatency);
+                        StartType start, Seconds startupLatency,
+                        int attempt);
+
+    // --- fault injection ----------------------------------------------
+
+    void handleFault(const faults::FaultEvent& event);
+
+    /**
+     * Node crash: the warm pool on the node is lost, in-flight
+     * executions fail (regular invocations retry with backoff,
+     * prewarms are dropped), then the node is marked down.
+     */
+    void crashNode(NodeId node);
+
+    /** Node comes back empty and cold; queued work may now start. */
+    void recoverNode(NodeId node);
+
+    /**
+     * Memory-pressure shock: evict the oldest warm containers on the
+     * node until only (1 - shockFraction) of its warm memory remains.
+     */
+    void memoryShock(NodeId node);
+
+    /**
+     * Account one failed attempt and either schedule a retry with
+     * capped exponential backoff or, past maxRetries, record a
+     * permanent failure.
+     */
+    void failAttempt(const Invocation& invocation, int attempt);
 
     /**
      * Node of `type` with a free core whose free + reclaimable warm
@@ -204,9 +285,27 @@ class Driver : public policy::PolicyContext
     sim::EventQueue queue_;
     metrics::Collector collector_;
     Rng rng_;
+    faults::FaultPlan faultPlan_;
 
     std::deque<Waiter> waitQueue_;
     std::unordered_map<cluster::ContainerId, WarmEvents> warmEvents_;
+    /**
+     * In-flight work keyed by a monotone id. Ordered maps so crash
+     * handling walks victims in a platform-independent order.
+     */
+    std::map<std::uint64_t, RunningExec> runningExecs_;
+    std::map<std::uint64_t, PrewarmExec> prewarms_;
+    std::uint64_t nextExecId_ = 1;
+    /** Monotone attempt counter feeding FaultPlan::invocationFails. */
+    std::uint64_t attemptSeq_ = 0;
+    std::size_t pendingRetries_ = 0;
+    std::size_t nodeCrashes_ = 0;
+    std::size_t nodeRecoveries_ = 0;
+    std::size_t endEvictedByFault_ = 0;
+    /** Warm-pool recovery tracking (armed by the first crash). */
+    bool warmRecoveryPending_ = false;
+    Seconds warmRecoveryStart_ = 0.0;
+    MegaBytes warmRecoveryTargetMb_ = 0.0;
     std::size_t nextArrival_ = 0;
     std::size_t arrivalsProcessed_ = 0;
     std::size_t running_ = 0;

@@ -1,0 +1,118 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace codecrunch::faults {
+
+namespace {
+
+/** SplitMix64 finalizer — the same mix the Rng seeder uses. */
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+const char*
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::NodeCrash: return "crash";
+      case FaultKind::NodeRecover: return "recover";
+      case FaultKind::MemoryShock: return "memory-shock";
+    }
+    return "?";
+}
+
+FaultPlan::FaultPlan(const FaultConfig& config, std::size_t numNodes,
+                     Seconds horizon)
+    : config_(config)
+{
+    if (config.nodeMtbfSeconds > 0.0 &&
+        config.nodeMttrSeconds <= 0.0)
+        fatal("FaultPlan: nodeMttrSeconds must be positive when "
+              "crashes are enabled, got ", config.nodeMttrSeconds);
+    if (config.memoryShockMtbfSeconds > 0.0 &&
+        (config.memoryShockFraction <= 0.0 ||
+         config.memoryShockFraction > 1.0))
+        fatal("FaultPlan: memoryShockFraction must be in (0, 1], got ",
+              config.memoryShockFraction);
+    if (config.transientFailureProbability < 0.0 ||
+        config.transientFailureProbability > 1.0)
+        fatal("FaultPlan: transientFailureProbability must be in "
+              "[0, 1], got ", config.transientFailureProbability);
+    if (!config.enabled() || numNodes == 0 || horizon <= 0.0)
+        return;
+
+    // One private stream per fault source per node, derived from the
+    // plan seed and the node id — adding a source or a node never
+    // perturbs another node's schedule.
+    if (config.nodeMtbfSeconds > 0.0) {
+        for (std::size_t n = 0; n < numNodes; ++n) {
+            Rng rng(mix(config.seed ^ (0xc7a5'0000ull + n)));
+            Seconds t = 0.0;
+            while (true) {
+                t += rng.exponential(1.0 / config.nodeMtbfSeconds);
+                if (t >= horizon)
+                    break;
+                const Seconds down =
+                    rng.exponential(1.0 / config.nodeMttrSeconds);
+                events_.push_back({t, FaultKind::NodeCrash,
+                                   static_cast<NodeId>(n)});
+                // Paired recovery, even past the horizon: a node must
+                // never stay down forever.
+                events_.push_back({t + down, FaultKind::NodeRecover,
+                                   static_cast<NodeId>(n)});
+                t += down;
+            }
+        }
+    }
+    if (config.memoryShockMtbfSeconds > 0.0) {
+        for (std::size_t n = 0; n < numNodes; ++n) {
+            Rng rng(mix(config.seed ^ (0x50c4'0000ull + n)));
+            Seconds t = 0.0;
+            while (true) {
+                t += rng.exponential(
+                    1.0 / config.memoryShockMtbfSeconds);
+                if (t >= horizon)
+                    break;
+                events_.push_back({t, FaultKind::MemoryShock,
+                                   static_cast<NodeId>(n)});
+            }
+        }
+    }
+
+    std::sort(events_.begin(), events_.end(),
+              [](const FaultEvent& a, const FaultEvent& b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  if (a.node != b.node)
+                      return a.node < b.node;
+                  return static_cast<int>(a.kind) <
+                         static_cast<int>(b.kind);
+              });
+}
+
+bool
+FaultPlan::invocationFails(std::uint64_t attemptIndex) const
+{
+    const double p = config_.transientFailureProbability;
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    const std::uint64_t h =
+        mix(attemptIndex + 0x9e3779b97f4a7c15ull * (config_.seed | 1));
+    const double u =
+        static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < p;
+}
+
+} // namespace codecrunch::faults

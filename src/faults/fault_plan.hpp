@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deterministic fault injection: seedable schedules of node crashes,
+ * recoveries, and memory-pressure shocks, plus per-attempt transient
+ * invocation failures.
+ *
+ * The paper evaluates CodeCrunch on a permanently healthy 31-node
+ * cluster; production fleets are not so lucky. A FaultPlan turns a
+ * small configuration (per-node MTBF/MTTR, shock rate, transient
+ * failure probability) into a concrete, replayable schedule of
+ * FaultEvents that the simulation driver injects as ordinary simulator
+ * events. Everything is a pure function of (config, node count,
+ * horizon):
+ *  - the schedule is generated with a private Rng seeded from
+ *    FaultConfig::seed, iterating nodes in id order, so the same
+ *    config always yields the bit-identical event list;
+ *  - transient invocation failures are decided by hashing a
+ *    monotonically increasing attempt counter (SplitMix64), not by
+ *    drawing from any shared RNG, so enabling them cannot perturb the
+ *    driver's execution-noise stream;
+ *  - an all-zero config (the default) is "disabled": no events, no
+ *    failures, and a driver given it behaves bit-identically to one
+ *    with no fault subsystem at all.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace codecrunch::faults {
+
+/**
+ * Fault model parameters. All rates default to zero = disabled.
+ */
+struct FaultConfig {
+    /** Seed of the schedule generator and the failure hash. */
+    std::uint64_t seed = 0xfa017;
+
+    /**
+     * Mean time between failures of one node (exponential), seconds.
+     * <= 0 disables node crashes entirely.
+     */
+    Seconds nodeMtbfSeconds = 0.0;
+    /** Mean time to recovery of a crashed node (exponential), seconds. */
+    Seconds nodeMttrSeconds = 300.0;
+
+    /**
+     * Mean time between memory-pressure shocks per node (exponential),
+     * seconds. <= 0 disables shocks. A shock models external memory
+     * pressure (co-located burst, OS reclaim) evicting part of the
+     * node's warm pool without taking the node down.
+     */
+    Seconds memoryShockMtbfSeconds = 0.0;
+    /** Fraction of the node's warm memory a shock evicts, in (0, 1]. */
+    double memoryShockFraction = 0.5;
+
+    /**
+     * Probability that one execution attempt fails transiently
+     * (sandbox crash, dropped request). 0 disables.
+     */
+    double transientFailureProbability = 0.0;
+
+    /** True when any fault source is active. */
+    bool
+    enabled() const
+    {
+        return nodeMtbfSeconds > 0.0 ||
+               memoryShockMtbfSeconds > 0.0 ||
+               transientFailureProbability > 0.0;
+    }
+};
+
+/** What happens at one scheduled fault. */
+enum class FaultKind : std::uint8_t {
+    /** Node goes down: warm pool lost, running invocations fail. */
+    NodeCrash = 0,
+    /** Node comes back up, empty and cold. */
+    NodeRecover = 1,
+    /** Part of the node's warm pool is evicted; node stays up. */
+    MemoryShock = 2,
+};
+
+/** Human-readable name of a fault kind. */
+const char* toString(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent {
+    Seconds time = 0.0;
+    FaultKind kind = FaultKind::NodeCrash;
+    NodeId node = kInvalidNode;
+
+    bool
+    operator==(const FaultEvent& other) const
+    {
+        return time == other.time && kind == other.kind &&
+               node == other.node;
+    }
+};
+
+/**
+ * A fully materialized fault schedule over one simulation horizon.
+ */
+class FaultPlan
+{
+  public:
+    /** An empty (disabled) plan. */
+    FaultPlan() = default;
+
+    /**
+     * Generate the schedule for `numNodes` nodes over `horizon`
+     * simulated seconds. Crash/recover pairs alternate per node
+     * (a node never crashes while already down); a recovery whose
+     * sampled time falls past the horizon is still emitted, so every
+     * crash is paired and no node stays down forever.
+     */
+    FaultPlan(const FaultConfig& config, std::size_t numNodes,
+              Seconds horizon);
+
+    const FaultConfig& config() const { return config_; }
+
+    /** All events, sorted by (time, node, kind). */
+    const std::vector<FaultEvent>& events() const { return events_; }
+
+    bool enabled() const { return config_.enabled(); }
+
+    /**
+     * Deterministic Bernoulli draw for execution attempt number
+     * `attemptIndex`: true with transientFailureProbability. A pure
+     * hash of (seed, attemptIndex) — consumes no RNG state.
+     */
+    bool invocationFails(std::uint64_t attemptIndex) const;
+
+  private:
+    FaultConfig config_;
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace codecrunch::faults

@@ -51,6 +51,8 @@ struct MinuteBin {
     Dollars keepAliveSpend = 0;
     /** Number of functions compressed during this minute. */
     std::size_t compressions = 0;
+    /** Execution attempts that failed (fault injection) this minute. */
+    std::size_t failedAttempts = 0;
     /** Mean service time of invocations arriving this minute. */
     double meanService = 0;
 };
@@ -118,6 +120,88 @@ class Collector
     {
         ++binFor(now).compressions;
         ++compressions_;
+    }
+
+    // --- fault accounting ----------------------------------------------
+
+    /** One execution attempt failed (transient fault or node crash). */
+    void
+    recordFailedAttempt(Seconds now)
+    {
+        ++binFor(now).failedAttempts;
+        ++failedAttempts_;
+    }
+
+    /** A failed invocation was re-queued with backoff. */
+    void recordRetry() { ++retries_; }
+
+    /** An invocation exhausted its retries and was dropped. */
+    void recordPermanentFailure() { ++permanentFailures_; }
+
+    /**
+     * A node transitioned down/up at `now`. The collector integrates
+     * down node-seconds between transitions; availability() is valid
+     * after finalizeAvailability().
+     */
+    void
+    noteNodeDown(Seconds now)
+    {
+        integrateDowntime(now);
+        ++nodesDownNow_;
+    }
+
+    void
+    noteNodeUp(Seconds now)
+    {
+        integrateDowntime(now);
+        if (nodesDownNow_ == 0)
+            return; // recovery with no matching crash: ignore
+        --nodesDownNow_;
+    }
+
+    /**
+     * Close the downtime integral at the end of the run and compute
+     * availability = 1 - down node-seconds / (totalNodes x end).
+     */
+    void
+    finalizeAvailability(Seconds end, std::size_t totalNodes)
+    {
+        integrateDowntime(end);
+        const double nodeSeconds =
+            static_cast<double>(totalNodes) * end;
+        availability_ = nodeSeconds > 0.0
+            ? 1.0 - downNodeSeconds_ / nodeSeconds
+            : 1.0;
+    }
+
+    /**
+     * Warm-pool recovery: seconds from a crash until the cluster-wide
+     * warm memory regained its pre-crash level.
+     */
+    void recordWarmRecovery(Seconds duration)
+    {
+        warmRecovery_.add(duration);
+    }
+
+    std::size_t failedAttempts() const { return failedAttempts_; }
+    std::size_t retries() const { return retries_; }
+    std::size_t permanentFailures() const { return permanentFailures_; }
+
+    /** Fraction of node-seconds the fleet was up (1.0 = no faults). */
+    double availability() const { return availability_; }
+
+    std::size_t warmRecoveries() const { return warmRecovery_.count(); }
+
+    double
+    meanWarmRecoverySeconds() const
+    {
+        return warmRecovery_.count() ? warmRecovery_.mean() : 0.0;
+    }
+
+    double
+    maxWarmRecoverySeconds() const
+    {
+        return warmRecovery_.count() ? warmRecovery_.max() : 0.0;
     }
 
     // --- aggregates ----------------------------------------------------
@@ -198,6 +282,18 @@ class Collector
     }
 
   private:
+    /** Accumulate down node-seconds since the last transition. */
+    void
+    integrateDowntime(Seconds now)
+    {
+        if (now > lastDownTransition_) {
+            downNodeSeconds_ +=
+                static_cast<double>(nodesDownNow_) *
+                (now - lastDownTransition_);
+            lastDownTransition_ = now;
+        }
+    }
+
     MinuteBin&
     binFor(Seconds t)
     {
@@ -218,6 +314,14 @@ class Collector
     std::size_t compressedStarts_ = 0;
     std::size_t compressions_ = 0;
     Dollars lastCumulativeSpend_ = 0.0;
+    std::size_t failedAttempts_ = 0;
+    std::size_t retries_ = 0;
+    std::size_t permanentFailures_ = 0;
+    int nodesDownNow_ = 0;
+    Seconds lastDownTransition_ = 0.0;
+    double downNodeSeconds_ = 0.0;
+    double availability_ = 1.0;
+    RunningStat warmRecovery_;
 };
 
 } // namespace codecrunch::metrics

@@ -21,17 +21,20 @@ seedForKey(std::string_view key, std::uint64_t base)
 
 Job<experiments::RunResult>&
 addSimJob(SimPlan& plan, std::string label,
-          const experiments::Harness& harness, PolicyFactory factory)
+          const experiments::Harness& harness, PolicyFactory factory,
+          DriverConfigTweak tweak)
 {
     const experiments::Scenario& scenario = harness.scenario();
     auto& job = plan.add(
         std::move(label), scenario.driverConfig.seed,
-        [&harness, factory = std::move(factory)](
-            const JobContext& context) {
+        [&harness, factory = std::move(factory),
+         tweak = std::move(tweak)](const JobContext& context) {
             experiments::DriverConfig config =
                 harness.scenario().driverConfig;
             config.seed = context.seed;
             config.tickObserver = context.heartbeat;
+            if (tweak)
+                tweak(config);
             const std::unique_ptr<policy::Policy> policy = factory();
             experiments::Driver driver(
                 harness.workload(), harness.scenario().clusterConfig,

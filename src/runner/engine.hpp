@@ -199,6 +199,15 @@ using PolicyFactory =
     std::function<std::unique_ptr<policy::Policy>()>;
 
 /**
+ * Deterministic per-job adjustment of the driver configuration
+ * (e.g. installing a fault plan for one sweep point). Applied inside
+ * the job body after the scenario defaults and the seed; must depend
+ * only on values captured at plan-build time.
+ */
+using DriverConfigTweak =
+    std::function<void(experiments::DriverConfig&)>;
+
+/**
  * Append a simulation job over `harness`'s workload/scenario. The job
  * seed defaults to the scenario's driver seed (what a serial
  * `Harness::run` uses), so engine results reproduce serial results
@@ -207,7 +216,8 @@ using PolicyFactory =
  */
 Job<experiments::RunResult>&
 addSimJob(SimPlan& plan, std::string label,
-          const experiments::Harness& harness, PolicyFactory factory);
+          const experiments::Harness& harness, PolicyFactory factory,
+          DriverConfigTweak tweak = {});
 
 /**
  * The paper's headline comparison (Fig. 7) as an orchestrated plan:

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -229,6 +230,17 @@ writeResultFields(JsonWriter& json,
     json.field("compressions", m.compressions());
     json.field("keepalive_spend_usd", result.keepAliveSpend);
     json.field("unserved", result.unserved);
+    // Fault/degraded-mode accounting. All simulated-time quantities,
+    // so they stay deterministic across thread counts.
+    json.field("availability", m.availability());
+    json.field("failed_attempts", m.failedAttempts());
+    json.field("retries", m.retries());
+    json.field("permanent_failures", m.permanentFailures());
+    json.field("node_crashes", result.nodeCrashes);
+    json.field("node_recoveries", result.nodeRecoveries);
+    json.field("warm_evicted_by_fault", result.endEvictedByFault);
+    json.field("warm_recoveries", m.warmRecoveries());
+    json.field("mean_warm_recovery_s", m.meanWarmRecoverySeconds());
     json.key("cold_start_causes");
     json.beginObject();
     json.field("no_container", result.coldNoContainer);
@@ -247,12 +259,21 @@ writeResultFields(JsonWriter& json,
 }
 
 /**
+ * Per-run hook appending bench-specific fields (SLA fractions, hourly
+ * series, ...) inside the run's JSON object. Must emit deterministic
+ * values only.
+ */
+using RunExtraWriter = std::function<void(
+    JsonWriter&, const experiments::PolicyRun&, std::size_t)>;
+
+/**
  * Write a full bench artifact: meta header plus one object per run,
  * in run order. Creates parent directories; empty path is a no-op.
  */
 inline void
 writeRunReport(const std::string& path, const ReportMeta& meta,
-               const std::vector<experiments::PolicyRun>& runs)
+               const std::vector<experiments::PolicyRun>& runs,
+               const RunExtraWriter& extra = {})
 {
     if (path.empty())
         return;
@@ -275,10 +296,13 @@ writeRunReport(const std::string& path, const ReportMeta& meta,
         json.field(name, number);
     json.key("runs");
     json.beginArray();
-    for (const auto& run : runs) {
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto& run = runs[i];
         json.beginObject();
         json.field("name", run.name);
         writeResultFields(json, run.result);
+        if (extra)
+            extra(json, run, i);
         json.endObject();
     }
     json.endArray();

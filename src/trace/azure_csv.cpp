@@ -66,53 +66,73 @@ AzureCsv::read(const std::string& countsPath,
 {
     Workload workload;
 
-    const auto profileRows = CsvReader::readFile(profilesPath);
-    for (std::size_t r = 1; r < profileRows.size(); ++r) {
-        const auto& row = profileRows[r];
-        if (row.size() < 16)
-            fatal("AzureCsv: profile row ", r, " has ", row.size(),
-                  " fields, expected 16");
+    const auto profileLines = CsvReader::readFileNumbered(profilesPath);
+    if (profileLines.empty())
+        fatal("AzureCsv: empty profiles file '", profilesPath, "'");
+    for (std::size_t r = 1; r < profileLines.size(); ++r) {
+        const CsvLine& line = profileLines[r];
+        CsvReader::requireFields(line, 16, profilesPath);
+        const auto& row = line.fields;
+        // Column helpers carry file:line:column into every message.
+        const auto u64 = [&](std::size_t c) {
+            return CsvReader::parseU64(row[c], profilesPath,
+                                       line.number, c + 1);
+        };
+        const auto num = [&](std::size_t c) {
+            return CsvReader::parseDouble(row[c], profilesPath,
+                                          line.number, c + 1);
+        };
         FunctionProfile f;
-        f.id = static_cast<FunctionId>(std::stoul(row[0]));
+        f.id = static_cast<FunctionId>(u64(0));
         f.name = row[1];
-        f.catalogIndex = std::stoul(row[2]);
-        f.memoryMb = std::stod(row[3]);
-        f.imageMb = std::stod(row[4]);
-        f.compressedMb = std::stod(row[5]);
-        f.compressRatio = std::stod(row[6]);
-        f.exec[0] = std::stod(row[7]);
-        f.exec[1] = std::stod(row[8]);
-        f.coldStart[0] = std::stod(row[9]);
-        f.coldStart[1] = std::stod(row[10]);
-        f.decompress[0] = std::stod(row[11]);
-        f.decompress[1] = std::stod(row[12]);
-        f.compressTime[0] = std::stod(row[13]);
-        f.compressTime[1] = std::stod(row[14]);
-        f.compressibility = std::stod(row[15]);
+        f.catalogIndex = static_cast<std::size_t>(u64(2));
+        f.memoryMb = num(3);
+        f.imageMb = num(4);
+        f.compressedMb = num(5);
+        f.compressRatio = num(6);
+        f.exec[0] = num(7);
+        f.exec[1] = num(8);
+        f.coldStart[0] = num(9);
+        f.coldStart[1] = num(10);
+        f.decompress[0] = num(11);
+        f.decompress[1] = num(12);
+        f.compressTime[0] = num(13);
+        f.compressTime[1] = num(14);
+        f.compressibility = num(15);
         if (f.id != workload.functions.size())
-            fatal("AzureCsv: non-dense function ids (row ", r, ")");
+            fatal("AzureCsv: ", profilesPath, ":", line.number,
+                  ": non-dense function id ", f.id, ", expected ",
+                  workload.functions.size());
         workload.functions.push_back(std::move(f));
     }
 
-    const auto countRows = CsvReader::readFile(countsPath);
-    if (countRows.empty())
-        fatal("AzureCsv: empty counts file");
-    const std::size_t minutes = countRows[0].size() - 2;
+    const auto countLines = CsvReader::readFileNumbered(countsPath);
+    if (countLines.empty())
+        fatal("AzureCsv: empty counts file '", countsPath, "'");
+    if (countLines[0].fields.size() < 3)
+        fatal("AzureCsv: ", countsPath, ":", countLines[0].number,
+              ": header needs at least one minute column");
+    const std::size_t minutes = countLines[0].fields.size() - 2;
     workload.duration =
         static_cast<Seconds>(minutes) * kSecondsPerMinute;
 
     Rng rng(seed);
-    for (std::size_t r = 1; r < countRows.size(); ++r) {
-        const auto& row = countRows[r];
+    for (std::size_t r = 1; r < countLines.size(); ++r) {
+        const CsvLine& line = countLines[r];
+        const auto& row = line.fields;
         if (row.size() != minutes + 2)
-            fatal("AzureCsv: ragged counts row ", r);
-        const FunctionId id =
-            static_cast<FunctionId>(std::stoul(row[0]));
+            fatal("AzureCsv: ", countsPath, ":", line.number,
+                  ": ragged row with ", row.size(),
+                  " fields, expected ", minutes + 2);
+        const FunctionId id = static_cast<FunctionId>(
+            CsvReader::parseU64(row[0], countsPath, line.number, 1));
         if (id >= workload.functions.size())
-            fatal("AzureCsv: counts refer to unknown function ", id);
+            fatal("AzureCsv: ", countsPath, ":", line.number,
+                  ": counts refer to unknown function ", id);
         for (std::size_t m = 0; m < minutes; ++m) {
-            const unsigned long count = std::stoul(row[m + 2]);
-            for (unsigned long k = 0; k < count; ++k) {
+            const std::uint64_t count = CsvReader::parseU64(
+                row[m + 2], countsPath, line.number, m + 3);
+            for (std::uint64_t k = 0; k < count; ++k) {
                 const Seconds arrival =
                     (static_cast<double>(m) + rng.uniform()) *
                     kSecondsPerMinute;

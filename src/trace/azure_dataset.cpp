@@ -47,48 +47,55 @@ AzureDataset::load(const std::string& invocationsCsv,
     // --- durations: function -> average execution seconds ----------
     std::unordered_map<std::string, double> durations;
     {
-        const auto rows = CsvReader::readFile(durationsCsv);
-        if (rows.empty())
+        const auto lines = CsvReader::readFileNumbered(durationsCsv);
+        if (lines.empty())
             fatal("AzureDataset: empty durations file '", durationsCsv,
                   "'");
-        const int averageCol = columnOf(rows[0], "Average");
-        if (averageCol < 0 || rows[0].size() < 4)
+        const int averageCol = columnOf(lines[0].fields, "Average");
+        if (averageCol < 0 || lines[0].fields.size() < 4)
             fatal("AzureDataset: durations file lacks an 'Average' "
                   "column");
-        for (std::size_t r = 1; r < rows.size(); ++r) {
-            if (rows[r].size() <=
-                static_cast<std::size_t>(averageCol))
-                continue;
-            durations[functionKey(rows[r])] =
-                std::stod(rows[r][averageCol]) / 1000.0;
+        for (std::size_t r = 1; r < lines.size(); ++r) {
+            const CsvLine& line = lines[r];
+            CsvReader::requireFields(
+                line, static_cast<std::size_t>(averageCol) + 1,
+                durationsCsv);
+            durations[functionKey(line.fields)] =
+                CsvReader::parseDouble(
+                    line.fields[averageCol], durationsCsv, line.number,
+                    static_cast<std::size_t>(averageCol) + 1) /
+                1000.0;
         }
     }
 
     // --- memory: app -> average allocated MB ------------------------
     std::unordered_map<std::string, double> memory;
     if (!memoryCsv.empty()) {
-        const auto rows = CsvReader::readFile(memoryCsv);
-        if (rows.empty())
+        const auto lines = CsvReader::readFileNumbered(memoryCsv);
+        if (lines.empty())
             fatal("AzureDataset: empty memory file '", memoryCsv, "'");
         const int memoryCol =
-            columnOf(rows[0], "AverageAllocatedMb");
+            columnOf(lines[0].fields, "AverageAllocatedMb");
         if (memoryCol < 0)
             fatal("AzureDataset: memory file lacks "
                   "'AverageAllocatedMb'");
-        for (std::size_t r = 1; r < rows.size(); ++r) {
-            if (rows[r].size() <= static_cast<std::size_t>(memoryCol))
-                continue;
-            memory[appKey(rows[r])] =
-                std::stod(rows[r][memoryCol]);
+        for (std::size_t r = 1; r < lines.size(); ++r) {
+            const CsvLine& line = lines[r];
+            CsvReader::requireFields(
+                line, static_cast<std::size_t>(memoryCol) + 1,
+                memoryCsv);
+            memory[appKey(line.fields)] = CsvReader::parseDouble(
+                line.fields[memoryCol], memoryCsv, line.number,
+                static_cast<std::size_t>(memoryCol) + 1);
         }
     }
 
     // --- invocations: build profiles + arrival stream ---------------
-    const auto rows = CsvReader::readFile(invocationsCsv);
-    if (rows.empty())
+    const auto lines = CsvReader::readFileNumbered(invocationsCsv);
+    if (lines.empty())
         fatal("AzureDataset: empty invocations file '",
               invocationsCsv, "'");
-    const CsvRow& header = rows[0];
+    const CsvRow& header = lines[0].fields;
     // Minute columns are the ones named "1".."1440"; they follow the
     // Trigger column in the real dataset.
     const int firstMinuteCol = columnOf(header, "1");
@@ -100,14 +107,18 @@ AzureDataset::load(const std::string& invocationsCsv,
 
     // Rank rows by total volume when truncation is requested.
     std::vector<std::size_t> order;
-    std::vector<std::size_t> volume(rows.size(), 0);
-    for (std::size_t r = 1; r < rows.size(); ++r) {
+    std::vector<std::size_t> volume(lines.size(), 0);
+    for (std::size_t r = 1; r < lines.size(); ++r) {
+        CsvReader::requireFields(lines[r], header.size(),
+                                 invocationsCsv);
         order.push_back(r);
         for (std::size_t m = 0; m < minutes; ++m) {
-            const auto& cell =
-                rows[r][firstMinuteCol + m];
+            const auto& cell = lines[r].fields[firstMinuteCol + m];
+            // The real dataset leaves idle minutes empty.
             if (!cell.empty())
-                volume[r] += std::stoul(cell);
+                volume[r] += CsvReader::parseU64(
+                    cell, invocationsCsv, lines[r].number,
+                    firstMinuteCol + m + 1);
         }
     }
     std::sort(order.begin(), order.end(),
@@ -125,7 +136,7 @@ AzureDataset::load(const std::string& invocationsCsv,
     const auto& catalog = FunctionCatalog::entries();
 
     for (std::size_t r : order) {
-        const CsvRow& row = rows[r];
+        const CsvRow& row = lines[r].fields;
         const std::string key = functionKey(row);
         const auto durationIt = durations.find(key);
         const double execSeconds = durationIt != durations.end()
@@ -165,9 +176,12 @@ AzureDataset::load(const std::string& invocationsCsv,
 
         for (std::size_t m = 0; m < minutes; ++m) {
             const auto& cell = row[firstMinuteCol + m];
-            const unsigned long count =
-                cell.empty() ? 0 : std::stoul(cell);
-            for (unsigned long k = 0; k < count; ++k) {
+            const std::uint64_t count = cell.empty()
+                ? 0
+                : CsvReader::parseU64(cell, invocationsCsv,
+                                      lines[r].number,
+                                      firstMinuteCol + m + 1);
+            for (std::uint64_t k = 0; k < count; ++k) {
                 const Seconds arrival =
                     (static_cast<double>(m) + rng.uniform()) *
                     kSecondsPerMinute;

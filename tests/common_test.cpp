@@ -312,6 +312,56 @@ TEST(Csv, ParseLineHandlesEmptyFields)
     EXPECT_EQ(CsvReader::parseLine(""), (CsvRow{""}));
 }
 
+TEST(Csv, NumberedReadReportsOriginalLineNumbers)
+{
+    const std::string path = "/tmp/cc_csv_test3.csv";
+    {
+        std::ofstream out(path);
+        out << "# comment\n\nx,y\n# another\n1,2\n";
+    }
+    const auto lines = CsvReader::readFileNumbered(path);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0].number, 3u);
+    EXPECT_EQ(lines[0].fields, (CsvRow{"x", "y"}));
+    EXPECT_EQ(lines[1].number, 5u);
+    std::remove(path.c_str());
+}
+
+TEST(Csv, StrictParsersAcceptWholeFields)
+{
+    EXPECT_EQ(CsvReader::parseU64("42", "f.csv", 1, 1), 42u);
+    EXPECT_EQ(CsvReader::parseU64("0", "f.csv", 1, 1), 0u);
+    EXPECT_DOUBLE_EQ(CsvReader::parseDouble("2.5", "f.csv", 1, 1),
+                     2.5);
+    EXPECT_DOUBLE_EQ(CsvReader::parseDouble("-1e3", "f.csv", 1, 1),
+                     -1000.0);
+}
+
+TEST(Csv, StrictParsersRejectMalformedFields)
+{
+    EXPECT_DEATH(CsvReader::parseU64("12abc", "f.csv", 7, 3),
+                 "f.csv:7: column 3");
+    EXPECT_DEATH(CsvReader::parseU64("", "f.csv", 7, 3),
+                 "unsigned integer");
+    EXPECT_DEATH(CsvReader::parseU64("-3", "f.csv", 7, 3),
+                 "unsigned integer");
+    EXPECT_DEATH(CsvReader::parseU64("2.5", "f.csv", 7, 3),
+                 "unsigned integer");
+    EXPECT_DEATH(CsvReader::parseDouble("1.5x", "f.csv", 2, 9),
+                 "f.csv:2: column 9");
+    EXPECT_DEATH(CsvReader::parseDouble("", "f.csv", 2, 9), "number");
+    EXPECT_DEATH(CsvReader::parseDouble("nan", "f.csv", 2, 9),
+                 "number");
+}
+
+TEST(Csv, RequireFieldsNamesTruncatedRow)
+{
+    const CsvLine line{12, {"a", "b"}};
+    CsvReader::requireFields(line, 2, "f.csv"); // enough: no death
+    EXPECT_DEATH(CsvReader::requireFields(line, 3, "f.csv"),
+                 "f.csv:12: expected 3 fields, got 2");
+}
+
 // --- ConsoleTable --------------------------------------------------------------
 
 TEST(ConsoleTable, RendersAlignedColumns)

@@ -12,6 +12,7 @@
 
 #include <fstream>
 
+#include "common/csv.hpp"
 #include "trace/azure_csv.hpp"
 #include "trace/azure_dataset.hpp"
 #include "trace/compression_model.hpp"
@@ -365,6 +366,76 @@ TEST(AzureCsv, ReadIsDeterministicPerSeed)
     std::remove(profiles.c_str());
 }
 
+TEST(AzureCsv, MalformedProfileFieldNamesFileLineAndColumn)
+{
+    const auto workload = TraceGenerator::generate(smallConfig());
+    const std::string counts = "/tmp/cc_test_counts3.csv";
+    const std::string profiles = "/tmp/cc_test_profiles3.csv";
+    AzureCsv::writeInvocationCounts(workload, counts);
+    AzureCsv::writeProfiles(workload, profiles);
+    // Corrupt one numeric field on the first data line (line 2).
+    {
+        const auto lines = CsvReader::readFileNumbered(profiles);
+        CsvWriter out(profiles);
+        for (const auto& line : lines) {
+            CsvRow row = line.fields;
+            if (line.number == 2)
+                row[3] = "12abc";
+            out.writeRow(row);
+        }
+    }
+    EXPECT_DEATH(AzureCsv::read(counts, profiles),
+                 "cc_test_profiles3.csv:2: column 4");
+    std::remove(counts.c_str());
+    std::remove(profiles.c_str());
+}
+
+TEST(AzureCsv, TruncatedProfileRowNamesFileAndLine)
+{
+    const auto workload = TraceGenerator::generate(smallConfig());
+    const std::string counts = "/tmp/cc_test_counts4.csv";
+    const std::string profiles = "/tmp/cc_test_profiles4.csv";
+    AzureCsv::writeInvocationCounts(workload, counts);
+    AzureCsv::writeProfiles(workload, profiles);
+    {
+        const auto lines = CsvReader::readFileNumbered(profiles);
+        CsvWriter out(profiles);
+        for (const auto& line : lines) {
+            CsvRow row = line.fields;
+            if (line.number == 3)
+                row.resize(5); // truncate mid-row
+            out.writeRow(row);
+        }
+    }
+    EXPECT_DEATH(AzureCsv::read(counts, profiles),
+                 "cc_test_profiles4.csv:3: expected 16 fields, got 5");
+    std::remove(counts.c_str());
+    std::remove(profiles.c_str());
+}
+
+TEST(AzureCsv, RaggedCountsRowNamesFileAndLine)
+{
+    const auto workload = TraceGenerator::generate(smallConfig());
+    const std::string counts = "/tmp/cc_test_counts5.csv";
+    const std::string profiles = "/tmp/cc_test_profiles5.csv";
+    AzureCsv::writeInvocationCounts(workload, counts);
+    AzureCsv::writeProfiles(workload, profiles);
+    {
+        const auto lines = CsvReader::readFileNumbered(counts);
+        CsvWriter out(counts);
+        for (const auto& line : lines) {
+            CsvRow row = line.fields;
+            if (line.number == 2)
+                row.pop_back();
+            out.writeRow(row);
+        }
+    }
+    EXPECT_DEATH(AzureCsv::read(counts, profiles),
+                 "cc_test_counts5.csv:2: ragged row");
+    std::remove(counts.c_str());
+    std::remove(profiles.c_str());
+}
+
 // --- Azure public dataset loader -----------------------------------------------
 
 namespace {
@@ -421,10 +492,12 @@ TEST(AzureDataset, LoadsRealSchemaFiles)
 
     // Durations map through: f1 averages 250 ms.
     for (const auto& f : workload.functions) {
-        if (f.name.find("f1") != std::string::npos)
+        if (f.name.find("f1") != std::string::npos) {
             EXPECT_NEAR(f.exec[0], 0.25, 1e-9);
-        if (f.name.find("f2") != std::string::npos)
+        }
+        if (f.name.find("f2") != std::string::npos) {
             EXPECT_NEAR(f.exec[0], 30.0, 1e-9);
+        }
     }
 }
 
@@ -469,6 +542,38 @@ TEST(AzureDataset, MissingMemoryFileUsesDefaults)
     EXPECT_EQ(workload.functions.size(), 3u);
     for (const auto& f : workload.functions)
         EXPECT_GT(f.compressRatio, 1.0);
+}
+
+TEST(AzureDataset, MalformedDurationNamesFileAndLine)
+{
+    AzureFixtureFiles files;
+    {
+        std::ofstream dur(files.durations);
+        dur << "HashOwner,HashApp,HashFunction,Average,Count\n"
+            << "o1,a1,f1,250,10\n"
+            << "o1,a1,f2,not-a-number,4\n";
+    }
+    AzureDataset::Options options;
+    EXPECT_DEATH(AzureDataset::load(files.invocations,
+                                    files.durations, files.memory,
+                                    options),
+                 "cc_azure_test_dur.csv:3: column 4");
+}
+
+TEST(AzureDataset, TruncatedInvocationRowNamesFileAndLine)
+{
+    AzureFixtureFiles files;
+    {
+        std::ofstream inv(files.invocations);
+        inv << "HashOwner,HashApp,HashFunction,Trigger,1,2,3,4\n"
+            << "o1,a1,f1,http,2,0,1,0\n"
+            << "o1,a1,f2,timer,0,1\n"; // two minute cells missing
+    }
+    AzureDataset::Options options;
+    EXPECT_DEATH(AzureDataset::load(files.invocations,
+                                    files.durations, files.memory,
+                                    options),
+                 "cc_azure_test_inv.csv:3: expected 8 fields, got 6");
 }
 
 TEST(AzureDataset, CompressionFieldsAreDerived)
