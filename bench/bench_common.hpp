@@ -6,9 +6,13 @@
 
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "common/logging.hpp"
 #include "common/table.hpp"
 #include "experiments/harness.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "runner/engine.hpp"
 #include "runner/progress.hpp"
 #include "runner/report.hpp"
@@ -22,15 +26,25 @@ using experiments::Scenario;
 
 /**
  * Shared command line of the figure benches:
- *   --threads N   worker threads (default: hardware concurrency)
- *   --json PATH   result artifact path (default: bench/out/<name>.json)
- *   --no-json     disable the artifact
- *   --quiet       disable live progress lines on stderr
+ *   --threads N       worker threads (default: hardware concurrency)
+ *   --json PATH       result artifact path
+ *                     (default: bench/out/<name>.json)
+ *   --no-json         disable the artifact
+ *   --quiet           disable live progress lines on stderr
+ *   --trace-out PATH  Chrome trace_event JSON of every simulated run
+ *                     (open at ui.perfetto.dev); byte-identical across
+ *                     --threads settings
+ *   --stats-out PATH  full stats-registry + phase-profiler dump; also
+ *                     prints the phase table to stderr
+ *   --log-level LVL   debug|info|warn|error|off (default info)
+ * Every value flag also accepts the --flag=value form.
  */
 struct BenchOptions {
     std::size_t threads = 0;
     std::string jsonPath;
     bool progress = true;
+    std::string traceOut;
+    std::string statsOut;
 };
 
 inline BenchOptions
@@ -38,10 +52,24 @@ parseBenchOptions(int argc, char** argv, const std::string& name)
 {
     BenchOptions options;
     options.jsonPath = "bench/out/" + name + ".json";
+    // Normalize "--flag=value" to "--flag value" so both spellings
+    // share one parsing path.
+    std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--threads" && i + 1 < argc) {
-            const std::string value = argv[++i];
+        const auto eq = arg.find('=');
+        if (arg.size() > 2 && arg.rfind("--", 0) == 0 &&
+            eq != std::string::npos) {
+            args.push_back(arg.substr(0, eq));
+            args.push_back(arg.substr(eq + 1));
+        } else {
+            args.push_back(arg);
+        }
+    }
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        if (arg == "--threads" && i + 1 < args.size()) {
+            const std::string value = args[++i];
             // stoul accepts "-1" (wraps to SIZE_MAX), so reject any
             // sign explicitly and cap at a sane worker count.
             std::size_t consumed = 0;
@@ -58,32 +86,72 @@ parseBenchOptions(int argc, char** argv, const std::string& name)
             if (options.threads > 4096)
                 fatal("--threads too large (max 4096), got '", value,
                       "'");
-        } else if (arg == "--json" && i + 1 < argc) {
-            options.jsonPath = argv[++i];
+        } else if (arg == "--json" && i + 1 < args.size()) {
+            options.jsonPath = args[++i];
         } else if (arg == "--no-json") {
             options.jsonPath.clear();
         } else if (arg == "--quiet") {
             options.progress = false;
+        } else if (arg == "--trace-out" && i + 1 < args.size()) {
+            options.traceOut = args[++i];
+        } else if (arg == "--stats-out" && i + 1 < args.size()) {
+            options.statsOut = args[++i];
+        } else if (arg == "--log-level" && i + 1 < args.size()) {
+            const std::string value = args[++i];
+            const auto level = parseLogLevel(value);
+            if (!level)
+                fatal("--log-level expects "
+                      "debug|info|warn|error|off, got '",
+                      value, "'");
+            setLogLevel(*level);
         } else {
             fatal("usage: ", argv[0],
                   " [--threads N] [--json PATH] [--no-json]"
-                  " [--quiet]");
+                  " [--quiet] [--trace-out PATH] [--stats-out PATH]"
+                  " [--log-level debug|info|warn|error|off]");
         }
     }
     return options;
 }
 
 /**
- * A RunEngine wired to the bench options (progress meter included).
+ * A RunEngine wired to the bench options: progress meter, trace
+ * collection (--trace-out) and phase profiling (--stats-out). Call
+ * writeArtifacts() after the last plan, or rely on the destructor.
  */
 struct BenchEngine {
     explicit BenchEngine(const BenchOptions& options)
-        : engine({options.threads,
-                  options.progress ? &progress : nullptr})
+        : traceOut(options.traceOut), statsOut(options.statsOut),
+          engine({options.threads,
+                  options.progress ? &progress : nullptr,
+                  options.traceOut.empty() ? nullptr : &trace})
     {
+        if (!statsOut.empty())
+            obs::Profiler::global().setEnabled(true);
     }
 
+    ~BenchEngine() { writeArtifacts(); }
+
+    /** Idempotent: writes the trace and stats artifacts once. */
+    void
+    writeArtifacts()
+    {
+        if (artifactsWritten)
+            return;
+        artifactsWritten = true;
+        if (!traceOut.empty())
+            trace.write(traceOut);
+        if (!statsOut.empty()) {
+            runner::writeObsReport(statsOut);
+            obs::Profiler::global().printTable(stderr);
+        }
+    }
+
+    std::string traceOut;
+    std::string statsOut;
+    bool artifactsWritten = false;
     runner::ConsoleProgress progress;
+    obs::TraceCollection trace;
     runner::RunEngine engine;
 };
 

@@ -5,6 +5,10 @@
  * on it during load peaks — yielding more warm starts exactly when
  * memory pressure is highest. Paper: budget management alone gains
  * ~18 points of warm starts over SitW at peak.
+ *
+ * Runs on the RunEngine: SitW runs first (it is both a reported run
+ * and the budget dependency), then CodeCrunch. Results are
+ * bit-identical to the old serial loop.
  */
 #include "bench/bench_common.hpp"
 
@@ -12,14 +16,35 @@ using namespace codecrunch;
 using namespace codecrunch::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig10_budget_creditor");
     Harness harness(Scenario::evaluationDefault());
+    BenchEngine bench(options);
 
-    policy::SitW sitw;
-    const auto sitwRun = harness.runNamed(sitw);
-    core::CodeCrunch codecrunch(harness.codecrunchConfig());
-    const auto crunchRun = harness.runNamed(codecrunch);
+    // Stage 1: SitW alone; its observed spend is the budget every
+    // budget-normalized policy receives.
+    runner::SimPlan budgetPlan("fig10/budget");
+    runner::addSimJob(budgetPlan, "SitW", harness,
+                      [] { return std::make_unique<policy::SitW>(); });
+    std::vector<RunResult> sitwResults = bench.engine.run(budgetPlan);
+    harness.primeBudgetRate(sitwResults.front());
+
+    // Stage 2: CodeCrunch under the SitW-normalized budget.
+    runner::SimPlan plan("fig10");
+    const core::CodeCrunchConfig crunchConfig =
+        harness.codecrunchConfig();
+    runner::addSimJob(plan, "CodeCrunch", harness, [crunchConfig] {
+        return std::make_unique<core::CodeCrunch>(crunchConfig);
+    });
+    std::vector<RunResult> results = bench.engine.run(plan);
+
+    std::vector<PolicyRun> runs;
+    runs.push_back({"SitW", std::move(sitwResults.front())});
+    runs.push_back({"CodeCrunch", std::move(results.front())});
+    const PolicyRun& sitwRun = runs[0];
+    const PolicyRun& crunchRun = runs[1];
 
     printBanner("Fig. 10(a): warm starts, peak vs off-peak");
     const auto [sitwPeak, sitwOff] =
@@ -75,5 +100,36 @@ main()
               << " vs CodeCrunch $"
               << ConsoleTable::num(crunchRun.result.keepAliveSpend, 2)
               << " (equal-budget comparison)\n";
+
+    runner::ReportMeta meta;
+    meta.bench = "fig10_budget_creditor";
+    meta.numbers.emplace_back("sitw_budget_rate_usd_per_s",
+                              harness.sitwBudgetRate());
+    runner::writeRunReport(
+        options.jsonPath, meta, runs,
+        [&](runner::JsonWriter& json, const PolicyRun& run,
+            std::size_t) {
+            const auto [peakFrac, offFrac] =
+                peakOffpeakWarmFraction(run.result.metrics);
+            json.field("peak_warm_fraction", peakFrac);
+            json.field("offpeak_warm_fraction", offFrac);
+            const auto& bins = run.result.metrics.timeline();
+            json.key("hourly");
+            json.beginArray();
+            for (std::size_t h = 0; h < bins.size() / 60; ++h) {
+                std::size_t load = 0;
+                double hourSpend = 0.0;
+                for (std::size_t m = h * 60; m < (h + 1) * 60; ++m) {
+                    load += bins[m].invocations;
+                    hourSpend += bins[m].keepAliveSpend;
+                }
+                json.beginObject();
+                json.field("hour", h);
+                json.field("invocations", load);
+                json.field("keepalive_spend_usd", hourSpend);
+                json.endObject();
+            }
+            json.endArray();
+        });
     return 0;
 }

@@ -5,6 +5,11 @@
  * and enabling compression should raise the overall warm-start
  * fraction by >10 points (paper) with a corresponding service-time
  * improvement.
+ *
+ * Runs on the RunEngine: SitW computes the budget first (the old
+ * serial version paid for the same run implicitly inside
+ * codecrunchConfig()), then the two CodeCrunch variants run
+ * concurrently. Results are bit-identical to the old serial loop.
  */
 #include "bench/bench_common.hpp"
 
@@ -12,16 +17,44 @@ using namespace codecrunch;
 using namespace codecrunch::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig11_compression_timeline");
     Harness harness(Scenario::evaluationDefault());
+    BenchEngine bench(options);
 
-    core::CodeCrunch withComp(harness.codecrunchConfig());
-    const auto compRun = harness.runNamed(withComp);
-    auto config = harness.codecrunchConfig();
-    config.useCompression = false;
-    core::CodeCrunch noComp(config);
-    const auto plainRun = harness.runNamed(noComp);
+    // Stage 1: the budget dependency (not itself a reported run).
+    runner::SimPlan budgetPlan("fig11/budget");
+    runner::addSimJob(budgetPlan, "SitW", harness,
+                      [] { return std::make_unique<policy::SitW>(); });
+    harness.primeBudgetRate(bench.engine.run(budgetPlan).front());
+
+    // Stage 2: with/without compression, concurrently.
+    runner::SimPlan plan("fig11");
+    const core::CodeCrunchConfig compConfig =
+        harness.codecrunchConfig();
+    runner::addSimJob(plan, "CodeCrunch (compression)", harness,
+                      [compConfig] {
+                          return std::make_unique<core::CodeCrunch>(
+                              compConfig);
+                      });
+    core::CodeCrunchConfig plainConfig = harness.codecrunchConfig();
+    plainConfig.useCompression = false;
+    runner::addSimJob(plan, "CodeCrunch (no compression)", harness,
+                      [plainConfig] {
+                          return std::make_unique<core::CodeCrunch>(
+                              plainConfig);
+                      });
+    std::vector<RunResult> results = bench.engine.run(plan);
+
+    std::vector<PolicyRun> runs;
+    runs.push_back(
+        {plan.jobs()[0].label, std::move(results[0])});
+    runs.push_back(
+        {plan.jobs()[1].label, std::move(results[1])});
+    const PolicyRun& compRun = runs[0];
+    const PolicyRun& plainRun = runs[1];
 
     printBanner("Fig. 11(a): compression activity across the trace");
     ConsoleTable activity;
@@ -69,5 +102,34 @@ main()
                          compRun.result.metrics.meanServiceTime()),
                      1)
               << "% (paper: 6.75 s vs 8.15 s = 17%)\n";
+
+    runner::ReportMeta meta;
+    meta.bench = "fig11_compression_timeline";
+    meta.numbers.emplace_back("sitw_budget_rate_usd_per_s",
+                              harness.sitwBudgetRate());
+    runner::writeRunReport(
+        options.jsonPath, meta, runs,
+        [&](runner::JsonWriter& json, const PolicyRun& run,
+            std::size_t) {
+            const auto& timeline = run.result.metrics.timeline();
+            json.key("hourly");
+            json.beginArray();
+            for (std::size_t h = 0; h < timeline.size() / 60; ++h) {
+                std::size_t load = 0, comps = 0, compStarts = 0;
+                for (std::size_t m = h * 60;
+                     m < (h + 1) * 60 && m < timeline.size(); ++m) {
+                    load += timeline[m].invocations;
+                    comps += timeline[m].compressions;
+                    compStarts += timeline[m].compressedStarts;
+                }
+                json.beginObject();
+                json.field("hour", h);
+                json.field("invocations", load);
+                json.field("compressions", comps);
+                json.field("compressed_starts", compStarts);
+                json.endObject();
+            }
+            json.endArray();
+        });
     return 0;
 }

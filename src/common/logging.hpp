@@ -1,24 +1,103 @@
 /**
  * @file
- * Minimal logging and error-termination helpers, following the gem5
- * fatal/panic convention: fatal() for user errors (bad configuration),
- * panic() for internal invariant violations.
+ * Leveled, component-tagged, thread-safe logging plus the gem5-style
+ * error-termination helpers: fatal() for user errors (bad
+ * configuration), panic() for internal invariant violations.
+ *
+ * Every line is fully formatted before a single sink write, so
+ * concurrent runner jobs never interleave partial lines. Lines look
+ * like "[warn][driver][t3] message"; the component tag is optional and
+ * the thread tag is a small per-process ordinal (t0 = first logging
+ * thread), far more readable than a native thread id.
+ *
+ * Filtering: messages below the global level (default Info) are
+ * dropped before any formatting — a relaxed atomic load and a branch.
+ * fatal()/panic() always print regardless of level or sink.
  */
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace codecrunch {
 
+enum class LogLevel : int {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4,
+};
+
+/**
+ * Receives fully formatted lines (no trailing newline). Implementations
+ * must tolerate concurrent calls or rely on the logger's serialization
+ * (writes happen under the logger's sink mutex).
+ */
+class LogSink
+{
+  public:
+    virtual ~LogSink() = default;
+    virtual void write(LogLevel level, const std::string& line) = 0;
+};
+
 namespace detail {
 
-inline void
-logStream(const char* level, const std::string& msg)
+inline std::atomic<int> gLogLevel{static_cast<int>(LogLevel::Info)};
+
+class StderrSink final : public LogSink
 {
-    std::fprintf(stderr, "[%s] %s\n", level, msg.c_str());
+  public:
+    void
+    write(LogLevel, const std::string& line) override
+    {
+        std::fprintf(stderr, "%s\n", line.c_str());
+    }
+};
+
+inline std::mutex&
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** Current sink; null drops messages (fatal/panic still print). */
+inline LogSink*&
+sinkSlot()
+{
+    static StderrSink defaultSink;
+    static LogSink* sink = &defaultSink;
+    return sink;
+}
+
+/** Small per-process ordinal for the calling thread (t0, t1, ...). */
+inline int
+threadTag()
+{
+    static std::atomic<int> next{0};
+    thread_local const int tag =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tag;
+}
+
+inline const char*
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::Off: return "off";
+    }
+    return "?";
 }
 
 template <typename... Args>
@@ -30,14 +109,135 @@ concat(Args&&... args)
     return os.str();
 }
 
+inline std::string
+formatLine(LogLevel level, std::string_view component,
+           const std::string& msg)
+{
+    std::string line;
+    line.reserve(msg.size() + component.size() + 24);
+    line += '[';
+    line += levelName(level);
+    line += ']';
+    if (!component.empty()) {
+        line += '[';
+        line += component;
+        line += ']';
+    }
+    line += "[t";
+    line += std::to_string(threadTag());
+    line += "] ";
+    line += msg;
+    return line;
+}
+
+/** Format and write one line; `always` bypasses level and null sink. */
+inline void
+emit(LogLevel level, std::string_view component,
+     const std::string& msg, bool always = false)
+{
+    if (!always &&
+        static_cast<int>(level) <
+            gLogLevel.load(std::memory_order_relaxed))
+        return;
+    const std::string line = formatLine(level, component, msg);
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    LogSink* sink = sinkSlot();
+    if (sink)
+        sink->write(level, line);
+    else if (always)
+        std::fprintf(stderr, "%s\n", line.c_str());
+}
+
 } // namespace detail
+
+inline void
+setLogLevel(LogLevel level)
+{
+    detail::gLogLevel.store(static_cast<int>(level),
+                            std::memory_order_relaxed);
+}
+
+inline LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        detail::gLogLevel.load(std::memory_order_relaxed));
+}
+
+/** "debug"/"info"/"warn"/"error"/"off" -> level; nullopt otherwise. */
+inline std::optional<LogLevel>
+parseLogLevel(std::string_view text)
+{
+    if (text == "debug") return LogLevel::Debug;
+    if (text == "info") return LogLevel::Info;
+    if (text == "warn") return LogLevel::Warn;
+    if (text == "error") return LogLevel::Error;
+    if (text == "off") return LogLevel::Off;
+    return std::nullopt;
+}
+
+/**
+ * Replace the global sink (null = drop everything except fatal/panic,
+ * which fall back to stderr). Returns the previous sink; not owned.
+ */
+inline LogSink*
+setLogSink(LogSink* sink)
+{
+    std::lock_guard<std::mutex> lock(detail::sinkMutex());
+    LogSink*& slot = detail::sinkSlot();
+    LogSink* previous = slot;
+    slot = sink;
+    return previous;
+}
+
+/** Component-tagged logging at an explicit level. */
+template <typename... Args>
+void
+logAt(LogLevel level, std::string_view component, Args&&... args)
+{
+    if (static_cast<int>(level) <
+        detail::gLogLevel.load(std::memory_order_relaxed))
+        return; // filtered before any formatting work
+    detail::emit(level, component,
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+logDebug(std::string_view component, Args&&... args)
+{
+    logAt(LogLevel::Debug, component, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+logInfo(std::string_view component, Args&&... args)
+{
+    logAt(LogLevel::Info, component, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+logWarn(std::string_view component, Args&&... args)
+{
+    logAt(LogLevel::Warn, component, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+logError(std::string_view component, Args&&... args)
+{
+    logAt(LogLevel::Error, component, std::forward<Args>(args)...);
+}
 
 /** Report a condition caused by invalid user input and exit(1). */
 template <typename... Args>
 [[noreturn]] void
 fatal(Args&&... args)
 {
-    detail::logStream("FATAL", detail::concat(std::forward<Args>(args)...));
+    detail::emit(LogLevel::Error, "fatal",
+                 detail::concat(std::forward<Args>(args)...),
+                 /*always=*/true);
     std::exit(1);
 }
 
@@ -46,24 +246,26 @@ template <typename... Args>
 [[noreturn]] void
 panic(Args&&... args)
 {
-    detail::logStream("PANIC", detail::concat(std::forward<Args>(args)...));
+    detail::emit(LogLevel::Error, "panic",
+                 detail::concat(std::forward<Args>(args)...),
+                 /*always=*/true);
     std::abort();
 }
 
-/** Informational message for the user. */
+/** Informational message for the user (level Info, no component). */
 template <typename... Args>
 void
 inform(Args&&... args)
 {
-    detail::logStream("info", detail::concat(std::forward<Args>(args)...));
+    logAt(LogLevel::Info, "", std::forward<Args>(args)...);
 }
 
-/** Warn about suspicious but non-fatal conditions. */
+/** Warn about suspicious but non-fatal conditions (level Warn). */
 template <typename... Args>
 void
 warn(Args&&... args)
 {
-    detail::logStream("warn", detail::concat(std::forward<Args>(args)...));
+    logAt(LogLevel::Warn, "", std::forward<Args>(args)...);
 }
 
 } // namespace codecrunch

@@ -6,6 +6,8 @@
 
 #include "common/logging.hpp"
 #include "core/interval_objective.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 
 namespace codecrunch::core {
 
@@ -13,6 +15,24 @@ using opt::Choice;
 using opt::keepAliveLevels;
 
 namespace {
+
+/**
+ * Controller-track watchdog instant. Payload is sim-deterministic
+ * (trip ordinal only) so traces stay byte-identical across --threads.
+ */
+void
+emitWatchdogTrip(obs::TraceBuffer* trace, Seconds now,
+                 std::size_t trips)
+{
+    if (!trace)
+        return;
+    obs::TraceEvent event;
+    event.kind = obs::TraceEvent::Kind::WatchdogTrip;
+    event.tid = obs::kControllerTrack;
+    event.a = static_cast<std::uint32_t>(trips);
+    event.ts = now;
+    trace->emit(event);
+}
 
 /** Index of the keep-alive level closest to `seconds`. */
 int
@@ -291,18 +311,22 @@ CodeCrunch::onTick(Seconds)
     // Build the interval problem.
     std::vector<FunctionEstimate> estimates;
     estimates.reserve(invoked.size());
-    for (FunctionId f : invoked) {
-        const auto& history = histories_[f];
-        const Seconds period = pest(history);
-        // IAT dispersion: blend local/global like P_est itself, with a
-        // floor so near-perfectly periodic functions still get a band.
-        const Seconds sigma = std::max(
-            {history.globalStddev(), history.localStddev(),
-             0.15 * std::max(period, 0.0)});
-        auto estimate = observed_->estimate(
-            workload.profile(f), period, sigma);
-        estimate.weight = weights[estimates.size()];
-        estimates.push_back(estimate);
+    {
+        CC_PHASE("crunch.estimates");
+        for (FunctionId f : invoked) {
+            const auto& history = histories_[f];
+            const Seconds period = pest(history);
+            // IAT dispersion: blend local/global like P_est itself,
+            // with a floor so near-perfectly periodic functions still
+            // get a band.
+            const Seconds sigma = std::max(
+                {history.globalStddev(), history.localStddev(),
+                 0.15 * std::max(period, 0.0)});
+            auto estimate = observed_->estimate(
+                workload.profile(f), period, sigma);
+            estimate.weight = weights[estimates.size()];
+            estimates.push_back(estimate);
+        }
     }
 
     // --- watchdog: invalid inputs ------------------------------------
@@ -317,6 +341,8 @@ CodeCrunch::onTick(Seconds)
             if (watchdogTrips_ == 1)
                 warn("CodeCrunch: watchdog tripped on invalid "
                      "estimates; keeping last-good solutions");
+            emitWatchdogTrip(context_->traceSink(),
+                             context_->now(), watchdogTrips_);
             lastTick_ = TickDebug{available, 0.0, lambda_,
                                   invoked.size(), 0.0, true};
             return;
@@ -348,21 +374,25 @@ CodeCrunch::onTick(Seconds)
     opt::OptimizerResult result;
     std::vector<std::uint32_t> counts;
     const auto wallStart = std::chrono::steady_clock::now();
-    if (config_.useSre) {
-        opt::SreOptimizer sre(config_.sre);
-        counts.resize(invoked.size());
-        for (std::size_t i = 0; i < invoked.size(); ++i)
-            counts[i] = sreCounts_[invoked[i]];
-        result = sre.optimizeWithCounts(objective, start, rng_,
-                                        counts);
-    } else {
-        // Whole-space steepest descent within SRE's optimization time
-        // (paper Sec. 5, Fig. 12 "without SRE"): one descent round
-        // scans every (function, choice) pair — roughly the number of
-        // term evaluations SRE's sub-problems spend in total — so the
-        // fair time-capped variant gets only a couple of rounds.
-        opt::CoordinateDescent descent(2);
-        result = descent.optimize(objective, start, rng_);
+    {
+        CC_PHASE("crunch.optimize");
+        if (config_.useSre) {
+            opt::SreOptimizer sre(config_.sre);
+            counts.resize(invoked.size());
+            for (std::size_t i = 0; i < invoked.size(); ++i)
+                counts[i] = sreCounts_[invoked[i]];
+            result = sre.optimizeWithCounts(objective, start, rng_,
+                                            counts);
+        } else {
+            // Whole-space steepest descent within SRE's optimization
+            // time (paper Sec. 5, Fig. 12 "without SRE"): one descent
+            // round scans every (function, choice) pair — roughly the
+            // number of term evaluations SRE's sub-problems spend in
+            // total — so the fair time-capped variant gets only a
+            // couple of rounds.
+            opt::CoordinateDescent descent(2);
+            result = descent.optimize(objective, start, rng_);
+        }
     }
     const double wallSeconds =
         std::chrono::duration<double>(
@@ -385,6 +415,8 @@ CodeCrunch::onTick(Seconds)
                 warn("CodeCrunch: watchdog rejected a tick result (",
                      result.evaluations, " evaluations, ",
                      wallSeconds, " s); keeping last-good solutions");
+            emitWatchdogTrip(context_->traceSink(),
+                             context_->now(), watchdogTrips_);
             lastTick_ = TickDebug{available, 0.0, lambda_,
                                   invoked.size(), result.score, true};
             return;
@@ -401,24 +433,42 @@ CodeCrunch::onTick(Seconds)
                           invoked.size(), result.score};
 
     // Adopt and apply the solution.
-    for (std::size_t i = 0; i < invoked.size(); ++i) {
-        const FunctionId f = invoked[i];
-        const Choice choice = sanitize(result.assignment[i]);
-        solutions_[f] = choice;
-        optimizedOnce_[f] = true;
-        if (cluster.warmCount(f) == 0)
-            continue;
-        // Update live warm containers to the new decision. A zero
-        // keep-alive only stops future keeps; already-warm containers
-        // run out their previously granted window (evicting them would
-        // waste their sunk cost and destabilize the warm pool).
-        const Seconds keepAlive = keepAliveLevels()[
-            static_cast<std::size_t>(choice.keepAliveLevel)];
-        if (keepAlive > 0.0) {
-            context_->requestSetKeepAlive(f, keepAlive);
-            if (choice.compress)
-                context_->requestCompress(f);
+    {
+        CC_PHASE("crunch.apply");
+        for (std::size_t i = 0; i < invoked.size(); ++i) {
+            const FunctionId f = invoked[i];
+            const Choice choice = sanitize(result.assignment[i]);
+            solutions_[f] = choice;
+            optimizedOnce_[f] = true;
+            if (cluster.warmCount(f) == 0)
+                continue;
+            // Update live warm containers to the new decision. A zero
+            // keep-alive only stops future keeps; already-warm
+            // containers run out their previously granted window
+            // (evicting them would waste their sunk cost and
+            // destabilize the warm pool).
+            const Seconds keepAlive = keepAliveLevels()[
+                static_cast<std::size_t>(choice.keepAliveLevel)];
+            if (keepAlive > 0.0) {
+                context_->requestSetKeepAlive(f, keepAlive);
+                if (choice.compress)
+                    context_->requestCompress(f);
+            }
         }
+    }
+
+    if (obs::TraceBuffer* trace = context_->traceSink()) {
+        // Sim-deterministic payload only: score and evaluation count,
+        // never wallSeconds (which differs run to run).
+        obs::TraceEvent event;
+        event.kind = obs::TraceEvent::Kind::Optimize;
+        event.tid = obs::kControllerTrack;
+        event.a = static_cast<std::uint32_t>(invoked.size());
+        event.b = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            result.evaluations, 0xffffffffull));
+        event.x = result.score;
+        event.ts = context_->now();
+        trace->emit(event);
     }
 }
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "common/logging.hpp"
+#include "obs/profiler.hpp"
+#include "obs/stats.hpp"
 
 namespace codecrunch::experiments {
 
@@ -36,6 +39,134 @@ Driver::Driver(const trace::Workload& workload,
     faultPlan_ = faults::FaultPlan(
         config_.faults, cluster_.nodes().size(),
         lastArrivalTime_ + config_.drainGrace);
+
+    trace_ = config_.trace;
+    if (trace_) {
+        coreSlots_.assign(
+            cluster_.nodes().size(),
+            std::vector<bool>(
+                static_cast<std::size_t>(
+                    cluster_.config().coresPerNode),
+                false));
+        trace_->nameTrack(obs::kControllerTrack, "controller");
+    }
+}
+
+// --- observability helpers ---------------------------------------------
+
+std::uint32_t
+Driver::coreTid(NodeId node, int slot) const
+{
+    const auto cores =
+        static_cast<std::uint32_t>(cluster_.config().coresPerNode);
+    return 1 + node * (cores + 1) + static_cast<std::uint32_t>(slot);
+}
+
+std::uint32_t
+Driver::bgTid(NodeId node) const
+{
+    return coreTid(node, cluster_.config().coresPerNode);
+}
+
+int
+Driver::allocCoreSlot(NodeId node)
+{
+    auto& slots = coreSlots_[node];
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+        if (!slots[s]) {
+            slots[s] = true;
+            const int slot = static_cast<int>(s);
+            trace_->nameTrack(
+                coreTid(node, slot),
+                "node" + std::to_string(node) +
+                    (cluster_.node(node).type == NodeType::X86
+                         ? "/x86 c"
+                         : "/arm c") +
+                    std::to_string(slot));
+            return slot;
+        }
+    }
+    // The cluster never runs more executions than cores, but stay
+    // defensive: overflow lands on the bg track rather than crashing
+    // an observability path.
+    return cluster_.config().coresPerNode;
+}
+
+void
+Driver::freeCoreSlot(NodeId node, int slot)
+{
+    if (slot >= 0 &&
+        slot < cluster_.config().coresPerNode)
+        coreSlots_[node][static_cast<std::size_t>(slot)] = false;
+}
+
+std::uint32_t
+Driver::allocWaitLane(Seconds begin, Seconds end)
+{
+    for (std::size_t lane = 0; lane < waitLaneEnd_.size(); ++lane) {
+        if (waitLaneEnd_[lane] <= begin + 1e-9) {
+            waitLaneEnd_[lane] = end;
+            return obs::kWaitLaneBase +
+                   static_cast<std::uint32_t>(lane);
+        }
+    }
+    waitLaneEnd_.push_back(end);
+    const auto lane =
+        static_cast<std::uint32_t>(waitLaneEnd_.size() - 1);
+    trace_->nameTrack(obs::kWaitLaneBase + lane,
+                      "wait lane " + std::to_string(lane));
+    return obs::kWaitLaneBase + lane;
+}
+
+void
+Driver::emitWaitTrace(const Invocation& invocation, int attempt,
+                      Seconds begin, Seconds end)
+{
+    if (end - begin <= 1e-12)
+        return;
+    obs::TraceEvent event;
+    event.kind = obs::TraceEvent::Kind::Wait;
+    event.tid = allocWaitLane(begin, end);
+    event.a = invocation.function;
+    event.b = static_cast<std::uint32_t>(attempt);
+    event.ts = begin;
+    event.dur = end - begin;
+    trace_->emit(event);
+}
+
+void
+Driver::emitInvocationTrace(const RunningExec& exec,
+                            const metrics::InvocationRecord& record)
+{
+    const std::uint32_t tid = coreTid(exec.node, exec.traceSlot);
+    obs::TraceEvent event;
+    event.kind = obs::TraceEvent::Kind::Invocation;
+    event.u8 = static_cast<std::uint8_t>(record.start);
+    event.tid = tid;
+    event.a = record.function;
+    event.b = static_cast<std::uint32_t>(exec.attempt);
+    event.ts = exec.traceStart;
+    event.dur = record.startup + record.exec;
+    trace_->emit(event);
+    if (record.startup > 0.0) {
+        obs::TraceEvent startup;
+        startup.kind = obs::TraceEvent::Kind::Startup;
+        startup.u8 = event.u8;
+        startup.tid = tid;
+        startup.a = record.function;
+        startup.ts = exec.traceStart;
+        startup.dur = record.startup;
+        trace_->emit(startup);
+        obs::TraceEvent run;
+        run.kind = obs::TraceEvent::Kind::Exec;
+        run.tid = tid;
+        run.a = record.function;
+        run.ts = exec.traceStart + record.startup;
+        run.dur = record.exec;
+        trace_->emit(run);
+    }
+    emitWaitTrace(exec.invocation, exec.attempt, record.arrival,
+                  exec.traceStart);
 }
 
 RunResult
@@ -56,6 +187,21 @@ Driver::run()
     cluster_.accrueAll(queue_.now());
     collector_.finalizeAvailability(queue_.now(),
                                     cluster_.nodes().size());
+
+    // One batched stats-registry flush per run: per-event updates stay
+    // in run-local counters so the sim hot path never contends on
+    // registry cache lines shared across worker threads.
+    collector_.flushStats();
+    auto& registry = obs::Registry::global();
+    registry.counter("sim.driver.arrivals").add(arrivalsProcessed_);
+    registry.counter("sim.driver.prewarms").add(prewarmsIssued_);
+    registry.counter("sim.driver.ticks").add(ticksProcessed_);
+    registry.counter("sim.faults.node_crashes").add(nodeCrashes_);
+    registry.counter("sim.faults.node_recoveries")
+        .add(nodeRecoveries_);
+    registry.counter("sim.faults.memory_shocks").add(memoryShocks_);
+    registry.gauge("sim.driver.wait_queue_peak")
+        .observe(static_cast<double>(waitQueuePeak_));
 
     RunResult result;
     result.decisionWallSeconds = decisionWallSeconds_;
@@ -98,10 +244,13 @@ Driver::handleArrival(const Invocation& invocation)
 {
     ++arrivalsProcessed_;
     timedDecision([&] {
+        CC_PHASE("policy.onArrival");
         policy_.onArrival(invocation.function, queue_.now());
     });
-    if (!tryStart(invocation, 1))
+    if (!tryStart(invocation, 1)) {
         waitQueue_.push_back({invocation, 1});
+        waitQueuePeak_ = std::max(waitQueuePeak_, waitQueue_.size());
+    }
 }
 
 bool
@@ -252,6 +401,10 @@ Driver::startExecution(const Invocation& invocation, NodeId nodeId,
     exec.node = nodeId;
     exec.memoryMb = profile.memoryMb;
     ++running_;
+    if (trace_) {
+        exec.traceStart = queue_.now();
+        exec.traceSlot = allocCoreSlot(nodeId);
+    }
 
     // Transient failure? A pure hash decision (no RNG draw), so a
     // zero failure rate leaves the noise stream — and therefore the
@@ -267,6 +420,21 @@ Driver::startExecution(const Invocation& invocation, NodeId nodeId,
                 runningExecs_.erase(id);
                 --running_;
                 cluster_.releaseExec(failed.node, failed.memoryMb);
+                if (trace_) {
+                    obs::TraceEvent event;
+                    event.kind =
+                        obs::TraceEvent::Kind::AttemptFailed;
+                    event.u8 = 0; // transient failure
+                    event.tid =
+                        coreTid(failed.node, failed.traceSlot);
+                    event.a = failed.invocation.function;
+                    event.b =
+                        static_cast<std::uint32_t>(failed.attempt);
+                    event.ts = failed.traceStart;
+                    event.dur = queue_.now() - failed.traceStart;
+                    trace_->emit(event);
+                    freeCoreSlot(failed.node, failed.traceSlot);
+                }
                 failAttempt(failed.invocation, failed.attempt);
                 drainWaitQueue();
             });
@@ -295,6 +463,12 @@ Driver::startExecution(const Invocation& invocation, NodeId nodeId,
         startupLatency + execTime, [this, id, record] {
             const RunningExec done = std::move(runningExecs_.at(id));
             runningExecs_.erase(id);
+            if (trace_) {
+                // Emission waits for completion so a crash-killed
+                // execution can be drawn with its true length.
+                emitInvocationTrace(done, record);
+                freeCoreSlot(done.node, done.traceSlot);
+            }
             handleFinish(done.invocation, done.node, record);
         });
     runningExecs_.emplace(id, std::move(exec));
@@ -395,11 +569,20 @@ Driver::scheduleCompression(ContainerId id)
     const Seconds compressTime =
         profile.compressTime[static_cast<int>(type)];
     events.compressFinish = queue_.scheduleAfter(
-        compressTime, [this, id] {
+        compressTime, [this, id, compressTime] {
             const auto& c = cluster_.warm(id);
             const auto& p = workload_.profile(c.function);
             // Only shrink if compression actually helps the footprint.
             const MegaBytes newMb = std::min(p.compressedMb, c.memoryMb);
+            if (trace_) {
+                obs::TraceEvent event;
+                event.kind = obs::TraceEvent::Kind::Compress;
+                event.tid = bgTid(c.node);
+                event.a = c.function;
+                event.x = compressTime;
+                event.ts = queue_.now();
+                trace_->emit(event);
+            }
             cluster_.resizeWarm(id, newMb, true, queue_.now());
             collector_.recordCompression(queue_.now());
             drainWaitQueue();
@@ -445,11 +628,16 @@ Driver::requestPrewarm(FunctionId function, NodeType type,
     // node mid-start can cancel it and reclaim the resources.
     cluster_.reserveExec(*nodeId, profile.memoryMb);
     ++running_;
+    ++prewarmsIssued_;
     const std::uint64_t id = nextExecId_++;
     PrewarmExec prewarm;
     prewarm.function = function;
     prewarm.node = *nodeId;
     prewarm.memoryMb = profile.memoryMb;
+    if (trace_) {
+        prewarm.traceStart = queue_.now();
+        prewarm.traceSlot = allocCoreSlot(*nodeId);
+    }
     const Seconds coldStart =
         profile.coldStart[static_cast<int>(type)];
     prewarm.finish = queue_.scheduleAfter(
@@ -458,6 +646,17 @@ Driver::requestPrewarm(FunctionId function, NodeType type,
             prewarms_.erase(id);
             --running_;
             cluster_.releaseExec(done.node, done.memoryMb);
+            if (trace_) {
+                obs::TraceEvent event;
+                event.kind = obs::TraceEvent::Kind::Prewarm;
+                event.u8 = 0;
+                event.tid = coreTid(done.node, done.traceSlot);
+                event.a = done.function;
+                event.ts = done.traceStart;
+                event.dur = queue_.now() - done.traceStart;
+                trace_->emit(event);
+                freeCoreSlot(done.node, done.traceSlot);
+            }
             if (cluster_.warmHeadroomMb(done.node) + 1e-6 >=
                 done.memoryMb) {
                 addWarmContainer(done.function, done.node,
@@ -516,6 +715,18 @@ Driver::crashNode(NodeId nodeId)
         failed.finish.cancel();
         --running_;
         cluster_.releaseExec(failed.node, failed.memoryMb);
+        if (trace_) {
+            obs::TraceEvent event;
+            event.kind = obs::TraceEvent::Kind::AttemptFailed;
+            event.u8 = 1; // killed by node crash
+            event.tid = coreTid(failed.node, failed.traceSlot);
+            event.a = failed.invocation.function;
+            event.b = static_cast<std::uint32_t>(failed.attempt);
+            event.ts = failed.traceStart;
+            event.dur = now - failed.traceStart;
+            trace_->emit(event);
+            freeCoreSlot(failed.node, failed.traceSlot);
+        }
         failAttempt(failed.invocation, failed.attempt);
     }
     std::vector<std::uint64_t> prewarmIds;
@@ -529,12 +740,30 @@ Driver::crashNode(NodeId nodeId)
         dropped.finish.cancel();
         --running_;
         cluster_.releaseExec(dropped.node, dropped.memoryMb);
+        if (trace_) {
+            obs::TraceEvent event;
+            event.kind = obs::TraceEvent::Kind::Prewarm;
+            event.u8 = 1; // killed by node crash
+            event.tid = coreTid(dropped.node, dropped.traceSlot);
+            event.a = dropped.function;
+            event.ts = dropped.traceStart;
+            event.dur = now - dropped.traceStart;
+            trace_->emit(event);
+            freeCoreSlot(dropped.node, dropped.traceSlot);
+        }
     }
 
     // Fully drained; the capacity invariants must hold through this.
     cluster_.markDown(nodeId);
     collector_.noteNodeDown(now);
     ++nodeCrashes_;
+    if (trace_) {
+        obs::TraceEvent event;
+        event.kind = obs::TraceEvent::Kind::NodeCrash;
+        event.tid = bgTid(nodeId);
+        event.ts = now;
+        trace_->emit(event);
+    }
 
     if (preCrashWarm > 0.0) {
         if (!warmRecoveryPending_) {
@@ -555,6 +784,13 @@ Driver::recoverNode(NodeId nodeId)
     cluster_.recover(nodeId);
     collector_.noteNodeUp(queue_.now());
     ++nodeRecoveries_;
+    if (trace_) {
+        obs::TraceEvent event;
+        event.kind = obs::TraceEvent::Kind::NodeRecover;
+        event.tid = bgTid(nodeId);
+        event.ts = queue_.now();
+        trace_->emit(event);
+    }
     drainWaitQueue();
 }
 
@@ -577,11 +813,22 @@ Driver::memoryShock(NodeId nodeId)
                       return sa < sb;
                   return a < b;
               });
+    std::uint32_t evicted = 0;
     for (const ContainerId id : ids) {
         if (cluster_.node(nodeId).warmMemoryMb <= keepMb + 1e-6)
             break;
         ++endEvictedByFault_;
+        ++evicted;
         evictContainer(id);
+    }
+    ++memoryShocks_;
+    if (trace_) {
+        obs::TraceEvent event;
+        event.kind = obs::TraceEvent::Kind::MemoryShock;
+        event.tid = bgTid(nodeId);
+        event.a = evicted;
+        event.ts = queue_.now();
+        trace_->emit(event);
     }
 }
 
@@ -591,6 +838,12 @@ Driver::failAttempt(const Invocation& invocation, int attempt)
     collector_.recordFailedAttempt(queue_.now());
     if (attempt > config_.maxRetries) {
         collector_.recordPermanentFailure();
+        // Give the abandoned invocation a visible wait slice: the
+        // trace should show where time went even for work that never
+        // completed.
+        if (trace_)
+            emitWaitTrace(invocation, attempt, invocation.arrival,
+                          queue_.now());
         return;
     }
     collector_.recordRetry();
@@ -664,8 +917,19 @@ Driver::requestSetKeepAlive(FunctionId function,
 void
 Driver::handleTick()
 {
+    CC_PHASE("driver.tick");
     const Seconds now = queue_.now();
     cluster_.accrueAll(now);
+    ++ticksProcessed_;
+    if (trace_) {
+        obs::TraceEvent event;
+        event.kind = obs::TraceEvent::Kind::Tick;
+        event.tid = obs::kControllerTrack;
+        event.a = static_cast<std::uint32_t>(waitQueue_.size());
+        event.x = cluster_.totalWarmMemoryMb();
+        event.ts = now;
+        trace_->emit(event);
+    }
     collector_.snapshotMinute(now, cluster_.totalWarmMemoryMb(),
                               cluster_.keepAliveSpend());
     if (warmRecoveryPending_ &&
@@ -676,7 +940,10 @@ Driver::handleTick()
     }
     if (config_.tickObserver)
         config_.tickObserver(now);
-    timedDecision([&] { policy_.onTick(now); });
+    timedDecision([&] {
+        CC_PHASE("policy.onTick");
+        policy_.onTick(now);
+    });
     if (!drained() &&
         now <= lastArrivalTime_ + config_.drainGrace) {
         queue_.scheduleAfter(config_.tickInterval,

@@ -24,6 +24,7 @@
 #include "common/rng.hpp"
 #include "faults/fault_plan.hpp"
 #include "metrics/collector.hpp"
+#include "obs/trace.hpp"
 #include "policy/policy.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/workload.hpp"
@@ -64,6 +65,14 @@ struct DriverConfig {
      * the failure is detected and the resources are released.
      */
     Seconds failureDetectSeconds = 0.1;
+
+    /**
+     * Observability: the run's trace-event buffer (not owned; null
+     * disables tracing). Pure observation — emission never perturbs
+     * simulation state, so results are bit-identical with or without
+     * it. The runner wires this to the per-job buffer (JobContext).
+     */
+    obs::TraceBuffer* trace = nullptr;
 };
 
 /**
@@ -137,6 +146,8 @@ class Driver : public policy::PolicyContext
 
     Seconds now() const override { return queue_.now(); }
 
+    obs::TraceBuffer* traceSink() const override { return trace_; }
+
     bool requestPrewarm(FunctionId function, NodeType type,
                         Seconds keepAliveSeconds) override;
     void requestEvict(FunctionId function) override;
@@ -166,6 +177,9 @@ class Driver : public policy::PolicyContext
         NodeId node = kInvalidNode;
         MegaBytes memoryMb = 0;
         sim::EventHandle finish;
+        /** Tracing only: sim start time and the node core track. */
+        Seconds traceStart = 0.0;
+        int traceSlot = -1;
     };
 
     /** One in-flight prewarm cold start (no invocation to retry). */
@@ -174,6 +188,9 @@ class Driver : public policy::PolicyContext
         NodeId node = kInvalidNode;
         MegaBytes memoryMb = 0;
         sim::EventHandle finish;
+        /** Tracing only: sim start time and the node core track. */
+        Seconds traceStart = 0.0;
+        int traceSlot = -1;
     };
 
     void scheduleArrival(std::size_t index);
@@ -257,6 +274,39 @@ class Driver : public policy::PolicyContext
     /** Serve as many queued invocations as capacity now allows. */
     void drainWaitQueue();
 
+    // --- observability -------------------------------------------------
+    //
+    // Tracing bookkeeping: per-node core-slot occupancy so concurrent
+    // executions land on separate, properly nesting Perfetto tracks,
+    // and retroactive wait-lane allocation for queueing-delay slices.
+    // All of it is pure observation gated on trace_ being non-null.
+
+    /** Track of core `slot` on `node` (see obs/trace.hpp model). */
+    std::uint32_t coreTid(NodeId node, int slot) const;
+
+    /** The node's background track (compressions, fault instants). */
+    std::uint32_t bgTid(NodeId node) const;
+
+    /** Claim the lowest free core slot of `node` (names the track). */
+    int allocCoreSlot(NodeId node);
+
+    void freeCoreSlot(NodeId node, int slot);
+
+    /**
+     * Lane whose previous wait ended by `begin`; marks it busy until
+     * `end`. Lanes are created on demand and reused greedily, which is
+     * deterministic because waits resolve in sim-event order.
+     */
+    std::uint32_t allocWaitLane(Seconds begin, Seconds end);
+
+    /** Emit the Invocation slice (plus Startup/Exec children). */
+    void emitInvocationTrace(const RunningExec& exec,
+                             const metrics::InvocationRecord& record);
+
+    /** Emit the Wait slice for a resolved queueing delay. */
+    void emitWaitTrace(const Invocation& invocation, int attempt,
+                       Seconds begin, Seconds end);
+
     /** True when nothing can ever happen again. */
     bool drained() const;
 
@@ -320,6 +370,18 @@ class Driver : public policy::PolicyContext
     std::size_t keepDropped_ = 0;
     double decisionWallSeconds_ = 0.0;
     Seconds lastArrivalTime_ = 0.0;
+
+    /** Observability (see the helper block above). */
+    obs::TraceBuffer* trace_ = nullptr;
+    std::vector<std::vector<bool>> coreSlots_;
+    std::vector<Seconds> waitLaneEnd_;
+    /** Registry instruments (process-global, shared across runs). */
+    // Run-local stat accumulation; run() flushes everything into the
+    // global registry in one batch when the simulation completes.
+    std::size_t prewarmsIssued_ = 0;
+    std::size_t ticksProcessed_ = 0;
+    std::size_t memoryShocks_ = 0;
+    std::size_t waitQueuePeak_ = 0;
 };
 
 } // namespace codecrunch::experiments

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "obs/stats.hpp"
 
 namespace codecrunch::faults {
 
@@ -98,6 +99,9 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::size_t numNodes,
                   return static_cast<int>(a.kind) <
                          static_cast<int>(b.kind);
               });
+    obs::Registry::global()
+        .counter("sim.faults.planned_events")
+        .add(events_.size());
 }
 
 bool

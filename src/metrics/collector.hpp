@@ -11,6 +11,7 @@
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/stats.hpp"
 
 namespace codecrunch::metrics {
 
@@ -79,6 +80,8 @@ class Collector
         service_.add(record.service());
         serviceDigest_.add(record.service());
         wait_.add(record.wait);
+        localService_.observe(record.service());
+        localWait_.observe(record.wait);
         auto& bin = binFor(record.arrival);
         ++bin.invocations;
         bin.meanService +=
@@ -133,10 +136,46 @@ class Collector
     }
 
     /** A failed invocation was re-queued with backoff. */
-    void recordRetry() { ++retries_; }
+    void
+    recordRetry()
+    {
+        ++retries_;
+    }
 
     /** An invocation exhausted its retries and was dropped. */
-    void recordPermanentFailure() { ++permanentFailures_; }
+    void
+    recordPermanentFailure()
+    {
+        ++permanentFailures_;
+    }
+
+    /**
+     * Push this run's totals into the process-global stats registry in
+     * one batch (the driver calls this when its simulation completes).
+     * Per-event updates stay run-local, so the sim hot path never
+     * touches registry cache lines shared across worker threads.
+     */
+    void
+    flushStats()
+    {
+        auto& registry = obs::Registry::global();
+        const auto& bounds = obs::defaultLatencyBoundsSeconds();
+        registry.histogram("sim.service_seconds", bounds)
+            .add(localService_.snapshot());
+        registry.histogram("sim.wait_seconds", bounds)
+            .add(localWait_.snapshot());
+        registry.counter("sim.invocations").add(records_.size());
+        registry.counter("sim.starts.cold").add(coldStarts_);
+        registry.counter("sim.starts.warm").add(warmStarts_);
+        registry.counter("sim.starts.compressed")
+            .add(compressedStarts_);
+        registry.counter("sim.compressions").add(compressions_);
+        registry.counter("sim.faults.failed_attempts")
+            .add(failedAttempts_);
+        registry.counter("sim.faults.retries").add(retries_);
+        registry.counter("sim.faults.permanent_failures")
+            .add(permanentFailures_);
+    }
 
     /**
      * A node transitioned down/up at `now`. The collector integrates
@@ -322,6 +361,10 @@ class Collector
     double downNodeSeconds_ = 0.0;
     double availability_ = 1.0;
     RunningStat warmRecovery_;
+    /** Run-local latency accumulation; flushStats() batches it out. */
+    obs::LocalHistogram localService_{
+        obs::defaultLatencyBoundsSeconds()};
+    obs::LocalHistogram localWait_{obs::defaultLatencyBoundsSeconds()};
 };
 
 } // namespace codecrunch::metrics

@@ -1,0 +1,291 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hpp"
+
+namespace codecrunch::obs {
+
+namespace {
+
+/** Sim seconds -> trace microseconds, fixed 3 decimals (ns grain). */
+void
+appendTs(std::string& out, double seconds)
+{
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", seconds * 1e6);
+    out += buffer;
+}
+
+void
+appendDouble(std::string& out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+    out += buffer;
+}
+
+void
+appendU32(std::string& out, std::uint32_t v)
+{
+    char buffer[16];
+    std::snprintf(buffer, sizeof(buffer), "%u", v);
+    out += buffer;
+}
+
+/** Common slice/instant prefix: ph, pid, tid, ts [, dur]. */
+void
+appendHead(std::string& out, char ph, std::size_t pid,
+           const TraceEvent& e)
+{
+    out += "{\"ph\":\"";
+    out += ph;
+    out += "\",\"pid\":";
+    appendU32(out, static_cast<std::uint32_t>(pid));
+    out += ",\"tid\":";
+    appendU32(out, e.tid);
+    out += ",\"ts\":";
+    appendTs(out, e.ts);
+    if (ph == 'X') {
+        out += ",\"dur\":";
+        appendTs(out, e.dur);
+    } else {
+        out += ",\"s\":\"t\"";
+    }
+}
+
+const char*
+startName(std::uint8_t start)
+{
+    switch (static_cast<StartType>(start)) {
+      case StartType::Cold:
+        return "cold";
+      case StartType::Warm:
+        return "warm";
+      case StartType::WarmCompressed:
+        return "warm-compressed";
+    }
+    return "?";
+}
+
+void
+appendEvent(std::string& out, std::size_t pid, const TraceEvent& e)
+{
+    using Kind = TraceEvent::Kind;
+    switch (e.kind) {
+      case Kind::Invocation:
+        appendHead(out, 'X', pid, e);
+        out += ",\"name\":\"f";
+        appendU32(out, e.a);
+        out += ' ';
+        out += startName(e.u8);
+        out += "\",\"cat\":\"invocation\",\"args\":{\"function\":";
+        appendU32(out, e.a);
+        out += ",\"attempt\":";
+        appendU32(out, e.b);
+        out += "}}";
+        break;
+      case Kind::Startup:
+        appendHead(out, 'X', pid, e);
+        out += ",\"name\":\"";
+        out += static_cast<StartType>(e.u8) ==
+                   StartType::WarmCompressed
+            ? "decompress"
+            : "cold-start";
+        out += "\",\"cat\":\"startup\",\"args\":{\"function\":";
+        appendU32(out, e.a);
+        out += "}}";
+        break;
+      case Kind::Exec:
+        appendHead(out, 'X', pid, e);
+        out += ",\"name\":\"exec\",\"cat\":\"exec\","
+               "\"args\":{\"function\":";
+        appendU32(out, e.a);
+        out += "}}";
+        break;
+      case Kind::Wait:
+        appendHead(out, 'X', pid, e);
+        out += ",\"name\":\"wait f";
+        appendU32(out, e.a);
+        out += "\",\"cat\":\"wait\",\"args\":{\"function\":";
+        appendU32(out, e.a);
+        out += ",\"attempts\":";
+        appendU32(out, e.b);
+        out += "}}";
+        break;
+      case Kind::Prewarm:
+        appendHead(out, 'X', pid, e);
+        out += ",\"name\":\"prewarm f";
+        appendU32(out, e.a);
+        if (e.u8)
+            out += " (crashed)";
+        out += "\",\"cat\":\"prewarm\",\"args\":{\"function\":";
+        appendU32(out, e.a);
+        out += "}}";
+        break;
+      case Kind::AttemptFailed:
+        appendHead(out, 'X', pid, e);
+        out += e.u8 ? ",\"name\":\"crashed f" : ",\"name\":\"failed f";
+        appendU32(out, e.a);
+        out += "\",\"cat\":\"fault\",\"args\":{\"function\":";
+        appendU32(out, e.a);
+        out += ",\"attempt\":";
+        appendU32(out, e.b);
+        out += "}}";
+        break;
+      case Kind::Compress:
+        appendHead(out, 'i', pid, e);
+        out += ",\"name\":\"compress f";
+        appendU32(out, e.a);
+        out += "\",\"cat\":\"compress\",\"args\":{\"function\":";
+        appendU32(out, e.a);
+        out += ",\"seconds\":";
+        appendDouble(out, e.x);
+        out += "}}";
+        break;
+      case Kind::NodeCrash:
+        appendHead(out, 'i', pid, e);
+        out += ",\"name\":\"crash\",\"cat\":\"fault\"}";
+        break;
+      case Kind::NodeRecover:
+        appendHead(out, 'i', pid, e);
+        out += ",\"name\":\"recover\",\"cat\":\"fault\"}";
+        break;
+      case Kind::MemoryShock:
+        appendHead(out, 'i', pid, e);
+        out += ",\"name\":\"memory-shock\",\"cat\":\"fault\","
+               "\"args\":{\"evicted\":";
+        appendU32(out, e.a);
+        out += "}}";
+        break;
+      case Kind::Tick:
+        appendHead(out, 'i', pid, e);
+        out += ",\"name\":\"tick\",\"cat\":\"controller\","
+               "\"args\":{\"wait_queue\":";
+        appendU32(out, e.a);
+        out += ",\"warm_mb\":";
+        appendDouble(out, e.x);
+        out += "}}";
+        break;
+      case Kind::Optimize:
+        appendHead(out, 'i', pid, e);
+        out += ",\"name\":\"optimize\",\"cat\":\"controller\","
+               "\"args\":{\"invoked\":";
+        appendU32(out, e.a);
+        out += ",\"evaluations\":";
+        appendU32(out, e.b);
+        out += ",\"score\":";
+        appendDouble(out, e.x);
+        out += "}}";
+        break;
+      case Kind::WatchdogTrip:
+        appendHead(out, 'i', pid, e);
+        out += ",\"name\":\"watchdog-trip\",\"cat\":\"controller\","
+               "\"args\":{\"trips\":";
+        appendU32(out, e.a);
+        out += "}}";
+        break;
+    }
+}
+
+/** JSON string escape for labels/track names. */
+void
+appendQuoted(std::string& out, const std::string& text)
+{
+    out += '"';
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+TraceBuffer*
+TraceCollection::add(std::string label)
+{
+    runs_.push_back(
+        Run{std::move(label), std::make_unique<TraceBuffer>()});
+    return runs_.back().buffer.get();
+}
+
+void
+TraceCollection::write(const std::string& path) const
+{
+    if (path.empty())
+        return;
+    const std::filesystem::path file(path);
+    if (file.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(file.parent_path(), ec);
+        if (ec)
+            fatal("trace: cannot create ",
+                  file.parent_path().string(), ": ", ec.message());
+    }
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("trace: cannot open ", path, " for writing");
+
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    std::string line;
+    line.reserve(512);
+    bool first = true;
+    const auto flushLine = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << line;
+        line.clear();
+    };
+    for (std::size_t r = 0; r < runs_.size(); ++r) {
+        const std::size_t pid = r + 1;
+        const Run& run = runs_[r];
+        line += "{\"ph\":\"M\",\"pid\":";
+        appendU32(line, static_cast<std::uint32_t>(pid));
+        line += ",\"name\":\"process_name\",\"args\":{\"name\":";
+        appendQuoted(line, run.label);
+        line += "}}";
+        flushLine();
+        for (const auto& [tid, name] : run.buffer->trackNames()) {
+            line += "{\"ph\":\"M\",\"pid\":";
+            appendU32(line, static_cast<std::uint32_t>(pid));
+            line += ",\"tid\":";
+            appendU32(line, tid);
+            line += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+            appendQuoted(line, name);
+            line += "}}";
+            flushLine();
+        }
+        for (const TraceEvent& event : run.buffer->events()) {
+            appendEvent(line, pid, event);
+            flushLine();
+        }
+    }
+    os << "\n]}\n";
+    os.flush();
+    if (!os.good())
+        fatal("trace: write to ", path,
+              " failed (disk full or I/O error)");
+    inform("trace: wrote ", path);
+}
+
+} // namespace codecrunch::obs

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Trace-event export: simulator events recorded per run and written as
+ * Chrome trace_event JSON (loadable in Perfetto / chrome://tracing).
+ *
+ * Event model:
+ *  - One trace "process" (pid) per run, named after the run's label.
+ *  - Track (tid) 0 is the controller: optimization ticks, optimizer
+ *    commits, and watchdog trips land there as instants.
+ *  - Each node owns one track per core ("node3/x86 c1") carrying
+ *    invocation slices — the per-core layout keeps slices on a track
+ *    strictly nested, which Perfetto requires to render them — plus a
+ *    background track ("node3/x86 bg") for compression completions and
+ *    crash/recover/shock instants, which may overlap freely.
+ *  - Queueing delay renders on reusable "wait lane" tracks: a lane is
+ *    picked retroactively when the wait resolves, reusing the first
+ *    lane whose previous wait ended before this one began.
+ *
+ * Determinism contract: events carry sim-time timestamps and
+ * sim-deterministic payloads only (never wall-clock), are recorded
+ * into per-run buffers owned by the run's job, and are serialized in
+ * plan order — so the written file is byte-identical across --threads
+ * settings. Timestamps are sim seconds; the writer scales to the
+ * format's microseconds.
+ *
+ * Events are stored as compact PODs (32 bytes); names and JSON are
+ * synthesized only at write time, keeping the recording hot path to a
+ * null-pointer branch plus a vector push_back.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace codecrunch::obs {
+
+/** One recorded simulator event; meaning of a/b/x varies by kind. */
+struct TraceEvent {
+    enum class Kind : std::uint8_t {
+        /** Slice: whole invocation on a core track. a=function,
+         *  b=attempt, u8=StartType. */
+        Invocation,
+        /** Slice: cold-start/decompress prefix (child of Invocation).
+         *  a=function, u8=StartType. */
+        Startup,
+        /** Slice: pure execution (child of Invocation). a=function. */
+        Exec,
+        /** Slice on a wait lane. a=function, b=attempts. */
+        Wait,
+        /** Slice: prewarm cold start. a=function, u8=1 if killed by a
+         *  crash before completing. */
+        Prewarm,
+        /** Slice: attempt that failed. a=function, b=attempt, u8=1
+         *  when killed by a node crash (vs transient fault). */
+        AttemptFailed,
+        /** Instant on the node bg track. a=function, x=seconds. */
+        Compress,
+        /** Instants on the node bg track. */
+        NodeCrash,
+        NodeRecover,
+        /** Instant on the node bg track. a=evicted containers. */
+        MemoryShock,
+        /** Instant on the controller track. a=wait-queue depth,
+         *  x=warm pool MB. */
+        Tick,
+        /** Instant on the controller track. a=invoked functions,
+         *  b=evaluations, x=objective score. */
+        Optimize,
+        /** Instant on the controller track. a=total trips so far. */
+        WatchdogTrip,
+    };
+
+    Kind kind = Kind::Tick;
+    std::uint8_t u8 = 0;
+    /** Track within the run (see the model above). */
+    std::uint32_t tid = 0;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    /** Sim-time start (seconds) and duration (slices only). */
+    double ts = 0.0;
+    double dur = 0.0;
+    /** Extra payload (seconds, MB, score, ... by kind). */
+    double x = 0.0;
+};
+
+/** The controller's track id within every run. */
+inline constexpr std::uint32_t kControllerTrack = 0;
+/** Wait lanes occupy tids starting here (above any node track). */
+inline constexpr std::uint32_t kWaitLaneBase = 1u << 20;
+
+/**
+ * Per-run event buffer. Owned by exactly one job at a time, so
+ * recording needs no synchronization.
+ */
+class TraceBuffer
+{
+  public:
+    void emit(const TraceEvent& event) { events_.push_back(event); }
+
+    /** Name a track on first use; later calls are no-ops. */
+    void
+    nameTrack(std::uint32_t tid, std::string name)
+    {
+        trackNames_.emplace(tid, std::move(name));
+    }
+
+    const std::vector<TraceEvent>& events() const { return events_; }
+
+    const std::map<std::uint32_t, std::string>&
+    trackNames() const
+    {
+        return trackNames_;
+    }
+
+  private:
+    std::vector<TraceEvent> events_;
+    std::map<std::uint32_t, std::string> trackNames_;
+};
+
+/**
+ * All buffers of one bench invocation, in plan order. add() must be
+ * called from plan-submission code (serially, in plan order); the
+ * returned buffer is then filled by whichever worker runs the job.
+ */
+class TraceCollection
+{
+  public:
+    /** Register the next run; `label` becomes the process name. */
+    TraceBuffer* add(std::string label);
+
+    bool empty() const { return runs_.empty(); }
+
+    /**
+     * Write the whole collection as Chrome trace_event JSON. Output
+     * depends only on buffer contents and plan order (deterministic
+     * across thread counts). Fatal on I/O errors.
+     */
+    void write(const std::string& path) const;
+
+  private:
+    struct Run {
+        std::string label;
+        std::unique_ptr<TraceBuffer> buffer;
+    };
+
+    std::vector<Run> runs_;
+};
+
+} // namespace codecrunch::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "obs/profiler.hpp"
 
 namespace codecrunch::opt {
 
@@ -18,6 +19,7 @@ isPow2(std::size_t n)
 void
 transform(std::vector<Complex>& data, bool invert)
 {
+    CC_PHASE("fft.transform");
     const std::size_t n = data.size();
     if (!isPow2(n))
         panic("Fft: size ", n, " is not a power of two");

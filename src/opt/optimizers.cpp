@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.hpp"
+#include "obs/profiler.hpp"
 
 namespace codecrunch::opt {
 
@@ -182,6 +183,7 @@ descendSubproblem(const SeparableObjective& objective,
                   double baseService, double baseCost,
                   double budgetShare, std::size_t maxRounds)
 {
+    CC_PHASE("sre.subproblem");
     SubproblemResult result;
     const std::size_t n = snapshot.size();
 
@@ -603,23 +605,27 @@ SreOptimizer::optimizeWithCounts(const SeparableObjective& objective,
         // (the paper's fairness rule).
         std::vector<std::size_t> pool(n);
         std::vector<double> weights(n);
-        for (std::size_t i = 0; i < n; ++i) {
-            pool[i] = i;
-            weights[i] = 1.0 / (1.0 + static_cast<double>(counts[i]));
-        }
         std::vector<std::size_t> sampled;
-        const std::size_t want = std::min(n, numSub * perSub);
-        for (std::size_t k = 0; k < want; ++k) {
-            const std::size_t pick = rng.weightedChoice(weights);
-            sampled.push_back(pool[pick]);
-            // Remove the picked element (swap with last).
-            weights[pick] = weights.back();
-            pool[pick] = pool.back();
-            weights.pop_back();
-            pool.pop_back();
+        {
+            CC_PHASE("sre.sample");
+            for (std::size_t i = 0; i < n; ++i) {
+                pool[i] = i;
+                weights[i] =
+                    1.0 / (1.0 + static_cast<double>(counts[i]));
+            }
+            const std::size_t want = std::min(n, numSub * perSub);
+            for (std::size_t k = 0; k < want; ++k) {
+                const std::size_t pick = rng.weightedChoice(weights);
+                sampled.push_back(pool[pick]);
+                // Remove the picked element (swap with last).
+                weights[pick] = weights.back();
+                pool[pick] = pool.back();
+                weights.pop_back();
+                pool.pop_back();
+            }
+            for (std::size_t i : sampled)
+                ++counts[i];
         }
-        for (std::size_t i : sampled)
-            ++counts[i];
 
         // Disjoint sub-problems, each optimized against a frozen
         // snapshot of this round's starting assignment — in parallel
@@ -655,23 +661,29 @@ SreOptimizer::optimizeWithCounts(const SeparableObjective& objective,
                 objective, snapshot, subproblems[s], baseService,
                 baseCost, budgetShare, config_.innerRounds);
         };
-        if (config_.parallel && subproblems.size() > 1) {
-            const std::size_t threadCap = config_.maxThreads
-                ? config_.maxThreads
-                : std::max(1u, std::thread::hardware_concurrency());
-            for (std::size_t begin = 0; begin < subproblems.size();
-                 begin += threadCap) {
-                const std::size_t end = std::min(
-                    subproblems.size(), begin + threadCap);
-                std::vector<std::thread> workers;
-                for (std::size_t s = begin; s < end; ++s)
-                    workers.emplace_back(solve, s);
-                for (auto& worker : workers)
-                    worker.join();
+        {
+            // Parent scope on the calling thread; each worker records
+            // its own sre.subproblem tree, merged when it exits.
+            CC_PHASE("sre.subproblems");
+            if (config_.parallel && subproblems.size() > 1) {
+                const std::size_t threadCap = config_.maxThreads
+                    ? config_.maxThreads
+                    : std::max(1u,
+                               std::thread::hardware_concurrency());
+                for (std::size_t begin = 0;
+                     begin < subproblems.size(); begin += threadCap) {
+                    const std::size_t end = std::min(
+                        subproblems.size(), begin + threadCap);
+                    std::vector<std::thread> workers;
+                    for (std::size_t s = begin; s < end; ++s)
+                        workers.emplace_back(solve, s);
+                    for (auto& worker : workers)
+                        worker.join();
+                }
+            } else {
+                for (std::size_t s = 0; s < subproblems.size(); ++s)
+                    solve(s);
             }
-        } else {
-            for (std::size_t s = 0; s < subproblems.size(); ++s)
-                solve(s);
         }
 
         for (const auto& result : results) {
@@ -681,7 +693,10 @@ SreOptimizer::optimizeWithCounts(const SeparableObjective& objective,
         }
         // Short sequential repair against the true global sums: fixes
         // residual over-commit and picks up cross-sub-problem moves.
-        descend(state, sampled, 8);
+        {
+            CC_PHASE("sre.repair");
+            descend(state, sampled, 8);
+        }
         if (state.score() < bestScore) {
             bestScore = state.score();
             bestAssignment = state.assignment();

@@ -26,6 +26,10 @@
 #include "metrics/collector.hpp"
 #include "trace/workload.hpp"
 
+namespace codecrunch::obs {
+class TraceBuffer;
+}
+
 namespace codecrunch::policy {
 
 /**
@@ -56,6 +60,15 @@ class PolicyContext
     virtual const trace::Workload& workload() const = 0;
     virtual const cluster::Cluster& clusterState() const = 0;
     virtual Seconds now() const = 0;
+
+    /**
+     * Observability: the run's trace-event buffer, or null when
+     * tracing is off. Policies may emit controller-track events
+     * (optimizer commits, watchdog trips); they must record
+     * sim-deterministic payloads only (never wall-clock values), or
+     * traces stop being byte-identical across --threads settings.
+     */
+    virtual obs::TraceBuffer* traceSink() const { return nullptr; }
 
     /**
      * Create a warm container for `function` on `type` without an

@@ -33,6 +33,7 @@ addSimJob(SimPlan& plan, std::string label,
                 harness.scenario().driverConfig;
             config.seed = context.seed;
             config.tickObserver = context.heartbeat;
+            config.trace = context.trace;
             if (tweak)
                 tweak(config);
             const std::unique_ptr<policy::Policy> policy = factory();

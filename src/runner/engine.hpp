@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -35,6 +36,9 @@
 #include <vector>
 
 #include "experiments/harness.hpp"
+#include "obs/profiler.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "runner/progress.hpp"
 #include "runner/thread_pool.hpp"
 
@@ -56,6 +60,12 @@ struct JobContext {
     std::uint64_t seed = 0;
     /** Optional sim-time heartbeat for progress reporting; may be null. */
     std::function<void(Seconds)> heartbeat;
+    /**
+     * The job's private trace buffer (null when tracing is off).
+     * Allocated in plan order before the job runs, so the serialized
+     * trace is byte-identical no matter how many threads execute it.
+     */
+    obs::TraceBuffer* trace = nullptr;
 };
 
 /**
@@ -110,6 +120,11 @@ struct RunEngineOptions {
     std::size_t threads = 0;
     /** Optional progress receiver (not owned). */
     ProgressSink* progress = nullptr;
+    /**
+     * Optional trace collection (not owned). When set, every job gets
+     * a private buffer named "<plan>/<label>", allocated in plan order.
+     */
+    obs::TraceCollection* trace = nullptr;
 };
 
 class RunEngine
@@ -120,6 +135,19 @@ class RunEngine
     explicit RunEngine(Options options = Options())
         : options_(options), pool_(options.threads)
     {
+        auto& registry = obs::Registry::global();
+        statPlans_ = &registry.counter("wall.runner.plans",
+                                       obs::StatScope::Wall);
+        statJobs_ = &registry.counter("wall.runner.jobs",
+                                      obs::StatScope::Wall);
+        statJobFailures_ =
+            &registry.counter("wall.runner.job_failures",
+                              obs::StatScope::Wall);
+        statJobSeconds_ = &registry.histogram(
+            "wall.runner.job_seconds",
+            {0.01, 0.1, 1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+             600.0, 1800.0},
+            obs::StatScope::Wall);
     }
 
     std::size_t threads() const { return pool_.threadCount(); }
@@ -133,6 +161,7 @@ class RunEngine
         ProgressSink* sink = options_.progress;
         if (sink)
             sink->planStarted(plan.name(), jobs.size());
+        statPlans_->add(1);
 
         std::vector<std::optional<R>> slots(jobs.size());
         std::vector<std::exception_ptr> errors(jobs.size());
@@ -141,22 +170,39 @@ class RunEngine
         std::condition_variable doneCv;
 
         for (std::size_t i = 0; i < jobs.size(); ++i) {
-            pool_.submit([&, i, sink] {
+            // Buffer allocation happens here, on the submitting
+            // thread, so buffers exist in plan order no matter which
+            // worker fills them first (trace determinism contract).
+            obs::TraceBuffer* buffer = options_.trace
+                ? options_.trace->add(plan.name() + "/" +
+                                      jobs[i].label)
+                : nullptr;
+            pool_.submit([&, i, sink, buffer] {
                 const Job<R>& job = jobs[i];
                 if (sink)
                     sink->jobStarted(i, job.label, job.simDuration);
+                statJobs_->add(1);
                 JobContext context;
                 context.seed = job.seed;
+                context.trace = buffer;
                 if (sink) {
                     context.heartbeat = [sink, i](Seconds simNow) {
                         sink->jobHeartbeat(i, simNow);
                     };
                 }
+                const auto wallStart =
+                    std::chrono::steady_clock::now();
                 try {
+                    CC_PHASE("runner.job");
                     slots[i].emplace(job.body(context));
                 } catch (...) {
                     errors[i] = std::current_exception();
+                    statJobFailures_->add(1);
                 }
+                statJobSeconds_->observe(
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wallStart)
+                        .count());
                 if (sink)
                     sink->jobFinished(i, !errors[i]);
                 if (remaining.fetch_sub(1) == 1) {
@@ -187,6 +233,11 @@ class RunEngine
   private:
     Options options_;
     ThreadPool pool_;
+    // Wall-scope instruments (never part of deterministic reports).
+    obs::Counter* statPlans_ = nullptr;
+    obs::Counter* statJobs_ = nullptr;
+    obs::Counter* statJobFailures_ = nullptr;
+    obs::Histogram* statJobSeconds_ = nullptr;
 };
 
 // --- Simulation-job layer ----------------------------------------------

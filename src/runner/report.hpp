@@ -18,6 +18,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -26,6 +27,8 @@
 
 #include "common/logging.hpp"
 #include "experiments/harness.hpp"
+#include "obs/profiler.hpp"
+#include "obs/stats.hpp"
 
 namespace codecrunch::runner {
 
@@ -259,6 +262,56 @@ writeResultFields(JsonWriter& json,
 }
 
 /**
+ * Emit a stats-registry snapshot as a JSON object: counters and gauges
+ * as scalar fields, histograms as {"count", ["sum",] "buckets": [
+ * {"le", "count"}, ...]} with the overflow bucket's bound rendered as
+ * null (JsonWriter maps non-finite doubles to null). `includeSums`
+ * must stay false for deterministic artifacts: histogram sums are
+ * order-dependent floating-point accumulations under threads.
+ */
+inline void
+writeStatsObject(JsonWriter& json,
+                 const obs::Registry::StatsSnapshot& snapshot,
+                 bool includeSums)
+{
+    json.beginObject();
+    json.key("counters");
+    json.beginObject();
+    for (const auto& [name, value] : snapshot.counters)
+        json.field(name, value);
+    json.endObject();
+    json.key("gauges");
+    json.beginObject();
+    for (const auto& [name, value] : snapshot.gauges)
+        json.field(name, value);
+    json.endObject();
+    json.key("histograms");
+    json.beginObject();
+    for (const auto& [name, h] : snapshot.histograms) {
+        json.key(name);
+        json.beginObject();
+        json.field("count", h.count);
+        if (includeSums)
+            json.field("sum", h.sum);
+        json.key("buckets");
+        json.beginArray();
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            json.beginObject();
+            json.field("le", i < h.bounds.size()
+                                 ? h.bounds[i]
+                                 : std::numeric_limits<
+                                       double>::infinity());
+            json.field("count", h.counts[i]);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    json.endObject();
+    json.endObject();
+}
+
+/**
  * Per-run hook appending bench-specific fields (SLA fractions, hourly
  * series, ...) inside the run's JSON object. Must emit deterministic
  * values only.
@@ -306,6 +359,75 @@ writeRunReport(const std::string& path, const ReportMeta& meta,
         json.endObject();
     }
     json.endArray();
+    // Sim-scope registry totals (process-wide, cumulative over every
+    // run this process executed so far). Counters/gauges/bucket counts
+    // are commutative, so the block is byte-identical across --threads
+    // settings; histogram sums are excluded for the same reason.
+    json.key("stats");
+    writeStatsObject(
+        json, obs::Registry::global().snapshot(obs::StatScope::Sim),
+        /*includeSums=*/false);
+    json.endObject();
+    json.finish();
+    os.flush();
+    if (!os.good())
+        fatal("report: write to ", path,
+              " failed (disk full or I/O error)");
+    inform("report: wrote ", path);
+}
+
+/**
+ * Write the full observability dump for --stats-out: every instrument
+ * in both scopes (sums included — this artifact is for humans, not for
+ * diffing) plus the profiler's phase tree.
+ */
+inline void
+writeObsReport(const std::string& path)
+{
+    if (path.empty())
+        return;
+    const std::filesystem::path file(path);
+    if (file.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(file.parent_path(), ec);
+        if (ec)
+            fatal("report: cannot create ",
+                  file.parent_path().string(), ": ", ec.message());
+    }
+    std::ofstream os(path);
+    if (!os)
+        fatal("report: cannot open ", path, " for writing");
+
+    JsonWriter json(os);
+    json.beginObject();
+    json.key("stats");
+    writeStatsObject(json, obs::Registry::global().snapshot(),
+                     /*includeSums=*/true);
+
+    auto& profiler = obs::Profiler::global();
+    const obs::Profiler::PhaseReport root = profiler.report();
+    json.key("phases");
+    json.beginArray();
+    const std::function<void(const obs::Profiler::PhaseReport&)>
+        writePhase = [&](const obs::Profiler::PhaseReport& phase) {
+            json.beginObject();
+            json.field("name", phase.name);
+            json.field("calls", phase.calls);
+            json.field("total_s", phase.seconds);
+            json.key("children");
+            json.beginArray();
+            for (const auto& child : phase.children)
+                writePhase(child);
+            json.endArray();
+            json.endObject();
+        };
+    for (const auto& phase : root.children)
+        writePhase(phase);
+    json.endArray();
+    // Calibrate last: it runs a batch of real scopes and would pollute
+    // the tree if it ran before report().
+    json.field("profiler_self_overhead_s_per_scope",
+               profiler.calibratePerScopeSeconds());
     json.endObject();
     json.finish();
     os.flush();

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Tests for the observability layer: trace export determinism and
+ * well-formedness, stats-registry semantics (histogram buckets, merge,
+ * idempotent registration), the stats block inside run reports, the
+ * phase profiler's tree invariants, and leveled logging.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "core/codecrunch.hpp"
+#include "obs/profiler.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+#include "runner/engine.hpp"
+#include "runner/report.hpp"
+
+using namespace codecrunch;
+using namespace codecrunch::experiments;
+using namespace codecrunch::runner;
+
+namespace {
+
+/** A scenario small enough for several runs per test. */
+Scenario
+tinyScenario()
+{
+    Scenario scenario = Scenario::small();
+    scenario.traceConfig.numFunctions = 40;
+    scenario.traceConfig.days = 0.08;
+    scenario.traceConfig.targetMeanRatePerSecond = 1.0;
+    return scenario;
+}
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Minimal JSON well-formedness check: brace/bracket balance with
+ * string and escape awareness. Not a validator, but catches the
+ * realistic writer bugs (missing comma handled by parse in CI;
+ * unterminated string, unbalanced containers here).
+ */
+bool
+jsonBalanced(const std::string& text)
+{
+    std::vector<char> stack;
+    bool inString = false;
+    bool escaped = false;
+    for (const char c : text) {
+        if (inString) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        switch (c) {
+          case '"': inString = true; break;
+          case '{': stack.push_back('}'); break;
+          case '[': stack.push_back(']'); break;
+          case '}':
+          case ']':
+            if (stack.empty() || stack.back() != c)
+                return false;
+            stack.pop_back();
+            break;
+          default: break;
+        }
+    }
+    return stack.empty() && !inString;
+}
+
+/**
+ * Run the standard two-stage bench shape (budget run, then two
+ * dependent runs) with `threads` workers, collecting traces; returns
+ * the serialized trace text.
+ */
+std::string
+traceOfTwoStagePlan(std::size_t threads, const std::string& path)
+{
+    Harness harness(tinyScenario());
+    obs::TraceCollection trace;
+    RunEngine engine({threads, nullptr, &trace});
+
+    SimPlan budgetPlan("obs/budget");
+    addSimJob(budgetPlan, "SitW", harness,
+              [] { return std::make_unique<policy::SitW>(); });
+    harness.primeBudgetRate(engine.run(budgetPlan).front());
+
+    SimPlan plan("obs");
+    const core::CodeCrunchConfig config = harness.codecrunchConfig();
+    addSimJob(plan, "CodeCrunch", harness, [config] {
+        return std::make_unique<core::CodeCrunch>(config);
+    });
+    addSimJob(plan, "FixedKeepAlive", harness, [] {
+        return std::make_unique<policy::FixedKeepAlive>();
+    });
+    engine.run(plan);
+
+    trace.write(path);
+    return slurp(path);
+}
+
+/** Log sink capturing formatted lines for assertions. */
+class CaptureSink final : public LogSink
+{
+  public:
+    void
+    write(LogLevel, const std::string& line) override
+    {
+        lines.push_back(line);
+    }
+
+    std::vector<std::string> lines;
+};
+
+/** Find a direct child phase by name; null when absent. */
+const obs::Profiler::PhaseReport*
+findChild(const obs::Profiler::PhaseReport& parent,
+          const std::string& name)
+{
+    for (const auto& child : parent.children) {
+        if (child.name == name)
+            return &child;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+TEST(Trace, SerialAndThreadedExportsAreByteIdentical)
+{
+    const std::string dir = ::testing::TempDir() + "obs_trace_test/";
+    const std::string serial =
+        traceOfTwoStagePlan(1, dir + "serial.json");
+    const std::string threaded =
+        traceOfTwoStagePlan(4, dir + "threaded.json");
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, threaded);
+    std::remove((dir + "serial.json").c_str());
+    std::remove((dir + "threaded.json").c_str());
+
+    // Chrome trace_event shape: metadata, slices, and instants for
+    // every run of the plan, with human-readable track names.
+    EXPECT_TRUE(jsonBalanced(serial));
+    EXPECT_NE(serial.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(serial.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(serial.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(serial.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(serial.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(serial.find("obs/budget/SitW"), std::string::npos);
+    EXPECT_NE(serial.find("obs/CodeCrunch"), std::string::npos);
+    EXPECT_NE(serial.find("obs/FixedKeepAlive"), std::string::npos);
+    EXPECT_NE(serial.find("controller"), std::string::npos);
+}
+
+TEST(Trace, BuffersKeepFirstTrackName)
+{
+    obs::TraceBuffer buffer;
+    buffer.nameTrack(3, "first");
+    buffer.nameTrack(3, "second");
+    ASSERT_EQ(buffer.trackNames().count(3), 1u);
+    EXPECT_EQ(buffer.trackNames().at(3), "first");
+}
+
+TEST(Histogram, BucketBoundariesAreUpperInclusive)
+{
+    obs::Histogram h({1.0, 2.0, 5.0});
+    // Exactly-on-bound values land in that bucket (le semantics).
+    for (const double v : {0.5, 1.0})
+        h.observe(v);
+    for (const double v : {1.5, 2.0})
+        h.observe(v);
+    h.observe(5.0);
+    h.observe(100.0); // overflow
+    const auto snap = h.snapshot();
+    ASSERT_EQ(snap.bounds.size(), 3u);
+    ASSERT_EQ(snap.counts.size(), 4u);
+    EXPECT_EQ(snap.counts[0], 2u);
+    EXPECT_EQ(snap.counts[1], 2u);
+    EXPECT_EQ(snap.counts[2], 1u);
+    EXPECT_EQ(snap.counts[3], 1u);
+    EXPECT_EQ(snap.count, 6u);
+    EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 100.0);
+}
+
+TEST(Histogram, MergeAddsCountsAndSums)
+{
+    obs::Histogram a({1.0, 2.0});
+    obs::Histogram b({1.0, 2.0});
+    a.observe(0.5);
+    a.observe(3.0);
+    b.observe(1.5);
+    const auto merged =
+        obs::Histogram::merge(a.snapshot(), b.snapshot());
+    EXPECT_EQ(merged.count, 3u);
+    EXPECT_EQ(merged.counts[0], 1u);
+    EXPECT_EQ(merged.counts[1], 1u);
+    EXPECT_EQ(merged.counts[2], 1u);
+    EXPECT_DOUBLE_EQ(merged.sum, 0.5 + 3.0 + 1.5);
+}
+
+TEST(HistogramDeathTest, MergeRejectsMismatchedBounds)
+{
+    obs::Histogram a({1.0, 2.0});
+    obs::Histogram mismatched({1.0, 3.0});
+    const auto snapA = a.snapshot();
+    const auto snapB = mismatched.snapshot();
+    EXPECT_DEATH(obs::Histogram::merge(snapA, snapB), "");
+}
+
+TEST(Registry, RegistrationIsIdempotentByName)
+{
+    auto& registry = obs::Registry::global();
+    obs::Counter& first = registry.counter("test.obs.idempotent");
+    obs::Counter& second = registry.counter("test.obs.idempotent");
+    EXPECT_EQ(&first, &second);
+    first.add(2);
+    EXPECT_EQ(second.value(), 2u);
+
+    obs::Gauge& gauge = registry.gauge("test.obs.gauge");
+    gauge.observe(3.0);
+    gauge.observe(1.0); // max-gauge keeps the peak
+    EXPECT_EQ(gauge.value(), 3.0);
+}
+
+TEST(Registry, SnapshotFiltersByScope)
+{
+    auto& registry = obs::Registry::global();
+    registry.counter("test.obs.sim_scope", obs::StatScope::Sim)
+        .add(1);
+    registry.counter("test.obs.wall_scope", obs::StatScope::Wall)
+        .add(1);
+    const auto sim = registry.snapshot(obs::StatScope::Sim);
+    bool sawSim = false, sawWall = false;
+    for (const auto& [name, value] : sim.counters) {
+        sawSim = sawSim || name == "test.obs.sim_scope";
+        sawWall = sawWall || name == "test.obs.wall_scope";
+    }
+    EXPECT_TRUE(sawSim);
+    EXPECT_FALSE(sawWall);
+}
+
+TEST(Report, RunReportCarriesSimStatsBlock)
+{
+    Harness harness(tinyScenario());
+    policy::FixedKeepAlive fixed;
+    std::vector<PolicyRun> runs;
+    runs.push_back(harness.runNamed(fixed));
+
+    const std::string path =
+        ::testing::TempDir() + "obs_report_test/out.json";
+    ReportMeta meta;
+    meta.bench = "obs_test";
+    writeRunReport(path, meta, runs);
+    const std::string text = slurp(path);
+    std::remove(path.c_str());
+
+    EXPECT_TRUE(jsonBalanced(text));
+    EXPECT_NE(text.find("\"stats\""), std::string::npos);
+    EXPECT_NE(text.find("\"counters\""), std::string::npos);
+    // The Collector registered and fed the sim-scope instruments
+    // during the run above.
+    EXPECT_NE(text.find("\"sim.invocations\""), std::string::npos);
+    EXPECT_NE(text.find("\"sim.service_seconds\""),
+              std::string::npos);
+    // Wall-scope instruments and histogram sums must not leak into
+    // the deterministic artifact.
+    EXPECT_EQ(text.find("\"wall."), std::string::npos);
+    EXPECT_EQ(text.find("\"sum\""), std::string::npos);
+}
+
+TEST(Profiler, NestedPhasesSatisfyChildSumInvariant)
+{
+    auto& profiler = obs::Profiler::global();
+    profiler.reset();
+    profiler.setEnabled(true);
+
+    const auto spin = [] {
+        volatile double x = 0.0;
+        for (int i = 0; i < 20000; ++i)
+            x = x + 1.0 / (1.0 + i);
+    };
+    for (int i = 0; i < 3; ++i) {
+        CC_PHASE("test.outer");
+        spin();
+        {
+            CC_PHASE("test.inner_a");
+            spin();
+        }
+        {
+            CC_PHASE("test.inner_b");
+            spin();
+        }
+    }
+    // A short-lived thread records its own tree; it must be merged
+    // into the aggregate after join (the SRE optimizer relies on it).
+    std::thread worker([&spin] {
+        CC_PHASE("test.outer");
+        spin();
+        CC_PHASE("test.inner_a");
+        spin();
+    });
+    worker.join();
+
+    profiler.setEnabled(false);
+    const auto root = profiler.report();
+    const auto* outer = findChild(root, "test.outer");
+    ASSERT_NE(outer, nullptr);
+    EXPECT_EQ(outer->calls, 4u);
+    EXPECT_GT(outer->seconds, 0.0);
+    const auto* innerA = findChild(*outer, "test.inner_a");
+    const auto* innerB = findChild(*outer, "test.inner_b");
+    ASSERT_NE(innerA, nullptr);
+    ASSERT_NE(innerB, nullptr);
+    EXPECT_EQ(innerA->calls, 4u);
+    EXPECT_EQ(innerB->calls, 3u);
+    // Children time nests inside the parent's.
+    EXPECT_LE(innerA->seconds + innerB->seconds, outer->seconds);
+    profiler.reset();
+}
+
+TEST(Profiler, DisabledScopesRecordNothing)
+{
+    auto& profiler = obs::Profiler::global();
+    profiler.reset();
+    profiler.setEnabled(false);
+    {
+        CC_PHASE("test.disabled");
+    }
+    const auto root = profiler.report();
+    EXPECT_EQ(findChild(root, "test.disabled"), nullptr);
+}
+
+TEST(Logging, LevelFiltersAndLinesCarryTags)
+{
+    CaptureSink capture;
+    LogSink* previous = setLogSink(&capture);
+    const LogLevel previousLevel = logLevel();
+    setLogLevel(LogLevel::Warn);
+
+    logInfo("driver", "dropped message");
+    logWarn("driver", "kept message ", 42);
+    logError("", "untagged error");
+
+    setLogLevel(previousLevel);
+    setLogSink(previous);
+
+    ASSERT_EQ(capture.lines.size(), 2u);
+    EXPECT_EQ(capture.lines[0].rfind("[warn][driver][t", 0), 0u);
+    EXPECT_NE(capture.lines[0].find("kept message 42"),
+              std::string::npos);
+    EXPECT_EQ(capture.lines[1].rfind("[error][t", 0), 0u);
+}
+
+TEST(Logging, ParseLevelRoundTrips)
+{
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("off"), LogLevel::Off);
+    EXPECT_FALSE(parseLogLevel("verbose").has_value());
+}

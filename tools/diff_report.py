@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Structurally diff a run-report JSON against a golden file.
+
+Walks both documents in parallel and reports every divergence with its
+dotted path (e.g. ``runs.2.mean_service_s``). Numeric leaves compare
+within tolerances; everything else must match exactly.
+
+Tolerances:
+  --rtol/--atol        global defaults (exact compare when both are 0)
+  --tol PATTERN=RTOL   per-path relative tolerance; PATTERN is an
+                       fnmatch glob over the dotted path, first match
+                       wins (e.g. --tol 'runs.*.stats.*=1e-6')
+  --ignore PATTERN     skip paths entirely (e.g. volatile wall times)
+
+Exit status: 0 when the files match, 1 on any mismatch, 2 on usage or
+I/O errors. Used by CI to guard bench artifacts against silent metric
+drift while absorbing benign cross-platform libm noise.
+"""
+
+import argparse
+import fnmatch
+import json
+import math
+import sys
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("actual", help="freshly produced report")
+    parser.add_argument("golden", help="checked-in golden report")
+    parser.add_argument("--rtol", type=float, default=0.0,
+                        help="default relative tolerance (default: 0)")
+    parser.add_argument("--atol", type=float, default=0.0,
+                        help="default absolute tolerance (default: 0)")
+    parser.add_argument("--tol", action="append", default=[],
+                        metavar="PATTERN=RTOL",
+                        help="per-path relative tolerance override")
+    parser.add_argument("--ignore", action="append", default=[],
+                        metavar="PATTERN",
+                        help="paths to skip (fnmatch glob)")
+    parser.add_argument("--max-mismatches", type=int, default=20,
+                        help="stop reporting after N mismatches")
+    return parser.parse_args(argv)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot load {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def parse_tols(specs):
+    rules = []
+    for spec in specs:
+        pattern, sep, value = spec.partition("=")
+        if not sep:
+            print(f"error: --tol expects PATTERN=RTOL, got '{spec}'",
+                  file=sys.stderr)
+            sys.exit(2)
+        try:
+            rules.append((pattern, float(value)))
+        except ValueError:
+            print(f"error: bad tolerance in '{spec}'", file=sys.stderr)
+            sys.exit(2)
+    return rules
+
+
+class Differ:
+    def __init__(self, args):
+        self.rtol = args.rtol
+        self.atol = args.atol
+        self.tols = parse_tols(args.tol)
+        self.ignores = args.ignore
+        self.limit = args.max_mismatches
+        self.mismatches = []
+
+    def note(self, path, message):
+        if any(fnmatch.fnmatchcase(path, p) for p in self.ignores):
+            return
+        self.mismatches.append((path, message))
+
+    def rtol_for(self, path):
+        for pattern, rtol in self.tols:
+            if fnmatch.fnmatchcase(path, pattern):
+                return rtol
+        return self.rtol
+
+    def numbers_match(self, path, a, b):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        if math.isinf(a) or math.isinf(b):
+            return a == b
+        rtol = self.rtol_for(path)
+        return abs(a - b) <= self.atol + rtol * abs(b)
+
+    def walk(self, path, actual, golden):
+        if len(self.mismatches) >= self.limit:
+            return
+        if any(fnmatch.fnmatchcase(path, p) for p in self.ignores):
+            return
+        # bool is an int subclass; keep True != 1.
+        a_num = isinstance(actual, (int, float)) and \
+            not isinstance(actual, bool)
+        g_num = isinstance(golden, (int, float)) and \
+            not isinstance(golden, bool)
+        if a_num and g_num:
+            if not self.numbers_match(path, actual, golden):
+                self.note(path, f"{actual!r} != {golden!r} "
+                                f"(rtol {self.rtol_for(path)!r}, "
+                                f"atol {self.atol!r})")
+            return
+        if type(actual) is not type(golden):
+            self.note(path, f"type {type(actual).__name__} != "
+                            f"{type(golden).__name__}")
+            return
+        if isinstance(actual, dict):
+            for key in golden:
+                if key not in actual:
+                    self.note(join(path, key), "missing in actual")
+            for key in actual:
+                if key not in golden:
+                    self.note(join(path, key), "missing in golden")
+            for key in sorted(set(actual) & set(golden)):
+                self.walk(join(path, key), actual[key], golden[key])
+        elif isinstance(actual, list):
+            if len(actual) != len(golden):
+                self.note(path, f"length {len(actual)} != "
+                                f"{len(golden)}")
+            for i, (a, g) in enumerate(zip(actual, golden)):
+                self.walk(join(path, str(i)), a, g)
+        elif actual != golden:
+            self.note(path, f"{actual!r} != {golden!r}")
+
+
+def join(path, key):
+    return f"{path}.{key}" if path else key
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    differ = Differ(args)
+    differ.walk("", load(args.actual), load(args.golden))
+    if differ.mismatches:
+        shown = differ.mismatches[:args.max_mismatches]
+        for path, message in shown:
+            print(f"mismatch at {path or '<root>'}: {message}")
+        if len(differ.mismatches) >= args.max_mismatches:
+            print(f"... stopped after {args.max_mismatches} "
+                  "mismatches")
+        print(f"{args.actual}: does NOT match {args.golden}")
+        return 1
+    print(f"{args.actual}: matches {args.golden}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
