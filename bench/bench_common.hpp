@@ -37,6 +37,10 @@ using experiments::Scenario;
  *   --stats-out PATH  full stats-registry + phase-profiler dump; also
  *                     prints the phase table to stderr
  *   --log-level LVL   debug|info|warn|error|off (default info)
+ *   --golden-mode     run the seconds-scale golden regression preset
+ *                     (Scenario::goldenPreset()); the default artifact
+ *                     moves to bench/out/<name>.golden.json so a
+ *                     golden run never clobbers a full-scale artifact
  * Every value flag also accepts the --flag=value form.
  */
 struct BenchOptions {
@@ -45,13 +49,14 @@ struct BenchOptions {
     bool progress = true;
     std::string traceOut;
     std::string statsOut;
+    bool golden = false;
 };
 
 inline BenchOptions
 parseBenchOptions(int argc, char** argv, const std::string& name)
 {
     BenchOptions options;
-    options.jsonPath = "bench/out/" + name + ".json";
+    bool jsonPathExplicit = false;
     // Normalize "--flag=value" to "--flag value" so both spellings
     // share one parsing path.
     std::vector<std::string> args;
@@ -88,8 +93,12 @@ parseBenchOptions(int argc, char** argv, const std::string& name)
                       "'");
         } else if (arg == "--json" && i + 1 < args.size()) {
             options.jsonPath = args[++i];
+            jsonPathExplicit = true;
         } else if (arg == "--no-json") {
             options.jsonPath.clear();
+            jsonPathExplicit = true;
+        } else if (arg == "--golden-mode") {
+            options.golden = true;
         } else if (arg == "--quiet") {
             options.progress = false;
         } else if (arg == "--trace-out" && i + 1 < args.size()) {
@@ -107,11 +116,37 @@ parseBenchOptions(int argc, char** argv, const std::string& name)
         } else {
             fatal("usage: ", argv[0],
                   " [--threads N] [--json PATH] [--no-json]"
-                  " [--quiet] [--trace-out PATH] [--stats-out PATH]"
+                  " [--quiet] [--golden-mode]"
+                  " [--trace-out PATH] [--stats-out PATH]"
                   " [--log-level debug|info|warn|error|off]");
         }
     }
+    if (!jsonPathExplicit) {
+        options.jsonPath = "bench/out/" + name +
+                           (options.golden ? ".golden.json" : ".json");
+    }
     return options;
+}
+
+/**
+ * The scenario a bench should simulate: the full evaluation scenario,
+ * or the seconds-scale golden regression preset under --golden-mode.
+ * Benches apply their figure-specific tweaks on top of the returned
+ * value, so a golden run exercises the same code paths at small scale.
+ */
+inline Scenario
+benchScenario(const BenchOptions& options)
+{
+    return options.golden ? Scenario::goldenPreset()
+                          : Scenario::evaluationDefault();
+}
+
+/** Pick the full-scale or golden-preset value of a bench parameter. */
+template <typename T>
+inline T
+goldenPick(const BenchOptions& options, T full, T golden)
+{
+    return options.golden ? golden : full;
 }
 
 /**

@@ -11,6 +11,11 @@
  * SeBS/ServerlessBench pool: compression is favorable for ~42% of
  * functions on x86, and unfavorable functions pay up to ~75% more
  * than their cold start.
+ *
+ * Runs on the RunEngine: the plain and compressed FixedKeepAlive
+ * simulations execute concurrently (neither needs a budget), results
+ * bit-identical to the old serial loop; the catalog characterization
+ * is pure arithmetic on the main thread.
  */
 #include "bench/bench_common.hpp"
 #include "policy/fixed_keepalive.hpp"
@@ -20,20 +25,33 @@ using namespace codecrunch;
 using namespace codecrunch::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    Scenario scenario = Scenario::evaluationDefault();
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig01_compression_warmstarts");
+    Scenario scenario = benchScenario(options);
     // Fig. 1's setting: 10% of system memory for warm-up.
     scenario.clusterConfig.keepAliveMemoryFraction = 0.10;
     Harness harness(scenario);
+    BenchEngine bench(options);
+
+    runner::SimPlan plan("fig01");
+    runner::addSimJob(plan, "FixedKeepAlive-10min", harness, [] {
+        return std::make_unique<policy::FixedKeepAlive>(600.0, false);
+    });
+    runner::addSimJob(plan, "FixedKeepAlive-10min+lz4", harness, [] {
+        return std::make_unique<policy::FixedKeepAlive>(600.0, true);
+    });
+    std::vector<RunResult> results = bench.engine.run(plan);
+
+    std::vector<PolicyRun> runs;
+    runs.push_back({plan.jobs()[0].label, std::move(results[0])});
+    runs.push_back({plan.jobs()[1].label, std::move(results[1])});
+    const PolicyRun& plainRun = runs[0];
+    const PolicyRun& packedRun = runs[1];
 
     printBanner("Fig. 1(a-b): warm starts with vs without compression "
                 "(fixed 10-min keep-alive, 10% warm memory)");
-    policy::FixedKeepAlive plain(600.0, false);
-    policy::FixedKeepAlive compressed(600.0, true);
-    const auto plainRun = harness.runNamed(plain);
-    const auto packedRun = harness.runNamed(compressed);
-
     ConsoleTable timeline;
     timeline.header({"hour", "load (inv)", "warm% plain",
                      "warm% compressed", "peak?"});
@@ -114,5 +132,22 @@ main()
               << "; worst overhead/cold = "
               << ConsoleTable::num(worstRatio, 2) << "x\n";
     paperNote("favorable for 42% (x86) / 46% (ARM); up to 1.75x");
+
+    runner::ReportMeta meta;
+    meta.bench = "fig01_compression_warmstarts";
+    meta.numbers.emplace_back("favorable_x86_fraction",
+                              double(favX86) / entries.size());
+    meta.numbers.emplace_back("favorable_arm_fraction",
+                              double(favArm) / entries.size());
+    meta.numbers.emplace_back("worst_overhead_over_cold", worstRatio);
+    runner::writeRunReport(
+        options.jsonPath, meta, runs,
+        [&](runner::JsonWriter& json, const PolicyRun& run,
+            std::size_t) {
+            const auto [peakFrac, offFrac] =
+                peakOffpeakWarmFraction(run.result.metrics);
+            json.field("peak_warm_fraction", peakFrac);
+            json.field("offpeak_warm_fraction", offFrac);
+        });
     return 0;
 }

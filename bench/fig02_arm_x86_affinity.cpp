@@ -3,6 +3,12 @@
  * Reproduces Fig. 2: the ARM/x86 performance affinity of serverless
  * functions. Paper: ~38% of functions run faster on ARM; the rest
  * favor x86; keep-alive cost is uniformly lower on ARM.
+ *
+ * Runs on the RunEngine: the catalog characterization and the
+ * workload-level distribution (the expensive part: generating the
+ * trace function population) execute as independent engine jobs over
+ * immutable inputs, so the analysis parallelizes and the JSON
+ * artifact is byte-identical at any --threads setting.
  */
 #include "bench/bench_common.hpp"
 #include "common/stats.hpp"
@@ -12,75 +18,148 @@
 using namespace codecrunch;
 using namespace codecrunch::bench;
 
+namespace {
+
+/** Result of one analysis job (each job fills its own part). */
+struct AffinityPart {
+    // Catalog part: per-entry ARM/x86 ratios, catalog order.
+    std::vector<double> catalogRatios;
+    std::size_t catalogArmFaster = 0;
+    // Workload part: ratio histogram + population affinity.
+    std::vector<std::size_t> ratioBins;
+    std::size_t workloadArmFaster = 0;
+    std::size_t workloadFunctions = 0;
+};
+
+constexpr double kRatioLo = 0.7;
+constexpr double kRatioHi = 1.5;
+constexpr std::size_t kRatioBins = 8;
+
+} // namespace
+
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig02_arm_x86_affinity");
+    BenchEngine bench(options);
+
+    trace::TraceConfig config;
+    config.numFunctions = goldenPick<std::size_t>(options, 3000, 300);
+    config.days = 0.02; // profiles only matter here
+
+    runner::Plan<AffinityPart> plan("fig02");
+    plan.add("catalog-affinity", 0,
+             [](const runner::JobContext&) {
+                 AffinityPart part;
+                 for (const auto& entry :
+                      trace::FunctionCatalog::entries()) {
+                     part.catalogRatios.push_back(entry.armRatio);
+                     part.catalogArmFaster += entry.armRatio < 1.0;
+                 }
+                 return part;
+             });
+    plan.add("workload-distribution", 0,
+             [config](const runner::JobContext&) {
+                 AffinityPart part;
+                 const auto functions =
+                     trace::TraceGenerator::makeFunctions(
+                         config, trace::CompressionModel::lz4());
+                 Histogram ratios(kRatioLo, kRatioHi, kRatioBins);
+                 for (const auto& f : functions) {
+                     ratios.add(f.exec[1] / f.exec[0]);
+                     part.workloadArmFaster +=
+                         f.fasterArch() == NodeType::ARM;
+                 }
+                 for (std::size_t bin = 0; bin < ratios.bins(); ++bin)
+                     part.ratioBins.push_back(ratios.count(bin));
+                 part.workloadFunctions = functions.size();
+                 return part;
+             });
+    const auto parts = bench.engine.run(plan);
+    const AffinityPart& catalog = parts[0];
+    const AffinityPart& workload = parts[1];
+
     printBanner("Fig. 2: per-function ARM/x86 execution-time ratio");
     ConsoleTable catalogTable;
     catalogTable.header({"function", "exec x86 (s)", "exec ARM (s)",
                          "ARM/x86", "faster on"});
-    int armFaster = 0;
     const auto& entries = trace::FunctionCatalog::entries();
-    for (const auto& entry : entries) {
-        const double armExec = entry.execX86 * entry.armRatio;
-        armFaster += entry.armRatio < 1.0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto& entry = entries[i];
+        const double ratio = catalog.catalogRatios[i];
         catalogTable.addRow(entry.name,
                             ConsoleTable::num(entry.execX86, 2),
-                            ConsoleTable::num(armExec, 2),
-                            ConsoleTable::num(entry.armRatio, 2),
-                            entry.armRatio < 1.0 ? "ARM" : "x86");
+                            ConsoleTable::num(entry.execX86 * ratio,
+                                              2),
+                            ConsoleTable::num(ratio, 2),
+                            ratio < 1.0 ? "ARM" : "x86");
     }
     catalogTable.print();
     std::cout << "\nfaster on ARM: "
-              << ConsoleTable::pct(double(armFaster) / entries.size())
+              << ConsoleTable::pct(double(catalog.catalogArmFaster) /
+                                   entries.size())
               << " of the benchmark pool\n";
     paperNote("~38% of enterprise functions are faster on ARM");
 
     printBanner("Workload-level distribution (trace functions)");
-    trace::TraceConfig config;
-    config.numFunctions = 3000;
-    config.days = 0.02; // profiles only matter here
-    const auto functions = trace::TraceGenerator::makeFunctions(
-        config, trace::CompressionModel::lz4());
-    Histogram ratios(0.7, 1.5, 8);
-    int workloadArmFaster = 0;
-    for (const auto& f : functions) {
-        ratios.add(f.exec[1] / f.exec[0]);
-        workloadArmFaster += f.fasterArch() == NodeType::ARM;
-    }
+    Histogram edges(kRatioLo, kRatioHi, kRatioBins);
     ConsoleTable histogram;
     histogram.header({"ARM/x86 ratio bin", "functions", "bar"});
-    for (std::size_t bin = 0; bin < ratios.bins(); ++bin) {
+    for (std::size_t bin = 0; bin < workload.ratioBins.size(); ++bin) {
         histogram.addRow(
-            ConsoleTable::num(ratios.binLow(bin), 2) + "-" +
-                ConsoleTable::num(ratios.binHigh(bin), 2),
-            ratios.count(bin),
-            std::string(ratios.count(bin) * 40 /
-                            std::max<std::size_t>(1, ratios.total()),
+            ConsoleTable::num(edges.binLow(bin), 2) + "-" +
+                ConsoleTable::num(edges.binHigh(bin), 2),
+            workload.ratioBins[bin],
+            std::string(workload.ratioBins[bin] * 40 /
+                            std::max<std::size_t>(
+                                1, workload.workloadFunctions),
                         '#'));
     }
     histogram.print();
     std::cout << "\nfaster on ARM: "
-              << ConsoleTable::pct(double(workloadArmFaster) /
-                                   functions.size())
+              << ConsoleTable::pct(double(workload.workloadArmFaster) /
+                                   workload.workloadFunctions)
               << " of trace functions\n";
 
     printBanner("Keep-alive cost asymmetry");
     cluster::Cluster cluster{cluster::ClusterConfig{}};
+    const double x86Rate = cluster.costRate(NodeType::X86);
+    const double armRate = cluster.costRate(NodeType::ARM);
     std::cout << "keep-alive $/GB-hour: x86 "
-              << ConsoleTable::num(cluster.costRate(NodeType::X86) *
-                                       1024 * 3600,
-                                   4)
+              << ConsoleTable::num(x86Rate * 1024 * 3600, 4)
               << ", ARM "
-              << ConsoleTable::num(cluster.costRate(NodeType::ARM) *
-                                       1024 * 3600,
-                                   4)
+              << ConsoleTable::num(armRate * 1024 * 3600, 4)
               << " (ARM "
-              << ConsoleTable::pct(
-                     1.0 - cluster.costRate(NodeType::ARM) /
-                               cluster.costRate(NodeType::X86))
+              << ConsoleTable::pct(1.0 - armRate / x86Rate)
               << " cheaper)\n";
     paperNote("keep-alive cost is lower on ARM for all functions "
               "($0.2688/h t4g vs $0.384/h m5)");
+
+    runner::ReportMeta meta;
+    meta.bench = "fig02_arm_x86_affinity";
+    meta.numbers.emplace_back(
+        "catalog_arm_faster_fraction",
+        double(catalog.catalogArmFaster) / entries.size());
+    meta.numbers.emplace_back(
+        "workload_arm_faster_fraction",
+        double(workload.workloadArmFaster) /
+            std::max<std::size_t>(1, workload.workloadFunctions));
+    meta.numbers.emplace_back("x86_cost_per_mbs", x86Rate);
+    meta.numbers.emplace_back("arm_cost_per_mbs", armRate);
+    runner::writeBenchReport(
+        options.jsonPath, meta, [&](runner::JsonWriter& json) {
+            json.key("ratio_histogram");
+            json.beginArray();
+            for (std::size_t bin = 0; bin < workload.ratioBins.size();
+                 ++bin) {
+                json.beginObject();
+                json.field("lo", edges.binLow(bin));
+                json.field("hi", edges.binHigh(bin));
+                json.field("functions", workload.ratioBins[bin]);
+                json.endObject();
+            }
+            json.endArray();
+        });
     return 0;
 }

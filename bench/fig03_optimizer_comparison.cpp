@@ -6,7 +6,7 @@
  * method, genetic algorithm) against the Oracle optimum on real
  * interval problems — the motivation for SRE.
  *
- * Part (b) runs every (optimizer, N) pair as an independent engine
+ * Part (b) runs every (optimizer, N) pair as an independent RunEngine
  * job: each job builds its own copy of the (deterministic) interval
  * problem and its own Rng(7), so scores and evaluation counts are
  * bit-identical to the serial sweep. Wall-clock milliseconds remain a
@@ -115,8 +115,10 @@ main(int argc, char** argv)
     paperNote("space size reaches millions of candidates within one "
               "interval and grows exponentially with N");
 
-    // One job per (N, optimizer): N=150 jobs first, then N=600.
-    const std::vector<std::size_t> problemSizes = {150, 600};
+    // One job per (N, optimizer): the small-N jobs first.
+    const std::vector<std::size_t> problemSizes =
+        options.golden ? std::vector<std::size_t>{30, 60}
+                       : std::vector<std::size_t>{150, 600};
     runner::Plan<OptOutcome> plan("fig03/optimizers");
     for (const std::size_t n : problemSizes) {
         for (std::size_t which = 0; which < kNumOptimizers; ++which) {
@@ -146,8 +148,12 @@ main(int argc, char** argv)
     printBanner("Fig. 3(b): optimizer quality on real interval "
                 "problems (lower score = better)");
     ConsoleTable table;
-    table.header({"optimizer", "N=150 score", "N=600 score",
-                  "evals (N=600)", "ms (N=600)"});
+    const auto nLabel = [&](std::size_t i, const char* suffix) {
+        return "N=" + std::to_string(problemSizes[i]) + suffix;
+    };
+    table.header({"optimizer", nLabel(0, " score"), nLabel(1, " score"),
+                  "evals (" + nLabel(1, ")"),
+                  "ms (" + nLabel(1, ")")});
     for (std::size_t which = 0; which < kNumOptimizers; ++which) {
         const OptOutcome& small = outcomes[which];
         const OptOutcome& large = outcomes[kNumOptimizers + which];
@@ -161,34 +167,22 @@ main(int argc, char** argv)
               "space; the Oracle (brute force / exact) is best and "
               "SRE closes most of the gap cheaply");
 
-    // Custom artifact: one row per (optimizer, N); wall-clock ms is
+    // Artifact: one row per (optimizer, N); wall-clock ms is
     // deliberately omitted to keep the file diffable.
-    if (!options.jsonPath.empty()) {
-        const std::filesystem::path file(options.jsonPath);
-        if (file.has_parent_path()) {
-            std::error_code ec;
-            std::filesystem::create_directories(file.parent_path(),
-                                                ec);
-        }
-        std::ofstream os(options.jsonPath);
-        if (!os)
-            fatal("report: cannot open ", options.jsonPath);
-        runner::JsonWriter json(os);
-        json.beginObject();
-        json.field("bench", "fig03_optimizer_comparison");
-        json.key("runs");
-        json.beginArray();
-        for (std::size_t i = 0; i < outcomes.size(); ++i) {
-            json.beginObject();
-            json.field("name", plan.jobs()[i].label);
-            json.field("score", outcomes[i].score);
-            json.field("evaluations", outcomes[i].evals);
-            json.endObject();
-        }
-        json.endArray();
-        json.endObject();
-        json.finish();
-        inform("report: wrote ", options.jsonPath);
-    }
+    runner::ReportMeta meta;
+    meta.bench = "fig03_optimizer_comparison";
+    runner::writeBenchReport(
+        options.jsonPath, meta, [&](runner::JsonWriter& json) {
+            json.key("runs");
+            json.beginArray();
+            for (std::size_t i = 0; i < outcomes.size(); ++i) {
+                json.beginObject();
+                json.field("name", plan.jobs()[i].label);
+                json.field("score", outcomes[i].score);
+                json.field("evaluations", outcomes[i].evals);
+                json.endObject();
+            }
+            json.endArray();
+        });
     return 0;
 }

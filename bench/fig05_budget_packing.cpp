@@ -7,6 +7,11 @@
  * (hottest first, the order a sensible scheduler would use) into the
  * budget as 10-minute keeps, with and without lz4 compression of the
  * held image.
+ *
+ * Runs on the RunEngine: each budget point packs independently as one
+ * engine job over the shared immutable function population, so the
+ * sweep parallelizes and the JSON artifact is byte-identical at any
+ * --threads setting.
  */
 #include "bench/bench_common.hpp"
 #include "trace/generator.hpp"
@@ -14,11 +19,26 @@
 using namespace codecrunch;
 using namespace codecrunch::bench;
 
+namespace {
+
+/** Greedy packing outcome at one budget point. */
+struct PackOutcome {
+    double budget = 0.0;
+    std::size_t plain = 0;
+    std::size_t packed = 0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig05_budget_packing");
+    BenchEngine bench(options);
+
     trace::TraceConfig config;
-    config.numFunctions = 3000;
+    config.numFunctions = goldenPick<std::size_t>(options, 3000, 300);
     config.days = 0.02;
     const auto functions = trace::TraceGenerator::makeFunctions(
         config, trace::CompressionModel::lz4());
@@ -26,32 +46,49 @@ main()
     const double rate = cluster.costRate(NodeType::ARM);
     const Seconds keepAlive = 600.0;
 
+    const std::vector<double> budgets = {0.002, 0.005, 0.01, 0.02,
+                                         0.05};
+    runner::Plan<PackOutcome> plan("fig05");
+    for (const double budget : budgets) {
+        plan.add("budget=" + ConsoleTable::num(budget, 3), 0,
+                 [&functions, rate, keepAlive,
+                  budget](const runner::JobContext&) {
+                     PackOutcome outcome;
+                     outcome.budget = budget;
+                     double spentPlain = 0.0, spentPacked = 0.0;
+                     for (const auto& f : functions) {
+                         const double plainCost =
+                             f.memoryMb * keepAlive * rate;
+                         const double packedCost =
+                             std::min(f.compressedMb, f.memoryMb) *
+                             keepAlive * rate;
+                         if (spentPlain + plainCost <= budget) {
+                             spentPlain += plainCost;
+                             ++outcome.plain;
+                         }
+                         if (spentPacked + packedCost <= budget) {
+                             spentPacked += packedCost;
+                             ++outcome.packed;
+                         }
+                     }
+                     return outcome;
+                 });
+    }
+    const auto outcomes = bench.engine.run(plan);
+
     printBanner("Fig. 5: functions kept warm within a keep-alive "
                 "budget, with vs without compression");
     ConsoleTable table;
     table.header({"budget ($/interval)", "warm plain",
                   "warm compressed", "gain"});
-    for (double budget : {0.002, 0.005, 0.01, 0.02, 0.05}) {
-        std::size_t plain = 0, packed = 0;
-        double spentPlain = 0.0, spentPacked = 0.0;
-        for (const auto& f : functions) {
-            const double plainCost =
-                f.memoryMb * keepAlive * rate;
-            const double packedCost =
-                std::min(f.compressedMb, f.memoryMb) * keepAlive *
-                rate;
-            if (spentPlain + plainCost <= budget) {
-                spentPlain += plainCost;
-                ++plain;
-            }
-            if (spentPacked + packedCost <= budget) {
-                spentPacked += packedCost;
-                ++packed;
-            }
-        }
-        table.addRow(ConsoleTable::num(budget, 3), plain, packed,
+    for (const auto& outcome : outcomes) {
+        table.addRow(ConsoleTable::num(outcome.budget, 3),
+                     outcome.plain, outcome.packed,
                      ConsoleTable::num(
-                         plain ? double(packed) / plain : 0.0, 2) +
+                         outcome.plain ? double(outcome.packed) /
+                                             outcome.plain
+                                       : 0.0,
+                         2) +
                          "x");
     }
     table.print();
@@ -62,8 +99,27 @@ main()
     double ratioSum = 0;
     for (const auto& f : functions)
         ratioSum += f.compressRatio;
+    const double meanRatio = ratioSum / functions.size();
     std::cout << "mean image compression ratio: "
-              << ConsoleTable::num(ratioSum / functions.size(), 2)
+              << ConsoleTable::num(meanRatio, 2)
               << "x (paper: over 2.5x)\n";
+
+    runner::ReportMeta meta;
+    meta.bench = "fig05_budget_packing";
+    meta.numbers.emplace_back("mean_compression_ratio", meanRatio);
+    meta.numbers.emplace_back("keepalive_seconds", keepAlive);
+    runner::writeBenchReport(
+        options.jsonPath, meta, [&](runner::JsonWriter& json) {
+            json.key("budgets");
+            json.beginArray();
+            for (const auto& outcome : outcomes) {
+                json.beginObject();
+                json.field("budget_usd_per_interval", outcome.budget);
+                json.field("warm_plain", outcome.plain);
+                json.field("warm_compressed", outcome.packed);
+                json.endObject();
+            }
+            json.endArray();
+        });
     return 0;
 }

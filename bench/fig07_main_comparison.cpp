@@ -25,7 +25,7 @@ main(int argc, char** argv)
 {
     const BenchOptions options =
         parseBenchOptions(argc, argv, "fig07_main_comparison");
-    Harness harness(Scenario::evaluationDefault());
+    Harness harness(benchScenario(options));
     BenchEngine bench(options);
 
     const auto runs =

@@ -6,7 +6,7 @@
  * Paper: all three baselines improve by over 10%, and "enhanced SitW"
  * becomes competitive with IceBreaker/FaasCache.
  *
- * Engine orchestration: the six budget-free runs (three baselines,
+ * Runs on the RunEngine: the six budget-free runs (three baselines,
  * plain and enhanced) execute as one concurrent plan; the plain SitW
  * result then primes the budget for the final CodeCrunch job.
  */
@@ -38,7 +38,7 @@ main(int argc, char** argv)
 {
     const BenchOptions options =
         parseBenchOptions(argc, argv, "fig08_enhanced_baselines");
-    Harness harness(Scenario::evaluationDefault());
+    Harness harness(benchScenario(options));
     BenchEngine bench(options);
 
     runner::SimPlan plan("fig08/baselines");

@@ -20,7 +20,7 @@ main(int argc, char** argv)
 {
     const BenchOptions options =
         parseBenchOptions(argc, argv, "fig09_sla");
-    Harness harness(Scenario::evaluationDefault());
+    Harness harness(benchScenario(options));
     BenchEngine bench(options);
     const auto baselines = harness.warmBaselines();
     const std::vector<double> slacks = {0.10, 0.20, 0.30, 0.50};

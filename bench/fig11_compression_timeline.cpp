@@ -21,7 +21,7 @@ main(int argc, char** argv)
 {
     const BenchOptions options =
         parseBenchOptions(argc, argv, "fig11_compression_timeline");
-    Harness harness(Scenario::evaluationDefault());
+    Harness harness(benchScenario(options));
     BenchEngine bench(options);
 
     // Stage 1: the budget dependency (not itself a reported run).

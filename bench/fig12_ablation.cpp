@@ -6,8 +6,9 @@
  * 8.4 s; fixed 10-min keep-alive 7.38 s; no SRE (whole-space descent
  * within the same time) ~19% worse.
  *
- * Engine orchestration: one SitW job establishes the budget, then the
- * full controller and all five ablations run as one concurrent plan.
+ * Runs on the RunEngine: one SitW job establishes the budget, then
+ * the full controller and all five ablations run as one concurrent
+ * plan. Results are bit-identical to the old serial loop.
  */
 #include "bench/bench_common.hpp"
 
@@ -19,7 +20,7 @@ main(int argc, char** argv)
 {
     const BenchOptions options =
         parseBenchOptions(argc, argv, "fig12_ablation");
-    Harness harness(Scenario::evaluationDefault());
+    Harness harness(benchScenario(options));
     BenchEngine bench(options);
 
     // Budget dependency: run SitW once, visibly, instead of hiding it

@@ -5,7 +5,7 @@
  * SitW's service time at 0.5x the budget and is only ~5% worse at
  * 0.25x; more budget keeps helping.
  *
- * Engine orchestration: the SitW baseline job doubles as the budget
+ * Runs on the RunEngine: the SitW baseline job doubles as the budget
  * dependency; the five budget multiples then run concurrently.
  */
 #include "bench/bench_common.hpp"
@@ -18,7 +18,7 @@ main(int argc, char** argv)
 {
     const BenchOptions options =
         parseBenchOptions(argc, argv, "fig13_budget_sensitivity");
-    Harness harness(Scenario::evaluationDefault());
+    Harness harness(benchScenario(options));
     BenchEngine bench(options);
 
     runner::SimPlan baselinePlan("fig13/baseline");

@@ -6,8 +6,8 @@
  * SitW across mixes, and service time rises as x86 nodes disappear
  * (most functions execute faster on x86).
  *
- * Engine orchestration: the trace is generated once and shared by all
- * five mixes (it only depends on the trace config). The five SitW
+ * Runs on the RunEngine: the trace is generated once and shared by
+ * all five mixes (it only depends on the trace config). The five SitW
  * budget jobs run as one concurrent plan, prime each mix's budget,
  * and the ten CodeCrunch/Oracle jobs follow as a second plan.
  */
@@ -25,17 +25,21 @@ main(int argc, char** argv)
         parseBenchOptions(argc, argv, "fig14_node_mix");
     BenchEngine bench(options);
 
-    const std::vector<std::pair<int, int>> mixes = {
-        {31, 0}, {22, 9}, {13, 18}, {4, 27}, {0, 31}};
+    const std::vector<std::pair<int, int>> mixes =
+        options.golden
+            ? std::vector<std::pair<int, int>>{
+                  {9, 0}, {6, 3}, {4, 5}, {3, 6}, {0, 9}}
+            : std::vector<std::pair<int, int>>{
+                  {31, 0}, {22, 9}, {13, 18}, {4, 27}, {0, 31}};
 
     // One workload for every mix: the trace config is identical, so
     // regenerating per mix (as the serial bench did) produced the same
     // bytes five times over.
     const trace::Workload workload = trace::TraceGenerator::generate(
-        Scenario::evaluationDefault().traceConfig);
+        benchScenario(options).traceConfig);
     std::vector<std::unique_ptr<Harness>> harnesses;
     for (const auto& [x86, arm] : mixes) {
-        Scenario scenario = Scenario::evaluationDefault();
+        Scenario scenario = benchScenario(options);
         scenario.clusterConfig.numX86 = x86;
         scenario.clusterConfig.numArm = arm;
         harnesses.push_back(

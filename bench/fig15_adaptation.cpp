@@ -21,7 +21,7 @@ main(int argc, char** argv)
 {
     const BenchOptions options =
         parseBenchOptions(argc, argv, "fig15_adaptation");
-    Scenario scenario = Scenario::evaluationDefault();
+    Scenario scenario = benchScenario(options);
     scenario.traceConfig.inputChangeTime =
         scenario.traceConfig.days * 24.0 * 3600.0 * 0.5;
     scenario.traceConfig.inputChangeFraction = 0.3;

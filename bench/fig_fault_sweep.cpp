@@ -13,7 +13,9 @@
  * fault-free baseline and is bit-identical to a run without the fault
  * subsystem; all points share the workload, the driver seed, and the
  * budget (SitW's healthy spend rate), so differences are attributable
- * to the faults alone.
+ * to the faults alone. Runs on the RunEngine: the healthy SitW job
+ * primes the budget, then every (policy, sweep point) pair runs as
+ * one concurrent plan.
  */
 #include "bench/bench_common.hpp"
 
@@ -47,7 +49,7 @@ main(int argc, char** argv)
 {
     const BenchOptions options =
         parseBenchOptions(argc, argv, "fig_fault_sweep");
-    Harness harness(Scenario::evaluationDefault());
+    Harness harness(benchScenario(options));
     BenchEngine bench(options);
 
     const std::vector<SweepPoint> points = {

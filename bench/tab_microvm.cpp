@@ -5,9 +5,17 @@
  * because the dependency-initialization part of the cold start
  * remains. Paper: Firecracker 6.66 s (compression) vs 8.05 s
  * (no compression); Docker 6.75 s vs 8.15 s.
+ *
+ * Runs on the RunEngine: one SitW budget job per runtime (the budget
+ * normalization the serial bench paid for implicitly inside
+ * codecrunchConfig()) runs first, then the with/without-compression
+ * pairs for every runtime execute concurrently. Results are
+ * bit-identical to the old serial loop.
  */
 #include "bench/bench_common.hpp"
 #include "trace/generator.hpp"
+
+#include <memory>
 
 using namespace codecrunch;
 using namespace codecrunch::bench;
@@ -29,11 +37,59 @@ withStartupScale(const trace::Workload& base, double scale)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
-    Scenario scenario = Scenario::evaluationDefault();
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "tab_microvm");
+    const Scenario scenario = benchScenario(options);
     const auto baseWorkload =
         trace::TraceGenerator::generate(scenario.traceConfig);
+    BenchEngine bench(options);
+
+    const std::vector<std::pair<std::string, double>> runtimes = {
+        {"Docker containers", 1.0},
+        {"Firecracker microVMs", 0.6},
+        {"hypothetical instant boot", 0.3}};
+
+    // One harness per runtime: the same trace with scaled cold starts.
+    std::vector<std::unique_ptr<Harness>> harnesses;
+    for (const auto& [name, scale] : runtimes) {
+        harnesses.push_back(std::make_unique<Harness>(
+            withStartupScale(baseWorkload, scale), scenario));
+    }
+
+    // Stage 1: the per-runtime budget dependency (SitW's spend under
+    // the scaled cold starts), all runtimes concurrently.
+    runner::SimPlan budgetPlan("tab_microvm/budgets");
+    for (std::size_t i = 0; i < runtimes.size(); ++i) {
+        runner::addSimJob(budgetPlan, "SitW@" + runtimes[i].first,
+                          *harnesses[i], [] {
+                              return std::make_unique<policy::SitW>();
+                          });
+    }
+    const auto sitwResults = bench.engine.run(budgetPlan);
+    for (std::size_t i = 0; i < runtimes.size(); ++i)
+        harnesses[i]->primeBudgetRate(sitwResults[i]);
+
+    // Stage 2: CodeCrunch with and without compression per runtime.
+    runner::SimPlan plan("tab_microvm/variants");
+    for (std::size_t i = 0; i < runtimes.size(); ++i) {
+        const auto compConfig = harnesses[i]->codecrunchConfig();
+        runner::addSimJob(plan, "CodeCrunch@" + runtimes[i].first,
+                          *harnesses[i], [compConfig] {
+                              return std::make_unique<
+                                  core::CodeCrunch>(compConfig);
+                          });
+        auto plainConfig = harnesses[i]->codecrunchConfig();
+        plainConfig.useCompression = false;
+        runner::addSimJob(plan,
+                          "CodeCrunch-nocomp@" + runtimes[i].first,
+                          *harnesses[i], [plainConfig] {
+                              return std::make_unique<
+                                  core::CodeCrunch>(plainConfig);
+                          });
+    }
+    const auto results = bench.engine.run(plan);
 
     printBanner("MicroVM sensitivity: compression benefit vs "
                 "instance start-up speed");
@@ -41,21 +97,13 @@ main()
     table.header({"runtime", "startup scale",
                   "mean w/ compression (s)",
                   "mean w/o compression (s)", "benefit"});
-    const std::vector<std::pair<std::string, double>> runtimes = {
-        {"Docker containers", 1.0},
-        {"Firecracker microVMs", 0.6},
-        {"hypothetical instant boot", 0.3}};
-    for (const auto& [name, scale] : runtimes) {
-        Harness harness(withStartupScale(baseWorkload, scale),
-                        scenario);
-        core::CodeCrunch withComp(harness.codecrunchConfig());
-        const auto compRun = harness.run(withComp);
-        auto config = harness.codecrunchConfig();
-        config.useCompression = false;
-        core::CodeCrunch noComp(config);
-        const auto plainRun = harness.run(noComp);
+    std::vector<PolicyRun> runs;
+    for (std::size_t i = 0; i < runtimes.size(); ++i) {
+        const RunResult& compRun = results[2 * i];
+        const RunResult& plainRun = results[2 * i + 1];
         table.addRow(
-            name, ConsoleTable::num(scale, 2),
+            runtimes[i].first,
+            ConsoleTable::num(runtimes[i].second, 2),
             compRun.metrics.meanServiceTime(),
             plainRun.metrics.meanServiceTime(),
             ConsoleTable::num(
@@ -63,10 +111,22 @@ main()
                                compRun.metrics.meanServiceTime()),
                 1) +
                 "%");
+        runs.push_back({plan.jobs()[2 * i].label, compRun});
+        runs.push_back({plan.jobs()[2 * i + 1].label, plainRun});
     }
     table.print();
     paperNote("Firecracker: 6.66 s vs 8.05 s; Docker: 6.75 s vs "
               "8.15 s — compression keeps paying even with fast "
               "instance start-up");
+
+    runner::ReportMeta meta;
+    meta.bench = "tab_microvm";
+    runner::writeRunReport(
+        options.jsonPath, meta, runs,
+        [&](runner::JsonWriter& json, const PolicyRun&,
+            std::size_t index) {
+            json.field("startup_scale",
+                       runtimes[index / 2].second);
+        });
     return 0;
 }

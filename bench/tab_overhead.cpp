@@ -6,57 +6,113 @@
  * ~4.5% of service time deciding (similar to SitW), IceBreaker ~30%
  * and FaasCache ~21%, because prediction-based techniques must model
  * every function rather than only the recently invoked ones.
+ *
+ * Runs on the RunEngine: per population size, SitW runs first (it is
+ * both a reported run and the budget dependency for CodeCrunch), then
+ * the remaining policies execute concurrently. Simulated metrics are
+ * bit-identical to the old serial loop; the decision wall-clock stays
+ * a console-only, hardware-dependent observation and is deliberately
+ * absent from the JSON artifact.
  */
 #include "bench/bench_common.hpp"
+
+#include <memory>
 
 using namespace codecrunch;
 using namespace codecrunch::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "tab_overhead");
+    BenchEngine bench(options);
+
+    const std::vector<std::size_t> sizes =
+        options.golden ? std::vector<std::size_t>{60ul, 120ul, 240ul}
+                       : std::vector<std::size_t>{1000ul, 3000ul,
+                                                  6000ul};
+
+    std::vector<std::unique_ptr<Harness>> harnesses;
+    for (const std::size_t numFunctions : sizes) {
+        Scenario scenario = benchScenario(options);
+        scenario.traceConfig.numFunctions = numFunctions;
+        scenario.traceConfig.days =
+            goldenPick(options, 0.15, 0.05);
+        harnesses.push_back(std::make_unique<Harness>(scenario));
+    }
+    const auto sizeLabel = [&](std::size_t i, const char* policy) {
+        return std::string(policy) + "@N=" +
+               std::to_string(sizes[i]);
+    };
+
+    // Stage 1: SitW per size — a reported run whose spend is also the
+    // budget CodeCrunch receives at that size.
+    runner::SimPlan budgetPlan("tab_overhead/budgets");
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        runner::addSimJob(budgetPlan, sizeLabel(i, "SitW"),
+                          *harnesses[i], [] {
+                              return std::make_unique<policy::SitW>();
+                          });
+    }
+    const auto sitwResults = bench.engine.run(budgetPlan);
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+        harnesses[i]->primeBudgetRate(sitwResults[i]);
+
+    // Stage 2: the remaining policies at every size, concurrently.
+    runner::SimPlan plan("tab_overhead/policies");
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        runner::addSimJob(plan, sizeLabel(i, "FaasCache"),
+                          *harnesses[i], [] {
+                              return std::make_unique<
+                                  policy::FaasCache>();
+                          });
+        const auto crunchConfig = harnesses[i]->codecrunchConfig();
+        runner::addSimJob(plan, sizeLabel(i, "CodeCrunch"),
+                          *harnesses[i], [crunchConfig] {
+                              return std::make_unique<
+                                  core::CodeCrunch>(crunchConfig);
+                          });
+        runner::addSimJob(plan, sizeLabel(i, "IceBreaker"),
+                          *harnesses[i], [] {
+                              return std::make_unique<
+                                  policy::IceBreaker>();
+                          });
+    }
+    const auto results = bench.engine.run(plan);
+
     printBanner("Decision-making overhead vs number of functions");
     ConsoleTable table;
     table.header({"functions", "policy", "decision wall (s)",
                   "sim service (s)", "overhead ratio"});
-
-    for (std::size_t numFunctions : {1000ul, 3000ul, 6000ul}) {
-        Scenario scenario = Scenario::evaluationDefault();
-        scenario.traceConfig.numFunctions = numFunctions;
-        scenario.traceConfig.days = 0.15;
-        Harness harness(scenario);
-
-        auto measure = [&](const std::string& name,
-                           policy::Policy& policy) {
-            const auto result = harness.run(policy);
-            // Decision overhead relative to the wall-clock the
-            // simulation spends on the same decisions' scope: we
-            // report the ratio of decision time per invocation to
-            // mean service time scaled to a common unit — the
-            // *relative ordering* across policies is the claim under
-            // test (absolute percentages depend on hardware).
-            const double perInvocationUs =
-                result.decisionWallSeconds /
-                std::max<std::size_t>(1,
-                                      result.metrics.invocations()) *
-                1e6;
-            table.addRow(
-                numFunctions, name,
-                ConsoleTable::num(result.decisionWallSeconds, 2),
-                ConsoleTable::num(
-                    result.metrics.meanServiceTime(), 2),
-                ConsoleTable::num(perInvocationUs, 1) +
-                    " us/invocation");
-        };
-
-        policy::SitW sitw;
-        measure("SitW", sitw);
-        policy::FaasCache faascache;
-        measure("FaasCache", faascache);
-        core::CodeCrunch codecrunch(harness.codecrunchConfig());
-        measure("CodeCrunch", codecrunch);
-        policy::IceBreaker icebreaker;
-        measure("IceBreaker", icebreaker);
+    std::vector<PolicyRun> runs;
+    const auto addRow = [&](std::size_t i, const std::string& name,
+                            const RunResult& result) {
+        // Decision overhead relative to the wall-clock the simulation
+        // spends on the same decisions' scope: we report the ratio of
+        // decision time per invocation to mean service time scaled to
+        // a common unit — the *relative ordering* across policies is
+        // the claim under test (absolute percentages depend on
+        // hardware).
+        const double perInvocationUs =
+            result.decisionWallSeconds /
+            std::max<std::size_t>(1, result.metrics.invocations()) *
+            1e6;
+        table.addRow(
+            sizes[i], name,
+            ConsoleTable::num(result.decisionWallSeconds, 2),
+            ConsoleTable::num(result.metrics.meanServiceTime(), 2),
+            ConsoleTable::num(perInvocationUs, 1) +
+                " us/invocation");
+    };
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        addRow(i, budgetPlan.jobs()[i].label, sitwResults[i]);
+        runs.push_back({budgetPlan.jobs()[i].label, sitwResults[i]});
+        for (std::size_t p = 0; p < 3; ++p) {
+            const std::size_t job = 3 * i + p;
+            addRow(i, plan.jobs()[job].label, results[job]);
+            runs.push_back({plan.jobs()[job].label, results[job]});
+        }
     }
     table.print();
     paperNote("CodeCrunch's per-invocation decision cost stays close "
@@ -65,5 +121,14 @@ main()
               "current interval); IceBreaker's FFT sweep over every "
               "active function is 1-2 orders of magnitude more "
               "expensive (paper: 4.52% vs 30% of service time)");
+
+    runner::ReportMeta meta;
+    meta.bench = "tab_overhead";
+    runner::writeRunReport(
+        options.jsonPath, meta, runs,
+        [&](runner::JsonWriter& json, const PolicyRun&,
+            std::size_t index) {
+            json.field("num_functions", sizes[index / 4]);
+        });
     return 0;
 }

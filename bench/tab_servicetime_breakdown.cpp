@@ -6,6 +6,11 @@
  * decompression mean 0.37 s / p75 0.52 s / max 0.68 s; compression
  * mean 1.57 s / p75 1.82 s / max 2.01 s — compression off the
  * critical path).
+ *
+ * Runs on the RunEngine: SitW runs first (the budget dependency the
+ * serial bench paid for implicitly inside oracleConfig()), then the
+ * Oracle and CodeCrunch runs execute concurrently. Results are
+ * bit-identical to the old serial loop.
  */
 #include "bench/bench_common.hpp"
 #include "common/stats.hpp"
@@ -14,16 +19,42 @@ using namespace codecrunch;
 using namespace codecrunch::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
-    Harness harness(Scenario::evaluationDefault());
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "tab_servicetime_breakdown");
+    Harness harness(benchScenario(options));
+    BenchEngine bench(options);
+
+    // Stage 1: the budget dependency (not itself a reported run).
+    runner::SimPlan budgetPlan("tab_servicetime/budget");
+    runner::addSimJob(budgetPlan, "SitW", harness,
+                      [] { return std::make_unique<policy::SitW>(); });
+    harness.primeBudgetRate(bench.engine.run(budgetPlan).front());
+
+    // Stage 2: Oracle and CodeCrunch, concurrently.
+    runner::SimPlan plan("tab_servicetime");
+    const policy::Oracle::Config oracleConfig = harness.oracleConfig();
+    runner::addSimJob(plan, "Oracle", harness, [oracleConfig] {
+        return std::make_unique<policy::Oracle>(oracleConfig);
+    });
+    const core::CodeCrunchConfig crunchConfig =
+        harness.codecrunchConfig();
+    runner::addSimJob(plan, "CodeCrunch", harness, [crunchConfig] {
+        return std::make_unique<core::CodeCrunch>(crunchConfig);
+    });
+    std::vector<RunResult> results = bench.engine.run(plan);
+
+    std::vector<PolicyRun> runs;
+    runs.push_back({"Oracle", std::move(results[0])});
+    runs.push_back({"CodeCrunch", std::move(results[1])});
+    const RunResult& oracleRun = runs[0].result;
+    const RunResult& crunchRun = runs[1].result;
 
     printBanner("Service time by start category (Oracle run, best "
                 "processor per function)");
-    policy::Oracle oracle(harness.oracleConfig());
-    const auto run = harness.run(oracle);
     RunningStat warm, compressed, cold;
-    for (const auto& r : run.metrics.records()) {
+    for (const auto& r : oracleRun.metrics.records()) {
         switch (r.start) {
           case StartType::Warm:
             warm.add(r.service());
@@ -55,8 +86,6 @@ main()
     // Decompression latencies actually paid: the startup component of
     // every compressed warm start in a CodeCrunch run. Compression
     // times: the background compression cost of the same functions.
-    core::CodeCrunch codecrunch(harness.codecrunchConfig());
-    const auto crunchRun = harness.run(codecrunch);
     PercentileDigest decompress, compress;
     for (const auto& r : crunchRun.metrics.records()) {
         if (r.start != StartType::WarmCompressed)
@@ -82,5 +111,46 @@ main()
     latency.print();
     paperNote("compression happens after execution, off the critical "
               "path; only decompression is paid at start");
+
+    runner::ReportMeta meta;
+    meta.bench = "tab_servicetime_breakdown";
+    meta.numbers.emplace_back("sitw_budget_rate_usd_per_s",
+                              harness.sitwBudgetRate());
+    runner::writeRunReport(
+        options.jsonPath, meta, runs,
+        [&](runner::JsonWriter& json, const PolicyRun& run,
+            std::size_t index) {
+            if (index == 0) {
+                // Oracle: per-start-category service means.
+                RunningStat w, c, k;
+                for (const auto& r : run.result.metrics.records()) {
+                    switch (r.start) {
+                      case StartType::Warm: w.add(r.service()); break;
+                      case StartType::WarmCompressed:
+                        c.add(r.service());
+                        break;
+                      case StartType::Cold: k.add(r.service()); break;
+                    }
+                }
+                json.key("service_by_start");
+                json.beginObject();
+                json.field("warm_mean_s", w.mean());
+                json.field("warm_compressed_mean_s", c.mean());
+                json.field("cold_mean_s", k.mean());
+                json.endObject();
+            } else {
+                // CodeCrunch: (de)compression latency statistics.
+                json.key("codec_latency");
+                json.beginObject();
+                json.field("decompress_mean_s", decompress.mean());
+                json.field("decompress_p75_s",
+                           decompress.quantile(0.75));
+                json.field("decompress_max_s", decompress.max());
+                json.field("compress_mean_s", compress.mean());
+                json.field("compress_p75_s", compress.quantile(0.75));
+                json.field("compress_max_s", compress.max());
+                json.endObject();
+            }
+        });
     return 0;
 }

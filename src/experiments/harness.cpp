@@ -32,6 +32,23 @@ Scenario::small()
     return scenario;
 }
 
+Scenario
+Scenario::goldenPreset()
+{
+    Scenario scenario;
+    scenario.traceConfig.numFunctions = 120;
+    scenario.traceConfig.days = 0.1;
+    scenario.traceConfig.targetMeanRatePerSecond = 2.0;
+    scenario.traceConfig.seed = 42;
+    scenario.clusterConfig.numX86 = 4;
+    scenario.clusterConfig.numArm = 5;
+    // Same reservation as evaluationDefault(): golden runs must stay
+    // in the memory-pressure regime where keep-alive decisions bind,
+    // or a regression in the decision logic would not move the needle.
+    scenario.clusterConfig.keepAliveMemoryFraction = 0.25;
+    return scenario;
+}
+
 Harness::Harness(Scenario scenario)
     : scenario_(scenario),
       workload_(trace::TraceGenerator::generate(scenario.traceConfig))

@@ -52,6 +52,15 @@ struct Scenario {
 
     /** Smaller scenario for quick tests. */
     static Scenario small();
+
+    /**
+     * The seconds-scale preset behind every bench's `--golden-mode`:
+     * the same memory-pressure regime as evaluationDefault() on a
+     * workload small enough that a full bench finishes in seconds.
+     * Golden regression artifacts under bench/golden/ are generated
+     * from this preset, so changing it invalidates every golden.
+     */
+    static Scenario goldenPreset();
 };
 
 /**

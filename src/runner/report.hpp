@@ -320,13 +320,18 @@ using RunExtraWriter = std::function<void(
     JsonWriter&, const experiments::PolicyRun&, std::size_t)>;
 
 /**
- * Write a full bench artifact: meta header plus one object per run,
- * in run order. Creates parent directories; empty path is a no-op.
+ * Write a bench artifact with a caller-defined body: the shared meta
+ * header, then `body` emitted inside the root object, then the
+ * deterministic sim-scope stats block. Creates parent directories on
+ * demand and fails loudly (fatal, exit 1) on unwritable paths or
+ * short writes; an empty path is a no-op. This is the writer benches
+ * without PolicyRun-shaped results (analysis sweeps, optimizer
+ * tournaments) use directly; writeRunReport layers the standard
+ * "runs" array on top of it.
  */
 inline void
-writeRunReport(const std::string& path, const ReportMeta& meta,
-               const std::vector<experiments::PolicyRun>& runs,
-               const RunExtraWriter& extra = {})
+writeBenchReport(const std::string& path, const ReportMeta& meta,
+                 const std::function<void(JsonWriter&)>& body)
 {
     if (path.empty())
         return;
@@ -347,18 +352,8 @@ writeRunReport(const std::string& path, const ReportMeta& meta,
     json.field("bench", meta.bench);
     for (const auto& [name, number] : meta.numbers)
         json.field(name, number);
-    json.key("runs");
-    json.beginArray();
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-        const auto& run = runs[i];
-        json.beginObject();
-        json.field("name", run.name);
-        writeResultFields(json, run.result);
-        if (extra)
-            extra(json, run, i);
-        json.endObject();
-    }
-    json.endArray();
+    if (body)
+        body(json);
     // Sim-scope registry totals (process-wide, cumulative over every
     // run this process executed so far). Counters/gauges/bucket counts
     // are commutative, so the block is byte-identical across --threads
@@ -374,6 +369,31 @@ writeRunReport(const std::string& path, const ReportMeta& meta,
         fatal("report: write to ", path,
               " failed (disk full or I/O error)");
     inform("report: wrote ", path);
+}
+
+/**
+ * Write a full bench artifact: meta header plus one object per run,
+ * in run order. Creates parent directories; empty path is a no-op.
+ */
+inline void
+writeRunReport(const std::string& path, const ReportMeta& meta,
+               const std::vector<experiments::PolicyRun>& runs,
+               const RunExtraWriter& extra = {})
+{
+    writeBenchReport(path, meta, [&](JsonWriter& json) {
+        json.key("runs");
+        json.beginArray();
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            const auto& run = runs[i];
+            json.beginObject();
+            json.field("name", run.name);
+            writeResultFields(json, run.result);
+            if (extra)
+                extra(json, run, i);
+            json.endObject();
+        }
+        json.endArray();
+    });
 }
 
 /**

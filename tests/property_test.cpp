@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.hpp"
 #include "compress/lz4_codec.hpp"
 #include "compress/lz4hc_codec.hpp"
@@ -13,6 +15,7 @@
 #include "compress/image_synth.hpp"
 #include "core/codecrunch.hpp"
 #include "experiments/driver.hpp"
+#include "experiments/harness.hpp"
 #include "policy/fixed_keepalive.hpp"
 #include "trace/generator.hpp"
 
@@ -278,3 +281,74 @@ TEST(CodecFuzz, RangeLzSurvivesStreamMutation)
 {
     mutationFuzz<compress::RangeLzCodec>(13);
 }
+
+// --- report invariants across randomized seeds -------------------------------
+//
+// The golden harness diffs every aggregate writeResultFields() emits;
+// these properties pin down what those aggregates are allowed to look
+// like on ANY seed, not just the checked-in ones: finite, fractions in
+// [0, 1], and SLA accounting bounded and monotone in the slack.
+
+namespace {
+
+void
+checkReportInvariants(const Harness& harness, const RunResult& result)
+{
+    const auto& m = result.metrics;
+    EXPECT_TRUE(std::isfinite(m.meanServiceTime()));
+    EXPECT_TRUE(std::isfinite(m.meanWaitTime()));
+    for (const double q : {0.5, 0.95, 0.99}) {
+        EXPECT_TRUE(std::isfinite(m.serviceQuantile(q)));
+        EXPECT_GE(m.serviceQuantile(q), 0.0);
+    }
+    EXPECT_LE(m.serviceQuantile(0.5), m.serviceQuantile(0.95));
+    EXPECT_LE(m.serviceQuantile(0.95), m.serviceQuantile(0.99));
+
+    EXPECT_GE(m.warmStartFraction(), 0.0);
+    EXPECT_LE(m.warmStartFraction(), 1.0);
+    EXPECT_GE(m.availability(), 0.0);
+    EXPECT_LE(m.availability(), 1.0);
+
+    EXPECT_TRUE(std::isfinite(result.keepAliveSpend));
+    EXPECT_GE(result.keepAliveSpend, 0.0);
+
+    const auto baselines = harness.warmBaselines();
+    double previous = 1.0;
+    for (const double slack : {0.0, 0.1, 0.3, 0.5, 1.0}) {
+        const double violations =
+            m.slaViolationFraction(baselines, slack);
+        EXPECT_GE(violations, 0.0) << "slack " << slack;
+        EXPECT_LE(violations, 1.0) << "slack " << slack;
+        // More slack can only excuse functions, never indict more.
+        EXPECT_LE(violations, previous + 1e-12)
+            << "slack " << slack;
+        previous = violations;
+    }
+}
+
+} // namespace
+
+class ReportInvariants : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ReportInvariants, FixedKeepAliveAggregatesAreWellFormed)
+{
+    Scenario scenario = Scenario::goldenPreset();
+    scenario.traceConfig.seed = GetParam();
+    const Harness harness(scenario);
+    policy::FixedKeepAlive policy(600.0, true);
+    checkReportInvariants(harness, harness.run(policy));
+}
+
+TEST_P(ReportInvariants, CodeCrunchAggregatesAreWellFormed)
+{
+    Scenario scenario = Scenario::goldenPreset();
+    scenario.traceConfig.seed = GetParam() ^ 0x5eedull;
+    const Harness harness(scenario);
+    core::CodeCrunch policy(harness.codecrunchConfig());
+    checkReportInvariants(harness, harness.run(policy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReportInvariants,
+                         ::testing::Values(1u, 17u, 4242u, 99991u));

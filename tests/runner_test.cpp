@@ -382,3 +382,36 @@ TEST(Report, WritesDiffableJsonArtifact)
     std::remove(path.c_str());
     std::remove((path + ".again").c_str());
 }
+
+TEST(Report, EmptyPathIsANoOp)
+{
+    ReportMeta meta;
+    meta.bench = "noop";
+    writeBenchReport("", meta, {});
+    writeRunReport("", meta, {});
+}
+
+// bench/out hygiene: an unwritable artifact path must kill the bench
+// with a diagnostic, never silently drop the report (fatal exits 1).
+
+TEST(ReportDeathTest, UnreachableParentDirectoryIsFatal)
+{
+    ReportMeta meta;
+    meta.bench = "doomed";
+    // /dev/null is a file, so no subdirectory can be created below it.
+    EXPECT_EXIT(
+        writeBenchReport("/dev/null/sub/out.json", meta, {}),
+        ::testing::ExitedWithCode(1), "report: cannot create");
+}
+
+TEST(ReportDeathTest, UnopenablePathIsFatal)
+{
+    ReportMeta meta;
+    meta.bench = "doomed";
+    // The target itself is an existing directory: parent creation
+    // succeeds, opening for write cannot.
+    const std::string dir = ::testing::TempDir() + "report_is_a_dir";
+    std::filesystem::create_directories(dir);
+    EXPECT_EXIT(writeBenchReport(dir, meta, {}),
+                ::testing::ExitedWithCode(1), "report: cannot open");
+}

@@ -6,22 +6,61 @@ dotted path (e.g. ``runs.2.mean_service_s``). Numeric leaves compare
 within tolerances; everything else must match exactly.
 
 Tolerances:
-  --rtol/--atol        global defaults (exact compare when both are 0)
+  --profile NAME       named tolerance profile:
+                         exact  - byte-for-byte semantics (default)
+                         golden - integers exact, floats rtol 1e-6,
+                                  histogram bucket layout ignored
+                                  (libm noise can move a sample across
+                                  a bucket boundary)
+  --rtol/--atol        global defaults layered over the profile
   --tol PATTERN=RTOL   per-path relative tolerance; PATTERN is an
                        fnmatch glob over the dotted path, first match
-                       wins (e.g. --tol 'runs.*.stats.*=1e-6')
+                       wins (e.g. --tol 'runs.*.stats.*=1e-6');
+                       command-line rules outrank profile rules
   --ignore PATTERN     skip paths entirely (e.g. volatile wall times)
 
-Exit status: 0 when the files match, 1 on any mismatch, 2 on usage or
-I/O errors. Used by CI to guard bench artifacts against silent metric
-drift while absorbing benign cross-platform libm noise.
+Modes:
+  (default)            diff, exit 0 on match / 1 on mismatch
+  --update             copy the actual report over the golden file and
+                       exit 0 (for regenerating goldens on purpose)
+  --summary FILE       additionally write a machine-readable JSON
+                       verdict (match flag, leaves compared, mismatch
+                       records) for CI annotation tooling
+
+Exit status: 0 when the files match (or after --update), 1 on any
+mismatch, 2 on usage or I/O errors. Used by CI to guard bench
+artifacts against silent metric drift while absorbing benign
+cross-platform libm noise.
 """
 
 import argparse
 import fnmatch
 import json
 import math
+import shutil
 import sys
+
+# Named tolerance bundles. "exact" is the historical default; "golden"
+# is what the golden_* ctest targets use: integer leaves (event counts)
+# must match exactly, floating-point leaves absorb last-ulp libm
+# differences, and histogram bucket contents are skipped because a
+# boundary-straddling sample can legally hop buckets across platforms.
+PROFILES = {
+    "exact": {
+        "rtol": 0.0,
+        "atol": 0.0,
+        "ints_exact": False,
+        "tol": [],
+        "ignore": [],
+    },
+    "golden": {
+        "rtol": 1e-6,
+        "atol": 1e-12,
+        "ints_exact": True,
+        "tol": [],
+        "ignore": ["stats.histograms.*.buckets*"],
+    },
+}
 
 
 def parse_args(argv):
@@ -30,10 +69,15 @@ def parse_args(argv):
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("actual", help="freshly produced report")
     parser.add_argument("golden", help="checked-in golden report")
-    parser.add_argument("--rtol", type=float, default=0.0,
-                        help="default relative tolerance (default: 0)")
-    parser.add_argument("--atol", type=float, default=0.0,
-                        help="default absolute tolerance (default: 0)")
+    parser.add_argument("--profile", choices=sorted(PROFILES),
+                        default="exact",
+                        help="named tolerance profile (default: exact)")
+    parser.add_argument("--rtol", type=float, default=None,
+                        help="default relative tolerance "
+                             "(default: profile's)")
+    parser.add_argument("--atol", type=float, default=None,
+                        help="default absolute tolerance "
+                             "(default: profile's)")
     parser.add_argument("--tol", action="append", default=[],
                         metavar="PATTERN=RTOL",
                         help="per-path relative tolerance override")
@@ -42,6 +86,10 @@ def parse_args(argv):
                         help="paths to skip (fnmatch glob)")
     parser.add_argument("--max-mismatches", type=int, default=20,
                         help="stop reporting after N mismatches")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite GOLDEN with ACTUAL and exit 0")
+    parser.add_argument("--summary", metavar="FILE",
+                        help="write a machine-readable JSON verdict")
     return parser.parse_args(argv)
 
 
@@ -72,17 +120,21 @@ def parse_tols(specs):
 
 class Differ:
     def __init__(self, args):
-        self.rtol = args.rtol
-        self.atol = args.atol
-        self.tols = parse_tols(args.tol)
-        self.ignores = args.ignore
+        profile = PROFILES[args.profile]
+        self.rtol = profile["rtol"] if args.rtol is None else args.rtol
+        self.atol = profile["atol"] if args.atol is None else args.atol
+        self.ints_exact = profile["ints_exact"]
+        # Command-line rules first: first match wins.
+        self.tols = parse_tols(args.tol) + list(profile["tol"])
+        self.ignores = list(args.ignore) + list(profile["ignore"])
         self.limit = args.max_mismatches
         self.mismatches = []
+        self.compared = 0
 
-    def note(self, path, message):
+    def note(self, path, kind, message):
         if any(fnmatch.fnmatchcase(path, p) for p in self.ignores):
             return
-        self.mismatches.append((path, message))
+        self.mismatches.append((path, kind, message))
 
     def rtol_for(self, path):
         for pattern, rtol in self.tols:
@@ -91,6 +143,9 @@ class Differ:
         return self.rtol
 
     def numbers_match(self, path, a, b):
+        if isinstance(a, int) and isinstance(b, int) \
+                and self.ints_exact:
+            return a == b
         if math.isnan(a) and math.isnan(b):
             return True
         if math.isinf(a) or math.isinf(b):
@@ -109,52 +164,97 @@ class Differ:
         g_num = isinstance(golden, (int, float)) and \
             not isinstance(golden, bool)
         if a_num and g_num:
+            self.compared += 1
             if not self.numbers_match(path, actual, golden):
-                self.note(path, f"{actual!r} != {golden!r} "
-                                f"(rtol {self.rtol_for(path)!r}, "
-                                f"atol {self.atol!r})")
+                self.note(path, "value",
+                          f"{actual!r} != {golden!r} "
+                          f"(rtol {self.rtol_for(path)!r}, "
+                          f"atol {self.atol!r})")
             return
         if type(actual) is not type(golden):
-            self.note(path, f"type {type(actual).__name__} != "
-                            f"{type(golden).__name__}")
+            self.note(path, "type",
+                      f"type {type(actual).__name__} != "
+                      f"{type(golden).__name__}")
             return
         if isinstance(actual, dict):
             for key in golden:
                 if key not in actual:
-                    self.note(join(path, key), "missing in actual")
+                    self.note(join(path, key), "missing",
+                              "missing in actual")
             for key in actual:
                 if key not in golden:
-                    self.note(join(path, key), "missing in golden")
+                    self.note(join(path, key), "extra",
+                              "missing in golden")
             for key in sorted(set(actual) & set(golden)):
                 self.walk(join(path, key), actual[key], golden[key])
         elif isinstance(actual, list):
             if len(actual) != len(golden):
-                self.note(path, f"length {len(actual)} != "
-                                f"{len(golden)}")
+                self.note(path, "length",
+                          f"length {len(actual)} != {len(golden)}")
             for i, (a, g) in enumerate(zip(actual, golden)):
                 self.walk(join(path, str(i)), a, g)
-        elif actual != golden:
-            self.note(path, f"{actual!r} != {golden!r}")
+        else:
+            self.compared += 1
+            if actual != golden:
+                self.note(path, "value", f"{actual!r} != {golden!r}")
 
 
 def join(path, key):
     return f"{path}.{key}" if path else key
 
 
+def write_summary(path, args, differ, match):
+    summary = {
+        "actual": args.actual,
+        "golden": args.golden,
+        "profile": args.profile,
+        "match": match,
+        "compared_leaves": differ.compared,
+        "truncated": len(differ.mismatches) >= args.max_mismatches,
+        "mismatches": [
+            {"path": p or "<root>", "kind": kind, "detail": detail}
+            for p, kind, detail in differ.mismatches
+        ],
+    }
+    try:
+        with open(path, "w") as f:
+            json.dump(summary, f, indent=2)
+            f.write("\n")
+    except OSError as err:
+        print(f"error: cannot write summary {path}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
 def main(argv=None):
     args = parse_args(argv)
+    if args.update:
+        # Validate the replacement parses before clobbering the golden.
+        load(args.actual)
+        try:
+            shutil.copyfile(args.actual, args.golden)
+        except OSError as err:
+            print(f"error: cannot update {args.golden}: {err}",
+                  file=sys.stderr)
+            sys.exit(2)
+        print(f"updated {args.golden} from {args.actual}")
+        return 0
     differ = Differ(args)
     differ.walk("", load(args.actual), load(args.golden))
-    if differ.mismatches:
+    match = not differ.mismatches
+    if args.summary:
+        write_summary(args.summary, args, differ, match)
+    if not match:
         shown = differ.mismatches[:args.max_mismatches]
-        for path, message in shown:
+        for path, _kind, message in shown:
             print(f"mismatch at {path or '<root>'}: {message}")
         if len(differ.mismatches) >= args.max_mismatches:
             print(f"... stopped after {args.max_mismatches} "
                   "mismatches")
         print(f"{args.actual}: does NOT match {args.golden}")
         return 1
-    print(f"{args.actual}: matches {args.golden}")
+    print(f"{args.actual}: matches {args.golden} "
+          f"({differ.compared} leaves compared)")
     return 0
 
 

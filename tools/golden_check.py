@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Golden-artifact harness driver for one bench binary.
+
+Three modes, all built on the bench's ``--golden-mode`` preset (a
+seconds-scale scenario so the whole suite fits in a CI job):
+
+  diff         run the bench once and structurally diff its JSON
+               artifact against bench/golden/<name>.golden.json using
+               diff_report's "golden" tolerance profile. This is what
+               the ``golden_<bench>`` ctest targets execute.
+  determinism  run the bench twice, --threads 1 and --threads N, into
+               two scratch artifacts and require them byte-identical.
+               This is the ``determinism_<bench>`` ctest targets: the
+               RunEngine's contract is that thread count never changes
+               results.
+  update       regenerate the golden in place (run + copy). Used by
+               maintainers after an intentional metric change; see
+               EXPERIMENTS.md "Regenerating goldens".
+
+Exit status: 0 on success, 1 on mismatch, 2 on usage/exec errors.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import diff_report  # noqa: E402
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--mode", required=True,
+                        choices=["diff", "determinism", "update"])
+    parser.add_argument("--bench", required=True,
+                        help="path to the bench executable")
+    parser.add_argument("--name", required=True,
+                        help="bench name, e.g. fig07_main_comparison")
+    parser.add_argument("--golden-dir", default="bench/golden",
+                        help="directory of checked-in goldens")
+    parser.add_argument("--out-dir", default="bench/out",
+                        help="scratch directory for fresh artifacts")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="thread count for the threaded run")
+    return parser.parse_args(argv)
+
+
+def run_bench(exe, json_path, threads):
+    cmd = [exe, "--golden-mode", "--quiet", "--threads", str(threads),
+           "--json", json_path]
+    try:
+        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+    except OSError as err:
+        print(f"error: cannot run {exe}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if proc.returncode != 0:
+        print(f"error: {' '.join(cmd)} exited {proc.returncode}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not os.path.exists(json_path):
+        print(f"error: {exe} did not write {json_path}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    os.makedirs(args.out_dir, exist_ok=True)
+    golden = os.path.join(args.golden_dir,
+                          f"{args.name}.golden.json")
+
+    if args.mode == "determinism":
+        serial = os.path.join(args.out_dir,
+                              f"{args.name}.serial.json")
+        threaded = os.path.join(args.out_dir,
+                                f"{args.name}.threaded.json")
+        run_bench(args.bench, serial, threads=1)
+        run_bench(args.bench, threaded, threads=args.threads)
+        with open(serial, "rb") as f:
+            serial_bytes = f.read()
+        with open(threaded, "rb") as f:
+            threaded_bytes = f.read()
+        if serial_bytes != threaded_bytes:
+            print(f"{args.name}: --threads 1 and --threads "
+                  f"{args.threads} artifacts differ; structural diff:")
+            # Exact structural diff for a readable failure message.
+            diff_report.main([threaded, serial, "--profile", "exact"])
+            return 1
+        print(f"{args.name}: serial and {args.threads}-thread "
+              "artifacts are byte-identical "
+              f"({len(serial_bytes)} bytes)")
+        return 0
+
+    fresh = os.path.join(args.out_dir, f"{args.name}.golden.json")
+    run_bench(args.bench, fresh, threads=args.threads)
+    if args.mode == "update":
+        os.makedirs(args.golden_dir, exist_ok=True)
+        return diff_report.main([fresh, golden, "--update"])
+    return diff_report.main([fresh, golden, "--profile", "golden"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Error-path and tolerance tests for tools/diff_report.py.
+
+Runs under plain ``python3 -m unittest`` (stdlib only — the CI images
+do not ship pytest); pytest also collects it unmodified. Registered in
+ctest as ``diff_report_test``.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import diff_report  # noqa: E402
+
+
+class DiffReportTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name, payload):
+        p = os.path.join(self.dir.name, name)
+        with open(p, "w") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+        return p
+
+    def run_diff(self, argv):
+        """Invoke main(); returns (exit_code, stdout, stderr)."""
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            try:
+                code = diff_report.main(argv)
+            except SystemExit as e:  # sys.exit(2) paths
+                code = e.code
+        return code, out.getvalue(), err.getvalue()
+
+    def test_identical_files_match(self):
+        a = self.path("a.json", {"bench": "x", "v": 1.5})
+        b = self.path("b.json", {"bench": "x", "v": 1.5})
+        code, out, _ = self.run_diff([a, b])
+        self.assertEqual(code, 0)
+        self.assertIn("matches", out)
+        self.assertIn("leaves compared", out)
+
+    def test_missing_file_exits_2(self):
+        a = self.path("a.json", {"v": 1})
+        missing = os.path.join(self.dir.name, "nope.json")
+        code, _, err = self.run_diff([a, missing])
+        self.assertEqual(code, 2)
+        self.assertIn("cannot load", err)
+
+    def test_malformed_json_exits_2(self):
+        a = self.path("a.json", "{not json")
+        b = self.path("b.json", {"v": 1})
+        code, _, err = self.run_diff([a, b])
+        self.assertEqual(code, 2)
+        self.assertIn("cannot load", err)
+
+    def test_out_of_tolerance_exits_1(self):
+        a = self.path("a.json", {"v": 1.0})
+        b = self.path("b.json", {"v": 1.1})
+        code, out, _ = self.run_diff([a, b, "--rtol", "1e-3"])
+        self.assertEqual(code, 1)
+        self.assertIn("mismatch at v", out)
+
+    def test_within_tolerance_matches(self):
+        a = self.path("a.json", {"v": 1.0000001})
+        b = self.path("b.json", {"v": 1.0})
+        code, _, _ = self.run_diff([a, b, "--profile", "golden"])
+        self.assertEqual(code, 0)
+
+    def test_golden_profile_keeps_ints_exact(self):
+        # rtol 1e-6 would absorb a one-count drift at this magnitude;
+        # the golden profile must not.
+        a = self.path("a.json", {"warm_starts": 10000001})
+        b = self.path("b.json", {"warm_starts": 10000000})
+        code, out, _ = self.run_diff([a, b, "--profile", "golden"])
+        self.assertEqual(code, 1)
+        self.assertIn("warm_starts", out)
+
+    def test_golden_profile_ignores_histogram_buckets(self):
+        a = self.path("a.json", {"stats": {"histograms": {
+            "h": {"count": 5, "buckets": [{"le": 1.0, "count": 5}]}}}})
+        b = self.path("b.json", {"stats": {"histograms": {
+            "h": {"count": 5, "buckets": [{"le": 1.0, "count": 4},
+                                          {"le": 2.0, "count": 1}]}}}})
+        code, _, _ = self.run_diff([a, b, "--profile", "golden"])
+        self.assertEqual(code, 0)
+
+    def test_unknown_key_reported(self):
+        a = self.path("a.json", {"v": 1, "surprise": 2})
+        b = self.path("b.json", {"v": 1})
+        code, out, _ = self.run_diff([a, b])
+        self.assertEqual(code, 1)
+        self.assertIn("surprise", out)
+        self.assertIn("missing in golden", out)
+
+    def test_missing_key_reported(self):
+        a = self.path("a.json", {"v": 1})
+        b = self.path("b.json", {"v": 1, "gone": 2})
+        code, out, _ = self.run_diff([a, b])
+        self.assertEqual(code, 1)
+        self.assertIn("missing in actual", out)
+
+    def test_null_vs_number_is_type_mismatch(self):
+        # JsonWriter maps NaN/inf to null; a metric degenerating to
+        # null must fail the diff, not silently pass.
+        a = self.path("a.json", {"v": None})
+        b = self.path("b.json", {"v": 0.5})
+        code, out, _ = self.run_diff([a, b, "--profile", "golden"])
+        self.assertEqual(code, 1)
+        self.assertIn("type", out)
+
+    def test_null_matches_null(self):
+        a = self.path("a.json", {"v": None})
+        b = self.path("b.json", {"v": None})
+        code, _, _ = self.run_diff([a, b])
+        self.assertEqual(code, 0)
+
+    def test_length_mismatch(self):
+        a = self.path("a.json", {"runs": [1, 2, 3]})
+        b = self.path("b.json", {"runs": [1, 2]})
+        code, out, _ = self.run_diff([a, b])
+        self.assertEqual(code, 1)
+        self.assertIn("length 3 != 2", out)
+
+    def test_bad_tol_spec_exits_2(self):
+        a = self.path("a.json", {"v": 1})
+        b = self.path("b.json", {"v": 1})
+        code, _, err = self.run_diff([a, b, "--tol", "no-equals"])
+        self.assertEqual(code, 2)
+        self.assertIn("--tol expects", err)
+
+    def test_cli_tol_outranks_profile(self):
+        a = self.path("a.json", {"v": 2.0})
+        b = self.path("b.json", {"v": 1.0})
+        code, _, _ = self.run_diff(
+            [a, b, "--profile", "golden", "--tol", "v=2.0"])
+        self.assertEqual(code, 0)
+
+    def test_update_overwrites_golden(self):
+        a = self.path("a.json", {"v": 2})
+        b = self.path("b.json", {"v": 1})
+        code, out, _ = self.run_diff([a, b, "--update"])
+        self.assertEqual(code, 0)
+        self.assertIn("updated", out)
+        with open(b) as f:
+            self.assertEqual(json.load(f), {"v": 2})
+
+    def test_update_rejects_malformed_actual(self):
+        a = self.path("a.json", "{broken")
+        b = self.path("b.json", {"v": 1})
+        code, _, err = self.run_diff([a, b, "--update"])
+        self.assertEqual(code, 2)
+        self.assertIn("cannot load", err)
+        with open(b) as f:  # golden untouched
+            self.assertEqual(json.load(f), {"v": 1})
+
+    def test_summary_written_on_mismatch(self):
+        a = self.path("a.json", {"v": 2.0, "n": "x"})
+        b = self.path("b.json", {"v": 1.0, "n": "y"})
+        summary_path = os.path.join(self.dir.name, "summary.json")
+        code, _, _ = self.run_diff([a, b, "--summary", summary_path])
+        self.assertEqual(code, 1)
+        with open(summary_path) as f:
+            summary = json.load(f)
+        self.assertFalse(summary["match"])
+        self.assertEqual(summary["compared_leaves"], 2)
+        kinds = {m["path"]: m["kind"] for m in summary["mismatches"]}
+        self.assertEqual(kinds, {"v": "value", "n": "value"})
+
+    def test_summary_written_on_match(self):
+        a = self.path("a.json", {"v": 1.0})
+        b = self.path("b.json", {"v": 1.0})
+        summary_path = os.path.join(self.dir.name, "summary.json")
+        code, _, _ = self.run_diff([a, b, "--summary", summary_path])
+        self.assertEqual(code, 0)
+        with open(summary_path) as f:
+            summary = json.load(f)
+        self.assertTrue(summary["match"])
+        self.assertEqual(summary["mismatches"], [])
+
+
+if __name__ == "__main__":
+    unittest.main()
