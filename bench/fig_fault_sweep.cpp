@@ -2,20 +2,27 @@
  * @file
  * Robustness sweep (beyond the paper): mean service time and
  * availability of SitW, FaasCache and CodeCrunch on a cluster whose
- * nodes crash and recover, as a function of the per-node MTBF.
+ * nodes crash and recover, as a function of the per-node MTBF — plus a
+ * correlated-failure axis where whole failure domains (racks) go down
+ * together.
  *
  * The paper evaluates a permanently healthy 31-node testbed; this
  * bench asks how much of CodeCrunch's advantage survives fault churn.
  * Each sweep point injects a deterministic fault schedule (FaultPlan):
  * exponential per-node crashes with the given MTBF, 10-minute mean
  * recovery, and a small transient invocation failure rate handled by
- * the driver's capped-backoff retry. The mtbf=0 point is the
- * fault-free baseline and is bit-identical to a run without the fault
- * subsystem; all points share the workload, the driver seed, and the
- * budget (SitW's healthy spend rate), so differences are attributable
- * to the faults alone. Runs on the RunEngine: the healthy SitW job
- * primes the budget, then every (policy, sweep point) pair runs as
- * one concurrent plan.
+ * the driver's capped-backoff retry. Correlated points ("/corr")
+ * instead crash one whole domain at a time (per-domain MTBF, all
+ * member nodes at one timestamp) on a cluster partitioned into
+ * --domains failure domains with placement cooldown; CodeCrunch runs
+ * both reactive (re-prewarming crash-lost functions on recovery) and
+ * non-reactive ("-noReact") so the value of fault-reactive warmup is
+ * directly visible. The mtbf=0 point is the fault-free baseline and
+ * is bit-identical to a run without the fault subsystem; all points
+ * share the workload, the driver seed, and the budget (SitW's healthy
+ * spend rate), so differences are attributable to the faults alone.
+ * Runs on the RunEngine: the healthy SitW job primes the budget, then
+ * every (policy, sweep point) pair runs as one concurrent plan.
  */
 #include "bench/bench_common.hpp"
 
@@ -25,9 +32,11 @@ using namespace codecrunch::bench;
 namespace {
 
 struct SweepPoint {
-    /** Per-node MTBF in hours; 0 = healthy baseline. */
+    /** MTBF in hours (per node, or per domain for correlated). */
     double mtbfHours = 0.0;
     std::string tag;
+    /** True: whole-domain outages instead of per-node crashes. */
+    bool correlated = false;
 };
 
 faults::FaultConfig
@@ -36,8 +45,13 @@ faultsFor(const SweepPoint& point)
     faults::FaultConfig config;
     if (point.mtbfHours <= 0.0)
         return config; // all-zero: disabled
-    config.nodeMtbfSeconds = point.mtbfHours * 3600.0;
-    config.nodeMttrSeconds = 600.0;
+    if (point.correlated) {
+        config.domainMtbfSeconds = point.mtbfHours * 3600.0;
+        config.domainMttrSeconds = 600.0;
+    } else {
+        config.nodeMtbfSeconds = point.mtbfHours * 3600.0;
+        config.nodeMttrSeconds = 600.0;
+    }
     config.transientFailureProbability = 5e-4;
     return config;
 }
@@ -47,14 +61,41 @@ faultsFor(const SweepPoint& point)
 int
 main(int argc, char** argv)
 {
+    // Local axis flag: --domains N partitions the cluster for the
+    // correlated points. Extracted before parseBenchOptions, which
+    // rejects flags it does not know.
+    int domains = 4;
+    std::vector<char*> forwarded;
+    forwarded.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--domains") {
+            if (i + 1 >= argc)
+                fatal("fig_fault_sweep: --domains requires a value");
+            domains = std::atoi(argv[++i]);
+        } else if (arg.rfind("--domains=", 0) == 0) {
+            domains = std::atoi(arg.c_str() + 10);
+        } else {
+            forwarded.push_back(argv[i]);
+        }
+    }
+    if (domains < 2)
+        fatal("fig_fault_sweep: --domains must be >= 2, got ",
+              domains);
     const BenchOptions options =
-        parseBenchOptions(argc, argv, "fig_fault_sweep");
+        parseBenchOptions(static_cast<int>(forwarded.size()),
+                          forwarded.data(), "fig_fault_sweep");
     Harness harness(benchScenario(options));
     BenchEngine bench(options);
 
+    const Seconds domainCooldown = 300.0;
     const std::vector<SweepPoint> points = {
-        {0.0, "healthy"}, {24.0, "mtbf=24h"}, {8.0, "mtbf=8h"},
-        {2.0, "mtbf=2h"}};
+        {0.0, "healthy"},
+        {24.0, "mtbf=24h"},
+        {8.0, "mtbf=8h"},
+        {2.0, "mtbf=2h"},
+        {8.0, "mtbf=8h/corr", true},
+        {2.0, "mtbf=2h/corr", true}};
 
     // Stage 1: the budget dependency. SitW runs once on the healthy
     // cluster; its observed spend is the budget CodeCrunch receives at
@@ -67,33 +108,54 @@ main(int argc, char** argv)
     harness.primeBudgetRate(sitwHealthy.front());
 
     // Stage 2: every (policy, sweep point) job, concurrently. The
-    // healthy SitW run is reused from stage 1.
+    // healthy SitW run is reused from stage 1. Correlated points get
+    // a cluster partitioned into failure domains with placement
+    // cooldown, and an extra non-reactive CodeCrunch ablation.
     runner::SimPlan plan("fault-sweep");
     const core::CodeCrunchConfig crunchConfig =
         harness.codecrunchConfig();
+    core::CodeCrunchConfig noReactConfig = crunchConfig;
+    noReactConfig.reactiveRecovery = false;
     for (const SweepPoint& point : points) {
         const faults::FaultConfig faultConfig = faultsFor(point);
         const auto withFaults =
             [faultConfig](experiments::DriverConfig& config) {
                 config.faults = faultConfig;
             };
+        runner::ClusterConfigTweak withDomains;
+        if (point.correlated) {
+            withDomains = [domains, domainCooldown](
+                              cluster::ClusterConfig& config) {
+                config.numFaultDomains = domains;
+                config.domainCooldownSeconds = domainCooldown;
+            };
+        }
         if (point.mtbfHours > 0.0) {
             runner::addSimJob(
                 plan, "SitW@" + point.tag, harness,
                 [] { return std::make_unique<policy::SitW>(); },
-                withFaults);
+                withFaults, withDomains);
         }
         runner::addSimJob(
             plan, "FaasCache@" + point.tag, harness,
             [] { return std::make_unique<policy::FaasCache>(); },
-            withFaults);
+            withFaults, withDomains);
         runner::addSimJob(
             plan, "CodeCrunch@" + point.tag, harness,
             [crunchConfig] {
                 return std::make_unique<core::CodeCrunch>(
                     crunchConfig);
             },
-            withFaults);
+            withFaults, withDomains);
+        if (point.mtbfHours > 0.0) {
+            runner::addSimJob(
+                plan, "CodeCrunch-noReact@" + point.tag, harness,
+                [noReactConfig] {
+                    return std::make_unique<core::CodeCrunch>(
+                        noReactConfig);
+                },
+                withFaults, withDomains);
+        }
     }
     std::vector<RunResult> results = bench.engine.run(plan);
 
@@ -114,7 +176,8 @@ main(int argc, char** argv)
               << harness.workload().invocations.size()
               << " invocations / "
               << harness.workload().functions.size() << " functions; "
-              << "mttr 10 min, transient failure rate 5e-4\n";
+              << "mttr 10 min, transient failure rate 5e-4, "
+              << domains << " failure domains on /corr points\n";
 
     printBanner("Fault sweep: mean service time (s) vs per-node MTBF");
     ConsoleTable table;
@@ -139,7 +202,7 @@ main(int argc, char** argv)
     ConsoleTable faultTable;
     faultTable.header({"MTBF", "availability", "crashes",
                        "failed attempts", "retries", "perm. failures",
-                       "warm recovery (s)"});
+                       "warm recovery (s)", "refunded $ (fault)"});
     for (const SweepPoint& point : points) {
         const PolicyRun& run = findRun("CodeCrunch@" + point.tag);
         const auto& m = run.result.metrics;
@@ -147,12 +210,41 @@ main(int argc, char** argv)
             point.tag, ConsoleTable::pct(m.availability()),
             run.result.nodeCrashes, m.failedAttempts(), m.retries(),
             m.permanentFailures(),
-            ConsoleTable::num(m.meanWarmRecoverySeconds(), 1));
+            ConsoleTable::num(m.meanWarmRecoverySeconds(), 1),
+            ConsoleTable::num(run.result.faultRefundedDollars, 2));
     }
     faultTable.print();
+
+    printBanner(
+        "Fault-reactive re-prewarm: CodeCrunch vs -noReact");
+    ConsoleTable reactTable;
+    reactTable.header({"MTBF", "re-prewarms",
+                       "warm recovery (s)", "noReact recovery (s)",
+                       "mean service (s)", "noReact service (s)"});
+    for (const SweepPoint& point : points) {
+        if (point.mtbfHours <= 0.0)
+            continue;
+        const PolicyRun& reactive =
+            findRun("CodeCrunch@" + point.tag);
+        const PolicyRun& noReact =
+            findRun("CodeCrunch-noReact@" + point.tag);
+        reactTable.addRow(
+            point.tag, reactive.result.rePrewarmsIssued,
+            ConsoleTable::num(
+                reactive.result.metrics.meanWarmRecoverySeconds(), 1),
+            ConsoleTable::num(
+                noReact.result.metrics.meanWarmRecoverySeconds(), 1),
+            ConsoleTable::num(
+                reactive.result.metrics.meanServiceTime(), 3),
+            ConsoleTable::num(
+                noReact.result.metrics.meanServiceTime(), 3));
+    }
+    reactTable.print();
     paperNote("beyond the paper's healthy testbed: CodeCrunch's "
-              "advantage should degrade gracefully as MTBF shrinks, "
-              "since lost warm pools are rebuilt by the next "
+              "advantage should degrade gracefully as MTBF shrinks; "
+              "under correlated domain outages the fault-reactive "
+              "re-prewarm (financed by banked budget credit) rebuilds "
+              "the lost warm pool faster than waiting for the next "
               "optimization intervals");
 
     runner::ReportMeta meta;
@@ -161,6 +253,10 @@ main(int argc, char** argv)
                               harness.sitwBudgetRate());
     meta.numbers.emplace_back("mttr_seconds", 600.0);
     meta.numbers.emplace_back("transient_failure_probability", 5e-4);
+    meta.numbers.emplace_back("domains",
+                              static_cast<double>(domains));
+    meta.numbers.emplace_back("domain_cooldown_seconds",
+                              domainCooldown);
     runner::writeRunReport(options.jsonPath, meta, runs);
     return 0;
 }

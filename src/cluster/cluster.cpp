@@ -20,12 +20,23 @@ Cluster::Cluster(const ClusterConfig& config)
         fatal("Cluster: negative node count");
     if (config.numX86 + config.numArm == 0)
         fatal("Cluster: at least one node is required");
+    if (config.numFaultDomains >
+        config.numX86 + config.numArm)
+        fatal("Cluster: more fault domains (", config.numFaultDomains,
+              ") than nodes (", config.numX86 + config.numArm, ")");
+    if (config.domainCooldownSeconds < 0.0)
+        fatal("Cluster: domainCooldownSeconds must be >= 0, got ",
+              config.domainCooldownSeconds);
+    numDomains_ = std::max(1, config.numFaultDomains);
+    lastDomainFault_.assign(static_cast<std::size_t>(numDomains_),
+                            -1e300);
     nodes_.reserve(config.numX86 + config.numArm);
     auto addNodes = [&](int count, NodeType type, Dollars costPerHour) {
         for (int i = 0; i < count; ++i) {
             Node node;
             node.id = static_cast<NodeId>(nodes_.size());
             node.type = type;
+            node.domain = faultDomainOf(node.id, numDomains_);
             node.cores = config.coresPerNode;
             node.memoryMb = config.memoryPerNodeMb;
             node.costRatePerMbSecond =
@@ -35,6 +46,60 @@ Cluster::Cluster(const ClusterConfig& config)
     };
     addNodes(config.numX86, NodeType::X86, config.x86CostPerHour);
     addNodes(config.numArm, NodeType::ARM, config.armCostPerHour);
+}
+
+void
+Cluster::noteDomainFault(int domain, Seconds now)
+{
+    if (domain < 0 || domain >= numDomains_)
+        panic("Cluster: noteDomainFault of unknown domain ", domain);
+    lastDomainFault_[static_cast<std::size_t>(domain)] = std::max(
+        lastDomainFault_[static_cast<std::size_t>(domain)], now);
+}
+
+bool
+Cluster::domainCoolingDown(int domain, Seconds now) const
+{
+    if (config_.domainCooldownSeconds <= 0.0 || numDomains_ <= 1)
+        return false;
+    if (domain < 0 || domain >= numDomains_)
+        return false;
+    const Seconds last =
+        lastDomainFault_[static_cast<std::size_t>(domain)];
+    return now >= last &&
+           now < last + config_.domainCooldownSeconds;
+}
+
+MegaBytes
+Cluster::warmMemoryInDomainMb(int domain) const
+{
+    MegaBytes total = 0;
+    for (const auto& node : nodes_) {
+        if (node.domain == domain)
+            total += node.warmMemoryMb;
+    }
+    return total;
+}
+
+int
+Cluster::downNodesInDomain(int domain) const
+{
+    int count = 0;
+    for (const auto& node : nodes_) {
+        if (node.domain == domain && node.down)
+            ++count;
+    }
+    return count;
+}
+
+std::vector<std::size_t>
+Cluster::nodesPerDomain() const
+{
+    std::vector<std::size_t> counts(
+        static_cast<std::size_t>(numDomains_), 0);
+    for (const auto& node : nodes_)
+        ++counts[static_cast<std::size_t>(node.domain)];
+    return counts;
 }
 
 void
@@ -74,20 +139,36 @@ Cluster::warmOnNode(NodeId node) const
 }
 
 std::optional<NodeId>
-Cluster::pickNodeForExec(NodeType type, MegaBytes memoryMb) const
+Cluster::pickNodeForExec(NodeType type, MegaBytes memoryMb,
+                         Seconds now) const
 {
-    std::optional<NodeId> best;
-    MegaBytes bestFree = -1;
-    for (const auto& node : nodes_) {
-        if (node.down || node.type != type || node.freeCores() < 1)
-            continue;
-        const MegaBytes free = node.freeMemoryMb();
-        if (free + kMemEps >= memoryMb && free > bestFree) {
-            bestFree = free;
-            best = node.id;
+    // Two passes when the caller supplied a timestamp and a cooldown
+    // is configured: first prefer nodes outside recently-faulted
+    // domains, then fall back to every up node (deprioritize, never
+    // exclude). With the cooldown disabled the first pass already
+    // scans every node, so legacy behavior is bit-identical.
+    const bool applyCooldown =
+        now >= 0.0 && config_.domainCooldownSeconds > 0.0 &&
+        numDomains_ > 1;
+    for (int pass = applyCooldown ? 0 : 1; pass < 2; ++pass) {
+        std::optional<NodeId> best;
+        MegaBytes bestFree = -1;
+        for (const auto& node : nodes_) {
+            if (node.down || node.type != type ||
+                node.freeCores() < 1)
+                continue;
+            if (pass == 0 && domainCoolingDown(node.domain, now))
+                continue;
+            const MegaBytes free = node.freeMemoryMb();
+            if (free + kMemEps >= memoryMb && free > bestFree) {
+                bestFree = free;
+                best = node.id;
+            }
         }
+        if (best)
+            return best;
     }
-    return best;
+    return std::nullopt;
 }
 
 MegaBytes
@@ -107,20 +188,31 @@ Cluster::warmHeadroomMb(NodeId node) const
 }
 
 std::optional<NodeId>
-Cluster::pickNodeForWarm(NodeType type, MegaBytes memoryMb) const
+Cluster::pickNodeForWarm(NodeType type, MegaBytes memoryMb,
+                         Seconds now) const
 {
-    std::optional<NodeId> best;
-    MegaBytes bestFree = -1;
-    for (const auto& node : nodes_) {
-        if (node.down || node.type != type)
-            continue;
-        const MegaBytes headroom = warmHeadroom(node);
-        if (headroom + kMemEps >= memoryMb && headroom > bestFree) {
-            bestFree = headroom;
-            best = node.id;
+    const bool applyCooldown =
+        now >= 0.0 && config_.domainCooldownSeconds > 0.0 &&
+        numDomains_ > 1;
+    for (int pass = applyCooldown ? 0 : 1; pass < 2; ++pass) {
+        std::optional<NodeId> best;
+        MegaBytes bestFree = -1;
+        for (const auto& node : nodes_) {
+            if (node.down || node.type != type)
+                continue;
+            if (pass == 0 && domainCoolingDown(node.domain, now))
+                continue;
+            const MegaBytes headroom = warmHeadroom(node);
+            if (headroom + kMemEps >= memoryMb &&
+                headroom > bestFree) {
+                bestFree = headroom;
+                best = node.id;
+            }
         }
+        if (best)
+            return best;
     }
-    return best;
+    return std::nullopt;
 }
 
 void
@@ -154,7 +246,7 @@ Cluster::releaseExec(NodeId id, MegaBytes memoryMb)
 
 ContainerId
 Cluster::addWarm(NodeId nodeId, FunctionId function, MegaBytes memoryMb,
-                 bool compressed, Seconds now)
+                 bool compressed, Seconds now, Seconds commitUntil)
 {
     Node& node = nodes_.at(nodeId);
     if (node.down)
@@ -173,10 +265,45 @@ Cluster::addWarm(NodeId nodeId, FunctionId function, MegaBytes memoryMb,
     container.compressed = compressed;
     container.since = now;
     container.lastAccrual = now;
+    if (commitUntil >= now) {
+        container.committedUntil = commitUntil;
+        container.committedDollars = node.costRatePerMbSecond *
+                                     memoryMb * (commitUntil - now);
+        committedSpend_ += container.committedDollars;
+    }
     warmByFn_[function].push_back(container.id);
     const ContainerId id = container.id;
     warmPool_.emplace(id, container);
     return id;
+}
+
+void
+Cluster::recommitWarm(ContainerId id, Seconds newCommitUntil,
+                      Seconds now)
+{
+    const auto it = warmPool_.find(id);
+    if (it == warmPool_.end())
+        panic("Cluster: recommitWarm of unknown container ", id);
+    WarmContainer& container = it->second;
+    if (newCommitUntil < now)
+        panic("Cluster: recommitWarm window ends in the past");
+    accrueOne(container, now);
+    const Node& node = nodes_.at(container.node);
+    // Accrual before this point counts toward the old window; the new
+    // commitment covers accrued-so-far plus the re-anchored remainder.
+    const bool hadCommitment = container.committedUntil >= 0.0;
+    const Dollars newCommitted =
+        container.accruedDollars +
+        node.costRatePerMbSecond * container.memoryMb *
+            (newCommitUntil - now);
+    committedSpend_ += newCommitted - container.committedDollars;
+    container.committedDollars = newCommitted;
+    container.committedUntil = newCommitUntil;
+    // A container without a prior commitment starts one here: its
+    // accrual so far was never booked as consumed, so book it now to
+    // keep committed == consumed + refunded + outstanding exact.
+    if (!hadCommitment)
+        committedAccrued_ += container.accruedDollars;
 }
 
 WarmContainer
@@ -185,9 +312,9 @@ Cluster::removeWarm(ContainerId id, Seconds now)
     const auto it = warmPool_.find(id);
     if (it == warmPool_.end())
         panic("Cluster: removeWarm of unknown container ", id);
-    WarmContainer container = it->second;
     accrueOne(it->second, now);
-    container.lastAccrual = now;
+    WarmContainer container = it->second;
+    refundedSpend_ += container.unspentCommitmentDollars();
 
     Node& node = nodes_.at(container.node);
     node.warmMemoryMb -= container.memoryMb;
@@ -266,9 +393,22 @@ Cluster::accrueOne(WarmContainer& container, Seconds now)
         panic("Cluster: accrual time moved backwards");
     const Seconds dt = std::max(0.0, now - container.lastAccrual);
     const Node& node = nodes_.at(container.node);
-    keepAliveSpend_ +=
+    const Dollars cost =
         node.costRatePerMbSecond * container.memoryMb * dt;
+    keepAliveSpend_ += cost;
+    container.accruedDollars += cost;
+    if (container.committedUntil >= 0.0)
+        committedAccrued_ += cost;
     container.lastAccrual = now;
+}
+
+Dollars
+Cluster::outstandingCommitmentDollars() const
+{
+    Dollars total = 0.0;
+    for (const auto& [id, container] : warmPool_)
+        total += container.unspentCommitmentDollars();
+    return total;
 }
 
 MegaBytes

@@ -20,6 +20,7 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -55,12 +56,28 @@ struct ClusterConfig {
      * reservation).
      */
     double keepAliveMemoryFraction = 1.0;
+
+    /**
+     * Failure domains (racks/zones): nodes are striped across domains
+     * by id (faultDomainOf), so each domain mixes x86 and ARM
+     * capacity. <= 1 means no domain structure (every node in domain
+     * 0, all per-domain machinery disabled).
+     */
+    int numFaultDomains = 0;
+    /**
+     * After a fault hits a domain, placement prefers nodes outside it
+     * for this many seconds (deprioritize, never exclude: a cooling
+     * domain is still used when nothing else fits). 0 disables.
+     */
+    Seconds domainCooldownSeconds = 0.0;
 };
 
 /** Live state of one worker node. */
 struct Node {
     NodeId id = kInvalidNode;
     NodeType type = NodeType::X86;
+    /** Failure domain (rack/zone) this node belongs to. */
+    int domain = 0;
     int cores = 8;
     MegaBytes memoryMb = 32 * 1024;
     /** Keep-alive cost rate in $/ (MB * second). */
@@ -98,6 +115,27 @@ struct WarmContainer {
     Seconds since = 0.0;
     /** Last time keep-alive cost was accrued. */
     Seconds lastAccrual = 0.0;
+    /**
+     * Crash-consistent budget ledger: the end of this container's
+     * keep-alive commitment window (< 0 when no commitment was
+     * recorded), the dollars committed for it up front, and the
+     * dollars actually accrued so far. removeWarm() refunds
+     * max(0, committed - accrued) — eviction by a crash or shock
+     * returns the unspent remainder exactly like warm-start
+     * consumption does.
+     */
+    Seconds committedUntil = -1.0;
+    Dollars committedDollars = 0.0;
+    Dollars accruedDollars = 0.0;
+
+    /** Unspent remainder of the recorded commitment. */
+    Dollars
+    unspentCommitmentDollars() const
+    {
+        return committedUntil < 0.0
+            ? 0.0
+            : std::max(0.0, committedDollars - accruedDollars);
+    }
 };
 
 /**
@@ -133,19 +171,55 @@ class Cluster
     /** Ids of all warm containers held on `node` (unordered). */
     std::vector<ContainerId> warmOnNode(NodeId node) const;
 
+    // --- failure domains ----------------------------------------------
+
+    /** Number of failure domains (at least 1). */
+    int numDomains() const { return numDomains_; }
+
+    /** Failure domain of a node. */
+    int domainOf(NodeId id) const { return nodes_.at(id).domain; }
+
+    /**
+     * Record that a fault (crash or shock) just hit `domain`:
+     * placement deprioritizes its nodes for the configured cooldown.
+     */
+    void noteDomainFault(int domain, Seconds now);
+
+    /**
+     * True while `domain` is inside the post-fault placement cooldown
+     * (always false with cooldown disabled or no domain structure).
+     */
+    bool domainCoolingDown(int domain, Seconds now) const;
+
+    /** Warm memory currently held inside one domain (MB). */
+    MegaBytes warmMemoryInDomainMb(int domain) const;
+
+    /** Nodes of one domain currently down. */
+    int downNodesInDomain(int domain) const;
+
+    /** Node count per domain (index = domain). */
+    std::vector<std::size_t> nodesPerDomain() const;
+
     // --- execution resources -----------------------------------------
 
     /**
      * Pick the node of `type` best able to run `memoryMb` more (one
      * core + memory): the feasible node with the most free memory.
+     * When `now` is non-negative and a placement cooldown is
+     * configured, nodes outside recently-faulted domains are
+     * preferred; cooling domains are only used when nothing else
+     * fits. `now < 0` (the default) skips the cooldown check, keeping
+     * legacy call sites bit-identical.
      * @return node id, or nullopt if no node of that type fits.
      */
     std::optional<NodeId>
-    pickNodeForExec(NodeType type, MegaBytes memoryMb) const;
+    pickNodeForExec(NodeType type, MegaBytes memoryMb,
+                    Seconds now = -1.0) const;
 
     /** True if some node of `type` could fit a warm container. */
     std::optional<NodeId>
-    pickNodeForWarm(NodeType type, MegaBytes memoryMb) const;
+    pickNodeForWarm(NodeType type, MegaBytes memoryMb,
+                    Seconds now = -1.0) const;
 
     /** Reserve one core + memory on a node (start of an execution). */
     void reserveExec(NodeId id, MegaBytes memoryMb);
@@ -156,16 +230,36 @@ class Cluster
     // --- warm-container pool ------------------------------------------
 
     /**
-     * Register a warm container holding `memoryMb` on `node`.
+     * Register a warm container holding `memoryMb` on `node`. When
+     * `commitUntil` >= now, the full keep-alive commitment
+     * rate x memoryMb x (commitUntil - now) is charged to the
+     * commitment ledger up front; removeWarm() later refunds whatever
+     * the container did not actually accrue. `commitUntil < 0` (the
+     * default) records no commitment (legacy/test call sites).
      * @return the new container's id.
      */
     ContainerId
     addWarm(NodeId node, FunctionId function, MegaBytes memoryMb,
-            bool compressed, Seconds now);
+            bool compressed, Seconds now, Seconds commitUntil = -1.0);
 
     /**
-     * Remove a warm container, accruing its final keep-alive cost.
-     * @return the removed container (by value).
+     * Re-anchor a container's commitment window at `newCommitUntil`
+     * (the policy extended or shortened its keep-alive): accrues to
+     * `now`, then adjusts the committed dollars to
+     * accrued + rate x memory x (newCommitUntil - now). The ledger
+     * books the delta, which may be negative — a shortened window
+     * returns commitment without counting as a refund.
+     */
+    void recommitWarm(ContainerId id, Seconds newCommitUntil,
+                      Seconds now);
+
+    /**
+     * Remove a warm container, accruing its final keep-alive cost and
+     * refunding the unspent remainder of its commitment (if one was
+     * recorded) to the ledger.
+     * @return the removed container (by value, with final accrual and
+     *         commitment fields filled in — the caller can read the
+     *         refund off unspentCommitmentDollars()).
      */
     WarmContainer removeWarm(ContainerId id, Seconds now);
 
@@ -210,6 +304,29 @@ class Cluster
     /** Cumulative keep-alive cost in dollars. */
     Dollars keepAliveSpend() const { return keepAliveSpend_; }
 
+    // Commitment ledger (crash-consistent budget accounting). The
+    // spend meter above stays the accrual-based truth the creditor
+    // measures against; the ledger tracks what was *promised* so that
+    // every ended commitment satisfies committed == accrued + refund:
+    //   committedDollarsTotal() == commitmentConsumedDollars()
+    //     + refundedDollarsTotal() + outstandingCommitmentDollars().
+
+    /** Net dollars committed across all keep-alive windows so far. */
+    Dollars committedDollarsTotal() const { return committedSpend_; }
+
+    /** Dollars refunded by removeWarm (unspent commitments). */
+    Dollars refundedDollarsTotal() const { return refundedSpend_; }
+
+    /** Accrual charged against committed containers so far. */
+    Dollars
+    commitmentConsumedDollars() const
+    {
+        return committedAccrued_;
+    }
+
+    /** Unspent commitment still held by live warm containers. */
+    Dollars outstandingCommitmentDollars() const;
+
     /** Total warm memory across the cluster (MB). */
     MegaBytes totalWarmMemoryMb() const;
 
@@ -242,10 +359,16 @@ class Cluster
     ClusterConfig config_;
     std::vector<Node> nodes_;
     int downNodes_ = 0;
+    int numDomains_ = 1;
+    /** Last fault time per domain (cooldown anchor); -inf when none. */
+    std::vector<Seconds> lastDomainFault_;
     std::unordered_map<ContainerId, WarmContainer> warmPool_;
     std::unordered_map<FunctionId, std::vector<ContainerId>> warmByFn_;
     ContainerId nextContainer_ = 1;
     Dollars keepAliveSpend_ = 0.0;
+    Dollars committedSpend_ = 0.0;
+    Dollars refundedSpend_ = 0.0;
+    Dollars committedAccrued_ = 0.0;
 };
 
 } // namespace codecrunch::cluster

@@ -34,6 +34,21 @@ inline constexpr FunctionId kInvalidFunction = UINT32_MAX;
 /** Sentinel for "no node". */
 inline constexpr NodeId kInvalidNode = UINT32_MAX;
 
+/**
+ * Failure-domain membership rule, shared by the cluster (placement
+ * deprioritization, per-domain metrics) and the fault plan (correlated
+ * event generation): nodes are striped across domains by id, so every
+ * domain mixes x86 and ARM capacity. With fewer than two domains every
+ * node lands in domain 0.
+ */
+inline int
+faultDomainOf(NodeId node, int numDomains)
+{
+    return numDomains > 1
+        ? static_cast<int>(node % static_cast<NodeId>(numDomains))
+        : 0;
+}
+
 /** Number of seconds in one trace minute. */
 inline constexpr Seconds kSecondsPerMinute = 60.0;
 

@@ -50,12 +50,32 @@ class BudgetCreditor
         // overspend (cost-model estimation error) throttles the next
         // interval instead of zeroing it, which would trigger a mass
         // eviction / re-warm oscillation.
-        return std::max(0.25 * perInterval,
-                        allocated_ - spentSoFar);
+        const Dollars natural = allocated_ - spentSoFar;
+        const Dollars grant = std::max(0.25 * perInterval, natural);
+        // The floor can hand out more than the books cover; record the
+        // excess so the grant ledger stays honest: after every call,
+        // grantedTotal() == spentSoFar + grant, and grantedTotal()
+        // exceeds allocatedTotal() by exactly the recorded floor
+        // grants (overspend is visible, not silently forgiven).
+        if (grant > natural)
+            floorGranted_ += grant - natural;
+        granted_ = spentSoFar + grant;
+        return grant;
     }
 
     /** Total dollars allocated across all intervals so far. */
     Dollars allocatedTotal() const { return allocated_; }
+
+    /**
+     * Total dollars actually handed out: the spend covered plus the
+     * credit still outstanding as of the last allocate(). Equals
+     * allocatedTotal() until the floor fires; then exceeds it by the
+     * floor excess.
+     */
+    Dollars grantedTotal() const { return granted_; }
+
+    /** Cumulative excess handed out by the 0.25 floor. */
+    Dollars floorGrantedTotal() const { return floorGranted_; }
 
     double ratePerSecond() const { return ratePerSecond_; }
     Seconds interval() const { return interval_; }
@@ -66,6 +86,8 @@ class BudgetCreditor
     double ratePerSecond_;
     Seconds interval_;
     Dollars allocated_ = 0.0;
+    Dollars granted_ = 0.0;
+    Dollars floorGranted_ = 0.0;
 };
 
 } // namespace codecrunch::core

@@ -87,6 +87,8 @@ CodeCrunch::name() const
         suffix += "-fixedKA";
     if (config_.slaSlack >= 0.0)
         suffix += "-SLA";
+    if (!config_.reactiveRecovery)
+        suffix += "-noReact";
     return "CodeCrunch" + suffix;
 }
 
@@ -107,6 +109,7 @@ CodeCrunch::bind(policy::PolicyContext& context)
     optimizedOnce_.assign(n, false);
     sreCounts_.assign(n, 0);
     invokedCount_.assign(n, 0);
+    crashLost_.assign(n, 0);
     invokedThisInterval_.clear();
     watchdogTrips_ = 0;
 
@@ -245,6 +248,86 @@ CodeCrunch::pickVictim(NodeId node, MegaBytes)
     if (victim && farthest <= newcomerNext * 1.25)
         return std::nullopt;
     return victim;
+}
+
+void
+CodeCrunch::onNodeCrash(NodeId, const std::vector<FunctionId>& lost,
+                        Seconds)
+{
+    if (!config_.reactiveRecovery)
+        return;
+    for (FunctionId f : lost)
+        ++crashLost_[f];
+}
+
+void
+CodeCrunch::onNodeRecover(NodeId, Seconds now)
+{
+    if (!config_.reactiveRecovery)
+        return;
+    const auto& cluster = context_->clusterState();
+
+    // Candidates: functions a crash evicted that are still cold
+    // everywhere, ranked by how soon their next invocation is
+    // expected (last arrival + P_est — the inverse of the pickVictim
+    // rule). Functions that regained a container in the meantime are
+    // settled and drop out of the debt list.
+    struct Candidate {
+        double expectedNext = 0.0;
+        FunctionId function = kInvalidFunction;
+    };
+    std::vector<Candidate> candidates;
+    for (FunctionId f = 0;
+         f < static_cast<FunctionId>(crashLost_.size()); ++f) {
+        if (crashLost_[f] == 0)
+            continue;
+        if (cluster.warmCount(f) > 0) {
+            crashLost_[f] = 0;
+            continue;
+        }
+        const auto& history = histories_[f];
+        const Seconds period = pest(history);
+        const double expectedNext = period < 0.0
+            ? 1e18
+            : history.lastArrival() + period - now;
+        candidates.push_back({expectedNext, f});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                  if (a.expectedNext != b.expectedNext)
+                      return a.expectedNext < b.expectedNext;
+                  return a.function < b.function;
+              });
+
+    // Budget gate: recovery prewarms are financed by the credit the
+    // creditor has banked; a run that is already at (or over) its
+    // allowance re-prewarms nothing.
+    Dollars credit = std::max(
+        0.0, creditor_->allocatedTotal() - cluster.keepAliveSpend());
+    std::size_t issued = 0;
+    for (const Candidate& candidate : candidates) {
+        if (issued >= config_.maxRePrewarmsPerRecovery)
+            break;
+        const FunctionId f = candidate.function;
+        const Choice choice = sanitize(solutions_[f]);
+        Seconds keepAlive = keepAliveLevels()[
+            static_cast<std::size_t>(choice.keepAliveLevel)];
+        if (!optimizedOnce_[f] && !config_.fixedKeepAlive)
+            keepAlive = config_.bootstrapKeepAlive;
+        if (keepAlive <= 0.0)
+            continue; // the optimizer keeps this function cold
+        const NodeType arch = defaultArch(f);
+        const auto& profile = context_->workload().profile(f);
+        const Dollars cost =
+            cluster.costRate(arch) * profile.memoryMb * keepAlive;
+        if (cost > credit)
+            continue; // a cheaper, later candidate may still fit
+        if (context_->requestPrewarm(f, arch, keepAlive)) {
+            credit -= cost;
+            ++issued;
+            crashLost_[f] = 0;
+        }
+    }
 }
 
 void

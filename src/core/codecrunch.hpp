@@ -89,6 +89,16 @@ struct CodeCrunchConfig {
     /** Keep-alive used before a function is first optimized. */
     Seconds bootstrapKeepAlive = 600.0;
 
+    /**
+     * Fault-reactive recovery: when a crashed node comes back up,
+     * re-prewarm the most imminently needed functions the crash
+     * evicted, financed by the creditor's banked credit. Disabling
+     * it gives the non-reactive ablation ("-noReact").
+     */
+    bool reactiveRecovery = true;
+    /** Cap on re-prewarms issued per node recovery. */
+    std::size_t maxRePrewarmsPerRecovery = 8;
+
     /** Seed of the policy's private randomness (SRE sampling). */
     std::uint64_t seed = 0xc0dec;
 
@@ -118,6 +128,12 @@ class CodeCrunch : public policy::Policy
     onFinish(const metrics::InvocationRecord& record) override;
 
     void onTick(Seconds now) override;
+
+    void onNodeCrash(NodeId node,
+                     const std::vector<FunctionId>& lostFunctions,
+                     Seconds now) override;
+
+    void onNodeRecover(NodeId node, Seconds now) override;
 
     /**
      * Under memory pressure, evict the warm container whose function's
@@ -151,6 +167,9 @@ class CodeCrunch : public policy::Policy
     {
         return solutions_[function];
     }
+
+    /** The budget creditor (null before bind; for inspection/tests). */
+    const BudgetCreditor* creditor() const { return creditor_.get(); }
 
   private:
     /** Restrict a choice to the configured arch/compression modes. */
@@ -190,6 +209,8 @@ class CodeCrunch : public policy::Policy
     std::vector<FunctionId> invokedThisInterval_;
     /** Per-function invocation count within the current interval. */
     std::vector<std::uint32_t> invokedCount_;
+    /** Warm containers lost to crashes, per function (dense). */
+    std::vector<std::uint32_t> crashLost_;
 };
 
 } // namespace codecrunch::core

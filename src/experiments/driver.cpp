@@ -38,7 +38,8 @@ Driver::Driver(const trace::Workload& workload,
         : workload.invocations.back().arrival;
     faultPlan_ = faults::FaultPlan(
         config_.faults, cluster_.nodes().size(),
-        lastArrivalTime_ + config_.drainGrace);
+        lastArrivalTime_ + config_.drainGrace,
+        clusterConfig.numFaultDomains);
 
     trace_ = config_.trace;
     if (trace_) {
@@ -185,8 +186,10 @@ Driver::run()
         queue_.schedule(config_.tickInterval, [this] { handleTick(); });
     queue_.run();
     cluster_.accrueAll(queue_.now());
-    collector_.finalizeAvailability(queue_.now(),
-                                    cluster_.nodes().size());
+    collector_.finalizeAvailability(
+        queue_.now(), cluster_.nodes().size(),
+        cluster_.numDomains() > 1 ? cluster_.nodesPerDomain()
+                                  : std::vector<std::size_t>{});
 
     // One batched stats-registry flush per run: per-event updates stay
     // in run-local counters so the sim hot path never contends on
@@ -200,6 +203,7 @@ Driver::run()
     registry.counter("sim.faults.node_recoveries")
         .add(nodeRecoveries_);
     registry.counter("sim.faults.memory_shocks").add(memoryShocks_);
+    registry.counter("sim.driver.re_prewarms").add(rePrewarmsIssued_);
     registry.gauge("sim.driver.wait_queue_peak")
         .observe(static_cast<double>(waitQueuePeak_));
 
@@ -219,6 +223,15 @@ Driver::run()
     result.nodeCrashes = nodeCrashes_;
     result.nodeRecoveries = nodeRecoveries_;
     result.endEvictedByFault = endEvictedByFault_;
+    result.prewarmsDropped = collector_.prewarmsDropped();
+    result.rePrewarmsIssued = rePrewarmsIssued_;
+    result.committedDollars = cluster_.committedDollarsTotal();
+    result.refundedDollars = cluster_.refundedDollarsTotal();
+    result.faultRefundedDollars = collector_.faultRefundedDollars();
+    result.commitmentConsumedDollars =
+        cluster_.commitmentConsumedDollars();
+    result.outstandingCommitmentDollars =
+        cluster_.outstandingCommitmentDollars();
     result.metrics = std::move(collector_);
     if (!waitQueue_.empty())
         warn("Driver: ", waitQueue_.size(),
@@ -304,8 +317,8 @@ Driver::tryStart(const Invocation& invocation, int attempt)
     else
         ++coldContainerNoMemory_;
     for (NodeType type : {preferred, other}) {
-        if (const auto nodeId =
-                cluster_.pickNodeForExec(type, profile.memoryMb)) {
+        if (const auto nodeId = cluster_.pickNodeForExec(
+                type, profile.memoryMb, queue_.now())) {
             cluster_.reserveExec(*nodeId, profile.memoryMb);
             startExecution(
                 invocation, *nodeId, StartType::Cold,
@@ -339,20 +352,35 @@ std::optional<NodeId>
 Driver::pickNodeWithReclaim(
     NodeType type, const trace::FunctionProfile& profile) const
 {
-    std::optional<NodeId> best;
-    MegaBytes bestReclaimable = -1;
-    for (const auto& node : cluster_.nodes()) {
-        if (node.down || node.type != type || node.freeCores() < 1)
-            continue;
-        const MegaBytes reclaimable =
-            node.freeMemoryMb() + node.warmMemoryMb;
-        if (reclaimable + 1e-6 >= profile.memoryMb &&
-            reclaimable > bestReclaimable) {
-            bestReclaimable = reclaimable;
-            best = node.id;
+    // Same two-pass domain deprioritization as the cluster's pick
+    // functions: prefer nodes outside recently-faulted domains, fall
+    // back to any up node so capacity is never left on the table.
+    const bool applyCooldown =
+        cluster_.numDomains() > 1 &&
+        cluster_.config().domainCooldownSeconds > 0.0;
+    for (int pass = applyCooldown ? 0 : 1; pass < 2; ++pass) {
+        std::optional<NodeId> best;
+        MegaBytes bestReclaimable = -1;
+        for (const auto& node : cluster_.nodes()) {
+            if (node.down || node.type != type ||
+                node.freeCores() < 1)
+                continue;
+            if (pass == 0 &&
+                cluster_.domainCoolingDown(node.domain,
+                                           queue_.now()))
+                continue;
+            const MegaBytes reclaimable =
+                node.freeMemoryMb() + node.warmMemoryMb;
+            if (reclaimable + 1e-6 >= profile.memoryMb &&
+                reclaimable > bestReclaimable) {
+                bestReclaimable = reclaimable;
+                best = node.id;
+            }
         }
+        if (best)
+            return best;
     }
-    return best;
+    return std::nullopt;
 }
 
 bool
@@ -541,8 +569,12 @@ Driver::addWarmContainer(FunctionId function, NodeId nodeId,
                          Seconds keepAliveSeconds, bool compress)
 {
     const auto& profile = workload_.profile(function);
+    // The keep-alive window is a commitment: its full cost is charged
+    // to the ledger up front and the unspent remainder refunded if the
+    // container is consumed, evicted, or shrunk before expiry.
     const ContainerId id = cluster_.addWarm(
-        nodeId, function, profile.memoryMb, false, queue_.now());
+        nodeId, function, profile.memoryMb, false, queue_.now(),
+        queue_.now() + keepAliveSeconds);
     WarmEvents events;
     events.expiry = queue_.scheduleAfter(
         keepAliveSeconds, [this, id] {
@@ -589,16 +621,20 @@ Driver::scheduleCompression(ContainerId id)
         });
 }
 
-void
-Driver::evictContainer(ContainerId id)
+Dollars
+Driver::evictContainer(ContainerId id, bool byFault)
 {
     auto it = warmEvents_.find(id);
     if (it == warmEvents_.end())
-        return; // already gone
+        return 0.0; // already gone
     it->second.expiry.cancel();
     it->second.compressFinish.cancel();
     warmEvents_.erase(it);
-    cluster_.removeWarm(id, queue_.now());
+    const cluster::WarmContainer removed =
+        cluster_.removeWarm(id, queue_.now());
+    const Dollars refund = removed.unspentCommitmentDollars();
+    collector_.recordRefund(queue_.now(), refund, byFault);
+    return refund;
 }
 
 cluster::WarmContainer
@@ -611,7 +647,12 @@ Driver::consumeWarm(ContainerId id)
     it->second.compressFinish.cancel();
     warmEvents_.erase(it);
     ++endConsumed_;
-    return cluster_.removeWarm(id, queue_.now());
+    cluster::WarmContainer removed =
+        cluster_.removeWarm(id, queue_.now());
+    collector_.recordRefund(queue_.now(),
+                            removed.unspentCommitmentDollars(),
+                            false);
+    return removed;
 }
 
 bool
@@ -619,8 +660,8 @@ Driver::requestPrewarm(FunctionId function, NodeType type,
                        Seconds keepAliveSeconds)
 {
     const auto& profile = workload_.profile(function);
-    const auto nodeId =
-        cluster_.pickNodeForExec(type, profile.memoryMb);
+    const auto nodeId = cluster_.pickNodeForExec(
+        type, profile.memoryMb, queue_.now());
     if (!nodeId)
         return false;
     // The cold start runs on the target node (core + memory busy),
@@ -629,6 +670,8 @@ Driver::requestPrewarm(FunctionId function, NodeType type,
     cluster_.reserveExec(*nodeId, profile.memoryMb);
     ++running_;
     ++prewarmsIssued_;
+    if (inRecoveryHook_)
+        ++rePrewarmsIssued_;
     const std::uint64_t id = nextExecId_++;
     PrewarmExec prewarm;
     prewarm.function = function;
@@ -646,10 +689,13 @@ Driver::requestPrewarm(FunctionId function, NodeType type,
             prewarms_.erase(id);
             --running_;
             cluster_.releaseExec(done.node, done.memoryMb);
+            const bool fits =
+                cluster_.warmHeadroomMb(done.node) + 1e-6 >=
+                done.memoryMb;
             if (trace_) {
                 obs::TraceEvent event;
                 event.kind = obs::TraceEvent::Kind::Prewarm;
-                event.u8 = 0;
+                event.u8 = fits ? 0 : 2; // 2 = dropped, no headroom
                 event.tid = coreTid(done.node, done.traceSlot);
                 event.a = done.function;
                 event.ts = done.traceStart;
@@ -657,10 +703,15 @@ Driver::requestPrewarm(FunctionId function, NodeType type,
                 trace_->emit(event);
                 freeCoreSlot(done.node, done.traceSlot);
             }
-            if (cluster_.warmHeadroomMb(done.node) + 1e-6 >=
-                done.memoryMb) {
+            if (fits) {
                 addWarmContainer(done.function, done.node,
                                  keepAliveSeconds, false);
+            } else {
+                // The warm reservation shrank during the cold start;
+                // the finished container has nowhere to live. Count
+                // it — silently vanishing prewarms made the prewarm
+                // budget look better than it was.
+                collector_.recordPrewarmDropped();
             }
             drainWaitQueue();
         });
@@ -673,12 +724,17 @@ Driver::requestPrewarm(FunctionId function, NodeType type,
 void
 Driver::handleFault(const faults::FaultEvent& event)
 {
+    // Domain and per-node schedules are generated independently, so
+    // their outages may overlap: a crash of an already-down node and
+    // a recovery of an already-up node are defined no-ops.
     switch (event.kind) {
       case faults::FaultKind::NodeCrash:
-        crashNode(event.node);
+        if (!cluster_.node(event.node).down)
+            crashNode(event.node);
         break;
       case faults::FaultKind::NodeRecover:
-        recoverNode(event.node);
+        if (cluster_.node(event.node).down)
+            recoverNode(event.node);
         break;
       case faults::FaultKind::MemoryShock:
         memoryShock(event.node);
@@ -694,12 +750,18 @@ Driver::crashNode(NodeId nodeId)
     // how long the pool takes to climb back to (95% of) this level.
     const MegaBytes preCrashWarm = cluster_.totalWarmMemoryMb();
 
-    // The warm pool on the node is lost with it.
+    // The warm pool on the node is lost with it. Remember what was
+    // lost (one entry per container, in container-id order) so the
+    // policy can re-prewarm the valuable ones on recovery; the unspent
+    // keep-alive commitments come back as fault refunds.
     auto warmIds = cluster_.warmOnNode(nodeId);
     std::sort(warmIds.begin(), warmIds.end());
+    std::vector<FunctionId> lostFunctions;
+    lostFunctions.reserve(warmIds.size());
     for (const ContainerId id : warmIds) {
+        lostFunctions.push_back(cluster_.warm(id).function);
         ++endEvictedByFault_;
-        evictContainer(id);
+        evictContainer(id, /*byFault=*/true);
     }
 
     // In-flight executions fail; regular invocations retry with
@@ -755,7 +817,10 @@ Driver::crashNode(NodeId nodeId)
 
     // Fully drained; the capacity invariants must hold through this.
     cluster_.markDown(nodeId);
-    collector_.noteNodeDown(now);
+    cluster_.noteDomainFault(cluster_.domainOf(nodeId), now);
+    collector_.noteNodeDown(
+        now,
+        cluster_.numDomains() > 1 ? cluster_.domainOf(nodeId) : -1);
     ++nodeCrashes_;
     if (trace_) {
         obs::TraceEvent event;
@@ -776,13 +841,20 @@ Driver::crashNode(NodeId nodeId)
                 std::max(warmRecoveryTargetMb_, preCrashWarm);
         }
     }
+
+    timedDecision([&] {
+        CC_PHASE("policy.onNodeCrash");
+        policy_.onNodeCrash(nodeId, lostFunctions, now);
+    });
 }
 
 void
 Driver::recoverNode(NodeId nodeId)
 {
     cluster_.recover(nodeId);
-    collector_.noteNodeUp(queue_.now());
+    collector_.noteNodeUp(
+        queue_.now(),
+        cluster_.numDomains() > 1 ? cluster_.domainOf(nodeId) : -1);
     ++nodeRecoveries_;
     if (trace_) {
         obs::TraceEvent event;
@@ -791,6 +863,15 @@ Driver::recoverNode(NodeId nodeId)
         event.ts = queue_.now();
         trace_->emit(event);
     }
+    // Fault-reactive warmup: the policy may re-prewarm the functions
+    // the crash evicted, now that capacity is back. Prewarms issued
+    // from inside this hook are counted as re-prewarms.
+    inRecoveryHook_ = true;
+    timedDecision([&] {
+        CC_PHASE("policy.onNodeRecover");
+        policy_.onNodeRecover(nodeId, queue_.now());
+    });
+    inRecoveryHook_ = false;
     drainWaitQueue();
 }
 
@@ -819,8 +900,10 @@ Driver::memoryShock(NodeId nodeId)
             break;
         ++endEvictedByFault_;
         ++evicted;
-        evictContainer(id);
+        evictContainer(id, /*byFault=*/true);
     }
+    cluster_.noteDomainFault(cluster_.domainOf(nodeId),
+                             queue_.now());
     ++memoryShocks_;
     if (trace_) {
         obs::TraceEvent event;
@@ -910,6 +993,9 @@ Driver::requestSetKeepAlive(FunctionId function,
                     evictContainer(id);
                     drainWaitQueue();
                 });
+            // Keep the commitment ledger in step with the new expiry.
+            cluster_.recommitWarm(
+                id, queue_.now() + keepAliveSeconds, queue_.now());
         }
     }
 }

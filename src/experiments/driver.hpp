@@ -117,6 +117,25 @@ struct RunResult {
     std::size_t nodeCrashes = 0;
     std::size_t nodeRecoveries = 0;
     std::size_t endEvictedByFault = 0;
+
+    /** Finished prewarms dropped for lack of warm headroom. */
+    std::size_t prewarmsDropped = 0;
+    /** Prewarms issued from a policy's onNodeRecover hook. */
+    std::size_t rePrewarmsIssued = 0;
+
+    /**
+     * Keep-alive commitment ledger (see cluster::Cluster): total
+     * committed, the part refunded at early removal (and its
+     * crash/shock-attributed share), what committed containers
+     * actually accrued, and what was still outstanding at the end.
+     * committedDollars == commitmentConsumedDollars + refundedDollars
+     * + outstandingCommitmentDollars up to float epsilon.
+     */
+    Dollars committedDollars = 0.0;
+    Dollars refundedDollars = 0.0;
+    Dollars faultRefundedDollars = 0.0;
+    Dollars commitmentConsumedDollars = 0.0;
+    Dollars outstandingCommitmentDollars = 0.0;
 };
 
 /**
@@ -261,8 +280,13 @@ class Driver : public policy::PolicyContext
     addWarmContainer(FunctionId function, NodeId node,
                      Seconds keepAliveSeconds, bool compress);
 
-    /** Evict one container (cancels its events). */
-    void evictContainer(cluster::ContainerId id);
+    /**
+     * Evict one container (cancels its events).
+     * @return the refunded (unspent) keep-alive commitment dollars;
+     *         `byFault` attributes the refund to a crash/shock.
+     */
+    Dollars evictContainer(cluster::ContainerId id,
+                           bool byFault = false);
 
     /** Consume a warm container for a warm start (cancels events). */
     cluster::WarmContainer consumeWarm(cluster::ContainerId id);
@@ -352,6 +376,10 @@ class Driver : public policy::PolicyContext
     std::size_t nodeCrashes_ = 0;
     std::size_t nodeRecoveries_ = 0;
     std::size_t endEvictedByFault_ = 0;
+    std::size_t rePrewarmsIssued_ = 0;
+    /** True while policy::onNodeRecover runs: prewarms issued from
+     *  there count as fault-reactive re-prewarms. */
+    bool inRecoveryHook_ = false;
     /** Warm-pool recovery tracking (armed by the first crash). */
     bool warmRecoveryPending_ = false;
     Seconds warmRecoveryStart_ = 0.0;

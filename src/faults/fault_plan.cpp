@@ -33,7 +33,7 @@ toString(FaultKind kind)
 }
 
 FaultPlan::FaultPlan(const FaultConfig& config, std::size_t numNodes,
-                     Seconds horizon)
+                     Seconds horizon, int numDomains)
     : config_(config)
 {
     if (config.nodeMtbfSeconds > 0.0 &&
@@ -49,6 +49,21 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::size_t numNodes,
         config.transientFailureProbability > 1.0)
         fatal("FaultPlan: transientFailureProbability must be in "
               "[0, 1], got ", config.transientFailureProbability);
+    const bool domainFaults = config.domainMtbfSeconds > 0.0 ||
+                              config.domainShockMtbfSeconds > 0.0;
+    if (domainFaults && numDomains <= 1)
+        fatal("FaultPlan: domain faults require > 1 failure domain "
+              "(ClusterConfig::numFaultDomains), got ", numDomains);
+    if (config.domainMtbfSeconds > 0.0 &&
+        config.domainMttrSeconds <= 0.0)
+        fatal("FaultPlan: domainMttrSeconds must be positive when "
+              "domain outages are enabled, got ",
+              config.domainMttrSeconds);
+    if (config.domainShockMtbfSeconds > 0.0 &&
+        (config.memoryShockFraction <= 0.0 ||
+         config.memoryShockFraction > 1.0))
+        fatal("FaultPlan: memoryShockFraction must be in (0, 1], got ",
+              config.memoryShockFraction);
     if (!config.enabled() || numNodes == 0 || horizon <= 0.0)
         return;
 
@@ -86,6 +101,58 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::size_t numNodes,
                     break;
                 events_.push_back({t, FaultKind::MemoryShock,
                                    static_cast<NodeId>(n)});
+            }
+        }
+    }
+
+    // Correlated (whole-domain) faults: one schedule per domain from a
+    // fresh stream constant, fanned out to every member node at the
+    // same timestamp. Member iteration is by node id, so the event
+    // list is a pure function of (config, numNodes, numDomains).
+    const auto eachMember = [&](int domain, const auto& emit) {
+        for (std::size_t n = 0; n < numNodes; ++n) {
+            if (faultDomainOf(static_cast<NodeId>(n), numDomains) ==
+                domain)
+                emit(static_cast<NodeId>(n));
+        }
+    };
+    if (config.domainMtbfSeconds > 0.0) {
+        for (int d = 0; d < numDomains; ++d) {
+            Rng rng(mix(config.seed ^
+                        (0xd0ca'0000ull +
+                         static_cast<std::uint64_t>(d))));
+            Seconds t = 0.0;
+            while (true) {
+                t += rng.exponential(1.0 / config.domainMtbfSeconds);
+                if (t >= horizon)
+                    break;
+                const Seconds down =
+                    rng.exponential(1.0 / config.domainMttrSeconds);
+                eachMember(d, [&](NodeId n) {
+                    events_.push_back(
+                        {t, FaultKind::NodeCrash, n, d});
+                    events_.push_back(
+                        {t + down, FaultKind::NodeRecover, n, d});
+                });
+                t += down;
+            }
+        }
+    }
+    if (config.domainShockMtbfSeconds > 0.0) {
+        for (int d = 0; d < numDomains; ++d) {
+            Rng rng(mix(config.seed ^
+                        (0xd05c'0000ull +
+                         static_cast<std::uint64_t>(d))));
+            Seconds t = 0.0;
+            while (true) {
+                t += rng.exponential(
+                    1.0 / config.domainShockMtbfSeconds);
+                if (t >= horizon)
+                    break;
+                eachMember(d, [&](NodeId n) {
+                    events_.push_back(
+                        {t, FaultKind::MemoryShock, n, d});
+                });
             }
         }
     }

@@ -62,13 +62,33 @@ struct FaultConfig {
      */
     double transientFailureProbability = 0.0;
 
+    /**
+     * Correlated failures: mean time between whole-domain outages
+     * (per domain, exponential), seconds. A domain outage crashes
+     * every member node at one timestamp; all members recover
+     * together after an exponential downtime. <= 0 disables.
+     * Requires the cluster to define fault domains
+     * (ClusterConfig::numFaultDomains > 1).
+     */
+    Seconds domainMtbfSeconds = 0.0;
+    /** Mean downtime of a whole-domain outage, seconds. */
+    Seconds domainMttrSeconds = 600.0;
+    /**
+     * Mean time between domain-wide memory shocks (per domain,
+     * exponential), seconds: every member node is shocked at one
+     * timestamp with memoryShockFraction. <= 0 disables.
+     */
+    Seconds domainShockMtbfSeconds = 0.0;
+
     /** True when any fault source is active. */
     bool
     enabled() const
     {
         return nodeMtbfSeconds > 0.0 ||
                memoryShockMtbfSeconds > 0.0 ||
-               transientFailureProbability > 0.0;
+               transientFailureProbability > 0.0 ||
+               domainMtbfSeconds > 0.0 ||
+               domainShockMtbfSeconds > 0.0;
     }
 };
 
@@ -90,12 +110,19 @@ struct FaultEvent {
     Seconds time = 0.0;
     FaultKind kind = FaultKind::NodeCrash;
     NodeId node = kInvalidNode;
+    /**
+     * Failure domain this event belongs to when it is part of a
+     * correlated (whole-domain) fault; -1 for independent per-node
+     * events. The driver uses it to mark the domain recently faulted
+     * so placement deprioritizes it.
+     */
+    int domain = -1;
 
     bool
     operator==(const FaultEvent& other) const
     {
         return time == other.time && kind == other.kind &&
-               node == other.node;
+               node == other.node && domain == other.domain;
     }
 };
 
@@ -114,9 +141,17 @@ class FaultPlan
      * (a node never crashes while already down); a recovery whose
      * sampled time falls past the horizon is still emitted, so every
      * crash is paired and no node stays down forever.
+     *
+     * `numDomains` is the cluster's failure-domain count (membership
+     * follows faultDomainOf, the same rule the cluster applies); it
+     * must be > 1 when domain faults are configured. Domain schedules
+     * draw from their own per-domain RNG streams, so enabling them
+     * never perturbs the per-node schedules — but domain and per-node
+     * outages may overlap, so the consumer must tolerate a crash of
+     * an already-down node (and the symmetric recovery) as a no-op.
      */
     FaultPlan(const FaultConfig& config, std::size_t numNodes,
-              Seconds horizon);
+              Seconds horizon, int numDomains = 0);
 
     const FaultConfig& config() const { return config_; }
 

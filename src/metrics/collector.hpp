@@ -150,6 +150,29 @@ class Collector
     }
 
     /**
+     * A warm container was removed before its keep-alive commitment
+     * expired; the unspent remainder of the commitment is refunded.
+     * `byFault` marks refunds caused by crash/shock evictions.
+     */
+    void
+    recordRefund(Seconds now, Dollars amount, bool byFault)
+    {
+        (void)now;
+        if (amount <= 0.0)
+            return;
+        refundedDollars_ += amount;
+        if (byFault)
+            faultRefundedDollars_ += amount;
+    }
+
+    /** A finished prewarm was dropped (no warm headroom left). */
+    void
+    recordPrewarmDropped()
+    {
+        ++prewarmsDropped_;
+    }
+
+    /**
      * Push this run's totals into the process-global stats registry in
      * one batch (the driver calls this when its simulation completes).
      * Per-event updates stay run-local, so the sim hot path never
@@ -175,6 +198,8 @@ class Collector
         registry.counter("sim.faults.retries").add(retries_);
         registry.counter("sim.faults.permanent_failures")
             .add(permanentFailures_);
+        registry.counter("sim.driver.prewarms_dropped")
+            .add(prewarmsDropped_);
     }
 
     /**
@@ -183,27 +208,44 @@ class Collector
      * after finalizeAvailability().
      */
     void
-    noteNodeDown(Seconds now)
+    noteNodeDown(Seconds now, int domain = -1)
     {
         integrateDowntime(now);
         ++nodesDownNow_;
+        if (domain >= 0) {
+            ensureDomain(domain);
+            ++domainDownNow_[static_cast<std::size_t>(domain)];
+        }
     }
 
     void
-    noteNodeUp(Seconds now)
+    noteNodeUp(Seconds now, int domain = -1)
     {
         integrateDowntime(now);
         if (nodesDownNow_ == 0)
             return; // recovery with no matching crash: ignore
         --nodesDownNow_;
+        if (domain >= 0) {
+            ensureDomain(domain);
+            auto& down =
+                domainDownNow_[static_cast<std::size_t>(domain)];
+            if (down > 0)
+                --down;
+        }
     }
 
     /**
      * Close the downtime integral at the end of the run and compute
      * availability = 1 - down node-seconds / (totalNodes x end).
+     * When the cluster partitions its nodes into failure domains,
+     * pass their sizes (`nodesPerDomain`, indexed by domain id) to
+     * additionally get per-domain availability; an empty vector (the
+     * default) leaves domainAvailability() empty.
      */
     void
-    finalizeAvailability(Seconds end, std::size_t totalNodes)
+    finalizeAvailability(Seconds end, std::size_t totalNodes,
+                         const std::vector<std::size_t>&
+                             nodesPerDomain = {})
     {
         integrateDowntime(end);
         const double nodeSeconds =
@@ -211,6 +253,17 @@ class Collector
         availability_ = nodeSeconds > 0.0
             ? 1.0 - downNodeSeconds_ / nodeSeconds
             : 1.0;
+        domainAvailability_.clear();
+        for (std::size_t d = 0; d < nodesPerDomain.size(); ++d) {
+            const double domainSeconds =
+                static_cast<double>(nodesPerDomain[d]) * end;
+            const double downSec = d < domainDownSeconds_.size()
+                ? domainDownSeconds_[d]
+                : 0.0;
+            domainAvailability_.push_back(
+                domainSeconds > 0.0 ? 1.0 - downSec / domainSeconds
+                                    : 1.0);
+        }
     }
 
     /**
@@ -228,6 +281,29 @@ class Collector
 
     /** Fraction of node-seconds the fleet was up (1.0 = no faults). */
     double availability() const { return availability_; }
+
+    /**
+     * Per-failure-domain availability, indexed by domain id. Empty
+     * unless finalizeAvailability() was given domain sizes.
+     */
+    const std::vector<double>&
+    domainAvailability() const
+    {
+        return domainAvailability_;
+    }
+
+    /** Keep-alive commitment dollars refunded at early removal. */
+    Dollars refundedDollars() const { return refundedDollars_; }
+
+    /** The crash/shock-attributed share of refundedDollars(). */
+    Dollars
+    faultRefundedDollars() const
+    {
+        return faultRefundedDollars_;
+    }
+
+    /** Finished prewarms dropped for lack of warm headroom. */
+    std::size_t prewarmsDropped() const { return prewarmsDropped_; }
 
     std::size_t warmRecoveries() const { return warmRecovery_.count(); }
 
@@ -326,10 +402,24 @@ class Collector
     integrateDowntime(Seconds now)
     {
         if (now > lastDownTransition_) {
+            const Seconds dt = now - lastDownTransition_;
             downNodeSeconds_ +=
-                static_cast<double>(nodesDownNow_) *
-                (now - lastDownTransition_);
+                static_cast<double>(nodesDownNow_) * dt;
+            for (std::size_t d = 0; d < domainDownNow_.size(); ++d)
+                domainDownSeconds_[d] +=
+                    static_cast<double>(domainDownNow_[d]) * dt;
             lastDownTransition_ = now;
+        }
+    }
+
+    /** Grow the per-domain integrals to cover domain id `domain`. */
+    void
+    ensureDomain(int domain)
+    {
+        const auto needed = static_cast<std::size_t>(domain) + 1;
+        if (domainDownNow_.size() < needed) {
+            domainDownNow_.resize(needed, 0);
+            domainDownSeconds_.resize(needed, 0.0);
         }
     }
 
@@ -360,6 +450,12 @@ class Collector
     Seconds lastDownTransition_ = 0.0;
     double downNodeSeconds_ = 0.0;
     double availability_ = 1.0;
+    std::vector<int> domainDownNow_;
+    std::vector<double> domainDownSeconds_;
+    std::vector<double> domainAvailability_;
+    Dollars refundedDollars_ = 0.0;
+    Dollars faultRefundedDollars_ = 0.0;
+    std::size_t prewarmsDropped_ = 0;
     RunningStat warmRecovery_;
     /** Run-local latency accumulation; flushStats() batches it out. */
     obs::LocalHistogram localService_{

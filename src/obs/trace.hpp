@@ -52,8 +52,9 @@ struct TraceEvent {
         Exec,
         /** Slice on a wait lane. a=function, b=attempts. */
         Wait,
-        /** Slice: prewarm cold start. a=function, u8=1 if killed by a
-         *  crash before completing. */
+        /** Slice: prewarm cold start. a=function, u8: 0=completed,
+         *  1=killed by a crash before completing, 2=finished but
+         *  dropped because the warm headroom shrank meanwhile. */
         Prewarm,
         /** Slice: attempt that failed. a=function, b=attempt, u8=1
          *  when killed by a node crash (vs transient fault). */

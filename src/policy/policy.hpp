@@ -153,6 +153,33 @@ class Policy
     }
 
     /**
+     * A node crashed (fault injection). `lostFunctions` lists the
+     * function of every warm container the crash evicted, one entry
+     * per container. Called after the node is marked down.
+     */
+    virtual void
+    onNodeCrash(NodeId node,
+                const std::vector<FunctionId>& lostFunctions,
+                Seconds now)
+    {
+        (void)node;
+        (void)lostFunctions;
+        (void)now;
+    }
+
+    /**
+     * A crashed node came back up (empty and cold). Fault-reactive
+     * policies may re-prewarm lost functions from here via
+     * PolicyContext::requestPrewarm.
+     */
+    virtual void
+    onNodeRecover(NodeId node, Seconds now)
+    {
+        (void)node;
+        (void)now;
+    }
+
+    /**
      * The driver could not fit a warm container on `node` and asks for
      * a victim to evict. Return nullopt to decline (the new container
      * is then dropped instead).

@@ -22,13 +22,15 @@ seedForKey(std::string_view key, std::uint64_t base)
 Job<experiments::RunResult>&
 addSimJob(SimPlan& plan, std::string label,
           const experiments::Harness& harness, PolicyFactory factory,
-          DriverConfigTweak tweak)
+          DriverConfigTweak tweak, ClusterConfigTweak clusterTweak)
 {
     const experiments::Scenario& scenario = harness.scenario();
     auto& job = plan.add(
         std::move(label), scenario.driverConfig.seed,
         [&harness, factory = std::move(factory),
-         tweak = std::move(tweak)](const JobContext& context) {
+         tweak = std::move(tweak),
+         clusterTweak =
+             std::move(clusterTweak)](const JobContext& context) {
             experiments::DriverConfig config =
                 harness.scenario().driverConfig;
             config.seed = context.seed;
@@ -36,10 +38,14 @@ addSimJob(SimPlan& plan, std::string label,
             config.trace = context.trace;
             if (tweak)
                 tweak(config);
+            cluster::ClusterConfig clusterConfig =
+                harness.scenario().clusterConfig;
+            if (clusterTweak)
+                clusterTweak(clusterConfig);
             const std::unique_ptr<policy::Policy> policy = factory();
-            experiments::Driver driver(
-                harness.workload(), harness.scenario().clusterConfig,
-                *policy, config);
+            experiments::Driver driver(harness.workload(),
+                                       clusterConfig, *policy,
+                                       config);
             return driver.run();
         });
     job.simDuration =

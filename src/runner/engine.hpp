@@ -259,6 +259,15 @@ using DriverConfigTweak =
     std::function<void(experiments::DriverConfig&)>;
 
 /**
+ * Deterministic per-job adjustment of the cluster configuration
+ * (e.g. defining failure domains for one sweep point). Same contract
+ * as DriverConfigTweak: applied to a copy of the scenario's cluster
+ * config inside the job body.
+ */
+using ClusterConfigTweak =
+    std::function<void(cluster::ClusterConfig&)>;
+
+/**
  * Append a simulation job over `harness`'s workload/scenario. The job
  * seed defaults to the scenario's driver seed (what a serial
  * `Harness::run` uses), so engine results reproduce serial results
@@ -268,7 +277,8 @@ using DriverConfigTweak =
 Job<experiments::RunResult>&
 addSimJob(SimPlan& plan, std::string label,
           const experiments::Harness& harness, PolicyFactory factory,
-          DriverConfigTweak tweak = {});
+          DriverConfigTweak tweak = {},
+          ClusterConfigTweak clusterTweak = {});
 
 /**
  * The paper's headline comparison (Fig. 7) as an orchestrated plan:

@@ -244,6 +244,22 @@ writeResultFields(JsonWriter& json,
     json.field("warm_evicted_by_fault", result.endEvictedByFault);
     json.field("warm_recoveries", m.warmRecoveries());
     json.field("mean_warm_recovery_s", m.meanWarmRecoverySeconds());
+    // Crash-consistent budget accounting: keep-alive commitments
+    // refunded at early removal (fault share separately), plus the
+    // fault-reactive warmup counters.
+    json.field("refunded_usd", result.refundedDollars);
+    json.field("fault_refunded_usd", result.faultRefundedDollars);
+    json.field("prewarms_dropped", result.prewarmsDropped);
+    json.field("re_prewarms", result.rePrewarmsIssued);
+    // Per-failure-domain availability; present only when the cluster
+    // partitions its nodes into domains.
+    if (!m.domainAvailability().empty()) {
+        json.key("domain_availability");
+        json.beginArray();
+        for (const double a : m.domainAvailability())
+            json.value(a);
+        json.endArray();
+    }
     json.key("cold_start_causes");
     json.beginObject();
     json.field("no_container", result.coldNoContainer);

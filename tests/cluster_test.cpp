@@ -297,3 +297,169 @@ TEST(Cluster, RemoveWarmPanicsOnUnknownId)
     Cluster cluster(tinyConfig());
     EXPECT_DEATH(cluster.removeWarm(999, 0.0), "unknown");
 }
+
+// --- keep-alive commitment ledger -------------------------------------------
+
+TEST(ClusterLedger, CommitmentChargedUpFrontAndRefundedOnEarlyRemoval)
+{
+    Cluster cluster(tinyConfig());
+    const double rate = cluster.costRate(NodeType::X86);
+    // 200 MB committed until t=100.
+    const ContainerId id =
+        cluster.addWarm(0, 1, 200, false, 0.0, 100.0);
+    const Dollars committed = rate * 200 * 100;
+    EXPECT_NEAR(cluster.committedDollarsTotal(), committed, 1e-12);
+    EXPECT_NEAR(cluster.outstandingCommitmentDollars(), committed,
+                1e-12);
+
+    // Evicted at t=40 (the crash case): 40 s were consumed, the
+    // remaining 60 s come back as a refund.
+    const WarmContainer removed = cluster.removeWarm(id, 40.0);
+    EXPECT_NEAR(removed.unspentCommitmentDollars(), rate * 200 * 60,
+                1e-12);
+    EXPECT_NEAR(cluster.refundedDollarsTotal(), rate * 200 * 60,
+                1e-12);
+    EXPECT_NEAR(cluster.commitmentConsumedDollars(), rate * 200 * 40,
+                1e-12);
+    EXPECT_NEAR(cluster.outstandingCommitmentDollars(), 0.0, 1e-12);
+}
+
+TEST(ClusterLedger, RemovalAtExpiryRefundsNothing)
+{
+    Cluster cluster(tinyConfig());
+    const double rate = cluster.costRate(NodeType::X86);
+    const ContainerId id =
+        cluster.addWarm(0, 1, 200, false, 0.0, 100.0);
+    const WarmContainer removed = cluster.removeWarm(id, 100.0);
+    EXPECT_NEAR(removed.unspentCommitmentDollars(), 0.0, 1e-12);
+    EXPECT_NEAR(cluster.refundedDollarsTotal(), 0.0, 1e-12);
+    EXPECT_NEAR(cluster.commitmentConsumedDollars(), rate * 200 * 100,
+                1e-12);
+}
+
+TEST(ClusterLedger, RecommitReanchorsTheWindow)
+{
+    Cluster cluster(tinyConfig());
+    const double rate = cluster.costRate(NodeType::X86);
+    const ContainerId id =
+        cluster.addWarm(0, 1, 200, false, 0.0, 100.0);
+    // Keep-alive extended at t=40: the new commitment covers what was
+    // already accrued plus the re-anchored remainder to t=300.
+    cluster.recommitWarm(id, 300.0, 40.0);
+    EXPECT_NEAR(cluster.committedDollarsTotal(), rate * 200 * 300,
+                1e-12);
+    const WarmContainer removed = cluster.removeWarm(id, 300.0);
+    EXPECT_NEAR(removed.unspentCommitmentDollars(), 0.0, 1e-12);
+    EXPECT_NEAR(cluster.commitmentConsumedDollars(), rate * 200 * 300,
+                1e-12);
+}
+
+TEST(ClusterLedger, CompressionResizeRefundsTheSavedRemainder)
+{
+    Cluster cluster(tinyConfig());
+    const double rate = cluster.costRate(NodeType::X86);
+    const ContainerId id =
+        cluster.addWarm(0, 1, 400, false, 0.0, 100.0);
+    // Compressed to 100 MB at t=50: the second half accrues at a
+    // quarter of the rate, so the expiry removal refunds the saving.
+    cluster.resizeWarm(id, 100, true, 50.0);
+    const WarmContainer removed = cluster.removeWarm(id, 100.0);
+    EXPECT_NEAR(removed.unspentCommitmentDollars(),
+                rate * (400 - 100) * 50, 1e-12);
+    EXPECT_NEAR(cluster.refundedDollarsTotal(),
+                rate * (400 - 100) * 50, 1e-12);
+}
+
+TEST(ClusterLedger, LedgerBalancesAcrossMixedOperations)
+{
+    Cluster cluster(tinyConfig());
+    const auto balance = [&] {
+        EXPECT_NEAR(cluster.committedDollarsTotal(),
+                    cluster.commitmentConsumedDollars() +
+                        cluster.refundedDollarsTotal() +
+                        cluster.outstandingCommitmentDollars(),
+                    1e-12);
+    };
+    const ContainerId a =
+        cluster.addWarm(0, 1, 200, false, 0.0, 120.0);
+    const ContainerId b =
+        cluster.addWarm(1, 2, 300, false, 10.0, 70.0);
+    balance();
+    cluster.accrueAll(30.0);
+    balance();
+    cluster.resizeWarm(a, 80, true, 40.0); // compression mid-window
+    balance();
+    cluster.recommitWarm(b, 200.0, 50.0); // keep-alive extended
+    balance();
+    cluster.removeWarm(b, 90.0); // fault eviction before expiry
+    balance();
+    cluster.removeWarm(a, 120.0); // expiry; compression saved money
+    balance();
+    EXPECT_GT(cluster.refundedDollarsTotal(), 0.0);
+    EXPECT_NEAR(cluster.outstandingCommitmentDollars(), 0.0, 1e-12);
+}
+
+// --- failure domains --------------------------------------------------------
+
+namespace {
+
+ClusterConfig
+domainConfig()
+{
+    ClusterConfig config;
+    config.numX86 = 4;
+    config.numArm = 0;
+    config.coresPerNode = 2;
+    config.memoryPerNodeMb = 1000;
+    config.keepAliveMemoryFraction = 0.5;
+    config.numFaultDomains = 2;
+    config.domainCooldownSeconds = 300.0;
+    return config;
+}
+
+} // namespace
+
+TEST(ClusterDomains, NodesStripeAcrossDomains)
+{
+    Cluster cluster(domainConfig());
+    EXPECT_EQ(cluster.numDomains(), 2);
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_EQ(cluster.domainOf(n), faultDomainOf(n, 2));
+    const auto perDomain = cluster.nodesPerDomain();
+    ASSERT_EQ(perDomain.size(), 2u);
+    EXPECT_EQ(perDomain[0], 2u);
+    EXPECT_EQ(perDomain[1], 2u);
+}
+
+TEST(ClusterDomains, CooldownDeprioritizesButDoesNotExclude)
+{
+    Cluster cluster(domainConfig());
+    cluster.noteDomainFault(0, 100.0);
+    EXPECT_TRUE(cluster.domainCoolingDown(0, 150.0));
+    EXPECT_FALSE(cluster.domainCoolingDown(1, 150.0));
+    EXPECT_FALSE(cluster.domainCoolingDown(0, 401.0));
+
+    // During the cooldown, placement prefers the healthy domain...
+    const auto exec =
+        cluster.pickNodeForExec(NodeType::X86, 100, 150.0);
+    ASSERT_TRUE(exec.has_value());
+    EXPECT_EQ(cluster.domainOf(*exec), 1);
+    const auto warm =
+        cluster.pickNodeForWarm(NodeType::X86, 100, 150.0);
+    ASSERT_TRUE(warm.has_value());
+    EXPECT_EQ(cluster.domainOf(*warm), 1);
+
+    // ...but a cooling domain is still used when nothing else fits.
+    for (NodeId n : {1u, 3u}) {
+        cluster.reserveExec(n, 10);
+        cluster.reserveExec(n, 10);
+    }
+    const auto fallback =
+        cluster.pickNodeForExec(NodeType::X86, 100, 150.0);
+    ASSERT_TRUE(fallback.has_value());
+    EXPECT_EQ(cluster.domainOf(*fallback), 0);
+
+    // Legacy call sites pass no timestamp; the cooldown is inert then.
+    EXPECT_TRUE(
+        cluster.pickNodeForExec(NodeType::X86, 100).has_value());
+}

@@ -85,6 +85,52 @@ TEST(BudgetCreditor, OverspendIsFlooredNotZeroed)
     EXPECT_NEAR(creditor.allocate(1000.0), 15.0, 1e-9);
 }
 
+TEST(BudgetCreditor, GrantedEqualsSpentPlusRemainingCredit)
+{
+    BudgetCreditor creditor(1.0, 60.0);
+    // After every allocate(spent) returning r, the books must close:
+    // grantedTotal == spent + r.
+    Dollars r = creditor.allocate(0.0);
+    EXPECT_NEAR(creditor.grantedTotal(), 0.0 + r, 1e-9);
+    r = creditor.allocate(40.0);
+    EXPECT_NEAR(creditor.grantedTotal(), 40.0 + r, 1e-9);
+    r = creditor.allocate(100.0);
+    EXPECT_NEAR(creditor.grantedTotal(), 100.0 + r, 1e-9);
+    // No floor grant was ever needed: granted tracks the pro-rata
+    // allocation exactly.
+    EXPECT_NEAR(creditor.floorGrantedTotal(), 0.0, 1e-9);
+    EXPECT_NEAR(creditor.grantedTotal(), creditor.allocatedTotal(),
+                1e-9);
+}
+
+TEST(BudgetCreditor, FloorGrantsAreRecorded)
+{
+    BudgetCreditor creditor(1.0, 60.0);
+    creditor.allocate(0.0);
+    const Dollars r = creditor.allocate(1000.0);
+    EXPECT_NEAR(r, 15.0, 1e-9); // floored at 0.25 x per-interval
+    // The floor grant is money beyond the pro-rata allocation; it must
+    // be recorded, not silently minted: granted == spent + credit and
+    // the excess over allocatedTotal is exactly the floor ledger.
+    EXPECT_NEAR(creditor.grantedTotal(), 1000.0 + 15.0, 1e-9);
+    EXPECT_NEAR(creditor.grantedTotal() - creditor.allocatedTotal(),
+                creditor.floorGrantedTotal(), 1e-9);
+
+    // A later interval where the natural allocation wins again closes
+    // the gap: granted returns to the allocation track while the floor
+    // ledger only ever grows.
+    const Dollars floorSoFar = creditor.floorGrantedTotal();
+    creditor.allocate(0.0);
+    EXPECT_NEAR(creditor.grantedTotal(), creditor.allocatedTotal(),
+                1e-9);
+    EXPECT_GE(creditor.floorGrantedTotal(), floorSoFar);
+    // Invariant range: 0 <= granted - allocated <= floorGranted.
+    EXPECT_GE(creditor.grantedTotal() - creditor.allocatedTotal(),
+              -1e-9);
+    EXPECT_LE(creditor.grantedTotal() - creditor.allocatedTotal(),
+              creditor.floorGrantedTotal() + 1e-9);
+}
+
 // --- IntervalObjective --------------------------------------------------------
 
 namespace {

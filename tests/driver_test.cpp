@@ -441,3 +441,44 @@ TEST(Driver, MemoryNeverOvercommitted)
     EXPECT_EQ(result.metrics.invocations() + result.unserved,
               workload.invocations.size());
 }
+
+TEST(Driver, FinishedPrewarmWithoutHeadroomIsCountedDropped)
+{
+    /** Issues two simultaneous prewarms; only one can become warm. */
+    class PrewarmTwice : public policy::Policy {
+      public:
+        std::string name() const override { return "prewarm-twice"; }
+        policy::KeepAliveDecision
+        onFinish(const metrics::InvocationRecord&) override
+        {
+            return {};
+        }
+        void
+        onTick(Seconds) override
+        {
+            if (!done_) {
+                done_ = true;
+                context_->requestPrewarm(0, NodeType::X86, 600.0);
+                context_->requestPrewarm(0, NodeType::X86, 600.0);
+            }
+        }
+
+      private:
+        bool done_ = false;
+    };
+
+    // 4096 MB node with a 30% warm cap (~1229 MB): both 1000 MB
+    // prewarms run their cold starts concurrently, but only the first
+    // finished container fits under the cap — the second has nowhere
+    // to live and must be counted, not silently vanish.
+    cluster::ClusterConfig config = oneNodeConfig();
+    config.coresPerNode = 2;
+    config.keepAliveMemoryFraction = 0.3;
+    const auto workload = workloadWith({300.0});
+    PrewarmTwice policy;
+    Driver driver(workload, config, policy, noNoise());
+    const auto result = driver.run();
+    EXPECT_EQ(result.prewarmsDropped, 1u);
+    ASSERT_EQ(result.metrics.records().size(), 1u);
+    EXPECT_EQ(result.metrics.records()[0].start, StartType::Warm);
+}

@@ -526,3 +526,200 @@ TEST(Watchdog, EvaluationBudgetTripsAndPreservesRun)
     relaxedDriver.run();
     EXPECT_EQ(relaxedPolicy.watchdogTrips(), 0u);
 }
+
+// --- failure domains --------------------------------------------------------
+
+namespace {
+
+faults::FaultConfig
+domainOutageConfig(Seconds mtbf = 3600.0, Seconds mttr = 600.0)
+{
+    faults::FaultConfig config;
+    config.domainMtbfSeconds = mtbf;
+    config.domainMttrSeconds = mttr;
+    return config;
+}
+
+} // namespace
+
+TEST(FaultPlanDomains, SameConfigYieldsIdenticalSchedule)
+{
+    const auto config = domainOutageConfig();
+    const faults::FaultPlan a(config, 8, 86400.0, 4);
+    const faults::FaultPlan b(config, 8, 86400.0, 4);
+    ASSERT_FALSE(a.events().empty());
+    EXPECT_EQ(a.events(), b.events());
+}
+
+TEST(FaultPlanDomains, OutageHitsEveryMemberAtOneTimestamp)
+{
+    const int numDomains = 4;
+    const std::size_t numNodes = 10;
+    const faults::FaultPlan plan(domainOutageConfig(1800.0), numNodes,
+                                 86400.0, numDomains);
+    ASSERT_FALSE(plan.events().empty());
+    // Group the correlated events by (time, kind): every group must
+    // cover exactly the member set of its domain — a domain outage
+    // takes the whole rack down (and back up) at one instant.
+    std::map<std::pair<Seconds, faults::FaultKind>,
+             std::pair<int, std::vector<NodeId>>>
+        groups;
+    for (const auto& event : plan.events()) {
+        ASSERT_GE(event.domain, 0); // domain-only config
+        auto& group = groups[{event.time, event.kind}];
+        group.first = event.domain;
+        group.second.push_back(event.node);
+    }
+    ASSERT_FALSE(groups.empty());
+    for (auto& [key, group] : groups) {
+        std::vector<NodeId> expected;
+        for (NodeId n = 0; n < numNodes; ++n) {
+            if (faultDomainOf(n, numDomains) == group.first)
+                expected.push_back(n);
+        }
+        std::sort(group.second.begin(), group.second.end());
+        EXPECT_EQ(group.second, expected);
+    }
+}
+
+TEST(FaultPlanDomains, DomainFaultsDoNotPerturbPerNodeStreams)
+{
+    const auto nodeOnly = crashyConfig();
+    faults::FaultConfig combined = crashyConfig();
+    combined.domainMtbfSeconds = 3600.0;
+    combined.domainShockMtbfSeconds = 7200.0;
+    const faults::FaultPlan a(nodeOnly, 8, 86400.0, 4);
+    const faults::FaultPlan b(combined, 8, 86400.0, 4);
+    // The per-node schedule draws from its own streams: adding domain
+    // faults must not move a single independent event.
+    std::vector<faults::FaultEvent> independent;
+    for (const auto& event : b.events()) {
+        if (event.domain < 0)
+            independent.push_back(event);
+    }
+    EXPECT_EQ(independent, a.events());
+    EXPECT_GT(b.events().size(), a.events().size());
+}
+
+TEST(FaultPlanDomains, RejectsInvalidDomainConfigs)
+{
+    const auto config = domainOutageConfig();
+    // Domain faults require a domain-partitioned cluster.
+    EXPECT_DEATH({ faults::FaultPlan plan(config, 8, 3600.0, 0); },
+                 "failure domain");
+    EXPECT_DEATH({ faults::FaultPlan plan(config, 8, 3600.0, 1); },
+                 "failure domain");
+    faults::FaultConfig badMttr = domainOutageConfig();
+    badMttr.domainMttrSeconds = 0.0;
+    EXPECT_DEATH({ faults::FaultPlan plan(badMttr, 8, 3600.0, 4); },
+                 "domainMttrSeconds");
+}
+
+TEST(DriverDomainFaults, CorrelatedRunsAreDeterministic)
+{
+    trace::TraceConfig traceConfig;
+    traceConfig.numFunctions = 30;
+    traceConfig.days = 0.05;
+    const auto workload =
+        trace::TraceGenerator::generate(traceConfig);
+    auto runOnce = [&] {
+        policy::FixedKeepAlive policy;
+        cluster::ClusterConfig clusterConfig = smallClusterConfig(3, 2);
+        clusterConfig.numFaultDomains = 2;
+        clusterConfig.domainCooldownSeconds = 300.0;
+        DriverConfig config;
+        config.faults.domainMtbfSeconds = 1800.0;
+        config.faults.domainMttrSeconds = 120.0;
+        config.faults.domainShockMtbfSeconds = 2400.0;
+        Driver driver(workload, clusterConfig, policy, config);
+        return driver.run();
+    };
+    const auto a = runOnce();
+    const auto b = runOnce();
+    EXPECT_GT(a.nodeCrashes, 0u);
+    EXPECT_DOUBLE_EQ(a.metrics.meanServiceTime(),
+                     b.metrics.meanServiceTime());
+    EXPECT_EQ(a.nodeCrashes, b.nodeCrashes);
+    EXPECT_DOUBLE_EQ(a.keepAliveSpend, b.keepAliveSpend);
+    EXPECT_DOUBLE_EQ(a.refundedDollars, b.refundedDollars);
+    EXPECT_DOUBLE_EQ(a.metrics.availability(),
+                     b.metrics.availability());
+    // Per-domain availability is reported, bounded, and replayable.
+    ASSERT_EQ(a.metrics.domainAvailability().size(), 2u);
+    for (std::size_t d = 0; d < 2; ++d) {
+        EXPECT_GT(a.metrics.domainAvailability()[d], 0.0);
+        EXPECT_LE(a.metrics.domainAvailability()[d], 1.0);
+        EXPECT_DOUBLE_EQ(a.metrics.domainAvailability()[d],
+                         b.metrics.domainAvailability()[d]);
+    }
+}
+
+TEST(DriverDomainFaults, OverlappingNodeAndDomainSchedulesAreSafe)
+{
+    // Per-node and domain outages are generated independently, so a
+    // domain outage may hit an already-down node (and a recovery an
+    // already-up one); the driver treats those as no-ops. Aggressive
+    // rates make overlaps near-certain; completing without a Cluster
+    // panic plus conservation is the check.
+    trace::TraceConfig traceConfig;
+    traceConfig.numFunctions = 30;
+    traceConfig.days = 0.05;
+    const auto workload =
+        trace::TraceGenerator::generate(traceConfig);
+    policy::FixedKeepAlive policy;
+    cluster::ClusterConfig clusterConfig = smallClusterConfig(3, 2);
+    clusterConfig.numFaultDomains = 2;
+    DriverConfig config;
+    config.faults.nodeMtbfSeconds = 600.0;
+    config.faults.nodeMttrSeconds = 300.0;
+    config.faults.domainMtbfSeconds = 900.0;
+    config.faults.domainMttrSeconds = 300.0;
+    Driver driver(workload, clusterConfig, policy, config);
+    const auto result = driver.run();
+    EXPECT_GT(result.nodeCrashes, 0u);
+    EXPECT_EQ(result.nodeCrashes, result.nodeRecoveries);
+    EXPECT_EQ(result.metrics.records().size() +
+                  result.metrics.permanentFailures() + result.unserved,
+              workload.invocations.size());
+}
+
+TEST(DriverDomainFaults, RecoveryRePrewarmRestocksWarmPool)
+{
+    trace::TraceConfig traceConfig;
+    traceConfig.numFunctions = 40;
+    traceConfig.days = 0.1;
+    const auto workload =
+        trace::TraceGenerator::generate(traceConfig);
+    cluster::ClusterConfig clusterConfig = smallClusterConfig(4, 3);
+    clusterConfig.numFaultDomains = 3;
+    clusterConfig.domainCooldownSeconds = 300.0;
+    DriverConfig config;
+    config.faults.domainMtbfSeconds = 3600.0;
+    // Short downtime: functions the optimizer keeps warm are lost in
+    // the crash but mostly not re-invoked before the recovery, so the
+    // debt list is non-trivial when onNodeRecover fires.
+    config.faults.domainMttrSeconds = 120.0;
+    auto runWith = [&](bool reactive) {
+        core::CodeCrunchConfig cc;
+        // A generous budget (the benches prime it from SitW's healthy
+        // spend): non-zero keep-alives plus banked credit, which is
+        // what finances the recovery prewarms.
+        cc.budgetRatePerSecond = 5e-4;
+        cc.reactiveRecovery = reactive;
+        core::CodeCrunch policy(cc);
+        Driver driver(workload, clusterConfig, policy, config);
+        return driver.run();
+    };
+    const auto reactive = runWith(true);
+    const auto baseline = runWith(false);
+    EXPECT_GT(reactive.nodeCrashes, 0u);
+    // The reactive policy re-prewarms crash-lost functions on
+    // recovery; the -noReact ablation never does.
+    EXPECT_GT(reactive.rePrewarmsIssued, 0u);
+    EXPECT_EQ(baseline.rePrewarmsIssued, 0u);
+
+    core::CodeCrunchConfig noReact;
+    noReact.reactiveRecovery = false;
+    EXPECT_NE(core::CodeCrunch(noReact).name().find("-noReact"),
+              std::string::npos);
+}

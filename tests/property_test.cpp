@@ -13,6 +13,7 @@
 #include "compress/lz4hc_codec.hpp"
 #include "compress/range_lz_codec.hpp"
 #include "compress/image_synth.hpp"
+#include "core/budget.hpp"
 #include "core/codecrunch.hpp"
 #include "experiments/driver.hpp"
 #include "experiments/harness.hpp"
@@ -352,3 +353,106 @@ TEST_P(ReportInvariants, CodeCrunchAggregatesAreWellFormed)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReportInvariants,
                          ::testing::Values(1u, 17u, 4242u, 99991u));
+
+// --- crash-consistent budget accounting --------------------------------------
+//
+// Two ledgers must balance on ANY seed: the creditor's grant ledger
+// (granted == spent + remaining credit after every allocation, floor
+// top-ups recorded explicitly) and the cluster's keep-alive commitment
+// ledger (committed == consumed + refunded + outstanding), including
+// under crash/shock/domain fault churn where evictions refund their
+// unspent commitments.
+
+TEST(BudgetProperties, GrantedEqualsSpentPlusCreditUnderRandomSpend)
+{
+    for (const std::uint64_t seed : {1ull, 17ull, 99ull, 4242ull}) {
+        Rng rng(seed);
+        core::BudgetCreditor creditor(rng.uniform(0.1, 5.0), 60.0);
+        for (int i = 0; i < 300; ++i) {
+            const Dollars spent = rng.uniform(0.0, 400.0);
+            const Dollars grant = creditor.allocate(spent);
+            EXPECT_NEAR(creditor.grantedTotal(), spent + grant, 1e-9);
+            const Dollars excess =
+                creditor.grantedTotal() - creditor.allocatedTotal();
+            EXPECT_GE(excess, -1e-9);
+            EXPECT_LE(excess, creditor.floorGrantedTotal() + 1e-9);
+        }
+    }
+}
+
+struct FaultSeedCase {
+    std::uint64_t seed;
+    bool domains;
+};
+
+class FaultLedgerSweep : public ::testing::TestWithParam<FaultSeedCase>
+{
+};
+
+TEST_P(FaultLedgerSweep, CommitmentAndCreditorLedgersBalance)
+{
+    const auto& param = GetParam();
+    trace::TraceConfig traceConfig;
+    traceConfig.numFunctions = 60;
+    traceConfig.days = 0.05;
+    traceConfig.seed = param.seed;
+    const auto workload = trace::TraceGenerator::generate(traceConfig);
+
+    cluster::ClusterConfig clusterConfig;
+    clusterConfig.numX86 = 3;
+    clusterConfig.numArm = 3;
+    if (param.domains) {
+        clusterConfig.numFaultDomains = 3;
+        clusterConfig.domainCooldownSeconds = 300.0;
+    }
+
+    DriverConfig driverConfig;
+    driverConfig.faults.seed = param.seed * 2654435761ull + 1;
+    driverConfig.faults.nodeMtbfSeconds = 1800.0;
+    driverConfig.faults.nodeMttrSeconds = 300.0;
+    driverConfig.faults.memoryShockMtbfSeconds = 2400.0;
+    driverConfig.faults.transientFailureProbability = 1e-3;
+    if (param.domains) {
+        driverConfig.faults.domainMtbfSeconds = 2700.0;
+        driverConfig.faults.domainMttrSeconds = 300.0;
+        driverConfig.faults.domainShockMtbfSeconds = 3600.0;
+    }
+
+    core::CodeCrunch policy{core::CodeCrunchConfig{}};
+    Driver driver(workload, clusterConfig, policy, driverConfig);
+    const auto result = driver.run();
+
+    // Conservation under churn.
+    EXPECT_EQ(result.metrics.records().size() +
+                  result.metrics.permanentFailures() + result.unserved,
+              workload.invocations.size());
+    EXPECT_GT(result.nodeCrashes, 0u);
+
+    // Commitment ledger: every committed dollar is consumed, refunded,
+    // or still outstanding — crashes must not leak money.
+    EXPECT_GT(result.committedDollars, 0.0);
+    const Dollars balanced = result.commitmentConsumedDollars +
+                             result.refundedDollars +
+                             result.outstandingCommitmentDollars;
+    EXPECT_NEAR(result.committedDollars, balanced,
+                1e-9 * std::max(1.0, result.committedDollars));
+    EXPECT_GE(result.faultRefundedDollars, 0.0);
+    EXPECT_GE(result.refundedDollars,
+              result.faultRefundedDollars - 1e-12);
+
+    // Creditor ledger: granted == spent + remaining credit held at
+    // every allocation, so the cumulative grant can exceed the
+    // cumulative allocation only by the recorded floor top-ups.
+    const core::BudgetCreditor* creditor = policy.creditor();
+    ASSERT_NE(creditor, nullptr);
+    const Dollars excess =
+        creditor->grantedTotal() - creditor->allocatedTotal();
+    EXPECT_GE(excess, -1e-9);
+    EXPECT_LE(excess, creditor->floorGrantedTotal() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FaultLedgerSweep,
+    ::testing::Values(FaultSeedCase{11, false}, FaultSeedCase{12, true},
+                      FaultSeedCase{13, true}, FaultSeedCase{14, false},
+                      FaultSeedCase{15, true}));
