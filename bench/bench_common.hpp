@@ -4,12 +4,16 @@
  */
 #pragma once
 
+#include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.hpp"
 #include "common/table.hpp"
+#include "dist/master.hpp"
+#include "dist/worker.hpp"
 #include "experiments/harness.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
@@ -41,6 +45,21 @@ using experiments::Scenario;
  *                     (Scenario::goldenPreset()); the default artifact
  *                     moves to bench/out/<name>.golden.json so a
  *                     golden run never clobbers a full-scale artifact
+ *
+ * Distributed execution (see DESIGN.md "Distributed execution"):
+ *   --dist-master P      run as master, listening on TCP port P
+ *                        (0 = kernel-assigned)
+ *   --dist-worker H:P    run as worker, connecting to master at H:P;
+ *                        artifact writes are suppressed in this mode
+ *   --dist-workers N     master convenience: spawn N local worker
+ *                        processes of this same binary (implies
+ *                        --dist-master 0 unless a port was given)
+ *   --dist-min-workers N master: wait for N workers before plan 1
+ *   --dist-kill-one      master testing hook: the first spawned
+ *                        worker exits after its first job (exercises
+ *                        worker-loss re-dispatch)
+ *   --dist-die-after K   worker testing hook: _exit() when job K+1 is
+ *                        assigned (an in-flight worker loss)
  * Every value flag also accepts the --flag=value form.
  */
 struct BenchOptions {
@@ -50,13 +69,55 @@ struct BenchOptions {
     std::string traceOut;
     std::string statsOut;
     bool golden = false;
+    /** Master listen port; negative = not in master mode via port. */
+    int distMasterPort = -1;
+    /** Worker target "host:port"; empty = not in worker mode. */
+    std::string distWorkerTarget;
+    /** Local worker processes the master spawns. */
+    std::size_t distSpawnWorkers = 0;
+    /** Workers the master waits for (0 = derive from the above). */
+    std::size_t distMinWorkers = 0;
+    /** Testing: first spawned worker dies after its first job. */
+    bool distKillOne = false;
+    /** Testing: this worker dies when job K+1 is assigned. */
+    std::size_t distDieAfter = static_cast<std::size_t>(-1);
+    /** Original argv (for spawning workers that re-exec us). */
+    std::vector<std::string> argv;
+
+    bool distMaster() const
+    {
+        return distMasterPort >= 0 || distSpawnWorkers > 0;
+    }
+    bool distWorker() const { return !distWorkerTarget.empty(); }
 };
 
 inline BenchOptions
 parseBenchOptions(int argc, char** argv, const std::string& name)
 {
     BenchOptions options;
+    for (int i = 0; i < argc; ++i)
+        options.argv.emplace_back(argv[i]);
     bool jsonPathExplicit = false;
+    // Strict non-negative integer parse shared by the count flags.
+    const auto parseCount = [](const char* flag,
+                               const std::string& value,
+                               std::size_t maxValue) {
+        std::size_t parsed = 0;
+        std::size_t consumed = 0;
+        try {
+            parsed = static_cast<std::size_t>(
+                std::stoull(value, &consumed));
+        } catch (const std::exception&) {
+            consumed = 0;
+        }
+        if (consumed != value.size() || value.empty() ||
+            value.find_first_of("+-") != std::string::npos)
+            fatal(flag, " expects a number, got '", value, "'");
+        if (parsed > maxValue)
+            fatal(flag, " too large (max ", maxValue, "), got '",
+                  value, "'");
+        return parsed;
+    };
     // Normalize "--flag=value" to "--flag value" so both spellings
     // share one parsing path.
     std::vector<std::string> args;
@@ -113,13 +174,46 @@ parseBenchOptions(int argc, char** argv, const std::string& name)
                       "debug|info|warn|error|off, got '",
                       value, "'");
             setLogLevel(*level);
+        } else if (arg == "--dist-master" && i + 1 < args.size()) {
+            options.distMasterPort = static_cast<int>(
+                parseCount("--dist-master", args[++i], 65535));
+        } else if (arg == "--dist-worker" && i + 1 < args.size()) {
+            options.distWorkerTarget = args[++i];
+        } else if (arg == "--dist-workers" && i + 1 < args.size()) {
+            options.distSpawnWorkers =
+                parseCount("--dist-workers", args[++i], 256);
+        } else if (arg == "--dist-min-workers" &&
+                   i + 1 < args.size()) {
+            options.distMinWorkers =
+                parseCount("--dist-min-workers", args[++i], 256);
+        } else if (arg == "--dist-kill-one") {
+            options.distKillOne = true;
+        } else if (arg == "--dist-die-after" && i + 1 < args.size()) {
+            options.distDieAfter =
+                parseCount("--dist-die-after", args[++i],
+                           static_cast<std::size_t>(-2));
         } else {
             fatal("usage: ", argv[0],
                   " [--threads N] [--json PATH] [--no-json]"
                   " [--quiet] [--golden-mode]"
                   " [--trace-out PATH] [--stats-out PATH]"
-                  " [--log-level debug|info|warn|error|off]");
+                  " [--log-level debug|info|warn|error|off]"
+                  " [--dist-master PORT] [--dist-worker HOST:PORT]"
+                  " [--dist-workers N] [--dist-min-workers N]");
         }
+    }
+    if (options.distWorker() && options.distMaster())
+        fatal("--dist-worker is mutually exclusive with "
+              "--dist-master/--dist-workers");
+    if (options.distWorker()) {
+        // Workers are silent mirrors: no progress meter, no stdout
+        // tables (they would garble the master's terminal), and no
+        // artifact writes (runner/report.hpp suppression) — the
+        // master's artifact is the one and only output.
+        options.progress = false;
+        runner::setArtifactWritesSuppressed(true);
+        if (std::freopen("/dev/null", "w", stdout) == nullptr)
+            warn("dist: cannot silence worker stdout");
     }
     if (!jsonPathExplicit) {
         options.jsonPath = "bench/out/" + name +
@@ -150,16 +244,64 @@ goldenPick(const BenchOptions& options, T full, T golden)
 }
 
 /**
+ * Build the distributed backend the options ask for, if any: a
+ * MasterBackend for --dist-master/--dist-workers, a WorkerBackend for
+ * --dist-worker, nullptr for an ordinary local run.
+ */
+inline std::unique_ptr<runner::ExecBackend>
+makeDistBackend(const BenchOptions& options)
+{
+    if (options.distMaster()) {
+        dist::MasterOptions master;
+        master.port = options.distMasterPort > 0
+            ? static_cast<std::uint16_t>(options.distMasterPort)
+            : 0;
+        master.spawnWorkers = options.distSpawnWorkers;
+        master.minWorkers = options.distMinWorkers > 0
+            ? options.distMinWorkers
+            : std::max<std::size_t>(1, options.distSpawnWorkers);
+        master.argv = options.argv;
+        if (options.distKillOne)
+            master.firstWorkerExtraArgs = {"--dist-die-after", "1"};
+        return std::make_unique<dist::MasterBackend>(
+            std::move(master));
+    }
+    if (options.distWorker()) {
+        const auto colon = options.distWorkerTarget.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == options.distWorkerTarget.size())
+            fatal("--dist-worker expects HOST:PORT, got '",
+                  options.distWorkerTarget, "'");
+        dist::WorkerOptions worker;
+        worker.host = options.distWorkerTarget.substr(0, colon);
+        try {
+            worker.port = static_cast<std::uint16_t>(std::stoul(
+                options.distWorkerTarget.substr(colon + 1)));
+        } catch (const std::exception&) {
+            fatal("--dist-worker has a bad port in '",
+                  options.distWorkerTarget, "'");
+        }
+        worker.dieAfterJobs = options.distDieAfter;
+        return std::make_unique<dist::WorkerBackend>(
+            std::move(worker));
+    }
+    return nullptr;
+}
+
+/**
  * A RunEngine wired to the bench options: progress meter, trace
- * collection (--trace-out) and phase profiling (--stats-out). Call
+ * collection (--trace-out), phase profiling (--stats-out), and the
+ * distributed backend when a --dist-* mode is active. Call
  * writeArtifacts() after the last plan, or rely on the destructor.
  */
 struct BenchEngine {
     explicit BenchEngine(const BenchOptions& options)
         : traceOut(options.traceOut), statsOut(options.statsOut),
+          backend(makeDistBackend(options)),
           engine({options.threads,
                   options.progress ? &progress : nullptr,
-                  options.traceOut.empty() ? nullptr : &trace})
+                  options.traceOut.empty() ? nullptr : &trace,
+                  backend.get()})
     {
         if (!statsOut.empty())
             obs::Profiler::global().setEnabled(true);
@@ -187,6 +329,8 @@ struct BenchEngine {
     bool artifactsWritten = false;
     runner::ConsoleProgress progress;
     obs::TraceCollection trace;
+    /** Declared before engine: the engine holds a raw pointer to it. */
+    std::unique_ptr<runner::ExecBackend> backend;
     runner::RunEngine engine;
 };
 

@@ -29,6 +29,18 @@ struct AffinityPart {
     std::vector<std::size_t> ratioBins;
     std::size_t workloadArmFaster = 0;
     std::size_t workloadFunctions = 0;
+
+    /** Exact binary round trip for --dist-* runs (runner/serial.hpp). */
+    template <typename V>
+    void
+    visitFields(V&& v)
+    {
+        v(catalogRatios);
+        v(catalogArmFaster);
+        v(ratioBins);
+        v(workloadArmFaster);
+        v(workloadFunctions);
+    }
 };
 
 constexpr double kRatioLo = 0.7;

@@ -69,6 +69,17 @@ struct OptOutcome {
     double score = 0;
     std::size_t evals = 0;
     double ms = 0;
+
+    /** Exact binary round trip for --dist-* runs (runner/serial.hpp). */
+    template <typename V>
+    void
+    visitFields(V&& v)
+    {
+        v(name);
+        v(score);
+        v(evals);
+        v(ms);
+    }
 };
 
 std::unique_ptr<Optimizer>

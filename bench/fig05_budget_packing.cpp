@@ -26,6 +26,16 @@ struct PackOutcome {
     double budget = 0.0;
     std::size_t plain = 0;
     std::size_t packed = 0;
+
+    /** Exact binary round trip for --dist-* runs (runner/serial.hpp). */
+    template <typename V>
+    void
+    visitFields(V&& v)
+    {
+        v(budget);
+        v(plain);
+        v(packed);
+    }
 };
 
 } // namespace

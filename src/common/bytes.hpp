@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Bounds-checked binary encoding primitives shared by the job-result
+ * codec (runner/serial.hpp) and the distributed wire protocol
+ * (dist/framing.hpp).
+ *
+ * Every quantity is fixed-width little-endian; doubles travel as their
+ * IEEE-754 bit pattern, so a decode(encode(x)) round trip reproduces x
+ * exactly — including -0.0 and NaN payloads. That exactness is what
+ * lets a distributed run re-emit byte-identical JSON artifacts: the
+ * JSON writer prints doubles at %.17g, which is injective on bit
+ * patterns of finite values.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace codecrunch {
+
+/** Thrown by ByteReader on malformed or truncated input. */
+class DecodeError : public std::runtime_error
+{
+  public:
+    explicit DecodeError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * Append-only little-endian byte buffer.
+ */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buffer_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        appendLe(v);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        appendLe(v);
+    }
+
+    /** Two's-complement round trip through u64. */
+    void
+    i64(std::int64_t v)
+    {
+        appendLe(static_cast<std::uint64_t>(v));
+    }
+
+    /** Exact bit-pattern encoding. */
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        appendLe(bits);
+    }
+
+    /** Length-prefixed (u64) byte string. */
+    void
+    str(std::string_view s)
+    {
+        u64(s.size());
+        buffer_.append(s.data(), s.size());
+    }
+
+    /** Raw bytes, no length prefix (caller frames them). */
+    void
+    raw(std::string_view s)
+    {
+        buffer_.append(s.data(), s.size());
+    }
+
+    const std::string& bytes() const { return buffer_; }
+    std::string take() { return std::move(buffer_); }
+    std::size_t size() const { return buffer_.size(); }
+
+  private:
+    template <typename U>
+    void
+    appendLe(U v)
+    {
+        for (std::size_t i = 0; i < sizeof(U); ++i)
+            buffer_.push_back(
+                static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    std::string buffer_;
+};
+
+/**
+ * Sequential reader over an encoded buffer. Any read past the end (or
+ * a length prefix larger than the remaining bytes) throws DecodeError,
+ * so truncated or garbage frames are rejected rather than misread.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view data) : data_(data) {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1, "u8");
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        return readLe<std::uint32_t>("u32");
+    }
+
+    std::uint64_t
+    u64()
+    {
+        return readLe<std::uint64_t>("u64");
+    }
+
+    std::int64_t
+    i64()
+    {
+        return static_cast<std::int64_t>(readLe<std::uint64_t>("i64"));
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = readLe<std::uint64_t>("f64");
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        need(n, "str body");
+        std::string out(data_.substr(pos_, n));
+        pos_ += n;
+        return out;
+    }
+
+    /** Remaining unread bytes (no copy). */
+    std::string_view
+    rest() const
+    {
+        return data_.substr(pos_);
+    }
+
+    std::size_t remaining() const { return data_.size() - pos_; }
+    bool done() const { return pos_ == data_.size(); }
+
+    /** Require the buffer to be fully consumed (trailing-garbage guard). */
+    void
+    expectDone(std::string_view what) const
+    {
+        if (!done())
+            throw DecodeError(std::string(what) + ": " +
+                              std::to_string(remaining()) +
+                              " trailing bytes");
+    }
+
+  private:
+    void
+    need(std::uint64_t n, const char* what)
+    {
+        if (n > data_.size() - pos_)
+            throw DecodeError(std::string("truncated input reading ") +
+                              what);
+    }
+
+    template <typename U>
+    U
+    readLe(const char* what)
+    {
+        need(sizeof(U), what);
+        U v = 0;
+        for (std::size_t i = 0; i < sizeof(U); ++i)
+            v |= static_cast<U>(static_cast<unsigned char>(
+                     data_[pos_ + i]))
+                 << (8 * i);
+        pos_ += sizeof(U);
+        return v;
+    }
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace codecrunch

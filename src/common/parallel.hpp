@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Thread-local parallel-executor hook: lets low-level subsystems (the
+ * SRE optimizer in opt/) run their sub-problems on whatever worker
+ * pool is driving the current thread, without depending on the runner
+ * layer. The runner's ThreadPool implements ParallelExecutor and
+ * installs itself on its worker threads, so `--threads N` bounds total
+ * process concurrency instead of every layer spawning its own threads.
+ *
+ * Code running outside any pool (serial Harness::run, unit tests) sees
+ * no executor and falls back to its legacy behavior.
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace codecrunch {
+
+/**
+ * Executes `body(0..count-1)` with the calling thread participating;
+ * returns only when every index has completed. Implementations must be
+ * deadlock-free when invoked from one of their own worker threads
+ * (the caller helps instead of merely blocking).
+ */
+class ParallelExecutor
+{
+  public:
+    virtual ~ParallelExecutor() = default;
+
+    virtual void
+    parallelFor(std::size_t count,
+                const std::function<void(std::size_t)>& body) = 0;
+};
+
+namespace detail {
+inline thread_local ParallelExecutor* tlsParallelExecutor = nullptr;
+} // namespace detail
+
+/** The executor driving the current thread, or null. */
+inline ParallelExecutor*
+currentParallelExecutor()
+{
+    return detail::tlsParallelExecutor;
+}
+
+/**
+ * RAII installer, used by pool worker threads (for their lifetime) and
+ * by tests (scoped).
+ */
+class ScopedParallelExecutor
+{
+  public:
+    explicit ScopedParallelExecutor(ParallelExecutor* executor)
+        : previous_(detail::tlsParallelExecutor)
+    {
+        detail::tlsParallelExecutor = executor;
+    }
+
+    ~ScopedParallelExecutor()
+    {
+        detail::tlsParallelExecutor = previous_;
+    }
+
+    ScopedParallelExecutor(const ScopedParallelExecutor&) = delete;
+    ScopedParallelExecutor&
+    operator=(const ScopedParallelExecutor&) = delete;
+
+  private:
+    ParallelExecutor* previous_;
+};
+
+} // namespace codecrunch

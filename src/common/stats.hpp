@@ -70,6 +70,23 @@ class RunningStat
     /** Population standard deviation. */
     double stddev() const { return std::sqrt(variance()); }
 
+    /**
+     * Field-wise visitation for exact binary round trips (see
+     * runner/serial.hpp). The visitor sees every field by reference,
+     * in a fixed order, so encode and decode share one definition.
+     */
+    template <typename V>
+    void
+    visitFields(V&& v)
+    {
+        v(count_);
+        v(mean_);
+        v(m2_);
+        v(sum_);
+        v(min_);
+        v(max_);
+    }
+
   private:
     std::size_t count_ = 0;
     double mean_ = 0.0;
@@ -147,6 +164,19 @@ class PercentileDigest
     {
         sortIfNeeded();
         return samples_;
+    }
+
+    /**
+     * Exact binary round trip (runner/serial.hpp). Samples travel in
+     * their current order along with the sorted flag, so a decoded
+     * digest reproduces the source digest's behavior bit-for-bit.
+     */
+    template <typename V>
+    void
+    visitFields(V&& v)
+    {
+        v(samples_);
+        v(sorted_);
     }
 
   private:

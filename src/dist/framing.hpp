@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Length-prefixed message framing for the dist wire protocol.
+ *
+ * Wire layout of one frame:
+ *
+ *     [u32 length][u8 type][payload ...]
+ *
+ * `length` counts the type byte plus the payload (so it is always
+ * >= 1) and is little-endian like every other quantity on the wire
+ * (common/bytes.hpp). Frames above kMaxFrameBytes are rejected before
+ * any allocation, so a garbage length prefix cannot OOM the process;
+ * a zero length is equally malformed (there is no type byte to read).
+ *
+ * FrameParser is push-style: feed it raw bytes as they arrive and pop
+ * complete frames. The master runs one parser per worker connection
+ * inside its poll loop; the worker wraps the same parser in a blocking
+ * read helper (worker.cpp). Malformed input throws FramingError — the
+ * connection is then dropped, never "resynchronized".
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace codecrunch::dist {
+
+/** Malformed frame (bad length prefix); drop the connection. */
+class FramingError : public DecodeError
+{
+  public:
+    using DecodeError::DecodeError;
+};
+
+/** Upper bound on one frame; a full plan's results stay well below. */
+inline constexpr std::uint32_t kMaxFrameBytes = 256u * 1024u * 1024u;
+
+/** One decoded frame: a type tag and its payload bytes. */
+struct Frame {
+    std::uint8_t type = 0;
+    std::string payload;
+};
+
+/** Serialize one frame (header + type + payload). */
+inline std::string
+encodeFrame(std::uint8_t type, std::string_view payload)
+{
+    if (payload.size() >= kMaxFrameBytes)
+        throw FramingError("frame payload exceeds kMaxFrameBytes");
+    ByteWriter writer;
+    writer.u32(static_cast<std::uint32_t>(payload.size() + 1));
+    writer.u8(type);
+    writer.raw(payload);
+    return writer.take();
+}
+
+/**
+ * Incremental frame reassembler. feed() buffers bytes; next() pops the
+ * oldest complete frame, if any.
+ */
+class FrameParser
+{
+  public:
+    void
+    feed(std::string_view bytes)
+    {
+        buffer_.append(bytes.data(), bytes.size());
+    }
+
+    std::optional<Frame>
+    next()
+    {
+        if (buffer_.size() < kHeaderBytes)
+            return std::nullopt;
+        ByteReader reader(buffer_);
+        const std::uint32_t length = reader.u32();
+        if (length == 0)
+            throw FramingError("zero-length frame");
+        if (length > kMaxFrameBytes)
+            throw FramingError("frame length " +
+                               std::to_string(length) +
+                               " exceeds limit");
+        if (buffer_.size() < kHeaderBytes + length)
+            return std::nullopt;
+        Frame frame;
+        frame.type = static_cast<std::uint8_t>(buffer_[kHeaderBytes]);
+        frame.payload =
+            buffer_.substr(kHeaderBytes + 1, length - 1);
+        buffer_.erase(0, kHeaderBytes + length);
+        return frame;
+    }
+
+    /** Buffered-but-incomplete byte count (tests/diagnostics). */
+    std::size_t pendingBytes() const { return buffer_.size(); }
+
+  private:
+    static constexpr std::size_t kHeaderBytes = 4;
+
+    std::string buffer_;
+};
+
+} // namespace codecrunch::dist

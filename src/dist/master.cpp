@@ -1,0 +1,529 @@
+#include "dist/master.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <optional>
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "dist/framing.hpp"
+#include "dist/protocol.hpp"
+#include "dist/socket.hpp"
+#include "obs/stats.hpp"
+
+namespace codecrunch::dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t)
+{
+    return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+/** Wall-scope per-worker instruments (never in diffable artifacts). */
+struct WorkerStats {
+    obs::Counter* jobs = nullptr;
+    obs::Counter* bytesIn = nullptr;
+    obs::Counter* bytesOut = nullptr;
+    obs::Counter* idleMicros = nullptr;
+    obs::Counter* connectAttempts = nullptr;
+};
+
+WorkerStats
+makeWorkerStats(std::uint32_t workerId)
+{
+    auto& registry = obs::Registry::global();
+    const std::string prefix =
+        "wall.dist.worker" + std::to_string(workerId) + ".";
+    WorkerStats stats;
+    stats.jobs = &registry.counter(prefix + "jobs",
+                                   obs::StatScope::Wall);
+    stats.bytesIn = &registry.counter(prefix + "bytes_in",
+                                      obs::StatScope::Wall);
+    stats.bytesOut = &registry.counter(prefix + "bytes_out",
+                                       obs::StatScope::Wall);
+    stats.idleMicros = &registry.counter(prefix + "idle_us",
+                                         obs::StatScope::Wall);
+    stats.connectAttempts = &registry.counter(
+        prefix + "connect_attempts", obs::StatScope::Wall);
+    return stats;
+}
+
+/** One worker connection and its protocol state. */
+struct Conn {
+    TcpStream stream;
+    FrameParser parser;
+    /** Assigned at HelloAck; 0 until the handshake completes. */
+    std::uint32_t workerId = 0;
+    bool handshaken = false;
+    /** Worker acked the current plan and may be dealt jobs. */
+    bool ackedPlan = false;
+    /** Job index the worker is currently executing, if any. */
+    std::optional<std::size_t> inflight;
+    Clock::time_point lastSeen = Clock::now();
+    /** Set while the worker waits for work none is pending. */
+    std::optional<Clock::time_point> idleSince;
+    WorkerStats stats;
+};
+
+} // namespace
+
+struct MasterBackend::Impl {
+    MasterOptions options;
+    TcpListener listener;
+    std::map<int, Conn> conns; // keyed by fd for poll dispatch
+    std::vector<pid_t> spawned;
+    std::uint32_t nextWorkerId = 1;
+    std::uint64_t planSeq = 0;
+    bool firstPlan = true;
+
+    // Aggregate wall-scope instruments.
+    obs::Counter* statDispatched = nullptr;
+    obs::Counter* statRetries = nullptr;
+    obs::Counter* statWorkersLost = nullptr;
+    obs::Counter* statWorkersJoined = nullptr;
+
+    explicit Impl(MasterOptions opts) : options(std::move(opts))
+    {
+        auto& registry = obs::Registry::global();
+        statDispatched = &registry.counter("wall.dist.dispatched",
+                                           obs::StatScope::Wall);
+        statRetries = &registry.counter("wall.dist.retries",
+                                        obs::StatScope::Wall);
+        statWorkersLost = &registry.counter("wall.dist.workers_lost",
+                                            obs::StatScope::Wall);
+        statWorkersJoined = &registry.counter(
+            "wall.dist.workers_joined", obs::StatScope::Wall);
+
+        listener.listen(options.port);
+        if (options.spawnWorkers > 0) {
+            if (options.argv.empty())
+                fatal("dist: spawning workers requires the master's "
+                      "argv");
+            const auto argv =
+                workerArgv(options.argv, listener.port());
+            for (std::size_t i = 0; i < options.spawnWorkers; ++i) {
+                auto workerArgs = argv;
+                if (i == 0)
+                    workerArgs.insert(
+                        workerArgs.end(),
+                        options.firstWorkerExtraArgs.begin(),
+                        options.firstWorkerExtraArgs.end());
+                spawned.push_back(spawnWorkerProcess(workerArgs));
+            }
+            options.minWorkers =
+                std::max(options.minWorkers, options.spawnWorkers);
+        }
+    }
+
+    ~Impl()
+    {
+        const std::string shutdown = encodeFrame(
+            static_cast<std::uint8_t>(MsgType::Shutdown), "");
+        for (auto& [fd, conn] : conns)
+            conn.stream.sendAll(shutdown); // best-effort
+        conns.clear();
+        reapWorkers(spawned);
+    }
+
+    void
+    send(Conn& conn, MsgType type, std::string_view payload)
+    {
+        const std::string frame =
+            encodeFrame(static_cast<std::uint8_t>(type), payload);
+        if (conn.stats.bytesOut)
+            conn.stats.bytesOut->add(frame.size());
+        if (!conn.stream.sendAll(frame))
+            conn.stream.close(); // loss is noticed by the poll loop
+    }
+
+    /** Accept pending connections; new conns await their Hello. */
+    void
+    acceptPending()
+    {
+        for (;;) {
+            pollfd p{listener.fd(), POLLIN, 0};
+            if (::poll(&p, 1, 0) <= 0 || !(p.revents & POLLIN))
+                return;
+            TcpStream stream = listener.accept();
+            if (!stream.valid())
+                return;
+            const int fd = stream.fd();
+            Conn conn;
+            conn.stream = std::move(stream);
+            conns.emplace(fd, std::move(conn));
+        }
+    }
+
+    void
+    completeHandshake(Conn& conn, const Frame& frame)
+    {
+        if (frame.type != static_cast<std::uint8_t>(MsgType::Hello))
+            throw FramingError("expected Hello, got type " +
+                               std::to_string(frame.type));
+        const Hello hello = decodeHello(frame.payload);
+        if (hello.magic != kMagic ||
+            hello.version != kProtocolVersion) {
+            warn("dist: rejecting worker pid ", hello.pid,
+                 " (magic=", hello.magic,
+                 ", version=", hello.version, ", want ",
+                 kProtocolVersion, ")");
+            send(conn, MsgType::HelloReject,
+                 encodeText("protocol version mismatch: master=" +
+                            std::to_string(kProtocolVersion) +
+                            " worker=" +
+                            std::to_string(hello.version)));
+            conn.stream.close();
+            return;
+        }
+        conn.workerId = nextWorkerId++;
+        conn.handshaken = true;
+        conn.stats = makeWorkerStats(conn.workerId);
+        conn.stats.connectAttempts->add(hello.connectAttempts);
+        statWorkersJoined->add(1);
+        HelloAck ack;
+        ack.workerId = conn.workerId;
+        send(conn, MsgType::HelloAck, encodeHelloAck(ack));
+    }
+
+    /**
+     * Pump every readable connection; returns fds that died (EOF,
+     * error, or protocol violation). `onFrame` handles post-handshake
+     * frames.
+     */
+    template <typename F>
+    std::vector<int>
+    pump(int timeoutMs, F&& onFrame)
+    {
+        acceptPending();
+        std::vector<pollfd> fds;
+        fds.reserve(conns.size() + 1);
+        fds.push_back({listener.fd(), POLLIN, 0});
+        for (auto& [fd, conn] : conns)
+            fds.push_back({fd, POLLIN, 0});
+        ::poll(fds.data(), fds.size(), timeoutMs);
+        acceptPending();
+
+        std::vector<int> dead;
+        for (auto& [fd, conn] : conns) {
+            if (!conn.stream.valid()) {
+                dead.push_back(fd);
+                continue;
+            }
+            const auto it = std::find_if(
+                fds.begin(), fds.end(),
+                [fd = fd](const pollfd& p) { return p.fd == fd; });
+            if (it == fds.end() ||
+                !(it->revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            char buffer[64 * 1024];
+            const long n =
+                conn.stream.recvSome(buffer, sizeof(buffer));
+            if (n <= 0) {
+                dead.push_back(fd);
+                continue;
+            }
+            if (conn.stats.bytesIn)
+                conn.stats.bytesIn->add(
+                    static_cast<std::uint64_t>(n));
+            conn.parser.feed(
+                std::string_view(buffer,
+                                 static_cast<std::size_t>(n)));
+            try {
+                while (auto frame = conn.parser.next()) {
+                    conn.lastSeen = Clock::now();
+                    if (!conn.handshaken)
+                        completeHandshake(conn, *frame);
+                    else
+                        onFrame(conn, *frame);
+                    if (!conn.stream.valid())
+                        break;
+                }
+            } catch (const DecodeError& e) {
+                warn("dist: dropping worker ", conn.workerId, ": ",
+                     e.what());
+                dead.push_back(fd);
+            }
+            if (!conn.stream.valid() &&
+                std::find(dead.begin(), dead.end(), fd) ==
+                    dead.end())
+                dead.push_back(fd);
+        }
+        return dead;
+    }
+
+    std::size_t
+    readyWorkers() const
+    {
+        std::size_t n = 0;
+        for (const auto& [fd, conn] : conns)
+            if (conn.handshaken)
+                ++n;
+        return n;
+    }
+
+    /** Block until minWorkers finished their handshake (first plan). */
+    void
+    waitForWorkers()
+    {
+        const auto deadline =
+            Clock::now() + std::chrono::duration<double>(
+                               options.connectTimeout);
+        while (readyWorkers() < options.minWorkers) {
+            if (Clock::now() >= deadline)
+                fatal("dist: only ", readyWorkers(), " of ",
+                      options.minWorkers,
+                      " workers connected within ",
+                      options.connectTimeout, "s");
+            const auto dead =
+                pump(100, [](Conn&, const Frame& frame) {
+                    const auto type =
+                        static_cast<MsgType>(frame.type);
+                    if (type != MsgType::Heartbeat &&
+                        type != MsgType::Bye)
+                        throw FramingError(
+                            "unexpected frame before plan: type " +
+                            std::to_string(frame.type));
+                });
+            for (const int fd : dead)
+                conns.erase(fd);
+        }
+    }
+};
+
+MasterBackend::MasterBackend(MasterOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options)))
+{
+}
+
+MasterBackend::~MasterBackend() = default;
+
+std::uint16_t
+MasterBackend::port() const
+{
+    return impl_->listener.port();
+}
+
+std::vector<runner::ExecBackend::JobOutcome>
+MasterBackend::executePlan(const std::string& planName,
+                           std::vector<SerializedJob> jobs,
+                           runner::ProgressSink* sink)
+{
+    Impl& m = *impl_;
+    if (m.firstPlan) {
+        m.waitForWorkers();
+        m.firstPlan = false;
+    }
+    const std::uint64_t seq = m.planSeq++;
+    const std::uint64_t fingerprint =
+        planFingerprint(planName, jobs);
+
+    if (sink)
+        sink->planStarted(planName, jobs.size());
+
+    PlanBegin begin;
+    begin.planSeq = seq;
+    begin.planName = planName;
+    begin.jobCount = jobs.size();
+    begin.fingerprint = fingerprint;
+    const std::string beginPayload = encodePlanBegin(begin);
+    for (auto& [fd, conn] : m.conns) {
+        conn.ackedPlan = false;
+        conn.inflight.reset();
+        conn.idleSince.reset();
+        if (conn.handshaken)
+            m.send(conn, MsgType::PlanBegin, beginPayload);
+    }
+
+    std::deque<std::size_t> pending;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        pending.push_back(i);
+    std::vector<std::optional<JobOutcome>> outcomes(jobs.size());
+    std::vector<std::size_t> retries(jobs.size(), 0);
+    std::size_t settled = 0;
+
+    auto settle = [&](std::size_t index, JobOutcome outcome) {
+        if (outcomes[index])
+            return; // duplicate after a re-dispatch race; first wins
+        outcomes[index] = std::move(outcome);
+        ++settled;
+    };
+
+    auto dealJob = [&](Conn& conn) {
+        if (pending.empty()) {
+            if (!conn.idleSince)
+                conn.idleSince = Clock::now();
+            return;
+        }
+        const std::size_t index = pending.front();
+        pending.pop_front();
+        conn.inflight = index;
+        if (conn.idleSince) {
+            conn.stats.idleMicros->add(static_cast<std::uint64_t>(
+                secondsSince(*conn.idleSince) * 1e6));
+            conn.idleSince.reset();
+        }
+        JobAssign assign;
+        assign.planSeq = seq;
+        assign.jobIndex = index;
+        m.send(conn, MsgType::JobAssign, encodeJobAssign(assign));
+        m.statDispatched->add(1);
+        if (sink)
+            sink->jobStarted(index, jobs[index].label, 0.0);
+    };
+
+    auto onFrame = [&](Conn& conn, const Frame& frame) {
+        switch (static_cast<MsgType>(frame.type)) {
+        case MsgType::PlanAck: {
+            const std::uint64_t ackSeq =
+                decodeSeqOnly(frame.payload, "PlanAck");
+            if (ackSeq != seq)
+                throw FramingError("PlanAck for wrong plan");
+            conn.ackedPlan = true;
+            break;
+        }
+        case MsgType::JobRequest: {
+            const std::uint64_t reqSeq =
+                decodeSeqOnly(frame.payload, "JobRequest");
+            if (reqSeq != seq)
+                break; // stale request from the previous plan
+            if (!conn.ackedPlan)
+                throw FramingError("JobRequest before PlanAck");
+            dealJob(conn);
+            break;
+        }
+        case MsgType::JobResult:
+        case MsgType::JobFailed: {
+            JobResult result = decodeJobResult(frame.payload);
+            if (result.planSeq != seq)
+                throw FramingError("job result for wrong plan");
+            if (result.jobIndex >= jobs.size())
+                throw FramingError("job result index out of range");
+            if (!conn.inflight || *conn.inflight != result.jobIndex)
+                throw FramingError("unsolicited job result");
+            conn.inflight.reset();
+            conn.stats.jobs->add(1);
+            applyStatsDelta(result.statsDelta,
+                            obs::Registry::global());
+            JobOutcome outcome;
+            const bool ok =
+                frame.type ==
+                static_cast<std::uint8_t>(MsgType::JobResult);
+            if (ok)
+                outcome.payload = std::move(result.payloadOrError);
+            else
+                outcome.error = result.payloadOrError.empty()
+                    ? "job failed on worker"
+                    : result.payloadOrError;
+            settle(result.jobIndex, std::move(outcome));
+            if (sink)
+                sink->jobFinished(result.jobIndex, ok);
+            break;
+        }
+        case MsgType::Heartbeat:
+        case MsgType::Bye:
+            break; // lastSeen already refreshed by the pump
+        case MsgType::Error:
+            fatal("dist: worker ", conn.workerId, " reported: ",
+                  decodeText(frame.payload, "Error"));
+            break;
+        default:
+            throw FramingError("unexpected frame type " +
+                               std::to_string(frame.type));
+        }
+    };
+
+    auto loseWorker = [&](int fd) {
+        auto it = m.conns.find(fd);
+        if (it == m.conns.end())
+            return;
+        Conn& conn = it->second;
+        m.statWorkersLost->add(1);
+        if (conn.inflight) {
+            const std::size_t index = *conn.inflight;
+            if (!outcomes[index]) {
+                if (++retries[index] > m.options.maxRetries) {
+                    settle(index,
+                           JobOutcome{
+                               "", "job '" + jobs[index].label +
+                                       "' lost " +
+                                       std::to_string(
+                                           retries[index]) +
+                                       " workers; giving up"});
+                } else {
+                    m.statRetries->add(1);
+                    warn("dist: worker ", conn.workerId,
+                         " lost; re-dispatching job ", index, " ('",
+                         jobs[index].label, "')");
+                    // Front of the queue: the re-dispatched job is
+                    // the oldest outstanding work.
+                    pending.push_front(index);
+                }
+            }
+        } else {
+            warn("dist: worker ", conn.workerId, " disconnected");
+        }
+        m.conns.erase(it);
+    };
+
+    while (settled < jobs.size()) {
+        const auto dead = m.pump(100, onFrame);
+        for (const int fd : dead)
+            loseWorker(fd);
+        // Heartbeat silence: a wedged worker is as gone as a dead one.
+        std::vector<int> silent;
+        for (auto& [fd, conn] : m.conns) {
+            if (conn.handshaken &&
+                secondsSince(conn.lastSeen) >
+                    m.options.heartbeatTimeout)
+                silent.push_back(fd);
+        }
+        for (const int fd : silent) {
+            warn("dist: worker ", m.conns[fd].workerId,
+                 " heartbeat timeout");
+            loseWorker(fd);
+        }
+        if (m.readyWorkers() == 0 && settled < jobs.size())
+            fatal("dist: all workers lost with ",
+                  jobs.size() - settled, " jobs outstanding");
+    }
+
+    // Hand idle workers their plan-tail idle time before broadcast.
+    for (auto& [fd, conn] : m.conns) {
+        if (conn.idleSince) {
+            conn.stats.idleMicros->add(static_cast<std::uint64_t>(
+                secondsSince(*conn.idleSince) * 1e6));
+            conn.idleSince.reset();
+        }
+    }
+
+    std::vector<JobOutcome> results;
+    results.reserve(outcomes.size());
+    for (auto& outcome : outcomes)
+        results.push_back(std::move(*outcome));
+
+    // Lockstep broadcast: workers return the identical ordered
+    // outcome list from their executePlan, so bench code that feeds
+    // plan N's results into plan N+1 stays bit-identical everywhere.
+    PlanResults broadcast;
+    broadcast.planSeq = seq;
+    broadcast.outcomes = results;
+    const std::string resultsPayload =
+        encodePlanResults(broadcast);
+    for (auto& [fd, conn] : m.conns) {
+        if (conn.handshaken && conn.ackedPlan)
+            m.send(conn, MsgType::PlanResults, resultsPayload);
+    }
+
+    if (sink)
+        sink->planFinished();
+    return results;
+}
+
+} // namespace codecrunch::dist

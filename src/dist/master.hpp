@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Master side of distributed plan execution.
+ *
+ * MasterBackend is the ExecBackend a bench process installs when run
+ * with --dist-master / --dist-workers: it owns the RunPlan (built
+ * locally like any other run, seeds fixed at plan build) and deals job
+ * indices to pull-scheduling workers over TCP. Results are assembled
+ * in plan order and sim-scope stats deltas are applied to the local
+ * registry, so the JSON artifact the master writes is byte-identical
+ * to a single-process run.
+ *
+ * Scheduling and failure model:
+ *  - Pull scheduling: an idle worker sends JobRequest; the master pops
+ *    the next pending index. No static partitioning, so a slow or dead
+ *    worker never strands "its" share.
+ *  - Worker loss (EOF, socket error, framing violation, or heartbeat
+ *    silence) requeues the worker's in-flight job at the FRONT of the
+ *    pending queue. Jobs are idempotent (seed fixed at plan build, no
+ *    shared mutable state), so re-dispatch cannot change any byte of
+ *    the artifact. Re-dispatches per job are capped; exceeding the cap
+ *    records a job error, which surfaces in plan order like a local
+ *    job exception.
+ *  - A JobFailed message is a *deterministic* job exception: it is
+ *    recorded, never retried (a retry would deterministically fail
+ *    again), and surfaces after all jobs settle, exactly like the
+ *    local path.
+ *  - Losing the last worker while work is outstanding is fatal.
+ *
+ * The master is single-threaded: one poll(2) loop multiplexes the
+ * listener and every worker connection. Workers spawned locally with
+ * --dist-workers are forked from this process re-exec'ing the same
+ * binary (spawn.hpp) and are reaped on destruction.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/spawn.hpp"
+#include "runner/backend.hpp"
+
+namespace codecrunch::dist {
+
+struct MasterOptions {
+    /** Listen port; 0 asks the kernel (see MasterBackend::port()). */
+    std::uint16_t port = 0;
+    /** Workers to wait for before the first plan starts. */
+    std::size_t minWorkers = 1;
+    /** Local worker processes to spawn (0 = external workers only). */
+    std::size_t spawnWorkers = 0;
+    /** Re-dispatches allowed per job after worker losses. */
+    std::size_t maxRetries = 3;
+    /** Seconds of silence before a worker is declared lost. */
+    double heartbeatTimeout = 60.0;
+    /** Seconds to wait for minWorkers at startup. */
+    double connectTimeout = 30.0;
+    /**
+     * Argv of this process, used to spawn local workers re-executing
+     * the same binary with --dist-worker substituted for the master
+     * flags. Required when spawnWorkers > 0.
+     */
+    std::vector<std::string> argv;
+    /**
+     * Extra argv appended to the FIRST spawned worker only — the
+     * --dist-kill-one testing hook injects "--dist-die-after 1" here
+     * to stage a deterministic mid-sweep worker loss.
+     */
+    std::vector<std::string> firstWorkerExtraArgs;
+};
+
+class MasterBackend : public runner::ExecBackend
+{
+  public:
+    /** Binds the listener (resolving port 0) and spawns local workers. */
+    explicit MasterBackend(MasterOptions options);
+
+    /** Sends Shutdown to connected workers and reaps spawned ones. */
+    ~MasterBackend() override;
+
+    /** The bound listen port (useful when options.port was 0). */
+    std::uint16_t port() const;
+
+    std::vector<JobOutcome>
+    executePlan(const std::string& planName,
+                std::vector<SerializedJob> jobs,
+                runner::ProgressSink* sink) override;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace codecrunch::dist

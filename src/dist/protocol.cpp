@@ -1,0 +1,352 @@
+#include "dist/protocol.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "common/logging.hpp"
+
+namespace codecrunch::dist {
+
+namespace {
+
+/** FNV-1a 64-bit over a byte string, continuing from `h`. */
+std::uint64_t
+fnv1a(std::string_view bytes, std::uint64_t h)
+{
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1aU64(std::uint64_t v, std::uint64_t h)
+{
+    char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    return fnv1a(std::string_view(bytes, 8), h);
+}
+
+} // namespace
+
+std::string
+encodeHello(const Hello& m)
+{
+    ByteWriter w;
+    w.u32(m.magic);
+    w.u32(m.version);
+    w.u64(m.pid);
+    w.u32(m.connectAttempts);
+    return w.take();
+}
+
+Hello
+decodeHello(std::string_view payload)
+{
+    ByteReader r(payload);
+    Hello m;
+    m.magic = r.u32();
+    m.version = r.u32();
+    m.pid = r.u64();
+    m.connectAttempts = r.u32();
+    r.expectDone("Hello");
+    return m;
+}
+
+std::string
+encodeHelloAck(const HelloAck& m)
+{
+    ByteWriter w;
+    w.u32(m.magic);
+    w.u32(m.version);
+    w.u32(m.workerId);
+    return w.take();
+}
+
+HelloAck
+decodeHelloAck(std::string_view payload)
+{
+    ByteReader r(payload);
+    HelloAck m;
+    m.magic = r.u32();
+    m.version = r.u32();
+    m.workerId = r.u32();
+    r.expectDone("HelloAck");
+    return m;
+}
+
+std::string
+encodePlanBegin(const PlanBegin& m)
+{
+    ByteWriter w;
+    w.u64(m.planSeq);
+    w.str(m.planName);
+    w.u64(m.jobCount);
+    w.u64(m.fingerprint);
+    return w.take();
+}
+
+PlanBegin
+decodePlanBegin(std::string_view payload)
+{
+    ByteReader r(payload);
+    PlanBegin m;
+    m.planSeq = r.u64();
+    m.planName = r.str();
+    m.jobCount = r.u64();
+    m.fingerprint = r.u64();
+    r.expectDone("PlanBegin");
+    return m;
+}
+
+std::string
+encodeJobAssign(const JobAssign& m)
+{
+    ByteWriter w;
+    w.u64(m.planSeq);
+    w.u64(m.jobIndex);
+    return w.take();
+}
+
+JobAssign
+decodeJobAssign(std::string_view payload)
+{
+    ByteReader r(payload);
+    JobAssign m;
+    m.planSeq = r.u64();
+    m.jobIndex = r.u64();
+    r.expectDone("JobAssign");
+    return m;
+}
+
+std::string
+encodeJobResult(const JobResult& m)
+{
+    ByteWriter w;
+    w.u64(m.planSeq);
+    w.u64(m.jobIndex);
+    w.str(m.payloadOrError);
+    w.str(m.statsDelta);
+    return w.take();
+}
+
+JobResult
+decodeJobResult(std::string_view payload)
+{
+    ByteReader r(payload);
+    JobResult m;
+    m.planSeq = r.u64();
+    m.jobIndex = r.u64();
+    m.payloadOrError = r.str();
+    m.statsDelta = r.str();
+    r.expectDone("JobResult");
+    return m;
+}
+
+std::string
+encodePlanResults(const PlanResults& m)
+{
+    ByteWriter w;
+    w.u64(m.planSeq);
+    w.u64(m.outcomes.size());
+    for (const auto& outcome : m.outcomes) {
+        w.u8(outcome.ok() ? 1 : 0);
+        w.str(outcome.ok() ? outcome.payload : outcome.error);
+    }
+    return w.take();
+}
+
+PlanResults
+decodePlanResults(std::string_view payload)
+{
+    ByteReader r(payload);
+    PlanResults m;
+    m.planSeq = r.u64();
+    const std::uint64_t n = r.u64();
+    if (n > r.remaining())
+        throw DecodeError("PlanResults count exceeds payload");
+    m.outcomes.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const bool ok = r.u8() != 0;
+        std::string body = r.str();
+        runner::ExecBackend::JobOutcome outcome;
+        if (ok)
+            outcome.payload = std::move(body);
+        else
+            outcome.error = std::move(body);
+        m.outcomes.push_back(std::move(outcome));
+    }
+    r.expectDone("PlanResults");
+    return m;
+}
+
+std::string
+encodeSeqOnly(std::uint64_t seq)
+{
+    ByteWriter w;
+    w.u64(seq);
+    return w.take();
+}
+
+std::uint64_t
+decodeSeqOnly(std::string_view payload, std::string_view what)
+{
+    ByteReader r(payload);
+    const std::uint64_t seq = r.u64();
+    r.expectDone(what);
+    return seq;
+}
+
+std::string
+encodeText(std::string_view text)
+{
+    ByteWriter w;
+    w.str(text);
+    return w.take();
+}
+
+std::string
+decodeText(std::string_view payload, std::string_view what)
+{
+    ByteReader r(payload);
+    std::string text = r.str();
+    r.expectDone(what);
+    return text;
+}
+
+std::uint64_t
+planFingerprint(
+    std::string_view planName,
+    const std::vector<runner::ExecBackend::SerializedJob>& jobs)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = fnv1a(planName, h);
+    h = fnv1aU64(jobs.size(), h);
+    for (const auto& job : jobs) {
+        h = fnv1a(job.label, h);
+        h = fnv1aU64(job.seed, h);
+    }
+    return h;
+}
+
+std::string
+encodeStatsDelta(const obs::Registry::StatsSnapshot& before,
+                 const obs::Registry::StatsSnapshot& after)
+{
+    // Snapshots are name-sorted (Registry uses an ordered map), so a
+    // merge walk finds each instrument's prior value in linear time.
+    ByteWriter w;
+
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    {
+        std::size_t b = 0;
+        for (const auto& [name, value] : after.counters) {
+            while (b < before.counters.size() &&
+                   before.counters[b].first < name)
+                ++b;
+            std::uint64_t prior = 0;
+            if (b < before.counters.size() &&
+                before.counters[b].first == name)
+                prior = before.counters[b].second;
+            // Zero deltas still travel: registration alone makes an
+            // instrument appear (as 0) in the artifact's stats block,
+            // so the master must learn every name the job touched.
+            counters.emplace_back(name, value - prior);
+        }
+    }
+    w.u64(counters.size());
+    for (const auto& [name, delta] : counters) {
+        w.str(name);
+        w.u64(delta);
+    }
+
+    // Gauges are max-merged on apply, so shipping the full after-value
+    // is both exact and idempotent; no need to diff against before.
+    w.u64(after.gauges.size());
+    for (const auto& [name, value] : after.gauges) {
+        w.str(name);
+        w.f64(value);
+    }
+
+    std::vector<std::pair<std::string, obs::Histogram::Snapshot>>
+        hists;
+    {
+        std::size_t b = 0;
+        for (const auto& [name, snap] : after.histograms) {
+            while (b < before.histograms.size() &&
+                   before.histograms[b].first < name)
+                ++b;
+            obs::Histogram::Snapshot delta = snap;
+            if (b < before.histograms.size() &&
+                before.histograms[b].first == name) {
+                const auto& prior = before.histograms[b].second;
+                if (prior.bounds != snap.bounds)
+                    fatal("dist: histogram '", name,
+                          "' changed bounds between snapshots");
+                for (std::size_t i = 0; i < delta.counts.size(); ++i)
+                    delta.counts[i] -= prior.counts[i];
+                delta.count -= prior.count;
+                delta.sum -= prior.sum;
+            }
+            hists.emplace_back(name, std::move(delta));
+        }
+    }
+    w.u64(hists.size());
+    for (const auto& [name, snap] : hists) {
+        w.str(name);
+        w.u64(snap.bounds.size());
+        for (const double bound : snap.bounds)
+            w.f64(bound);
+        for (const std::uint64_t count : snap.counts)
+            w.u64(count);
+        w.u64(snap.count);
+        w.f64(snap.sum);
+    }
+    return w.take();
+}
+
+void
+applyStatsDelta(std::string_view encoded, obs::Registry& registry)
+{
+    ByteReader r(encoded);
+
+    const std::uint64_t nCounters = r.u64();
+    for (std::uint64_t i = 0; i < nCounters; ++i) {
+        const std::string name = r.str();
+        const std::uint64_t delta = r.u64();
+        registry.counter(name, obs::StatScope::Sim).add(delta);
+    }
+
+    const std::uint64_t nGauges = r.u64();
+    for (std::uint64_t i = 0; i < nGauges; ++i) {
+        const std::string name = r.str();
+        const double value = r.f64();
+        registry.gauge(name, obs::StatScope::Sim).observe(value);
+    }
+
+    const std::uint64_t nHists = r.u64();
+    for (std::uint64_t i = 0; i < nHists; ++i) {
+        const std::string name = r.str();
+        const std::uint64_t nBounds = r.u64();
+        if (nBounds > r.remaining())
+            throw DecodeError("stats delta bounds exceed payload");
+        obs::Histogram::Snapshot delta;
+        delta.bounds.reserve(static_cast<std::size_t>(nBounds));
+        for (std::uint64_t b = 0; b < nBounds; ++b)
+            delta.bounds.push_back(r.f64());
+        delta.counts.reserve(static_cast<std::size_t>(nBounds) + 1);
+        for (std::uint64_t b = 0; b < nBounds + 1; ++b)
+            delta.counts.push_back(r.u64());
+        delta.count = r.u64();
+        delta.sum = r.f64();
+        registry
+            .histogram(name, delta.bounds, obs::StatScope::Sim)
+            .add(delta);
+    }
+    r.expectDone("stats delta");
+}
+
+} // namespace codecrunch::dist

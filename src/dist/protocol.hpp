@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Message vocabulary of the master/worker protocol.
+ *
+ * Both ends run the SAME bench binary over the same deterministic
+ * RunPlan; closures never cross the wire. The master deals job
+ * *indices*; a worker executes its locally built job body for that
+ * index and ships the encoded result back. Safety rails:
+ *
+ *  - A versioned handshake (Hello/HelloAck/HelloReject) rejects
+ *    mismatched binaries outright.
+ *  - PlanBegin carries a sequence number and an FNV-1a fingerprint
+ *    over (plan name, job count, every label, every seed). A worker
+ *    whose locally built plan fingerprints differently has diverged
+ *    from the master and refuses the plan — better a loud failure
+ *    than a silently wrong artifact.
+ *  - Every job result carries the worker's sim-scope stats delta for
+ *    that job (counters/gauges/histograms observed while it ran), so
+ *    the master's registry — the one exported into artifacts — ends up
+ *    exactly as if it had executed every job itself. Deltas are
+ *    commutative (integer adds, max-gauges, bucket adds), so apply
+ *    order cannot perturb the artifact.
+ *  - PlanResults broadcasts the full ordered outcome list to every
+ *    worker at plan end, keeping workers in lockstep: benches feed
+ *    earlier plan results into later plans (e.g. the Fig. 7 budget
+ *    priming), so every process must observe identical results.
+ *
+ * Payload encodings are fixed-width little-endian (common/bytes.hpp);
+ * decoders are bounds-checked and reject trailing bytes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/stats.hpp"
+#include "runner/backend.hpp"
+
+namespace codecrunch::dist {
+
+/** Handshake magic: "CCDW" (CodeCrunch Distributed Worker). */
+inline constexpr std::uint32_t kMagic = 0x43434457u;
+/** Bump on ANY wire-format change; mismatches are rejected. */
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/** Frame type tags (framing.hpp). */
+enum class MsgType : std::uint8_t {
+    Hello = 1,       // worker -> master: magic, version, pid, attempts
+    HelloAck = 2,    // master -> worker: magic, version, workerId
+    HelloReject = 3, // master -> worker: reason (then close)
+    PlanBegin = 4,   // master -> worker: seq, name, jobs, fingerprint
+    PlanAck = 5,     // worker -> master: seq
+    JobRequest = 6,  // worker -> master: seq (pull scheduling)
+    JobAssign = 7,   // master -> worker: seq, job index
+    JobResult = 8,   // worker -> master: seq, index, payload, stats
+    JobFailed = 9,   // worker -> master: seq, index, error, stats
+    Heartbeat = 10,  // worker -> master: liveness (empty payload)
+    PlanResults = 11, // master -> worker: seq, ordered outcomes
+    Error = 12,      // either direction: fatal condition description
+    Shutdown = 13,   // master -> worker: drain and exit
+    Bye = 14,        // worker -> master: orderly goodbye
+};
+
+struct Hello {
+    std::uint32_t magic = kMagic;
+    std::uint32_t version = kProtocolVersion;
+    std::uint64_t pid = 0;
+    /** Connect attempts made (>1 means the worker had to retry). */
+    std::uint32_t connectAttempts = 1;
+};
+
+struct HelloAck {
+    std::uint32_t magic = kMagic;
+    std::uint32_t version = kProtocolVersion;
+    std::uint32_t workerId = 0;
+};
+
+struct PlanBegin {
+    std::uint64_t planSeq = 0;
+    std::string planName;
+    std::uint64_t jobCount = 0;
+    std::uint64_t fingerprint = 0;
+};
+
+struct JobAssign {
+    std::uint64_t planSeq = 0;
+    std::uint64_t jobIndex = 0;
+};
+
+struct JobResult {
+    std::uint64_t planSeq = 0;
+    std::uint64_t jobIndex = 0;
+    /** Encoded result (JobCodec) on success; error text on failure. */
+    std::string payloadOrError;
+    /** Encoded sim-scope stats delta for this job (encodeStatsDelta). */
+    std::string statsDelta;
+};
+
+struct PlanResults {
+    std::uint64_t planSeq = 0;
+    std::vector<runner::ExecBackend::JobOutcome> outcomes;
+};
+
+std::string encodeHello(const Hello& m);
+Hello decodeHello(std::string_view payload);
+
+std::string encodeHelloAck(const HelloAck& m);
+HelloAck decodeHelloAck(std::string_view payload);
+
+std::string encodePlanBegin(const PlanBegin& m);
+PlanBegin decodePlanBegin(std::string_view payload);
+
+std::string encodeJobAssign(const JobAssign& m);
+JobAssign decodeJobAssign(std::string_view payload);
+
+/** Shared codec for JobResult and JobFailed (same payload shape). */
+std::string encodeJobResult(const JobResult& m);
+JobResult decodeJobResult(std::string_view payload);
+
+std::string encodePlanResults(const PlanResults& m);
+PlanResults decodePlanResults(std::string_view payload);
+
+/** str-payload messages (HelloReject, Error) and u64-seq messages
+ *  (PlanAck, JobRequest) are encoded inline by the endpoints. */
+std::string encodeSeqOnly(std::uint64_t seq);
+std::uint64_t decodeSeqOnly(std::string_view payload,
+                            std::string_view what);
+
+std::string encodeText(std::string_view text);
+std::string decodeText(std::string_view payload,
+                       std::string_view what);
+
+/**
+ * FNV-1a fingerprint over the plan identity: name, job count, and
+ * every (label, seed) pair in order. Master and worker both compute it
+ * from their locally built plans; equality certifies both processes
+ * lowered the same deterministic plan.
+ */
+std::uint64_t
+planFingerprint(std::string_view planName,
+                const std::vector<runner::ExecBackend::SerializedJob>&
+                    jobs);
+
+/**
+ * Difference between two sim-scope registry snapshots, encoded for the
+ * wire. `before` must be a snapshot taken on the same registry earlier
+ * than `after` (instruments only grow, counters only increase).
+ * Includes: counters with a positive delta, every gauge value (the
+ * master's max-merge makes re-observing idempotent), and histograms
+ * with new occupancy (bounds + per-bucket count deltas; the sum delta
+ * rides along for --stats-out but is excluded from artifacts by the
+ * report writer).
+ */
+std::string
+encodeStatsDelta(const obs::Registry::StatsSnapshot& before,
+                 const obs::Registry::StatsSnapshot& after);
+
+/**
+ * Apply an encoded delta to `registry`, registering any instrument the
+ * master has not seen yet. All operations commute, so applying job
+ * deltas in completion order yields the same registry state as local
+ * execution.
+ */
+void applyStatsDelta(std::string_view encoded,
+                     obs::Registry& registry);
+
+} // namespace codecrunch::dist

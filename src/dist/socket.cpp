@@ -1,0 +1,170 @@
+#include "dist/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+
+namespace codecrunch::dist {
+
+namespace {
+
+void
+setNoDelay(int fd)
+{
+    // The protocol is request/response with small control frames;
+    // Nagle would add 40ms stalls to every job handoff.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // namespace
+
+TcpStream::~TcpStream() { close(); }
+
+TcpStream::TcpStream(TcpStream&& other) noexcept : fd_(other.fd_)
+{
+    other.fd_ = -1;
+}
+
+TcpStream&
+TcpStream::operator=(TcpStream&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+bool
+TcpStream::sendAll(std::string_view data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const auto n = ::send(fd_, data.data() + sent,
+                              data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+long
+TcpStream::recvSome(char* out, std::size_t max)
+{
+    for (;;) {
+        const auto n = ::recv(fd_, out, max, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return static_cast<long>(n);
+    }
+}
+
+void
+TcpStream::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+TcpListener::~TcpListener()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+TcpListener::listen(std::uint16_t port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        fatal("dist: socket() failed: ", std::strerror(errno));
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+        fatal("dist: bind(port=", port,
+              ") failed: ", std::strerror(errno));
+    if (::listen(fd_, 64) != 0)
+        fatal("dist: listen() failed: ", std::strerror(errno));
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &len) != 0)
+        fatal("dist: getsockname() failed: ", std::strerror(errno));
+    port_ = ntohs(addr.sin_port);
+}
+
+TcpStream
+TcpListener::accept()
+{
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0)
+        return TcpStream();
+    setNoDelay(fd);
+    return TcpStream(fd);
+}
+
+TcpStream
+connectTcp(const std::string& host, std::uint16_t port,
+           double timeoutSeconds, std::uint32_t* attemptsOut)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* info = nullptr;
+    const std::string portStr = std::to_string(port);
+    if (::getaddrinfo(host.c_str(), portStr.c_str(), &hints, &info) !=
+            0 ||
+        info == nullptr)
+        fatal("dist: cannot resolve '", host, "'");
+
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(timeoutSeconds);
+    std::uint32_t attempts = 0;
+    for (;;) {
+        ++attempts;
+        const int fd = ::socket(info->ai_family, info->ai_socktype,
+                                info->ai_protocol);
+        if (fd >= 0 &&
+            ::connect(fd, info->ai_addr, info->ai_addrlen) == 0) {
+            ::freeaddrinfo(info);
+            setNoDelay(fd);
+            if (attemptsOut)
+                *attemptsOut = attempts;
+            return TcpStream(fd);
+        }
+        if (fd >= 0)
+            ::close(fd);
+        if (std::chrono::steady_clock::now() >= deadline) {
+            ::freeaddrinfo(info);
+            fatal("dist: cannot connect to ", host, ":", port,
+                  " after ", attempts,
+                  " attempts: ", std::strerror(errno));
+        }
+        // The master may still be starting up; back off briefly.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+}
+
+} // namespace codecrunch::dist

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal RAII TCP primitives for the distributed runner: a stream
+ * (connected socket), a listener, and a retrying connect helper. Plain
+ * POSIX sockets, blocking by default; the master multiplexes many
+ * streams with poll(2) (master.cpp) while workers use one blocking
+ * stream per process (worker.cpp).
+ *
+ * All sends use MSG_NOSIGNAL so a peer that vanished surfaces as an
+ * error return, never as SIGPIPE killing the process — worker loss is
+ * an expected event the master must survive.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace codecrunch::dist {
+
+/**
+ * A connected TCP socket. Movable, closes on destruction.
+ */
+class TcpStream
+{
+  public:
+    TcpStream() = default;
+    explicit TcpStream(int fd) : fd_(fd) {}
+    ~TcpStream();
+
+    TcpStream(TcpStream&& other) noexcept;
+    TcpStream& operator=(TcpStream&& other) noexcept;
+    TcpStream(const TcpStream&) = delete;
+    TcpStream& operator=(const TcpStream&) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /**
+     * Write the whole buffer, looping over partial sends.
+     * @return false when the peer is gone (connection reset/closed).
+     */
+    bool sendAll(std::string_view data);
+
+    /**
+     * Read up to `max` bytes into `out`.
+     * @return bytes read; 0 on orderly shutdown, -1 on error.
+     */
+    long recvSome(char* out, std::size_t max);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * A listening TCP socket bound to 0.0.0.0:<port>.
+ */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+    ~TcpListener();
+
+    TcpListener(TcpListener&&) = delete;
+    TcpListener& operator=(TcpListener&&) = delete;
+
+    /**
+     * Bind and listen. `port` 0 asks the kernel for a free port; the
+     * resolved port is available from port() afterwards. Fatal on
+     * failure (a master that cannot listen cannot run at all).
+     */
+    void listen(std::uint16_t port);
+
+    /** Accept one pending connection (call after poll says readable). */
+    TcpStream accept();
+
+    std::uint16_t port() const { return port_; }
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+/**
+ * Connect to host:port, retrying for up to `timeoutSeconds` (the
+ * master may still be binding when a spawned worker starts). Fatal on
+ * timeout or resolution failure.
+ * @param attemptsOut total connect attempts made (>= 1), for the
+ *        reconnect statistic; may be null.
+ */
+TcpStream connectTcp(const std::string& host, std::uint16_t port,
+                     double timeoutSeconds = 15.0,
+                     std::uint32_t* attemptsOut = nullptr);
+
+} // namespace codecrunch::dist

@@ -1,0 +1,251 @@
+#include "dist/worker.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "dist/framing.hpp"
+#include "dist/protocol.hpp"
+#include "dist/socket.hpp"
+#include "obs/stats.hpp"
+
+namespace codecrunch::dist {
+
+struct WorkerBackend::Impl {
+    WorkerOptions options;
+    TcpStream stream;
+    FrameParser parser;
+    std::uint32_t workerId = 0;
+    std::uint64_t planSeq = 0;
+    std::size_t jobsCompleted = 0;
+
+    /** Serializes socket writes between main and heartbeat threads. */
+    std::mutex writeMutex;
+    std::thread heartbeatThread;
+    std::mutex heartbeatMutex;
+    std::condition_variable heartbeatCv;
+    bool stopping = false;
+
+    explicit Impl(WorkerOptions opts) : options(std::move(opts))
+    {
+        std::uint32_t attempts = 0;
+        stream = connectTcp(options.host, options.port,
+                            options.connectTimeout, &attempts);
+        Hello hello;
+        hello.pid = static_cast<std::uint64_t>(::getpid());
+        hello.connectAttempts = attempts;
+        send(MsgType::Hello, encodeHello(hello));
+        const Frame frame = readFrame();
+        if (frame.type ==
+            static_cast<std::uint8_t>(MsgType::HelloReject))
+            fatal("dist: master rejected this worker: ",
+                  decodeText(frame.payload, "HelloReject"));
+        if (frame.type !=
+            static_cast<std::uint8_t>(MsgType::HelloAck))
+            fatal("dist: expected HelloAck, got frame type ",
+                  frame.type);
+        const HelloAck ack = decodeHelloAck(frame.payload);
+        if (ack.magic != kMagic || ack.version != kProtocolVersion)
+            fatal("dist: master protocol mismatch (version=",
+                  ack.version, ", want ", kProtocolVersion, ")");
+        workerId = ack.workerId;
+        heartbeatThread = std::thread([this] { heartbeatLoop(); });
+    }
+
+    ~Impl()
+    {
+        {
+            std::lock_guard<std::mutex> lock(heartbeatMutex);
+            stopping = true;
+        }
+        heartbeatCv.notify_all();
+        if (heartbeatThread.joinable())
+            heartbeatThread.join();
+        if (stream.valid()) {
+            std::lock_guard<std::mutex> lock(writeMutex);
+            stream.sendAll(encodeFrame(
+                static_cast<std::uint8_t>(MsgType::Bye), ""));
+        }
+    }
+
+    void
+    send(MsgType type, std::string_view payload)
+    {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        if (!stream.sendAll(encodeFrame(
+                static_cast<std::uint8_t>(type), payload)))
+            fatal("dist: lost connection to master while sending");
+    }
+
+    /** Blocking read of the next frame; master EOF is fatal. */
+    Frame
+    readFrame()
+    {
+        for (;;) {
+            if (auto frame = parser.next())
+                return *frame;
+            char buffer[64 * 1024];
+            const long n = stream.recvSome(buffer, sizeof(buffer));
+            if (n <= 0)
+                fatal("dist: master closed the connection");
+            parser.feed(std::string_view(
+                buffer, static_cast<std::size_t>(n)));
+        }
+    }
+
+    void
+    heartbeatLoop()
+    {
+        const auto interval = std::chrono::duration<double>(
+            options.heartbeatInterval);
+        std::unique_lock<std::mutex> lock(heartbeatMutex);
+        while (!stopping) {
+            heartbeatCv.wait_for(lock, interval,
+                                 [this] { return stopping; });
+            if (stopping)
+                return;
+            std::lock_guard<std::mutex> writeLock(writeMutex);
+            if (!stream.valid() ||
+                !stream.sendAll(encodeFrame(
+                    static_cast<std::uint8_t>(MsgType::Heartbeat),
+                    "")))
+                return; // main thread will notice on its next I/O
+        }
+    }
+};
+
+WorkerBackend::WorkerBackend(WorkerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options)))
+{
+}
+
+WorkerBackend::~WorkerBackend() = default;
+
+std::uint32_t
+WorkerBackend::workerId() const
+{
+    return impl_->workerId;
+}
+
+std::vector<runner::ExecBackend::JobOutcome>
+WorkerBackend::executePlan(const std::string& planName,
+                           std::vector<SerializedJob> jobs,
+                           runner::ProgressSink* sink)
+{
+    Impl& w = *impl_;
+    const std::uint64_t seq = w.planSeq++;
+    const std::uint64_t localFingerprint =
+        planFingerprint(planName, jobs);
+
+    // The master announces the plan; any divergence between its plan
+    // and ours (different binary, different config, nondeterministic
+    // plan build) is fatal — running mismatched jobs would produce a
+    // plausible-looking but wrong artifact.
+    const Frame beginFrame = w.readFrame();
+    if (beginFrame.type ==
+        static_cast<std::uint8_t>(MsgType::Shutdown))
+        fatal("dist: master shut down before plan '", planName,
+              "'");
+    if (beginFrame.type !=
+        static_cast<std::uint8_t>(MsgType::PlanBegin))
+        fatal("dist: expected PlanBegin, got frame type ",
+              beginFrame.type);
+    const PlanBegin begin = decodePlanBegin(beginFrame.payload);
+    if (begin.planSeq != seq)
+        fatal("dist: master is at plan #", begin.planSeq,
+              " but this worker expects #", seq,
+              " — worker joined mid-sequence?");
+    if (begin.jobCount != jobs.size() ||
+        begin.fingerprint != localFingerprint)
+        fatal("dist: plan '", planName, "' diverged: master has ",
+              begin.jobCount, " jobs (fingerprint ",
+              begin.fingerprint, "), worker built ", jobs.size(),
+              " (fingerprint ", localFingerprint, ")");
+    w.send(MsgType::PlanAck, encodeSeqOnly(seq));
+
+    auto& registry = obs::Registry::global();
+    if (sink)
+        sink->planStarted(planName, jobs.size());
+
+    for (;;) {
+        w.send(MsgType::JobRequest, encodeSeqOnly(seq));
+        const Frame frame = w.readFrame();
+        switch (static_cast<MsgType>(frame.type)) {
+        case MsgType::JobAssign: {
+            const JobAssign assign =
+                decodeJobAssign(frame.payload);
+            if (assign.planSeq != seq ||
+                assign.jobIndex >= jobs.size())
+                fatal("dist: bad job assignment (plan ",
+                      assign.planSeq, ", index ", assign.jobIndex,
+                      ")");
+            if (w.jobsCompleted >= w.options.dieAfterJobs) {
+                // Worker-loss fault injection: vanish with the job
+                // in flight, exactly what a crashed machine looks
+                // like to the master.
+                std::_Exit(17);
+            }
+            const std::size_t index =
+                static_cast<std::size_t>(assign.jobIndex);
+            if (sink)
+                sink->jobStarted(index, jobs[index].label, 0.0);
+            // Serial execution makes the before/after delta exactly
+            // this job's contribution (see worker.hpp).
+            const auto before =
+                registry.snapshot(obs::StatScope::Sim);
+            JobResult result;
+            result.planSeq = seq;
+            result.jobIndex = assign.jobIndex;
+            bool ok = true;
+            try {
+                result.payloadOrError = jobs[index].run();
+            } catch (const std::exception& e) {
+                ok = false;
+                result.payloadOrError = e.what();
+            } catch (...) {
+                ok = false;
+                result.payloadOrError = "unknown exception";
+            }
+            const auto after =
+                registry.snapshot(obs::StatScope::Sim);
+            result.statsDelta = encodeStatsDelta(before, after);
+            w.send(ok ? MsgType::JobResult : MsgType::JobFailed,
+                   encodeJobResult(result));
+            ++w.jobsCompleted;
+            if (sink)
+                sink->jobFinished(index, ok);
+            break;
+        }
+        case MsgType::PlanResults: {
+            PlanResults results =
+                decodePlanResults(frame.payload);
+            if (results.planSeq != seq)
+                fatal("dist: PlanResults for wrong plan");
+            if (results.outcomes.size() != jobs.size())
+                fatal("dist: PlanResults has ",
+                      results.outcomes.size(), " outcomes for ",
+                      jobs.size(), " jobs");
+            if (sink)
+                sink->planFinished();
+            return std::move(results.outcomes);
+        }
+        case MsgType::Shutdown:
+            fatal("dist: master shut down mid-plan '", planName,
+                  "'");
+            break;
+        case MsgType::Error:
+            fatal("dist: master reported: ",
+                  decodeText(frame.payload, "Error"));
+            break;
+        default:
+            fatal("dist: unexpected frame type ", frame.type,
+                  " mid-plan");
+        }
+    }
+}
+
+} // namespace codecrunch::dist

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Worker side of distributed plan execution.
+ *
+ * A worker is the SAME bench binary run with --dist-worker host:port.
+ * It builds every plan locally (deterministically — seeds fixed at
+ * plan build), so the master only has to name job indices. For each
+ * plan the worker: verifies the master's plan fingerprint against its
+ * own, then pull-schedules — request a job, run it, ship the encoded
+ * result plus the sim-scope stats delta the job produced, repeat —
+ * until the master broadcasts the full ordered outcome list. That
+ * broadcast becomes this executePlan's return value, so the worker's
+ * RunEngine::run returns bit-identical results to the master's and
+ * all downstream bench code stays in lockstep.
+ *
+ * Jobs run strictly one at a time on the worker's main thread: the
+ * before/after registry snapshots that produce per-job stats deltas
+ * require it, and process-level parallelism comes from running more
+ * workers. A background thread heartbeats every few seconds (socket
+ * writes are mutex-serialized against the main thread).
+ *
+ * Worker processes never write artifacts — report-layer writes are
+ * suppressed in worker mode (runner/report.hpp) — so a master and its
+ * locally spawned workers cannot race on output files.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/backend.hpp"
+
+namespace codecrunch::dist {
+
+struct WorkerOptions {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /** Seconds to keep retrying the initial connect. */
+    double connectTimeout = 15.0;
+    /** Seconds between heartbeats. */
+    double heartbeatInterval = 2.0;
+    /**
+     * Fault-injection hook for the worker-loss tests: after this many
+     * completed jobs the process _exit()s the moment the next job is
+     * assigned — an in-flight loss from the master's point of view.
+     * SIZE_MAX disables it.
+     */
+    std::size_t dieAfterJobs = static_cast<std::size_t>(-1);
+};
+
+class WorkerBackend : public runner::ExecBackend
+{
+  public:
+    /** Connects and handshakes; fatal on version mismatch. */
+    explicit WorkerBackend(WorkerOptions options);
+
+    ~WorkerBackend() override;
+
+    /** Worker id assigned by the master during the handshake. */
+    std::uint32_t workerId() const;
+
+    std::vector<JobOutcome>
+    executePlan(const std::string& planName,
+                std::vector<SerializedJob> jobs,
+                runner::ProgressSink* sink) override;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace codecrunch::dist

@@ -136,6 +136,41 @@ struct RunResult {
     Dollars faultRefundedDollars = 0.0;
     Dollars commitmentConsumedDollars = 0.0;
     Dollars outstandingCommitmentDollars = 0.0;
+
+    /**
+     * Exact binary round trip of a finished run (runner/serial.hpp):
+     * the basis of distributed execution's byte-identical-artifact
+     * guarantee. New result fields must be added here too (dist_test's
+     * round trip guards the report fields).
+     */
+    template <typename V>
+    void
+    visitFields(V&& v)
+    {
+        v(metrics);
+        v(decisionWallSeconds);
+        v(keepAliveSpend);
+        v(unserved);
+        v(coldNoContainer);
+        v(coldContainerCoreBusy);
+        v(coldContainerNoMemory);
+        v(endExpired);
+        v(endConsumed);
+        v(endEvictedForExec);
+        v(endEvictedForKeep);
+        v(endEvictedByPolicy);
+        v(keepDropped);
+        v(nodeCrashes);
+        v(nodeRecoveries);
+        v(endEvictedByFault);
+        v(prewarmsDropped);
+        v(rePrewarmsIssued);
+        v(committedDollars);
+        v(refundedDollars);
+        v(faultRefundedDollars);
+        v(commitmentConsumedDollars);
+        v(outstandingCommitmentDollars);
+    }
 };
 
 /**

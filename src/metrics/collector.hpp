@@ -36,6 +36,20 @@ struct InvocationRecord {
     {
         return wait + startup + exec;
     }
+
+    /** Exact binary round trip (runner/serial.hpp). */
+    template <typename V>
+    void
+    visitFields(V&& v)
+    {
+        v(function);
+        v(arrival);
+        v(wait);
+        v(startup);
+        v(exec);
+        v(start);
+        v(nodeType);
+    }
 };
 
 /**
@@ -56,6 +70,22 @@ struct MinuteBin {
     std::size_t failedAttempts = 0;
     /** Mean service time of invocations arriving this minute. */
     double meanService = 0;
+
+    /** Exact binary round trip (runner/serial.hpp). */
+    template <typename V>
+    void
+    visitFields(V&& v)
+    {
+        v(invocations);
+        v(warmStarts);
+        v(compressedStarts);
+        v(coldStarts);
+        v(warmMemoryMb);
+        v(keepAliveSpend);
+        v(compressions);
+        v(failedAttempts);
+        v(meanService);
+    }
 };
 
 /**
@@ -394,6 +424,48 @@ class Collector
         return invoked ? static_cast<double>(violations) /
                              static_cast<double>(invoked)
                        : 0.0;
+    }
+
+    /**
+     * Exact binary round trip of the complete collector state (see
+     * runner/serial.hpp): a decoded collector answers every aggregate,
+     * quantile, timeline, and SLA query bit-identically to the
+     * original. This is what lets distributed workers ship finished
+     * runs to the master without perturbing artifacts. Every field
+     * below must be listed here — additions to the collector state
+     * must extend this visitor (dist_test's codec round trip catches
+     * forgotten aggregates).
+     */
+    template <typename V>
+    void
+    visitFields(V&& v)
+    {
+        v(records_);
+        v(bins_);
+        v(service_);
+        v(wait_);
+        v(serviceDigest_);
+        v(warmStarts_);
+        v(coldStarts_);
+        v(compressedStarts_);
+        v(compressions_);
+        v(lastCumulativeSpend_);
+        v(failedAttempts_);
+        v(retries_);
+        v(permanentFailures_);
+        v(nodesDownNow_);
+        v(lastDownTransition_);
+        v(downNodeSeconds_);
+        v(availability_);
+        v(domainDownNow_);
+        v(domainDownSeconds_);
+        v(domainAvailability_);
+        v(refundedDollars_);
+        v(faultRefundedDollars_);
+        v(prewarmsDropped_);
+        v(warmRecovery_);
+        v(localService_);
+        v(localWait_);
     }
 
   private:

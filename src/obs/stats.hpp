@@ -188,6 +188,17 @@ class LocalHistogram
 
     const Histogram::Snapshot& snapshot() const { return snap_; }
 
+    /** Exact binary round trip (runner/serial.hpp). */
+    template <typename V>
+    void
+    visitFields(V&& v)
+    {
+        v(snap_.bounds);
+        v(snap_.counts);
+        v(snap_.count);
+        v(snap_.sum);
+    }
+
   private:
     Histogram::Snapshot snap_;
 };

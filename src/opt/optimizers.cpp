@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "obs/profiler.hpp"
 
 namespace codecrunch::opt {
@@ -665,7 +666,17 @@ SreOptimizer::optimizeWithCounts(const SeparableObjective& objective,
             // Parent scope on the calling thread; each worker records
             // its own sre.subproblem tree, merged when it exits.
             CC_PHASE("sre.subproblems");
-            if (config_.parallel && subproblems.size() > 1) {
+            ParallelExecutor* executor = currentParallelExecutor();
+            if (config_.parallel && subproblems.size() > 1 &&
+                executor != nullptr) {
+                // Inside a runner job: fan out on the runner's own
+                // pool so --threads bounds total process concurrency
+                // (the executor lets this thread claim sub-problems
+                // itself, so this cannot deadlock the pool).
+                executor->parallelFor(subproblems.size(), solve);
+            } else if (config_.parallel && subproblems.size() > 1) {
+                // Standalone use (unit tests, tools): private threads
+                // capped by maxThreads, as before.
                 const std::size_t threadCap = config_.maxThreads
                     ? config_.maxThreads
                     : std::max(1u,

@@ -265,9 +265,16 @@ struct SreConfig {
      * and each works against a frozen snapshot of the round's
      * starting assignment, so results are deterministic and identical
      * to the sequential snapshot-merge execution.
+     *
+     * When the calling thread belongs to a runner ThreadPool (i.e. the
+     * optimizer runs inside a RunEngine job), sub-problems fan out on
+     * that SAME pool via the ParallelExecutor hook
+     * (common/parallel.hpp), so `--threads N` bounds total process
+     * concurrency; maxThreads only applies to the standalone fallback
+     * that spawns private threads.
      */
     bool parallel = true;
-    /** Thread cap for parallel mode (0 = hardware concurrency). */
+    /** Thread cap for standalone mode (0 = hardware concurrency). */
     std::size_t maxThreads = 0;
 };
 

@@ -35,11 +35,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "experiments/harness.hpp"
 #include "obs/profiler.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "runner/backend.hpp"
 #include "runner/progress.hpp"
+#include "runner/serial.hpp"
 #include "runner/thread_pool.hpp"
 
 namespace codecrunch::runner {
@@ -125,6 +128,15 @@ struct RunEngineOptions {
      * a private buffer named "<plan>/<label>", allocated in plan order.
      */
     obs::TraceCollection* trace = nullptr;
+    /**
+     * Optional job-execution backend (not owned). Null runs jobs on
+     * the local pool with typed results (the default). Set, every plan
+     * is lowered to serialized jobs and executed by the backend — the
+     * distributed master/worker modes plug in here. Requires the
+     * plan's result type to have a JobCodec (serial.hpp); trace
+     * collection is unsupported in backend mode.
+     */
+    ExecBackend* backend = nullptr;
 };
 
 class RunEngine
@@ -157,6 +169,8 @@ class RunEngine
     std::vector<R>
     run(const Plan<R>& plan)
     {
+        if (options_.backend)
+            return runOnBackend(plan);
         const auto& jobs = plan.jobs();
         ProgressSink* sink = options_.progress;
         if (sink)
@@ -231,6 +245,65 @@ class RunEngine
     }
 
   private:
+    /**
+     * Backend path: lower every job to a serialized thunk and hand the
+     * plan to the configured backend. Results decode back in plan
+     * order; the first failed job (in plan order) becomes an
+     * exception after all jobs settle, mirroring the local path.
+     */
+    template <typename R>
+    std::vector<R>
+    runOnBackend(const Plan<R>& plan)
+    {
+        if constexpr (!kJobCodecAvailable<R>) {
+            fatal("plan '", plan.name(),
+                  "': result type has no JobCodec; distributed "
+                  "execution unsupported (add visitFields to the "
+                  "result struct)");
+            return {};
+        } else {
+            const auto& jobs = plan.jobs();
+            if (options_.trace)
+                fatal("plan '", plan.name(),
+                      "': --trace-out is unsupported in distributed "
+                      "mode");
+            statPlans_->add(1);
+            std::vector<ExecBackend::SerializedJob> lowered;
+            lowered.reserve(jobs.size());
+            for (const Job<R>& job : jobs) {
+                lowered.push_back(ExecBackend::SerializedJob{
+                    job.label, job.seed, [&job] {
+                        JobContext context;
+                        context.seed = job.seed;
+                        return JobCodec<R>::encode(job.body(context));
+                    }});
+            }
+            std::vector<ExecBackend::JobOutcome> outcomes =
+                options_.backend->executePlan(
+                    plan.name(), std::move(lowered),
+                    options_.progress);
+            if (outcomes.size() != jobs.size())
+                fatal("plan '", plan.name(), "': backend returned ",
+                      outcomes.size(), " outcomes for ", jobs.size(),
+                      " jobs");
+            statJobs_->add(jobs.size());
+            for (std::size_t i = 0; i < outcomes.size(); ++i) {
+                if (!outcomes[i].ok()) {
+                    statJobFailures_->add(1);
+                    throw std::runtime_error(
+                        "job '" + jobs[i].label + "' failed: " +
+                        outcomes[i].error);
+                }
+            }
+            std::vector<R> results;
+            results.reserve(outcomes.size());
+            for (auto& outcome : outcomes)
+                results.push_back(
+                    JobCodec<R>::decode(outcome.payload));
+            return results;
+        }
+    }
+
     Options options_;
     ThreadPool pool_;
     // Wall-scope instruments (never part of deterministic reports).

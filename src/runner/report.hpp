@@ -32,6 +32,35 @@
 
 namespace codecrunch::runner {
 
+namespace report_detail {
+inline bool& suppressedFlag()
+{
+    static bool suppressed = false;
+    return suppressed;
+}
+} // namespace report_detail
+
+/**
+ * Process-wide artifact suppression. Distributed *worker* processes
+ * mirror the master's bench code in lockstep — including its artifact
+ * writes — but only the master may write: workers often share the
+ * master's filesystem (the --dist-workers local-spawn convenience)
+ * and would race it on the same paths. bench_common sets this in
+ * --dist-worker mode; writeBenchReport/writeObsReport then become
+ * no-ops.
+ */
+inline void
+setArtifactWritesSuppressed(bool suppressed)
+{
+    report_detail::suppressedFlag() = suppressed;
+}
+
+inline bool
+artifactWritesSuppressed()
+{
+    return report_detail::suppressedFlag();
+}
+
 /**
  * Minimal streaming JSON emitter: 2-space pretty printing, insertion
  * key order, full-precision doubles. Just enough for run reports.
@@ -349,7 +378,7 @@ inline void
 writeBenchReport(const std::string& path, const ReportMeta& meta,
                  const std::function<void(JsonWriter&)>& body)
 {
-    if (path.empty())
+    if (path.empty() || artifactWritesSuppressed())
         return;
     const std::filesystem::path file(path);
     if (file.has_parent_path()) {
@@ -420,7 +449,7 @@ writeRunReport(const std::string& path, const ReportMeta& meta,
 inline void
 writeObsReport(const std::string& path)
 {
-    if (path.empty())
+    if (path.empty() || artifactWritesSuppressed())
         return;
     const std::filesystem::path file(path);
     if (file.has_parent_path()) {

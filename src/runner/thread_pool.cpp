@@ -7,10 +7,16 @@ namespace codecrunch::runner {
 namespace {
 
 /** Worker index of the current thread in its owning pool, if any. */
-thread_local const ThreadPool* tlsPool = nullptr;
+thread_local ThreadPool* tlsPool = nullptr;
 thread_local std::size_t tlsWorkerIndex = 0;
 
 } // namespace
+
+ThreadPool*
+ThreadPool::currentThreadPool()
+{
+    return tlsPool;
+}
 
 ThreadPool::ThreadPool(std::size_t threads)
 {
@@ -54,15 +60,24 @@ ThreadPool::submit(std::function<void()> task)
         std::lock_guard<std::mutex> lock(workers_[target]->mutex);
         workers_[target]->deque.push_back(std::move(task));
     }
-    // The increment must happen under sleepMutex_ so it synchronizes
-    // with a worker that has just read queued_==0 in its wait predicate
-    // but not yet blocked; otherwise the notify is lost and the worker
-    // sleeps with the task still queued (mirrors ~ThreadPool).
-    {
+    // Store-buffering pair with the worker park path: the submitter
+    // publishes queued_ then reads sleepers_; a parking worker
+    // advertises sleepers_ then re-reads queued_ (both seq_cst, both
+    // under no common lock). At least one side must observe the
+    // other, so either this submit skips the lock because the worker
+    // was never parked (it saw our task), or it sees the sleeper and
+    // wakes exactly one. Under load — no parked workers — submit is
+    // lock-free and notify-free.
+    queued_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+        // Taking the mutex before notifying closes the window where
+        // the sleeper has advertised itself but not yet blocked: the
+        // mutex is only released once the worker is either waiting
+        // (notify reaches it) or re-checking the predicate (it sees
+        // queued_ > 0).
         std::lock_guard<std::mutex> lock(sleepMutex_);
-        queued_.fetch_add(1, std::memory_order_release);
+        sleepCv_.notify_one();
     }
-    sleepCv_.notify_one();
 }
 
 bool
@@ -97,6 +112,10 @@ ThreadPool::workerLoop(std::size_t index)
 {
     tlsPool = this;
     tlsWorkerIndex = index;
+    // Sub-problem parallelism (e.g. SRE) fans out on this same pool
+    // while a job runs on this thread, so --threads bounds the whole
+    // process (common/parallel.hpp).
+    ScopedParallelExecutor executorGuard(this);
     std::function<void()> task;
     for (;;) {
         if (takeTask(index, task)) {
@@ -106,10 +125,15 @@ ThreadPool::workerLoop(std::size_t index)
             continue;
         }
         std::unique_lock<std::mutex> lock(sleepMutex_);
+        // Advertise before the final queue re-check (see submit's
+        // store-buffering comment); stays advertised across spurious
+        // wakeups so a submitter never misses a parked worker.
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
         sleepCv_.wait(lock, [this] {
             return stopping_.load() ||
-                   queued_.load(std::memory_order_acquire) > 0;
+                   queued_.load(std::memory_order_seq_cst) > 0;
         });
+        sleepers_.fetch_sub(1, std::memory_order_relaxed);
         // Shutdown drains the queues: only exit once no task remains.
         if (stopping_.load() &&
             queued_.load(std::memory_order_acquire) == 0) {
@@ -117,6 +141,76 @@ ThreadPool::workerLoop(std::size_t index)
         }
     }
     tlsPool = nullptr;
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)>& body)
+{
+    if (count == 0)
+        return;
+    if (count == 1 || threadCount() == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    /** Shared batch state; helpers may outlive the call (a late
+     *  helper that claims nothing), so it lives on the heap. */
+    struct Batch {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::size_t count = 0;
+        const std::function<void(std::size_t)>* body = nullptr;
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::exception_ptr error;
+    };
+    auto batch = std::make_shared<Batch>();
+    batch->count = count;
+    // The caller blocks below until every item completed, so the
+    // pointer stays valid for exactly as long as items dereference it.
+    batch->body = &body;
+
+    const auto runSome = [batch] {
+        for (;;) {
+            const std::size_t i =
+                batch->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= batch->count)
+                return;
+            try {
+                (*batch->body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(batch->mutex);
+                if (!batch->error)
+                    batch->error = std::current_exception();
+            }
+            if (batch->done.fetch_add(
+                    1, std::memory_order_acq_rel) +
+                    1 ==
+                batch->count) {
+                std::lock_guard<std::mutex> lock(batch->mutex);
+                batch->cv.notify_all();
+            }
+        }
+    };
+
+    // One helper per item beyond the caller's share, capped at the
+    // pool width; idle workers steal them, busy pools just let the
+    // caller run everything itself.
+    const std::size_t helpers =
+        std::min<std::size_t>(count - 1, threadCount());
+    for (std::size_t h = 0; h < helpers; ++h)
+        submit(runSome);
+    runSome();
+
+    std::unique_lock<std::mutex> lock(batch->mutex);
+    batch->cv.wait(lock, [&] {
+        return batch->done.load(std::memory_order_acquire) ==
+               batch->count;
+    });
+    if (batch->error)
+        std::rethrow_exception(batch->error);
 }
 
 } // namespace codecrunch::runner

@@ -9,10 +9,27 @@
  * is shutdown-safe: remaining queued tasks are drained before the
  * workers are joined, so no submitted task is silently dropped.
  *
+ * Wakeup protocol (eventcount-style): submitters only touch the sleep
+ * lock when at least one worker is actually parked — `sleepers_`
+ * counts parked workers, and workers advertise themselves (under the
+ * lock, before re-checking the queue) so the no-sleeper fast path
+ * cannot lose a wakeup. Under load every worker is busy, so submit is
+ * one deque push plus two atomics: no global lock, no notify, and
+ * never more than one worker woken per task (see the contention
+ * regression test in runner_test).
+ *
  * Tasks are run-to-completion std::function<void()> thunks. Exceptions
  * must not escape a task; RunEngine (engine.hpp) captures them per job
  * and rethrows on the caller's thread, and submitTask() wraps a
  * callable into a std::packaged_task so they surface via the future.
+ *
+ * The pool also implements ParallelExecutor (common/parallel.hpp) and
+ * installs itself on its worker threads, so lower layers (the SRE
+ * optimizer) can fan their sub-problems out on the same pool instead
+ * of spawning private threads — `--threads` then bounds total process
+ * concurrency. parallelFor() lets the calling thread claim and run
+ * batch items itself, so invoking it from inside a pool task cannot
+ * deadlock even when every other worker is busy.
  */
 #pragma once
 
@@ -28,12 +45,14 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/parallel.hpp"
+
 namespace codecrunch::runner {
 
 /**
  * Fixed-size work-stealing pool.
  */
-class ThreadPool
+class ThreadPool : public ParallelExecutor
 {
   public:
     /**
@@ -74,8 +93,27 @@ class ThreadPool
         return future;
     }
 
+    /**
+     * Run body(0..count-1) across the pool and the calling thread;
+     * returns when all have completed. The caller claims items from
+     * the same shared counter as the pool workers, so progress is
+     * guaranteed even when called from a pool task while every other
+     * worker is busy (no inline-wait deadlock). Exceptions from the
+     * body propagate to the caller (first-thrown wins); the batch
+     * still runs to completion first.
+     */
+    void
+    parallelFor(std::size_t count,
+                const std::function<void(std::size_t)>& body) override;
+
+    /** The pool whose worker thread we are on, if any. */
+    static ThreadPool* currentThreadPool();
+
     /** Tasks submitted but not yet started (approximate, for tests). */
     std::size_t queuedApprox() const { return queued_.load(); }
+
+    /** Workers currently parked (approximate, for tests). */
+    std::size_t sleepersApprox() const { return sleepers_.load(); }
 
   private:
     /** One worker's deque; the mutex is uncontended except on steals. */
@@ -92,6 +130,8 @@ class ThreadPool
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::thread> threads_;
     std::atomic<std::size_t> queued_{0};
+    /** Workers parked on sleepCv_; see the wakeup protocol above. */
+    std::atomic<std::size_t> sleepers_{0};
     std::atomic<std::size_t> nextSubmit_{0};
     std::atomic<bool> stopping_{false};
     std::mutex sleepMutex_;

@@ -9,8 +9,10 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "opt/fft.hpp"
 #include "opt/optimizers.hpp"
+#include "runner/thread_pool.hpp"
 
 using namespace codecrunch;
 using namespace codecrunch::opt;
@@ -428,4 +430,33 @@ TEST(Optimizers, RandomAssignmentIsInGrid)
         EXPECT_LT(static_cast<std::size_t>(choice.keepAliveLevel),
                   keepAliveLevels().size());
     }
+}
+
+TEST(Optimizers, SreOnSharedRunnerPoolMatchesSequential)
+{
+    // When an executor is installed (as runner pool workers do), SRE
+    // fans its sub-problems out on that shared pool instead of
+    // spawning private threads; results must stay bit-identical.
+    SyntheticObjective objective(90, 0.5, 11);
+    const Assignment start(90, Choice{});
+    SreOptimizer::Config config;
+    config.parallel = true;
+    SreOptimizer::Config serialConfig = config;
+    serialConfig.parallel = false;
+    Rng rngA(3), rngB(3);
+    runner::ThreadPool pool(3);
+    OptimizerResult pooled;
+    {
+        ScopedParallelExecutor guard(&pool);
+        pooled =
+            SreOptimizer(config).optimize(objective, start, rngA);
+    }
+    const auto serialResult =
+        SreOptimizer(serialConfig).optimize(objective, start, rngB);
+    EXPECT_DOUBLE_EQ(pooled.score, serialResult.score);
+    ASSERT_EQ(pooled.assignment.size(),
+              serialResult.assignment.size());
+    for (std::size_t i = 0; i < pooled.assignment.size(); ++i)
+        EXPECT_TRUE(pooled.assignment[i] ==
+                    serialResult.assignment[i]);
 }

@@ -10,11 +10,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "runner/engine.hpp"
 #include "runner/progress.hpp"
@@ -414,4 +417,127 @@ TEST(ReportDeathTest, UnopenablePathIsFatal)
     std::filesystem::create_directories(dir);
     EXPECT_EXIT(writeBenchReport(dir, meta, {}),
                 ::testing::ExitedWithCode(1), "report: cannot open");
+}
+
+// --- Eventcount wakeup + parallelFor (PR 6) ----------------------------
+
+TEST(ThreadPool, SubmitContentionFromManyThreads)
+{
+    // Regression for the eventcount submit fast path: many external
+    // threads hammering submit() concurrently must neither lose tasks
+    // nor deadlock, whether workers are parked or busy.
+    ThreadPool pool(4);
+    constexpr std::size_t kSubmitters = 8;
+    constexpr std::size_t kPerSubmitter = 2000;
+    std::atomic<std::size_t> ran{0};
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+    std::vector<std::thread> submitters;
+    for (std::size_t t = 0; t < kSubmitters; ++t) {
+        submitters.emplace_back([&] {
+            for (std::size_t i = 0; i < kPerSubmitter; ++i) {
+                pool.submit([&] {
+                    if (ran.fetch_add(1) + 1 ==
+                        kSubmitters * kPerSubmitter) {
+                        std::lock_guard<std::mutex> lock(doneMutex);
+                        doneCv.notify_all();
+                    }
+                });
+            }
+        });
+    }
+    for (auto& thread : submitters)
+        thread.join();
+    std::unique_lock<std::mutex> lock(doneMutex);
+    ASSERT_TRUE(doneCv.wait_for(lock, std::chrono::seconds(60), [&] {
+        return ran.load() == kSubmitters * kPerSubmitter;
+    }));
+}
+
+TEST(ThreadPool, BusyWorkersAreNotReNotifiedPerSubmit)
+{
+    // With every worker busy, no worker is parked, so the submit fast
+    // path must see sleepers == 0 (no lock, no notify). We can't
+    // observe "no notify" directly, but we can observe the sleeper
+    // count the fast path keys off.
+    ThreadPool pool(2);
+    std::atomic<bool> release{false};
+    std::atomic<int> started{0};
+    for (int i = 0; i < 2; ++i) {
+        pool.submit([&] {
+            started.fetch_add(1);
+            while (!release.load())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+        });
+    }
+    while (started.load() < 2)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(pool.sleepersApprox(), 0u);
+    std::atomic<int> queued{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { queued.fetch_add(1); });
+    EXPECT_EQ(pool.sleepersApprox(), 0u);
+    release.store(true);
+    while (queued.load() < 100)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+TEST(ThreadPool, IdleWorkersParkAndWakeOnSubmit)
+{
+    ThreadPool pool(3);
+    // Give the workers a moment to go idle and park.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (pool.sleepersApprox() < 3 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(pool.sleepersApprox(), 3u);
+    std::atomic<bool> ran{false};
+    pool.submit([&] { ran.store(true); });
+    const auto runDeadline = std::chrono::steady_clock::now() +
+                             std::chrono::seconds(10);
+    while (!ran.load() &&
+           std::chrono::steady_clock::now() < runDeadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallelFor(hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (const auto& hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForFromInsidePoolTaskDoesNotDeadlock)
+{
+    // The SRE optimizer calls parallelFor from inside a runner job;
+    // even on a 1-thread pool the caller claims all items itself.
+    ThreadPool pool(1);
+    std::atomic<int> total{0};
+    auto future = pool.submitTask([&] {
+        ParallelExecutor* executor = currentParallelExecutor();
+        EXPECT_EQ(executor, &pool);
+        executor->parallelFor(
+            64, [&](std::size_t) { total.fetch_add(1); });
+        return total.load();
+    });
+    EXPECT_EQ(future.get(), 64);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(32,
+                                  [&](std::size_t i) {
+                                      if (i == 17)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
 }

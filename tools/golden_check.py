@@ -16,6 +16,16 @@ seconds-scale scenario so the whole suite fits in a CI job):
   update       regenerate the golden in place (run + copy). Used by
                maintainers after an intentional metric change; see
                EXPERIMENTS.md "Regenerating goldens".
+  dist         run the bench locally and again as a distributed sweep
+               (master + ``--dist-workers`` spawned worker processes
+               over loopback TCP) and require the two artifacts
+               byte-identical. This is the ``dist_identity_<bench>``
+               ctest targets: distribution must never change results.
+  dist-kill    like dist, but the master starts the first worker with
+               ``--dist-die-after 1`` so it dies mid-sweep and its
+               in-flight job is re-dispatched. The artifact must still
+               be byte-identical to the local run (``dist_kill_<bench>``
+               ctest target).
 
 Exit status: 0 on success, 1 on mismatch, 2 on usage/exec errors.
 """
@@ -34,7 +44,8 @@ def parse_args(argv):
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--mode", required=True,
-                        choices=["diff", "determinism", "update"])
+                        choices=["diff", "determinism", "update",
+                                 "dist", "dist-kill"])
     parser.add_argument("--bench", required=True,
                         help="path to the bench executable")
     parser.add_argument("--name", required=True,
@@ -45,12 +56,14 @@ def parse_args(argv):
                         help="scratch directory for fresh artifacts")
     parser.add_argument("--threads", type=int, default=4,
                         help="thread count for the threaded run")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for dist/dist-kill")
     return parser.parse_args(argv)
 
 
-def run_bench(exe, json_path, threads):
+def run_bench(exe, json_path, threads, extra=()):
     cmd = [exe, "--golden-mode", "--quiet", "--threads", str(threads),
-           "--json", json_path]
+           "--json", json_path] + list(extra)
     try:
         proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
     except OSError as err:
@@ -92,6 +105,30 @@ def main(argv=None):
         print(f"{args.name}: serial and {args.threads}-thread "
               "artifacts are byte-identical "
               f"({len(serial_bytes)} bytes)")
+        return 0
+
+    if args.mode in ("dist", "dist-kill"):
+        local = os.path.join(args.out_dir, f"{args.name}.local.json")
+        dist = os.path.join(args.out_dir, f"{args.name}.dist.json")
+        run_bench(args.bench, local, threads=args.threads)
+        extra = ["--dist-workers", str(args.workers)]
+        if args.mode == "dist-kill":
+            extra.append("--dist-kill-one")
+        run_bench(args.bench, dist, threads=args.threads, extra=extra)
+        with open(local, "rb") as f:
+            local_bytes = f.read()
+        with open(dist, "rb") as f:
+            dist_bytes = f.read()
+        if local_bytes != dist_bytes:
+            print(f"{args.name}: local and distributed "
+                  f"({args.workers} workers, mode {args.mode}) "
+                  "artifacts differ; structural diff:")
+            diff_report.main([dist, local, "--profile", "exact"])
+            return 1
+        print(f"{args.name}: local and {args.workers}-worker "
+              f"{'kill-one ' if args.mode == 'dist-kill' else ''}"
+              "distributed artifacts are byte-identical "
+              f"({len(local_bytes)} bytes)")
         return 0
 
     fresh = os.path.join(args.out_dir, f"{args.name}.golden.json")

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Render PNG figures from bench JSON artifacts.
+
+Takes one or more run reports written by the bench binaries
+(``--json``) and draws the corresponding paper-style figure:
+
+  fig07_main_comparison  grouped service-time bars (mean/p95/p99) per
+                         policy with warm-start fraction and keep-alive
+                         spend annotations (paper Fig. 7 shape)
+  fig_fault_sweep        per-policy service time and availability
+                         across the fault scenarios (healthy, MTBF
+                         sweep, correlated domains)
+  anything else          generic mean/p95 service-time bars per run
+
+Matplotlib is optional: when it is not importable this script prints a
+note and exits 0 so CI can invoke it unconditionally (the plot step is
+non-gating on minimal containers). Usage:
+
+    python3 tools/plot_report.py --out-dir build/plots \\
+        bench/out/fig07_main_comparison.json ...
+
+Exit status: 0 on success or missing matplotlib, 2 on bad inputs.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("artifacts", nargs="+",
+                        help="bench JSON artifacts to render")
+    parser.add_argument("--out-dir", default="bench/plots",
+                        help="directory for the PNG outputs")
+    parser.add_argument("--dpi", type=int, default=150)
+    return parser.parse_args(argv)
+
+
+def load_matplotlib():
+    """Import matplotlib with the headless backend, or None."""
+    try:
+        import matplotlib
+    except ImportError:
+        return None
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+    return plt
+
+
+def plot_fig07(plt, report, path, dpi):
+    runs = report["runs"]
+    names = [r["name"] for r in runs]
+    x = range(len(runs))
+    width = 0.27
+    fig, (top, bottom) = plt.subplots(
+        2, 1, figsize=(8, 7),
+        gridspec_kw={"height_ratios": [3, 2]})
+    for offset, key, label in (
+            (-width, "mean_service_s", "mean"),
+            (0.0, "p95_service_s", "p95"),
+            (width, "p99_service_s", "p99")):
+        top.bar([i + offset for i in x],
+                [r[key] for r in runs], width, label=label)
+    top.set_xticks(list(x))
+    top.set_xticklabels(names, rotation=15)
+    top.set_ylabel("service time (s)")
+    top.set_title(report.get("bench", "fig07")
+                  + " — service time per policy")
+    top.legend()
+
+    bottom.bar(list(x), [r["warm_start_fraction"] for r in runs],
+               0.5, color="tab:green", label="warm-start fraction")
+    spend = bottom.twinx()
+    spend.plot(list(x), [r["keepalive_spend_usd"] for r in runs],
+               "ko--", label="keep-alive spend")
+    bottom.set_xticks(list(x))
+    bottom.set_xticklabels(names, rotation=15)
+    bottom.set_ylim(0.0, 1.0)
+    bottom.set_ylabel("warm-start fraction")
+    spend.set_ylabel("keep-alive spend (USD)")
+    bottom.legend(loc="lower left")
+    spend.legend(loc="lower right")
+    fig.tight_layout()
+    fig.savefig(path, dpi=dpi)
+    plt.close(fig)
+
+
+def plot_fault_sweep(plt, report, path, dpi):
+    # Run names are "<policy>@<scenario>"; pivot into per-policy
+    # series over the scenario axis, preserving artifact order.
+    scenarios, policies = [], {}
+    for run in report["runs"]:
+        policy, _, scenario = run["name"].partition("@")
+        if scenario not in scenarios:
+            scenarios.append(scenario)
+        policies.setdefault(policy, {})[scenario] = run
+
+    fig, (top, bottom) = plt.subplots(2, 1, figsize=(9, 7),
+                                      sharex=True)
+    x = range(len(scenarios))
+    for policy, by_scenario in policies.items():
+        xs = [i for i, s in enumerate(scenarios) if s in by_scenario]
+        top.plot(xs, [by_scenario[scenarios[i]]["p95_service_s"]
+                      for i in xs], "o-", label=policy)
+        bottom.plot(xs, [by_scenario[scenarios[i]]["availability"]
+                         for i in xs], "o-", label=policy)
+    top.set_ylabel("p95 service time (s)")
+    top.set_title(report.get("bench", "fault sweep")
+                  + " — behaviour under node faults")
+    top.legend()
+    bottom.set_ylabel("availability")
+    bottom.set_xticks(list(x))
+    bottom.set_xticklabels(scenarios, rotation=15)
+    bottom.set_xlabel("fault scenario")
+    fig.tight_layout()
+    fig.savefig(path, dpi=dpi)
+    plt.close(fig)
+
+
+def plot_generic(plt, report, path, dpi):
+    runs = report.get("runs", [])
+    rows = [r for r in runs
+            if isinstance(r, dict) and "mean_service_s" in r]
+    if not rows:
+        return False
+    x = range(len(rows))
+    fig, axis = plt.subplots(
+        figsize=(max(6, 0.9 * len(rows)), 4.5))
+    axis.bar([i - 0.2 for i in x],
+             [r["mean_service_s"] for r in rows], 0.4, label="mean")
+    axis.bar([i + 0.2 for i in x],
+             [r.get("p95_service_s", 0.0) for r in rows], 0.4,
+             label="p95")
+    axis.set_xticks(list(x))
+    axis.set_xticklabels([r.get("name", str(i)) for i, r in
+                          enumerate(rows)], rotation=30, ha="right")
+    axis.set_ylabel("service time (s)")
+    axis.set_title(report.get("bench", "bench report"))
+    axis.legend()
+    fig.tight_layout()
+    fig.savefig(path, dpi=dpi)
+    plt.close(fig)
+    return True
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    plt = load_matplotlib()
+    if plt is None:
+        print("plot_report: matplotlib not available; skipping "
+              f"{len(args.artifacts)} artifact(s)")
+        return 0
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    failures = 0
+    for artifact in args.artifacts:
+        try:
+            with open(artifact) as handle:
+                report = json.load(handle)
+        except (OSError, ValueError) as err:
+            print(f"error: cannot read {artifact}: {err}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        bench = report.get("bench", "")
+        stem = bench or os.path.splitext(
+            os.path.basename(artifact))[0]
+        path = os.path.join(args.out_dir, f"{stem}.png")
+        if bench.startswith("fig07"):
+            plot_fig07(plt, report, path, args.dpi)
+        elif bench.startswith("fig_fault_sweep"):
+            plot_fault_sweep(plt, report, path, args.dpi)
+        elif not plot_generic(plt, report, path, args.dpi):
+            print(f"warning: {artifact} has no plottable runs; "
+                  "skipped", file=sys.stderr)
+            continue
+        print(f"plot_report: wrote {path}")
+    return 2 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
