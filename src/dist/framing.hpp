@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <string>
 
@@ -68,15 +67,24 @@ class FrameParser
     void
     feed(std::string_view bytes)
     {
+        // Compact the consumed prefix only once it dominates the
+        // buffer: erasing it per frame would make draining k queued
+        // frames O(k * buffered bytes).
+        if (offset_ > kCompactBytes && offset_ > buffer_.size() / 2) {
+            buffer_.erase(0, offset_);
+            offset_ = 0;
+        }
         buffer_.append(bytes.data(), bytes.size());
     }
 
     std::optional<Frame>
     next()
     {
-        if (buffer_.size() < kHeaderBytes)
+        const std::size_t available = buffer_.size() - offset_;
+        if (available < kHeaderBytes)
             return std::nullopt;
-        ByteReader reader(buffer_);
+        ByteReader reader(
+            std::string_view(buffer_).substr(offset_, kHeaderBytes));
         const std::uint32_t length = reader.u32();
         if (length == 0)
             throw FramingError("zero-length frame");
@@ -84,23 +92,35 @@ class FrameParser
             throw FramingError("frame length " +
                                std::to_string(length) +
                                " exceeds limit");
-        if (buffer_.size() < kHeaderBytes + length)
+        if (available < kHeaderBytes + length)
             return std::nullopt;
         Frame frame;
-        frame.type = static_cast<std::uint8_t>(buffer_[kHeaderBytes]);
+        frame.type =
+            static_cast<std::uint8_t>(buffer_[offset_ + kHeaderBytes]);
         frame.payload =
-            buffer_.substr(kHeaderBytes + 1, length - 1);
-        buffer_.erase(0, kHeaderBytes + length);
+            buffer_.substr(offset_ + kHeaderBytes + 1, length - 1);
+        offset_ += kHeaderBytes + length;
+        if (offset_ == buffer_.size()) {
+            buffer_.clear();
+            offset_ = 0;
+        }
         return frame;
     }
 
     /** Buffered-but-incomplete byte count (tests/diagnostics). */
-    std::size_t pendingBytes() const { return buffer_.size(); }
+    std::size_t pendingBytes() const
+    {
+        return buffer_.size() - offset_;
+    }
 
   private:
     static constexpr std::size_t kHeaderBytes = 4;
+    /** Consumed-prefix size worth an O(n) compaction on feed(). */
+    static constexpr std::size_t kCompactBytes = 64 * 1024;
 
     std::string buffer_;
+    /** Bytes of buffer_ already returned as frames. */
+    std::size_t offset_ = 0;
 };
 
 } // namespace codecrunch::dist

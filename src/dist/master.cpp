@@ -182,6 +182,19 @@ struct MasterBackend::Impl {
             conn.stream.close();
             return;
         }
+        if (!firstPlan) {
+            // A late joiner never saw the current PlanBegin and its
+            // local plan sequence starts at 0, so it could only die
+            // later on a confusing seq/fingerprint mismatch. Turn it
+            // away with the real reason instead.
+            warn("dist: rejecting worker pid ", hello.pid,
+                 " — joined after the first plan began");
+            send(conn, MsgType::HelloReject,
+                 encodeText("late join: workers must connect before "
+                            "the first plan begins"));
+            conn.stream.close();
+            return;
+        }
         conn.workerId = nextWorkerId++;
         conn.handshaken = true;
         conn.stats = makeWorkerStats(conn.workerId);
@@ -203,24 +216,29 @@ struct MasterBackend::Impl {
     {
         acceptPending();
         std::vector<pollfd> fds;
+        std::vector<Conn*> polled; // polled[i] <-> fds[i + 1]
         fds.reserve(conns.size() + 1);
+        polled.reserve(conns.size());
         fds.push_back({listener.fd(), POLLIN, 0});
-        for (auto& [fd, conn] : conns)
+        for (auto& [fd, conn] : conns) {
             fds.push_back({fd, POLLIN, 0});
+            polled.push_back(&conn);
+        }
         ::poll(fds.data(), fds.size(), timeoutMs);
+        // Conns accepted here are picked up by the next pump; map
+        // insertion does not invalidate the polled[] pointers.
         acceptPending();
 
         std::vector<int> dead;
-        for (auto& [fd, conn] : conns) {
+        for (std::size_t i = 0; i < polled.size(); ++i) {
+            Conn& conn = *polled[i];
+            const pollfd& pfd = fds[i + 1];
+            const int fd = pfd.fd;
             if (!conn.stream.valid()) {
                 dead.push_back(fd);
                 continue;
             }
-            const auto it = std::find_if(
-                fds.begin(), fds.end(),
-                [fd = fd](const pollfd& p) { return p.fd == fd; });
-            if (it == fds.end() ||
-                !(it->revents & (POLLIN | POLLHUP | POLLERR)))
+            if (!(pfd.revents & (POLLIN | POLLHUP | POLLERR)))
                 continue;
             char buffer[64 * 1024];
             const long n =
@@ -378,6 +396,22 @@ MasterBackend::executePlan(const std::string& planName,
             sink->jobStarted(index, jobs[index].label, 0.0);
     };
 
+    // A worker whose JobRequest arrived while `pending` was empty is
+    // parked in a blocking read (idleSince set) and never asks again;
+    // when a requeue refills the queue those workers must be handed
+    // work directly, or the plan deadlocks with jobs pending and
+    // every survivor parked.
+    auto dealPendingToParked = [&]() {
+        for (auto& [fd, conn] : m.conns) {
+            if (pending.empty())
+                return;
+            if (conn.handshaken && conn.ackedPlan &&
+                !conn.inflight && conn.idleSince &&
+                conn.stream.valid())
+                dealJob(conn);
+        }
+    };
+
     auto onFrame = [&](Conn& conn, const Frame& frame) {
         switch (static_cast<MsgType>(frame.type)) {
         case MsgType::PlanAck: {
@@ -470,6 +504,7 @@ MasterBackend::executePlan(const std::string& planName,
             warn("dist: worker ", conn.workerId, " disconnected");
         }
         m.conns.erase(it);
+        dealPendingToParked();
     };
 
     while (settled < jobs.size()) {

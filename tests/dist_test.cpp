@@ -9,7 +9,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -66,6 +68,34 @@ TEST(Framing, ManyFramesInOneFeed)
                   static_cast<std::size_t>(i));
     }
     EXPECT_FALSE(parser.next().has_value());
+}
+
+TEST(Framing, CursorSurvivesCompactionAcrossManyFrames)
+{
+    // Push enough consumed bytes through the parser to cross its
+    // internal compaction threshold several times, interleaving
+    // feeds and pops so frames straddle compaction points.
+    FrameParser parser;
+    const std::string payload(1031, 'p');
+    std::string wire;
+    for (int i = 0; i < 400; ++i)
+        wire += encodeFrame(static_cast<std::uint8_t>(i % 251),
+                            payload);
+    std::size_t popped = 0;
+    for (std::size_t at = 0; at < wire.size();) {
+        const std::size_t chunk =
+            std::min<std::size_t>(4096, wire.size() - at);
+        parser.feed(std::string_view(wire).substr(at, chunk));
+        at += chunk;
+        while (auto frame = parser.next()) {
+            EXPECT_EQ(frame->type,
+                      static_cast<std::uint8_t>(popped % 251));
+            EXPECT_EQ(frame->payload, payload);
+            ++popped;
+        }
+    }
+    EXPECT_EQ(popped, 400u);
+    EXPECT_EQ(parser.pendingBytes(), 0u);
 }
 
 TEST(Framing, ZeroLengthFrameIsRejected)
@@ -408,4 +438,153 @@ TEST(EndToEnd, MasterAndWorkerExchangeJobsAndRejectBadVersions)
         EXPECT_EQ(workerOutcomes[i].error,
                   masterOutcomes[i].error);
     }
+}
+
+namespace {
+
+/** Blocking read of one frame off a raw stream; nullopt on EOF. */
+std::optional<Frame>
+readOneFrame(TcpStream& stream, FrameParser& parser)
+{
+    for (;;) {
+        if (auto frame = parser.next())
+            return frame;
+        char buffer[4096];
+        const long n = stream.recvSome(buffer, sizeof(buffer));
+        if (n <= 0)
+            return std::nullopt;
+        parser.feed(
+            std::string_view(buffer, static_cast<std::size_t>(n)));
+    }
+}
+
+} // namespace
+
+// Regression for the end-of-plan deadlock: a worker dies holding the
+// last outstanding job *after* the pending queue drained, so the
+// surviving worker is already parked on an unanswered JobRequest and
+// will never ask again. The master must hand the requeued job to the
+// parked survivor, or executePlan spins forever. Also checks that a
+// worker joining mid-plan is turned away with an explanatory
+// HelloReject instead of wedging on a later seq mismatch.
+TEST(EndToEnd, RequeueAfterLateWorkerLossWakesParkedWorker)
+{
+    constexpr int kJobs = 6;
+    MasterOptions options;
+    options.port = 0;
+    options.minWorkers = 2;
+    options.connectTimeout = 30.0;
+    MasterBackend master(options);
+    const std::uint16_t port = master.port();
+
+    std::atomic<int> survivorRuns{0};
+    auto makeJobs = [&survivorRuns] {
+        std::vector<ExecBackend::SerializedJob> jobs;
+        for (int i = 0; i < kJobs; ++i) {
+            ExecBackend::SerializedJob job;
+            job.label = "job" + std::to_string(i);
+            job.seed = static_cast<std::uint64_t>(100 + i);
+            job.run = [&survivorRuns, i] {
+                // Slow enough that the victim's JobRequest wins a
+                // job before the survivor drains the whole queue.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+                ++survivorRuns;
+                return "result" + std::to_string(i);
+            };
+            jobs.push_back(std::move(job));
+        }
+        return jobs;
+    };
+
+    std::vector<ExecBackend::JobOutcome> masterOutcomes;
+    std::thread masterThread([&] {
+        masterOutcomes =
+            master.executePlan("late-loss", makeJobs(), nullptr);
+    });
+
+    // The victim is a hand-rolled worker: it grabs one job, waits for
+    // the survivor to drain everything else and park, then vanishes
+    // with the job still in flight — the end-of-plan loss shape.
+    std::thread victimThread([&] {
+        TcpStream victim = connectTcp("127.0.0.1", port, 15.0);
+        FrameParser parser;
+        Hello hello;
+        hello.pid = 1;
+        ASSERT_TRUE(victim.sendAll(encodeFrame(
+            static_cast<std::uint8_t>(MsgType::Hello),
+            encodeHello(hello))));
+        auto ack = readOneFrame(victim, parser);
+        ASSERT_TRUE(ack.has_value());
+        ASSERT_EQ(ack->type,
+                  static_cast<std::uint8_t>(MsgType::HelloAck));
+        auto begin = readOneFrame(victim, parser);
+        ASSERT_TRUE(begin.has_value());
+        ASSERT_EQ(begin->type,
+                  static_cast<std::uint8_t>(MsgType::PlanBegin));
+        const PlanBegin planBegin =
+            decodePlanBegin(begin->payload);
+        ASSERT_TRUE(victim.sendAll(encodeFrame(
+            static_cast<std::uint8_t>(MsgType::PlanAck),
+            encodeSeqOnly(planBegin.planSeq))));
+        ASSERT_TRUE(victim.sendAll(encodeFrame(
+            static_cast<std::uint8_t>(MsgType::JobRequest),
+            encodeSeqOnly(planBegin.planSeq))));
+        auto assign = readOneFrame(victim, parser);
+        ASSERT_TRUE(assign.has_value());
+        ASSERT_EQ(assign->type,
+                  static_cast<std::uint8_t>(MsgType::JobAssign));
+        while (survivorRuns.load() < kJobs - 1)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        // Let the survivor's final JobRequest reach the master and
+        // park before the victim disappears.
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+        // Mid-plan late joiner: explicit rejection at handshake.
+        TcpStream late = connectTcp("127.0.0.1", port, 15.0);
+        FrameParser lateParser;
+        Hello lateHello;
+        lateHello.pid = 2;
+        ASSERT_TRUE(late.sendAll(encodeFrame(
+            static_cast<std::uint8_t>(MsgType::Hello),
+            encodeHello(lateHello))));
+        auto reject = readOneFrame(late, lateParser);
+        ASSERT_TRUE(reject.has_value());
+        EXPECT_EQ(reject->type,
+                  static_cast<std::uint8_t>(MsgType::HelloReject));
+        EXPECT_NE(decodeText(reject->payload, "HelloReject")
+                      .find("before the first plan"),
+                  std::string::npos);
+
+        victim.close(); // EOF: the held job must be re-dispatched
+    });
+
+    std::vector<ExecBackend::JobOutcome> workerOutcomes;
+    std::thread workerThread([&] {
+        WorkerOptions workerOptions;
+        workerOptions.host = "127.0.0.1";
+        workerOptions.port = port;
+        WorkerBackend worker(workerOptions);
+        workerOutcomes =
+            worker.executePlan("late-loss", makeJobs(), nullptr);
+    });
+
+    masterThread.join();
+    workerThread.join();
+    victimThread.join();
+
+    // The survivor ran every job, including the victim's requeue.
+    EXPECT_EQ(survivorRuns.load(), kJobs);
+    ASSERT_EQ(masterOutcomes.size(),
+              static_cast<std::size_t>(kJobs));
+    for (int i = 0; i < kJobs; ++i) {
+        EXPECT_TRUE(masterOutcomes[i].ok());
+        EXPECT_EQ(masterOutcomes[i].payload,
+                  "result" + std::to_string(i));
+    }
+    ASSERT_EQ(workerOutcomes.size(), masterOutcomes.size());
+    for (std::size_t i = 0; i < masterOutcomes.size(); ++i)
+        EXPECT_EQ(workerOutcomes[i].payload,
+                  masterOutcomes[i].payload);
 }
