@@ -12,6 +12,7 @@
 
 #include "common/logging.hpp"
 #include "common/table.hpp"
+#include "dist/chaos.hpp"
 #include "dist/master.hpp"
 #include "dist/worker.hpp"
 #include "experiments/harness.hpp"
@@ -60,6 +61,21 @@ using experiments::Scenario;
  *                        worker-loss re-dispatch)
  *   --dist-die-after K   worker testing hook: _exit() when job K+1 is
  *                        assigned (an in-flight worker loss)
+ *
+ * Robustness (chaos, journal, resume — see DESIGN.md §11):
+ *   --dist-chaos-profile P  deterministic network fault injection on
+ *                        worker connections: off|light|heavy
+ *   --dist-chaos-seed N  chaos RNG seed (default 1); the same
+ *                        seed/salt/profile replays the same faults
+ *   --dist-chaos-salt N  per-process chaos stream selector; spawned
+ *                        workers are salted 0,1,2,... automatically
+ *   --journal PATH       master: append-only crash journal (default:
+ *                        the --json path with .json -> .journal)
+ *   --no-journal         master: disable the crash journal
+ *   --resume             master: replay the journal so only
+ *                        unfinished jobs are re-dispatched
+ *   --dist-master-die-after K  master testing hook: _exit(21) right
+ *                        after the Kth job settles from the wire
  * Every value flag also accepts the --flag=value form.
  */
 struct BenchOptions {
@@ -81,6 +97,17 @@ struct BenchOptions {
     bool distKillOne = false;
     /** Testing: this worker dies when job K+1 is assigned. */
     std::size_t distDieAfter = static_cast<std::size_t>(-1);
+    /** Chaos profile name for worker connections (off|light|heavy). */
+    std::string distChaosProfile = "off";
+    std::uint64_t distChaosSeed = 1;
+    std::uint64_t distChaosSalt = 0;
+    /** Master crash journal: explicit path (empty = derive), opt-out,
+     *  and journal replay on restart. */
+    std::string journalPath;
+    bool noJournal = false;
+    bool resume = false;
+    /** Testing: master _exit(21)s after K jobs settle off the wire. */
+    std::size_t distMasterDieAfter = static_cast<std::size_t>(-1);
     /** Original argv (for spawning workers that re-exec us). */
     std::vector<std::string> argv;
 
@@ -192,6 +219,31 @@ parseBenchOptions(int argc, char** argv, const std::string& name)
             options.distDieAfter =
                 parseCount("--dist-die-after", args[++i],
                            static_cast<std::size_t>(-2));
+        } else if (arg == "--dist-chaos-profile" &&
+                   i + 1 < args.size()) {
+            options.distChaosProfile = args[++i];
+            dist::chaosProfile(options.distChaosProfile); // validate
+        } else if (arg == "--dist-chaos-seed" &&
+                   i + 1 < args.size()) {
+            options.distChaosSeed =
+                parseCount("--dist-chaos-seed", args[++i],
+                           static_cast<std::size_t>(-2));
+        } else if (arg == "--dist-chaos-salt" &&
+                   i + 1 < args.size()) {
+            options.distChaosSalt =
+                parseCount("--dist-chaos-salt", args[++i],
+                           static_cast<std::size_t>(-2));
+        } else if (arg == "--journal" && i + 1 < args.size()) {
+            options.journalPath = args[++i];
+        } else if (arg == "--no-journal") {
+            options.noJournal = true;
+        } else if (arg == "--resume") {
+            options.resume = true;
+        } else if (arg == "--dist-master-die-after" &&
+                   i + 1 < args.size()) {
+            options.distMasterDieAfter =
+                parseCount("--dist-master-die-after", args[++i],
+                           static_cast<std::size_t>(-2));
         } else {
             fatal("usage: ", argv[0],
                   " [--threads N] [--json PATH] [--no-json]"
@@ -199,12 +251,19 @@ parseBenchOptions(int argc, char** argv, const std::string& name)
                   " [--trace-out PATH] [--stats-out PATH]"
                   " [--log-level debug|info|warn|error|off]"
                   " [--dist-master PORT] [--dist-worker HOST:PORT]"
-                  " [--dist-workers N] [--dist-min-workers N]");
+                  " [--dist-workers N] [--dist-min-workers N]"
+                  " [--dist-chaos-profile off|light|heavy]"
+                  " [--dist-chaos-seed N] [--dist-chaos-salt N]"
+                  " [--journal PATH] [--no-journal] [--resume]");
         }
     }
     if (options.distWorker() && options.distMaster())
         fatal("--dist-worker is mutually exclusive with "
               "--dist-master/--dist-workers");
+    if (options.resume && !options.distMaster())
+        fatal("--resume requires --dist-master/--dist-workers");
+    if (options.resume && options.noJournal)
+        fatal("--resume cannot be combined with --no-journal");
     if (options.distWorker()) {
         // Workers are silent mirrors: no progress meter, no stdout
         // tables (they would garble the master's terminal), and no
@@ -263,6 +322,26 @@ makeDistBackend(const BenchOptions& options)
         master.argv = options.argv;
         if (options.distKillOne)
             master.firstWorkerExtraArgs = {"--dist-die-after", "1"};
+        if (!options.noJournal) {
+            master.journalPath = options.journalPath;
+            if (master.journalPath.empty() &&
+                !options.jsonPath.empty()) {
+                // Derive bench/out/<name>.journal from the artifact
+                // path so every dist sweep is crash-safe by default.
+                std::string path = options.jsonPath;
+                const std::string suffix = ".json";
+                if (path.size() > suffix.size() &&
+                    path.compare(path.size() - suffix.size(),
+                                 suffix.size(), suffix) == 0)
+                    path.resize(path.size() - suffix.size());
+                master.journalPath = path + ".journal";
+            }
+        }
+        if (options.resume && master.journalPath.empty())
+            fatal("--resume needs a journal: pass --journal PATH or "
+                  "keep --json enabled");
+        master.resume = options.resume;
+        master.dieAfterSettled = options.distMasterDieAfter;
         return std::make_unique<dist::MasterBackend>(
             std::move(master));
     }
@@ -282,6 +361,9 @@ makeDistBackend(const BenchOptions& options)
                   options.distWorkerTarget, "'");
         }
         worker.dieAfterJobs = options.distDieAfter;
+        worker.chaos = dist::chaosProfile(options.distChaosProfile);
+        worker.chaosSeed = options.distChaosSeed;
+        worker.chaosSalt = options.distChaosSalt;
         return std::make_unique<dist::WorkerBackend>(
             std::move(worker));
     }

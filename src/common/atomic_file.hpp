@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Crash-safe file writes: write to `<path>.tmp`, fsync, then rename
+ * over the destination. rename(2) within one directory is atomic on
+ * POSIX, so a reader (or a process restarted after a crash) only ever
+ * observes either the previous complete file or the new complete file
+ * — never a torn prefix. Every artifact writer in the tree (bench
+ * reports, golden regeneration, trace/stats exports) routes through
+ * this; the distributed resume path depends on it so a master killed
+ * mid-write cannot leave a corrupt JSON that a later byte-comparison
+ * would misread as a real divergence.
+ */
+#pragma once
+
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+
+namespace codecrunch {
+
+/**
+ * Atomically replace `path` with the bytes `body` streams out.
+ * Creates parent directories on demand; fatal (exit 1) on any I/O
+ * failure, mirroring the report writers' fail-loudly contract.
+ * `what` names the artifact in error messages ("report", "trace", ...).
+ */
+inline void
+atomicWriteFile(const std::string& path, std::string_view what,
+                const std::function<void(std::ostream&)>& body)
+{
+    const std::filesystem::path file(path);
+    if (file.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(file.parent_path(), ec);
+        if (ec)
+            fatal(what, ": cannot create ",
+                  file.parent_path().string(), ": ", ec.message());
+    }
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            fatal(what, ": cannot open ", tmp, " for writing");
+        body(os);
+        os.flush();
+        if (!os.good())
+            fatal(what, ": write to ", tmp,
+                  " failed (disk full or I/O error)");
+    }
+    // Flush file content to stable storage before the rename commits
+    // it: otherwise a power loss could leave the new name pointing at
+    // zero-filled pages.
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0)
+        fatal(what, ": cannot reopen ", tmp, " for fsync");
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        fatal(what, ": fsync of ", tmp, " failed");
+    }
+    ::close(fd);
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        fatal(what, ": cannot rename ", tmp, " to ", path, ": ",
+              ec.message());
+}
+
+} // namespace codecrunch

@@ -1,0 +1,182 @@
+#include "dist/chaos.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.hpp"
+
+namespace codecrunch::dist {
+
+namespace {
+
+/** SplitMix64-style mix so (seed, salt, connection) streams differ. */
+std::uint64_t
+mix(std::uint64_t seed, std::uint64_t salt, std::uint64_t connection)
+{
+    std::uint64_t z = seed;
+    z ^= 0x9e3779b97f4a7c15ull * (salt + 1);
+    z ^= 0xbf58476d1ce4e5b9ull * (connection + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+void
+stall(std::uint32_t micros)
+{
+    if (micros > 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(micros));
+}
+
+} // namespace
+
+ChaosSpec
+chaosProfile(std::string_view name)
+{
+    ChaosSpec spec;
+    if (name == "off" || name.empty())
+        return spec;
+    if (name == "light") {
+        spec.shortWriteProb = 0.10;
+        spec.shortReadProb = 0.10;
+        spec.delayProb = 0.05;
+        spec.disconnectProb = 0.01;
+        spec.connectRefuseProb = 0.10;
+        spec.maxDelayMicros = 2000;
+        return spec;
+    }
+    if (name == "heavy") {
+        spec.shortWriteProb = 0.30;
+        spec.shortReadProb = 0.30;
+        spec.delayProb = 0.10;
+        spec.disconnectProb = 0.08;
+        spec.connectRefuseProb = 0.25;
+        spec.maxDelayMicros = 5000;
+        return spec;
+    }
+    fatal("--dist-chaos-profile expects off|light|heavy, got '",
+          name, "'");
+    return spec; // unreachable
+}
+
+FaultInjector::FaultInjector(const ChaosSpec& spec,
+                             std::uint64_t seed, std::uint64_t salt,
+                             std::uint64_t connection)
+    : spec_(spec), rng_(mix(seed, salt, connection))
+{
+}
+
+std::uint32_t
+FaultInjector::delay()
+{
+    if (spec_.maxDelayMicros == 0 ||
+        !rng_.bernoulli(spec_.delayProb))
+        return 0;
+    return static_cast<std::uint32_t>(
+        rng_.next() % (spec_.maxDelayMicros + 1ull));
+}
+
+FaultInjector::SendDecision
+FaultInjector::onSend(std::size_t bytes)
+{
+    SendDecision d;
+    d.firstChunk = bytes;
+    if (!spec_.enabled())
+        return d;
+    ++ops_;
+    // Fixed draw order per operation keeps the schedule a pure
+    // function of the op index, whatever the probabilities are.
+    const bool cut = rng_.bernoulli(spec_.disconnectProb) ||
+                     (spec_.disconnectEveryNthOp > 0 &&
+                      ops_ % spec_.disconnectEveryNthOp == 0);
+    const bool shortWrite = rng_.bernoulli(spec_.shortWriteProb);
+    const std::uint64_t split = rng_.next();
+    d.delayMicros = delay();
+    if ((cut || shortWrite) && bytes > 1)
+        d.firstChunk = 1 + static_cast<std::size_t>(
+                               split % (bytes - 1));
+    d.disconnect = cut;
+    return d;
+}
+
+FaultInjector::RecvDecision
+FaultInjector::onRecv(std::size_t maxBytes)
+{
+    RecvDecision d;
+    d.capBytes = maxBytes;
+    if (!spec_.enabled())
+        return d;
+    ++ops_;
+    const bool cut = rng_.bernoulli(spec_.disconnectProb) ||
+                     (spec_.disconnectEveryNthOp > 0 &&
+                      ops_ % spec_.disconnectEveryNthOp == 0);
+    const bool shortRead = rng_.bernoulli(spec_.shortReadProb);
+    const std::uint64_t cap = rng_.next();
+    d.delayMicros = delay();
+    if (shortRead && maxBytes > 1)
+        d.capBytes = 1 + static_cast<std::size_t>(
+                             cap % (maxBytes - 1));
+    d.disconnect = cut;
+    return d;
+}
+
+bool
+FaultInjector::refuseConnect()
+{
+    if (!spec_.enabled())
+        return false;
+    return rng_.bernoulli(spec_.connectRefuseProb);
+}
+
+void
+FaultySocket::adopt(TcpStream stream, FaultInjector injector)
+{
+    stream_ = std::move(stream);
+    injector_ = std::move(injector);
+}
+
+bool
+FaultySocket::sendAll(std::string_view data)
+{
+    if (!stream_.valid())
+        return false;
+    const auto d = injector_.onSend(data.size());
+    stall(d.delayMicros);
+    if (!stream_.sendAll(data.substr(0, d.firstChunk)))
+        return false;
+    if (d.disconnect) {
+        // The frame is torn mid-wire: the peer's parser keeps the
+        // prefix buffered until EOF arrives and then discards it.
+        stream_.close();
+        return false;
+    }
+    if (d.firstChunk < data.size()) {
+        stall(d.delayMicros); // the delayed-flush half of a short write
+        return stream_.sendAll(data.substr(d.firstChunk));
+    }
+    return true;
+}
+
+long
+FaultySocket::recvSome(char* out, std::size_t max)
+{
+    if (!stream_.valid())
+        return -1;
+    const auto d = injector_.onRecv(max);
+    stall(d.delayMicros);
+    if (d.disconnect) {
+        stream_.close();
+        return -1;
+    }
+    return stream_.recvSome(out, std::min(max, d.capBytes));
+}
+
+void
+FaultySocket::close()
+{
+    stream_.close();
+}
+
+} // namespace codecrunch::dist

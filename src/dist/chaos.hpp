@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Deterministic network fault injection for the distributed runner.
+ *
+ * A FaultySocket wraps a TcpStream (socket.hpp) and perturbs its I/O
+ * according to a FaultInjector: short writes (a frame leaves in several
+ * TCP pushes), short reads (recv returns fewer bytes than asked),
+ * delayed flushes (microsecond stalls before an op), mid-frame
+ * disconnects (the socket closes with bytes half-sent), and connect
+ * refusals (a dial fails before any byte moves). Every decision comes
+ * from a seedable per-connection xoshiro stream, so one
+ * --dist-chaos-seed value names one reproducible fault schedule: the
+ * schedule per (connection ordinal, operation index) is a pure function
+ * of (seed, salt), independent of wall-clock timing.
+ *
+ * Chaos is injected at the WORKER end only: workers own reconnect
+ * logic, so a worker-side disconnect exercises the full recovery path
+ * (master requeues the in-flight job, worker backs off and redials,
+ * PlanCatchUp re-enters lockstep). The master's sockets stay clean —
+ * perturbing both ends would test the same code twice while making
+ * hangs harder to attribute.
+ *
+ * The headline invariant under any seed/profile: the master's artifact
+ * is byte-identical to a single-process run (dist_chaos_* ctest
+ * targets). Chaos may change WHICH worker runs a job and how often it
+ * is re-dispatched, never any byte of a result.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "dist/socket.hpp"
+
+namespace codecrunch::dist {
+
+/**
+ * Fault probabilities for one chaos profile. All probabilities are
+ * per-operation (one sendAll or one recvSome call).
+ */
+struct ChaosSpec {
+    /** P(split one send into multiple smaller TCP pushes). */
+    double shortWriteProb = 0.0;
+    /** P(cap one recv below the caller's buffer size). */
+    double shortReadProb = 0.0;
+    /** P(stall before an operation), up to maxDelayMicros. */
+    double delayProb = 0.0;
+    /** P(close the connection mid-operation). */
+    double disconnectProb = 0.0;
+    /** P(refuse one connect attempt outright). */
+    double connectRefuseProb = 0.0;
+    /** Upper bound for injected stalls (uniform in [0, max]). */
+    std::uint32_t maxDelayMicros = 0;
+    /**
+     * Deterministic disconnect every Nth operation of a connection
+     * (0 = disabled). Not used by the named profiles; tests use it to
+     * stage reconnects at exact protocol positions.
+     */
+    std::size_t disconnectEveryNthOp = 0;
+
+    bool
+    enabled() const
+    {
+        return shortWriteProb > 0 || shortReadProb > 0 ||
+               delayProb > 0 || disconnectProb > 0 ||
+               connectRefuseProb > 0 || disconnectEveryNthOp > 0;
+    }
+};
+
+/**
+ * Named profile lookup for --dist-chaos-profile: "off", "light"
+ * (occasional partial I/O, rare disconnects), or "heavy" (most
+ * operations perturbed, frequent disconnects and refused dials).
+ * Fatal on unknown names.
+ */
+ChaosSpec chaosProfile(std::string_view name);
+
+/**
+ * The deterministic decision stream behind one FaultySocket.
+ *
+ * Separate from the socket so tests can assert schedule determinism
+ * without any real I/O: two injectors built with equal (spec, seed,
+ * salt, connection) produce identical decisions for identical
+ * operation sequences.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param salt Per-process diversifier (the master passes the
+     *        spawned worker's index) so co-spawned workers do not fail
+     *        in lockstep; 0 for external workers unless overridden.
+     * @param connection Ordinal of this connection within the process
+     *        (0 = initial dial, +1 per reconnect) — each connection
+     *        gets an independent stream.
+     */
+    FaultInjector(const ChaosSpec& spec, std::uint64_t seed,
+                  std::uint64_t salt, std::uint64_t connection);
+
+    struct SendDecision {
+        /** Bytes to push in the first chunk (rest follows after a
+         *  stall); equal to the full size when not short-writing. */
+        std::size_t firstChunk = 0;
+        std::uint32_t delayMicros = 0;
+        /** Close after firstChunk, leaving the frame torn mid-wire. */
+        bool disconnect = false;
+    };
+    SendDecision onSend(std::size_t bytes);
+
+    struct RecvDecision {
+        /** Upper bound for this recv (<= the caller's max). */
+        std::size_t capBytes = 0;
+        std::uint32_t delayMicros = 0;
+        /** Close instead of reading. */
+        bool disconnect = false;
+    };
+    RecvDecision onRecv(std::size_t maxBytes);
+
+    /** Decide whether to refuse the next connect attempt. */
+    bool refuseConnect();
+
+  private:
+    std::uint32_t delay();
+
+    ChaosSpec spec_;
+    Rng rng_;
+    std::size_t ops_ = 0;
+};
+
+/**
+ * A TcpStream whose I/O is perturbed by a FaultInjector. With chaos
+ * disabled (default) every call forwards to the stream unchanged.
+ * Injected disconnects close the underlying socket for real (the peer
+ * sees EOF), then surface to the caller as ordinary send/recv failures
+ * — exactly the observable behavior of a flaky network.
+ */
+class FaultySocket
+{
+  public:
+    FaultySocket() = default;
+
+    /** Take ownership of a fresh connection and its fault stream. */
+    void adopt(TcpStream stream, FaultInjector injector);
+
+    bool valid() const { return stream_.valid(); }
+    int fd() const { return stream_.fd(); }
+
+    /** @return false when the peer is gone or chaos cut the link. */
+    bool sendAll(std::string_view data);
+
+    /** @return bytes read; 0 on EOF, -1 on error or injected cut. */
+    long recvSome(char* out, std::size_t max);
+
+    void close();
+
+  private:
+    TcpStream stream_;
+    FaultInjector injector_{ChaosSpec{}, 0, 0, 0};
+};
+
+} // namespace codecrunch::dist

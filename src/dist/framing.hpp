@@ -4,18 +4,29 @@
  *
  * Wire layout of one frame:
  *
- *     [u32 length][u8 type][payload ...]
+ *     [u32 length][u8 type][u8 codec][body ...]
  *
- * `length` counts the type byte plus the payload (so it is always
- * >= 1) and is little-endian like every other quantity on the wire
- * (common/bytes.hpp). Frames above kMaxFrameBytes are rejected before
- * any allocation, so a garbage length prefix cannot OOM the process;
- * a zero length is equally malformed (there is no type byte to read).
+ * `length` counts the type byte, the codec byte, and the body (so it
+ * is always >= 2) and is little-endian like every other quantity on
+ * the wire (common/bytes.hpp). Frames above kMaxFrameBytes are
+ * rejected before any allocation, so a garbage length prefix cannot
+ * OOM the process; lengths 0 and 1 are equally malformed (no room for
+ * the fixed header bytes).
+ *
+ * `codec` says how the body encodes the payload: kCodecNone is the
+ * payload verbatim; kCodecLz4 is [u64 rawSize][LZ4 block] (the
+ * from-scratch codec in src/compress/). Compression is negotiated in
+ * the Hello/HelloAck handshake and applied only to frames above
+ * kFrameCompressMinBytes that actually shrink — JobAssigns stay raw,
+ * large JobResult/stats-delta/PlanResults payloads compress. The
+ * parser decompresses transparently: consumers always see the raw
+ * payload, plus the wire codec tag for accounting.
  *
  * FrameParser is push-style: feed it raw bytes as they arrive and pop
  * complete frames. The master runs one parser per worker connection
  * inside its poll loop; the worker wraps the same parser in a blocking
- * read helper (worker.cpp). Malformed input throws FramingError — the
+ * read helper (worker.cpp). Malformed input (bad length, unknown
+ * codec byte, corrupt compressed body) throws FramingError — the
  * connection is then dropped, never "resynchronized".
  */
 #pragma once
@@ -38,24 +49,46 @@ class FramingError : public DecodeError
 /** Upper bound on one frame; a full plan's results stay well below. */
 inline constexpr std::uint32_t kMaxFrameBytes = 256u * 1024u * 1024u;
 
-/** One decoded frame: a type tag and its payload bytes. */
+/** Body codec tags (one byte on the wire). */
+inline constexpr std::uint8_t kCodecNone = 0;
+inline constexpr std::uint8_t kCodecLz4 = 1;
+
+/** Payloads below this never compress (header overhead dominates). */
+inline constexpr std::size_t kFrameCompressMinBytes = 4 * 1024;
+
+/** One decoded frame: type tag, payload bytes, and the wire codec. */
 struct Frame {
     std::uint8_t type = 0;
     std::string payload;
+    /** Codec the frame traveled with (payload is already decoded). */
+    std::uint8_t codec = kCodecNone;
 };
 
-/** Serialize one frame (header + type + payload). */
+/** Serialize one frame (header + type + codec + payload), raw body. */
 inline std::string
 encodeFrame(std::uint8_t type, std::string_view payload)
 {
-    if (payload.size() >= kMaxFrameBytes)
+    if (payload.size() >= kMaxFrameBytes - 1)
         throw FramingError("frame payload exceeds kMaxFrameBytes");
     ByteWriter writer;
-    writer.u32(static_cast<std::uint32_t>(payload.size() + 1));
+    writer.u32(static_cast<std::uint32_t>(payload.size() + 2));
     writer.u8(type);
+    writer.u8(kCodecNone);
     writer.raw(payload);
     return writer.take();
 }
+
+/**
+ * Serialize one frame, LZ4-compressing the body when the payload is at
+ * least kFrameCompressMinBytes AND compression actually shrinks it;
+ * falls back to a raw frame otherwise. Call only after the peer
+ * negotiated kCodecLz4 in the handshake.
+ */
+std::string encodeFrameLz4(std::uint8_t type,
+                           std::string_view payload);
+
+/** Decode a kCodecLz4 body back to the raw payload (framing.cpp). */
+std::string decompressFrameBody(std::string_view body);
 
 /**
  * Incremental frame reassembler. feed() buffers bytes; next() pops the
@@ -86,8 +119,8 @@ class FrameParser
         ByteReader reader(
             std::string_view(buffer_).substr(offset_, kHeaderBytes));
         const std::uint32_t length = reader.u32();
-        if (length == 0)
-            throw FramingError("zero-length frame");
+        if (length < 2)
+            throw FramingError("frame too short for its header");
         if (length > kMaxFrameBytes)
             throw FramingError("frame length " +
                                std::to_string(length) +
@@ -97,8 +130,18 @@ class FrameParser
         Frame frame;
         frame.type =
             static_cast<std::uint8_t>(buffer_[offset_ + kHeaderBytes]);
-        frame.payload =
-            buffer_.substr(offset_ + kHeaderBytes + 1, length - 1);
+        frame.codec = static_cast<std::uint8_t>(
+            buffer_[offset_ + kHeaderBytes + 1]);
+        const std::string_view body =
+            std::string_view(buffer_)
+                .substr(offset_ + kHeaderBytes + 2, length - 2);
+        if (frame.codec == kCodecNone)
+            frame.payload.assign(body);
+        else if (frame.codec == kCodecLz4)
+            frame.payload = decompressFrameBody(body);
+        else
+            throw FramingError("unknown frame codec " +
+                               std::to_string(frame.codec));
         offset_ += kHeaderBytes + length;
         if (offset_ == buffer_.size()) {
             buffer_.clear();

@@ -1,0 +1,249 @@
+#include "dist/journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/bytes.hpp"
+#include "common/logging.hpp"
+#include "dist/framing.hpp"
+
+namespace codecrunch::dist {
+
+namespace {
+
+std::string
+encodeHeaderRecord()
+{
+    ByteWriter w;
+    w.u32(kJournalMagic);
+    w.u32(kJournalVersion);
+    return w.take();
+}
+
+} // namespace
+
+JournalReplay
+readJournal(const std::string& path)
+{
+    JournalReplay replay;
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return replay; // no journal yet: nothing to replay
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    const std::string bytes = buffer.str();
+
+    FrameParser parser;
+    parser.feed(bytes);
+    bool sawHeader = false;
+    try {
+        for (;;) {
+            std::optional<Frame> frame;
+            frame = parser.next();
+            if (!frame)
+                break;
+            if (!sawHeader) {
+                if (frame->type !=
+                    static_cast<std::uint8_t>(
+                        JournalRecord::Header))
+                    fatal("journal: ", path,
+                          " does not start with a header record");
+                ByteReader r(frame->payload);
+                const std::uint32_t magic = r.u32();
+                const std::uint32_t version = r.u32();
+                r.expectDone("journal header");
+                if (magic != kJournalMagic ||
+                    version != kJournalVersion)
+                    fatal("journal: ", path,
+                          " has magic/version ", magic, "/",
+                          version, ", want ", kJournalMagic, "/",
+                          kJournalVersion);
+                sawHeader = true;
+                continue;
+            }
+            switch (static_cast<JournalRecord>(frame->type)) {
+            case JournalRecord::PlanBegin: {
+                ByteReader r(frame->payload);
+                const std::uint64_t seq = r.u64();
+                JournaledPlan& plan = replay.plans[seq];
+                plan.name = r.str();
+                plan.jobCount = r.u64();
+                plan.fingerprint = r.u64();
+                r.expectDone("journal PlanBegin");
+                break;
+            }
+            case JournalRecord::Job: {
+                ByteReader r(frame->payload);
+                const std::uint64_t seq = r.u64();
+                const std::uint64_t index = r.u64();
+                JournaledJob job;
+                job.ok = r.u8() != 0;
+                job.label = r.str();
+                job.seed = r.u64();
+                job.payloadOrError = r.str();
+                job.statsDelta = r.str();
+                r.expectDone("journal Job");
+                replay.plans[seq].jobs[index] = std::move(job);
+                ++replay.jobRecords;
+                break;
+            }
+            case JournalRecord::PlanEnd: {
+                ByteReader r(frame->payload);
+                const std::uint64_t seq = r.u64();
+                r.expectDone("journal PlanEnd");
+                replay.plans[seq].completed = true;
+                break;
+            }
+            default:
+                fatal("journal: ", path,
+                      " has unknown record type ", frame->type);
+            }
+        }
+    } catch (const DecodeError& e) {
+        // Append-only + fsync-per-record means corruption can only be
+        // the torn tail of the final append; anything that decodes
+        // badly EARLIER would have been covered by a later fsync and
+        // indicates real corruption.
+        fatal("journal: ", path, " is corrupt (", e.what(),
+              "); delete it or run without --resume");
+    }
+    replay.validBytes = bytes.size() - parser.pendingBytes();
+    if (parser.pendingBytes() > 0) {
+        replay.truncatedTail = true;
+        warn("journal: dropping ", parser.pendingBytes(),
+             " bytes of torn tail record in ", path,
+             " (crash mid-append)");
+    }
+    if (!bytes.empty() && !sawHeader)
+        fatal("journal: ", path, " has no complete header record");
+    return replay;
+}
+
+JournalWriter::~JournalWriter()
+{
+    close();
+}
+
+void
+JournalWriter::open(const std::string& path,
+                    std::size_t resumeValidBytes)
+{
+    close();
+    if (path.empty())
+        return;
+    path_ = path;
+    const std::filesystem::path file(path);
+    if (file.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(file.parent_path(), ec);
+        if (ec)
+            fatal("journal: cannot create ",
+                  file.parent_path().string(), ": ", ec.message());
+    }
+    const bool fresh =
+        resumeValidBytes == static_cast<std::size_t>(-1);
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0)
+        fatal("journal: cannot open ", path, ": ",
+              std::strerror(errno));
+    // Drop everything past the resume point — with a fresh start that
+    // is the whole file, with --resume it is the torn tail record (if
+    // any), so appends always follow a complete record.
+    const off_t keep = fresh
+        ? 0
+        : static_cast<off_t>(resumeValidBytes);
+    if (::ftruncate(fd_, keep) != 0)
+        fatal("journal: cannot truncate ", path, ": ",
+              std::strerror(errno));
+    if (::lseek(fd_, 0, SEEK_END) < 0)
+        fatal("journal: cannot seek ", path, ": ",
+              std::strerror(errno));
+    if (fresh || keep == 0)
+        append(JournalRecord::Header, encodeHeaderRecord());
+}
+
+void
+JournalWriter::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    path_.clear();
+}
+
+void
+JournalWriter::append(JournalRecord type, const std::string& payload)
+{
+    if (fd_ < 0)
+        return;
+    const std::string record =
+        encodeFrame(static_cast<std::uint8_t>(type), payload);
+    std::size_t written = 0;
+    while (written < record.size()) {
+        const ssize_t n = ::write(fd_, record.data() + written,
+                                  record.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("journal: write to ", path_, " failed: ",
+                  std::strerror(errno));
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    // The durability point: once fdatasync returns, this record
+    // survives any crash. Sync data only — the file length grows with
+    // each append, which fdatasync covers on the filesystems we care
+    // about, and syncing the directory entry per record would double
+    // the cost for a file created once per sweep.
+    if (::fdatasync(fd_) != 0)
+        fatal("journal: fdatasync of ", path_, " failed: ",
+              std::strerror(errno));
+}
+
+void
+JournalWriter::planBegin(std::uint64_t planSeq,
+                         const std::string& name,
+                         std::uint64_t jobCount,
+                         std::uint64_t fingerprint)
+{
+    ByteWriter w;
+    w.u64(planSeq);
+    w.str(name);
+    w.u64(jobCount);
+    w.u64(fingerprint);
+    append(JournalRecord::PlanBegin, w.take());
+}
+
+void
+JournalWriter::job(std::uint64_t planSeq, std::uint64_t index,
+                   bool ok, const std::string& label,
+                   std::uint64_t seed,
+                   const std::string& payloadOrError,
+                   const std::string& statsDelta)
+{
+    ByteWriter w;
+    w.u64(planSeq);
+    w.u64(index);
+    w.u8(ok ? 1 : 0);
+    w.str(label);
+    w.u64(seed);
+    w.str(payloadOrError);
+    w.str(statsDelta);
+    append(JournalRecord::Job, w.take());
+}
+
+void
+JournalWriter::planEnd(std::uint64_t planSeq)
+{
+    ByteWriter w;
+    w.u64(planSeq);
+    append(JournalRecord::PlanEnd, w.take());
+}
+
+} // namespace codecrunch::dist

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <deque>
 #include <map>
 #include <optional>
@@ -10,6 +11,7 @@
 
 #include "common/logging.hpp"
 #include "dist/framing.hpp"
+#include "dist/journal.hpp"
 #include "dist/protocol.hpp"
 #include "dist/socket.hpp"
 #include "obs/stats.hpp"
@@ -62,6 +64,8 @@ struct Conn {
     /** Assigned at HelloAck; 0 until the handshake completes. */
     std::uint32_t workerId = 0;
     bool handshaken = false;
+    /** Frame codec negotiated for this connection (framing.hpp). */
+    std::uint8_t codec = kCodecNone;
     /** Worker acked the current plan and may be dealt jobs. */
     bool ackedPlan = false;
     /** Job index the worker is currently executing, if any. */
@@ -81,13 +85,36 @@ struct MasterBackend::Impl {
     std::vector<pid_t> spawned;
     std::uint32_t nextWorkerId = 1;
     std::uint64_t planSeq = 0;
-    bool firstPlan = true;
+    bool firstLivePlan = true;
+
+    /**
+     * Every finished plan, in sequence order: fingerprint plus the
+     * encoded PlanResults payload. Seeded from the journal under
+     * --resume, appended to as live plans complete; the handshake's
+     * PlanCatchUp serves (re)joining workers straight from here.
+     */
+    struct CompletedPlan {
+        std::uint64_t fingerprint = 0;
+        std::string resultsPayload;
+    };
+    std::vector<CompletedPlan> completedPlans;
+    /** Encoded PlanBegin of the in-flight plan (empty between plans);
+     *  handed to mid-plan joiners right after their PlanCatchUp. */
+    std::string activeBeginPayload;
+
+    JournalWriter journal;
+    JournalReplay replay;
+    /** Jobs settled from the wire this process (die-after hook). */
+    std::size_t wireSettled = 0;
 
     // Aggregate wall-scope instruments.
     obs::Counter* statDispatched = nullptr;
     obs::Counter* statRetries = nullptr;
     obs::Counter* statWorkersLost = nullptr;
     obs::Counter* statWorkersJoined = nullptr;
+    obs::Counter* statWorkersReconnected = nullptr;
+    obs::Counter* statLz4FramesIn = nullptr;
+    obs::Counter* statLz4FramesOut = nullptr;
 
     explicit Impl(MasterOptions opts) : options(std::move(opts))
     {
@@ -100,6 +127,34 @@ struct MasterBackend::Impl {
                                             obs::StatScope::Wall);
         statWorkersJoined = &registry.counter(
             "wall.dist.workers_joined", obs::StatScope::Wall);
+        statWorkersReconnected = &registry.counter(
+            "wall.dist.workers_reconnected", obs::StatScope::Wall);
+        statLz4FramesIn = &registry.counter(
+            "wall.dist.lz4_frames_in", obs::StatScope::Wall);
+        statLz4FramesOut = &registry.counter(
+            "wall.dist.lz4_frames_out", obs::StatScope::Wall);
+
+        if (!options.journalPath.empty()) {
+            std::size_t keepBytes = static_cast<std::size_t>(-1);
+            if (options.resume) {
+                replay = readJournal(options.journalPath);
+                keepBytes = replay.validBytes;
+                loadCompletedPlans();
+                // Journaled deltas restore the registry exactly as if
+                // this process had settled those jobs itself; deltas
+                // commute, so iteration order is irrelevant. Give-up
+                // outcomes journal an empty delta — nothing to apply.
+                for (const auto& [seq, plan] : replay.plans)
+                    for (const auto& [index, job] : plan.jobs)
+                        if (!job.statsDelta.empty())
+                            applyStatsDelta(job.statsDelta, registry);
+                inform("dist: --resume: journal holds ",
+                       replay.jobRecords, " settled jobs across ",
+                       replay.plans.size(), " plans (",
+                       completedPlans.size(), " complete)");
+            }
+            journal.open(options.journalPath, keepBytes);
+        }
 
         listener.listen(options.port);
         if (options.spawnWorkers > 0) {
@@ -110,6 +165,10 @@ struct MasterBackend::Impl {
                 workerArgv(options.argv, listener.port());
             for (std::size_t i = 0; i < options.spawnWorkers; ++i) {
                 auto workerArgs = argv;
+                // Distinct chaos salt per worker: each process draws
+                // an independent fault stream from the shared seed.
+                workerArgs.push_back("--dist-chaos-salt");
+                workerArgs.push_back(std::to_string(i));
                 if (i == 0)
                     workerArgs.insert(
                         workerArgs.end(),
@@ -132,11 +191,52 @@ struct MasterBackend::Impl {
         reapWorkers(spawned);
     }
 
+    /**
+     * Rebuild the contiguous completed-plan prefix from the journal.
+     * Plans run strictly in sequence, so the first incomplete (or
+     * missing) sequence number ends the prefix; anything journaled
+     * past it is a partially executed plan handled by executePlan.
+     */
+    void
+    loadCompletedPlans()
+    {
+        for (std::uint64_t seq = 0;; ++seq) {
+            const auto it = replay.plans.find(seq);
+            if (it == replay.plans.end() || !it->second.completed)
+                return;
+            const JournaledPlan& plan = it->second;
+            PlanResults results;
+            results.planSeq = seq;
+            results.outcomes.reserve(
+                static_cast<std::size_t>(plan.jobCount));
+            for (std::uint64_t i = 0; i < plan.jobCount; ++i) {
+                const auto job = plan.jobs.find(i);
+                if (job == plan.jobs.end())
+                    fatal("dist: journal marks plan #", seq, " ('",
+                          plan.name, "') complete but job ", i,
+                          " has no record");
+                JobOutcome outcome;
+                if (job->second.ok)
+                    outcome.payload = job->second.payloadOrError;
+                else
+                    outcome.error = job->second.payloadOrError;
+                results.outcomes.push_back(std::move(outcome));
+            }
+            completedPlans.push_back(
+                {plan.fingerprint, encodePlanResults(results)});
+        }
+    }
+
     void
     send(Conn& conn, MsgType type, std::string_view payload)
     {
-        const std::string frame =
-            encodeFrame(static_cast<std::uint8_t>(type), payload);
+        const std::string frame = conn.codec == kCodecLz4
+            ? encodeFrameLz4(static_cast<std::uint8_t>(type),
+                             payload)
+            : encodeFrame(static_cast<std::uint8_t>(type), payload);
+        // Codec byte sits after the u32 length and the type byte.
+        if (static_cast<std::uint8_t>(frame[5]) == kCodecLz4)
+            statLz4FramesOut->add(1);
         if (conn.stats.bytesOut)
             conn.stats.bytesOut->add(frame.size());
         if (!conn.stream.sendAll(frame))
@@ -182,27 +282,63 @@ struct MasterBackend::Impl {
             conn.stream.close();
             return;
         }
-        if (!firstPlan) {
-            // A late joiner never saw the current PlanBegin and its
-            // local plan sequence starts at 0, so it could only die
-            // later on a confusing seq/fingerprint mismatch. Turn it
-            // away with the real reason instead.
+        if (hello.nextPlanSeq > completedPlans.size()) {
+            // The worker finished plans this master never saw — it
+            // belongs to an earlier master incarnation that was
+            // restarted without its journal. Catch-up cannot run
+            // plans backwards, so turn it away with the real reason.
             warn("dist: rejecting worker pid ", hello.pid,
-                 " — joined after the first plan began");
+                 " — it expects plan #", hello.nextPlanSeq,
+                 " but this master completed ",
+                 completedPlans.size());
             send(conn, MsgType::HelloReject,
-                 encodeText("late join: workers must connect before "
-                            "the first plan begins"));
+                 encodeText(
+                     "worker is ahead of the master: it expects "
+                     "plan #" +
+                     std::to_string(hello.nextPlanSeq) +
+                     " but only " +
+                     std::to_string(completedPlans.size()) +
+                     " plans completed here (master restarted "
+                     "without --resume?)"));
             conn.stream.close();
             return;
         }
         conn.workerId = nextWorkerId++;
         conn.handshaken = true;
+        conn.codec = (hello.codecs & kCodecBitLz4) ? kCodecLz4
+                                                   : kCodecNone;
         conn.stats = makeWorkerStats(conn.workerId);
         conn.stats.connectAttempts->add(hello.connectAttempts);
         statWorkersJoined->add(1);
+        if (hello.reconnect) {
+            statWorkersReconnected->add(1);
+            inform("dist: worker pid ", hello.pid,
+                   " reconnected (now worker ", conn.workerId,
+                   ", resuming at plan #", hello.nextPlanSeq, ")");
+        }
         HelloAck ack;
         ack.workerId = conn.workerId;
+        ack.codec = conn.codec;
         send(conn, MsgType::HelloAck, encodeHelloAck(ack));
+
+        // Everything the worker missed: completed plans from its
+        // position plus the master's registry as a baseline, then the
+        // active PlanBegin (if any) so it can pull work immediately.
+        PlanCatchUp catchUp;
+        catchUp.fromSeq = hello.nextPlanSeq;
+        for (std::size_t s = hello.nextPlanSeq;
+             s < completedPlans.size(); ++s)
+            catchUp.entries.push_back(
+                {completedPlans[s].fingerprint,
+                 completedPlans[s].resultsPayload});
+        const obs::Registry::StatsSnapshot empty;
+        catchUp.statsBaseline = encodeStatsDelta(
+            empty,
+            obs::Registry::global().snapshot(obs::StatScope::Sim));
+        send(conn, MsgType::PlanCatchUp,
+             encodePlanCatchUp(catchUp));
+        if (!activeBeginPayload.empty())
+            send(conn, MsgType::PlanBegin, activeBeginPayload);
     }
 
     /**
@@ -256,6 +392,8 @@ struct MasterBackend::Impl {
             try {
                 while (auto frame = conn.parser.next()) {
                     conn.lastSeen = Clock::now();
+                    if (frame->codec == kCodecLz4)
+                        statLz4FramesIn->add(1);
                     if (!conn.handshaken)
                         completeHandshake(conn, *frame);
                     else
@@ -334,13 +472,41 @@ MasterBackend::executePlan(const std::string& planName,
                            runner::ProgressSink* sink)
 {
     Impl& m = *impl_;
-    if (m.firstPlan) {
-        m.waitForWorkers();
-        m.firstPlan = false;
-    }
     const std::uint64_t seq = m.planSeq++;
     const std::uint64_t fingerprint =
         planFingerprint(planName, jobs);
+
+    // Plans fully journaled before a crash return straight from the
+    // replayed results — zero dispatch, zero re-execution. Live plans
+    // always enter at seq == completedPlans.size(), so a smaller seq
+    // can only mean a journal-restored plan.
+    if (seq < m.completedPlans.size()) {
+        if (m.completedPlans[seq].fingerprint != fingerprint)
+            fatal("dist: --resume journal plan #", seq,
+                  " fingerprint ",
+                  m.completedPlans[seq].fingerprint,
+                  " does not match local plan '", planName,
+                  "' (fingerprint ", fingerprint,
+                  ") — different binary or configuration?");
+        PlanResults results = decodePlanResults(
+            m.completedPlans[seq].resultsPayload);
+        if (results.outcomes.size() != jobs.size())
+            fatal("dist: --resume journal plan #", seq, " has ",
+                  results.outcomes.size(), " outcomes for ",
+                  jobs.size(), " jobs");
+        inform("dist: plan '", planName, "' replayed from journal (",
+               jobs.size(), " jobs skipped)");
+        if (sink) {
+            sink->planStarted(planName, jobs.size());
+            sink->planFinished();
+        }
+        return std::move(results.outcomes);
+    }
+
+    if (m.firstLivePlan) {
+        m.waitForWorkers();
+        m.firstLivePlan = false;
+    }
 
     if (sink)
         sink->planStarted(planName, jobs.size());
@@ -350,27 +516,83 @@ MasterBackend::executePlan(const std::string& planName,
     begin.planName = planName;
     begin.jobCount = jobs.size();
     begin.fingerprint = fingerprint;
-    const std::string beginPayload = encodePlanBegin(begin);
+    m.activeBeginPayload = encodePlanBegin(begin);
     for (auto& [fd, conn] : m.conns) {
         conn.ackedPlan = false;
         conn.inflight.reset();
         conn.idleSince.reset();
         if (conn.handshaken)
-            m.send(conn, MsgType::PlanBegin, beginPayload);
+            m.send(conn, MsgType::PlanBegin, m.activeBeginPayload);
     }
 
-    std::deque<std::size_t> pending;
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-        pending.push_back(i);
     std::vector<std::optional<JobOutcome>> outcomes(jobs.size());
     std::vector<std::size_t> retries(jobs.size(), 0);
     std::size_t settled = 0;
 
-    auto settle = [&](std::size_t index, JobOutcome outcome) {
+    // A partially journaled plan (the crash interrupted it) settles
+    // its journaled jobs up front; only the remainder is dispatched.
+    const JournaledPlan* replayPlan = nullptr;
+    if (const auto it = m.replay.plans.find(seq);
+        it != m.replay.plans.end()) {
+        if (it->second.fingerprint != fingerprint ||
+            it->second.jobCount != jobs.size())
+            fatal("dist: --resume journal plan #", seq,
+                  " does not match local plan '", planName,
+                  "' — different binary or configuration?");
+        replayPlan = &it->second;
+        for (const auto& [index, job] : replayPlan->jobs) {
+            if (index >= jobs.size())
+                fatal("dist: journal job index ", index,
+                      " out of range for plan '", planName, "'");
+            const auto i = static_cast<std::size_t>(index);
+            JobOutcome outcome;
+            if (job.ok)
+                outcome.payload = job.payloadOrError;
+            else
+                outcome.error = job.payloadOrError;
+            outcomes[i] = std::move(outcome);
+            ++settled;
+            if (sink) {
+                sink->jobStarted(i, jobs[i].label, 0.0);
+                sink->jobFinished(i, job.ok);
+            }
+        }
+        inform("dist: plan '", planName, "': ", settled, " of ",
+               jobs.size(), " jobs replayed from journal");
+    } else if (m.journal.active()) {
+        m.journal.planBegin(seq, planName, jobs.size(), fingerprint);
+    }
+
+    std::deque<std::size_t> pending;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        if (!outcomes[i])
+            pending.push_back(i);
+
+    auto settle = [&](std::size_t index, JobOutcome outcome,
+                      const std::string& statsDelta) {
         if (outcomes[index])
             return; // duplicate after a re-dispatch race; first wins
+        // Journal before acting on the result: once the master's
+        // behavior can depend on this outcome, it is durable.
+        if (m.journal.active())
+            m.journal.job(seq, index, outcome.ok(),
+                          jobs[index].label, jobs[index].seed,
+                          outcome.ok() ? outcome.payload
+                                       : outcome.error,
+                          statsDelta);
+        if (!statsDelta.empty())
+            applyStatsDelta(statsDelta, obs::Registry::global());
         outcomes[index] = std::move(outcome);
         ++settled;
+        ++m.wireSettled;
+        if (m.wireSettled >= m.options.dieAfterSettled) {
+            // Crash-test hook: vanish with the journal record already
+            // fsync'd, exactly what a powered-off master looks like
+            // to a --resume restart.
+            warn("dist: --dist-master-die-after: exiting after ",
+                 m.wireSettled, " settled jobs");
+            std::_Exit(21);
+        }
     };
 
     auto dealJob = [&](Conn& conn) {
@@ -418,7 +640,7 @@ MasterBackend::executePlan(const std::string& planName,
             const std::uint64_t ackSeq =
                 decodeSeqOnly(frame.payload, "PlanAck");
             if (ackSeq != seq)
-                throw FramingError("PlanAck for wrong plan");
+                break; // stale ack from a plan that already settled
             conn.ackedPlan = true;
             break;
         }
@@ -443,8 +665,6 @@ MasterBackend::executePlan(const std::string& planName,
                 throw FramingError("unsolicited job result");
             conn.inflight.reset();
             conn.stats.jobs->add(1);
-            applyStatsDelta(result.statsDelta,
-                            obs::Registry::global());
             JobOutcome outcome;
             const bool ok =
                 frame.type ==
@@ -455,7 +675,8 @@ MasterBackend::executePlan(const std::string& planName,
                 outcome.error = result.payloadOrError.empty()
                     ? "job failed on worker"
                     : result.payloadOrError;
-            settle(result.jobIndex, std::move(outcome));
+            settle(result.jobIndex, std::move(outcome),
+                   result.statsDelta);
             if (sink)
                 sink->jobFinished(result.jobIndex, ok);
             break;
@@ -489,7 +710,8 @@ MasterBackend::executePlan(const std::string& planName,
                                        "' lost " +
                                        std::to_string(
                                            retries[index]) +
-                                       " workers; giving up"});
+                                       " workers; giving up"},
+                           "");
                 } else {
                     m.statRetries->add(1);
                     warn("dist: worker ", conn.workerId,
@@ -507,6 +729,10 @@ MasterBackend::executePlan(const std::string& planName,
         dealPendingToParked();
     };
 
+    // Losing every worker starts a grace clock instead of aborting:
+    // a chaos disconnect or a rebooting host usually comes back, and
+    // a joiner mid-plan is caught up by its handshake.
+    std::optional<Clock::time_point> noWorkersSince;
     while (settled < jobs.size()) {
         const auto dead = m.pump(100, onFrame);
         for (const int fd : dead)
@@ -524,9 +750,25 @@ MasterBackend::executePlan(const std::string& planName,
                  " heartbeat timeout");
             loseWorker(fd);
         }
-        if (m.readyWorkers() == 0 && settled < jobs.size())
-            fatal("dist: all workers lost with ",
-                  jobs.size() - settled, " jobs outstanding");
+        if (settled >= jobs.size())
+            break;
+        if (m.readyWorkers() == 0) {
+            if (!noWorkersSince) {
+                noWorkersSince = Clock::now();
+                warn("dist: all workers lost with ",
+                     jobs.size() - settled,
+                     " jobs outstanding; waiting up to ",
+                     m.options.reconnectGraceSeconds,
+                     "s for a reconnect");
+            } else if (secondsSince(*noWorkersSince) >
+                       m.options.reconnectGraceSeconds) {
+                fatal("dist: no worker reconnected within ",
+                      m.options.reconnectGraceSeconds, "s with ",
+                      jobs.size() - settled, " jobs outstanding");
+            }
+        } else {
+            noWorkersSince.reset();
+        }
     }
 
     // Hand idle workers their plan-tail idle time before broadcast.
@@ -543,16 +785,23 @@ MasterBackend::executePlan(const std::string& planName,
     for (auto& outcome : outcomes)
         results.push_back(std::move(*outcome));
 
+    if (m.journal.active())
+        m.journal.planEnd(seq);
+
     // Lockstep broadcast: workers return the identical ordered
     // outcome list from their executePlan, so bench code that feeds
     // plan N's results into plan N+1 stays bit-identical everywhere.
+    // Sent to every handshaken conn (acked or not): a worker that
+    // joined moments ago still needs the results to leave this plan.
     PlanResults broadcast;
     broadcast.planSeq = seq;
     broadcast.outcomes = results;
     const std::string resultsPayload =
         encodePlanResults(broadcast);
+    m.completedPlans.push_back({fingerprint, resultsPayload});
+    m.activeBeginPayload.clear();
     for (auto& [fd, conn] : m.conns) {
-        if (conn.handshaken && conn.ackedPlan)
+        if (conn.handshaken)
             m.send(conn, MsgType::PlanResults, resultsPayload);
     }
 

@@ -25,7 +25,17 @@
  *    recorded, never retried (a retry would deterministically fail
  *    again), and surfaces after all jobs settle, exactly like the
  *    local path.
- *  - Losing the last worker while work is outstanding is fatal.
+ *  - Losing the last worker opens a reconnect grace window; only if
+ *    no worker (re)joins within it does the master give up.
+ *  - Workers may join or rejoin at ANY point in the sweep: the
+ *    handshake ships a PlanCatchUp with every completed plan's
+ *    results (fingerprint-checked against the joiner's local plan)
+ *    plus a stats baseline, and mid-plan joiners additionally get the
+ *    active PlanBegin so they can pull work immediately.
+ *  - With a journal enabled, every settled job is fsync'd to an
+ *    append-only log before the master acts on it; --resume replays
+ *    the journal so a restarted master re-dispatches only unfinished
+ *    jobs and still emits byte-identical artifacts.
  *
  * The master is single-threaded: one poll(2) loop multiplexes the
  * listener and every worker connection. Workers spawned locally with
@@ -69,6 +79,25 @@ struct MasterOptions {
      * to stage a deterministic mid-sweep worker loss.
      */
     std::vector<std::string> firstWorkerExtraArgs;
+    /**
+     * Append-only crash journal recording every settled job
+     * (dist/journal.hpp); empty disables journaling.
+     */
+    std::string journalPath;
+    /**
+     * Replay journalPath before executing: jobs already journaled are
+     * settled without dispatch, fully journaled plans return without
+     * touching the wire.
+     */
+    bool resume = false;
+    /** Seconds to wait for a (re)join after the last worker drops. */
+    double reconnectGraceSeconds = 30.0;
+    /**
+     * Crash-test hook: _exit(21) immediately after the Nth job
+     * settles from the wire (its journal record is already durable).
+     * SIZE_MAX disables it.
+     */
+    std::size_t dieAfterSettled = static_cast<std::size_t>(-1);
 };
 
 class MasterBackend : public runner::ExecBackend

@@ -40,6 +40,9 @@ encodeHello(const Hello& m)
     w.u32(m.version);
     w.u64(m.pid);
     w.u32(m.connectAttempts);
+    w.u64(m.nextPlanSeq);
+    w.u32(m.codecs);
+    w.u8(m.reconnect);
     return w.take();
 }
 
@@ -50,8 +53,16 @@ decodeHello(std::string_view payload)
     Hello m;
     m.magic = r.u32();
     m.version = r.u32();
+    // A v1 (or future) Hello has a different layout after the version
+    // field; stop here so the master can answer a version mismatch
+    // with HelloReject instead of a decode error.
+    if (m.magic != kMagic || m.version != kProtocolVersion)
+        return m;
     m.pid = r.u64();
     m.connectAttempts = r.u32();
+    m.nextPlanSeq = r.u64();
+    m.codecs = r.u32();
+    m.reconnect = r.u8();
     r.expectDone("Hello");
     return m;
 }
@@ -63,6 +74,7 @@ encodeHelloAck(const HelloAck& m)
     w.u32(m.magic);
     w.u32(m.version);
     w.u32(m.workerId);
+    w.u8(m.codec);
     return w.take();
 }
 
@@ -74,6 +86,7 @@ decodeHelloAck(std::string_view payload)
     m.magic = r.u32();
     m.version = r.u32();
     m.workerId = r.u32();
+    m.codec = r.u8();
     r.expectDone("HelloAck");
     return m;
 }
@@ -180,6 +193,41 @@ decodePlanResults(std::string_view payload)
         m.outcomes.push_back(std::move(outcome));
     }
     r.expectDone("PlanResults");
+    return m;
+}
+
+std::string
+encodePlanCatchUp(const PlanCatchUp& m)
+{
+    ByteWriter w;
+    w.u64(m.fromSeq);
+    w.u64(m.entries.size());
+    for (const auto& entry : m.entries) {
+        w.u64(entry.fingerprint);
+        w.str(entry.resultsPayload);
+    }
+    w.str(m.statsBaseline);
+    return w.take();
+}
+
+PlanCatchUp
+decodePlanCatchUp(std::string_view payload)
+{
+    ByteReader r(payload);
+    PlanCatchUp m;
+    m.fromSeq = r.u64();
+    const std::uint64_t n = r.u64();
+    if (n > r.remaining())
+        throw DecodeError("PlanCatchUp count exceeds payload");
+    m.entries.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        PlanCatchUp::Entry entry;
+        entry.fingerprint = r.u64();
+        entry.resultsPayload = r.str();
+        m.entries.push_back(std::move(entry));
+    }
+    m.statsBaseline = r.str();
+    r.expectDone("PlanCatchUp");
     return m;
 }
 

@@ -42,8 +42,12 @@ namespace codecrunch::dist {
 
 /** Handshake magic: "CCDW" (CodeCrunch Distributed Worker). */
 inline constexpr std::uint32_t kMagic = 0x43434457u;
-/** Bump on ANY wire-format change; mismatches are rejected. */
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/** Bump on ANY wire-format change; mismatches are rejected.
+ *  v2: frame codec byte, Hello nextPlanSeq/codecs, PlanCatchUp. */
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+/** Hello.codecs bitmask: frame codecs this end can decode. */
+inline constexpr std::uint32_t kCodecBitLz4 = 1u << 0;
 
 /** Frame type tags (framing.hpp). */
 enum class MsgType : std::uint8_t {
@@ -61,6 +65,7 @@ enum class MsgType : std::uint8_t {
     Error = 12,      // either direction: fatal condition description
     Shutdown = 13,   // master -> worker: drain and exit
     Bye = 14,        // worker -> master: orderly goodbye
+    PlanCatchUp = 15, // master -> worker: completed plans + baseline
 };
 
 struct Hello {
@@ -69,12 +74,26 @@ struct Hello {
     std::uint64_t pid = 0;
     /** Connect attempts made (>1 means the worker had to retry). */
     std::uint32_t connectAttempts = 1;
+    /**
+     * The plan sequence number this worker will execute next: 0 for a
+     * fresh worker, >0 for one reconnecting mid-sweep. The master's
+     * PlanCatchUp ships the completed plans from here on; a worker
+     * AHEAD of the master (nextPlanSeq > completed count) is rejected.
+     */
+    std::uint64_t nextPlanSeq = 0;
+    /** Frame codecs this worker decodes (kCodecBit* mask). */
+    std::uint32_t codecs = kCodecBitLz4;
+    /** 1 when this Hello re-establishes a lost connection. */
+    std::uint8_t reconnect = 0;
 };
 
 struct HelloAck {
     std::uint32_t magic = kMagic;
     std::uint32_t version = kProtocolVersion;
     std::uint32_t workerId = 0;
+    /** Frame codec negotiated for BOTH directions (framing.hpp tag:
+     *  kCodecLz4 when the worker offered it, else kCodecNone). */
+    std::uint8_t codec = 0;
 };
 
 struct PlanBegin {
@@ -103,6 +122,32 @@ struct PlanResults {
     std::vector<runner::ExecBackend::JobOutcome> outcomes;
 };
 
+/**
+ * Sent by the master right after HelloAck: everything a fresh or
+ * reconnecting worker needs to enter lockstep mid-sequence. `entries`
+ * holds, for each plan the master already completed starting at the
+ * worker's Hello.nextPlanSeq, the plan fingerprint plus the encoded
+ * PlanResults payload (encodePlanResults) — the worker buffers them
+ * and returns each from its local executePlan without touching the
+ * wire, fingerprint-checked against its locally built plan.
+ * `statsBaseline` is the master's current sim-scope registry encoded
+ * as a delta from empty (encodeStatsDelta); a truly fresh worker
+ * applies it so bench code reading registry state mid-sweep observes
+ * the same values everywhere. Reconnecting workers (nextPlanSeq > 0
+ * or prior jobs done) ignore it — their registry already holds their
+ * own history.
+ */
+struct PlanCatchUp {
+    std::uint64_t fromSeq = 0;
+    struct Entry {
+        std::uint64_t fingerprint = 0;
+        /** encodePlanResults payload for that plan. */
+        std::string resultsPayload;
+    };
+    std::vector<Entry> entries;
+    std::string statsBaseline;
+};
+
 std::string encodeHello(const Hello& m);
 Hello decodeHello(std::string_view payload);
 
@@ -121,6 +166,9 @@ JobResult decodeJobResult(std::string_view payload);
 
 std::string encodePlanResults(const PlanResults& m);
 PlanResults decodePlanResults(std::string_view payload);
+
+std::string encodePlanCatchUp(const PlanCatchUp& m);
+PlanCatchUp decodePlanCatchUp(std::string_view payload);
 
 /** str-payload messages (HelloReject, Error) and u64-seq messages
  *  (PlanAck, JobRequest) are encoded inline by the endpoints. */

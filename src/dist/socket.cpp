@@ -92,7 +92,12 @@ TcpListener::~TcpListener()
 void
 TcpListener::listen(std::uint16_t port)
 {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    // Every dist fd is close-on-exec. The master fork+execs its local
+    // workers, and a leaked listener fd is not cosmetic: a worker
+    // holding it keeps the port accepting after the master dies, so a
+    // redialing sibling "connects" into a backlog nobody will ever
+    // serve and hangs in recv() instead of exhausting its retries.
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd_ < 0)
         fatal("dist: socket() failed: ", std::strerror(errno));
     int one = 1;
@@ -117,7 +122,7 @@ TcpListener::listen(std::uint16_t port)
 TcpStream
 TcpListener::accept()
 {
-    const int fd = ::accept(fd_, nullptr, nullptr);
+    const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0)
         return TcpStream();
     setNoDelay(fd);
@@ -125,8 +130,8 @@ TcpListener::accept()
 }
 
 TcpStream
-connectTcp(const std::string& host, std::uint16_t port,
-           double timeoutSeconds, std::uint32_t* attemptsOut)
+tryConnectTcp(const std::string& host, std::uint16_t port,
+              double timeoutSeconds, std::uint32_t* attemptsOut)
 {
     addrinfo hints{};
     hints.ai_family = AF_INET;
@@ -144,8 +149,10 @@ connectTcp(const std::string& host, std::uint16_t port,
     std::uint32_t attempts = 0;
     for (;;) {
         ++attempts;
-        const int fd = ::socket(info->ai_family, info->ai_socktype,
-                                info->ai_protocol);
+        const int fd =
+            ::socket(info->ai_family,
+                     info->ai_socktype | SOCK_CLOEXEC,
+                     info->ai_protocol);
         if (fd >= 0 &&
             ::connect(fd, info->ai_addr, info->ai_addrlen) == 0) {
             ::freeaddrinfo(info);
@@ -158,13 +165,28 @@ connectTcp(const std::string& host, std::uint16_t port,
             ::close(fd);
         if (std::chrono::steady_clock::now() >= deadline) {
             ::freeaddrinfo(info);
-            fatal("dist: cannot connect to ", host, ":", port,
-                  " after ", attempts,
-                  " attempts: ", std::strerror(errno));
+            if (attemptsOut)
+                *attemptsOut = attempts;
+            return TcpStream();
         }
         // The master may still be starting up; back off briefly.
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
+}
+
+TcpStream
+connectTcp(const std::string& host, std::uint16_t port,
+           double timeoutSeconds, std::uint32_t* attemptsOut)
+{
+    std::uint32_t attempts = 0;
+    TcpStream stream =
+        tryConnectTcp(host, port, timeoutSeconds, &attempts);
+    if (attemptsOut)
+        *attemptsOut = attempts;
+    if (!stream.valid())
+        fatal("dist: cannot connect to ", host, ":", port, " after ",
+              attempts, " attempts: ", std::strerror(errno));
+    return stream;
 }
 
 } // namespace codecrunch::dist

@@ -88,11 +88,18 @@ class TcpListener
 
 /**
  * Connect to host:port, retrying for up to `timeoutSeconds` (the
- * master may still be binding when a spawned worker starts). Fatal on
- * timeout or resolution failure.
+ * master may still be binding when a spawned worker starts). Returns
+ * an invalid stream on timeout — the worker's reconnect loop treats
+ * that as one failed attempt and backs off; fatal only on resolution
+ * failure (a bad hostname never fixes itself).
  * @param attemptsOut total connect attempts made (>= 1), for the
  *        reconnect statistic; may be null.
  */
+TcpStream tryConnectTcp(const std::string& host, std::uint16_t port,
+                        double timeoutSeconds = 15.0,
+                        std::uint32_t* attemptsOut = nullptr);
+
+/** tryConnectTcp, but fatal on timeout (initial-connect contract). */
 TcpStream connectTcp(const std::string& host, std::uint16_t port,
                      double timeoutSeconds = 15.0,
                      std::uint32_t* attemptsOut = nullptr);

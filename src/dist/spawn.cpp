@@ -20,7 +20,17 @@ isMasterOnlyFlagWithValue(const std::string& flag)
 {
     return flag == "--dist-master" || flag == "--dist-workers" ||
            flag == "--dist-min-workers" ||
-           flag == "--dist-die-after";
+           flag == "--dist-die-after" || flag == "--journal" ||
+           flag == "--dist-master-die-after" ||
+           flag == "--dist-chaos-salt";
+}
+
+/** Valueless master-only flags dropped from worker argv. */
+bool
+isMasterOnlyFlag(const std::string& flag)
+{
+    return flag == "--dist-kill-one" || flag == "--resume" ||
+           flag == "--no-journal";
 }
 
 } // namespace
@@ -42,7 +52,7 @@ workerArgv(const std::vector<std::string>& masterArgv,
                 ++i; // skip the detached value
             continue;
         }
-        if (head == "--quiet" || head == "--dist-kill-one")
+        if (head == "--quiet" || isMasterOnlyFlag(head))
             continue; // --quiet is re-added once below
         argv.push_back(arg);
     }

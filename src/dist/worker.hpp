@@ -19,6 +19,15 @@
  * workers. A background thread heartbeats every few seconds (socket
  * writes are mutex-serialized against the main thread).
  *
+ * A lost connection is a recoverable event, not a fatal one: the
+ * worker redials with capped exponential backoff (faults/backoff.hpp
+ * — the same shape the simulated driver uses), re-handshakes carrying
+ * its next plan sequence number, and the master's PlanCatchUp replays
+ * any plans that completed while it was away. Work interrupted
+ * mid-job is simply dropped — the master re-deals the job index to
+ * another worker, and this worker resumes pull-scheduling on the
+ * fresh connection.
+ *
  * Worker processes never write artifacts — report-layer writes are
  * suppressed in worker mode (runner/report.hpp) — so a master and its
  * locally spawned workers cannot race on output files.
@@ -30,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "dist/chaos.hpp"
 #include "runner/backend.hpp"
 
 namespace codecrunch::dist {
@@ -39,8 +49,24 @@ struct WorkerOptions {
     std::uint16_t port = 0;
     /** Seconds to keep retrying the initial connect. */
     double connectTimeout = 15.0;
+    /** Seconds per dial attempt when re-establishing a lost link. */
+    double reconnectTimeout = 5.0;
+    /** Reconnect attempts before giving up (fatal). */
+    std::size_t maxReconnectAttempts = 8;
+    /** Backoff between reconnect attempts: base * 2^(n-1), capped. */
+    double reconnectBackoffBase = 0.1;
+    double reconnectBackoffCap = 2.0;
     /** Seconds between heartbeats. */
     double heartbeatInterval = 2.0;
+    /**
+     * Deterministic network fault injection (chaos.hpp). The spec is
+     * disabled by default; seed/salt select the fault schedule —
+     * spawned workers each get a distinct salt so their connections
+     * draw independent streams.
+     */
+    ChaosSpec chaos;
+    std::uint64_t chaosSeed = 1;
+    std::uint64_t chaosSalt = 0;
     /**
      * Fault-injection hook for the worker-loss tests: after this many
      * completed jobs the process _exit()s the moment the next job is

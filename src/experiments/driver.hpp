@@ -22,6 +22,7 @@
 
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
+#include "faults/backoff.hpp"
 #include "faults/fault_plan.hpp"
 #include "metrics/collector.hpp"
 #include "obs/trace.hpp"
@@ -77,15 +78,14 @@ struct DriverConfig {
 
 /**
  * Delay before retry number `attempt` + 1: capped exponential backoff
- * min(cap, base x 2^(attempt-1)) for attempt >= 1.
+ * min(cap, base x 2^(attempt-1)) for attempt >= 1. One shared shape
+ * (faults/backoff.hpp) serves both the simulated invocation-retry path
+ * here and the real worker-reconnect path in dist/worker.cpp.
  */
 inline Seconds
 retryBackoff(int attempt, Seconds base, Seconds cap)
 {
-    Seconds delay = base;
-    for (int i = 1; i < attempt && delay < cap; ++i)
-        delay *= 2.0;
-    return std::min(cap, delay);
+    return faults::retryBackoff(attempt, base, cap);
 }
 
 /**

@@ -2,9 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 
+#include "common/atomic_file.hpp"
 #include "common/logging.hpp"
 
 namespace codecrunch::obs {
@@ -233,58 +232,44 @@ TraceCollection::write(const std::string& path) const
 {
     if (path.empty())
         return;
-    const std::filesystem::path file(path);
-    if (file.has_parent_path()) {
-        std::error_code ec;
-        std::filesystem::create_directories(file.parent_path(), ec);
-        if (ec)
-            fatal("trace: cannot create ",
-                  file.parent_path().string(), ": ", ec.message());
-    }
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        fatal("trace: cannot open ", path, " for writing");
-
-    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-    std::string line;
-    line.reserve(512);
-    bool first = true;
-    const auto flushLine = [&] {
-        if (!first)
-            os << ",\n";
-        first = false;
-        os << line;
-        line.clear();
-    };
-    for (std::size_t r = 0; r < runs_.size(); ++r) {
-        const std::size_t pid = r + 1;
-        const Run& run = runs_[r];
-        line += "{\"ph\":\"M\",\"pid\":";
-        appendU32(line, static_cast<std::uint32_t>(pid));
-        line += ",\"name\":\"process_name\",\"args\":{\"name\":";
-        appendQuoted(line, run.label);
-        line += "}}";
-        flushLine();
-        for (const auto& [tid, name] : run.buffer->trackNames()) {
+    atomicWriteFile(path, "trace", [&](std::ostream& os) {
+        os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+        std::string line;
+        line.reserve(512);
+        bool first = true;
+        const auto flushLine = [&] {
+            if (!first)
+                os << ",\n";
+            first = false;
+            os << line;
+            line.clear();
+        };
+        for (std::size_t r = 0; r < runs_.size(); ++r) {
+            const std::size_t pid = r + 1;
+            const Run& run = runs_[r];
             line += "{\"ph\":\"M\",\"pid\":";
             appendU32(line, static_cast<std::uint32_t>(pid));
-            line += ",\"tid\":";
-            appendU32(line, tid);
-            line += ",\"name\":\"thread_name\",\"args\":{\"name\":";
-            appendQuoted(line, name);
+            line += ",\"name\":\"process_name\",\"args\":{\"name\":";
+            appendQuoted(line, run.label);
             line += "}}";
             flushLine();
+            for (const auto& [tid, name] : run.buffer->trackNames()) {
+                line += "{\"ph\":\"M\",\"pid\":";
+                appendU32(line, static_cast<std::uint32_t>(pid));
+                line += ",\"tid\":";
+                appendU32(line, tid);
+                line += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+                appendQuoted(line, name);
+                line += "}}";
+                flushLine();
+            }
+            for (const TraceEvent& event : run.buffer->events()) {
+                appendEvent(line, pid, event);
+                flushLine();
+            }
         }
-        for (const TraceEvent& event : run.buffer->events()) {
-            appendEvent(line, pid, event);
-            flushLine();
-        }
-    }
-    os << "\n]}\n";
-    os.flush();
-    if (!os.good())
-        fatal("trace: write to ", path,
-              " failed (disk full or I/O error)");
+        os << "\n]}\n";
+    });
     inform("trace: wrote ", path);
 }
 

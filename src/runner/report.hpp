@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/atomic_file.hpp"
 #include "common/logging.hpp"
 #include "experiments/harness.hpp"
 #include "obs/profiler.hpp"
@@ -372,7 +373,8 @@ using RunExtraWriter = std::function<void(
  * short writes; an empty path is a no-op. This is the writer benches
  * without PolicyRun-shaped results (analysis sweeps, optimizer
  * tournaments) use directly; writeRunReport layers the standard
- * "runs" array on top of it.
+ * "runs" array on top of it. Writes are atomic (tmp + rename via
+ * atomicWriteFile): a crash mid-write never leaves a torn artifact.
  */
 inline void
 writeBenchReport(const std::string& path, const ReportMeta& meta,
@@ -380,39 +382,27 @@ writeBenchReport(const std::string& path, const ReportMeta& meta,
 {
     if (path.empty() || artifactWritesSuppressed())
         return;
-    const std::filesystem::path file(path);
-    if (file.has_parent_path()) {
-        std::error_code ec;
-        std::filesystem::create_directories(file.parent_path(), ec);
-        if (ec)
-            fatal("report: cannot create ",
-                  file.parent_path().string(), ": ", ec.message());
-    }
-    std::ofstream os(path);
-    if (!os)
-        fatal("report: cannot open ", path, " for writing");
-
-    JsonWriter json(os);
-    json.beginObject();
-    json.field("bench", meta.bench);
-    for (const auto& [name, number] : meta.numbers)
-        json.field(name, number);
-    if (body)
-        body(json);
-    // Sim-scope registry totals (process-wide, cumulative over every
-    // run this process executed so far). Counters/gauges/bucket counts
-    // are commutative, so the block is byte-identical across --threads
-    // settings; histogram sums are excluded for the same reason.
-    json.key("stats");
-    writeStatsObject(
-        json, obs::Registry::global().snapshot(obs::StatScope::Sim),
-        /*includeSums=*/false);
-    json.endObject();
-    json.finish();
-    os.flush();
-    if (!os.good())
-        fatal("report: write to ", path,
-              " failed (disk full or I/O error)");
+    atomicWriteFile(path, "report", [&](std::ostream& os) {
+        JsonWriter json(os);
+        json.beginObject();
+        json.field("bench", meta.bench);
+        for (const auto& [name, number] : meta.numbers)
+            json.field(name, number);
+        if (body)
+            body(json);
+        // Sim-scope registry totals (process-wide, cumulative over
+        // every run this process executed so far). Counters/gauges/
+        // bucket counts are commutative, so the block is byte-identical
+        // across --threads settings; histogram sums are excluded for
+        // the same reason.
+        json.key("stats");
+        writeStatsObject(json,
+                         obs::Registry::global().snapshot(
+                             obs::StatScope::Sim),
+                         /*includeSums=*/false);
+        json.endObject();
+        json.finish();
+    });
     inform("report: wrote ", path);
 }
 
@@ -451,54 +441,41 @@ writeObsReport(const std::string& path)
 {
     if (path.empty() || artifactWritesSuppressed())
         return;
-    const std::filesystem::path file(path);
-    if (file.has_parent_path()) {
-        std::error_code ec;
-        std::filesystem::create_directories(file.parent_path(), ec);
-        if (ec)
-            fatal("report: cannot create ",
-                  file.parent_path().string(), ": ", ec.message());
-    }
-    std::ofstream os(path);
-    if (!os)
-        fatal("report: cannot open ", path, " for writing");
+    atomicWriteFile(path, "report", [&](std::ostream& os) {
+        JsonWriter json(os);
+        json.beginObject();
+        json.key("stats");
+        writeStatsObject(json, obs::Registry::global().snapshot(),
+                         /*includeSums=*/true);
 
-    JsonWriter json(os);
-    json.beginObject();
-    json.key("stats");
-    writeStatsObject(json, obs::Registry::global().snapshot(),
-                     /*includeSums=*/true);
-
-    auto& profiler = obs::Profiler::global();
-    const obs::Profiler::PhaseReport root = profiler.report();
-    json.key("phases");
-    json.beginArray();
-    const std::function<void(const obs::Profiler::PhaseReport&)>
-        writePhase = [&](const obs::Profiler::PhaseReport& phase) {
-            json.beginObject();
-            json.field("name", phase.name);
-            json.field("calls", phase.calls);
-            json.field("total_s", phase.seconds);
-            json.key("children");
-            json.beginArray();
-            for (const auto& child : phase.children)
-                writePhase(child);
-            json.endArray();
-            json.endObject();
-        };
-    for (const auto& phase : root.children)
-        writePhase(phase);
-    json.endArray();
-    // Calibrate last: it runs a batch of real scopes and would pollute
-    // the tree if it ran before report().
-    json.field("profiler_self_overhead_s_per_scope",
-               profiler.calibratePerScopeSeconds());
-    json.endObject();
-    json.finish();
-    os.flush();
-    if (!os.good())
-        fatal("report: write to ", path,
-              " failed (disk full or I/O error)");
+        auto& profiler = obs::Profiler::global();
+        const obs::Profiler::PhaseReport root = profiler.report();
+        json.key("phases");
+        json.beginArray();
+        const std::function<void(const obs::Profiler::PhaseReport&)>
+            writePhase =
+                [&](const obs::Profiler::PhaseReport& phase) {
+                    json.beginObject();
+                    json.field("name", phase.name);
+                    json.field("calls", phase.calls);
+                    json.field("total_s", phase.seconds);
+                    json.key("children");
+                    json.beginArray();
+                    for (const auto& child : phase.children)
+                        writePhase(child);
+                    json.endArray();
+                    json.endObject();
+                };
+        for (const auto& phase : root.children)
+            writePhase(phase);
+        json.endArray();
+        // Calibrate last: it runs a batch of real scopes and would
+        // pollute the tree if it ran before report().
+        json.field("profiler_self_overhead_s_per_scope",
+                   profiler.calibratePerScopeSeconds());
+        json.endObject();
+        json.finish();
+    });
     inform("report: wrote ", path);
 }
 

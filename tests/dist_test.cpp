@@ -465,8 +465,8 @@ readOneFrame(TcpStream& stream, FrameParser& parser)
 // surviving worker is already parked on an unanswered JobRequest and
 // will never ask again. The master must hand the requeued job to the
 // parked survivor, or executePlan spins forever. Also checks that a
-// worker joining mid-plan is turned away with an explanatory
-// HelloReject instead of wedging on a later seq mismatch.
+// worker joining mid-plan is welcomed with the v2 catch-up handshake
+// (empty PlanCatchUp + the active PlanBegin) instead of rejected.
 TEST(EndToEnd, RequeueAfterLateWorkerLossWakesParkedWorker)
 {
     constexpr int kJobs = 6;
@@ -518,6 +518,10 @@ TEST(EndToEnd, RequeueAfterLateWorkerLossWakesParkedWorker)
         ASSERT_TRUE(ack.has_value());
         ASSERT_EQ(ack->type,
                   static_cast<std::uint8_t>(MsgType::HelloAck));
+        auto catchUp = readOneFrame(victim, parser);
+        ASSERT_TRUE(catchUp.has_value());
+        ASSERT_EQ(catchUp->type,
+                  static_cast<std::uint8_t>(MsgType::PlanCatchUp));
         auto begin = readOneFrame(victim, parser);
         ASSERT_TRUE(begin.has_value());
         ASSERT_EQ(begin->type,
@@ -541,7 +545,9 @@ TEST(EndToEnd, RequeueAfterLateWorkerLossWakesParkedWorker)
         // park before the victim disappears.
         std::this_thread::sleep_for(std::chrono::milliseconds(300));
 
-        // Mid-plan late joiner: explicit rejection at handshake.
+        // Mid-plan late joiner: catch-up handshake — no completed
+        // plans yet, so an empty PlanCatchUp followed by the active
+        // plan's PlanBegin so it could start pulling immediately.
         TcpStream late = connectTcp("127.0.0.1", port, 15.0);
         FrameParser lateParser;
         Hello lateHello;
@@ -549,13 +555,25 @@ TEST(EndToEnd, RequeueAfterLateWorkerLossWakesParkedWorker)
         ASSERT_TRUE(late.sendAll(encodeFrame(
             static_cast<std::uint8_t>(MsgType::Hello),
             encodeHello(lateHello))));
-        auto reject = readOneFrame(late, lateParser);
-        ASSERT_TRUE(reject.has_value());
-        EXPECT_EQ(reject->type,
-                  static_cast<std::uint8_t>(MsgType::HelloReject));
-        EXPECT_NE(decodeText(reject->payload, "HelloReject")
-                      .find("before the first plan"),
-                  std::string::npos);
+        auto lateAck = readOneFrame(late, lateParser);
+        ASSERT_TRUE(lateAck.has_value());
+        EXPECT_EQ(lateAck->type,
+                  static_cast<std::uint8_t>(MsgType::HelloAck));
+        auto lateCatchUp = readOneFrame(late, lateParser);
+        ASSERT_TRUE(lateCatchUp.has_value());
+        ASSERT_EQ(lateCatchUp->type,
+                  static_cast<std::uint8_t>(MsgType::PlanCatchUp));
+        const PlanCatchUp cu =
+            decodePlanCatchUp(lateCatchUp->payload);
+        EXPECT_EQ(cu.fromSeq, 0u);
+        EXPECT_TRUE(cu.entries.empty());
+        auto lateBegin = readOneFrame(late, lateParser);
+        ASSERT_TRUE(lateBegin.has_value());
+        EXPECT_EQ(lateBegin->type,
+                  static_cast<std::uint8_t>(MsgType::PlanBegin));
+        EXPECT_EQ(decodePlanBegin(lateBegin->payload).planSeq,
+                  planBegin.planSeq);
+        late.close();
 
         victim.close(); // EOF: the held job must be re-dispatched
     });

@@ -411,12 +411,12 @@ TEST(ReportDeathTest, UnopenablePathIsFatal)
 {
     ReportMeta meta;
     meta.bench = "doomed";
-    // The target itself is an existing directory: parent creation
-    // succeeds, opening for write cannot.
+    // The target itself is an existing directory: the atomic write
+    // lands in <path>.tmp and the final rename over it cannot.
     const std::string dir = ::testing::TempDir() + "report_is_a_dir";
     std::filesystem::create_directories(dir);
     EXPECT_EXIT(writeBenchReport(dir, meta, {}),
-                ::testing::ExitedWithCode(1), "report: cannot open");
+                ::testing::ExitedWithCode(1), "report: cannot rename");
 }
 
 // --- Eventcount wakeup + parallelFor (PR 6) ----------------------------

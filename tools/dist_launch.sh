@@ -1,0 +1,80 @@
+#!/usr/bin/env sh
+# Launch a multi-host distributed bench sweep over ssh.
+#
+# Runs the master locally with --dist-master PORT, then starts one
+# worker per host (the SAME bench binary, the same scenario flags)
+# with --dist-worker <master>:<port>. Assumes the repo is built at
+# the same path on every host and that passwordless ssh works.
+# Workers write no artifacts; the master's JSON lands wherever the
+# bench flags say, byte-identical to a single-process run
+# (DESIGN.md §11). Workers that die are re-dispatched around; hosts
+# may even join late — rerun a single worker command by hand and the
+# master's catch-up handshake brings it into lockstep.
+#
+# Usage:
+#   tools/dist_launch.sh --bench fig07_main_comparison --port 9410 \
+#       --hosts hostA,hostB,hostC [--master-addr ADDR] \
+#       [--build-dir build] -- [bench flags...]
+#
+# Everything after `--` is passed to BOTH the master and the workers
+# (fingerprint checks require identical scenario flags on each end).
+
+set -eu
+
+bench="" port="" hosts="" master_addr="" build_dir="build"
+
+usage() {
+    sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+    exit 1
+}
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --bench) bench=$2; shift 2 ;;
+        --port) port=$2; shift 2 ;;
+        --hosts) hosts=$2; shift 2 ;;
+        --master-addr) master_addr=$2; shift 2 ;;
+        --build-dir) build_dir=$2; shift 2 ;;
+        --) shift; break ;;
+        *) echo "dist_launch: unknown option '$1'" >&2; usage ;;
+    esac
+done
+[ -n "$bench" ] && [ -n "$port" ] && [ -n "$hosts" ] || usage
+
+repo_dir=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+exe="$repo_dir/$build_dir/bench/$bench"
+[ -x "$exe" ] || {
+    echo "dist_launch: $exe not built" >&2
+    exit 1
+}
+[ -n "$master_addr" ] || master_addr=$(hostname -f 2>/dev/null ||
+    hostname)
+
+# Worker count doubles as --dist-min-workers so the master waits for
+# the whole fleet before dealing the first plan.
+nworkers=$(printf '%s\n' "$hosts" | tr ',' '\n' | grep -c .)
+
+echo "dist_launch: master $master_addr:$port, $nworkers workers" >&2
+"$exe" --dist-master "$port" --dist-min-workers "$nworkers" "$@" &
+master_pid=$!
+
+# Give the listener a beat; workers also retry their connect for
+# 15 s, so this is comfort, not correctness.
+sleep 1
+
+worker_pids=""
+for host in $(printf '%s\n' "$hosts" | tr ',' ' '); do
+    echo "dist_launch: starting worker on $host" >&2
+    # shellcheck disable=SC2029  # client-side expansion intended
+    ssh "$host" "cd '$repo_dir' && exec '$exe' \
+        --dist-worker '$master_addr:$port' --quiet $*" &
+    worker_pids="$worker_pids $!"
+done
+
+status=0
+wait "$master_pid" || status=$?
+# The master's Shutdown drains workers; reap the ssh sessions.
+for pid in $worker_pids; do
+    wait "$pid" || true
+done
+exit "$status"

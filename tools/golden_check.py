@@ -26,11 +26,28 @@ seconds-scale scenario so the whole suite fits in a CI job):
                in-flight job is re-dispatched. The artifact must still
                be byte-identical to the local run (``dist_kill_<bench>``
                ctest target).
+  dist-chaos   like dist, but every worker wraps its socket in the
+               deterministic fault injector (``--dist-chaos-profile``/
+               ``--dist-chaos-seed``): short reads/writes, delayed
+               flushes, mid-frame disconnects, refused connects. The
+               artifact must still be byte-identical to the local run
+               (``dist_chaos_<bench>`` ctest target).
+  dist-resume  crash-safety check for the master's job journal. Runs
+               the sweep once locally, then distributed with
+               ``--dist-master-die-after K`` so the master _Exit()s
+               after K jobs are journaled, then again with ``--resume``.
+               Asserts the journal held exactly K job records at the
+               crash, that the resumed master dispatched only the
+               remaining jobs over the wire (sum of the resume run's
+               wall.dist.worker*.jobs counters == total - K), and that
+               the final artifact is byte-identical to the local run
+               (``dist_resume_<bench>`` ctest target).
 
 Exit status: 0 on success, 1 on mismatch, 2 on usage/exec errors.
 """
 
 import argparse
+import json
 import os
 import subprocess
 import sys
@@ -45,7 +62,8 @@ def parse_args(argv):
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--mode", required=True,
                         choices=["diff", "determinism", "update",
-                                 "dist", "dist-kill"])
+                                 "dist", "dist-kill", "dist-chaos",
+                                 "dist-resume"])
     parser.add_argument("--bench", required=True,
                         help="path to the bench executable")
     parser.add_argument("--name", required=True,
@@ -57,11 +75,19 @@ def parse_args(argv):
     parser.add_argument("--threads", type=int, default=4,
                         help="thread count for the threaded run")
     parser.add_argument("--workers", type=int, default=2,
-                        help="worker processes for dist/dist-kill")
+                        help="worker processes for dist modes")
+    parser.add_argument("--chaos-profile", default="light",
+                        help="fault-injection profile for dist-chaos")
+    parser.add_argument("--chaos-seed", type=int, default=7,
+                        help="fault-injection seed for dist-chaos")
+    parser.add_argument("--die-after", type=int, default=2,
+                        help="journaled jobs before the dist-resume "
+                             "master self-kills")
     return parser.parse_args(argv)
 
 
-def run_bench(exe, json_path, threads, extra=()):
+def run_bench_raw(exe, json_path, threads, extra=()):
+    """Run the bench and return its exit status (may be nonzero)."""
     cmd = [exe, "--golden-mode", "--quiet", "--threads", str(threads),
            "--json", json_path] + list(extra)
     try:
@@ -69,14 +95,51 @@ def run_bench(exe, json_path, threads, extra=()):
     except OSError as err:
         print(f"error: cannot run {exe}: {err}", file=sys.stderr)
         sys.exit(2)
-    if proc.returncode != 0:
-        print(f"error: {' '.join(cmd)} exited {proc.returncode}",
+    return proc.returncode
+
+
+def run_bench(exe, json_path, threads, extra=()):
+    code = run_bench_raw(exe, json_path, threads, extra)
+    if code != 0:
+        print(f"error: {exe} {' '.join(extra)} exited {code}",
               file=sys.stderr)
         sys.exit(2)
     if not os.path.exists(json_path):
         print(f"error: {exe} did not write {json_path}",
               file=sys.stderr)
         sys.exit(2)
+
+
+def count_journal_jobs(path):
+    """Count Job records in a master journal (src/dist/journal.hpp).
+
+    The journal is a sequence of wire frames — [u32 length LE]
+    [u8 type][u8 codec][body] with length == len(body) + 2 — and a
+    Job record is frame type 102. A torn tail (partial frame from a
+    crash mid-append) is ignored, matching the C++ replay.
+    """
+    with open(path, "rb") as f:
+        data = f.read()
+    jobs = 0
+    off = 0
+    while off + 4 <= len(data):
+        length = int.from_bytes(data[off:off + 4], "little")
+        if length < 2 or off + 4 + length > len(data):
+            break  # torn tail
+        if data[off + 4] == 102:
+            jobs += 1
+        off += 4 + length
+    return jobs
+
+
+def dist_worker_job_total(stats_path):
+    """Sum wall.dist.worker*.jobs counters from a --stats-out dump."""
+    with open(stats_path) as f:
+        doc = json.load(f)
+    counters = doc.get("stats", {}).get("counters", {})
+    return sum(int(value) for name, value in counters.items()
+               if name.startswith("wall.dist.worker") and
+               name.endswith(".jobs"))
 
 
 def main(argv=None):
@@ -107,13 +170,16 @@ def main(argv=None):
               f"({len(serial_bytes)} bytes)")
         return 0
 
-    if args.mode in ("dist", "dist-kill"):
+    if args.mode in ("dist", "dist-kill", "dist-chaos"):
         local = os.path.join(args.out_dir, f"{args.name}.local.json")
         dist = os.path.join(args.out_dir, f"{args.name}.dist.json")
         run_bench(args.bench, local, threads=args.threads)
         extra = ["--dist-workers", str(args.workers)]
         if args.mode == "dist-kill":
             extra.append("--dist-kill-one")
+        if args.mode == "dist-chaos":
+            extra += ["--dist-chaos-profile", args.chaos_profile,
+                      "--dist-chaos-seed", str(args.chaos_seed)]
         run_bench(args.bench, dist, threads=args.threads, extra=extra)
         with open(local, "rb") as f:
             local_bytes = f.read()
@@ -125,9 +191,70 @@ def main(argv=None):
                   "artifacts differ; structural diff:")
             diff_report.main([dist, local, "--profile", "exact"])
             return 1
+        variant = {"dist-kill": "kill-one ",
+                   "dist-chaos":
+                   f"chaos({args.chaos_profile}/{args.chaos_seed}) "
+                   }.get(args.mode, "")
         print(f"{args.name}: local and {args.workers}-worker "
-              f"{'kill-one ' if args.mode == 'dist-kill' else ''}"
-              "distributed artifacts are byte-identical "
+              f"{variant}distributed artifacts are byte-identical "
+              f"({len(local_bytes)} bytes)")
+        return 0
+
+    if args.mode == "dist-resume":
+        local = os.path.join(args.out_dir, f"{args.name}.local.json")
+        dist = os.path.join(args.out_dir, f"{args.name}.dist.json")
+        journal = os.path.join(args.out_dir, f"{args.name}.journal")
+        stats = os.path.join(args.out_dir, f"{args.name}.stats.json")
+        for stale in (dist, journal, stats):
+            if os.path.exists(stale):
+                os.remove(stale)
+        run_bench(args.bench, local, threads=args.threads)
+
+        base = ["--dist-workers", str(args.workers),
+                "--journal", journal]
+        code = run_bench_raw(
+            args.bench, dist, threads=args.threads,
+            extra=base + ["--dist-master-die-after",
+                          str(args.die_after)])
+        if code == 0:
+            print(f"{args.name}: master with --dist-master-die-after "
+                  f"{args.die_after} exited 0 — it never crashed, so "
+                  "resume was not exercised", file=sys.stderr)
+            return 1
+        if not os.path.exists(journal):
+            print(f"{args.name}: crashed master left no journal at "
+                  f"{journal}", file=sys.stderr)
+            return 1
+        pre = count_journal_jobs(journal)
+        if pre != args.die_after:
+            print(f"{args.name}: journal holds {pre} job records "
+                  f"after the crash, expected exactly "
+                  f"{args.die_after}", file=sys.stderr)
+            return 1
+
+        run_bench(args.bench, dist, threads=args.threads,
+                  extra=base + ["--resume", "--stats-out", stats])
+        post = count_journal_jobs(journal)
+        redispatched = dist_worker_job_total(stats)
+        if redispatched != post - pre:
+            print(f"{args.name}: resume run dispatched "
+                  f"{redispatched} jobs over the wire but the journal "
+                  f"grew by {post - pre} ({pre} -> {post}) — journal "
+                  "replay did not skip the completed jobs",
+                  file=sys.stderr)
+            return 1
+        with open(local, "rb") as f:
+            local_bytes = f.read()
+        with open(dist, "rb") as f:
+            dist_bytes = f.read()
+        if local_bytes != dist_bytes:
+            print(f"{args.name}: local and resumed-after-crash "
+                  "artifacts differ; structural diff:")
+            diff_report.main([dist, local, "--profile", "exact"])
+            return 1
+        print(f"{args.name}: resumed master skipped {pre} journaled "
+              f"jobs, dispatched the remaining {redispatched}, and "
+              "the artifact is byte-identical to the local run "
               f"({len(local_bytes)} bytes)")
         return 0
 
