@@ -4,8 +4,10 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,8 +41,17 @@ using experiments::Scenario;
  *   --trace-out PATH  Chrome trace_event JSON of every simulated run
  *                     (open at ui.perfetto.dev); byte-identical across
  *                     --threads settings
+ *   --trace-sample N  keep 1-in-N invocation event groups per trace
+ *                     (deterministic per (run seed, function); 1 = all;
+ *                     controller/fault/policy events are always kept)
+ *   --stats-interval S  record per-interval flow-counter deltas every S
+ *                     sim seconds into each run's report entry
+ *                     ("intervals" array; rounded up to tick boundaries)
  *   --stats-out PATH  full stats-registry + phase-profiler dump; also
  *                     prints the phase table to stderr
+ *   --folded-out PATH phase profile in collapsed-stack ("folded")
+ *                     format for flamegraph tooling (wall-clock; not
+ *                     diffable)
  *   --log-level LVL   debug|info|warn|error|off (default info)
  *   --golden-mode     run the seconds-scale golden regression preset
  *                     (Scenario::goldenPreset()); the default artifact
@@ -84,6 +95,12 @@ struct BenchOptions {
     bool progress = true;
     std::string traceOut;
     std::string statsOut;
+    /** Collapsed-stack profile path (--folded-out); empty disables. */
+    std::string foldedOut;
+    /** Trace sampling: keep 1-in-N invocation groups (1 = all). */
+    std::uint32_t traceSampleEvery = 1;
+    /** Interval flow series period in sim seconds (0 = off). */
+    double statsIntervalSeconds = 0.0;
     bool golden = false;
     /** Master listen port; negative = not in master mode via port. */
     int distMasterPort = -1;
@@ -191,8 +208,31 @@ parseBenchOptions(int argc, char** argv, const std::string& name)
             options.progress = false;
         } else if (arg == "--trace-out" && i + 1 < args.size()) {
             options.traceOut = args[++i];
+        } else if (arg == "--trace-sample" && i + 1 < args.size()) {
+            options.traceSampleEvery = static_cast<std::uint32_t>(
+                parseCount("--trace-sample", args[++i],
+                           std::numeric_limits<std::uint32_t>::max()));
+            if (options.traceSampleEvery == 0)
+                options.traceSampleEvery = 1;
+        } else if (arg == "--stats-interval" && i + 1 < args.size()) {
+            const std::string value = args[++i];
+            double parsed = 0.0;
+            std::size_t consumed = 0;
+            try {
+                parsed = std::stod(value, &consumed);
+            } catch (const std::exception&) {
+                consumed = 0;
+            }
+            if (consumed != value.size() || value.empty() ||
+                !(parsed >= 0.0))
+                fatal("--stats-interval expects non-negative sim "
+                      "seconds, got '",
+                      value, "'");
+            options.statsIntervalSeconds = parsed;
         } else if (arg == "--stats-out" && i + 1 < args.size()) {
             options.statsOut = args[++i];
+        } else if (arg == "--folded-out" && i + 1 < args.size()) {
+            options.foldedOut = args[++i];
         } else if (arg == "--log-level" && i + 1 < args.size()) {
             const std::string value = args[++i];
             const auto level = parseLogLevel(value);
@@ -248,7 +288,9 @@ parseBenchOptions(int argc, char** argv, const std::string& name)
             fatal("usage: ", argv[0],
                   " [--threads N] [--json PATH] [--no-json]"
                   " [--quiet] [--golden-mode]"
-                  " [--trace-out PATH] [--stats-out PATH]"
+                  " [--trace-out PATH] [--trace-sample N]"
+                  " [--stats-interval S] [--stats-out PATH]"
+                  " [--folded-out PATH]"
                   " [--log-level debug|info|warn|error|off]"
                   " [--dist-master PORT] [--dist-worker HOST:PORT]"
                   " [--dist-workers N] [--dist-min-workers N]"
@@ -290,8 +332,14 @@ parseBenchOptions(int argc, char** argv, const std::string& name)
 inline Scenario
 benchScenario(const BenchOptions& options)
 {
-    return options.golden ? Scenario::goldenPreset()
-                          : Scenario::evaluationDefault();
+    Scenario scenario = options.golden
+        ? Scenario::goldenPreset()
+        : Scenario::evaluationDefault();
+    scenario.driverConfig.traceSampleEvery =
+        options.traceSampleEvery;
+    scenario.driverConfig.statsIntervalSeconds =
+        options.statsIntervalSeconds;
+    return scenario;
 }
 
 /** Pick the full-scale or golden-preset value of a bench parameter. */
@@ -379,13 +427,14 @@ makeDistBackend(const BenchOptions& options)
 struct BenchEngine {
     explicit BenchEngine(const BenchOptions& options)
         : traceOut(options.traceOut), statsOut(options.statsOut),
+          foldedOut(options.foldedOut),
           backend(makeDistBackend(options)),
           engine({options.threads,
                   options.progress ? &progress : nullptr,
                   options.traceOut.empty() ? nullptr : &trace,
                   backend.get()})
     {
-        if (!statsOut.empty())
+        if (!statsOut.empty() || !foldedOut.empty())
             obs::Profiler::global().setEnabled(true);
     }
 
@@ -404,10 +453,13 @@ struct BenchEngine {
             runner::writeObsReport(statsOut);
             obs::Profiler::global().printTable(stderr);
         }
+        if (!foldedOut.empty())
+            runner::writeFoldedReport(foldedOut);
     }
 
     std::string traceOut;
     std::string statsOut;
+    std::string foldedOut;
     bool artifactsWritten = false;
     runner::ConsoleProgress progress;
     obs::TraceCollection trace;

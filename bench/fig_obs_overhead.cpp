@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Measures the observability subsystem's own cost — the "near-zero
+ * overhead" claim behind leaving tracing/stats instrumentation
+ * compiled into the simulator hot paths (DESIGN.md "Observability").
+ *
+ * Two phases:
+ *  - Phase A: tight-loop per-event costs of every instrument kind
+ *    (trace emit, null-trace branch, counter add, local/shared
+ *    histogram observe, gauge observe, profiler scope enabled and
+ *    disabled). Pure wall-clock microbenchmarks: console table plus
+ *    Wall-scope gauges, and a JSON section only outside --golden-mode
+ *    (golden/determinism/dist artifacts are byte-compared, so nothing
+ *    hardware-dependent may reach them).
+ *  - Phase B: whole-run on/off deltas. The same one-policy scenario
+ *    runs under a ladder of observability configurations (everything
+ *    off, full tracing, 1-in-4 and 1-in-16 sampled tracing, interval
+ *    flows only, sampling + intervals) with per-run wall timing. The
+ *    sim-deterministic outputs (trace_events_emitted, interval series,
+ *    sampling keep ratios) go into the artifact unconditionally; the
+ *    wall-clock deltas print on the console and join the JSON only at
+ *    full scale.
+ *
+ * Each Phase B run installs a job-local TraceBuffer via the
+ * DriverConfigTweak, so the ladder works identically in local and
+ * distributed execution (workers rebuild the same plan and the
+ * deterministic trace volume travels back inside RunResult).
+ */
+#include "bench/bench_common.hpp"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+using namespace codecrunch;
+using namespace codecrunch::bench;
+
+namespace {
+
+/** Wall seconds one invocation of `fn` takes. */
+template <typename F>
+double
+secondsFor(F&& fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** One observability configuration of the Phase B ladder. */
+struct ObsConfig {
+    std::string name;
+    bool trace = false;
+    std::uint32_t sampleEvery = 1;
+    double intervalSeconds = 0.0;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig_obs_overhead");
+    BenchEngine bench(options);
+
+    // ---- Phase A: per-event instrument costs -----------------------
+    // Loop counts scale down under --golden-mode so the golden /
+    // determinism / dist ctest targets stay fast; the numbers are
+    // console-and-Wall-stats-only there anyway.
+    const std::size_t iters =
+        goldenPick<std::size_t>(options, 2'000'000, 100'000);
+    auto& registry = obs::Registry::global();
+    std::vector<std::pair<std::string, double>> instrumentNs;
+    const auto record = [&](const std::string& name, double seconds) {
+        const double ns = seconds / static_cast<double>(iters) * 1e9;
+        instrumentNs.emplace_back(name, ns);
+        // Wall scope: never enters the deterministic Sim stats block.
+        registry
+            .gauge("wall.obs_overhead." + name + ".ns_per_event",
+                   obs::StatScope::Wall)
+            .observe(ns);
+    };
+
+    {
+        // The hot-path branch when tracing is off: a pointer load and
+        // a never-taken branch. `volatile` keeps the compiler from
+        // deleting the loop.
+        obs::TraceBuffer* volatile nullSink = nullptr;
+        obs::TraceEvent event;
+        record("trace_null_branch", secondsFor([&] {
+                   for (std::size_t i = 0; i < iters; ++i) {
+                       if (auto* sink = nullSink)
+                           sink->emit(event);
+                   }
+               }));
+    }
+    {
+        obs::TraceBuffer buffer;
+        obs::TraceEvent event;
+        event.kind = obs::TraceEvent::Kind::Exec;
+        record("trace_emit", secondsFor([&] {
+                   for (std::size_t i = 0; i < iters; ++i) {
+                       event.ts = static_cast<double>(i);
+                       buffer.emit(event);
+                   }
+               }));
+    }
+    {
+        auto& counter = registry.counter("wall.obs_overhead.scratch",
+                                         obs::StatScope::Wall);
+        record("counter_add", secondsFor([&] {
+                   for (std::size_t i = 0; i < iters; ++i)
+                       counter.add(1);
+               }));
+    }
+    {
+        obs::LocalHistogram local(obs::defaultLatencyBoundsSeconds());
+        record("histogram_local_observe", secondsFor([&] {
+                   for (std::size_t i = 0; i < iters; ++i)
+                       local.observe((i & 1023) * 1e-3);
+               }));
+    }
+    {
+        auto& shared = registry.histogram(
+            "wall.obs_overhead.scratch_hist",
+            obs::defaultLatencyBoundsSeconds(), obs::StatScope::Wall);
+        record("histogram_shared_observe", secondsFor([&] {
+                   for (std::size_t i = 0; i < iters; ++i)
+                       shared.observe((i & 1023) * 1e-3);
+               }));
+    }
+    {
+        auto& gauge = registry.gauge("wall.obs_overhead.scratch_gauge",
+                                     obs::StatScope::Wall);
+        record("gauge_observe", secondsFor([&] {
+                   for (std::size_t i = 0; i < iters; ++i)
+                       gauge.observe((i & 1023) * 1e-3);
+               }));
+    }
+    {
+        auto& profiler = obs::Profiler::global();
+        const bool wasEnabled = profiler.enabled();
+        profiler.setEnabled(false);
+        record("phase_scope_disabled", secondsFor([&] {
+                   for (std::size_t i = 0; i < iters; ++i) {
+                       CC_PHASE("obs_overhead.disabled");
+                   }
+               }));
+        profiler.setEnabled(true);
+        record("phase_scope_enabled", secondsFor([&] {
+                   for (std::size_t i = 0; i < iters; ++i) {
+                       CC_PHASE("obs_overhead.enabled");
+                   }
+               }));
+        profiler.setEnabled(wasEnabled);
+    }
+
+    printBanner("Per-event instrument cost (" +
+                std::to_string(iters) + " events each)");
+    {
+        ConsoleTable table;
+        table.header({"instrument", "ns/event"});
+        for (const auto& [name, ns] : instrumentNs)
+            table.addRow(name, ConsoleTable::num(ns, 1));
+        table.print();
+    }
+    paperNote("the disabled paths (null trace branch, disabled phase "
+              "scope) bound the cost of shipping instrumentation in "
+              "release builds; the enabled paths are what --trace-out "
+              "and --stats-out actually pay per event");
+
+    // ---- Phase B: whole-run on/off deltas --------------------------
+    Scenario scenario = benchScenario(options);
+    if (!options.golden) {
+        // Six sequential runs: trim the workload so the full-scale
+        // bench stays minutes-scale while the deltas remain
+        // measurable.
+        scenario.traceConfig.days = 0.25;
+    }
+    Harness harness(scenario);
+
+    const std::vector<ObsConfig> configs = {
+        {"baseline", false, 1, 0.0},
+        {"trace-full", true, 1, 0.0},
+        {"trace-sample-4", true, 4, 0.0},
+        {"trace-sample-16", true, 16, 0.0},
+        {"intervals-600s", false, 1, 600.0},
+        {"trace-sample-4+intervals", true, 4, 600.0},
+    };
+
+    std::vector<PolicyRun> runs;
+    std::vector<double> wallSeconds;
+    for (const ObsConfig& cfg : configs) {
+        // One single-job plan per rung so the wall delta is a clean
+        // sequential measurement (no co-scheduling across configs).
+        runner::SimPlan plan("fig_obs_overhead/" + cfg.name);
+        // Job-local buffer: works under the distributed backend too
+        // (the worker rebuilds the plan and fills its own copy; the
+        // deterministic event count returns via RunResult).
+        const auto buffer = cfg.trace
+            ? std::make_shared<obs::TraceBuffer>()
+            : std::shared_ptr<obs::TraceBuffer>();
+        runner::addSimJob(
+            plan, cfg.name, harness,
+            [] { return std::make_unique<policy::SitW>(); },
+            [buffer, cfg](experiments::DriverConfig& config) {
+                config.trace = buffer ? buffer.get() : nullptr;
+                config.traceSampleEvery = cfg.sampleEvery;
+                config.statsIntervalSeconds = cfg.intervalSeconds;
+            });
+        const auto start = std::chrono::steady_clock::now();
+        auto results = bench.engine.run(plan);
+        wallSeconds.push_back(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  start)
+                                  .count());
+        runs.push_back({cfg.name, std::move(results[0])});
+    }
+
+    const double fullEvents = static_cast<double>(
+        runs[1].result.traceEventsEmitted);
+    const auto keepRatio = [&](std::size_t i) {
+        return fullEvents > 0.0
+            ? static_cast<double>(
+                  runs[i].result.traceEventsEmitted) /
+                fullEvents
+            : 0.0;
+    };
+
+    printBanner("Whole-run observability overhead ladder");
+    {
+        ConsoleTable table;
+        table.header({"config", "trace events", "keep ratio",
+                      "intervals", "wall (s)", "vs baseline"});
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const double base = wallSeconds[0];
+            const double deltaPct = base > 0.0
+                ? (wallSeconds[i] / base - 1.0) * 100.0
+                : 0.0;
+            table.addRow(configs[i].name,
+                         runs[i].result.traceEventsEmitted,
+                         ConsoleTable::num(keepRatio(i), 3),
+                         runs[i].result.intervals.size(),
+                         ConsoleTable::num(wallSeconds[i], 3),
+                         ConsoleTable::num(deltaPct, 1) + " %");
+        }
+        table.print();
+    }
+    paperNote("sampling keeps the trace's controller/policy story "
+              "intact while cutting invocation event volume ~1/N; the "
+              "whole-run wall deltas bound what --trace-out and "
+              "--stats-interval cost end to end (hardware-dependent, "
+              "hence console/full-scale-JSON only)");
+
+    runner::ReportMeta meta;
+    meta.bench = "fig_obs_overhead";
+    runner::writeBenchReport(
+        options.jsonPath, meta, [&](runner::JsonWriter& json) {
+            // Wall-clock numbers are excluded under --golden-mode:
+            // golden, determinism, and dist-identity checks
+            // byte-compare this artifact.
+            if (!options.golden) {
+                json.key("instrument_cost_ns");
+                json.beginObject();
+                for (const auto& [name, ns] : instrumentNs)
+                    json.field(name, ns);
+                json.endObject();
+            }
+            json.key("runs");
+            json.beginArray();
+            for (std::size_t i = 0; i < configs.size(); ++i) {
+                json.beginObject();
+                json.field("name", runs[i].name);
+                runner::writeResultFields(json, runs[i].result);
+                json.field("trace_sample_every",
+                           configs[i].sampleEvery);
+                json.field("stats_interval_s",
+                           configs[i].intervalSeconds);
+                // Deterministic: both counts are pure functions of
+                // (seed, workload, sampling predicate).
+                json.field("trace_keep_ratio_vs_full", keepRatio(i));
+                if (!options.golden)
+                    json.field("wall_seconds", wallSeconds[i]);
+                json.endObject();
+            }
+            json.endArray();
+        });
+    return 0;
+}

@@ -98,6 +98,14 @@ main(int argc, char** argv)
             result.decisionWallSeconds /
             std::max<std::size_t>(1, result.metrics.invocations()) *
             1e6;
+        // Also register the observation as a Wall-scope stat so
+        // --stats-out artifacts capture it; Wall scope keeps it out of
+        // the diffable Sim-only report block.
+        obs::Registry::global()
+            .counter("wall.tab_overhead." + name + ".decision_us",
+                     obs::StatScope::Wall)
+            .add(static_cast<std::uint64_t>(
+                result.decisionWallSeconds * 1e6 + 0.5));
         table.addRow(
             sizes[i], name,
             ConsoleTable::num(result.decisionWallSeconds, 2),

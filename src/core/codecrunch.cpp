@@ -226,6 +226,7 @@ CodeCrunch::pickVictim(NodeId node, MegaBytes)
     }
 
     std::optional<cluster::ContainerId> victim;
+    FunctionId victimFunction = kInvalidFunction;
     double farthest = -1e300;
     for (const auto& [id, container] :
          context_->clusterState().warmPool()) {
@@ -240,13 +241,31 @@ CodeCrunch::pickVictim(NodeId node, MegaBytes)
         if (expectedNext > farthest) {
             farthest = expectedNext;
             victim = id;
+            victimFunction = container.function;
         }
     }
+    const auto emitEvict = [&](std::uint8_t rule) {
+        auto* trace = context_->traceSink();
+        if (!trace || !victim)
+            return;
+        obs::TraceEvent event;
+        event.kind = obs::TraceEvent::Kind::Evict;
+        event.u8 = rule; // 1=imminence pick, 2=incumbent-wins decline
+        event.tid = obs::kControllerTrack;
+        event.a = victimFunction;
+        event.b = node;
+        event.x = farthest; // victim's expected-next seconds
+        event.ts = now;
+        trace->emit(event);
+    };
     // Incumbent-wins rule: evicting a paid-for container only pays off
     // when the newcomer is clearly more imminent; otherwise churn
     // wastes the victim's sunk keep-alive spend.
-    if (victim && farthest <= newcomerNext * 1.25)
+    if (victim && farthest <= newcomerNext * 1.25) {
+        emitEvict(2);
         return std::nullopt;
+    }
+    emitEvict(1);
     return victim;
 }
 
@@ -326,6 +345,17 @@ CodeCrunch::onNodeRecover(NodeId, Seconds now)
             credit -= cost;
             ++issued;
             crashLost_[f] = 0;
+            if (auto* trace = context_->traceSink()) {
+                obs::TraceEvent event;
+                event.kind = obs::TraceEvent::Kind::RePrewarm;
+                event.u8 = arch == NodeType::ARM ? 1 : 0;
+                event.tid = obs::kControllerTrack;
+                event.a = f;
+                event.x = credit; // remaining after this issue
+                event.dur = keepAlive;
+                event.ts = now;
+                trace->emit(event);
+            }
         }
     }
 }
@@ -523,6 +553,21 @@ CodeCrunch::onTick(Seconds)
             const Choice choice = sanitize(result.assignment[i]);
             solutions_[f] = choice;
             optimizedOnce_[f] = true;
+            if (auto* trace = context_->traceSink()) {
+                obs::TraceEvent event;
+                event.kind = obs::TraceEvent::Kind::Placement;
+                event.u8 = static_cast<std::uint8_t>(
+                    (choice.compress ? 1 : 0) |
+                    (choice.arch == NodeType::ARM ? 2 : 0));
+                event.tid = obs::kControllerTrack;
+                event.a = f;
+                event.b = static_cast<std::uint32_t>(
+                    choice.keepAliveLevel);
+                event.x = keepAliveLevels()[static_cast<std::size_t>(
+                    choice.keepAliveLevel)];
+                event.ts = context_->now();
+                trace->emit(event);
+            }
             if (cluster.warmCount(f) == 0)
                 continue;
             // Update live warm containers to the new decision. A zero

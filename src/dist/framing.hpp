@@ -62,6 +62,9 @@ struct Frame {
     std::string payload;
     /** Codec the frame traveled with (payload is already decoded). */
     std::uint8_t codec = kCodecNone;
+    /** Body bytes as they traveled (compressed size for kCodecLz4);
+     *  lets link observability compare wire vs raw volume. */
+    std::uint32_t wireBody = 0;
 };
 
 /** Serialize one frame (header + type + codec + payload), raw body. */
@@ -132,6 +135,7 @@ class FrameParser
             static_cast<std::uint8_t>(buffer_[offset_ + kHeaderBytes]);
         frame.codec = static_cast<std::uint8_t>(
             buffer_[offset_ + kHeaderBytes + 1]);
+        frame.wireBody = length - 2;
         const std::string_view body =
             std::string_view(buffer_)
                 .substr(offset_ + kHeaderBytes + 2, length - 2);

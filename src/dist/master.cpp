@@ -33,8 +33,12 @@ struct WorkerStats {
     obs::Counter* jobs = nullptr;
     obs::Counter* bytesIn = nullptr;
     obs::Counter* bytesOut = nullptr;
+    obs::Counter* framesIn = nullptr;
+    obs::Counter* framesOut = nullptr;
     obs::Counter* idleMicros = nullptr;
     obs::Counter* connectAttempts = nullptr;
+    /** Max round-trip of the Heartbeat nonce probes, microseconds. */
+    obs::Gauge* rttUs = nullptr;
 };
 
 WorkerStats
@@ -50,10 +54,16 @@ makeWorkerStats(std::uint32_t workerId)
                                       obs::StatScope::Wall);
     stats.bytesOut = &registry.counter(prefix + "bytes_out",
                                        obs::StatScope::Wall);
+    stats.framesIn = &registry.counter(prefix + "frames_in",
+                                       obs::StatScope::Wall);
+    stats.framesOut = &registry.counter(prefix + "frames_out",
+                                        obs::StatScope::Wall);
     stats.idleMicros = &registry.counter(prefix + "idle_us",
                                          obs::StatScope::Wall);
     stats.connectAttempts = &registry.counter(
         prefix + "connect_attempts", obs::StatScope::Wall);
+    stats.rttUs = &registry.gauge(prefix + "rtt_us",
+                                  obs::StatScope::Wall);
     return stats;
 }
 
@@ -73,6 +83,10 @@ struct Conn {
     Clock::time_point lastSeen = Clock::now();
     /** Set while the worker waits for work none is pending. */
     std::optional<Clock::time_point> idleSince;
+    /** Outstanding RTT probe: nonce and send time (one in flight). */
+    std::optional<std::pair<std::uint64_t, Clock::time_point>> ping;
+    /** Epoch default: the first probe fires on the next plan pump. */
+    Clock::time_point lastPing{};
     WorkerStats stats;
 };
 
@@ -115,6 +129,16 @@ struct MasterBackend::Impl {
     obs::Counter* statWorkersReconnected = nullptr;
     obs::Counter* statLz4FramesIn = nullptr;
     obs::Counter* statLz4FramesOut = nullptr;
+    // LZ4 link accounting: raw (decoded) vs wire (compressed) body
+    // bytes per direction, plus the best per-frame ratio achieved.
+    obs::Counter* statLz4RawBytesIn = nullptr;
+    obs::Counter* statLz4WireBytesIn = nullptr;
+    obs::Counter* statLz4RawBytesOut = nullptr;
+    obs::Counter* statLz4WireBytesOut = nullptr;
+    obs::Gauge* statLz4RatioIn = nullptr;
+    obs::Gauge* statLz4RatioOut = nullptr;
+    /** Nonce source for the per-worker Heartbeat RTT probes. */
+    std::uint64_t nextPingNonce = 1;
 
     explicit Impl(MasterOptions opts) : options(std::move(opts))
     {
@@ -133,6 +157,18 @@ struct MasterBackend::Impl {
             "wall.dist.lz4_frames_in", obs::StatScope::Wall);
         statLz4FramesOut = &registry.counter(
             "wall.dist.lz4_frames_out", obs::StatScope::Wall);
+        statLz4RawBytesIn = &registry.counter(
+            "wall.dist.lz4_raw_bytes_in", obs::StatScope::Wall);
+        statLz4WireBytesIn = &registry.counter(
+            "wall.dist.lz4_wire_bytes_in", obs::StatScope::Wall);
+        statLz4RawBytesOut = &registry.counter(
+            "wall.dist.lz4_raw_bytes_out", obs::StatScope::Wall);
+        statLz4WireBytesOut = &registry.counter(
+            "wall.dist.lz4_wire_bytes_out", obs::StatScope::Wall);
+        statLz4RatioIn = &registry.gauge("wall.dist.lz4_ratio_in",
+                                         obs::StatScope::Wall);
+        statLz4RatioOut = &registry.gauge("wall.dist.lz4_ratio_out",
+                                          obs::StatScope::Wall);
 
         if (!options.journalPath.empty()) {
             std::size_t keepBytes = static_cast<std::size_t>(-1);
@@ -235,10 +271,21 @@ struct MasterBackend::Impl {
                              payload)
             : encodeFrame(static_cast<std::uint8_t>(type), payload);
         // Codec byte sits after the u32 length and the type byte.
-        if (static_cast<std::uint8_t>(frame[5]) == kCodecLz4)
+        if (static_cast<std::uint8_t>(frame[5]) == kCodecLz4) {
             statLz4FramesOut->add(1);
+            // Wire body = frame minus [u32 len][u8 type][u8 codec].
+            const std::size_t wireBody = frame.size() - 6;
+            statLz4RawBytesOut->add(payload.size());
+            statLz4WireBytesOut->add(wireBody);
+            if (wireBody > 0)
+                statLz4RatioOut->observe(
+                    static_cast<double>(payload.size()) /
+                    static_cast<double>(wireBody));
+        }
         if (conn.stats.bytesOut)
             conn.stats.bytesOut->add(frame.size());
+        if (conn.stats.framesOut)
+            conn.stats.framesOut->add(1);
         if (!conn.stream.sendAll(frame))
             conn.stream.close(); // loss is noticed by the poll loop
     }
@@ -392,8 +439,20 @@ struct MasterBackend::Impl {
             try {
                 while (auto frame = conn.parser.next()) {
                     conn.lastSeen = Clock::now();
-                    if (frame->codec == kCodecLz4)
+                    if (conn.stats.framesIn)
+                        conn.stats.framesIn->add(1);
+                    if (frame->codec == kCodecLz4) {
                         statLz4FramesIn->add(1);
+                        statLz4RawBytesIn->add(
+                            frame->payload.size());
+                        statLz4WireBytesIn->add(frame->wireBody);
+                        if (frame->wireBody > 0)
+                            statLz4RatioIn->observe(
+                                static_cast<double>(
+                                    frame->payload.size()) /
+                                static_cast<double>(
+                                    frame->wireBody));
+                    }
                     if (!conn.handshaken)
                         completeHandshake(conn, *frame);
                     else
@@ -682,8 +741,19 @@ MasterBackend::executePlan(const std::string& planName,
             break;
         }
         case MsgType::Heartbeat:
+            // Empty beats are worker keepalives (lastSeen already
+            // refreshed by the pump); a payload is our RTT probe's
+            // nonce coming back.
+            if (!frame.payload.empty() && conn.ping &&
+                decodeSeqOnly(frame.payload, "Heartbeat") ==
+                    conn.ping->first) {
+                conn.stats.rttUs->observe(
+                    secondsSince(conn.ping->second) * 1e6);
+                conn.ping.reset();
+            }
+            break;
         case MsgType::Bye:
-            break; // lastSeen already refreshed by the pump
+            break;
         case MsgType::Error:
             fatal("dist: worker ", conn.workerId, " reported: ",
                   decodeText(frame.payload, "Error"));
@@ -737,6 +807,22 @@ MasterBackend::executePlan(const std::string& planName,
         const auto dead = m.pump(100, onFrame);
         for (const int fd : dead)
             loseWorker(fd);
+        // Link RTT probes: one outstanding nonce per worker; the echo
+        // lands in the Heartbeat case above and feeds the
+        // wall.dist.worker<id>.rtt_us max-gauge. An unanswered probe
+        // is simply left pending — heartbeat-timeout handling below
+        // already covers wedged links.
+        for (auto& [fd, conn] : m.conns) {
+            if (!conn.handshaken || !conn.stream.valid() ||
+                conn.ping ||
+                secondsSince(conn.lastPing) <
+                    m.options.rttProbeInterval)
+                continue;
+            const std::uint64_t nonce = m.nextPingNonce++;
+            conn.ping = {{nonce, Clock::now()}};
+            conn.lastPing = Clock::now();
+            m.send(conn, MsgType::Heartbeat, encodeSeqOnly(nonce));
+        }
         // Heartbeat silence: a wedged worker is as gone as a dead one.
         std::vector<int> silent;
         for (auto& [fd, conn] : m.conns) {

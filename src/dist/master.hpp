@@ -65,6 +65,13 @@ struct MasterOptions {
     std::size_t maxRetries = 3;
     /** Seconds of silence before a worker is declared lost. */
     double heartbeatTimeout = 60.0;
+    /**
+     * Seconds between Heartbeat RTT probes per worker (a u64 nonce
+     * the worker echoes back; the measured round trip feeds the
+     * wall.dist.worker<id>.rtt_us max-gauge). Probes only fly while a
+     * plan is executing — the master is otherwise not in its loop.
+     */
+    double rttProbeInterval = 1.0;
     /** Seconds to wait for minWorkers at startup. */
     double connectTimeout = 30.0;
     /**

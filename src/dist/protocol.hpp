@@ -43,8 +43,10 @@ namespace codecrunch::dist {
 /** Handshake magic: "CCDW" (CodeCrunch Distributed Worker). */
 inline constexpr std::uint32_t kMagic = 0x43434457u;
 /** Bump on ANY wire-format change; mismatches are rejected.
- *  v2: frame codec byte, Hello nextPlanSeq/codecs, PlanCatchUp. */
-inline constexpr std::uint32_t kProtocolVersion = 2;
+ *  v2: frame codec byte, Hello nextPlanSeq/codecs, PlanCatchUp.
+ *  v3: master->worker Heartbeat RTT probes (8-byte nonce payload,
+ *      echoed verbatim by the worker). */
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /** Hello.codecs bitmask: frame codecs this end can decode. */
 inline constexpr std::uint32_t kCodecBitLz4 = 1u << 0;
@@ -60,7 +62,9 @@ enum class MsgType : std::uint8_t {
     JobAssign = 7,   // master -> worker: seq, job index
     JobResult = 8,   // worker -> master: seq, index, payload, stats
     JobFailed = 9,   // worker -> master: seq, index, error, stats
-    Heartbeat = 10,  // worker -> master: liveness (empty payload)
+    Heartbeat = 10,  // worker -> master: liveness (empty payload);
+                     // master -> worker: RTT probe (u64 nonce), which
+                     // the worker echoes back verbatim
     PlanResults = 11, // master -> worker: seq, ordered outcomes
     Error = 12,      // either direction: fatal condition description
     Shutdown = 13,   // master -> worker: drain and exit

@@ -167,7 +167,7 @@ struct WorkerBackend::Impl {
         // negotiated until HelloAck.
         sendRawLocked(MsgType::Hello, encodeHello(hello));
 
-        const Frame ackFrame = readFrame();
+        const Frame ackFrame = readFrame(/*writeLockHeld=*/true);
         if (ackFrame.type ==
             static_cast<std::uint8_t>(MsgType::HelloReject))
             fatal("dist: master rejected this worker: ",
@@ -183,7 +183,7 @@ struct WorkerBackend::Impl {
         workerId = ack.workerId;
         wireCodec = ack.codec;
 
-        const Frame cuFrame = readFrame();
+        const Frame cuFrame = readFrame(/*writeLockHeld=*/true);
         if (cuFrame.type !=
             static_cast<std::uint8_t>(MsgType::PlanCatchUp))
             fatal("dist: expected PlanCatchUp after HelloAck, got "
@@ -248,13 +248,31 @@ struct WorkerBackend::Impl {
             throw ConnLost("send failed");
     }
 
-    /** Blocking read of the next frame; EOF throws ConnLost. */
+    /**
+     * Blocking read of the next frame; EOF throws ConnLost. Master
+     * Heartbeat RTT probes (a u64 nonce payload) are echoed back and
+     * consumed here, transparently to every caller — they can arrive
+     * interleaved anywhere in the stream, including mid-handshake.
+     * Pass writeLockHeld=true from code already holding writeMutex
+     * (handshakeLocked) so the echo does not self-deadlock.
+     */
     Frame
-    readFrame()
+    readFrame(bool writeLockHeld = false)
     {
         for (;;) {
-            if (auto frame = parser.next())
-                return *frame;
+            if (auto frame = parser.next()) {
+                if (frame->type !=
+                    static_cast<std::uint8_t>(MsgType::Heartbeat))
+                    return *frame;
+                if (!frame->payload.empty()) {
+                    if (writeLockHeld)
+                        sendRawLocked(MsgType::Heartbeat,
+                                      frame->payload);
+                    else
+                        send(MsgType::Heartbeat, frame->payload);
+                }
+                continue;
+            }
             char buffer[64 * 1024];
             const long n = sock.recvSome(buffer, sizeof(buffer));
             if (n <= 0)

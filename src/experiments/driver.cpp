@@ -139,6 +139,8 @@ void
 Driver::emitInvocationTrace(const RunningExec& exec,
                             const metrics::InvocationRecord& record)
 {
+    if (!traceKeep(record.function))
+        return;
     const std::uint32_t tid = coreTid(exec.node, exec.traceSlot);
     obs::TraceEvent event;
     event.kind = obs::TraceEvent::Kind::Invocation;
@@ -170,6 +172,34 @@ Driver::emitInvocationTrace(const RunningExec& exec,
                   exec.traceStart);
 }
 
+void
+Driver::snapshotInterval(Seconds end)
+{
+    FlowTotals total;
+    total.invocations = collector_.invocations();
+    total.coldStarts = collector_.coldStarts();
+    total.warmStarts = collector_.warmStarts();
+    total.evictions = endEvictedForExec_ + endEvictedForKeep_ +
+        endEvictedByPolicy_ + endEvictedByFault_;
+    total.prewarms = prewarmsIssued_;
+    total.failedAttempts = collector_.failedAttempts();
+    total.spend = cluster_.keepAliveSpend();
+
+    IntervalSample sample;
+    sample.endSeconds = end;
+    sample.invocations = total.invocations - intervalBase_.invocations;
+    sample.coldStarts = total.coldStarts - intervalBase_.coldStarts;
+    sample.warmStarts = total.warmStarts - intervalBase_.warmStarts;
+    sample.evictions = total.evictions - intervalBase_.evictions;
+    sample.prewarms = total.prewarms - intervalBase_.prewarms;
+    sample.failedAttempts =
+        total.failedAttempts - intervalBase_.failedAttempts;
+    sample.spendDelta = total.spend - intervalBase_.spend;
+    sample.waitQueueDepth = waitQueue_.size();
+    intervals_.push_back(sample);
+    intervalBase_ = total;
+}
+
 RunResult
 Driver::run()
 {
@@ -186,6 +216,12 @@ Driver::run()
         queue_.schedule(config_.tickInterval, [this] { handleTick(); });
     queue_.run();
     cluster_.accrueAll(queue_.now());
+    // Close the interval series with the final (usually partial)
+    // interval so end-of-run flows are never silently dropped.
+    if (config_.statsIntervalSeconds > 0.0 &&
+        (intervals_.empty() ||
+         intervals_.back().endSeconds < queue_.now()))
+        snapshotInterval(queue_.now());
     collector_.finalizeAvailability(
         queue_.now(), cluster_.nodes().size(),
         cluster_.numDomains() > 1 ? cluster_.nodesPerDomain()
@@ -232,6 +268,10 @@ Driver::run()
         cluster_.commitmentConsumedDollars();
     result.outstandingCommitmentDollars =
         cluster_.outstandingCommitmentDollars();
+    result.intervals = std::move(intervals_);
+    result.traceEventsEmitted =
+        trace_ ? static_cast<std::uint64_t>(trace_->events().size())
+               : 0;
     result.metrics = std::move(collector_);
     if (!waitQueue_.empty())
         warn("Driver: ", waitQueue_.size(),
@@ -449,18 +489,20 @@ Driver::startExecution(const Invocation& invocation, NodeId nodeId,
                 --running_;
                 cluster_.releaseExec(failed.node, failed.memoryMb);
                 if (trace_) {
-                    obs::TraceEvent event;
-                    event.kind =
-                        obs::TraceEvent::Kind::AttemptFailed;
-                    event.u8 = 0; // transient failure
-                    event.tid =
-                        coreTid(failed.node, failed.traceSlot);
-                    event.a = failed.invocation.function;
-                    event.b =
-                        static_cast<std::uint32_t>(failed.attempt);
-                    event.ts = failed.traceStart;
-                    event.dur = queue_.now() - failed.traceStart;
-                    trace_->emit(event);
+                    if (traceKeep(failed.invocation.function)) {
+                        obs::TraceEvent event;
+                        event.kind =
+                            obs::TraceEvent::Kind::AttemptFailed;
+                        event.u8 = 0; // transient failure
+                        event.tid =
+                            coreTid(failed.node, failed.traceSlot);
+                        event.a = failed.invocation.function;
+                        event.b = static_cast<std::uint32_t>(
+                            failed.attempt);
+                        event.ts = failed.traceStart;
+                        event.dur = queue_.now() - failed.traceStart;
+                        trace_->emit(event);
+                    }
                     freeCoreSlot(failed.node, failed.traceSlot);
                 }
                 failAttempt(failed.invocation, failed.attempt);
@@ -778,15 +820,17 @@ Driver::crashNode(NodeId nodeId)
         --running_;
         cluster_.releaseExec(failed.node, failed.memoryMb);
         if (trace_) {
-            obs::TraceEvent event;
-            event.kind = obs::TraceEvent::Kind::AttemptFailed;
-            event.u8 = 1; // killed by node crash
-            event.tid = coreTid(failed.node, failed.traceSlot);
-            event.a = failed.invocation.function;
-            event.b = static_cast<std::uint32_t>(failed.attempt);
-            event.ts = failed.traceStart;
-            event.dur = now - failed.traceStart;
-            trace_->emit(event);
+            if (traceKeep(failed.invocation.function)) {
+                obs::TraceEvent event;
+                event.kind = obs::TraceEvent::Kind::AttemptFailed;
+                event.u8 = 1; // killed by node crash
+                event.tid = coreTid(failed.node, failed.traceSlot);
+                event.a = failed.invocation.function;
+                event.b = static_cast<std::uint32_t>(failed.attempt);
+                event.ts = failed.traceStart;
+                event.dur = now - failed.traceStart;
+                trace_->emit(event);
+            }
             freeCoreSlot(failed.node, failed.traceSlot);
         }
         failAttempt(failed.invocation, failed.attempt);
@@ -924,7 +968,7 @@ Driver::failAttempt(const Invocation& invocation, int attempt)
         // Give the abandoned invocation a visible wait slice: the
         // trace should show where time went even for work that never
         // completed.
-        if (trace_)
+        if (trace_ && traceKeep(invocation.function))
             emitWaitTrace(invocation, attempt, invocation.arrival,
                           queue_.now());
         return;
@@ -1018,6 +1062,17 @@ Driver::handleTick()
     }
     collector_.snapshotMinute(now, cluster_.totalWarmMemoryMb(),
                               cluster_.keepAliveSpend());
+    // Interval flows: snapshot on the first tick at or past each
+    // boundary, so the effective interval rounds up to a multiple of
+    // tickInterval. Pure observation of sim-deterministic state.
+    if (config_.statsIntervalSeconds > 0.0) {
+        if (nextIntervalEnd_ <= 0.0)
+            nextIntervalEnd_ = config_.statsIntervalSeconds;
+        if (now + 1e-9 >= nextIntervalEnd_) {
+            snapshotInterval(now);
+            nextIntervalEnd_ = now + config_.statsIntervalSeconds;
+        }
+    }
     if (warmRecoveryPending_ &&
         cluster_.totalWarmMemoryMb() >=
             0.95 * warmRecoveryTargetMb_) {

@@ -74,6 +74,22 @@ struct DriverConfig {
      * it. The runner wires this to the per-job buffer (JobContext).
      */
     obs::TraceBuffer* trace = nullptr;
+    /**
+     * Keep 1-in-N invocation event groups in the trace (<= 1 keeps
+     * all). The sample is a pure function of (seed, function id) —
+     * obs::traceSampleKeeps — so sampled traces stay byte-identical
+     * across --threads. Controller, fault, and policy events are
+     * always kept.
+     */
+    std::uint32_t traceSampleEvery = 1;
+    /**
+     * Record per-interval delta snapshots of the run's flow counters
+     * (cold starts, evictions, spend, ...) into RunResult::intervals
+     * every this many sim seconds (<= 0 disables). Snapshots are
+     * taken on tick boundaries, so the effective interval is rounded
+     * up to a multiple of tickInterval.
+     */
+    Seconds statsIntervalSeconds = 0.0;
 };
 
 /**
@@ -87,6 +103,46 @@ retryBackoff(int attempt, Seconds base, Seconds cap)
 {
     return faults::retryBackoff(attempt, base, cap);
 }
+
+/**
+ * One per-interval delta snapshot of a run's flow counters
+ * (DriverConfig::statsIntervalSeconds). Everything here is a
+ * sim-deterministic delta over [endSeconds - interval, endSeconds), so
+ * the series is safe for diffable artifacts and byte-identical across
+ * --threads.
+ */
+struct IntervalSample {
+    /** Sim time at the end of the interval (tick-aligned). */
+    Seconds endSeconds = 0.0;
+    std::uint64_t invocations = 0;
+    std::uint64_t coldStarts = 0;
+    std::uint64_t warmStarts = 0;
+    /** Warm containers evicted (exec/keep/policy/fault — not expiry
+     *  or consumption) this interval. */
+    std::uint64_t evictions = 0;
+    std::uint64_t prewarms = 0;
+    std::uint64_t failedAttempts = 0;
+    /** Keep-alive dollars accrued this interval. */
+    Dollars spendDelta = 0.0;
+    /** Wait-queue depth at the snapshot tick (a gauge, not a delta). */
+    std::uint64_t waitQueueDepth = 0;
+
+    /** Exact binary round trip (runner/serial.hpp). */
+    template <typename V>
+    void
+    visitFields(V&& v)
+    {
+        v(endSeconds);
+        v(invocations);
+        v(coldStarts);
+        v(warmStarts);
+        v(evictions);
+        v(prewarms);
+        v(failedAttempts);
+        v(spendDelta);
+        v(waitQueueDepth);
+    }
+};
 
 /**
  * Result of one simulation run.
@@ -138,6 +194,14 @@ struct RunResult {
     Dollars outstandingCommitmentDollars = 0.0;
 
     /**
+     * Per-interval flow series (empty unless
+     * DriverConfig::statsIntervalSeconds > 0).
+     */
+    std::vector<IntervalSample> intervals;
+    /** Trace events this run recorded (0 when tracing is off). */
+    std::uint64_t traceEventsEmitted = 0;
+
+    /**
      * Exact binary round trip of a finished run (runner/serial.hpp):
      * the basis of distributed execution's byte-identical-artifact
      * guarantee. New result fields must be added here too (dist_test's
@@ -170,6 +234,8 @@ struct RunResult {
         v(faultRefundedDollars);
         v(commitmentConsumedDollars);
         v(outstandingCommitmentDollars);
+        v(intervals);
+        v(traceEventsEmitted);
     }
 };
 
@@ -366,6 +432,21 @@ class Driver : public policy::PolicyContext
     void emitWaitTrace(const Invocation& invocation, int attempt,
                        Seconds begin, Seconds end);
 
+    /**
+     * Sampling gate for a function's invocation event group (see
+     * DriverConfig::traceSampleEvery). Pure function of (seed,
+     * function), so sampled traces keep the byte-identity contract.
+     */
+    bool
+    traceKeep(FunctionId function) const
+    {
+        return obs::traceSampleKeeps(config_.seed, function,
+                                     config_.traceSampleEvery);
+    }
+
+    /** Append one interval delta ending at `end` (see IntervalSample). */
+    void snapshotInterval(Seconds end);
+
     /** True when nothing can ever happen again. */
     bool drained() const;
 
@@ -445,6 +526,23 @@ class Driver : public policy::PolicyContext
     std::size_t ticksProcessed_ = 0;
     std::size_t memoryShocks_ = 0;
     std::size_t waitQueuePeak_ = 0;
+
+    /**
+     * Interval flows (DriverConfig::statsIntervalSeconds): cumulative
+     * totals at the last snapshot, so each sample is a pure delta.
+     */
+    struct FlowTotals {
+        std::uint64_t invocations = 0;
+        std::uint64_t coldStarts = 0;
+        std::uint64_t warmStarts = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t prewarms = 0;
+        std::uint64_t failedAttempts = 0;
+        Dollars spend = 0.0;
+    };
+    FlowTotals intervalBase_;
+    std::vector<IntervalSample> intervals_;
+    Seconds nextIntervalEnd_ = 0.0;
 };
 
 } // namespace codecrunch::experiments

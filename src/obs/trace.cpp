@@ -191,6 +191,70 @@ appendEvent(std::string& out, std::size_t pid, const TraceEvent& e)
         appendU32(out, e.a);
         out += "}}";
         break;
+      case Kind::Evict:
+        appendHead(out, 'i', pid, e);
+        out += e.u8 == 2 ? ",\"name\":\"evict-declined f"
+                         : ",\"name\":\"evict f";
+        appendU32(out, e.a);
+        out += "\",\"cat\":\"policy\",\"args\":{\"function\":";
+        appendU32(out, e.a);
+        out += ",\"node\":";
+        appendU32(out, e.b);
+        out += ",\"rule\":\"";
+        out += e.u8 == 0 ? "greedy-dual"
+                         : (e.u8 == 1 ? "imminence" : "incumbent-wins");
+        out += "\",\"score\":";
+        appendDouble(out, e.x);
+        out += "}}";
+        break;
+      case Kind::Predict:
+        appendHead(out, 'i', pid, e);
+        out += ",\"name\":\"predict f";
+        appendU32(out, e.a);
+        out += "\",\"cat\":\"policy\",\"args\":{\"function\":";
+        appendU32(out, e.a);
+        out += ",\"kind\":\"";
+        out += e.u8 == 0 ? "icebreaker-x86"
+                         : (e.u8 == 1 ? "icebreaker-arm"
+                                      : "sitw-prewarm-plan");
+        // IceBreaker: confidence + dominant period; SitW: head idle
+        // quantile + planned keep-alive. Same two slots either way.
+        out += "\",\"confidence\":";
+        appendDouble(out, e.x);
+        out += ",\"period_s\":";
+        appendDouble(out, e.dur);
+        out += "}}";
+        break;
+      case Kind::Placement:
+        appendHead(out, 'i', pid, e);
+        out += ",\"name\":\"place f";
+        appendU32(out, e.a);
+        out += "\",\"cat\":\"policy\",\"args\":{\"function\":";
+        appendU32(out, e.a);
+        out += ",\"arch\":\"";
+        out += (e.u8 & 2) ? "arm" : "x86";
+        out += "\",\"compress\":";
+        out += (e.u8 & 1) ? "true" : "false";
+        out += ",\"keepalive_level\":";
+        appendU32(out, e.b);
+        out += ",\"keepalive_s\":";
+        appendDouble(out, e.x);
+        out += "}}";
+        break;
+      case Kind::RePrewarm:
+        appendHead(out, 'i', pid, e);
+        out += ",\"name\":\"re-prewarm f";
+        appendU32(out, e.a);
+        out += "\",\"cat\":\"policy\",\"args\":{\"function\":";
+        appendU32(out, e.a);
+        out += ",\"arch\":\"";
+        out += e.u8 ? "arm" : "x86";
+        out += "\",\"credit_usd\":";
+        appendDouble(out, e.x);
+        out += ",\"keepalive_s\":";
+        appendDouble(out, e.dur);
+        out += "}}";
+        break;
     }
 }
 

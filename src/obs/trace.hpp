@@ -74,6 +74,29 @@ struct TraceEvent {
         Optimize,
         /** Instant on the controller track. a=total trips so far. */
         WatchdogTrip,
+        /** Instant on the controller track: a policy picked (or
+         *  declined to pick) an eviction victim. a=victim function,
+         *  b=node, x=the victim's score (greedy-dual priority or
+         *  expected-next seconds by policy), u8: 0=FaasCache
+         *  greedy-dual, 1=CodeCrunch imminence rank, 2=CodeCrunch
+         *  declined (incumbent-wins rule). */
+        Evict,
+        /** Instant on the controller track: a prediction-based policy
+         *  updated its model for a function. a=function, u8: 0=
+         *  IceBreaker x86 prewarm, 1=IceBreaker ARM prewarm, 2=SitW
+         *  pre-warm plan; x=confidence (IceBreaker) or head-idle
+         *  seconds (SitW), dur=dominant period / planned keep-alive. */
+        Predict,
+        /** Instant on the controller track: CodeCrunch adopted a
+         *  per-function choice at a tick. a=function, u8=bit0 compress,
+         *  bit1 arch (0=x86, 1=ARM); b=keep-alive level index,
+         *  x=keep-alive seconds. */
+        Placement,
+        /** Instant on the controller track: fault-reactive re-prewarm
+         *  issued on node recovery. a=function, u8=arch (0=x86,
+         *  1=ARM), x=budget credit remaining after the issue,
+         *  dur=granted keep-alive seconds. */
+        RePrewarm,
     };
 
     Kind kind = Kind::Tick;
@@ -93,6 +116,37 @@ struct TraceEvent {
 inline constexpr std::uint32_t kControllerTrack = 0;
 /** Wait lanes occupy tids starting here (above any node track). */
 inline constexpr std::uint32_t kWaitLaneBase = 1u << 20;
+
+/** SplitMix64 finalizer: the same mixer runner::seedForKey uses. */
+inline std::uint64_t
+mixBits(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Deterministic trace-sampling predicate: keep this function's
+ * invocation event group in a 1-in-`every` sample? A pure function of
+ * (run seed, function id), so the same functions are kept no matter
+ * which thread runs the job, how jobs interleave, or when during the
+ * run the question is asked — the byte-identity-across---threads
+ * contract holds for sampled traces exactly as for full ones.
+ * `every` <= 1 keeps everything. Controller, fault, and policy events
+ * are never sampled out (they are rare and carry the "why").
+ */
+inline bool
+traceSampleKeeps(std::uint64_t runSeed, std::uint64_t function,
+                 std::uint32_t every)
+{
+    if (every <= 1)
+        return true;
+    return mixBits(runSeed +
+                   0x9e3779b97f4a7c15ull * (function + 1)) %
+               every ==
+           0;
+}
 
 /**
  * Per-run event buffer. Owned by exactly one job at a time, so

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/trace.hpp"
+
 namespace codecrunch::policy {
 
 void
@@ -38,6 +40,7 @@ FaasCache::pickVictim(NodeId node, MegaBytes)
 {
     const auto& pool = context_->clusterState().warmPool();
     std::optional<cluster::ContainerId> victim;
+    FunctionId victimFunction = kInvalidFunction;
     double lowest = std::numeric_limits<double>::infinity();
     for (const auto& [id, container] : pool) {
         if (container.node != node)
@@ -46,10 +49,23 @@ FaasCache::pickVictim(NodeId node, MegaBytes)
         if (p < lowest) {
             lowest = p;
             victim = id;
+            victimFunction = container.function;
         }
     }
-    if (victim)
+    if (victim) {
         clock_ = lowest; // greedy-dual aging
+        if (auto* trace = context_->traceSink()) {
+            obs::TraceEvent event;
+            event.kind = obs::TraceEvent::Kind::Evict;
+            event.u8 = 0; // greedy-dual
+            event.tid = obs::kControllerTrack;
+            event.a = victimFunction;
+            event.b = node;
+            event.x = lowest;
+            event.ts = context_->now();
+            trace->emit(event);
+        }
+    }
     return victim;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "opt/fft.hpp"
 
 namespace codecrunch::policy {
@@ -85,6 +86,17 @@ IceBreaker::onTick(Seconds now)
         const NodeType target = confidence >= config_.fastNodeThreshold
             ? NodeType::X86
             : NodeType::ARM;
+        if (auto* trace = context_->traceSink()) {
+            obs::TraceEvent event;
+            event.kind = obs::TraceEvent::Kind::Predict;
+            event.u8 = target == NodeType::X86 ? 0 : 1;
+            event.tid = obs::kControllerTrack;
+            event.a = function;
+            event.x = confidence;
+            event.dur = period;
+            event.ts = now;
+            trace->emit(event);
+        }
         context_->requestPrewarm(function, target,
                                  config_.prewarmKeepAlive);
     }

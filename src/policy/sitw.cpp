@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace codecrunch::policy {
 
 FunctionHistory&
@@ -43,6 +45,17 @@ SitW::onFinish(const metrics::InvocationRecord& record)
         plan.keepAlive = std::max(tail - head, kSecondsPerMinute) +
                          2.0 * kSecondsPerMinute;
         prewarms_[record.function] = plan;
+        if (auto* trace = context_->traceSink()) {
+            obs::TraceEvent event;
+            event.kind = obs::TraceEvent::Kind::Predict;
+            event.u8 = 2; // sitw-prewarm-plan
+            event.tid = obs::kControllerTrack;
+            event.a = record.function;
+            event.x = head; // head-of-idle-distribution seconds
+            event.dur = plan.keepAlive;
+            event.ts = context_->now();
+            trace->emit(event);
+        }
         decision.keepAliveSeconds = 0.0;
     } else {
         decision.keepAliveSeconds = tail;

@@ -12,6 +12,7 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -305,6 +306,34 @@ writeResultFields(JsonWriter& json,
     json.field("evicted_by_policy", result.endEvictedByPolicy);
     json.field("keep_dropped", result.keepDropped);
     json.endObject();
+    // Interval counter flows (--stats-interval): per-interval deltas
+    // of the run's flow counters, in sim-time order. Emitted only when
+    // the series is non-empty so reports without the flag keep their
+    // historical byte layout (goldens predate this field).
+    if (!result.intervals.empty()) {
+        json.key("intervals");
+        json.beginArray();
+        for (const auto& s : result.intervals) {
+            json.beginObject();
+            json.field("end_s", s.endSeconds);
+            json.field("invocations", s.invocations);
+            json.field("cold_starts", s.coldStarts);
+            json.field("warm_starts", s.warmStarts);
+            json.field("evictions", s.evictions);
+            json.field("prewarms", s.prewarms);
+            json.field("failed_attempts", s.failedAttempts);
+            json.field("spend_usd", s.spendDelta);
+            json.field("wait_queue", s.waitQueueDepth);
+            json.endObject();
+        }
+        json.endArray();
+    }
+    // Trace volume (sim-deterministic: events carry sim-time payloads
+    // and sampling is a pure function of seed+function). Only present
+    // when the run actually traced, for the same golden-stability
+    // reason as above.
+    if (result.traceEventsEmitted != 0)
+        json.field("trace_events_emitted", result.traceEventsEmitted);
 }
 
 /**
@@ -475,6 +504,50 @@ writeObsReport(const std::string& path)
                    profiler.calibratePerScopeSeconds());
         json.endObject();
         json.finish();
+    });
+    inform("report: wrote ", path);
+}
+
+/**
+ * Write the profiler's phase tree in collapsed-stack ("folded")
+ * format for --folded-out: one `a;b;c <micros>` line per phase whose
+ * self time (total minus children) rounds to at least a microsecond,
+ * consumable by standard flamegraph tooling (flamegraph.pl, inferno,
+ * speedscope). Values are wall-clock and therefore NOT diffable —
+ * this is a human-facing profile, the sibling of --stats-out.
+ */
+inline void
+writeFoldedReport(const std::string& path)
+{
+    if (path.empty() || artifactWritesSuppressed())
+        return;
+    atomicWriteFile(path, "report", [&](std::ostream& os) {
+        const obs::Profiler::PhaseReport root =
+            obs::Profiler::global().report();
+        const std::function<void(const obs::Profiler::PhaseReport&,
+                                 const std::string&)>
+            walk = [&](const obs::Profiler::PhaseReport& phase,
+                       const std::string& prefix) {
+                const std::string stack = prefix.empty()
+                    ? phase.name
+                    : prefix + ";" + phase.name;
+                double childSeconds = 0.0;
+                for (const auto& child : phase.children)
+                    childSeconds += child.seconds;
+                // Collapsed-stack semantics: each line carries the
+                // stack's self time; the tooling sums descendants
+                // back into inclusive widths.
+                const double self =
+                    std::max(0.0, phase.seconds - childSeconds);
+                const auto micros =
+                    static_cast<long long>(self * 1e6 + 0.5);
+                if (micros > 0)
+                    os << stack << ' ' << micros << '\n';
+                for (const auto& child : phase.children)
+                    walk(child, stack);
+            };
+        for (const auto& phase : root.children)
+            walk(phase, "");
     });
     inform("report: wrote ", path);
 }

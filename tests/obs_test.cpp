@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -90,32 +91,67 @@ jsonBalanced(const std::string& text)
 /**
  * Run the standard two-stage bench shape (budget run, then two
  * dependent runs) with `threads` workers, collecting traces; returns
- * the serialized trace text.
+ * the serialized trace text. `sampleEvery` > 0 installs a per-job
+ * tweak setting DriverConfig::traceSampleEvery (the --trace-sample
+ * path); 0 leaves the scenario default (unsampled).
  */
 std::string
-traceOfTwoStagePlan(std::size_t threads, const std::string& path)
+traceOfTwoStagePlan(std::size_t threads, const std::string& path,
+                    std::uint32_t sampleEvery = 0)
 {
     Harness harness(tinyScenario());
     obs::TraceCollection trace;
     RunEngine engine({threads, nullptr, &trace});
 
+    DriverConfigTweak tweak;
+    if (sampleEvery > 0)
+        tweak = [sampleEvery](DriverConfig& config) {
+            config.traceSampleEvery = sampleEvery;
+        };
+
     SimPlan budgetPlan("obs/budget");
-    addSimJob(budgetPlan, "SitW", harness,
-              [] { return std::make_unique<policy::SitW>(); });
+    addSimJob(
+        budgetPlan, "SitW", harness,
+        [] { return std::make_unique<policy::SitW>(); }, tweak);
     harness.primeBudgetRate(engine.run(budgetPlan).front());
 
     SimPlan plan("obs");
     const core::CodeCrunchConfig config = harness.codecrunchConfig();
-    addSimJob(plan, "CodeCrunch", harness, [config] {
-        return std::make_unique<core::CodeCrunch>(config);
-    });
-    addSimJob(plan, "FixedKeepAlive", harness, [] {
-        return std::make_unique<policy::FixedKeepAlive>();
-    });
+    addSimJob(
+        plan, "CodeCrunch", harness,
+        [config] { return std::make_unique<core::CodeCrunch>(config); },
+        tweak);
+    addSimJob(
+        plan, "FixedKeepAlive", harness,
+        [] { return std::make_unique<policy::FixedKeepAlive>(); },
+        tweak);
     engine.run(plan);
 
     trace.write(path);
     return slurp(path);
+}
+
+/**
+ * Run SitW + FixedKeepAlive (no budget dependency) with interval
+ * flows enabled at `interval` sim-seconds; returns the plan results.
+ */
+std::vector<RunResult>
+intervalRuns(std::size_t threads, Seconds interval)
+{
+    Harness harness(tinyScenario());
+    RunEngine engine({threads});
+    SimPlan plan("obs/intervals");
+    DriverConfigTweak tweak = [interval](DriverConfig& config) {
+        config.statsIntervalSeconds = interval;
+    };
+    addSimJob(
+        plan, "SitW", harness,
+        [] { return std::make_unique<policy::SitW>(); }, tweak);
+    addSimJob(
+        plan, "FixedKeepAlive", harness,
+        [] { return std::make_unique<policy::FixedKeepAlive>(); },
+        tweak);
+    return engine.run(plan);
 }
 
 /** Log sink capturing formatted lines for assertions. */
@@ -169,6 +205,132 @@ TEST(Trace, SerialAndThreadedExportsAreByteIdentical)
     EXPECT_NE(serial.find("obs/CodeCrunch"), std::string::npos);
     EXPECT_NE(serial.find("obs/FixedKeepAlive"), std::string::npos);
     EXPECT_NE(serial.find("controller"), std::string::npos);
+}
+
+TEST(Trace, SampledExportsAreByteIdenticalAcrossThreads)
+{
+    const std::string dir = ::testing::TempDir() + "obs_trace_sample/";
+    const std::string full =
+        traceOfTwoStagePlan(1, dir + "full.json");
+    const std::string serial =
+        traceOfTwoStagePlan(1, dir + "serial.json", 4);
+    const std::string threaded =
+        traceOfTwoStagePlan(4, dir + "threaded.json", 4);
+    std::remove((dir + "full.json").c_str());
+    std::remove((dir + "serial.json").c_str());
+    std::remove((dir + "threaded.json").c_str());
+
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, threaded);
+    EXPECT_TRUE(jsonBalanced(serial));
+    // Sampling drops ~3/4 of invocation event groups, so the sampled
+    // trace must be strictly smaller than the unsampled one...
+    EXPECT_LT(serial.size(), full.size());
+    // ...while controller-track events (tick/optimize instants) are
+    // always kept regardless of sampling.
+    EXPECT_NE(serial.find("controller"), std::string::npos);
+    EXPECT_NE(serial.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(Trace, SampleOfOneMatchesUnsampled)
+{
+    const std::string dir = ::testing::TempDir() + "obs_trace_one/";
+    const std::string unsampled =
+        traceOfTwoStagePlan(1, dir + "unsampled.json");
+    const std::string sampleOne =
+        traceOfTwoStagePlan(1, dir + "one.json", 1);
+    std::remove((dir + "unsampled.json").c_str());
+    std::remove((dir + "one.json").c_str());
+    ASSERT_FALSE(unsampled.empty());
+    EXPECT_EQ(unsampled, sampleOne);
+}
+
+TEST(Trace, SampleKeepDecisionIsDeterministicAndNearRate)
+{
+    // Pure function of (seed, function, every): same inputs, same
+    // answer — the property the cross-thread byte-identity rests on.
+    for (std::uint64_t f = 0; f < 64; ++f)
+        EXPECT_EQ(obs::traceSampleKeeps(7, f, 4),
+                  obs::traceSampleKeeps(7, f, 4));
+
+    // every <= 1 disables sampling entirely.
+    for (std::uint64_t f = 0; f < 64; ++f) {
+        EXPECT_TRUE(obs::traceSampleKeeps(7, f, 0));
+        EXPECT_TRUE(obs::traceSampleKeeps(7, f, 1));
+    }
+
+    // The kept fraction over many functions approaches 1/N.
+    const std::uint32_t every = 8;
+    const std::size_t n = 100000;
+    std::size_t kept = 0;
+    for (std::uint64_t f = 0; f < n; ++f)
+        kept += obs::traceSampleKeeps(12345, f, every);
+    EXPECT_NEAR(static_cast<double>(kept) / n, 1.0 / every, 0.01);
+
+    // Different run seeds keep different subsets (the decision is
+    // seed-derived, not a fixed function-id stripe).
+    std::size_t differing = 0;
+    for (std::uint64_t f = 0; f < 4096; ++f)
+        differing += obs::traceSampleKeeps(1, f, 4) !=
+            obs::traceSampleKeeps(2, f, 4);
+    EXPECT_GT(differing, 0u);
+}
+
+TEST(Intervals, SeriesIsThreadInvariantAndSumsToRunTotals)
+{
+    const auto serial = intervalRuns(1, 600.0);
+    const auto threaded = intervalRuns(4, 600.0);
+    ASSERT_EQ(serial.size(), threaded.size());
+
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const auto& a = serial[i].intervals;
+        const auto& b = threaded[i].intervals;
+        ASSERT_FALSE(a.empty());
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t j = 0; j < a.size(); ++j) {
+            EXPECT_DOUBLE_EQ(a[j].endSeconds, b[j].endSeconds);
+            EXPECT_EQ(a[j].invocations, b[j].invocations);
+            EXPECT_EQ(a[j].coldStarts, b[j].coldStarts);
+            EXPECT_EQ(a[j].warmStarts, b[j].warmStarts);
+            EXPECT_EQ(a[j].evictions, b[j].evictions);
+            EXPECT_EQ(a[j].prewarms, b[j].prewarms);
+            EXPECT_EQ(a[j].failedAttempts, b[j].failedAttempts);
+            EXPECT_DOUBLE_EQ(a[j].spendDelta, b[j].spendDelta);
+            EXPECT_EQ(a[j].waitQueueDepth, b[j].waitQueueDepth);
+        }
+    }
+
+    for (const auto& run : serial) {
+        std::uint64_t inv = 0, cold = 0, warm = 0, evict = 0;
+        Dollars spend = 0.0;
+        Seconds last = 0.0;
+        for (const auto& sample : run.intervals) {
+            EXPECT_GT(sample.endSeconds, last);
+            last = sample.endSeconds;
+            inv += sample.invocations;
+            cold += sample.coldStarts;
+            warm += sample.warmStarts;
+            evict += sample.evictions;
+            spend += sample.spendDelta;
+        }
+        // Deltas telescope back to the run totals: no flow is counted
+        // twice or dropped, including the final partial interval.
+        EXPECT_EQ(inv, run.metrics.invocations());
+        EXPECT_EQ(cold, run.metrics.coldStarts());
+        EXPECT_EQ(warm, run.metrics.warmStarts());
+        EXPECT_EQ(evict,
+                  run.endEvictedForExec + run.endEvictedForKeep +
+                      run.endEvictedByPolicy + run.endEvictedByFault);
+        EXPECT_NEAR(spend, run.keepAliveSpend,
+                    1e-9 * std::max(1.0, run.keepAliveSpend));
+    }
+}
+
+TEST(Intervals, DisabledByDefault)
+{
+    const auto runs = intervalRuns(1, 0.0);
+    for (const auto& run : runs)
+        EXPECT_TRUE(run.intervals.empty());
 }
 
 TEST(Trace, BuffersKeepFirstTrackName)
@@ -285,6 +447,84 @@ TEST(Report, RunReportCarriesSimStatsBlock)
     // the deterministic artifact.
     EXPECT_EQ(text.find("\"wall."), std::string::npos);
     EXPECT_EQ(text.find("\"sum\""), std::string::npos);
+}
+
+TEST(Report, RunReportCarriesIntervalSeries)
+{
+    Scenario scenario = tinyScenario();
+    scenario.driverConfig.statsIntervalSeconds = 600.0;
+    Harness harness(scenario);
+    policy::FixedKeepAlive fixed;
+    std::vector<PolicyRun> runs;
+    runs.push_back(harness.runNamed(fixed));
+    ASSERT_FALSE(runs[0].result.intervals.empty());
+
+    const std::string path =
+        ::testing::TempDir() + "obs_report_intervals/out.json";
+    ReportMeta meta;
+    meta.bench = "obs_test";
+    writeRunReport(path, meta, runs);
+    const std::string text = slurp(path);
+    std::remove(path.c_str());
+
+    EXPECT_TRUE(jsonBalanced(text));
+    EXPECT_NE(text.find("\"intervals\""), std::string::npos);
+    EXPECT_NE(text.find("\"end_s\""), std::string::npos);
+    EXPECT_NE(text.find("\"cold_starts\""), std::string::npos);
+    EXPECT_NE(text.find("\"spend_usd\""), std::string::npos);
+    EXPECT_NE(text.find("\"wait_queue\""), std::string::npos);
+    // The series is sim-deterministic: still no wall-scope leakage.
+    EXPECT_EQ(text.find("\"wall."), std::string::npos);
+}
+
+TEST(Report, FoldedReportEmitsCollapsedStacks)
+{
+    auto& profiler = obs::Profiler::global();
+    profiler.reset();
+    profiler.setEnabled(true);
+    const auto spin = [] {
+        volatile double x = 0.0;
+        for (int i = 0; i < 200000; ++i)
+            x = x + 1.0 / (1.0 + i);
+    };
+    {
+        CC_PHASE("folded.outer");
+        spin();
+        {
+            CC_PHASE("folded.inner");
+            spin();
+        }
+    }
+    profiler.setEnabled(false);
+
+    const std::string path =
+        ::testing::TempDir() + "obs_folded_test.folded";
+    writeFoldedReport(path);
+    const std::string text = slurp(path);
+    std::remove(path.c_str());
+    profiler.reset();
+
+    // Every line is "stack;parts <integer-micros>" — the collapsed
+    // format flamegraph.pl / inferno / speedscope consume.
+    std::istringstream lines(text);
+    std::string line;
+    bool sawInner = false;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty());
+        const auto space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        const std::string stack = line.substr(0, space);
+        const std::string micros = line.substr(space + 1);
+        EXPECT_FALSE(stack.empty());
+        ASSERT_FALSE(micros.empty());
+        EXPECT_EQ(micros.find_first_not_of("0123456789"),
+                  std::string::npos)
+            << line;
+        EXPECT_NE(micros, "0") << "zero-self lines must be omitted";
+        sawInner =
+            sawInner || stack == "folded.outer;folded.inner";
+    }
+    EXPECT_TRUE(sawInner);
 }
 
 TEST(Profiler, NestedPhasesSatisfyChildSumInvariant)

@@ -13,6 +13,7 @@
 #include <fstream>
 
 #include "common/csv.hpp"
+#include "obs/trace.hpp"
 #include "trace/azure_csv.hpp"
 #include "trace/azure_dataset.hpp"
 #include "trace/compression_model.hpp"
@@ -298,6 +299,37 @@ TEST(TraceGenerator, PeakWindowsRaiseLoad)
             ++offPeak;
     }
     EXPECT_GT(inPeak, offPeak * 2);
+}
+
+TEST(TraceGenerator, TraceSamplingIsPerFunctionOverRealWorkloads)
+{
+    // --trace-sample keeps whole per-function invocation groups, so
+    // over a generated workload every invocation's keep decision must
+    // agree with its function's, the kept *function* fraction tracks
+    // 1/N, and — because popularity is heavy-tailed — the kept
+    // *invocation* fraction may legitimately deviate from 1/N.
+    const auto workload = TraceGenerator::generate(smallConfig());
+    const std::uint64_t seed = 9;
+    const std::uint32_t every = 4;
+
+    std::set<std::size_t> keptFunctions;
+    std::size_t keptInvocations = 0;
+    for (const auto& inv : workload.invocations) {
+        const bool keep =
+            obs::traceSampleKeeps(seed, inv.function, every);
+        EXPECT_EQ(keep,
+                  obs::traceSampleKeeps(seed, inv.function, every));
+        if (keep) {
+            keptFunctions.insert(inv.function);
+            ++keptInvocations;
+        }
+    }
+    const double functionFraction =
+        static_cast<double>(keptFunctions.size()) /
+        workload.functions.size();
+    EXPECT_NEAR(functionFraction, 1.0 / every, 0.15);
+    EXPECT_GT(keptInvocations, 0u);
+    EXPECT_LT(keptInvocations, workload.invocations.size());
 }
 
 TEST(TraceGenerator, MakeFunctionsOnlyBuildsProfiles)

@@ -153,8 +153,18 @@ def main(argv=None):
                               f"{args.name}.serial.json")
         threaded = os.path.join(args.out_dir,
                                 f"{args.name}.threaded.json")
-        run_bench(args.bench, serial, threads=1)
-        run_bench(args.bench, threaded, threads=args.threads)
+        serial_trace = os.path.join(args.out_dir,
+                                    f"{args.name}.serial.trace.json")
+        threaded_trace = os.path.join(
+            args.out_dir, f"{args.name}.threaded.trace.json")
+        # Exercise the whole observability surface while checking
+        # determinism: sampled traces and interval flow series must be
+        # byte-identical across thread counts just like the report.
+        obs = ["--trace-sample", "4", "--stats-interval", "60"]
+        run_bench(args.bench, serial, threads=1,
+                  extra=obs + ["--trace-out", serial_trace])
+        run_bench(args.bench, threaded, threads=args.threads,
+                  extra=obs + ["--trace-out", threaded_trace])
         with open(serial, "rb") as f:
             serial_bytes = f.read()
         with open(threaded, "rb") as f:
@@ -165,9 +175,20 @@ def main(argv=None):
             # Exact structural diff for a readable failure message.
             diff_report.main([threaded, serial, "--profile", "exact"])
             return 1
+        with open(serial_trace, "rb") as f:
+            serial_trace_bytes = f.read()
+        with open(threaded_trace, "rb") as f:
+            threaded_trace_bytes = f.read()
+        if serial_trace_bytes != threaded_trace_bytes:
+            print(f"{args.name}: --threads 1 and --threads "
+                  f"{args.threads} sampled trace files differ "
+                  f"({len(serial_trace_bytes)} vs "
+                  f"{len(threaded_trace_bytes)} bytes)")
+            return 1
         print(f"{args.name}: serial and {args.threads}-thread "
               "artifacts are byte-identical "
-              f"({len(serial_bytes)} bytes)")
+              f"({len(serial_bytes)} bytes report, "
+              f"{len(serial_trace_bytes)} bytes sampled trace)")
         return 0
 
     if args.mode in ("dist", "dist-kill", "dist-chaos"):

@@ -10,7 +10,14 @@ Takes one or more run reports written by the bench binaries
   fig_fault_sweep        per-policy service time and availability
                          across the fault scenarios (healthy, MTBF
                          sweep, correlated domains)
+  fig03_optimizer_...    optimizer quality vs problem size: score and
+                         objective evaluations per optimizer over N
   anything else          generic mean/p95 service-time bars per run
+
+Reports whose runs carry an ``intervals`` series (--stats-interval)
+additionally get a ``<stem>.timeline.png`` panel: cold-start rate,
+keep-alive spend rate, and wait-queue depth over sim time, one line
+per run.
 
 Matplotlib is optional: when it is not importable this script prints a
 note and exits 0 so CI can invoke it unconditionally (the plot step is
@@ -121,6 +128,81 @@ def plot_fault_sweep(plt, report, path, dpi):
     plt.close(fig)
 
 
+def plot_fig03(plt, report, path, dpi):
+    # Run names are "<optimizer>/N=<n>"; pivot into per-optimizer
+    # series over the problem-size axis, preserving artifact order.
+    sizes, optimizers = [], {}
+    for run in report["runs"]:
+        optimizer, _, size = run["name"].partition("/N=")
+        if size not in sizes:
+            sizes.append(size)
+        optimizers.setdefault(optimizer, {})[size] = run
+
+    fig, (top, bottom) = plt.subplots(2, 1, figsize=(8, 7),
+                                      sharex=True)
+    x = range(len(sizes))
+    for optimizer, by_size in optimizers.items():
+        xs = [i for i, s in enumerate(sizes) if s in by_size]
+        top.plot(xs, [by_size[sizes[i]]["score"] for i in xs],
+                 "o-", label=optimizer)
+        bottom.plot(xs, [by_size[sizes[i]]["evaluations"]
+                         for i in xs], "o-", label=optimizer)
+    top.set_ylabel("objective score")
+    top.set_title(report.get("bench", "fig03")
+                  + " — optimizer quality vs problem size")
+    top.legend()
+    bottom.set_yscale("log")
+    bottom.set_ylabel("objective evaluations")
+    bottom.set_xticks(list(x))
+    bottom.set_xticklabels([f"N={s}" for s in sizes])
+    bottom.set_xlabel("problem size")
+    fig.tight_layout()
+    fig.savefig(path, dpi=dpi)
+    plt.close(fig)
+
+
+def plot_timeline(plt, report, path, dpi):
+    """Interval-flow panel: per-run rates over sim time.
+
+    Uses the ``intervals`` series runs record under --stats-interval;
+    returns False when no run carries one.
+    """
+    runs = [r for r in report.get("runs", [])
+            if isinstance(r, dict) and r.get("intervals")]
+    if not runs:
+        return False
+
+    fig, (starts, spend, queue) = plt.subplots(
+        3, 1, figsize=(9, 8), sharex=True)
+    for run in runs:
+        series = run["intervals"]
+        hours, cold_rate, spend_rate, depth = [], [], [], []
+        prev_end = 0.0
+        for sample in series:
+            end = sample["end_s"]
+            length = max(end - prev_end, 1e-9)
+            prev_end = end
+            hours.append(end / 3600.0)
+            cold_rate.append(sample["cold_starts"] / length)
+            spend_rate.append(sample["spend_usd"] / length * 3600.0)
+            depth.append(sample["wait_queue"])
+        name = run.get("name", "run")
+        starts.plot(hours, cold_rate, "-", label=name)
+        spend.plot(hours, spend_rate, "-", label=name)
+        queue.step(hours, depth, where="post", label=name)
+    starts.set_ylabel("cold starts / s")
+    starts.set_title(report.get("bench", "report")
+                     + " — interval flows over sim time")
+    starts.legend()
+    spend.set_ylabel("keep-alive spend (USD/h)")
+    queue.set_ylabel("wait-queue depth")
+    queue.set_xlabel("sim time (h)")
+    fig.tight_layout()
+    fig.savefig(path, dpi=dpi)
+    plt.close(fig)
+    return True
+
+
 def plot_generic(plt, report, path, dpi):
     runs = report.get("runs", [])
     rows = [r for r in runs
@@ -174,11 +256,16 @@ def main(argv=None):
             plot_fig07(plt, report, path, args.dpi)
         elif bench.startswith("fig_fault_sweep"):
             plot_fault_sweep(plt, report, path, args.dpi)
+        elif bench.startswith("fig03"):
+            plot_fig03(plt, report, path, args.dpi)
         elif not plot_generic(plt, report, path, args.dpi):
             print(f"warning: {artifact} has no plottable runs; "
                   "skipped", file=sys.stderr)
             continue
         print(f"plot_report: wrote {path}")
+        timeline = os.path.join(args.out_dir, f"{stem}.timeline.png")
+        if plot_timeline(plt, report, timeline, args.dpi):
+            print(f"plot_report: wrote {timeline}")
     return 2 if failures else 0
 
 

@@ -165,6 +165,62 @@ class DiffReportTest(unittest.TestCase):
         with open(b) as f:  # golden untouched
             self.assertEqual(json.load(f), {"v": 1})
 
+    def _interval_report(self):
+        """A report shaped like the interval-flow schema runs emit."""
+        return {
+            "bench": "fig_obs_overhead",
+            "runs": [{
+                "name": "SitW",
+                "trace_events_emitted": 9000,
+                "intervals": [
+                    {"end_s": 600.0, "invocations": 1200,
+                     "cold_starts": 40, "warm_starts": 1100,
+                     "evictions": 7, "prewarms": 3,
+                     "failed_attempts": 0, "spend_usd": 0.125,
+                     "wait_queue": 0},
+                    {"end_s": 1200.0, "invocations": 1180,
+                     "cold_starts": 12, "warm_starts": 1150,
+                     "evictions": 2, "prewarms": 1,
+                     "failed_attempts": 1, "spend_usd": 0.110,
+                     "wait_queue": 3},
+                ],
+            }],
+        }
+
+    def test_interval_series_round_trips(self):
+        report = self._interval_report()
+        a = self.path("a.json", report)
+        b = self.path("b.json", json.loads(json.dumps(report)))
+        code, out, _ = self.run_diff([a, b, "--profile", "golden"])
+        self.assertEqual(code, 0)
+        self.assertIn("matches", out)
+
+    def test_interval_count_drift_fails_golden(self):
+        # The series is part of the deterministic artifact: a
+        # one-count drift in any interval must fail, ints stay exact.
+        actual = self._interval_report()
+        golden = self._interval_report()
+        golden["runs"][0]["intervals"][1]["cold_starts"] = 13
+        a = self.path("a.json", actual)
+        b = self.path("b.json", golden)
+        code, out, _ = self.run_diff([a, b, "--profile", "golden"])
+        self.assertEqual(code, 1)
+        self.assertIn("intervals.1", out)
+        self.assertIn("cold_starts", out)
+
+    def test_interval_presence_is_part_of_schema(self):
+        # `intervals` is written only when the run recorded a series;
+        # one side having it and the other not is a real mismatch.
+        actual = self._interval_report()
+        golden = self._interval_report()
+        del golden["runs"][0]["intervals"]
+        a = self.path("a.json", actual)
+        b = self.path("b.json", golden)
+        code, out, _ = self.run_diff([a, b, "--profile", "golden"])
+        self.assertEqual(code, 1)
+        self.assertIn("intervals", out)
+        self.assertIn("missing in golden", out)
+
     def test_summary_written_on_mismatch(self):
         a = self.path("a.json", {"v": 2.0, "n": "x"})
         b = self.path("b.json", {"v": 1.0, "n": "y"})
