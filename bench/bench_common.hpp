@@ -57,6 +57,11 @@ using experiments::Scenario;
  *                     (Scenario::goldenPreset()); the default artifact
  *                     moves to bench/out/<name>.golden.json so a
  *                     golden run never clobbers a full-scale artifact
+ *   --scale-functions N  scale benches (fig_scale): function-catalog
+ *                     size of the largest grid point (0 = default)
+ *   --stress          scale benches (fig_scale): run the 10^6-function
+ *                     stress point with wall-clock/peak-RSS budget
+ *                     asserts and a serial-vs-threaded identity check
  *
  * Distributed execution (see DESIGN.md "Distributed execution"):
  *   --dist-master P      run as master, listening on TCP port P
@@ -102,6 +107,19 @@ struct BenchOptions {
     /** Interval flow series period in sim seconds (0 = off). */
     double statsIntervalSeconds = 0.0;
     bool golden = false;
+    /**
+     * Scale-experiment catalog size override (`--scale-functions N`):
+     * the largest grid point of a scale bench simulates N functions
+     * (0 = the bench's built-in default). Only fig_scale reads it.
+     */
+    std::size_t scaleFunctions = 0;
+    /**
+     * Run the stress tier (`--stress`): the 10^6-function point with
+     * wall-clock/peak-RSS budget asserts and an in-process serial vs
+     * threaded byte-identity check. Excluded from default ctest; the
+     * nightly workflow runs it via the `stress` ctest label.
+     */
+    bool stress = false;
     /** Master listen port; negative = not in master mode via port. */
     int distMasterPort = -1;
     /** Worker target "host:port"; empty = not in worker mode. */
@@ -204,6 +222,12 @@ parseBenchOptions(int argc, char** argv, const std::string& name)
             jsonPathExplicit = true;
         } else if (arg == "--golden-mode") {
             options.golden = true;
+        } else if (arg == "--scale-functions" && i + 1 < args.size()) {
+            options.scaleFunctions =
+                parseCount("--scale-functions", args[++i],
+                           100'000'000);
+        } else if (arg == "--stress") {
+            options.stress = true;
         } else if (arg == "--quiet") {
             options.progress = false;
         } else if (arg == "--trace-out" && i + 1 < args.size()) {
@@ -288,6 +312,7 @@ parseBenchOptions(int argc, char** argv, const std::string& name)
             fatal("usage: ", argv[0],
                   " [--threads N] [--json PATH] [--no-json]"
                   " [--quiet] [--golden-mode]"
+                  " [--scale-functions N] [--stress]"
                   " [--trace-out PATH] [--trace-sample N]"
                   " [--stats-interval S] [--stats-out PATH]"
                   " [--folded-out PATH]"

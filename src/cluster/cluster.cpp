@@ -272,6 +272,13 @@ Cluster::addWarm(NodeId nodeId, FunctionId function, MegaBytes memoryMb,
         committedSpend_ += container.committedDollars;
     }
     warmByFn_[function].push_back(container.id);
+    if (function >= warmCountByFn_.size()) {
+        warmCountByFn_.resize(function + 1, 0);
+        compressedCountByFn_.resize(function + 1, 0);
+    }
+    ++warmCountByFn_[function];
+    if (compressed)
+        ++compressedCountByFn_[function];
     const ContainerId id = container.id;
     warmPool_.emplace(id, container);
     return id;
@@ -326,6 +333,12 @@ Cluster::removeWarm(ContainerId id, Seconds now)
     list.erase(std::remove(list.begin(), list.end(), id), list.end());
     if (list.empty())
         warmByFn_.erase(container.function);
+    if (warmCountByFn_[container.function] == 0)
+        panic("Cluster: residency underflow for function ",
+              container.function);
+    --warmCountByFn_[container.function];
+    if (container.compressed)
+        --compressedCountByFn_[container.function];
     warmPool_.erase(it);
     return container;
 }
@@ -345,6 +358,13 @@ Cluster::resizeWarm(ContainerId id, MegaBytes newMemoryMb,
     if (delta > 0 && node.freeMemoryMb() + kMemEps < delta)
         panic("Cluster: resizeWarm overcommits node ", container.node);
     node.warmMemoryMb += delta;
+    if (nowCompressed != container.compressed) {
+        auto& count = compressedCountByFn_[container.function];
+        if (nowCompressed)
+            ++count;
+        else if (count > 0)
+            --count;
+    }
     container.memoryMb = newMemoryMb;
     container.compressed = nowCompressed;
 }
@@ -375,8 +395,17 @@ Cluster::warm(ContainerId id) const
 std::size_t
 Cluster::warmCount(FunctionId function) const
 {
-    const auto it = warmByFn_.find(function);
-    return it == warmByFn_.end() ? 0 : it->second.size();
+    return function < warmCountByFn_.size()
+        ? warmCountByFn_[function]
+        : 0;
+}
+
+std::size_t
+Cluster::compressedWarmCount(FunctionId function) const
+{
+    return function < compressedCountByFn_.size()
+        ? compressedCountByFn_[function]
+        : 0;
 }
 
 void

@@ -293,8 +293,14 @@ class Cluster
         return warmPool_;
     }
 
-    /** Number of warm containers for one function. */
+    /**
+     * Number of warm containers for one function. O(1): reads the
+     * dense per-function residency counter, not the pool.
+     */
     std::size_t warmCount(FunctionId function) const;
+
+    /** Number of *compressed* warm containers for one function. O(1). */
+    std::size_t compressedWarmCount(FunctionId function) const;
 
     // --- accounting ----------------------------------------------------
 
@@ -364,6 +370,14 @@ class Cluster
     std::vector<Seconds> lastDomainFault_;
     std::unordered_map<ContainerId, WarmContainer> warmPool_;
     std::unordered_map<FunctionId, std::vector<ContainerId>> warmByFn_;
+    /**
+     * Dense per-function warm/compressed residency counters (SoA,
+     * indexed by FunctionId, grown on demand) so policy scans over the
+     * catalog read a flat array instead of hashing into warmByFn_.
+     * Maintained by addWarm/removeWarm/resizeWarm.
+     */
+    std::vector<std::uint32_t> warmCountByFn_;
+    std::vector<std::uint32_t> compressedCountByFn_;
     ContainerId nextContainer_ = 1;
     Dollars keepAliveSpend_ = 0.0;
     Dollars committedSpend_ = 0.0;

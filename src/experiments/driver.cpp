@@ -36,6 +36,11 @@ Driver::Driver(const trace::Workload& workload,
     lastArrivalTime_ = workload.invocations.empty()
         ? 0.0
         : workload.invocations.back().arrival;
+    fnState_.reset(workload.functions.size());
+    for (std::size_t f = 0; f < workload.functions.size(); ++f)
+        fnState_.setFootprint(static_cast<FunctionId>(f),
+                              workload.functions[f].memoryMb,
+                              workload.functions[f].compressedMb);
     faultPlan_ = faults::FaultPlan(
         config_.faults, cluster_.nodes().size(),
         lastArrivalTime_ + config_.drainGrace,
@@ -296,6 +301,9 @@ void
 Driver::handleArrival(const Invocation& invocation)
 {
     ++arrivalsProcessed_;
+    // The SoA table must see the arrival before the policy does, so
+    // onArrival reads up-to-date recency/frequency columns.
+    fnState_.noteArrival(invocation.function, queue_.now());
     timedDecision([&] {
         CC_PHASE("policy.onArrival");
         policy_.onArrival(invocation.function, queue_.now());
@@ -465,6 +473,7 @@ Driver::startExecution(const Invocation& invocation, NodeId nodeId,
 
     RunningExec exec;
     exec.invocation = invocation;
+    exec.seq = id;
     exec.attempt = attempt;
     exec.node = nodeId;
     exec.memoryMb = profile.memoryMb;
@@ -481,11 +490,12 @@ Driver::startExecution(const Invocation& invocation, NodeId nodeId,
         // The doomed attempt holds its core and memory only until the
         // platform notices, then retries with backoff. No record is
         // emitted; the eventual success accounts the full wait.
-        exec.finish = queue_.scheduleAfter(
-            config_.failureDetectSeconds, [this, id] {
+        const auto slot = runningExecs_.emplace(std::move(exec));
+        runningExecs_[slot].finish = queue_.scheduleAfter(
+            config_.failureDetectSeconds, [this, slot] {
                 const RunningExec failed =
-                    std::move(runningExecs_.at(id));
-                runningExecs_.erase(id);
+                    std::move(runningExecs_[slot]);
+                runningExecs_.erase(slot);
                 --running_;
                 cluster_.releaseExec(failed.node, failed.memoryMb);
                 if (trace_) {
@@ -508,7 +518,6 @@ Driver::startExecution(const Invocation& invocation, NodeId nodeId,
                 failAttempt(failed.invocation, failed.attempt);
                 drainWaitQueue();
             });
-        runningExecs_.emplace(id, std::move(exec));
         return;
     }
 
@@ -529,10 +538,11 @@ Driver::startExecution(const Invocation& invocation, NodeId nodeId,
     record.start = start;
     record.nodeType = type;
 
-    exec.finish = queue_.scheduleAfter(
-        startupLatency + execTime, [this, id, record] {
-            const RunningExec done = std::move(runningExecs_.at(id));
-            runningExecs_.erase(id);
+    const auto slot = runningExecs_.emplace(std::move(exec));
+    runningExecs_[slot].finish = queue_.scheduleAfter(
+        startupLatency + execTime, [this, slot, record] {
+            const RunningExec done = std::move(runningExecs_[slot]);
+            runningExecs_.erase(slot);
             if (trace_) {
                 // Emission waits for completion so a crash-killed
                 // execution can be drawn with its true length.
@@ -541,7 +551,6 @@ Driver::startExecution(const Invocation& invocation, NodeId nodeId,
             }
             handleFinish(done.invocation, done.node, record);
         });
-    runningExecs_.emplace(id, std::move(exec));
 }
 
 void
@@ -625,6 +634,11 @@ Driver::addWarmContainer(FunctionId function, NodeId nodeId,
             drainWaitQueue();
         });
     warmEvents_.emplace(id, std::move(events));
+    fnState_.noteWarm(function, +1);
+    fnState_.setKeepAliveDeadline(
+        function,
+        std::max(fnState_.keepAliveDeadline(function),
+                 queue_.now() + keepAliveSeconds));
     if (compress)
         scheduleCompression(id);
 }
@@ -658,6 +672,7 @@ Driver::scheduleCompression(ContainerId id)
                 trace_->emit(event);
             }
             cluster_.resizeWarm(id, newMb, true, queue_.now());
+            fnState_.noteCompressed(c.function, +1);
             collector_.recordCompression(queue_.now());
             drainWaitQueue();
         });
@@ -674,6 +689,9 @@ Driver::evictContainer(ContainerId id, bool byFault)
     warmEvents_.erase(it);
     const cluster::WarmContainer removed =
         cluster_.removeWarm(id, queue_.now());
+    fnState_.noteWarm(removed.function, -1);
+    if (removed.compressed)
+        fnState_.noteCompressed(removed.function, -1);
     const Dollars refund = removed.unspentCommitmentDollars();
     collector_.recordRefund(queue_.now(), refund, byFault);
     return refund;
@@ -691,6 +709,9 @@ Driver::consumeWarm(ContainerId id)
     ++endConsumed_;
     cluster::WarmContainer removed =
         cluster_.removeWarm(id, queue_.now());
+    fnState_.noteWarm(removed.function, -1);
+    if (removed.compressed)
+        fnState_.noteCompressed(removed.function, -1);
     collector_.recordRefund(queue_.now(),
                             removed.unspentCommitmentDollars(),
                             false);
@@ -717,6 +738,7 @@ Driver::requestPrewarm(FunctionId function, NodeType type,
     const std::uint64_t id = nextExecId_++;
     PrewarmExec prewarm;
     prewarm.function = function;
+    prewarm.seq = id;
     prewarm.node = *nodeId;
     prewarm.memoryMb = profile.memoryMb;
     if (trace_) {
@@ -725,10 +747,11 @@ Driver::requestPrewarm(FunctionId function, NodeType type,
     }
     const Seconds coldStart =
         profile.coldStart[static_cast<int>(type)];
-    prewarm.finish = queue_.scheduleAfter(
-        coldStart, [this, id, keepAliveSeconds] {
-            const PrewarmExec done = std::move(prewarms_.at(id));
-            prewarms_.erase(id);
+    const auto slot = prewarms_.emplace(std::move(prewarm));
+    prewarms_[slot].finish = queue_.scheduleAfter(
+        coldStart, [this, slot, keepAliveSeconds] {
+            const PrewarmExec done = std::move(prewarms_[slot]);
+            prewarms_.erase(slot);
             --running_;
             cluster_.releaseExec(done.node, done.memoryMb);
             const bool fits =
@@ -757,7 +780,6 @@ Driver::requestPrewarm(FunctionId function, NodeType type,
             }
             drainWaitQueue();
         });
-    prewarms_.emplace(id, std::move(prewarm));
     return true;
 }
 
@@ -807,15 +829,20 @@ Driver::crashNode(NodeId nodeId)
     }
 
     // In-flight executions fail; regular invocations retry with
-    // backoff, prewarm cold starts are simply dropped.
-    std::vector<std::uint64_t> execIds;
-    for (const auto& [id, exec] : runningExecs_) {
-        if (exec.node == nodeId)
-            execIds.push_back(id);
-    }
-    for (const std::uint64_t id : execIds) {
-        RunningExec failed = std::move(runningExecs_.at(id));
-        runningExecs_.erase(id);
+    // backoff, prewarm cold starts are simply dropped. Victims are
+    // processed in creation (`seq`) order — the key order of the
+    // ordered maps the slot pools replaced.
+    using ExecSlot = sim::SlotPool<RunningExec>::Index;
+    std::vector<std::pair<std::uint64_t, ExecSlot>> execVictims;
+    runningExecs_.forEach(
+        [&](ExecSlot slot, const RunningExec& exec) {
+            if (exec.node == nodeId)
+                execVictims.emplace_back(exec.seq, slot);
+        });
+    std::sort(execVictims.begin(), execVictims.end());
+    for (const auto& [seq, slot] : execVictims) {
+        RunningExec failed = std::move(runningExecs_[slot]);
+        runningExecs_.erase(slot);
         failed.finish.cancel();
         --running_;
         cluster_.releaseExec(failed.node, failed.memoryMb);
@@ -835,14 +862,17 @@ Driver::crashNode(NodeId nodeId)
         }
         failAttempt(failed.invocation, failed.attempt);
     }
-    std::vector<std::uint64_t> prewarmIds;
-    for (const auto& [id, prewarm] : prewarms_) {
-        if (prewarm.node == nodeId)
-            prewarmIds.push_back(id);
-    }
-    for (const std::uint64_t id : prewarmIds) {
-        PrewarmExec dropped = std::move(prewarms_.at(id));
-        prewarms_.erase(id);
+    using PrewarmSlot = sim::SlotPool<PrewarmExec>::Index;
+    std::vector<std::pair<std::uint64_t, PrewarmSlot>> prewarmVictims;
+    prewarms_.forEach(
+        [&](PrewarmSlot slot, const PrewarmExec& prewarm) {
+            if (prewarm.node == nodeId)
+                prewarmVictims.emplace_back(prewarm.seq, slot);
+        });
+    std::sort(prewarmVictims.begin(), prewarmVictims.end());
+    for (const auto& [seq, slot] : prewarmVictims) {
+        PrewarmExec dropped = std::move(prewarms_[slot]);
+        prewarms_.erase(slot);
         dropped.finish.cancel();
         --running_;
         cluster_.releaseExec(dropped.node, dropped.memoryMb);
@@ -1042,6 +1072,9 @@ Driver::requestSetKeepAlive(FunctionId function,
                 id, queue_.now() + keepAliveSeconds, queue_.now());
         }
     }
+    if (!ids.empty() && keepAliveSeconds > 0.0)
+        fnState_.setKeepAliveDeadline(function,
+                                      queue_.now() + keepAliveSeconds);
 }
 
 void

@@ -17,7 +17,6 @@
 #include <chrono>
 #include <deque>
 #include <functional>
-#include <map>
 #include <unordered_map>
 
 #include "cluster/cluster.hpp"
@@ -27,7 +26,9 @@
 #include "metrics/collector.hpp"
 #include "obs/trace.hpp"
 #include "policy/policy.hpp"
+#include "sim/arena.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/function_table.hpp"
 #include "trace/workload.hpp"
 
 namespace codecrunch::experiments {
@@ -268,6 +269,11 @@ class Driver : public policy::PolicyContext
 
     obs::TraceBuffer* traceSink() const override { return trace_; }
 
+    const sim::FunctionStateTable* functionState() const override
+    {
+        return &fnState_;
+    }
+
     bool requestPrewarm(FunctionId function, NodeType type,
                         Seconds keepAliveSeconds) override;
     void requestEvict(FunctionId function) override;
@@ -293,6 +299,9 @@ class Driver : public policy::PolicyContext
     /** One in-flight execution (normal or transiently failing). */
     struct RunningExec {
         Invocation invocation;
+        /** Monotone creation id; crash handling sorts victims by it
+         *  so the walk order matches the old std::map key order. */
+        std::uint64_t seq = 0;
         int attempt = 1;
         NodeId node = kInvalidNode;
         MegaBytes memoryMb = 0;
@@ -305,6 +314,8 @@ class Driver : public policy::PolicyContext
     /** One in-flight prewarm cold start (no invocation to retry). */
     struct PrewarmExec {
         FunctionId function = kInvalidFunction;
+        /** Monotone creation id (see RunningExec::seq). */
+        std::uint64_t seq = 0;
         NodeId node = kInvalidNode;
         MegaBytes memoryMb = 0;
         sim::EventHandle finish;
@@ -480,12 +491,16 @@ class Driver : public policy::PolicyContext
     std::deque<Waiter> waitQueue_;
     std::unordered_map<cluster::ContainerId, WarmEvents> warmEvents_;
     /**
-     * In-flight work keyed by a monotone id. Ordered maps so crash
-     * handling walks victims in a platform-independent order.
+     * In-flight work in arena-backed slot pools (no per-event heap
+     * allocation). Each record carries a monotone `seq`; crash
+     * handling sorts victims by it, which reproduces the walk order
+     * of the ordered maps these pools replaced byte-for-byte.
      */
-    std::map<std::uint64_t, RunningExec> runningExecs_;
-    std::map<std::uint64_t, PrewarmExec> prewarms_;
+    sim::SlotPool<RunningExec> runningExecs_;
+    sim::SlotPool<PrewarmExec> prewarms_;
     std::uint64_t nextExecId_ = 1;
+    /** Hot per-function SoA state (PolicyContext::functionState). */
+    sim::FunctionStateTable fnState_;
     /** Monotone attempt counter feeding FaultPlan::invocationFails. */
     std::uint64_t attemptSeq_ = 0;
     std::size_t pendingRetries_ = 0;

@@ -12,7 +12,7 @@
  */
 #pragma once
 
-#include <unordered_map>
+#include <vector>
 
 #include "policy/policy.hpp"
 
@@ -47,7 +47,13 @@ class FaasCache : public Policy
     double priority(FunctionId function) const;
 
     Config config_;
-    std::unordered_map<FunctionId, std::size_t> frequency_;
+    /**
+     * Fallback arrival counts for contexts without a
+     * FunctionStateTable (dense, indexed by FunctionId). When the
+     * context exposes the SoA table the driver already counts
+     * arrivals there and this stays empty.
+     */
+    std::vector<std::uint64_t> frequency_;
     double clock_ = 0.0;
 };
 

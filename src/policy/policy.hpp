@@ -24,6 +24,7 @@
 #include "cluster/cluster.hpp"
 #include "common/types.hpp"
 #include "metrics/collector.hpp"
+#include "sim/function_table.hpp"
 #include "trace/workload.hpp"
 
 namespace codecrunch::obs {
@@ -69,6 +70,19 @@ class PolicyContext
      * traces stop being byte-identical across --threads settings.
      */
     virtual obs::TraceBuffer* traceSink() const { return nullptr; }
+
+    /**
+     * Hot per-function state (arrival recency/frequency, keep-alive
+     * deadline, warm/compressed residency, footprint class) as
+     * struct-of-arrays indexed by dense FunctionId — the cache-linear
+     * view policies should prefer for whole-catalog scans. Null when
+     * the context does not track it (e.g. minimal test contexts);
+     * callers must handle that.
+     */
+    virtual const sim::FunctionStateTable* functionState() const
+    {
+        return nullptr;
+    }
 
     /**
      * Create a warm container for `function` on `type` without an

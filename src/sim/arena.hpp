@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Bulk-freed allocation primitives for the simulation hot path.
+ *
+ * Arena: a chunked bump allocator. Allocations are O(1) pointer
+ * arithmetic, never individually freed, and stay at stable addresses
+ * until reset(). reset() bulk-frees everything at once by rewinding
+ * the chunk cursors; in debug/sanitizer builds it poisons the freed
+ * bytes (0xDD) so use-after-reset reads trip assertions and the
+ * ASan-checked poison test in sim_core_test.cpp.
+ *
+ * SlotPool<T>: fixed-slot object pool on top of an Arena. insert()
+ * returns a dense uint32 index, erase() destroys the object and
+ * recycles the slot LIFO, and addresses are stable for the life of the
+ * slot. The LIFO free list is deterministic (single-threaded), so
+ * slot assignment — and anything keyed on it — is identical across
+ * runs. Used for in-flight invocation records in the Driver, which
+ * previously paid one red-black-tree node allocation per event.
+ *
+ * Lifetime rules (DESIGN.md "Simulation core at scale"):
+ *  - Arena::reset() invalidates EVERY pointer handed out since the
+ *    previous reset; callers bulk-free per run, never per object.
+ *  - Arena::create<T>() requires trivially destructible T (reset()
+ *    runs no destructors). SlotPool lifts that restriction by running
+ *    destructors in erase()/clear() itself.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace codecrunch::sim {
+
+/**
+ * Chunked bump allocator, bulk-freed via reset().
+ */
+class Arena
+{
+  public:
+    /** Byte written over freed storage by reset(). */
+    static constexpr unsigned char kPoisonByte = 0xDD;
+
+    explicit Arena(std::size_t chunkBytes = 64 * 1024)
+        : chunkBytes_(chunkBytes)
+    {
+    }
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    /**
+     * Allocate `bytes` with the given alignment. The returned storage
+     * is valid until reset() or destruction.
+     */
+    void*
+    allocate(std::size_t bytes, std::size_t align)
+    {
+        if (bytes == 0)
+            bytes = 1;
+        std::size_t offset = alignUp(cursor_, align);
+        if (chunk_ >= chunks_.size() ||
+            offset + bytes > chunkSize(chunk_)) {
+            startChunk(bytes, align);
+            offset = alignUp(cursor_, align);
+        }
+        cursor_ = offset + bytes;
+        allocated_ += bytes;
+        return chunks_[chunk_].data.get() + offset;
+    }
+
+    /** Allocate and default/value-construct one trivially destructible T. */
+    template <typename T, typename... Args>
+    T*
+    create(Args&&... args)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "Arena::reset() runs no destructors");
+        void* mem = allocate(sizeof(T), alignof(T));
+        return ::new (mem) T(std::forward<Args>(args)...);
+    }
+
+    /** Allocate an uninitialized array of `count` T. */
+    template <typename T>
+    T*
+    allocateArray(std::size_t count)
+    {
+        return static_cast<T*>(allocate(sizeof(T) * count, alignof(T)));
+    }
+
+    /**
+     * Bulk-free everything allocated since the last reset. Chunks are
+     * kept for reuse; every previously returned pointer becomes
+     * invalid. Freed bytes are poisoned so stale reads are loud.
+     */
+    void
+    reset()
+    {
+        for (std::size_t i = 0; i <= chunk_ && i < chunks_.size(); ++i) {
+            const std::size_t used =
+                i == chunk_ ? cursor_ : chunks_[i].size;
+            if (used > 0)
+                std::memset(chunks_[i].data.get(), kPoisonByte, used);
+        }
+        chunk_ = 0;
+        cursor_ = 0;
+        allocated_ = 0;
+    }
+
+    /** Bytes handed out since the last reset. */
+    std::size_t bytesAllocated() const { return allocated_; }
+
+    /** Bytes of chunk capacity currently owned (survives reset). */
+    std::size_t
+    bytesReserved() const
+    {
+        std::size_t total = 0;
+        for (const Chunk& c : chunks_)
+            total += c.size;
+        return total;
+    }
+
+  private:
+    struct Chunk {
+        std::unique_ptr<unsigned char[]> data;
+        std::size_t size = 0;
+    };
+
+    static std::size_t
+    alignUp(std::size_t value, std::size_t align)
+    {
+        return (value + align - 1) & ~(align - 1);
+    }
+
+    std::size_t
+    chunkSize(std::size_t index) const
+    {
+        return index < chunks_.size() ? chunks_[index].size : 0;
+    }
+
+    /** Advance to a chunk that can hold `bytes` at `align`. */
+    void
+    startChunk(std::size_t bytes, std::size_t align)
+    {
+        if (chunk_ < chunks_.size() && cursor_ > 0)
+            ++chunk_;
+        // Reuse retained chunks (post-reset) that are large enough.
+        while (chunk_ < chunks_.size() &&
+               alignUp(0, align) + bytes > chunks_[chunk_].size)
+            ++chunk_;
+        if (chunk_ >= chunks_.size()) {
+            const std::size_t size =
+                std::max(chunkBytes_, bytes + align);
+            Chunk c;
+            c.data = std::make_unique<unsigned char[]>(size);
+            c.size = size;
+            chunks_.push_back(std::move(c));
+            chunk_ = chunks_.size() - 1;
+        }
+        cursor_ = 0;
+    }
+
+    std::size_t chunkBytes_;
+    std::vector<Chunk> chunks_;
+    std::size_t chunk_ = 0;    // current chunk index
+    std::size_t cursor_ = 0;   // bump offset inside current chunk
+    std::size_t allocated_ = 0;
+};
+
+/**
+ * Object pool with dense uint32 slot indices and stable addresses.
+ *
+ * Slot storage comes from an internal Arena; erase()
+ * destroys the object and pushes the slot on a LIFO free list. No
+ * per-object heap traffic after the pool warms up.
+ */
+template <typename T>
+class SlotPool
+{
+  public:
+    using Index = std::uint32_t;
+    static constexpr Index kInvalidIndex = 0xFFFFFFFFu;
+
+    SlotPool() = default;
+
+    SlotPool(const SlotPool&) = delete;
+    SlotPool& operator=(const SlotPool&) = delete;
+
+    ~SlotPool() { clear(); }
+
+    /** Construct a T in a fresh or recycled slot; returns its index. */
+    template <typename... Args>
+    Index
+    emplace(Args&&... args)
+    {
+        Index index;
+        if (!freeList_.empty()) {
+            index = freeList_.back();
+            freeList_.pop_back();
+        } else {
+            if (slots_.size() >= kInvalidIndex)
+                panic("SlotPool: exceeded 2^32-1 slots");
+            index = static_cast<Index>(slots_.size());
+            slots_.push_back(static_cast<unsigned char*>(
+                arena_.allocate(sizeof(T), alignof(T))));
+            occupied_.push_back(false);
+        }
+        ::new (static_cast<void*>(slots_[index]))
+            T(std::forward<Args>(args)...);
+        occupied_[index] = true;
+        ++size_;
+        return index;
+    }
+
+    /** Destroy the object in `index` and recycle the slot (LIFO). */
+    void
+    erase(Index index)
+    {
+        if (index >= slots_.size() || !occupied_[index])
+            panic("SlotPool: erase of empty slot ", index);
+        ptr(index)->~T();
+        occupied_[index] = false;
+        --size_;
+        freeList_.push_back(index);
+    }
+
+    T&
+    operator[](Index index)
+    {
+        return *ptr(index);
+    }
+
+    const T&
+    operator[](Index index) const
+    {
+        return *ptr(index);
+    }
+
+    /** True when `index` currently holds a live object. */
+    bool
+    contains(Index index) const
+    {
+        return index < slots_.size() && occupied_[index];
+    }
+
+    /** Live object count. */
+    std::size_t size() const { return size_; }
+
+    bool empty() const { return size_ == 0; }
+
+    /** Total slots ever created (live + recycled). */
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Visit live slots in ascending slot order. */
+    template <typename Fn>
+    void
+    forEach(Fn&& fn) const
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (occupied_[i])
+                fn(static_cast<Index>(i),
+                   *reinterpret_cast<const T*>(slots_[i]));
+        }
+    }
+
+    /** Destroy every live object and drop all slots. */
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (occupied_[i])
+                reinterpret_cast<T*>(slots_[i])->~T();
+        }
+        slots_.clear();
+        occupied_.clear();
+        freeList_.clear();
+        size_ = 0;
+        arena_.reset();
+    }
+
+  private:
+    T*
+    ptr(Index index)
+    {
+        return reinterpret_cast<T*>(slots_[index]);
+    }
+
+    const T*
+    ptr(Index index) const
+    {
+        return reinterpret_cast<const T*>(slots_[index]);
+    }
+
+    Arena arena_{64 * 1024};
+    std::vector<unsigned char*> slots_; // stable per-slot storage
+    std::vector<bool> occupied_;
+    std::vector<Index> freeList_;       // LIFO: deterministic reuse
+    std::size_t size_ = 0;
+};
+
+} // namespace codecrunch::sim

@@ -1,26 +1,55 @@
 /**
  * @file
- * Discrete-event queue with stable ordering and cancellation.
+ * Discrete-event queue with stable ordering and cancellation, built as
+ * a hierarchical calendar (ladder) queue instead of a binary heap.
  *
- * Events at equal timestamps fire in insertion order (FIFO), which makes
- * simulations bit-reproducible. Cancellation is lazy: a cancelled event
- * stays in the heap but is skipped when popped, keeping cancel()
- * amortized O(1). When cancelled entries outnumber live ones the heap
- * is rebuilt without them, so heavy schedule/cancel churn (keep-alive
- * retargeting) cannot grow the heap beyond ~2x the live event count.
- * Rebuilding uses the same (when, seq) ordering, so the fire sequence
- * — and therefore simulation output — is unchanged.
+ * Layout (DESIGN.md "Simulation core at scale"):
+ *
+ *   Top     unsorted pile of far-future events (when >= topStart_).
+ *   Rungs   a stack of bucket arrays. Each rung spans a time range cut
+ *           into equal-width buckets; an oversized bucket is re-spread
+ *           into a deeper rung with finer buckets when it is reached.
+ *   Bottom  a small sorted vector of near-now events, consumed front
+ *           to back.
+ *
+ * Inserts append to Top or a bucket in O(1); only the ~64 events
+ * nearest to now are ever sorted, so enqueue/dequeue are O(1)
+ * amortized at trace densities (vs O(log n) heap sifts). Ordering is
+ * the total order (when, seq) with seq a monotone insertion counter,
+ * exactly the comparator the old heap used: events at equal timestamps
+ * fire in insertion order (FIFO), which keeps simulations
+ * bit-reproducible — the fire sequence, and therefore every golden
+ * artifact, is unchanged by this rewrite. The differential suite in
+ * tests/sim_core_test.cpp pits this queue against the retired heap
+ * implementation (tests/legacy_heap_queue.hpp) over randomized op
+ * streams to prove it.
+ *
+ * Cancellation is lazy: a cancelled event stays where it is and is
+ * skipped when reached, keeping cancel() O(1). When cancelled entries
+ * outnumber live ones all containers are swept in place (stable, so
+ * the fire sequence is unchanged), bounding memory at ~2x the live
+ * count under keep-alive retargeting churn.
+ *
+ * Handle state is pooled: EventHandle and the queue entry share a
+ * refcounted slot from an Arena-backed pool instead of a per-event
+ * shared_ptr control block, so scheduling allocates nothing on the
+ * steady state. Handles may outlive the queue (the pool is kept alive
+ * by the handles' shared ownership); cancel() after queue destruction
+ * is a no-op.
  */
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hpp"
 #include "common/types.hpp"
+#include "sim/arena.hpp"
 
 namespace codecrunch::sim {
 
@@ -34,10 +63,49 @@ namespace detail {
 /** Lifecycle of one scheduled event. */
 enum class EventStatus : std::uint8_t { Pending, Fired, Cancelled };
 
-/** Shared state between an EventHandle and its queue entry. */
+/**
+ * Refcounted per-event state shared by handles and the queue entry.
+ * Lives in StatePool's arena; recycled through a LIFO free list when
+ * the last reference drops.
+ */
 struct EventState {
     EventStatus status = EventStatus::Pending;
+    std::uint32_t refs = 0;
+    EventState* nextFree = nullptr;
+};
+
+/**
+ * Pool of EventState slots. Shared (via shared_ptr) between the queue
+ * and every handle so handle destructors stay safe after the queue is
+ * gone; `queue` is nulled by ~EventQueue.
+ */
+struct StatePool {
     EventQueue* queue = nullptr;
+    Arena arena{16 * 1024};
+    EventState* freeList = nullptr;
+
+    EventState*
+    acquire()
+    {
+        EventState* state;
+        if (freeList) {
+            state = freeList;
+            freeList = state->nextFree;
+        } else {
+            state = arena.create<EventState>();
+        }
+        state->status = EventStatus::Pending;
+        state->refs = 1; // the queue entry's reference
+        state->nextFree = nullptr;
+        return state;
+    }
+
+    void
+    recycle(EventState* state)
+    {
+        state->nextFree = freeList;
+        freeList = state;
+    }
 };
 
 } // namespace detail
@@ -46,13 +114,52 @@ struct EventState {
  * Handle for cancelling a scheduled event.
  *
  * Copyable; all copies refer to the same scheduled event. A default
- * constructed handle refers to nothing and cancel() is a no-op. Handles
- * must not outlive the EventQueue that produced them.
+ * constructed handle refers to nothing and cancel() is a no-op.
  */
 class EventHandle
 {
   public:
     EventHandle() = default;
+
+    EventHandle(const EventHandle& other)
+        : pool_(other.pool_), state_(other.state_)
+    {
+        if (state_)
+            ++state_->refs;
+    }
+
+    EventHandle(EventHandle&& other) noexcept
+        : pool_(std::move(other.pool_)), state_(other.state_)
+    {
+        other.state_ = nullptr;
+    }
+
+    EventHandle&
+    operator=(const EventHandle& other)
+    {
+        if (this != &other) {
+            release();
+            pool_ = other.pool_;
+            state_ = other.state_;
+            if (state_)
+                ++state_->refs;
+        }
+        return *this;
+    }
+
+    EventHandle&
+    operator=(EventHandle&& other) noexcept
+    {
+        if (this != &other) {
+            release();
+            pool_ = std::move(other.pool_);
+            state_ = other.state_;
+            other.state_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~EventHandle() { release(); }
 
     /** Cancel the event if it has not fired yet. */
     void cancel();
@@ -85,20 +192,42 @@ class EventHandle
   private:
     friend class EventQueue;
 
-    explicit EventHandle(std::shared_ptr<detail::EventState> state)
-        : state_(std::move(state))
+    EventHandle(std::shared_ptr<detail::StatePool> pool,
+                detail::EventState* state)
+        : pool_(std::move(pool)), state_(state)
     {
+        ++state_->refs;
     }
 
-    std::shared_ptr<detail::EventState> state_;
+    void
+    release()
+    {
+        if (state_ && --state_->refs == 0)
+            pool_->recycle(state_);
+        state_ = nullptr;
+    }
+
+    std::shared_ptr<detail::StatePool> pool_;
+    detail::EventState* state_ = nullptr;
 };
 
 /**
- * Priority queue of timestamped callbacks.
+ * Calendar/ladder priority queue of timestamped callbacks.
  */
 class EventQueue
 {
   public:
+    EventQueue()
+        : pool_(std::make_shared<detail::StatePool>())
+    {
+        pool_->queue = this;
+    }
+
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    ~EventQueue() { pool_->queue = nullptr; }
+
     /**
      * Schedule a callback at an absolute time.
      * @param when absolute simulated time; must be >= now().
@@ -110,13 +239,10 @@ class EventQueue
         if (when < now_)
             panic("EventQueue: scheduling into the past (", when,
                   " < ", now_, ")");
-        auto state = std::make_shared<detail::EventState>();
-        state->queue = this;
-        heap_.push_back(
-            Entry{when, nextSeq_++, state, std::move(callback)});
-        std::push_heap(heap_.begin(), heap_.end(), Later{});
+        detail::EventState* state = pool_->acquire();
+        insert(Entry{when, nextSeq_++, state, std::move(callback)});
         ++live_;
-        return EventHandle(std::move(state));
+        return EventHandle(pool_, state);
     }
 
     /** Schedule a callback after a relative delay. */
@@ -136,10 +262,11 @@ class EventQueue
     bool empty() const { return live_ == 0; }
 
     /**
-     * Heap entries currently held, including lazily-cancelled ones
-     * (compaction keeps this bounded by ~2x pending()). For tests.
+     * Entries currently held across Top/rungs/Bottom, including
+     * lazily-cancelled ones (compaction keeps this bounded by ~2x
+     * pending()). For tests.
      */
-    std::size_t heapEntries() const { return heap_.size(); }
+    std::size_t storedEntries() const { return entries_; }
 
     /**
      * Fire the earliest live event.
@@ -148,17 +275,17 @@ class EventQueue
     bool
     step()
     {
-        while (!heap_.empty()) {
-            Entry entry = popTop();
-            if (entry.state->status != detail::EventStatus::Pending)
-                continue; // lazily discard cancelled entries
-            --live_;
-            now_ = entry.when;
-            entry.state->status = detail::EventStatus::Fired;
-            entry.callback();
-            return true;
-        }
-        return false;
+        Entry* head = peekLive();
+        if (!head)
+            return false;
+        Entry entry = std::move(*head);
+        consumeHead();
+        --live_;
+        now_ = entry.when;
+        entry.state->status = detail::EventStatus::Fired;
+        releaseEntryState(entry);
+        entry.callback();
+        return true;
     }
 
     /** Run until the queue is empty. */
@@ -176,13 +303,9 @@ class EventQueue
     void
     runUntil(Seconds limit)
     {
-        while (!heap_.empty()) {
-            while (!heap_.empty() &&
-                   heap_.front().state->status !=
-                       detail::EventStatus::Pending) {
-                popTop();
-            }
-            if (heap_.empty() || heap_.front().when > limit)
+        for (;;) {
+            Entry* head = peekLive();
+            if (!head || head->when > limit)
                 break;
             step();
         }
@@ -196,28 +319,221 @@ class EventQueue
     struct Entry {
         Seconds when;
         std::uint64_t seq;
-        std::shared_ptr<detail::EventState> state;
+        detail::EventState* state;
         EventCallback callback;
     };
 
-    struct Later {
-        bool
-        operator()(const Entry& a, const Entry& b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+    /** (when, seq) ascending: the queue's one total order. */
+    static bool
+    earlier(const Entry& a, const Entry& b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    /** One bucket array spanning [start, start + width * buckets). */
+    struct Rung {
+        Seconds start = 0.0;
+        Seconds width = 1.0;
+        std::size_t nextBucket = 0; // buckets below this are spent
+        std::size_t count = 0;      // entries currently stored
+        std::vector<std::vector<Entry>> buckets;
     };
 
-    /** Remove and return the heap's top entry. */
-    Entry
-    popTop()
+    // Tuning: buckets re-spread once they exceed kSortThreshold
+    // entries; rungs have at most kMaxBuckets buckets; recursion stops
+    // at kMaxDepth (degenerate distributions fall back to sorting).
+    static constexpr std::size_t kSortThreshold = 64;
+    static constexpr std::size_t kMaxBuckets = 1u << 15;
+    static constexpr std::size_t kMaxDepth = 24;
+
+    /**
+     * Bucket index for `when` in `rung`: monotone non-decreasing in
+     * `when` regardless of floating-point rounding (clamped at both
+     * ends), so inter-bucket ordering is always consistent with the
+     * (when, seq) order.
+     */
+    static std::size_t
+    bucketIndex(const Rung& rung, Seconds when)
     {
-        std::pop_heap(heap_.begin(), heap_.end(), Later{});
-        Entry entry = std::move(heap_.back());
-        heap_.pop_back();
-        return entry;
+        const double pos = (when - rung.start) / rung.width;
+        if (pos <= 0.0)
+            return 0;
+        const double cap =
+            static_cast<double>(rung.buckets.size() - 1);
+        return pos >= cap ? rung.buckets.size() - 1
+                          : static_cast<std::size_t>(pos);
+    }
+
+    /** Route one entry to Top, a rung bucket, or sorted Bottom. */
+    void
+    insert(Entry entry)
+    {
+        ++entries_;
+        if (!ladderActive_ || entry.when >= topStart_) {
+            topMin_ = std::min(topMin_, entry.when);
+            topMax_ = std::max(topMax_, entry.when);
+            top_.push_back(std::move(entry));
+            return;
+        }
+        for (Rung& rung : rungs_) {
+            const std::size_t idx = bucketIndex(rung, entry.when);
+            // A bucket at or past the consumption cursor still sorts
+            // strictly after everything in deeper rungs and Bottom
+            // (all of which came from earlier buckets), so placing
+            // the entry there preserves the total order.
+            if (idx >= rung.nextBucket) {
+                rung.buckets[idx].push_back(std::move(entry));
+                ++rung.count;
+                return;
+            }
+        }
+        bottomInsert(std::move(entry));
+    }
+
+    /** Sorted insert into the live tail of Bottom. */
+    void
+    bottomInsert(Entry entry)
+    {
+        const auto pos = std::upper_bound(
+            bottom_.begin() +
+                static_cast<std::ptrdiff_t>(bottomHead_),
+            bottom_.end(), entry, earlier);
+        bottom_.insert(pos, std::move(entry));
+    }
+
+    /**
+     * Earliest live entry, discarding cancelled ones and pulling work
+     * down from rungs/Top as Bottom drains. Returns nullptr when the
+     * queue is empty. Pure reorganization: never reorders live events.
+     */
+    Entry*
+    peekLive()
+    {
+        for (;;) {
+            while (bottomHead_ < bottom_.size()) {
+                Entry& entry = bottom_[bottomHead_];
+                if (entry.state->status ==
+                    detail::EventStatus::Pending)
+                    return &entry;
+                releaseEntryState(entry);
+                --entries_;
+                ++bottomHead_;
+            }
+            bottom_.clear();
+            bottomHead_ = 0;
+            if (!refillBottom())
+                return nullptr;
+        }
+    }
+
+    /** Drop the entry peekLive() returned. */
+    void
+    consumeHead()
+    {
+        --entries_;
+        ++bottomHead_;
+        if (bottomHead_ == bottom_.size()) {
+            bottom_.clear();
+            bottomHead_ = 0;
+        }
+    }
+
+    /**
+     * Pull the next batch of entries toward Bottom: the deepest rung's
+     * next non-empty bucket, or — when the ladder is drained — a spill
+     * of the entire Top pile into a fresh rung epoch.
+     * @return false when no entries remain anywhere.
+     */
+    bool
+    refillBottom()
+    {
+        while (!rungs_.empty()) {
+            Rung& rung = rungs_.back();
+            if (rung.count == 0) {
+                rungs_.pop_back();
+                continue;
+            }
+            std::size_t idx = rung.nextBucket;
+            while (idx < rung.buckets.size() &&
+                   rung.buckets[idx].empty())
+                ++idx;
+            if (idx >= rung.buckets.size())
+                panic("EventQueue: rung count ", rung.count,
+                      " but no occupied bucket");
+            std::vector<Entry> bucket = std::move(rung.buckets[idx]);
+            rung.buckets[idx].clear();
+            rung.count -= bucket.size();
+            rung.nextBucket = idx + 1;
+            spread(std::move(bucket));
+            return true;
+        }
+        if (top_.empty()) {
+            // Fully drained: the next schedule starts a new epoch.
+            ladderActive_ = false;
+            return false;
+        }
+        // Spill Top. Future inserts at or past the old maximum go to
+        // the new Top; they carry higher seq than anything spilled
+        // here, so FIFO across the boundary is preserved.
+        std::vector<Entry> pile = std::move(top_);
+        top_.clear();
+        topStart_ = topMax_;
+        ladderActive_ = true;
+        topMin_ = std::numeric_limits<double>::infinity();
+        topMax_ = -std::numeric_limits<double>::infinity();
+        spread(std::move(pile));
+        return true;
+    }
+
+    /**
+     * Place a batch either sorted into (empty) Bottom or, when large
+     * and spreadable, into a new finer-grained rung. Same-timestamp
+     * bursts have zero range and take the sort path, which is what
+     * keeps FIFO intact across epoch boundaries.
+     */
+    void
+    spread(std::vector<Entry> entries)
+    {
+        Seconds lo = std::numeric_limits<double>::infinity();
+        Seconds hi = -std::numeric_limits<double>::infinity();
+        for (const Entry& entry : entries) {
+            lo = std::min(lo, entry.when);
+            hi = std::max(hi, entry.when);
+        }
+        const std::size_t n = entries.size();
+        if (n > kSortThreshold && rungs_.size() < kMaxDepth) {
+            Rung rung;
+            rung.start = lo;
+            const std::size_t nbuckets =
+                std::min(kMaxBuckets, n);
+            rung.width = (hi - lo) / static_cast<double>(nbuckets);
+            if (rung.width > 0.0 && lo + rung.width > lo) {
+                rung.buckets.resize(nbuckets);
+                for (Entry& entry : entries) {
+                    const std::size_t idx =
+                        bucketIndex(rung, entry.when);
+                    rung.buckets[idx].push_back(std::move(entry));
+                }
+                rung.count = n;
+                rungs_.push_back(std::move(rung));
+                return;
+            }
+            // Range too narrow to split (e.g. one timestamp): sort.
+        }
+        std::sort(entries.begin(), entries.end(), earlier);
+        bottom_ = std::move(entries);
+        bottomHead_ = 0;
+    }
+
+    /** Drop the queue-entry reference on `entry`'s state. */
+    void
+    releaseEntryState(Entry& entry)
+    {
+        if (--entry.state->refs == 0)
+            pool_->recycle(entry.state);
+        entry.state = nullptr;
     }
 
     void
@@ -230,28 +546,71 @@ class EventQueue
     }
 
     /**
-     * Rebuild the heap without cancelled entries once they exceed half
-     * of it, bounding memory under schedule/cancel churn. The small
-     * floor avoids rebuild thrash on tiny queues.
+     * Sweep cancelled entries out of every container once they exceed
+     * half of the stored total, bounding memory under schedule/cancel
+     * churn. Sweeps are stable, so live ordering is untouched. The
+     * small floor avoids sweep thrash on tiny queues.
      */
     void
     maybeCompact()
     {
         constexpr std::size_t kMinEntriesToCompact = 64;
-        if (heap_.size() < kMinEntriesToCompact ||
-            heap_.size() - live_ <= heap_.size() / 2)
+        if (entries_ < kMinEntriesToCompact ||
+            entries_ - live_ <= entries_ / 2)
             return;
-        std::erase_if(heap_, [](const Entry& entry) {
-            return entry.state->status !=
-                   detail::EventStatus::Pending;
-        });
-        std::make_heap(heap_.begin(), heap_.end(), Later{});
+        entries_ -= sweepVector(top_, 0);
+        for (Rung& rung : rungs_) {
+            for (auto& bucket : rung.buckets) {
+                const std::size_t removed = sweepVector(bucket, 0);
+                rung.count -= removed;
+                entries_ -= removed;
+            }
+        }
+        entries_ -= sweepVector(bottom_, bottomHead_);
     }
 
-    std::vector<Entry> heap_;
+    /** Stable in-place removal of dead entries from v[from..). */
+    std::size_t
+    sweepVector(std::vector<Entry>& v, std::size_t from)
+    {
+        std::size_t out = from;
+        std::size_t removed = 0;
+        for (std::size_t i = from; i < v.size(); ++i) {
+            if (v[i].state->status != detail::EventStatus::Pending) {
+                releaseEntryState(v[i]);
+                ++removed;
+            } else {
+                if (out != i)
+                    v[out] = std::move(v[i]);
+                ++out;
+            }
+        }
+        v.resize(out);
+        return removed;
+    }
+
+    std::shared_ptr<detail::StatePool> pool_;
+
+    // Bottom: sorted ascending by (when, seq), consumed from
+    // bottomHead_ so pops are pointer bumps, not vector erases.
+    std::vector<Entry> bottom_;
+    std::size_t bottomHead_ = 0;
+
+    std::vector<Rung> rungs_; // [0] outermost, back() deepest
+
+    // Top: unsorted far-future pile. While the ladder is active,
+    // events at or past topStart_ land here; min/max track the range
+    // of the next spill.
+    std::vector<Entry> top_;
+    Seconds topStart_ = 0.0;
+    Seconds topMin_ = std::numeric_limits<double>::infinity();
+    Seconds topMax_ = -std::numeric_limits<double>::infinity();
+    bool ladderActive_ = false;
+
     Seconds now_ = 0.0;
     std::uint64_t nextSeq_ = 0;
-    std::size_t live_ = 0;
+    std::size_t live_ = 0;    // pending entries
+    std::size_t entries_ = 0; // stored entries incl. cancelled
 };
 
 inline void
@@ -259,7 +618,8 @@ EventHandle::cancel()
 {
     if (state_ && state_->status == detail::EventStatus::Pending) {
         state_->status = detail::EventStatus::Cancelled;
-        state_->queue->noteCancelled();
+        if (pool_->queue)
+            pool_->queue->noteCancelled();
     }
 }
 

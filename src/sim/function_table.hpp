@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Hot per-function simulation state as struct-of-arrays.
+ *
+ * The driver replays millions of invocations against catalogs that can
+ * reach 10^6 functions; policies scan per-function state every tick.
+ * Keeping that state in parallel dense vectors indexed by FunctionId
+ * makes those scans cache-linear instead of pointer-chasing through
+ * per-function heap objects.
+ *
+ * Id-space contract (DESIGN.md "Simulation core at scale"): FunctionId
+ * is the dense 0..numFunctions-1 id assigned by the trace layer
+ * (generator and loaders both enforce density), and is the ONLY key
+ * into this table. reset(n) sizes every column for n functions and
+ * zeroes it; all mutators are O(1) column writes. The table is plain
+ * data — it never schedules events or makes decisions — so mirroring
+ * it from driver call sites cannot perturb simulation results (the
+ * property suite round-trips it against an AoS oracle).
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+
+namespace codecrunch::sim {
+
+/**
+ * Struct-of-arrays per-function state: arrival recency/frequency,
+ * keep-alive deadline, warm/compressed residency, footprint class.
+ */
+class FunctionStateTable
+{
+  public:
+    /** lastArrival() before any arrival. */
+    static constexpr Seconds kNever =
+        -std::numeric_limits<double>::infinity();
+
+    FunctionStateTable() = default;
+
+    explicit FunctionStateTable(std::size_t numFunctions)
+    {
+        reset(numFunctions);
+    }
+
+    /** Size every column for `numFunctions` dense ids and zero it. */
+    void
+    reset(std::size_t numFunctions)
+    {
+        lastArrival_.assign(numFunctions, kNever);
+        arrivalCount_.assign(numFunctions, 0);
+        keepAliveDeadline_.assign(numFunctions, 0.0);
+        warmCount_.assign(numFunctions, 0);
+        compressedCount_.assign(numFunctions, 0);
+        memoryMb_.assign(numFunctions, 0.0f);
+        compressedMb_.assign(numFunctions, 0.0f);
+    }
+
+    std::size_t size() const { return lastArrival_.size(); }
+
+    // --- mutators (driver call sites) ------------------------------
+
+    void
+    noteArrival(FunctionId function, Seconds now)
+    {
+        check(function);
+        lastArrival_[function] = now;
+        ++arrivalCount_[function];
+    }
+
+    void
+    setKeepAliveDeadline(FunctionId function, Seconds when)
+    {
+        check(function);
+        keepAliveDeadline_[function] = when;
+    }
+
+    void
+    noteWarm(FunctionId function, int delta)
+    {
+        check(function);
+        bump(warmCount_[function], delta, "warm", function);
+    }
+
+    void
+    noteCompressed(FunctionId function, int delta)
+    {
+        check(function);
+        bump(compressedCount_[function], delta, "compressed",
+             function);
+    }
+
+    void
+    setFootprint(FunctionId function, MegaBytes memoryMb,
+                 MegaBytes compressedMb)
+    {
+        check(function);
+        memoryMb_[function] = static_cast<float>(memoryMb);
+        compressedMb_[function] = static_cast<float>(compressedMb);
+    }
+
+    // --- accessors (policy scans) ----------------------------------
+
+    Seconds
+    lastArrival(FunctionId function) const
+    {
+        check(function);
+        return lastArrival_[function];
+    }
+
+    std::uint64_t
+    arrivalCount(FunctionId function) const
+    {
+        check(function);
+        return arrivalCount_[function];
+    }
+
+    /** Latest scheduled warm-container expiry for the function. */
+    Seconds
+    keepAliveDeadline(FunctionId function) const
+    {
+        check(function);
+        return keepAliveDeadline_[function];
+    }
+
+    std::uint32_t
+    warmCount(FunctionId function) const
+    {
+        check(function);
+        return warmCount_[function];
+    }
+
+    std::uint32_t
+    compressedCount(FunctionId function) const
+    {
+        check(function);
+        return compressedCount_[function];
+    }
+
+    MegaBytes
+    memoryMb(FunctionId function) const
+    {
+        check(function);
+        return memoryMb_[function];
+    }
+
+    MegaBytes
+    compressedMb(FunctionId function) const
+    {
+        check(function);
+        return compressedMb_[function];
+    }
+
+    // Raw columns for cache-linear whole-catalog scans.
+    const std::vector<Seconds>& lastArrivals() const
+    {
+        return lastArrival_;
+    }
+    const std::vector<std::uint64_t>& arrivalCounts() const
+    {
+        return arrivalCount_;
+    }
+    const std::vector<Seconds>& keepAliveDeadlines() const
+    {
+        return keepAliveDeadline_;
+    }
+    const std::vector<std::uint32_t>& warmCounts() const
+    {
+        return warmCount_;
+    }
+    const std::vector<std::uint32_t>& compressedCounts() const
+    {
+        return compressedCount_;
+    }
+
+  private:
+    void
+    check(FunctionId function) const
+    {
+        if (function >= lastArrival_.size())
+            panic("FunctionStateTable: function ", function,
+                  " outside dense id space of ", lastArrival_.size());
+    }
+
+    static void
+    bump(std::uint32_t& counter, int delta, const char* what,
+         FunctionId function)
+    {
+        if (delta < 0 &&
+            counter < static_cast<std::uint32_t>(-delta))
+            panic("FunctionStateTable: ", what,
+                  " residency underflow for function ", function);
+        counter = static_cast<std::uint32_t>(
+            static_cast<int>(counter) + delta);
+    }
+
+    std::vector<Seconds> lastArrival_;
+    std::vector<std::uint64_t> arrivalCount_;
+    std::vector<Seconds> keepAliveDeadline_;
+    std::vector<std::uint32_t> warmCount_;
+    std::vector<std::uint32_t> compressedCount_;
+    std::vector<float> memoryMb_;
+    std::vector<float> compressedMb_;
+};
+
+} // namespace codecrunch::sim

@@ -83,7 +83,12 @@ AzureCsv::read(const std::string& countsPath,
                                           line.number, c + 1);
         };
         FunctionProfile f;
-        f.id = static_cast<FunctionId>(u64(0));
+        const std::uint64_t rawId = u64(0);
+        if (rawId >= kInvalidFunction)
+            fatal("AzureCsv: ", profilesPath, ":", line.number,
+                  ": column 1: function id ", rawId,
+                  " overflows 32-bit FunctionId");
+        f.id = static_cast<FunctionId>(rawId);
         f.name = row[1];
         f.catalogIndex = static_cast<std::size_t>(u64(2));
         f.memoryMb = num(3);
@@ -113,10 +118,22 @@ AzureCsv::read(const std::string& countsPath,
         fatal("AzureCsv: ", countsPath, ":", countLines[0].number,
               ": header needs at least one minute column");
     const std::size_t minutes = countLines[0].fields.size() - 2;
+    // Minute columns are positional, so a reordered (or mislabeled)
+    // header silently shifts every arrival. Reject out-of-order
+    // minute columns up front.
+    for (std::size_t m = 0; m < minutes; ++m) {
+        const std::string expected = "m" + std::to_string(m);
+        if (countLines[0].fields[m + 2] != expected)
+            fatal("AzureCsv: ", countsPath, ":", countLines[0].number,
+                  ": column ", m + 3, ": out-of-order minute column '",
+                  countLines[0].fields[m + 2], "', expected '",
+                  expected, "'");
+    }
     workload.duration =
         static_cast<Seconds>(minutes) * kSecondsPerMinute;
 
     Rng rng(seed);
+    std::vector<bool> seen(workload.functions.size(), false);
     for (std::size_t r = 1; r < countLines.size(); ++r) {
         const CsvLine& line = countLines[r];
         const auto& row = line.fields;
@@ -124,14 +141,27 @@ AzureCsv::read(const std::string& countsPath,
             fatal("AzureCsv: ", countsPath, ":", line.number,
                   ": ragged row with ", row.size(),
                   " fields, expected ", minutes + 2);
-        const FunctionId id = static_cast<FunctionId>(
-            CsvReader::parseU64(row[0], countsPath, line.number, 1));
-        if (id >= workload.functions.size())
+        const std::uint64_t rawId =
+            CsvReader::parseU64(row[0], countsPath, line.number, 1);
+        if (rawId >= workload.functions.size())
             fatal("AzureCsv: ", countsPath, ":", line.number,
-                  ": counts refer to unknown function ", id);
+                  ": counts refer to unknown function ", rawId);
+        const FunctionId id = static_cast<FunctionId>(rawId);
+        if (seen[id])
+            fatal("AzureCsv: ", countsPath, ":", line.number,
+                  ": column 1: duplicate function id ", id);
+        seen[id] = true;
         for (std::size_t m = 0; m < minutes; ++m) {
             const std::uint64_t count = CsvReader::parseU64(
                 row[m + 2], countsPath, line.number, m + 3);
+            // A corrupt cell (e.g. 2^32-scale garbage) would try to
+            // materialize billions of invocations; no real trace
+            // minute comes near this.
+            if (count > kMaxInvocationsPerMinute)
+                fatal("AzureCsv: ", countsPath, ":", line.number,
+                      ": column ", m + 3, ": invocation count ",
+                      count, " exceeds per-minute sanity cap ",
+                      kMaxInvocationsPerMinute);
             for (std::uint64_t k = 0; k < count; ++k) {
                 const Seconds arrival =
                     (static_cast<double>(m) + rng.uniform()) *

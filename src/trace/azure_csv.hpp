@@ -7,6 +7,7 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "trace/workload.hpp"
@@ -19,6 +20,15 @@ namespace codecrunch::trace {
 class AzureCsv
 {
   public:
+    /**
+     * Sanity cap on a single per-minute invocation-count cell.
+     * Corrupt cells (truncated writes, 2^32-scale garbage) otherwise
+     * expand into billions of in-memory invocations before anything
+     * notices; no real trace minute comes near this.
+     */
+    static constexpr std::uint64_t kMaxInvocationsPerMinute =
+        10'000'000;
+
     /**
      * Write the invocation-count matrix: one row per function —
      * id, name, then one count column per trace minute (the Azure

@@ -104,13 +104,35 @@ AzureDataset::load(const std::string& invocationsCsv,
               "'1'");
     const std::size_t minutes = header.size() -
         static_cast<std::size_t>(firstMinuteCol);
+    // Minute columns are read positionally after the first one, so a
+    // shuffled header would silently reorder every arrival. Require
+    // the real dataset's "1".."1440" ascending sequence.
+    for (std::size_t m = 0; m < minutes; ++m) {
+        const std::string expected = std::to_string(m + 1);
+        if (header[firstMinuteCol + m] != expected)
+            fatal("AzureDataset: ", invocationsCsv, ":",
+                  lines[0].number, ": column ",
+                  firstMinuteCol + m + 1,
+                  ": out-of-order minute column '",
+                  header[firstMinuteCol + m], "', expected '",
+                  expected, "'");
+    }
 
     // Rank rows by total volume when truncation is requested.
     std::vector<std::size_t> order;
     std::vector<std::size_t> volume(lines.size(), 0);
+    std::unordered_map<std::string, std::size_t> firstRowOf;
     for (std::size_t r = 1; r < lines.size(); ++r) {
         CsvReader::requireFields(lines[r], header.size(),
                                  invocationsCsv);
+        const auto inserted =
+            firstRowOf.emplace(functionKey(lines[r].fields), r);
+        if (!inserted.second)
+            fatal("AzureDataset: ", invocationsCsv, ":",
+                  lines[r].number,
+                  ": column 3: duplicate function id '",
+                  lines[r].fields[2], "' (first seen at line ",
+                  lines[inserted.first->second].number, ")");
         order.push_back(r);
         for (std::size_t m = 0; m < minutes; ++m) {
             const auto& cell = lines[r].fields[firstMinuteCol + m];
@@ -128,6 +150,20 @@ AzureDataset::load(const std::string& invocationsCsv,
     if (options.maxFunctions > 0 &&
         order.size() > options.maxFunctions)
         order.resize(options.maxFunctions);
+
+    // Catalog scaling: sample base rows with replacement until the
+    // requested function count is reached. Clones get fresh dense
+    // ids below and independently re-jittered sub-minute arrivals,
+    // so the scaled trace keeps the base rate mix.
+    if (options.scaleFunctions > order.size() && !order.empty()) {
+        Rng sampler(options.seed ^ 0x5ca1ab1edecafull);
+        const std::size_t base = order.size();
+        order.reserve(options.scaleFunctions);
+        while (order.size() < options.scaleFunctions)
+            order.push_back(order[static_cast<std::size_t>(
+                sampler.uniformInt(
+                    0, static_cast<std::int64_t>(base) - 1))]);
+    }
 
     Workload workload;
     workload.duration =

@@ -45,6 +45,14 @@ class AzureDataset
         /** Keep at most this many functions (by invocation volume;
          * 0 = all). The full dataset has tens of thousands per day. */
         std::size_t maxFunctions = 0;
+        /**
+         * Scale the catalog UP to this many functions by sampling the
+         * kept base functions with replacement (0 = off). Clones get
+         * fresh dense ids and independently jittered arrivals, so
+         * rate mix and popularity shape survive scaling — the knob
+         * behind the scale experiments' `--scale-functions N`.
+         */
+        std::size_t scaleFunctions = 0;
         /** Sub-minute arrival placement seed. */
         std::uint64_t seed = 1;
         /** Compression model used to derive per-function codec

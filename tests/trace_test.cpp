@@ -468,6 +468,125 @@ TEST(AzureCsv, RaggedCountsRowNamesFileAndLine)
     std::remove(profiles.c_str());
 }
 
+// --- loader fuzz hardening --------------------------------------------------
+// Malformed-input variants the scale work made cheap to hit: every one
+// must die with a file:line:column message, never a silent mis-parse.
+
+namespace {
+
+/** Rewrite one CSV in place through a row-editing callback. */
+template <typename Fn>
+void
+rewriteCsv(const std::string& path, Fn&& edit)
+{
+    const auto lines = CsvReader::readFileNumbered(path);
+    CsvWriter out(path);
+    for (const auto& line : lines) {
+        CsvRow row = line.fields;
+        edit(line.number, row);
+        out.writeRow(row);
+    }
+}
+
+} // namespace
+
+TEST(AzureCsv, DuplicateFunctionIdNamesFileLineAndColumn)
+{
+    const auto workload = TraceGenerator::generate(smallConfig());
+    const std::string counts = "/tmp/cc_test_counts6.csv";
+    const std::string profiles = "/tmp/cc_test_profiles6.csv";
+    AzureCsv::writeInvocationCounts(workload, counts);
+    AzureCsv::writeProfiles(workload, profiles);
+    // Point line 3's id at line 2's function: same id twice.
+    rewriteCsv(counts, [](std::size_t number, CsvRow& row) {
+        if (number == 3)
+            row[0] = "0";
+    });
+    EXPECT_DEATH(AzureCsv::read(counts, profiles),
+                 "cc_test_counts6.csv:3: column 1: duplicate "
+                 "function id 0");
+    std::remove(counts.c_str());
+    std::remove(profiles.c_str());
+}
+
+TEST(AzureCsv, OutOfOrderMinuteColumnsRejected)
+{
+    const auto workload = TraceGenerator::generate(smallConfig());
+    const std::string counts = "/tmp/cc_test_counts7.csv";
+    const std::string profiles = "/tmp/cc_test_profiles7.csv";
+    AzureCsv::writeInvocationCounts(workload, counts);
+    AzureCsv::writeProfiles(workload, profiles);
+    // Swap the first two minute columns in the header: positional
+    // reads would silently shift every arrival by a minute.
+    rewriteCsv(counts, [](std::size_t number, CsvRow& row) {
+        if (number == 1)
+            std::swap(row[2], row[3]);
+    });
+    EXPECT_DEATH(AzureCsv::read(counts, profiles),
+                 "cc_test_counts7.csv:1: column 3: out-of-order "
+                 "minute column 'm1', expected 'm0'");
+    std::remove(counts.c_str());
+    std::remove(profiles.c_str());
+}
+
+TEST(AzureCsv, FunctionIdOverflowing32BitsRejected)
+{
+    const auto workload = TraceGenerator::generate(smallConfig());
+    const std::string counts = "/tmp/cc_test_counts8.csv";
+    const std::string profiles = "/tmp/cc_test_profiles8.csv";
+    AzureCsv::writeInvocationCounts(workload, counts);
+    AzureCsv::writeProfiles(workload, profiles);
+    rewriteCsv(profiles, [](std::size_t number, CsvRow& row) {
+        if (number == 2)
+            row[0] = "4294967295"; // == kInvalidFunction sentinel
+    });
+    EXPECT_DEATH(AzureCsv::read(counts, profiles),
+                 "cc_test_profiles8.csv:2: column 1: function id "
+                 "4294967295 overflows 32-bit FunctionId");
+    std::remove(counts.c_str());
+    std::remove(profiles.c_str());
+}
+
+TEST(AzureCsv, AbsurdInvocationCountRejected)
+{
+    const auto workload = TraceGenerator::generate(smallConfig());
+    const std::string counts = "/tmp/cc_test_counts9.csv";
+    const std::string profiles = "/tmp/cc_test_profiles9.csv";
+    AzureCsv::writeInvocationCounts(workload, counts);
+    AzureCsv::writeProfiles(workload, profiles);
+    // A 2^32-scale count cell would try to materialize billions of
+    // invocation records before anything else could object.
+    rewriteCsv(counts, [](std::size_t number, CsvRow& row) {
+        if (number == 2)
+            row[2] = "4294967296";
+    });
+    EXPECT_DEATH(AzureCsv::read(counts, profiles),
+                 "cc_test_counts9.csv:2: column 3: invocation count "
+                 "4294967296 exceeds per-minute sanity cap");
+    std::remove(counts.c_str());
+    std::remove(profiles.c_str());
+}
+
+TEST(AzureCsv, NaNNumericFieldRejected)
+{
+    const auto workload = TraceGenerator::generate(smallConfig());
+    const std::string counts = "/tmp/cc_test_counts10.csv";
+    const std::string profiles = "/tmp/cc_test_profiles10.csv";
+    AzureCsv::writeInvocationCounts(workload, counts);
+    AzureCsv::writeProfiles(workload, profiles);
+    // strtod() happily parses "nan"; the reader must still reject it
+    // (non-finite rates poison every downstream mean).
+    rewriteCsv(profiles, [](std::size_t number, CsvRow& row) {
+        if (number == 2)
+            row[7] = "nan";
+    });
+    EXPECT_DEATH(AzureCsv::read(counts, profiles),
+                 "cc_test_profiles10.csv:2: column 8: expected "
+                 "number, got 'nan'");
+    std::remove(counts.c_str());
+    std::remove(profiles.c_str());
+}
+
 // --- Azure public dataset loader -----------------------------------------------
 
 namespace {
@@ -606,6 +725,102 @@ TEST(AzureDataset, TruncatedInvocationRowNamesFileAndLine)
                                     files.durations, files.memory,
                                     options),
                  "cc_azure_test_inv.csv:3: expected 8 fields, got 6");
+}
+
+TEST(AzureDataset, OutOfOrderMinuteColumnsRejected)
+{
+    AzureFixtureFiles files;
+    {
+        std::ofstream inv(files.invocations);
+        inv << "HashOwner,HashApp,HashFunction,Trigger,1,2,4,3\n"
+            << "o1,a1,f1,http,2,0,1,0\n";
+    }
+    AzureDataset::Options options;
+    EXPECT_DEATH(AzureDataset::load(files.invocations,
+                                    files.durations, files.memory,
+                                    options),
+                 "cc_azure_test_inv.csv:1: column 7: out-of-order "
+                 "minute column '4', expected '3'");
+}
+
+TEST(AzureDataset, DuplicateFunctionRowRejected)
+{
+    AzureFixtureFiles files;
+    {
+        std::ofstream inv(files.invocations);
+        inv << "HashOwner,HashApp,HashFunction,Trigger,1,2,3,4\n"
+            << "o1,a1,f1,http,2,0,1,0\n"
+            << "o2,a2,f3,queue,5,5,5,5\n"
+            << "o1,a1,f1,timer,0,1,0,1\n"; // same owner/app/function
+    }
+    AzureDataset::Options options;
+    EXPECT_DEATH(AzureDataset::load(files.invocations,
+                                    files.durations, files.memory,
+                                    options),
+                 "cc_azure_test_inv.csv:4: column 3: duplicate "
+                 "function id 'f1' \\(first seen at line 2\\)");
+}
+
+TEST(AzureDataset, NaNDurationRejected)
+{
+    AzureFixtureFiles files;
+    {
+        std::ofstream dur(files.durations);
+        dur << "HashOwner,HashApp,HashFunction,Average,Count\n"
+            << "o1,a1,f1,nan,10\n";
+    }
+    AzureDataset::Options options;
+    EXPECT_DEATH(AzureDataset::load(files.invocations,
+                                    files.durations, files.memory,
+                                    options),
+                 "cc_azure_test_dur.csv:2: column 4: expected "
+                 "number, got 'nan'");
+}
+
+TEST(AzureDataset, ScaleFunctionsSamplesWithReplacement)
+{
+    AzureFixtureFiles files;
+    AzureDataset::Options options;
+    options.scaleFunctions = 12;
+    const auto workload = AzureDataset::load(
+        files.invocations, files.durations, files.memory, options);
+    // 3 base functions scaled up to 12 by sampling with replacement;
+    // clones get fresh dense ids and their own jittered arrivals.
+    ASSERT_EQ(workload.functions.size(), 12u);
+    for (std::size_t i = 0; i < workload.functions.size(); ++i)
+        EXPECT_EQ(workload.functions[i].id, i);
+    // Every clone replays its base row's per-minute counts, so the
+    // total at least covers the base trace (3 + 2 + 20 arrivals).
+    EXPECT_GE(workload.invocations.size(), 25u);
+    for (const auto& inv : workload.invocations) {
+        EXPECT_LT(inv.function, workload.functions.size());
+        EXPECT_LT(inv.arrival, workload.duration);
+    }
+    // Same options => byte-identical workload (sampling is seeded).
+    const auto again = AzureDataset::load(
+        files.invocations, files.durations, files.memory, options);
+    ASSERT_EQ(again.invocations.size(),
+              workload.invocations.size());
+    for (std::size_t i = 0; i < workload.invocations.size(); ++i) {
+        EXPECT_EQ(again.invocations[i].function,
+                  workload.invocations[i].function);
+        EXPECT_DOUBLE_EQ(again.invocations[i].arrival,
+                         workload.invocations[i].arrival);
+    }
+}
+
+TEST(AzureDataset, ScaleFunctionsBelowBaseIsANoOp)
+{
+    AzureFixtureFiles files;
+    AzureDataset::Options plain;
+    AzureDataset::Options scaled;
+    scaled.scaleFunctions = 2; // below the 3 base functions
+    const auto a = AzureDataset::load(
+        files.invocations, files.durations, files.memory, plain);
+    const auto b = AzureDataset::load(
+        files.invocations, files.durations, files.memory, scaled);
+    EXPECT_EQ(a.functions.size(), b.functions.size());
+    EXPECT_EQ(a.invocations.size(), b.invocations.size());
 }
 
 TEST(AzureDataset, CompressionFieldsAreDerived)

@@ -42,6 +42,15 @@ seconds-scale scenario so the whole suite fits in a CI job):
                wall.dist.worker*.jobs counters == total - K), and that
                the final artifact is byte-identical to the local run
                (``dist_resume_<bench>`` ctest target).
+  stress       run the bench once with ``--stress`` instead of
+               ``--golden-mode``. The bench itself asserts its
+               wall-clock / peak-RSS budgets and the serial-vs-threaded
+               byte identity in-process and exits nonzero on any
+               violation, so this mode just propagates the exit status
+               (and keeps stdout in the ctest log — the budget numbers
+               are the interesting output). This is the
+               ``stress_fig_scale`` ctest target (LABELS stress,
+               CC_STRESS_TESTS=ON only).
 
 Exit status: 0 on success, 1 on mismatch, 2 on usage/exec errors.
 """
@@ -63,7 +72,7 @@ def parse_args(argv):
     parser.add_argument("--mode", required=True,
                         choices=["diff", "determinism", "update",
                                  "dist", "dist-kill", "dist-chaos",
-                                 "dist-resume"])
+                                 "dist-resume", "stress"])
     parser.add_argument("--bench", required=True,
                         help="path to the bench executable")
     parser.add_argument("--name", required=True,
@@ -147,6 +156,31 @@ def main(argv=None):
     os.makedirs(args.out_dir, exist_ok=True)
     golden = os.path.join(args.golden_dir,
                           f"{args.name}.golden.json")
+
+    if args.mode == "stress":
+        out = os.path.join(args.out_dir, f"{args.name}.json")
+        cmd = [args.bench, "--stress", "--quiet",
+               "--threads", str(args.threads), "--json", out]
+        try:
+            # stdout stays attached: the budget table is the output a
+            # nightly-log reader wants to see.
+            proc = subprocess.run(cmd)
+        except OSError as err:
+            print(f"error: cannot run {args.bench}: {err}",
+                  file=sys.stderr)
+            return 2
+        if proc.returncode != 0:
+            print(f"{args.name}: stress run exited "
+                  f"{proc.returncode} (budget or serial-vs-threaded "
+                  "identity violation)", file=sys.stderr)
+            return 1
+        if not os.path.exists(out):
+            print(f"{args.name}: stress run wrote no artifact at "
+                  f"{out}", file=sys.stderr)
+            return 1
+        print(f"{args.name}: stress budgets held and serial == "
+              f"--threads {args.threads}")
+        return 0
 
     if args.mode == "determinism":
         serial = os.path.join(args.out_dir,
