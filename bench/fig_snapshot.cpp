@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Snapshot-mode frontier: compression-only vs snapshot-only vs the
+ * hybrid {keep warm, compress, snapshot, evict} decision space, on one
+ * budget-normalized workload. The two mechanisms cover complementary
+ * regimes — compression wins on small, highly compressible images
+ * whose decompression is fast; snapshot restore wins on big-footprint,
+ * poorly compressing functions whose working set is a fraction of the
+ * container (vHive/REAP-style restore beats both decompression and a
+ * full cold start there). The hybrid controller picks per function and
+ * should dominate (or tie) both ablations on the aggregate
+ * latency-vs-cost objective.
+ *
+ * Catalog classes: every function is bucketed by its archetype's
+ * compressibility (high/low) x memory footprint (big/small), and the
+ * per-class mean service times are reported so the complementary
+ * regimes are visible, not just the aggregate.
+ *
+ * Runs on the RunEngine: SitW establishes the budget, then the three
+ * controller variants execute as one concurrent plan.
+ */
+#include "bench/bench_common.hpp"
+#include "common/stats.hpp"
+
+using namespace codecrunch;
+using namespace codecrunch::bench;
+
+namespace {
+
+/** Catalog class of one function: compressibility x footprint. */
+struct ClassDef {
+    const char* name;
+    bool compressible; // compressibility >= 0.5
+    bool big;          // memoryMb >= 1024
+};
+
+constexpr ClassDef kClasses[] = {
+    {"small/compressible", true, false},
+    {"small/incompressible", false, false},
+    {"big/compressible", true, true},
+    {"big/incompressible", false, true},
+};
+
+int
+classOf(const trace::FunctionProfile& profile)
+{
+    const bool compressible = profile.compressibility >= 0.5;
+    const bool big = profile.memoryMb >= 1024.0;
+    for (int c = 0; c < 4; ++c) {
+        if (kClasses[c].compressible == compressible &&
+            kClasses[c].big == big)
+            return c;
+    }
+    return 0; // unreachable
+}
+
+/**
+ * Latency-vs-cost aggregate: mean service seconds plus the residency
+ * dollars (keep-alive + snapshot storage) priced into seconds. All
+ * variants already run under the same SitW-normalized budget
+ * creditor, so spends land within a few percent of each other; the
+ * price only needs to charge a variant that buys its latency with
+ * materially higher residency spend, not to dominate the objective.
+ */
+constexpr double kSecondsPerDollar = 2.0;
+
+double
+aggregateObjective(const RunResult& result)
+{
+    return result.metrics.meanServiceTime() +
+           kSecondsPerDollar *
+               (result.keepAliveSpend + result.snapshotStorageSpend);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const BenchOptions options =
+        parseBenchOptions(argc, argv, "fig_snapshot");
+    Harness harness(benchScenario(options));
+    BenchEngine bench(options);
+
+    // Budget dependency: one visible SitW run.
+    runner::SimPlan budgetPlan("fig_snapshot/budget");
+    runner::addSimJob(budgetPlan, "SitW", harness,
+                      [] { return std::make_unique<policy::SitW>(); });
+    harness.primeBudgetRate(bench.engine.run(budgetPlan).front());
+
+    runner::SimPlan plan("fig_snapshot/variants");
+    const auto addVariant = [&](auto mutate) {
+        auto config = harness.codecrunchConfig();
+        mutate(config);
+        runner::addSimJob(plan, core::CodeCrunch(config).name(),
+                          harness, [config] {
+                              return std::make_unique<
+                                  core::CodeCrunch>(config);
+                          });
+    };
+    // Hybrid: the full {keep warm, compress, snapshot, evict} space.
+    addVariant([](core::CodeCrunchConfig&) {});
+    // Compression-only: the paper's original decision space.
+    addVariant(
+        [](core::CodeCrunchConfig& c) { c.useSnapshot = false; });
+    // Snapshot-only: no compression, snapshots carry the misses.
+    addVariant(
+        [](core::CodeCrunchConfig& c) { c.useCompression = false; });
+    const auto results = bench.engine.run(plan);
+
+    printBanner("Snapshot frontier: hybrid vs single-mechanism "
+                "ablations");
+    ConsoleTable table;
+    table.header({"policy", "mean (s)", "p95 (s)", "warm starts",
+                  "compressed", "snapshot", "keep-alive $",
+                  "snapshot $", "objective (s)"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& m = results[i].metrics;
+        table.addRow(plan.jobs()[i].label, m.meanServiceTime(),
+                     m.serviceQuantile(0.95),
+                     ConsoleTable::pct(m.warmStartFraction()),
+                     m.compressedStarts(), m.snapshotStarts(),
+                     ConsoleTable::num(results[i].keepAliveSpend, 3),
+                     ConsoleTable::num(
+                         results[i].snapshotStorageSpend, 3),
+                     ConsoleTable::num(
+                         aggregateObjective(results[i]), 3));
+    }
+    table.print();
+
+    // Per-class mean service: the complementary-regime picture. Class
+    // membership is a pure function of the catalog archetype, so the
+    // same functions land in the same buckets for every variant.
+    printBanner("Mean service by catalog class "
+                "(compressibility x footprint)");
+    ConsoleTable classes;
+    classes.header({"class", "functions", plan.jobs()[0].label,
+                    plan.jobs()[1].label, plan.jobs()[2].label});
+    std::size_t classFunctions[4] = {0, 0, 0, 0};
+    for (const auto& profile : harness.workload().functions)
+        ++classFunctions[classOf(profile)];
+    RunningStat classService[3][4];
+    for (std::size_t v = 0; v < results.size(); ++v) {
+        for (const auto& r : results[v].metrics.records()) {
+            const int c =
+                classOf(harness.workload().profile(r.function));
+            classService[v][c].add(r.service());
+        }
+    }
+    for (int c = 0; c < 4; ++c) {
+        classes.addRow(
+            kClasses[c].name, classFunctions[c],
+            ConsoleTable::num(classService[0][c].mean(), 3),
+            ConsoleTable::num(classService[1][c].mean(), 3),
+            ConsoleTable::num(classService[2][c].mean(), 3));
+    }
+    classes.print();
+    paperNote("hybrid should dominate or tie both ablations on the "
+              "objective; big/incompressible is snapshot territory, "
+              "small/compressible is compression territory");
+
+    runner::ReportMeta meta;
+    meta.bench = "fig_snapshot";
+    meta.numbers.emplace_back("sitw_budget_rate_usd_per_s",
+                              harness.sitwBudgetRate());
+    meta.numbers.emplace_back("objective_seconds_per_dollar",
+                              kSecondsPerDollar);
+    std::vector<PolicyRun> runs;
+    for (std::size_t i = 0; i < results.size(); ++i)
+        runs.push_back({plan.jobs()[i].label, results[i]});
+    runner::writeRunReport(
+        options.jsonPath, meta, runs,
+        [&](runner::JsonWriter& json, const PolicyRun& run,
+            std::size_t index) {
+            json.field("objective_s",
+                       aggregateObjective(run.result));
+            json.key("service_by_class");
+            json.beginObject();
+            for (int c = 0; c < 4; ++c) {
+                json.key(kClasses[c].name);
+                json.beginObject();
+                json.field("functions", classFunctions[c]);
+                json.field("invocations",
+                           classService[index][c].count());
+                json.field("mean_service_s",
+                           classService[index][c].mean());
+                json.endObject();
+            }
+            json.endObject();
+        });
+    return 0;
+}

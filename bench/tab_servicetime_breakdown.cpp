@@ -53,7 +53,7 @@ main(int argc, char** argv)
 
     printBanner("Service time by start category (Oracle run, best "
                 "processor per function)");
-    RunningStat warm, compressed, cold;
+    RunningStat warm, compressed, cold, snapshot;
     for (const auto& r : oracleRun.metrics.records()) {
         switch (r.start) {
           case StartType::Warm:
@@ -64,6 +64,9 @@ main(int argc, char** argv)
             break;
           case StartType::Cold:
             cold.add(r.service());
+            break;
+          case StartType::Snapshot:
+            snapshot.add(r.service());
             break;
         }
     }
@@ -79,6 +82,11 @@ main(int argc, char** argv)
                       "6.99");
     categories.addRow("cold", cold.count(),
                       ConsoleTable::num(cold.mean(), 2), "10.20");
+    categories.addRow("snapshot restore", snapshot.count(),
+                      snapshot.count()
+                          ? ConsoleTable::num(snapshot.mean(), 2)
+                          : "-",
+                      "-");
     categories.print();
 
     printBanner("Decompression / compression time statistics "
@@ -122,7 +130,7 @@ main(int argc, char** argv)
             std::size_t index) {
             if (index == 0) {
                 // Oracle: per-start-category service means.
-                RunningStat w, c, k;
+                RunningStat w, c, k, s;
                 for (const auto& r : run.result.metrics.records()) {
                     switch (r.start) {
                       case StartType::Warm: w.add(r.service()); break;
@@ -130,6 +138,9 @@ main(int argc, char** argv)
                         c.add(r.service());
                         break;
                       case StartType::Cold: k.add(r.service()); break;
+                      case StartType::Snapshot:
+                        s.add(r.service());
+                        break;
                     }
                 }
                 json.key("service_by_start");
@@ -137,6 +148,7 @@ main(int argc, char** argv)
                 json.field("warm_mean_s", w.mean());
                 json.field("warm_compressed_mean_s", c.mean());
                 json.field("cold_mean_s", k.mean());
+                json.field("snapshot_mean_s", s.mean());
                 json.endObject();
             } else {
                 // CodeCrunch: (de)compression latency statistics.

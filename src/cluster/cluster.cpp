@@ -113,6 +113,9 @@ Cluster::markDown(NodeId id)
         panic("Cluster: markDown on undrained node ", id, " (",
               node.coresUsed, " cores, ", node.execMemoryMb,
               " MB exec, ", node.warmMemoryMb, " MB warm)");
+    if (node.snapshotStorageMb > kMemEps)
+        panic("Cluster: markDown on node ", id, " still holding ",
+              node.snapshotStorageMb, " MB of snapshots");
     node.down = true;
     ++downNodes_;
 }
@@ -369,6 +372,130 @@ Cluster::resizeWarm(ContainerId id, MegaBytes newMemoryMb,
     container.compressed = nowCompressed;
 }
 
+std::optional<SnapshotId>
+Cluster::addSnapshot(NodeId nodeId, FunctionId function,
+                     MegaBytes sizeMb, Seconds now)
+{
+    Node& node = nodes_.at(nodeId);
+    if (node.down)
+        panic("Cluster: addSnapshot on down node ", nodeId);
+    const MegaBytes budget = config_.snapshotStoragePerNodeMb;
+    if (sizeMb > budget + kMemEps)
+        return std::nullopt;
+    // Storage-budget eviction: drop least-recently-used snapshots on
+    // this node (ties by lowest id — deterministic) until it fits.
+    while (node.snapshotStorageMb + sizeMb > budget + kMemEps) {
+        SnapshotId victim = kInvalidSnapshot;
+        Seconds oldest = 0.0;
+        for (const auto& [sid, record] : snapshotPool_) {
+            if (record.node != nodeId)
+                continue;
+            if (victim == kInvalidSnapshot ||
+                record.lastUsed < oldest ||
+                (record.lastUsed == oldest && sid < victim)) {
+                victim = sid;
+                oldest = record.lastUsed;
+            }
+        }
+        if (victim == kInvalidSnapshot)
+            panic("Cluster: snapshot storage accounting out of sync on "
+                  "node ", nodeId);
+        removeSnapshot(victim, now);
+        ++snapshotsEvictedForStorage_;
+    }
+    node.snapshotStorageMb += sizeMb;
+
+    SnapshotRecord record;
+    record.id = nextSnapshot_++;
+    record.function = function;
+    record.node = nodeId;
+    record.sizeMb = sizeMb;
+    record.since = now;
+    record.lastUsed = now;
+    record.lastAccrual = now;
+    snapshotsByFn_[function].push_back(record.id);
+    if (function >= snapshotCountByFn_.size())
+        snapshotCountByFn_.resize(function + 1, 0);
+    ++snapshotCountByFn_[function];
+    const SnapshotId id = record.id;
+    snapshotPool_.emplace(id, record);
+    return id;
+}
+
+SnapshotRecord
+Cluster::removeSnapshot(SnapshotId id, Seconds now)
+{
+    const auto it = snapshotPool_.find(id);
+    if (it == snapshotPool_.end())
+        panic("Cluster: removeSnapshot of unknown snapshot ", id);
+    accrueSnapshot(it->second, now);
+    SnapshotRecord record = it->second;
+
+    Node& node = nodes_.at(record.node);
+    node.snapshotStorageMb -= record.sizeMb;
+    if (node.snapshotStorageMb < -kMemEps)
+        panic("Cluster: snapshot storage underflow on node ",
+              record.node);
+    node.snapshotStorageMb = std::max(0.0, node.snapshotStorageMb);
+
+    auto& list = snapshotsByFn_[record.function];
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+    if (list.empty())
+        snapshotsByFn_.erase(record.function);
+    if (record.function >= snapshotCountByFn_.size() ||
+        snapshotCountByFn_[record.function] == 0)
+        panic("Cluster: snapshot residency underflow for function ",
+              record.function);
+    --snapshotCountByFn_[record.function];
+    snapshotPool_.erase(it);
+    return record;
+}
+
+const std::vector<SnapshotId>&
+Cluster::snapshotsFor(FunctionId function) const
+{
+    static const std::vector<SnapshotId> kEmpty;
+    const auto it = snapshotsByFn_.find(function);
+    return it == snapshotsByFn_.end() ? kEmpty : it->second;
+}
+
+const SnapshotRecord&
+Cluster::snapshot(SnapshotId id) const
+{
+    const auto it = snapshotPool_.find(id);
+    if (it == snapshotPool_.end())
+        panic("Cluster: snapshot() of unknown snapshot ", id);
+    return it->second;
+}
+
+void
+Cluster::noteSnapshotUsed(SnapshotId id, Seconds now)
+{
+    const auto it = snapshotPool_.find(id);
+    if (it == snapshotPool_.end())
+        panic("Cluster: noteSnapshotUsed of unknown snapshot ", id);
+    it->second.lastUsed = std::max(it->second.lastUsed, now);
+}
+
+std::vector<SnapshotId>
+Cluster::snapshotsOnNode(NodeId node) const
+{
+    std::vector<SnapshotId> ids;
+    for (const auto& [id, record] : snapshotPool_) {
+        if (record.node == node)
+            ids.push_back(id);
+    }
+    return ids;
+}
+
+std::size_t
+Cluster::snapshotCount(FunctionId function) const
+{
+    return function < snapshotCountByFn_.size()
+        ? snapshotCountByFn_[function]
+        : 0;
+}
+
 std::optional<ContainerId>
 Cluster::findWarm(FunctionId function) const
 {
@@ -381,6 +508,14 @@ Cluster::findWarm(FunctionId function) const
             return id;
     }
     return it->second.front();
+}
+
+const std::vector<ContainerId>&
+Cluster::warmFor(FunctionId function) const
+{
+    static const std::vector<ContainerId> kEmpty;
+    const auto it = warmByFn_.find(function);
+    return it == warmByFn_.end() ? kEmpty : it->second;
 }
 
 const WarmContainer&
@@ -413,6 +548,21 @@ Cluster::accrueAll(Seconds now)
 {
     for (auto& [id, container] : warmPool_)
         accrueOne(container, now);
+    for (auto& [id, record] : snapshotPool_)
+        accrueSnapshot(record, now);
+}
+
+void
+Cluster::accrueSnapshot(SnapshotRecord& record, Seconds now)
+{
+    if (now < record.lastAccrual - kMemEps)
+        panic("Cluster: snapshot accrual time moved backwards");
+    const Seconds dt = std::max(0.0, now - record.lastAccrual);
+    const Node& node = nodes_.at(record.node);
+    snapshotSpend_ += node.costRatePerMbSecond *
+                      config_.snapshotStorageCostFactor *
+                      record.sizeMb * dt;
+    record.lastAccrual = now;
 }
 
 void

@@ -70,6 +70,19 @@ struct ClusterConfig {
      * domain is still used when nothing else fits). 0 disables.
      */
     Seconds domainCooldownSeconds = 0.0;
+
+    /**
+     * Local snapshot storage budget per node (MB). Snapshots live on
+     * node-local disk, separate from warm memory; adding one past the
+     * budget evicts least-recently-used snapshots on that node.
+     */
+    MegaBytes snapshotStoragePerNodeMb = 64 * 1024;
+    /**
+     * Snapshot storage cost rate as a fraction of the node's keep-alive
+     * memory rate (disk byte-seconds are far cheaper than DRAM
+     * byte-seconds; 0.02 models local NVMe at ~2% of memory cost).
+     */
+    double snapshotStorageCostFactor = 0.02;
 };
 
 /** Live state of one worker node. */
@@ -88,6 +101,8 @@ struct Node {
     MegaBytes execMemoryMb = 0;
     /** Memory used by warm (idle) containers. */
     MegaBytes warmMemoryMb = 0;
+    /** Node-local disk used by resident snapshots (MB). */
+    MegaBytes snapshotStorageMb = 0;
     /** True while the node is crashed (fault injection). */
     bool down = false;
 
@@ -136,6 +151,32 @@ struct WarmContainer {
             ? 0.0
             : std::max(0.0, committedDollars - accruedDollars);
     }
+};
+
+/** Identifier of a resident function snapshot. */
+using SnapshotId = std::uint64_t;
+
+/** Sentinel for "no snapshot". */
+inline constexpr SnapshotId kInvalidSnapshot = UINT64_MAX;
+
+/**
+ * One resident function snapshot on node-local disk. Unlike a warm
+ * container, a snapshot is not consumed by a start: restoring from it
+ * leaves it resident, so one snapshot serves any number of restores
+ * until storage pressure or an explicit drop evicts it.
+ */
+struct SnapshotRecord {
+    SnapshotId id = kInvalidSnapshot;
+    FunctionId function = kInvalidFunction;
+    NodeId node = kInvalidNode;
+    /** Snapshot file size on disk (MB). */
+    MegaBytes sizeMb = 0;
+    /** When the snapshot became resident. */
+    Seconds since = 0.0;
+    /** Last restore from this snapshot (LRU eviction key). */
+    Seconds lastUsed = 0.0;
+    /** Last time storage cost was accrued. */
+    Seconds lastAccrual = 0.0;
 };
 
 /**
@@ -276,6 +317,13 @@ class Cluster
      */
     std::optional<ContainerId> findWarm(FunctionId function) const;
 
+    /**
+     * All warm containers for `function`, in residency order
+     * (deterministic). The driver's startability-aware warm-path scan
+     * iterates this instead of trusting findWarm's single pick.
+     */
+    const std::vector<ContainerId>& warmFor(FunctionId function) const;
+
     /** Warm container by id; panics if unknown. */
     const WarmContainer& warm(ContainerId id) const;
 
@@ -302,9 +350,77 @@ class Cluster
     /** Number of *compressed* warm containers for one function. O(1). */
     std::size_t compressedWarmCount(FunctionId function) const;
 
+    // --- snapshot residency -------------------------------------------
+
+    /**
+     * Register a resident snapshot of `sizeMb` on `node`. When the
+     * node's snapshot storage budget is exceeded, least-recently-used
+     * snapshots on that node are evicted (ties broken by lowest id)
+     * until the new one fits; their final storage cost is accrued.
+     * @return the new snapshot's id, or nullopt when `sizeMb` exceeds
+     *         the whole per-node budget (the snapshot can never fit).
+     */
+    std::optional<SnapshotId>
+    addSnapshot(NodeId node, FunctionId function, MegaBytes sizeMb,
+                Seconds now);
+
+    /**
+     * Drop a resident snapshot, accruing its final storage cost.
+     * @return the removed record.
+     */
+    SnapshotRecord removeSnapshot(SnapshotId id, Seconds now);
+
+    /**
+     * Resident snapshots of one function, in residency order
+     * (deterministic). Empty when none.
+     */
+    const std::vector<SnapshotId>&
+    snapshotsFor(FunctionId function) const;
+
+    /** Snapshot record by id; panics if unknown. */
+    const SnapshotRecord& snapshot(SnapshotId id) const;
+
+    /** Mark a snapshot as just used (LRU refresh). */
+    void noteSnapshotUsed(SnapshotId id, Seconds now);
+
+    /** Ids of all snapshots held on `node` (unordered). */
+    std::vector<SnapshotId> snapshotsOnNode(NodeId node) const;
+
+    /**
+     * Number of resident snapshots for one function. O(1): reads the
+     * dense per-function counter.
+     */
+    std::size_t snapshotCount(FunctionId function) const;
+
+    /** All resident snapshots (stable iteration order not guaranteed). */
+    const std::unordered_map<SnapshotId, SnapshotRecord>&
+    snapshotPool() const
+    {
+        return snapshotPool_;
+    }
+
+    /** Snapshots evicted by storage-budget pressure so far. */
+    std::uint64_t snapshotsEvictedForStorage() const
+    {
+        return snapshotsEvictedForStorage_;
+    }
+
+    /** Storage cost rate ($/MB-second) for snapshots on a node type. */
+    double
+    snapshotStorageRate(NodeType type) const
+    {
+        return costRate(type) * config_.snapshotStorageCostFactor;
+    }
+
+    /** Cumulative snapshot storage cost in dollars. */
+    Dollars snapshotSpend() const { return snapshotSpend_; }
+
     // --- accounting ----------------------------------------------------
 
-    /** Accrue keep-alive cost for all warm containers up to `now`. */
+    /**
+     * Accrue keep-alive cost for all warm containers and storage cost
+     * for all resident snapshots up to `now`.
+     */
     void accrueAll(Seconds now);
 
     /** Cumulative keep-alive cost in dollars. */
@@ -359,6 +475,8 @@ class Cluster
   private:
     void accrueOne(WarmContainer& container, Seconds now);
 
+    void accrueSnapshot(SnapshotRecord& record, Seconds now);
+
     /** Warm-memory headroom of a node under the keep-alive fraction. */
     MegaBytes warmHeadroom(const Node& node) const;
 
@@ -379,6 +497,14 @@ class Cluster
     std::vector<std::uint32_t> warmCountByFn_;
     std::vector<std::uint32_t> compressedCountByFn_;
     ContainerId nextContainer_ = 1;
+    std::unordered_map<SnapshotId, SnapshotRecord> snapshotPool_;
+    std::unordered_map<FunctionId, std::vector<SnapshotId>>
+        snapshotsByFn_;
+    /** Dense per-function snapshot residency counter (like warm). */
+    std::vector<std::uint32_t> snapshotCountByFn_;
+    SnapshotId nextSnapshot_ = 1;
+    std::uint64_t snapshotsEvictedForStorage_ = 0;
+    Dollars snapshotSpend_ = 0.0;
     Dollars keepAliveSpend_ = 0.0;
     Dollars committedSpend_ = 0.0;
     Dollars refundedSpend_ = 0.0;

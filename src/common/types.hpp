@@ -87,6 +87,8 @@ enum class StartType : std::uint8_t {
     Warm = 1,
     /** Compressed warm container: decompression on the critical path. */
     WarmCompressed = 2,
+    /** Resident snapshot: image load + working-set prefetch (restore). */
+    Snapshot = 3,
 };
 
 /** Human-readable name of a start type. */
@@ -97,6 +99,7 @@ toString(StartType type)
       case StartType::Cold: return "cold";
       case StartType::Warm: return "warm";
       case StartType::WarmCompressed: return "warm-compressed";
+      case StartType::Snapshot: return "snapshot";
     }
     return "?";
 }

@@ -6,7 +6,7 @@
  * (compression, processor, keep-alive) combinations for the invoked
  * functions whose total keep-alive cost satisfies the budget
  * inequality. Materializing S_t is infeasible beyond a handful of
- * functions (its size is 32^N); this class provides the practical
+ * functions (its size is 64^N); this class provides the practical
  * surface of that abstraction: the feasibility predicate, the space
  * size, feasible sampling (with greedy repair), and exhaustive
  * enumeration for tiny instances — used by tests, Fig. 3, and anyone
@@ -75,7 +75,7 @@ class ChoiceSpaceGenerator
 
     /**
      * Every feasible assignment, for problems of at most
-     * `maxFunctions` functions (the space is 32^N). Panics above the
+     * `maxFunctions` functions (the space is 64^N). Panics above the
      * cap.
      */
     std::vector<opt::Assignment>
@@ -106,7 +106,7 @@ class ChoiceSpaceGenerator
         return feasibleSet;
     }
 
-    /** Index -> Choice over the 2 x 2 x levels grid. */
+    /** Index -> Choice over the 2 x 2 x 2 x levels grid. */
     static opt::Choice
     decode(std::size_t index)
     {
@@ -117,6 +117,8 @@ class ChoiceSpaceGenerator
         choice.arch = index % 2 ? NodeType::ARM : NodeType::X86;
         index /= 2;
         choice.compress = index % 2;
+        index /= 2;
+        choice.snapshot = index % 2;
         return choice;
     }
 

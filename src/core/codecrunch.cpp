@@ -58,9 +58,10 @@ estimateValid(const FunctionEstimate& e)
     const auto ok = [](double v) { return std::isfinite(v); };
     return ok(e.pest) && ok(e.sigma) && ok(e.weight) &&
            ok(e.memoryMb) && ok(e.compressedMb) &&
-           ok(e.warmBaseline) && ok(e.exec[0]) && ok(e.exec[1]) &&
-           ok(e.coldStart[0]) && ok(e.coldStart[1]) &&
+           ok(e.snapshotMb) && ok(e.warmBaseline) && ok(e.exec[0]) &&
+           ok(e.exec[1]) && ok(e.coldStart[0]) && ok(e.coldStart[1]) &&
            ok(e.decompress[0]) && ok(e.decompress[1]) &&
+           ok(e.restore[0]) && ok(e.restore[1]) &&
            e.weight > 0.0 && e.memoryMb > 0.0;
 }
 
@@ -79,6 +80,8 @@ CodeCrunch::name() const
         suffix += "-noSRE";
     if (!config_.useCompression)
         suffix += "-noComp";
+    if (!config_.useSnapshot)
+        suffix += "-noSnapshot";
     if (config_.archMode == ArchMode::X86Only)
         suffix += "-x86";
     else if (config_.archMode == ArchMode::ArmOnly)
@@ -157,6 +160,8 @@ CodeCrunch::sanitize(Choice choice) const
 {
     if (!config_.useCompression)
         choice.compress = false;
+    if (!config_.useSnapshot)
+        choice.snapshot = false;
     if (config_.archMode == ArchMode::X86Only)
         choice.arch = NodeType::X86;
     else if (config_.archMode == ArchMode::ArmOnly)
@@ -196,6 +201,7 @@ CodeCrunch::onFinish(const metrics::InvocationRecord& record)
     decision.keepAliveSeconds = keepAliveLevels()[
         static_cast<std::size_t>(choice.keepAliveLevel)];
     decision.compress = choice.compress;
+    decision.snapshot = choice.snapshot;
     // Keep the container where the function just executed: cold
     // placements already steer execution to the optimizer's chosen
     // architecture, so the warm pool migrates with the decisions
@@ -375,7 +381,12 @@ CodeCrunch::onTick(Seconds)
 
     const auto& workload = context_->workload();
     const auto& cluster = context_->clusterState();
-    const Dollars spentNow = cluster.keepAliveSpend();
+    // Snapshot storage spend shares the keep-alive allowance: both are
+    // residency dollars the provider pays to avoid cold starts. (Zero
+    // whenever the snapshot axis is off, so the -noSnapshot ablation
+    // sees exactly the original spend signal.)
+    const Dollars spentNow =
+        cluster.keepAliveSpend() + cluster.snapshotSpend();
     const Dollars available = creditor_->allocate(spentNow);
 
     // --- Lagrangian price control ------------------------------------
@@ -467,16 +478,22 @@ CodeCrunch::onTick(Seconds)
         cluster.costRate(NodeType::ARM)};
     ChoiceRestrictions restrictions;
     restrictions.allowCompression = config_.useCompression;
+    restrictions.allowSnapshot = config_.useSnapshot;
     restrictions.allowX86 = config_.archMode != ArchMode::ArmOnly;
     restrictions.allowArm = config_.archMode != ArchMode::X86Only;
     restrictions.slaSlack = config_.slaSlack;
     restrictions.costWeight = lambda_;
+    // Snapshot storage priced per interval: $/MB for one interval of
+    // image residency on each architecture's local disk.
+    const double snapshotRate[kNumNodeTypes] = {
+        cluster.snapshotStorageRate(NodeType::X86) * kSecondsPerMinute,
+        cluster.snapshotStorageRate(NodeType::ARM) * kSecondsPerMinute};
     // The Lagrangian price replaces the hard per-interval budget: SRE
     // sub-problems then trade service against priced cost locally,
     // and the price itself is steered below so that committed cost
     // tracks the creditor's allowance.
     IntervalObjective objective(std::move(estimates), costRate,
-                                1e18, restrictions);
+                                1e18, restrictions, snapshotRate);
 
     // Start from the previous solutions (unsampled functions keep
     // their choices — the SRE recombination rule).
@@ -558,7 +575,8 @@ CodeCrunch::onTick(Seconds)
                 event.kind = obs::TraceEvent::Kind::Placement;
                 event.u8 = static_cast<std::uint8_t>(
                     (choice.compress ? 1 : 0) |
-                    (choice.arch == NodeType::ARM ? 2 : 0));
+                    (choice.arch == NodeType::ARM ? 2 : 0) |
+                    (choice.snapshot ? 4 : 0));
                 event.tid = obs::kControllerTrack;
                 event.a = f;
                 event.b = static_cast<std::uint32_t>(
@@ -568,6 +586,13 @@ CodeCrunch::onTick(Seconds)
                 event.ts = context_->now();
                 trace->emit(event);
             }
+            // Reconcile snapshot residency with the new decision right
+            // away: creation is a background write (no critical-path
+            // cost), and dropping an image stops its storage accrual.
+            if (choice.snapshot && cluster.snapshotCount(f) == 0)
+                context_->requestSnapshot(f, choice.arch);
+            else if (!choice.snapshot && cluster.snapshotCount(f) > 0)
+                context_->requestDropSnapshots(f);
             if (cluster.warmCount(f) == 0)
                 continue;
             // Update live warm containers to the new decision. A zero

@@ -74,6 +74,12 @@ struct CodeCrunchConfig {
     bool useSre = true;
     /** Allow function compression. */
     bool useCompression = true;
+    /**
+     * Allow snapshot residency in the decision space (false gives the
+     * "-noSnapshot" ablation, which reproduces the paper's original
+     * {keep warm, compress, evict} behavior exactly).
+     */
+    bool useSnapshot = true;
     /** Architecture choice mode. */
     ArchMode archMode = ArchMode::Both;
     /** Bypass the optimizer's keep-alive with a fixed window. */

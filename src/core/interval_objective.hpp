@@ -40,8 +40,12 @@ struct FunctionEstimate {
     Seconds exec[kNumNodeTypes] = {1.0, 1.0};
     Seconds coldStart[kNumNodeTypes] = {1.0, 1.0};
     Seconds decompress[kNumNodeTypes] = {0.1, 0.1};
+    /** Snapshot restore latency (load + working-set prefetch). */
+    Seconds restore[kNumNodeTypes] = {1.0, 1.0};
     MegaBytes memoryMb = 128.0;
     MegaBytes compressedMb = 128.0;
+    /** On-disk snapshot image size; 0 = snapshots unavailable. */
+    MegaBytes snapshotMb = 0.0;
     /** Uncompressed-warm x86 service baseline (for SLA mode). */
     Seconds warmBaseline = 1.0;
     /**
@@ -62,6 +66,8 @@ struct ChoiceRestrictions {
     bool allowCompression = true;
     bool allowX86 = true;
     bool allowArm = true;
+    /** Allow snapshot residency (the "-noSnapshot" ablation gate). */
+    bool allowSnapshot = true;
     /**
      * SLA slack: choices whose estimated service exceeds
      * (1 + slack) x warmBaseline are penalized proportionally;
@@ -100,6 +106,27 @@ class IntervalObjective : public opt::SeparableObjective
     {
         costRate_[0] = costRate[0];
         costRate_[1] = costRate[1];
+        snapshotRate_[0] = 0.0;
+        snapshotRate_[1] = 0.0;
+    }
+
+    /**
+     * @param snapshotRate $/MB of snapshot storage over the decision
+     *        horizon (one interval) per architecture. The zero default
+     *        of the other constructor makes snapshot residency free —
+     *        fine for tests that never enable the snapshot axis.
+     */
+    IntervalObjective(std::vector<FunctionEstimate> estimates,
+                      const double (&costRate)[kNumNodeTypes],
+                      Dollars budget, ChoiceRestrictions restrictions,
+                      const double (&snapshotRate)[kNumNodeTypes])
+        : estimates_(std::move(estimates)), budget_(budget),
+          restrictions_(restrictions)
+    {
+        costRate_[0] = costRate[0];
+        costRate_[1] = costRate[1];
+        snapshotRate_[0] = snapshotRate[0];
+        snapshotRate_[1] = snapshotRate[1];
     }
 
     std::size_t size() const override { return estimates_.size(); }
@@ -118,6 +145,14 @@ class IntervalObjective : public opt::SeparableObjective
             (choice.compress && !restrictions_.allowCompression)) {
             return {1e9, 0.0};
         }
+        // A restricted (or impossible) snapshot bit is *ignored*, not
+        // penalized: the choice scores exactly like its non-snapshot
+        // twin. With the snapshot axis outermost in the enumerated
+        // choice set, this makes the -noSnapshot search trajectory —
+        // and therefore its decisions — identical to the original
+        // 32-point space (the sanitized twin is what gets adopted).
+        const bool snapshotOn = choice.snapshot &&
+            restrictions_.allowSnapshot && e.snapshotMb > 0.0;
 
         const Seconds keepAlive =
             opt::keepAliveLevels()[static_cast<std::size_t>(
@@ -137,8 +172,13 @@ class IntervalObjective : public opt::SeparableObjective
             pWarm = 0.3 * (1.0 - std::exp(-keepAlive / 900.0));
         }
 
-        double service = e.exec[arch] +
-            (1.0 - pWarm) * e.coldStart[arch];
+        // A miss (no warm container at the next arrival) pays a cold
+        // start — unless a resident snapshot restores faster; the
+        // driver only uses a snapshot when it actually beats cold.
+        double missStart = e.coldStart[arch];
+        if (snapshotOn)
+            missStart = std::min(missStart, e.restore[arch]);
+        double service = e.exec[arch] + (1.0 - pWarm) * missStart;
         if (choice.compress)
             service += pWarm * e.decompress[arch];
 
@@ -174,9 +214,14 @@ class IntervalObjective : public opt::SeparableObjective
         // Weighting: the hotter the function, the more invocations one
         // warm container serves per interval — and the more spend its
         // repeated consumption/re-keep cycle accrues.
-        const double cost =
+        double cost =
             std::min(expectedHold * e.weight, 2.0 * keepAlive) * held *
             costRate_[arch];
+        // Snapshot storage is pay-as-you-go on cheap disk: one
+        // interval's worth of image residency, independent of the
+        // keep-alive window and of how many invocations it serves.
+        if (snapshotOn)
+            cost += e.snapshotMb * snapshotRate_[arch];
         return {service * e.weight + restrictions_.costWeight * cost,
                 cost};
     }
@@ -189,6 +234,7 @@ class IntervalObjective : public opt::SeparableObjective
   private:
     std::vector<FunctionEstimate> estimates_;
     double costRate_[kNumNodeTypes];
+    double snapshotRate_[kNumNodeTypes];
     Dollars budget_;
     ChoiceRestrictions restrictions_;
 };

@@ -45,6 +45,9 @@ class ObservedStats
           case StartType::WarmCompressed:
             s.decompress[arch].add(record.startup);
             break;
+          case StartType::Snapshot:
+            s.restore[arch].add(record.startup);
+            break;
           case StartType::Warm:
             break;
         }
@@ -72,9 +75,13 @@ class ObservedStats
             e.decompress[arch] = s.decompress[arch].count()
                 ? s.decompress[arch].mean()
                 : profile.decompress[arch];
+            e.restore[arch] = s.restore[arch].count()
+                ? s.restore[arch].mean()
+                : profile.restore[arch];
         }
         e.memoryMb = profile.memoryMb;
         e.compressedMb = profile.compressedMb;
+        e.snapshotMb = profile.snapshotMb;
         e.warmBaseline = e.exec[static_cast<int>(NodeType::X86)];
         return e;
     }
@@ -84,6 +91,7 @@ class ObservedStats
         RunningStat exec[kNumNodeTypes];
         RunningStat coldStart[kNumNodeTypes];
         RunningStat decompress[kNumNodeTypes];
+        RunningStat restore[kNumNodeTypes];
     };
 
     std::vector<Stats> perFunction_;

@@ -184,6 +184,7 @@ Driver::snapshotInterval(Seconds end)
     total.invocations = collector_.invocations();
     total.coldStarts = collector_.coldStarts();
     total.warmStarts = collector_.warmStarts();
+    total.snapshotStarts = collector_.snapshotStarts();
     total.evictions = endEvictedForExec_ + endEvictedForKeep_ +
         endEvictedByPolicy_ + endEvictedByFault_;
     total.prewarms = prewarmsIssued_;
@@ -195,6 +196,8 @@ Driver::snapshotInterval(Seconds end)
     sample.invocations = total.invocations - intervalBase_.invocations;
     sample.coldStarts = total.coldStarts - intervalBase_.coldStarts;
     sample.warmStarts = total.warmStarts - intervalBase_.warmStarts;
+    sample.snapshotStarts =
+        total.snapshotStarts - intervalBase_.snapshotStarts;
     sample.evictions = total.evictions - intervalBase_.evictions;
     sample.prewarms = total.prewarms - intervalBase_.prewarms;
     sample.failedAttempts =
@@ -245,6 +248,9 @@ Driver::run()
         .add(nodeRecoveries_);
     registry.counter("sim.faults.memory_shocks").add(memoryShocks_);
     registry.counter("sim.driver.re_prewarms").add(rePrewarmsIssued_);
+    registry.counter("sim.driver.reclaim_failed").add(reclaimFailed_);
+    registry.counter("sim.driver.snapshots_created")
+        .add(snapshotsCreated_);
     registry.gauge("sim.driver.wait_queue_peak")
         .observe(static_cast<double>(waitQueuePeak_));
 
@@ -266,6 +272,13 @@ Driver::run()
     result.endEvictedByFault = endEvictedByFault_;
     result.prewarmsDropped = collector_.prewarmsDropped();
     result.rePrewarmsIssued = rePrewarmsIssued_;
+    result.reclaimFailed = reclaimFailed_;
+    result.snapshotsCreated = snapshotsCreated_;
+    result.snapshotCreatesDropped = snapshotCreatesDropped_;
+    result.snapshotsEvictedForStorage =
+        cluster_.snapshotsEvictedForStorage();
+    result.snapshotsLostToCrash = snapshotsLostToCrash_;
+    result.snapshotStorageSpend = cluster_.snapshotSpend();
     result.committedDollars = cluster_.committedDollarsTotal();
     result.refundedDollars = cluster_.refundedDollarsTotal();
     result.faultRefundedDollars = collector_.faultRefundedDollars();
@@ -319,13 +332,24 @@ Driver::tryStart(const Invocation& invocation, int attempt)
 {
     const auto& profile = workload_.profile(invocation.function);
 
-    // 1. Warm path: any warm container (uncompressed preferred)?
-    bool hadContainer = false;
-    bool coreWasBusy = false;
-    if (const auto warmId = cluster_.findWarm(invocation.function)) {
-        hadContainer = true;
+    // 1. Warm path: startability-aware scan over all of the function's
+    //    warm containers, preferring an uncompressed startable one
+    //    (zero startup) over a compressed startable one. The old code
+    //    trusted findWarm's single pick and went cold whenever that
+    //    container's node had a busy core or no memory, even with
+    //    another immediately usable warm container on a sibling node.
+    const auto& warmIds = cluster_.warmFor(invocation.function);
+    const bool hadContainer = !warmIds.empty();
+    cluster::ContainerId startable = cluster::kInvalidContainer;
+    bool startableCompressed = false;
+    // Blocked-container diagnostics: core-busy is only claimed when
+    // every blocked container was blocked by its core; one memory-
+    // blocked container makes the whole miss a no-memory miss (memory
+    // is the scarcer, policy-actionable resource).
+    bool allBlockedByCore = true;
+    for (const ContainerId warmId : warmIds) {
         const cluster::WarmContainer& container =
-            cluster_.warm(*warmId);
+            cluster_.warm(warmId);
         const cluster::Node& node = cluster_.node(container.node);
         const bool coreFree = node.freeCores() >= 1;
         // Consuming the container releases its held memory; the
@@ -334,25 +358,61 @@ Driver::tryStart(const Invocation& invocation, int attempt)
             node.freeMemoryMb() + container.memoryMb + 1e-6 >=
             profile.memoryMb;
         if (coreFree && memoryFits) {
-            const bool compressed = container.compressed;
-            const NodeId nodeId = container.node;
-            consumeWarm(*warmId);
-            cluster_.reserveExec(nodeId, profile.memoryMb);
-            const Seconds startup = compressed
-                ? profile.decompress[static_cast<int>(node.type)]
-                : 0.0;
-            startExecution(invocation, nodeId,
-                           compressed ? StartType::WarmCompressed
-                                      : StartType::Warm,
-                           startup, attempt);
-            return true;
+            if (!container.compressed) {
+                startable = warmId;
+                startableCompressed = false;
+                break; // best case: zero-startup warm start
+            }
+            if (startable == cluster::kInvalidContainer) {
+                startable = warmId;
+                startableCompressed = true;
+            }
+        } else if (!coreFree && memoryFits) {
+            // core-blocked; keeps allBlockedByCore true
+        } else {
+            allBlockedByCore = false;
         }
-        // Otherwise fall through to a cold placement elsewhere; the
-        // warm container stays for a later invocation.
-        coreWasBusy = !coreFree;
+    }
+    if (startable != cluster::kInvalidContainer) {
+        const cluster::WarmContainer& container =
+            cluster_.warm(startable);
+        const NodeId nodeId = container.node;
+        const NodeType type = cluster_.node(nodeId).type;
+        consumeWarm(startable);
+        cluster_.reserveExec(nodeId, profile.memoryMb);
+        const Seconds startup = startableCompressed
+            ? profile.decompress[static_cast<int>(type)]
+            : 0.0;
+        startExecution(invocation, nodeId,
+                       startableCompressed ? StartType::WarmCompressed
+                                           : StartType::Warm,
+                       startup, attempt);
+        return true;
     }
 
-    // 2. Cold path: policy picks the architecture; fall back to the
+    // 2. Snapshot path: a resident snapshot beats a cold start when
+    //    its restore time is favorable on the hosting node's type.
+    //    Restoring does NOT consume the snapshot — it stays resident —
+    //    but the execution needs a free core and the full footprint on
+    //    the snapshot's node.
+    for (const cluster::SnapshotId snapId :
+         cluster_.snapshotsFor(invocation.function)) {
+        const cluster::SnapshotRecord& snap = cluster_.snapshot(snapId);
+        const cluster::Node& node = cluster_.node(snap.node);
+        if (node.down || node.freeCores() < 1 ||
+            node.freeMemoryMb() + 1e-6 < profile.memoryMb)
+            continue;
+        if (!profile.snapshotFavorable(node.type))
+            continue;
+        cluster_.noteSnapshotUsed(snapId, queue_.now());
+        cluster_.reserveExec(snap.node, profile.memoryMb);
+        startExecution(
+            invocation, snap.node, StartType::Snapshot,
+            profile.restore[static_cast<int>(node.type)], attempt);
+        return true;
+    }
+
+    // 3. Cold path: policy picks the architecture; fall back to the
     //    other one when the preferred side is full.
     const NodeType preferred = timedDecision(
         [&] { return policy_.coldPlacement(invocation.function); });
@@ -360,7 +420,7 @@ Driver::tryStart(const Invocation& invocation, int attempt)
                                                       : NodeType::X86;
     if (!hadContainer)
         ++coldNoContainer_;
-    else if (coreWasBusy)
+    else if (allBlockedByCore)
         ++coldContainerCoreBusy_;
     else
         ++coldContainerNoMemory_;
@@ -375,40 +435,44 @@ Driver::tryStart(const Invocation& invocation, int attempt)
         }
     }
 
-    // 3. Reclaim path: no node fits, but idle warm containers are
-    //    expendable — executions always outrank keep-alive. Find a
-    //    node with a free core whose free + warm memory covers the
-    //    footprint, ask the policy for victims first, and fall back to
-    //    evicting the longest-idle containers.
+    // 4. Reclaim path: no node fits, but idle warm containers are
+    //    expendable — executions always outrank keep-alive. Walk the
+    //    candidate nodes in descending reclaimable order (the old code
+    //    gave up after the single best node even when the policy
+    //    vetoed its victims and a sibling node could be reclaimed).
     for (NodeType type : {preferred, other}) {
-        if (const auto nodeId = pickNodeWithReclaim(type, profile)) {
-            if (reclaimFor(*nodeId, profile.memoryMb)) {
-                cluster_.reserveExec(*nodeId, profile.memoryMb);
-                const NodeType actual = cluster_.node(*nodeId).type;
+        for (const NodeId nodeId :
+             pickNodesWithReclaim(type, profile)) {
+            if (reclaimFor(nodeId, profile.memoryMb)) {
+                cluster_.reserveExec(nodeId, profile.memoryMb);
+                const NodeType actual = cluster_.node(nodeId).type;
                 startExecution(
-                    invocation, *nodeId, StartType::Cold,
+                    invocation, nodeId, StartType::Cold,
                     profile.coldStart[static_cast<int>(actual)],
                     attempt);
                 return true;
             }
+            ++reclaimFailed_;
         }
     }
     return false;
 }
 
-std::optional<NodeId>
-Driver::pickNodeWithReclaim(
+std::vector<NodeId>
+Driver::pickNodesWithReclaim(
     NodeType type, const trace::FunctionProfile& profile) const
 {
     // Same two-pass domain deprioritization as the cluster's pick
     // functions: prefer nodes outside recently-faulted domains, fall
     // back to any up node so capacity is never left on the table.
+    // All qualifying nodes are returned, best reclaimable first, so
+    // the caller can keep trying when the policy vetoes victims on
+    // the top candidate.
     const bool applyCooldown =
         cluster_.numDomains() > 1 &&
         cluster_.config().domainCooldownSeconds > 0.0;
     for (int pass = applyCooldown ? 0 : 1; pass < 2; ++pass) {
-        std::optional<NodeId> best;
-        MegaBytes bestReclaimable = -1;
+        std::vector<std::pair<MegaBytes, NodeId>> candidates;
         for (const auto& node : cluster_.nodes()) {
             if (node.down || node.type != type ||
                 node.freeCores() < 1)
@@ -419,16 +483,24 @@ Driver::pickNodeWithReclaim(
                 continue;
             const MegaBytes reclaimable =
                 node.freeMemoryMb() + node.warmMemoryMb;
-            if (reclaimable + 1e-6 >= profile.memoryMb &&
-                reclaimable > bestReclaimable) {
-                bestReclaimable = reclaimable;
-                best = node.id;
-            }
+            if (reclaimable + 1e-6 >= profile.memoryMb)
+                candidates.emplace_back(reclaimable, node.id);
         }
-        if (best)
-            return best;
+        if (!candidates.empty()) {
+            std::sort(candidates.begin(), candidates.end(),
+                      [](const auto& a, const auto& b) {
+                          if (a.first != b.first)
+                              return a.first > b.first;
+                          return a.second < b.second;
+                      });
+            std::vector<NodeId> ordered;
+            ordered.reserve(candidates.size());
+            for (const auto& [reclaimable, id] : candidates)
+                ordered.push_back(id);
+            return ordered;
+        }
     }
-    return std::nullopt;
+    return {};
 }
 
 bool
@@ -577,9 +649,13 @@ Driver::applyDecision(FunctionId function, NodeId nodeId,
                       NodeType execType,
                       const KeepAliveDecision& decision)
 {
+    const NodeType target = decision.warmupLocation.value_or(execType);
+    // Snapshot residency is orthogonal to the warm keep: it is ensured
+    // even when the container itself is dropped (snapshot-only mode).
+    if (decision.snapshot)
+        requestSnapshot(function, target);
     if (decision.keepAliveSeconds <= 0.0)
         return;
-    const NodeType target = decision.warmupLocation.value_or(execType);
     if (target != execType) {
         // Cross-architecture warmup: cold-start a container on the
         // target side off the critical path.
@@ -889,6 +965,16 @@ Driver::crashNode(NodeId nodeId)
         }
     }
 
+    // Resident snapshots live on the node's local storage and die
+    // with it; unlike warm containers they carry no commitment to
+    // refund, only their accrued storage cost.
+    auto snapIds = cluster_.snapshotsOnNode(nodeId);
+    std::sort(snapIds.begin(), snapIds.end());
+    for (const cluster::SnapshotId id : snapIds) {
+        cluster_.removeSnapshot(id, now);
+        ++snapshotsLostToCrash_;
+    }
+
     // Fully drained; the capacity invariants must hold through this.
     cluster_.markDown(nodeId);
     cluster_.noteDomainFault(cluster_.domainOf(nodeId), now);
@@ -1075,6 +1161,71 @@ Driver::requestSetKeepAlive(FunctionId function,
     if (!ids.empty() && keepAliveSeconds > 0.0)
         fnState_.setKeepAliveDeadline(function,
                                       queue_.now() + keepAliveSeconds);
+}
+
+bool
+Driver::requestSnapshot(FunctionId function, NodeType type)
+{
+    const auto& profile = workload_.profile(function);
+    if (profile.snapshotMb <= 0.0)
+        return false;
+    // One resident snapshot per function is enough: restores do not
+    // consume it, so a single image serves every future invocation on
+    // its node. Also dedupe against an in-flight creation.
+    if (cluster_.snapshotCount(function) > 0 ||
+        pendingSnapshotCreates_.count(function) > 0)
+        return true;
+
+    // Host choice: the up node of the requested type with the most
+    // free snapshot storage (ties to the lowest id), so images spread
+    // instead of piling eviction pressure onto one node's disk.
+    const MegaBytes budget = cluster_.config().snapshotStoragePerNodeMb;
+    std::optional<NodeId> best;
+    MegaBytes bestFree = -1.0;
+    for (const auto& node : cluster_.nodes()) {
+        if (node.down || node.type != type)
+            continue;
+        const MegaBytes freeStorage = budget - node.snapshotStorageMb;
+        if (freeStorage > bestFree + 1e-6) {
+            bestFree = freeStorage;
+            best = node.id;
+        }
+    }
+    if (!best)
+        return false;
+
+    // Creation is a background disk write: it holds no core and no
+    // memory (the snapshot is cut from the just-finished container's
+    // pages), it just takes snapshotCreate seconds before the image
+    // becomes restorable.
+    pendingSnapshotCreates_.insert(function);
+    const NodeId nodeId = *best;
+    queue_.scheduleAfter(
+        profile.snapshotCreate[static_cast<int>(type)],
+        [this, function, nodeId] {
+            pendingSnapshotCreates_.erase(function);
+            if (cluster_.node(nodeId).down) {
+                ++snapshotCreatesDropped_; // crashed mid-write
+                return;
+            }
+            const auto& p = workload_.profile(function);
+            if (cluster_.addSnapshot(nodeId, function, p.snapshotMb,
+                                     queue_.now()))
+                ++snapshotsCreated_;
+            else
+                ++snapshotCreatesDropped_; // image exceeds the budget
+        });
+    return true;
+}
+
+void
+Driver::requestDropSnapshots(FunctionId function)
+{
+    // Copy first: removeSnapshot mutates the per-function list.
+    const std::vector<cluster::SnapshotId> ids =
+        cluster_.snapshotsFor(function);
+    for (const cluster::SnapshotId id : ids)
+        cluster_.removeSnapshot(id, queue_.now());
 }
 
 void

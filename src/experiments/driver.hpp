@@ -18,6 +18,7 @@
 #include <deque>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
@@ -118,6 +119,7 @@ struct IntervalSample {
     std::uint64_t invocations = 0;
     std::uint64_t coldStarts = 0;
     std::uint64_t warmStarts = 0;
+    std::uint64_t snapshotStarts = 0;
     /** Warm containers evicted (exec/keep/policy/fault — not expiry
      *  or consumption) this interval. */
     std::uint64_t evictions = 0;
@@ -137,6 +139,7 @@ struct IntervalSample {
         v(invocations);
         v(coldStarts);
         v(warmStarts);
+        v(snapshotStarts);
         v(evictions);
         v(prewarms);
         v(failedAttempts);
@@ -179,6 +182,21 @@ struct RunResult {
     std::size_t prewarmsDropped = 0;
     /** Prewarms issued from a policy's onNodeRecover hook. */
     std::size_t rePrewarmsIssued = 0;
+
+    /** Reclaim attempts that found no evictable victims on a node. */
+    std::size_t reclaimFailed = 0;
+
+    /** Snapshot residency: creations, drops, and storage spend. */
+    std::size_t snapshotsCreated = 0;
+    /** Creations whose target node crashed before the write finished. */
+    std::size_t snapshotCreatesDropped = 0;
+    /** Snapshots evicted by per-node storage-budget pressure. */
+    std::size_t snapshotsEvictedForStorage = 0;
+    /** Snapshots lost to node crashes. */
+    std::size_t snapshotsLostToCrash = 0;
+    /** Total snapshot storage spend in dollars (separate from the
+     *  keep-alive commitment ledger: storage is pay-as-you-go). */
+    Dollars snapshotStorageSpend = 0.0;
 
     /**
      * Keep-alive commitment ledger (see cluster::Cluster): total
@@ -230,6 +248,12 @@ struct RunResult {
         v(endEvictedByFault);
         v(prewarmsDropped);
         v(rePrewarmsIssued);
+        v(reclaimFailed);
+        v(snapshotsCreated);
+        v(snapshotCreatesDropped);
+        v(snapshotsEvictedForStorage);
+        v(snapshotsLostToCrash);
+        v(snapshotStorageSpend);
         v(committedDollars);
         v(refundedDollars);
         v(faultRefundedDollars);
@@ -281,6 +305,8 @@ class Driver : public policy::PolicyContext
     void requestCompress(FunctionId function) override;
     void requestSetKeepAlive(FunctionId function,
                              Seconds keepAliveSeconds) override;
+    bool requestSnapshot(FunctionId function, NodeType type) override;
+    void requestDropSnapshots(FunctionId function) override;
 
   private:
     /** Per-warm-container scheduled events. */
@@ -366,12 +392,15 @@ class Driver : public policy::PolicyContext
     void failAttempt(const Invocation& invocation, int attempt);
 
     /**
-     * Node of `type` with a free core whose free + reclaimable warm
-     * memory fits the profile.
+     * Nodes of `type` with a free core whose free + reclaimable warm
+     * memory fits the profile, in descending reclaimable order (ties
+     * by ascending node id). The reclaim path walks them all: the
+     * best node's victims may be policy-vetoed while another node of
+     * the same type reclaims fine.
      */
-    std::optional<NodeId>
-    pickNodeWithReclaim(NodeType type,
-                        const trace::FunctionProfile& profile) const;
+    std::vector<NodeId>
+    pickNodesWithReclaim(NodeType type,
+                         const trace::FunctionProfile& profile) const;
 
     /**
      * Evict warm containers on `node` until `neededMb` is free
@@ -527,6 +556,12 @@ class Driver : public policy::PolicyContext
     std::size_t endEvictedForKeep_ = 0;
     std::size_t endEvictedByPolicy_ = 0;
     std::size_t keepDropped_ = 0;
+    std::size_t reclaimFailed_ = 0;
+    std::size_t snapshotsCreated_ = 0;
+    std::size_t snapshotCreatesDropped_ = 0;
+    std::size_t snapshotsLostToCrash_ = 0;
+    /** Functions with an in-flight background snapshot creation. */
+    std::unordered_set<FunctionId> pendingSnapshotCreates_;
     double decisionWallSeconds_ = 0.0;
     Seconds lastArrivalTime_ = 0.0;
 
@@ -550,6 +585,7 @@ class Driver : public policy::PolicyContext
         std::uint64_t invocations = 0;
         std::uint64_t coldStarts = 0;
         std::uint64_t warmStarts = 0;
+        std::uint64_t snapshotStarts = 0;
         std::uint64_t evictions = 0;
         std::uint64_t prewarms = 0;
         std::uint64_t failedAttempts = 0;

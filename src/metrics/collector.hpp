@@ -60,6 +60,7 @@ struct MinuteBin {
     std::size_t warmStarts = 0;           // includes compressed
     std::size_t compressedStarts = 0;
     std::size_t coldStarts = 0;
+    std::size_t snapshotStarts = 0;
     /** Total warm memory at the minute boundary (MB). */
     MegaBytes warmMemoryMb = 0;
     /** Keep-alive dollars spent within this minute. */
@@ -80,6 +81,7 @@ struct MinuteBin {
         v(warmStarts);
         v(compressedStarts);
         v(coldStarts);
+        v(snapshotStarts);
         v(warmMemoryMb);
         v(keepAliveSpend);
         v(compressions);
@@ -131,6 +133,10 @@ class Collector
             ++bin.compressedStarts;
             ++warmStarts_;
             ++compressedStarts_;
+            break;
+          case StartType::Snapshot:
+            ++bin.snapshotStarts;
+            ++snapshotStarts_;
             break;
         }
     }
@@ -222,6 +228,7 @@ class Collector
         registry.counter("sim.starts.warm").add(warmStarts_);
         registry.counter("sim.starts.compressed")
             .add(compressedStarts_);
+        registry.counter("sim.starts.snapshot").add(snapshotStarts_);
         registry.counter("sim.compressions").add(compressions_);
         registry.counter("sim.faults.failed_attempts")
             .add(failedAttempts_);
@@ -358,7 +365,8 @@ class Collector
     double
     warmStartFraction() const
     {
-        const std::size_t total = warmStarts_ + coldStarts_;
+        const std::size_t total =
+            warmStarts_ + coldStarts_ + snapshotStarts_;
         return total
             ? static_cast<double>(warmStarts_) /
                   static_cast<double>(total)
@@ -368,6 +376,7 @@ class Collector
     std::size_t warmStarts() const { return warmStarts_; }
     std::size_t coldStarts() const { return coldStarts_; }
     std::size_t compressedStarts() const { return compressedStarts_; }
+    std::size_t snapshotStarts() const { return snapshotStarts_; }
     std::size_t compressions() const { return compressions_; }
 
     /** Service-time quantile over all invocations. */
@@ -448,6 +457,7 @@ class Collector
         v(warmStarts_);
         v(coldStarts_);
         v(compressedStarts_);
+        v(snapshotStarts_);
         v(compressions_);
         v(lastCumulativeSpend_);
         v(failedAttempts_);
@@ -513,6 +523,7 @@ class Collector
     std::size_t warmStarts_ = 0;
     std::size_t coldStarts_ = 0;
     std::size_t compressedStarts_ = 0;
+    std::size_t snapshotStarts_ = 0;
     std::size_t compressions_ = 0;
     Dollars lastCumulativeSpend_ = 0.0;
     std::size_t failedAttempts_ = 0;

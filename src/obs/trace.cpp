@@ -70,6 +70,8 @@ startName(std::uint8_t start)
         return "warm";
       case StartType::WarmCompressed:
         return "warm-compressed";
+      case StartType::Snapshot:
+        return "snapshot";
     }
     return "?";
 }
@@ -94,10 +96,17 @@ appendEvent(std::string& out, std::size_t pid, const TraceEvent& e)
       case Kind::Startup:
         appendHead(out, 'X', pid, e);
         out += ",\"name\":\"";
-        out += static_cast<StartType>(e.u8) ==
-                   StartType::WarmCompressed
-            ? "decompress"
-            : "cold-start";
+        switch (static_cast<StartType>(e.u8)) {
+          case StartType::WarmCompressed:
+            out += "decompress";
+            break;
+          case StartType::Snapshot:
+            out += "restore";
+            break;
+          default:
+            out += "cold-start";
+            break;
+        }
         out += "\",\"cat\":\"startup\",\"args\":{\"function\":";
         appendU32(out, e.a);
         out += "}}";

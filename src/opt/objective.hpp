@@ -17,9 +17,9 @@
 namespace codecrunch::opt {
 
 /**
- * Per-function decision tuple — one point on the three axes the paper
- * optimizes. Keep-alive time is discretized to the levels commercial
- * platforms use (0..60 minutes).
+ * Per-function decision tuple — one point on the axes the paper
+ * optimizes (plus the snapshot extension). Keep-alive time is
+ * discretized to the levels commercial platforms use (0..60 minutes).
  */
 struct Choice {
     /** Compress the kept-alive container. */
@@ -28,12 +28,19 @@ struct Choice {
     NodeType arch = NodeType::X86;
     /** Index into keepAliveLevels(). */
     int keepAliveLevel = 0;
+    /**
+     * Keep a resident snapshot on the chosen architecture. Orthogonal
+     * to keep-alive: snapshot with level 0 is the cheap snapshot-only
+     * residency mode (disk instead of memory).
+     */
+    bool snapshot = false;
 
     bool
     operator==(const Choice& other) const
     {
         return compress == other.compress && arch == other.arch &&
-               keepAliveLevel == other.keepAliveLevel;
+               keepAliveLevel == other.keepAliveLevel &&
+               snapshot == other.snapshot;
     }
 };
 
@@ -46,11 +53,14 @@ keepAliveLevels()
     return levels;
 }
 
-/** Number of distinct (compress, arch, keep-alive) tuples per function. */
+/**
+ * Number of distinct (compress, arch, keep-alive, snapshot) tuples per
+ * function.
+ */
 inline std::size_t
 choicesPerFunction()
 {
-    return 2 * 2 * keepAliveLevels().size();
+    return 2 * 2 * 2 * keepAliveLevels().size();
 }
 
 /** A full assignment: one Choice per optimized function. */

@@ -13,18 +13,21 @@ namespace codecrunch::opt {
 
 namespace {
 
-/** All 2 x 2 x levels choices, enumerated once. */
+/** All 2 x 2 x 2 x levels choices, enumerated once. */
 std::vector<Choice>
 allChoices()
 {
     std::vector<Choice> choices;
-    for (int compress = 0; compress < 2; ++compress) {
-        for (int arch = 0; arch < 2; ++arch) {
-            for (std::size_t k = 0; k < keepAliveLevels().size(); ++k) {
-                choices.push_back(Choice{
-                    compress == 1,
-                    arch == 0 ? NodeType::X86 : NodeType::ARM,
-                    static_cast<int>(k)});
+    for (int snapshot = 0; snapshot < 2; ++snapshot) {
+        for (int compress = 0; compress < 2; ++compress) {
+            for (int arch = 0; arch < 2; ++arch) {
+                for (std::size_t k = 0; k < keepAliveLevels().size();
+                     ++k) {
+                    choices.push_back(Choice{
+                        compress == 1,
+                        arch == 0 ? NodeType::X86 : NodeType::ARM,
+                        static_cast<int>(k), snapshot == 1});
+                }
             }
         }
     }
@@ -319,14 +322,16 @@ NewtonLike::optimize(const SeparableObjective& objective,
                 }
             }
             // Binary axes: accept improving flips.
-            for (int axis = 0; axis < 2; ++axis) {
+            for (int axis = 0; axis < 3; ++axis) {
                 Choice flip = current;
                 if (axis == 0) {
                     flip.compress = !flip.compress;
-                } else {
+                } else if (axis == 1) {
                     flip.arch = flip.arch == NodeType::X86
                         ? NodeType::ARM
                         : NodeType::X86;
+                } else {
+                    flip.snapshot = !flip.snapshot;
                 }
                 if (state.scoreIf(i, flip) < state.score()) {
                     state.set(i, flip);

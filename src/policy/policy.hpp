@@ -48,6 +48,14 @@ struct KeepAliveDecision {
      * critical path) and releases the local one. nullopt = stay put.
      */
     std::optional<NodeType> warmupLocation;
+    /**
+     * Ensure a resident snapshot on the warmup architecture (created
+     * in the background when none exists). Orthogonal to the warm
+     * keep: `snapshot && keepAliveSeconds <= 0` is the cheap
+     * snapshot-only residency mode, `snapshot && keepAliveSeconds > 0`
+     * keeps warm *and* backs it with a snapshot.
+     */
+    bool snapshot = false;
 };
 
 /**
@@ -112,6 +120,29 @@ class PolicyContext
      */
     virtual void requestSetKeepAlive(FunctionId function,
                                      Seconds keepAliveSeconds) = 0;
+
+    /**
+     * Ensure `function` has a resident snapshot on a node of `type`:
+     * a background creation (the profile's snapshotCreate seconds)
+     * writes the snapshot to the chosen node's local storage. No-op
+     * when one is already resident or being created.
+     * @return false if no up node of `type` exists. Contexts without
+     *         snapshot support (minimal test contexts) decline.
+     */
+    virtual bool
+    requestSnapshot(FunctionId function, NodeType type)
+    {
+        (void)function;
+        (void)type;
+        return false;
+    }
+
+    /** Drop every resident snapshot of `function`. */
+    virtual void
+    requestDropSnapshots(FunctionId function)
+    {
+        (void)function;
+    }
 };
 
 /**

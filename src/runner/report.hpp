@@ -263,6 +263,18 @@ writeResultFields(JsonWriter& json,
     json.field("compressed_starts", m.compressedStarts());
     json.field("compressions", m.compressions());
     json.field("keepalive_spend_usd", result.keepAliveSpend);
+    // Snapshot start mode: restores served, images created/lost, and
+    // the storage dollars they accrued (separate from keep-alive).
+    json.field("snapshot_starts", m.snapshotStarts());
+    json.field("snapshots_created", result.snapshotsCreated);
+    json.field("snapshot_creates_dropped",
+               result.snapshotCreatesDropped);
+    json.field("snapshots_evicted_for_storage",
+               result.snapshotsEvictedForStorage);
+    json.field("snapshots_lost_to_crash", result.snapshotsLostToCrash);
+    json.field("snapshot_storage_spend_usd",
+               result.snapshotStorageSpend);
+    json.field("reclaim_failed", result.reclaimFailed);
     json.field("unserved", result.unserved);
     // Fault/degraded-mode accounting. All simulated-time quantities,
     // so they stay deterministic across thread counts.
@@ -319,6 +331,7 @@ writeResultFields(JsonWriter& json,
             json.field("invocations", s.invocations);
             json.field("cold_starts", s.coldStarts);
             json.field("warm_starts", s.warmStarts);
+            json.field("snapshot_starts", s.snapshotStarts);
             json.field("evictions", s.evictions);
             json.field("prewarms", s.prewarms);
             json.field("failed_attempts", s.failedAttempts);

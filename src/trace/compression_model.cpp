@@ -30,8 +30,9 @@ constexpr CodecSpeed kRangeLzSpeed{33.0, 33.0};
 
 CompressionModel::CompressionModel(
     std::shared_ptr<const compress::Codec> codec, CodecSpeed speed,
-    double armSlowdown)
-    : codec_(std::move(codec)), speed_(speed), armSlowdown_(armSlowdown)
+    double armSlowdown, SnapshotSpeed snapshotSpeed)
+    : codec_(std::move(codec)), speed_(speed),
+      armSlowdown_(armSlowdown), snapshotSpeed_(snapshotSpeed)
 {
 }
 
@@ -102,6 +103,30 @@ CompressionModel::apply(const CatalogEntry& entry,
         compressSeconds;
     profile.compressTime[static_cast<int>(NodeType::ARM)] =
         compressSeconds * armSlowdown_;
+
+    // Snapshot model (vHive/REAP): the snapshot file holds the hot
+    // working set plus VM metadata; restore sequentially loads it and
+    // then prefetches the working-set pages missed by the host page
+    // cache. All derived from catalog constants — no RNG.
+    const auto& snap = snapshotSpeed_;
+    const MegaBytes workingSetMb =
+        entry.memoryMb * entry.workingSetFraction;
+    profile.workingSetFraction = entry.workingSetFraction;
+    profile.snapshotMb = workingSetMb + snap.metadataMb;
+    const Seconds restoreSeconds = snap.fixedRestoreSeconds +
+        profile.snapshotMb / snap.loadMbps +
+        workingSetMb * (1.0 - snap.warmPageHitFraction) /
+            snap.prefetchMbps;
+    const Seconds restoreVariable =
+        restoreSeconds - snap.fixedRestoreSeconds;
+    profile.restore[static_cast<int>(NodeType::X86)] = restoreSeconds;
+    profile.restore[static_cast<int>(NodeType::ARM)] =
+        snap.fixedRestoreSeconds + restoreVariable * armSlowdown_;
+    const Seconds createSeconds = profile.snapshotMb / snap.createMbps;
+    profile.snapshotCreate[static_cast<int>(NodeType::X86)] =
+        createSeconds;
+    profile.snapshotCreate[static_cast<int>(NodeType::ARM)] =
+        createSeconds * armSlowdown_;
 }
 
 } // namespace codecrunch::trace

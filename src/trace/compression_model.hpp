@@ -32,6 +32,30 @@ struct CodecSpeed {
 };
 
 /**
+ * Snapshot-path throughput/overhead constants used to convert snapshot
+ * image sizes into simulated restore/creation seconds (vHive/REAP-style
+ * model: sequential snapshot load, then demand-prefetch of the recorded
+ * working set, discounted by the warm-page cache hit fraction).
+ */
+struct SnapshotSpeed {
+    /** Sequential snapshot-file load throughput (MB/s). */
+    double loadMbps = 800.0;
+    /** Working-set page prefetch throughput (MB/s, random-access). */
+    double prefetchMbps = 200.0;
+    /** Background snapshot-file write throughput (MB/s). */
+    double createMbps = 400.0;
+    /** Fixed VMM setup + device restore overhead (seconds). */
+    Seconds fixedRestoreSeconds = 0.18;
+    /**
+     * Fraction of working-set pages already resident in the host page
+     * cache at restore time (REAP's record-and-prefetch hit rate).
+     */
+    double warmPageHitFraction = 0.35;
+    /** Snapshot metadata (VM state, device, page map) size (MB). */
+    MegaBytes metadataMb = 24.0;
+};
+
+/**
  * Per-function compression parameter derivation.
  */
 class CompressionModel
@@ -44,7 +68,8 @@ class CompressionModel
      *        (Graviton decompression is mildly slower per core).
      */
     CompressionModel(std::shared_ptr<const compress::Codec> codec,
-                     CodecSpeed speed, double armSlowdown = 1.1);
+                     CodecSpeed speed, double armSlowdown = 1.1,
+                     SnapshotSpeed snapshotSpeed = SnapshotSpeed{});
 
     /** Default model: the paper's choice, lz4. */
     static CompressionModel lz4();
@@ -62,9 +87,11 @@ class CompressionModel
     double ratioFor(double compressibility) const;
 
     /**
-     * Fill the compression-related fields of a profile from a catalog
-     * archetype: compressedMb, compressRatio, decompress[], and
-     * compressTime[].
+     * Fill the compression- and snapshot-related fields of a profile
+     * from a catalog archetype: compressedMb, compressRatio,
+     * decompress[], compressTime[], snapshotMb, restore[], and
+     * snapshotCreate[]. Purely deterministic — no RNG is consumed, so
+     * adding fields here never perturbs trace-generation streams.
      */
     void apply(const CatalogEntry& entry, FunctionProfile& profile) const;
 
@@ -73,10 +100,13 @@ class CompressionModel
 
     const CodecSpeed& speed() const { return speed_; }
 
+    const SnapshotSpeed& snapshotSpeed() const { return snapshotSpeed_; }
+
   private:
     std::shared_ptr<const compress::Codec> codec_;
     CodecSpeed speed_;
     double armSlowdown_;
+    SnapshotSpeed snapshotSpeed_;
     mutable std::map<long long, double> ratioCache_;
 };
 

@@ -15,34 +15,37 @@ namespace {
  *    and slightly more on ARM (Fig. 1(c) reports 42% / 46%);
  *  - mean cold start is ~43% of mean execution time (intro: 40-75%);
  *  - unfavorable archetypes pay up to ~1.75x their cold-start time for
- *    a compressed start, matching the paper's worst case.
+ *    a compressed start, matching the paper's worst case;
+ *  - working-set fractions span the 15-60% range the REAP measurements
+ *    report: interpreter-heavy functions touch most of their footprint
+ *    at init, large ML/analytics footprints fault in a small fraction.
  */
 const std::vector<CatalogEntry> kEntries = {
-    // name                        memMB  imgMB  execX86 armR  csX86 csArm  compr  reg
-    {"sebs/dynamic-html",           128,    60,   0.25, 0.92,  2.70,  3.24,  0.85,  0.14},
-    {"sebs/uploader",               128,    80,   0.80, 1.02,  2.88,  3.60,  0.80,  0.18},
-    {"sebs/thumbnailer",            256,   180,   1.80, 1.15,  5.04,  6.12,  0.60,  0.22},
-    {"sebs/video-processing",       512,   420,  22.00, 1.25, 11.70, 12.87,  0.45, 12.60},
-    {"sebs/compression",            256,   150,   5.50, 1.10,  3.96,  4.86,  0.70,  0.18},
-    {"sebs/image-recognition",     1024,   900,   3.20, 1.30, 16.20, 18.00,  0.35,  0.54},
-    {"sebs/graph-pagerank",         512,   220,   4.50, 0.85,  5.40,  6.48,  0.65,  0.27},
-    {"sebs/graph-mst",              512,   220,   3.80, 0.88,  5.40,  5.94,  0.65,  7.20},
-    {"sebs/graph-bfs",              512,   220,   2.90, 0.86,  5.40,  5.94,  0.65,  5.76},
-    {"sebs/dna-visualization",     2048,   640,   9.50, 1.20,  7.56,  8.32,  0.50,  8.10},
-    {"sebs/crawler",                256,   130,   1.40, 1.04,  3.60,  4.32,  0.75,  0.18},
-    {"slsbench/alu",                128,    45,   0.40, 0.82,  1.62,  1.98,  0.80,  0.09},
-    {"slsbench/matmul",             512,   160,   6.80, 1.35,  2.52,  3.06,  0.55,  0.22},
-    {"slsbench/base64",             128,    45,   0.30, 0.90,  1.62,  1.98,  0.80,  0.09},
-    {"slsbench/json-serde",         256,   520,   1.10, 1.03,  1.98,  2.43,  0.50,  0.99},
-    {"slsbench/http-serving",       128,    70,   0.15, 1.06,  2.34,  2.88,  0.85,  0.11},
-    {"slsbench/ml-training",       3008,  1500,  28.00, 1.40,  6.30,  6.93,  0.30,  4.50},
-    {"slsbench/ml-inference",      2048,  1800,   2.50, 1.28,  3.24,  3.56,  0.25,  0.90},
-    {"slsbench/video-streaming",   1024,  1200,   4.20, 1.18,  2.70,  2.97,  0.40,  0.36},
-    {"slsbench/kv-store",           512,   950,   0.90, 0.87,  2.16,  2.79,  0.45,  0.18},
-    {"slsbench/image-resize",       256,   780,   0.90, 1.07,  1.80,  1.98,  0.55,  0.14},
-    {"slsbench/stream-analytics",   512,   850,   7.50, 0.78,  1.98,  2.18,  0.50,  0.27},
-    {"slsbench/online-compiling",  1024,  1400,  12.00, 1.05,  3.06,  3.37,  0.60,  0.18},
-    {"sebs/data-analytics",        1024,  1100,  15.00, 0.90,  2.34,  2.57,  0.55,  0.18},
+    // name                        memMB  imgMB  execX86 armR  csX86 csArm  compr  reg   wset
+    {"sebs/dynamic-html",           128,    60,   0.25, 0.92,  2.70,  3.24,  0.85,  0.14, 0.55},
+    {"sebs/uploader",               128,    80,   0.80, 1.02,  2.88,  3.60,  0.80,  0.18, 0.50},
+    {"sebs/thumbnailer",            256,   180,   1.80, 1.15,  5.04,  6.12,  0.60,  0.22, 0.45},
+    {"sebs/video-processing",       512,   420,  22.00, 1.25, 11.70, 12.87,  0.45, 12.60, 0.35},
+    {"sebs/compression",            256,   150,   5.50, 1.10,  3.96,  4.86,  0.70,  0.18, 0.40},
+    {"sebs/image-recognition",     1024,   900,   3.20, 1.30, 16.20, 18.00,  0.35,  0.54, 0.30},
+    {"sebs/graph-pagerank",         512,   220,   4.50, 0.85,  5.40,  6.48,  0.65,  0.27, 0.45},
+    {"sebs/graph-mst",              512,   220,   3.80, 0.88,  5.40,  5.94,  0.65,  7.20, 0.45},
+    {"sebs/graph-bfs",              512,   220,   2.90, 0.86,  5.40,  5.94,  0.65,  5.76, 0.45},
+    {"sebs/dna-visualization",     2048,   640,   9.50, 1.20,  7.56,  8.32,  0.50,  8.10, 0.20},
+    {"sebs/crawler",                256,   130,   1.40, 1.04,  3.60,  4.32,  0.75,  0.18, 0.50},
+    {"slsbench/alu",                128,    45,   0.40, 0.82,  1.62,  1.98,  0.80,  0.09, 0.60},
+    {"slsbench/matmul",             512,   160,   6.80, 1.35,  2.52,  3.06,  0.55,  0.22, 0.40},
+    {"slsbench/base64",             128,    45,   0.30, 0.90,  1.62,  1.98,  0.80,  0.09, 0.60},
+    {"slsbench/json-serde",         256,   520,   1.10, 1.03,  1.98,  2.43,  0.50,  0.99, 0.50},
+    {"slsbench/http-serving",       128,    70,   0.15, 1.06,  2.34,  2.88,  0.85,  0.11, 0.55},
+    {"slsbench/ml-training",       3008,  1500,  28.00, 1.40,  6.30,  6.93,  0.30,  4.50, 0.15},
+    {"slsbench/ml-inference",      2048,  1800,   2.50, 1.28,  3.24,  3.56,  0.25,  0.90, 0.25},
+    {"slsbench/video-streaming",   1024,  1200,   4.20, 1.18,  2.70,  2.97,  0.40,  0.36, 0.20},
+    {"slsbench/kv-store",           512,   950,   0.90, 0.87,  2.16,  2.79,  0.45,  0.18, 0.35},
+    {"slsbench/image-resize",       256,   780,   0.90, 1.07,  1.80,  1.98,  0.55,  0.14, 0.45},
+    {"slsbench/stream-analytics",   512,   850,   7.50, 0.78,  1.98,  2.18,  0.50,  0.27, 0.30},
+    {"slsbench/online-compiling",  1024,  1400,  12.00, 1.05,  3.06,  3.37,  0.60,  0.18, 0.25},
+    {"sebs/data-analytics",        1024,  1100,  15.00, 0.90,  2.34,  2.57,  0.55,  0.18, 0.20},
 };
 
 } // namespace

@@ -57,6 +57,14 @@ struct CatalogEntry {
      * (docker run). Varies with image layer structure.
      */
     Seconds registerSeconds;
+    /**
+     * Fraction of the memory footprint that is hot working set: the
+     * pages a restored snapshot must fault in before the function can
+     * serve (vHive/REAP record-and-prefetch measurements put this at
+     * 15-60% depending on runtime and initialization heaviness).
+     * Determines the snapshot image size and restore prefetch cost.
+     */
+    double workingSetFraction;
 };
 
 /**

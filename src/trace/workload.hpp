@@ -52,6 +52,19 @@ struct FunctionProfile {
     /** Image compressibility in [0, 1]. */
     double compressibility = 0.5;
 
+    /** Snapshot image size on disk (MB): working set + VM metadata. */
+    MegaBytes snapshotMb = 0;
+    /**
+     * Snapshot-restore seconds, indexed by NodeType: snapshot load plus
+     * prefetch of the working-set pages missed by the warm-page cache
+     * (vHive/REAP-style), plus fixed restore overhead.
+     */
+    Seconds restore[kNumNodeTypes] = {0.0, 0.0};
+    /** Background snapshot-creation seconds, indexed by NodeType. */
+    Seconds snapshotCreate[kNumNodeTypes] = {0.0, 0.0};
+    /** Fraction of the memory footprint that is hot working set. */
+    double workingSetFraction = 0.0;
+
     /** Execution seconds for a given architecture and input scale. */
     Seconds
     execTime(NodeType type, double inputScale = 1.0) const
@@ -65,6 +78,15 @@ struct FunctionProfile {
     {
         return decompress[static_cast<int>(type)] <
                coldStart[static_cast<int>(type)];
+    }
+
+    /** True if a snapshot restore beats a cold start on `type`. */
+    bool
+    snapshotFavorable(NodeType type) const
+    {
+        return snapshotMb > 0 &&
+               restore[static_cast<int>(type)] <
+                   coldStart[static_cast<int>(type)];
     }
 
     /** Faster architecture for this function's execution. */

@@ -463,3 +463,67 @@ TEST(ClusterDomains, CooldownDeprioritizesButDoesNotExclude)
     EXPECT_TRUE(
         cluster.pickNodeForExec(NodeType::X86, 100).has_value());
 }
+
+TEST(Cluster, SnapshotResidencyAndSpendAccrual)
+{
+    Cluster cluster(tinyConfig());
+    const auto id = cluster.addSnapshot(0, 7, 400.0, 0.0);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(cluster.snapshotCount(7), 1u);
+    ASSERT_EQ(cluster.snapshotsFor(7).size(), 1u);
+    EXPECT_DOUBLE_EQ(cluster.node(0).snapshotStorageMb, 400.0);
+
+    // Dropping at t=100 accrues 400 MB x 100 s at the snapshot
+    // storage rate (a 0.02 fraction of the keep-alive rate).
+    const auto record = cluster.removeSnapshot(*id, 100.0);
+    EXPECT_EQ(record.function, 7u);
+    EXPECT_EQ(cluster.snapshotCount(7), 0u);
+    EXPECT_DOUBLE_EQ(cluster.node(0).snapshotStorageMb, 0.0);
+    EXPECT_NEAR(cluster.snapshotSpend(),
+                cluster.snapshotStorageRate(NodeType::X86) * 400.0 *
+                    100.0,
+                1e-12);
+    EXPECT_LT(cluster.snapshotStorageRate(NodeType::X86),
+              cluster.costRate(NodeType::X86) * 0.05);
+}
+
+TEST(Cluster, SnapshotStorageBudgetEvictsLeastRecentlyUsed)
+{
+    ClusterConfig config = tinyConfig();
+    config.snapshotStoragePerNodeMb = 1000;
+    Cluster cluster(config);
+    const auto a = cluster.addSnapshot(0, 1, 400.0, 0.0);
+    const auto b = cluster.addSnapshot(0, 2, 400.0, 1.0);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    cluster.noteSnapshotUsed(*a, 10.0); // snapshot b is now the LRU
+
+    // A third 400 MB snapshot busts the 1000 MB budget: the least
+    // recently USED (not oldest) snapshot on the node is evicted.
+    const auto c = cluster.addSnapshot(0, 3, 400.0, 20.0);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(cluster.snapshotsEvictedForStorage(), 1u);
+    EXPECT_EQ(cluster.snapshotCount(2), 0u);
+    EXPECT_EQ(cluster.snapshotCount(1), 1u);
+    EXPECT_EQ(cluster.snapshotCount(3), 1u);
+    EXPECT_DOUBLE_EQ(cluster.node(0).snapshotStorageMb, 800.0);
+    EXPECT_EQ(cluster.snapshotsOnNode(0).size(), 2u);
+}
+
+TEST(Cluster, OversizeSnapshotIsRejected)
+{
+    ClusterConfig config = tinyConfig();
+    config.snapshotStoragePerNodeMb = 300;
+    Cluster cluster(config);
+    EXPECT_FALSE(cluster.addSnapshot(0, 1, 400.0, 0.0).has_value());
+    EXPECT_EQ(cluster.snapshotCount(1), 0u);
+    EXPECT_DOUBLE_EQ(cluster.node(0).snapshotStorageMb, 0.0);
+}
+
+TEST(Cluster, MarkDownPanicsOnLeftoverSnapshots)
+{
+    // The driver must drop a crashing node's snapshots BEFORE marking
+    // it down; leftover storage at markDown is an accounting bug.
+    Cluster cluster(tinyConfig());
+    ASSERT_TRUE(cluster.addSnapshot(0, 1, 100.0, 0.0).has_value());
+    EXPECT_DEATH(cluster.markDown(0), "snapshots");
+}

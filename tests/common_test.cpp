@@ -392,4 +392,5 @@ TEST(Types, ToStringNames)
     EXPECT_STREQ(toString(StartType::Warm), "warm");
     EXPECT_STREQ(toString(StartType::WarmCompressed),
                  "warm-compressed");
+    EXPECT_STREQ(toString(StartType::Snapshot), "snapshot");
 }

@@ -319,18 +319,18 @@ TEST(IntervalObjective, UnknownPestGetsMildPrior)
 TEST(ChoiceSpace, SpaceSizeGrowsExponentially)
 {
     EXPECT_NEAR(ChoiceSpaceGenerator::log10SpaceSize(1),
-                std::log10(32.0), 1e-9);
+                std::log10(64.0), 1e-9);
     EXPECT_NEAR(ChoiceSpaceGenerator::log10SpaceSize(1000),
-                1000.0 * std::log10(32.0), 1e-6);
+                1000.0 * std::log10(64.0), 1e-6);
 }
 
 TEST(ChoiceSpace, DecodeCoversEveryChoiceOnce)
 {
-    std::set<std::tuple<bool, int, int>> seen;
+    std::set<std::tuple<bool, int, int, bool>> seen;
     for (std::size_t i = 0; i < opt::choicesPerFunction(); ++i) {
         const auto c = ChoiceSpaceGenerator::decode(i);
         seen.insert({c.compress, static_cast<int>(c.arch),
-                     c.keepAliveLevel});
+                     c.keepAliveLevel, c.snapshot});
     }
     EXPECT_EQ(seen.size(), opt::choicesPerFunction());
 }
@@ -355,7 +355,7 @@ TEST(ChoiceSpace, EnumerationMatchesFeasiblePredicate)
     ChoiceSpaceGenerator space(objective);
     const auto feasibleSet = space.enumerate();
     EXPECT_GT(feasibleSet.size(), 0u);
-    EXPECT_LT(feasibleSet.size(), 32u * 32u); // budget excludes some
+    EXPECT_LT(feasibleSet.size(), 64u * 64u); // budget excludes some
     for (const auto& assignment : feasibleSet)
         EXPECT_TRUE(space.feasible(assignment));
     // Zero keep-alive everywhere costs nothing: always a member.
@@ -445,6 +445,9 @@ TEST(CodeCrunch, NameReflectsAblations)
     CodeCrunchConfig noComp;
     noComp.useCompression = false;
     EXPECT_EQ(CodeCrunch(noComp).name(), "CodeCrunch-noComp");
+    CodeCrunchConfig noSnap;
+    noSnap.useSnapshot = false;
+    EXPECT_EQ(CodeCrunch(noSnap).name(), "CodeCrunch-noSnapshot");
     CodeCrunchConfig x86;
     x86.archMode = ArchMode::X86Only;
     EXPECT_EQ(CodeCrunch(x86).name(), "CodeCrunch-x86");

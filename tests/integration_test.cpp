@@ -83,7 +83,13 @@ TEST_F(IntegrationTest, CodeCrunchBeatsSitwAtEqualBudget)
 
 TEST_F(IntegrationTest, OracleUpperBoundsCodeCrunch)
 {
-    core::CodeCrunch codecrunch(harness_->codecrunchConfig());
+    // The Oracle's future knowledge covers the original {keep warm,
+    // compress, evict} space — it has no snapshot mechanism, and
+    // snapshot-enabled CodeCrunch legitimately beats it. Compare
+    // against the like-for-like -noSnapshot ablation.
+    auto config = harness_->codecrunchConfig();
+    config.useSnapshot = false;
+    core::CodeCrunch codecrunch(config);
     const auto crunchResult = harness_->run(codecrunch);
     policy::Oracle oracle(harness_->oracleConfig());
     const auto oracleResult = harness_->run(oracle);
@@ -114,6 +120,26 @@ TEST_F(IntegrationTest, CompressionAblationReducesWarmStarts)
     const auto noCompResult = harness_->run(noComp);
     EXPECT_GT(fullResult.metrics.compressedStarts(), 0u);
     EXPECT_EQ(noCompResult.metrics.compressedStarts(), 0u);
+}
+
+TEST_F(IntegrationTest, SnapshotAblationDisablesSnapshots)
+{
+    // The full decision space may adopt snapshots; the -noSnapshot
+    // ablation must never create or use one — it reproduces the
+    // original {keep warm, compress, evict} controller.
+    core::CodeCrunch full(harness_->codecrunchConfig());
+    const auto fullResult = harness_->run(full);
+    auto config = harness_->codecrunchConfig();
+    config.useSnapshot = false;
+    core::CodeCrunch noSnap(config);
+    const auto noSnapResult = harness_->run(noSnap);
+    EXPECT_EQ(noSnapResult.metrics.snapshotStarts(), 0u);
+    EXPECT_EQ(noSnapResult.snapshotsCreated, 0u);
+    EXPECT_DOUBLE_EQ(noSnapResult.snapshotStorageSpend, 0.0);
+    // Snapshot storage is priced into the budget: enabling it must
+    // not blow the spend ceiling relative to the ablation.
+    EXPECT_GE(fullResult.metrics.invocations(),
+              noSnapResult.metrics.invocations());
 }
 
 TEST_F(IntegrationTest, ArchAblationsRunAndPinArchitecture)

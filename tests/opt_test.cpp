@@ -110,7 +110,7 @@ TEST(ChoiceGrid, LevelsCoverPlatformRange)
     EXPECT_DOUBLE_EQ(levels.front(), 0.0);
     EXPECT_DOUBLE_EQ(levels.back(), 3600.0);
     EXPECT_TRUE(std::is_sorted(levels.begin(), levels.end()));
-    EXPECT_EQ(choicesPerFunction(), 2 * 2 * levels.size());
+    EXPECT_EQ(choicesPerFunction(), 2 * 2 * 2 * levels.size());
 }
 
 // --- a synthetic separable objective ------------------------------------------

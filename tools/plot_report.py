@@ -12,6 +12,9 @@ Takes one or more run reports written by the bench binaries
                          sweep, correlated domains)
   fig03_optimizer_...    optimizer quality vs problem size: score and
                          objective evaluations per optimizer over N
+  fig_snapshot           latency-vs-cost frontier (residency spend vs
+                         mean service, one point per controller
+                         variant) plus per-catalog-class service bars
   anything else          generic mean/p95 service-time bars per run
 
 Reports whose runs carry an ``intervals`` series (--stats-interval)
@@ -161,6 +164,53 @@ def plot_fig03(plt, report, path, dpi):
     plt.close(fig)
 
 
+def plot_fig_snapshot(plt, report, path, dpi):
+    # Frontier panel: each controller variant is one point in the
+    # (residency spend, mean service) plane — closer to the origin is
+    # better on both axes. The hybrid should sit weakly below-left of
+    # both single-mechanism ablations. Below it, the per-catalog-class
+    # mean service bars show the complementary regimes.
+    runs = report["runs"]
+    fig, (frontier, classes) = plt.subplots(
+        2, 1, figsize=(8, 8),
+        gridspec_kw={"height_ratios": [3, 2]})
+    for run in runs:
+        spend = (run.get("keepalive_spend_usd", 0.0)
+                 + run.get("snapshot_storage_spend_usd", 0.0))
+        mean = run["mean_service_s"]
+        frontier.plot([spend], [mean], "o", markersize=9)
+        label = run["name"]
+        if "objective_s" in run:
+            label += f"\nobj {run['objective_s']:.2f} s"
+        frontier.annotate(label, (spend, mean),
+                          textcoords="offset points", xytext=(8, -4),
+                          fontsize=8)
+    frontier.set_xlabel("residency spend: keep-alive + snapshot (USD)")
+    frontier.set_ylabel("mean service time (s)")
+    frontier.set_title(report.get("bench", "fig_snapshot")
+                       + " — latency-vs-cost frontier")
+    frontier.margins(x=0.25, y=0.15)
+
+    class_names = list(runs[0].get("service_by_class", {}))
+    if class_names:
+        x = range(len(class_names))
+        width = 0.8 / max(len(runs), 1)
+        for v, run in enumerate(runs):
+            by_class = run.get("service_by_class", {})
+            classes.bar(
+                [i + (v - (len(runs) - 1) / 2.0) * width for i in x],
+                [by_class.get(c, {}).get("mean_service_s", 0.0)
+                 for c in class_names],
+                width, label=run["name"])
+        classes.set_xticks(list(x))
+        classes.set_xticklabels(class_names, rotation=15, fontsize=8)
+        classes.set_ylabel("mean service (s)")
+        classes.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(path, dpi=dpi)
+    plt.close(fig)
+
+
 def plot_timeline(plt, report, path, dpi):
     """Interval-flow panel: per-run rates over sim time.
 
@@ -258,6 +308,8 @@ def main(argv=None):
             plot_fault_sweep(plt, report, path, args.dpi)
         elif bench.startswith("fig03"):
             plot_fig03(plt, report, path, args.dpi)
+        elif bench.startswith("fig_snapshot"):
+            plot_fig_snapshot(plt, report, path, args.dpi)
         elif not plot_generic(plt, report, path, args.dpi):
             print(f"warning: {artifact} has no plottable runs; "
                   "skipped", file=sys.stderr)
